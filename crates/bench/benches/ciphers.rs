@@ -1,0 +1,47 @@
+//! Criterion benches: baseline ciphers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_ciphers::{Aes128, AesCtr, AesEcb, StreamMemoryCipher, Trivium};
+
+fn bench_ciphers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ciphers");
+
+    let aes = Aes128::new(&[7; 16]);
+    let block = [0x5Au8; 16];
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("aes128/encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(&block))
+    });
+    group.bench_function("aes128/decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(&ct))
+    });
+
+    group.throughput(Throughput::Bytes(64));
+    let ecb = AesEcb::new(&[7; 16]);
+    let ctr = AesCtr::new(&[7; 16]);
+    let line = [0xA5u8; 64];
+    group.bench_function("aes_ecb/line", |b| {
+        b.iter_batched(
+            || line,
+            |mut l| ecb.encrypt_line(&mut l),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("aes_ctr/line", |b| {
+        b.iter_batched(
+            || line,
+            |mut l| ctr.apply_line(&mut l, 0x1000, 1),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("trivium/init_plus_64B", |b| {
+        b.iter(|| Trivium::new(&[1; 10], &[2; 10]).keystream_bytes(64))
+    });
+    let stream = StreamMemoryCipher::new([3; 10]);
+    group.bench_function("stream/line_pad", |b| b.iter(|| stream.pad(0x4000, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ciphers);
+criterion_main!(benches);

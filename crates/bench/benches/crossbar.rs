@@ -1,0 +1,43 @@
+//! Criterion benches: circuit engine (nodal solve and full sneak pulse).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spe_crossbar::{CellAddr, Crossbar, Dims};
+use spe_memristor::{DeviceParams, MlcLevel, Pulse};
+
+fn setup() -> Crossbar {
+    let mut xbar = Crossbar::new(Dims::square8(), DeviceParams::default()).expect("build");
+    let levels: Vec<MlcLevel> = (0..64)
+        .map(|i| MlcLevel::from_bits(((i * 7 + 3) % 4) as u8))
+        .collect();
+    xbar.write_levels(&levels).expect("write");
+    xbar
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let xbar = setup();
+    c.bench_function("crossbar/sneak_solve_8x8", |b| {
+        b.iter(|| {
+            xbar.sneak_voltages(CellAddr::new(3, 4), 1.0)
+                .expect("solve")
+        })
+    });
+    c.bench_function("crossbar/polyomino_extract", |b| {
+        b.iter(|| xbar.polyomino_at(CellAddr::new(3, 4), 1.0).expect("poly"))
+    });
+    c.bench_function("crossbar/sneak_pulse_70ns_resolve4", |b| {
+        b.iter_batched(
+            setup,
+            |mut x| {
+                x.apply_sneak_pulse(CellAddr::new(3, 4), Pulse::new(1.0, 0.07e-6), 4)
+                    .expect("pulse")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("crossbar/sense_resistance", |b| {
+        b.iter(|| xbar.sense_resistance(CellAddr::new(2, 5)).expect("sense"))
+    });
+}
+
+criterion_group!(benches, bench_crossbar);
+criterion_main!(benches);

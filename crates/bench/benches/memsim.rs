@@ -1,0 +1,30 @@
+//! Criterion benches: simulator speed (instructions simulated per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_memsim::{EncryptionEngine, System, SystemConfig};
+use spe_workloads::{BenchProfile, TraceGenerator};
+
+fn bench_memsim(c: &mut Criterion) {
+    const INSTRS: u64 = 200_000;
+    let mut group = c.benchmark_group("memsim");
+    group.throughput(Throughput::Elements(INSTRS));
+    group.sample_size(10);
+    type EngineCtor = fn() -> EncryptionEngine;
+    let engines: [(&str, EngineCtor); 3] = [
+        ("baseline", EncryptionEngine::none),
+        ("aes", EncryptionEngine::aes),
+        ("spe_parallel", EncryptionEngine::spe_parallel),
+    ];
+    for (name, engine) in engines {
+        group.bench_function(format!("gcc_200k/{name}"), |b| {
+            b.iter(|| {
+                let mut system = System::new(SystemConfig::paper(), engine());
+                system.run(TraceGenerator::new(&BenchProfile::gcc(), 1), INSTRS)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memsim);
+criterion_main!(benches);

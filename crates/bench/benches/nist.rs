@@ -1,0 +1,36 @@
+//! Criterion benches: NIST suite cost per sequence.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_nist::{tests as nist_tests, Bits, Suite};
+
+fn prng_bits(len: usize, seed: u64) -> Bits {
+    let mut state = seed;
+    Bits::from_fn(len, |_| {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) >> 63 == 1
+    })
+}
+
+fn bench_nist(c: &mut Criterion) {
+    let bits = prng_bits(1 << 14, 11);
+    let mut group = c.benchmark_group("nist");
+    group.throughput(Throughput::Elements(bits.len() as u64));
+    group.bench_function("full_suite_16kbit", |b| {
+        let suite = Suite::new();
+        b.iter(|| suite.run(&bits))
+    });
+    group.bench_function("dft_16kbit", |b| b.iter(|| nist_tests::dft(&bits)));
+    group.bench_function("linear_complexity_16kbit", |b| {
+        b.iter(|| nist_tests::linear_complexity(&bits, 500))
+    });
+    group.bench_function("serial_m5_16kbit", |b| {
+        b.iter(|| nist_tests::serial(&bits, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nist);
+criterion_main!(benches);

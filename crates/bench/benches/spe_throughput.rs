@@ -1,0 +1,50 @@
+//! Criterion benches: SPE encryption throughput — the behavioural-variant
+//! ablation DESIGN.md calls out (closed-loop vs analog fast model).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_core::{Key, Specu, SpecuConfig, SpeVariant};
+
+fn specu(variant: SpeVariant) -> Specu {
+    Specu::with_config(
+        Key::from_seed(0xBE),
+        SpecuConfig {
+            variant,
+            ..SpecuConfig::default()
+        },
+    )
+    .expect("specu")
+}
+
+fn bench_spe(c: &mut Criterion) {
+    let pt = *b"benchmark block!";
+    let line: [u8; 64] = core::array::from_fn(|i| i as u8);
+
+    let mut group = c.benchmark_group("spe");
+    group.throughput(Throughput::Bytes(16));
+    let mut closed = specu(SpeVariant::ClosedLoop);
+    group.bench_function("encrypt_block/closed_loop", |b| {
+        b.iter(|| closed.encrypt_block(&pt).expect("encrypt"))
+    });
+    let block = closed.encrypt_block(&pt).expect("encrypt");
+    group.bench_function("decrypt_block/closed_loop", |b| {
+        b.iter(|| closed.decrypt_block(&block).expect("decrypt"))
+    });
+
+    let mut analog = specu(SpeVariant::Analog);
+    group.bench_function("encrypt_block/analog", |b| {
+        b.iter(|| analog.encrypt_block(&pt).expect("encrypt"))
+    });
+
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("encrypt_line/closed_loop", |b| {
+        b.iter(|| closed.encrypt_line(&line, 0x40).expect("encrypt"))
+    });
+    group.finish();
+
+    c.bench_function("spe/schedule_generation", |b| {
+        b.iter(|| closed.schedule(7).expect("schedule"))
+    });
+}
+
+criterion_group!(benches, bench_spe);
+criterion_main!(benches);

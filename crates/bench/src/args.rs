@@ -1,0 +1,84 @@
+//! Minimal command-line flag parsing for the harness binaries.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags (`--key value` and boolean `--flag`).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::from("true"),
+                };
+                flags.insert(name.to_string(), value);
+            }
+        }
+        Args { flags }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A numeric flag with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .and_then(|v| v.replace('_', "").parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string flag with a default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse_from(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_booleans() {
+        let a = args(&["--instructions", "500000", "--full", "--name", "mcf"]);
+        assert_eq!(a.get_u64("instructions", 1), 500000);
+        assert!(a.has("full"));
+        assert!(!a.has("quick"));
+        assert_eq!(a.get_str("name", "x"), "mcf");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.get_u64("n", 7), 7);
+        assert_eq!(a.get_str("mode", "quick"), "quick");
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let a = args(&["--instructions", "2_000_000"]);
+        assert_eq!(a.get_u64("instructions", 0), 2_000_000);
+    }
+}

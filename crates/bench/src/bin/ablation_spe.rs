@@ -1,0 +1,90 @@
+//! Ablations of the SPE design choices DESIGN.md calls out:
+//!
+//! * PoE count (10–20) vs. avalanche quality — the §6.1 observation that
+//!   randomness needs ≥ 16 PoEs.
+//! * Rounds (1–3) vs. plaintext avalanche — why the closed-loop default is 2.
+//! * MLP overlap factor vs. scheme overhead ordering (simulator robustness).
+//!
+//! Usage: `cargo run --release -p spe-bench --bin ablation_spe [--trials N]`
+
+use spe_bench::{Args, Table};
+use spe_core::datasets;
+use spe_core::{Key, Specu, SpecuConfig};
+use spe_memsim::{EncryptionEngine, System, SystemConfig};
+use spe_workloads::{BenchProfile, TraceGenerator};
+
+fn bias(bytes: &[u8]) -> f64 {
+    let ones: u64 = bytes.iter().map(|b| b.count_ones() as u64).sum();
+    ones as f64 / (bytes.len() * 8) as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let bits = args.get_u64("bits", 16 * 1024) as usize;
+
+    println!("SPE ablations\n");
+
+    // 1. PoE count vs avalanche (paper: fewer than 16 PoEs fails NIST).
+    println!("PoE count vs avalanche density (rounds = 2):");
+    let mut t1 = Table::new(["PoEs", "key-avalanche", "pt-avalanche"]);
+    for poes in [10usize, 12, 14, 16, 20] {
+        let config = SpecuConfig {
+            poe_count: poes,
+            ..SpecuConfig::default()
+        };
+        let mut specu = Specu::with_config(Key::from_seed(1), config)?;
+        let ka = bias(&datasets::key_avalanche(&mut specu, bits, 11)?);
+        let pa = bias(&datasets::plaintext_avalanche(&mut specu, bits, 12)?);
+        t1.row([poes.to_string(), format!("{ka:.3}"), format!("{pa:.3}")]);
+    }
+    println!("{t1}");
+
+    // 2. Rounds vs plaintext avalanche.
+    println!("rounds vs plaintext avalanche (16 PoEs):");
+    let mut t2 = Table::new(["rounds", "pt-avalanche", "enc. latency (trains)"]);
+    for rounds in 1..=3usize {
+        let config = SpecuConfig {
+            rounds,
+            ..SpecuConfig::default()
+        };
+        let mut specu = Specu::with_config(Key::from_seed(1), config)?;
+        let pa = bias(&datasets::plaintext_avalanche(&mut specu, bits, 12)?);
+        t2.row([
+            rounds.to_string(),
+            format!("{pa:.3}"),
+            specu.encryption_cycles().to_string(),
+        ]);
+    }
+    println!("{t2}");
+    println!("(ideal density 0.5; the default of 2 rounds is the knee)\n");
+
+    // 3. MLP sensitivity of the Fig. 7 ordering.
+    println!("simulator MLP factor vs scheme overhead (mcf, 300k instructions):");
+    let mut t3 = Table::new(["MLP", "AES", "SPE-parallel", "SPE-serial", "ordering holds"]);
+    for mlp in [2.0f64, 4.0, 10.0, 16.0] {
+        let config = SystemConfig {
+            mlp,
+            ..SystemConfig::paper()
+        };
+        let overhead = |engine: EncryptionEngine| -> f64 {
+            let mut base_sys = System::new(config.clone(), EncryptionEngine::none());
+            let base = base_sys.run(TraceGenerator::new(&BenchProfile::mcf(), 3), 300_000);
+            let mut sys = System::new(config.clone(), engine);
+            let s = sys.run(TraceGenerator::new(&BenchProfile::mcf(), 3), 300_000);
+            s.overhead_vs(&base)
+        };
+        let aes = overhead(EncryptionEngine::aes());
+        let par = overhead(EncryptionEngine::spe_parallel());
+        let ser = overhead(EncryptionEngine::spe_serial(2_000));
+        t3.row([
+            format!("{mlp:.0}"),
+            format!("{:.1}%", aes * 100.0),
+            format!("{:.1}%", par * 100.0),
+            format!("{:.1}%", ser * 100.0),
+            (aes > par && par >= ser).to_string(),
+        ]);
+    }
+    println!("{t3}");
+    println!("the Fig. 7 ordering is insensitive to the overlap model's MLP knob.");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! §6.2.2–6.4 — the non-brute-force attack experiments.
+//!
+//! Runs the known-plaintext ambiguity analysis, a chosen-plaintext
+//! experiment, the insertion-attack statistic and the wrong-order failure.
+//!
+//! Usage: `cargo run --release -p spe-bench --bin attack_lab`
+
+use spe_bench::Table;
+use spe_core::attack::{known_plaintext_ambiguity, wrong_order_decrypt};
+use spe_core::{Key, Specu};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut specu = Specu::new(Key::from_seed(0x5EC))?;
+
+    println!("attack lab — executable versions of the §6 security arguments\n");
+
+    // Known-plaintext (§6.2.2): overlapping polyominoes make the applied
+    // pulses ambiguous.
+    let reports = known_plaintext_ambiguity(&mut specu, b"known  plaintext", 0.05)?;
+    let multi: Vec<_> = reports.iter().filter(|r| r.coverage >= 2).collect();
+    let ambiguous = multi
+        .iter()
+        .filter(|r| r.consistent_combinations > 1)
+        .count();
+    println!("known-plaintext attack (§6.2.2):");
+    println!("  cells covered by >= 2 polyominoes: {}", multi.len());
+    println!(
+        "  of those, cells with > 1 pulse combination consistent with the\n\
+         observed transition: {ambiguous}"
+    );
+    let mut table = Table::new(["cell", "coverage", "consistent pulse combos"]);
+    for r in multi.iter().take(8) {
+        table.row([
+            r.cell.to_string(),
+            r.coverage.to_string(),
+            r.consistent_combinations.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // Chosen plaintext (§6.3.1): even an all-zero plaintext yields balanced
+    // ciphertext.
+    let ct = specu.encrypt_block(&[0u8; 16])?.data();
+    let ones: u32 = ct.iter().map(|b| b.count_ones()).sum();
+    println!(
+        "chosen-plaintext attack (§6.3.1): all-zero plaintext encrypts to a\n\
+         ciphertext with {ones}/128 one-bits (balanced ≈ 64)."
+    );
+
+    // Insertion attack (§6.3.2): re-encrypting with one plaintext bit
+    // flipped gives an XOR difference with ~50% density — no usable
+    // correlation.
+    let mut flips = 0u32;
+    let trials = 64;
+    for i in 0..trials {
+        let pt = [0x5Au8; 16];
+        let mut flipped = pt;
+        flipped[(i / 8) % 16] ^= 1 << (i % 8);
+        let c1 = specu.encrypt_block(&pt)?.data();
+        let c2 = specu.encrypt_block(&flipped)?.data();
+        flips += c1.iter().zip(&c2).map(|(a, b)| (a ^ b).count_ones()).sum::<u32>();
+    }
+    let density = flips as f64 / (trials as f64 * 128.0);
+    println!(
+        "\ninsertion attack (§6.3.2): mean XOR density over {trials} single-bit\n\
+         insertions: {density:.3} (ideal 0.5; no exploitable correlation)."
+    );
+
+    // Wrong order (Fig. 2b).
+    let report = wrong_order_decrypt(&mut specu, b"confidential doc")?;
+    println!(
+        "\nwrong-order decryption (Fig. 2b): {} of 16 bytes corrupted when the\n\
+         correct PoEs are replayed in the wrong order.",
+        report.corrupted_bytes
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! §5.2 — SPE's effect on memory endurance.
+//!
+//! The paper claims SPE's extra pulses have negligible endurance impact
+//! because their resistance swings are small compared to a full write.
+//! This harness measures the actual per-cell swings of closed-loop SPE and
+//! evaluates the lifetime budget against the TaOx rating of ref \[13\].
+//!
+//! Usage: `cargo run --release -p spe-bench --bin endurance_budget [--blocks N]`
+
+use spe_bench::{Args, Table};
+use spe_core::{Key, Specu};
+use spe_memristor::{EnduranceImpact, EnduranceMeter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let blocks = args.get_u64("blocks", 512);
+    let mut specu = Specu::new(Key::from_seed(0xE0D))?;
+
+    println!("§5.2 reproduction — endurance impact of SPE\n");
+
+    // Measure per-cell level swings across many encryptions: every level
+    // step is 1/3 of the ladder; a full write is the whole ladder.
+    let mut meters = vec![EnduranceMeter::taox(); 64];
+    let mut pt = [0u8; 16];
+    for b in 0..blocks {
+        for (i, byte) in pt.iter_mut().enumerate() {
+            *byte = (b as u8).wrapping_mul(31).wrapping_add(i as u8);
+        }
+        let before: Vec<u8> = spe_core::specu::bytes_to_level_values(&pt);
+        let ct = specu.encrypt_block_with_tweak(&pt, b)?;
+        let after: Vec<u8> = spe_core::specu::bytes_to_level_values(&ct.data());
+        for ((m, a), z) in meters.iter_mut().zip(&before).zip(&after) {
+            // Each write programs the plaintext (full-swing budget charged
+            // by the write itself, not SPE) and the encryption moves the
+            // cell by some number of level steps (1 step = 1/3 range).
+            let steps = ((*a as i32 - *z as i32).rem_euclid(4)).min(4 - (*a as i32 - *z as i32).rem_euclid(4)) as f64;
+            m.record(steps / 3.0);
+        }
+    }
+    let avg_consumed: f64 =
+        meters.iter().map(|m| m.consumed()).sum::<f64>() / meters.len() as f64;
+    let avg_swing = avg_consumed / blocks as f64;
+    println!(
+        "measured: {blocks} encryptions; mean SPE wear per encryption per cell:\n\
+         {avg_swing:.3} full-swing equivalents (a full write costs 1.0)\n"
+    );
+
+    let mut table = Table::new([
+        "scenario",
+        "pulses/write x swing",
+        "lifetime writes",
+        "lifetime loss",
+    ]);
+    for (name, pulses, swing) in [
+        ("paper's analog SPE (~5% swings)", 2.0, 0.05),
+        ("closed-loop SPE (measured)", 1.0, avg_swing),
+        ("worst case (2 covers, full-gap steps)", 2.0, 0.33),
+    ] {
+        let impact = EnduranceImpact::evaluate(1.0e10, pulses, swing);
+        table.row([
+            name.to_string(),
+            format!("{pulses:.0} x {swing:.3}"),
+            format!("{:.2e}", impact.with_spe_writes),
+            format!("{:.1}%", impact.lifetime_loss() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper: \"negligible effect on the endurance of the memory cells\"\n\
+         [13] rates TaOx devices at ~1e10 cycles; even the worst case keeps\n\
+         billions of writes per cell."
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Fig. 3 — why sneak paths corrupt reads, and how row gating fixes them.
+//!
+//! Fig. 3a: only the addressed row's transistors conduct → the sensed
+//! current reflects the addressed cell. Fig. 3b: all transistors on →
+//! sneak currents through neighbouring cells corrupt the output.
+//!
+//! Usage: `cargo run --release -p spe-bench --bin fig3_sneak_demo`
+
+use spe_bench::Table;
+use spe_crossbar::bias::Bias;
+use spe_crossbar::netlist::{assemble, col_node, row_node, Gating};
+use spe_crossbar::dense::solve;
+use spe_crossbar::{CellAddr, Crossbar, Dims};
+use spe_memristor::{DeviceParams, MlcLevel};
+
+fn sensed_resistance(xbar: &Crossbar, addr: CellAddr, gating: Gating) -> f64 {
+    let dims = xbar.dims();
+    let v_read = 0.2;
+    let bias = Bias::addressed(dims, addr, v_read);
+    let (g, b) = assemble(dims, xbar.wires(), &bias, gating, |i, j| {
+        xbar.cell(CellAddr::new(i, j)).series_resistance()
+    });
+    let v = solve(g, b).expect("network solves");
+    // Sense the total current returned through the addressed column driver.
+    let v_col = v[col_node(dims, dims.rows - 1, addr.col)];
+    let i_col = (v_col - 0.0) / xbar.wires().r_driver;
+    let _ = row_node(dims, addr.row, addr.col);
+    v_read / i_col
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = Dims::square8();
+    let mut xbar = Crossbar::new(dims, DeviceParams::default())?;
+    // Store a high-resistance cell surrounded by low-resistance neighbours —
+    // the worst case for sneak-path corruption.
+    xbar.write_levels(&[MlcLevel::L11; 64])?; // all low-R
+    let victim = CellAddr::new(3, 4);
+    xbar.write_level(victim, MlcLevel::L00)?; // the high-R cell to read
+
+    println!("Fig. 3 reproduction — sneak paths corrupt unselected reads\n");
+    println!(
+        "stored: cell {victim} = logic 00 ({:.0} kΩ); all neighbours logic 11 ({:.0} kΩ)\n",
+        MlcLevel::L00.nominal_resistance(xbar.device()) / 1e3,
+        MlcLevel::L11.nominal_resistance(xbar.device()) / 1e3
+    );
+
+    let gated = sensed_resistance(&xbar, victim, Gating::Row(victim.row));
+    let sneaky = sensed_resistance(&xbar, victim, Gating::AllOn);
+
+    let mut table = Table::new(["gating", "sensed R (kΩ)", "quantizes to"]);
+    for (name, r) in [("row-select (Fig. 3a)", gated), ("all-on / sneak (Fig. 3b)", sneaky)] {
+        table.row([
+            name.to_string(),
+            format!("{:.1}", r / 1e3),
+            MlcLevel::quantize(r.clamp(10.0e3, 200.0e3), xbar.device()).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "with row gating the read resolves the stored 00; with sneak paths\n\
+         enabled the parallel low-R neighbours shunt the sense current and\n\
+         the read misquantizes — which is why normal operation keeps the\n\
+         transistors gated and SPE only enables sneak paths on purpose."
+    );
+    Ok(())
+}

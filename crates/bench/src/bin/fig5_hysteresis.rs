@@ -1,0 +1,58 @@
+//! Fig. 5 — single-cell encryption/decryption hysteresis.
+//!
+//! The paper: starting from logic `10`, a `+1 V / 0.071 µs` pulse encrypts
+//! the cell to 172 kΩ (logic `00`); undoing it needs a `−1 V` pulse of a
+//! *different* width (0.015 µs) because of the memristor's hysteresis.
+//!
+//! Usage: `cargo run -p spe-bench --bin fig5_hysteresis`
+
+use spe_memristor::{DeviceParams, Memristor, MlcLevel, PulseWidthSearch};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceParams::default();
+    let search = PulseWidthSearch::new(&device);
+
+    let r_plain = MlcLevel::L10.nominal_resistance(&device);
+    let r_cipher = 172.0e3;
+
+    let w_enc = search.width_for(r_plain, r_cipher, 1.0)?;
+    let w_dec = search.width_for(r_cipher, r_plain, -1.0)?;
+
+    println!("Fig. 5 reproduction — single-memristor encrypt/decrypt");
+    println!("plaintext state : logic 10 ({:.0} kΩ)", r_plain / 1e3);
+    println!("ciphertext state: logic 00 ({:.0} kΩ)", r_cipher / 1e3);
+    println!();
+    println!("encryption pulse: +1 V for {:.3} µs   (paper: 0.071 µs)", w_enc * 1e6);
+    println!("decryption pulse: -1 V for {:.3} µs   (paper: 0.015 µs)", w_dec * 1e6);
+    println!(
+        "hysteresis ratio: {:.1}x shorter decrypt (paper: ~4.7x)",
+        w_enc / w_dec
+    );
+
+    // Resistance trajectory during both pulses (the figure's waveform).
+    println!("\ntrajectory (time µs, resistance kΩ):");
+    let mut cell = Memristor::with_resistance(&device, r_plain)?;
+    let steps = 20;
+    println!("  encrypt (+1 V):");
+    for i in 0..=steps {
+        let t = w_enc * i as f64 / steps as f64;
+        let mut c = cell.clone();
+        c.apply_pulse(1.0, t);
+        println!("    {:7.4}  {:8.1}", t * 1e6, c.resistance() / 1e3);
+    }
+    cell.apply_pulse(1.0, w_enc);
+    println!("  decrypt (-1 V):");
+    for i in 0..=steps {
+        let t = w_dec * i as f64 / steps as f64;
+        let mut c = cell.clone();
+        c.apply_pulse(-1.0, t);
+        println!("    {:7.4}  {:8.1}", t * 1e6, c.resistance() / 1e3);
+    }
+    cell.apply_pulse(-1.0, w_dec);
+    println!(
+        "\nfinal state: {:.1} kΩ -> quantizes to logic {}",
+        cell.resistance() / 1e3,
+        cell.level()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Fig. 6 — polyomino coverage in an 8×8 crossbar vs. number of PoEs.
+//!
+//! For each PoE count in 10..=17, places PoEs to maximize coverage (and
+//! overlap) and reports how many cells are covered by one polyomino
+//! (vulnerable to known-plaintext analysis) vs. two or more (secure).
+//!
+//! Usage: `cargo run --release -p spe-bench --bin fig6_coverage [--shape paper|measured]`
+
+use spe_bench::{Args, Table};
+use spe_ilp::{PlacementProblem, PolyominoShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let shape_name = args.get_str("shape", "paper");
+    let shape = match shape_name.as_str() {
+        "measured" => PolyominoShape::from_offsets([(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]),
+        _ => PolyominoShape::paper_cross(),
+    };
+    println!(
+        "Fig. 6 reproduction — coverage vs PoE count ({} shape, {} cells)\n",
+        shape_name,
+        shape.size()
+    );
+    let mut table = Table::new([
+        "PoEs",
+        "covered",
+        "overlapped",
+        "non-overlapped",
+        "uncovered",
+    ]);
+    for poes in 10..=17usize {
+        let problem = PlacementProblem {
+            rows: 8,
+            cols: 8,
+            shape: shape.clone(),
+            security_margin: 0,
+            max_coverage: 2,
+        };
+        let sol = problem.with_poe_count(poes)?;
+        table.row([
+            poes.to_string(),
+            sol.covered.to_string(),
+            sol.overlapped.to_string(),
+            sol.single_covered().to_string(),
+            (64 - sol.covered).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper: with the 11-cell cross, overlapped coverage grows with the PoE\n\
+         count; 16 PoEs leave no uncovered cells and few single-covered ones\n\
+         (single-covered cells are the known-plaintext-vulnerable ones)."
+    );
+    Ok(())
+}

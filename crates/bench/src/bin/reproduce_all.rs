@@ -1,0 +1,86 @@
+//! One-shot reproduction driver: runs the fast subset of every experiment
+//! and writes a summary to stdout (the heavyweight Table 2 / full-scale
+//! Fig. 7 runs have their own binaries).
+//!
+//! Usage: `cargo run --release -p spe-bench --bin reproduce_all`
+
+use spe_bench::runs::{mean_encrypted, mean_overhead, run_matrix};
+use spe_bench::Table;
+use spe_core::analysis::{brute_force_full, brute_force_known_ilp, cold_boot_window};
+use spe_core::attack::wrong_order_decrypt;
+use spe_core::{Key, Specu};
+use spe_ilp::PlacementProblem;
+use spe_memristor::{DeviceParams, MlcLevel, PulseWidthSearch};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("snvmm — fast reproduction sweep\n================================\n");
+
+    // Fig. 5.
+    let device = DeviceParams::default();
+    let search = PulseWidthSearch::new(&device);
+    let enc = search.width_for(MlcLevel::L10.nominal_resistance(&device), 172.0e3, 1.0)?;
+    let dec = search.width_for(172.0e3, MlcLevel::L10.nominal_resistance(&device), -1.0)?;
+    println!(
+        "Fig. 5   encrypt {:.3} µs / decrypt {:.3} µs (paper 0.071/0.015; hysteresis {:.1}x)",
+        enc * 1e6,
+        dec * 1e6,
+        enc / dec
+    );
+
+    // Fig. 2 / SPE roundtrip.
+    let mut specu = Specu::new(Key::from_seed(0xDAC))?;
+    let report = wrong_order_decrypt(&mut specu, b"reproduction run")?;
+    println!(
+        "Fig. 2   decrypt ok; wrong order corrupts {}/16 bytes",
+        report.corrupted_bytes
+    );
+
+    // Table 1.
+    let sol = PlacementProblem::paper_8x8(56).min_poes()?;
+    println!(
+        "Table 1  S=56 -> {} PoEs, {} overlapped cells (paper: 16 PoEs)",
+        sol.poes.len(),
+        sol.overlapped
+    );
+
+    // Fig. 6 highlight.
+    let p16 = PlacementProblem::paper_8x8(0).with_poe_count(16)?;
+    println!(
+        "Fig. 6   16 PoEs: {}/64 covered, {} overlapped, {} single",
+        p16.covered,
+        p16.overlapped,
+        p16.single_covered()
+    );
+
+    // §6.2.
+    let full = brute_force_full(64, 16, 32, 100e-9);
+    let ilp = brute_force_known_ilp(16, 16, 100e-9);
+    println!(
+        "§6.2     brute force 10^{:.1} years; ILP-known 10^{:.1} years (paper ~10^19)",
+        full.log10_years, ilp.log10_years
+    );
+
+    // §6.4.
+    let cb = cold_boot_window(2 * 1024 * 1024, 16, 100.0);
+    println!(
+        "§6.4     power-down window {:.1} ms for a 2 MiB cache (DRAM: 3200 ms)",
+        cb.window_seconds * 1e3
+    );
+
+    // Figs. 7/8 (reduced scale).
+    println!("\nFigs. 7/8 (400k instructions per run):");
+    let cells = run_matrix(400_000, 7);
+    let mut table = Table::new(["scheme", "avg overhead", "avg % encrypted"]);
+    for s in ["AES", "i-NVMM", "SPE-serial", "SPE-parallel", "Stream cipher"] {
+        table.row([
+            s.to_string(),
+            format!("{:.1}%", mean_overhead(&cells, s) * 100.0),
+            format!("{:.1}%", mean_encrypted(&cells, s) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("(paper averages: AES 14%/100%, i-NVMM 1%/73%, SPE-serial 1.5%/99.4%,");
+    println!(" SPE-parallel 2.9%/100%, stream 0.4%/100% — ordering is the target)");
+    println!("\nfull-scale runs: see the per-figure binaries (README).");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Scaling study — SPE beyond the paper's 8×8 mat.
+//!
+//! Table 1's footnote says the ILP "can be adapted to any size", and §6.2.1
+//! notes the PoE count depends on the cache block size, not the memory
+//! size. This harness sweeps the mat dimension and reports:
+//!
+//! * the circuit engine's nodal-solve cost (dense vs conjugate-gradient),
+//! * the measured polyomino size, and
+//! * the minimum PoE count for full coverage (margin 0).
+//!
+//! Usage: `cargo run --release -p spe-bench --bin scaling_study
+//!         [--max-dim N]`
+
+use spe_bench::{Args, Table};
+use spe_crossbar::bias::Bias;
+use spe_crossbar::dense::{solve, solve_cg};
+use spe_crossbar::netlist::{assemble, Gating};
+use spe_crossbar::{CellAddr, Crossbar, Dims, WireParams};
+use spe_ilp::{PlacementProblem, PolyominoShape};
+use spe_memristor::{DeviceParams, MlcLevel};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let max_dim = args.get_u64("max-dim", 16) as usize;
+    let device = DeviceParams::default();
+    let wires = WireParams::default();
+
+    println!("SPE scaling study — mat dimension sweep\n");
+    let mut table = Table::new([
+        "mat",
+        "nodes",
+        "dense solve",
+        "CG solve",
+        "polyomino",
+        "min PoEs (margin 0)",
+    ]);
+    let mut dim = 4usize;
+    while dim <= max_dim {
+        let dims = Dims::new(dim, dim);
+        let mut xbar = Crossbar::with_wires(dims, device.clone(), wires)?;
+        let levels: Vec<MlcLevel> = (0..dims.cells())
+            .map(|i| MlcLevel::from_bits(((i * 7 + 3) % 4) as u8))
+            .collect();
+        xbar.write_levels(&levels)?;
+        let poe = CellAddr::new(dim / 2, dim / 2);
+
+        // Solve timing, dense vs CG, on the same assembled system.
+        let bias = Bias::sneak_pulse(dims, poe, 1.0);
+        let (g, b) = assemble(dims, &wires, &bias, Gating::AllOn, |i, j| {
+            xbar.cell(CellAddr::new(i, j)).series_resistance()
+        });
+        let t0 = Instant::now();
+        let dense = solve(g.clone(), b.clone())?;
+        let t_dense = t0.elapsed();
+        let t0 = Instant::now();
+        let cg = solve_cg(&g, &b, 1e-10)?;
+        let t_cg = t0.elapsed();
+        let max_diff = dense
+            .iter()
+            .zip(&cg)
+            .map(|(a, c)| (a - c).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-6, "solver disagreement {max_diff}");
+
+        // Polyomino and placement.
+        let poly = xbar.polyomino_at(poe, 1.0)?;
+        let shape = PolyominoShape::from_offsets(
+            poly.iter().map(|(a, _)| a.offset_from(poe)).collect::<Vec<_>>(),
+        );
+        let poes = if dim <= 8 {
+            let problem = PlacementProblem {
+                rows: dim,
+                cols: dim,
+                shape,
+                security_margin: 0,
+                max_coverage: 2,
+            };
+            match problem.min_poes() {
+                Ok(sol) => sol.poes.len().to_string(),
+                Err(e) => format!("({e})"),
+            }
+        } else {
+            // Exact branch-and-bound beyond 8x8 can take minutes; report
+            // the covering lower bound instead.
+            let interior = shape.size().max(1);
+            format!(">= {} (bound)", dims.cells().div_ceil(interior))
+        };
+        table.row([
+            format!("{dim}x{dim}"),
+            (2 * dims.cells()).to_string(),
+            format!("{:.2} ms", t_dense.as_secs_f64() * 1e3),
+            format!("{:.2} ms", t_cg.as_secs_f64() * 1e3),
+            format!("{} cells", poly.len()),
+            poes,
+        ]);
+        dim += 4;
+    }
+    println!("{table}");
+    println!(
+        "the PoE count grows with the mat (block) size while staying\n\
+         independent of the total memory size — larger memories tile more\n\
+         mats, each with its own schedule (paper §6.2.1 footnote).\n\
+         (CG serves as an independent cross-check of the direct solver; with\n\
+         dense matvecs it does not outrun elimination at these sizes.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Table 1 — the PoE-placement ILP.
+//!
+//! Solves the paper's model (coverage ∈ [1, 2] per cell, total coverage
+//! ≥ M·N + S, minimum PoE count) across the security margin S and shows the
+//! S that reproduces the paper's 16-PoE operating point.
+//!
+//! Usage: `cargo run --release -p spe-bench --bin table1_ilp [--margin S]`
+
+use spe_bench::{Args, Table};
+use spe_ilp::PlacementProblem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    println!("Table 1 reproduction — PoE placement ILP (8×8, 11-cell cross)\n");
+
+    let mut table = Table::new(["S (margin)", "min PoEs", "total coverage", "overlapped"]);
+    for margin in [0usize, 16, 32, 48, 56] {
+        match PlacementProblem::paper_8x8(margin).min_poes() {
+            Ok(sol) => {
+                table.row([
+                    margin.to_string(),
+                    sol.poes.len().to_string(),
+                    sol.total_coverage().to_string(),
+                    sol.overlapped.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row([margin.to_string(), format!("({e})"), String::new(), String::new()]);
+            }
+        }
+    }
+    println!("{table}");
+
+    let margin = args.get_u64("margin", 56) as usize;
+    let sol = PlacementProblem::paper_8x8(margin).min_poes()?;
+    println!(
+        "operating point S = {margin}: P = {} PoEs (paper: 16 PoEs secure the 8×8)\n",
+        sol.poes.len()
+    );
+    println!("placement (X = PoE):");
+    for r in 0..8 {
+        for c in 0..8 {
+            print!(
+                "{} ",
+                if sol.poes.contains(&(r, c)) { 'X' } else { '.' }
+            );
+        }
+        println!();
+    }
+    println!("\nper-cell coverage:");
+    for r in 0..8 {
+        for c in 0..8 {
+            print!("{} ", sol.coverage[r * 8 + c]);
+        }
+        println!();
+    }
+    Ok(())
+}

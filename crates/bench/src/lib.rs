@@ -1,0 +1,13 @@
+//! Experiment harness shared utilities.
+//!
+//! Every table and figure of the paper has a dedicated binary under
+//! `src/bin/` (see `DESIGN.md` §3 for the index); this library holds the
+//! bits they share: a tiny argument parser, table rendering and the
+//! standard scheme/workload matrices.
+
+pub mod args;
+pub mod runs;
+pub mod table;
+
+pub use args::Args;
+pub use table::Table;

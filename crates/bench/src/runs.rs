@@ -1,0 +1,115 @@
+//! Shared simulation matrices for the Fig. 7 / Fig. 8 / Table 3 harnesses.
+
+use spe_memsim::{EncryptionEngine, SimStats, System, SystemConfig};
+use spe_workloads::{BenchProfile, TraceGenerator};
+
+/// The five encryption schemes of the evaluation, in Fig. 7 legend order,
+/// freshly constructed (engines hold run state).
+///
+/// The i-NVMM inert window and the SPE-serial re-encryption window scale
+/// with the run length (the paper's windows are sized against 500 M
+/// instruction runs; quick runs need proportionally shorter ones).
+pub fn scheme_engines(instructions: u64) -> Vec<EncryptionEngine> {
+    let cycles = instructions / 4;
+    vec![
+        EncryptionEngine::aes(),
+        EncryptionEngine::invmm((cycles / 6).max(10_000)),
+        EncryptionEngine::spe_serial((cycles / 60).max(2_000)),
+        EncryptionEngine::spe_parallel(),
+        EncryptionEngine::stream(),
+    ]
+}
+
+/// One (workload, scheme) cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme name (`"None"` for the baseline).
+    pub scheme: &'static str,
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Overhead versus the same workload's baseline.
+    pub overhead: f64,
+}
+
+/// Runs every workload under the baseline and all five schemes.
+///
+/// `instructions` is per run (the paper uses 500 M; quick mode uses less).
+/// Returns the baseline cells first for each workload, then the schemes.
+pub fn run_matrix(instructions: u64, seed: u64) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for profile in BenchProfile::all() {
+        let baseline = run_one(&profile, EncryptionEngine::none(), instructions, seed);
+        for engine in scheme_engines(instructions) {
+            let scheme = engine.name();
+            let stats = run_one(&profile, engine, instructions, seed);
+            let overhead = stats.overhead_vs(&baseline);
+            cells.push(MatrixCell {
+                workload: profile.name,
+                scheme,
+                stats,
+                overhead,
+            });
+        }
+        cells.push(MatrixCell {
+            workload: profile.name,
+            scheme: "None",
+            overhead: 0.0,
+            stats: baseline,
+        });
+    }
+    cells
+}
+
+/// Runs one (workload, engine) pair.
+pub fn run_one(
+    profile: &BenchProfile,
+    engine: EncryptionEngine,
+    instructions: u64,
+    seed: u64,
+) -> SimStats {
+    let mut system = System::new(SystemConfig::paper(), engine);
+    system.run(TraceGenerator::new(profile, seed), instructions)
+}
+
+/// Geometric-mean style average of per-workload overheads for a scheme.
+pub fn mean_overhead(cells: &[MatrixCell], scheme: &str) -> f64 {
+    let v: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.scheme == scheme)
+        .map(|c| c.overhead)
+        .collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Mean encrypted fraction for a scheme across workloads.
+pub fn mean_encrypted(cells: &[MatrixCell], scheme: &str) -> f64 {
+    let v: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.scheme == scheme)
+        .map(|c| c.stats.mean_encrypted_fraction())
+        .collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_pairs() {
+        let cells = run_matrix(50_000, 3);
+        // 12 workloads x (5 schemes + baseline).
+        assert_eq!(cells.len(), 12 * 6);
+        let aes = mean_overhead(&cells, "AES");
+        let stream = mean_overhead(&cells, "Stream cipher");
+        assert!(aes > stream, "AES {aes} vs stream {stream}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Plain-text table rendering for harness output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a header row.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,284 @@
+//! AES-128 from first principles.
+//!
+//! The S-box is derived at construction time from the multiplicative
+//! inverse in GF(2⁸) followed by the affine transformation, so no 256-entry
+//! table needs to be transcribed (and a transcription error is impossible —
+//! the FIPS-197 test vectors in this module's tests pin the behaviour).
+
+/// Multiplication in GF(2⁸) modulo the AES polynomial `x⁸+x⁴+x³+x+1`.
+pub(crate) fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 == 1 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Builds the AES S-box from the field inverse + affine map.
+fn build_sbox() -> [u8; 256] {
+    // Field inverses by brute force (tiny, done once).
+    let mut inv = [0u8; 256];
+    for a in 1..=255u8 {
+        for b in 1..=255u8 {
+            if gf_mul(a, b) == 1 {
+                inv[a as usize] = b;
+                break;
+            }
+        }
+    }
+    let mut sbox = [0u8; 256];
+    for (i, item) in sbox.iter_mut().enumerate() {
+        let x = inv[i];
+        *item = x
+            ^ x.rotate_left(1)
+            ^ x.rotate_left(2)
+            ^ x.rotate_left(3)
+            ^ x.rotate_left(4)
+            ^ 0x63;
+    }
+    sbox
+}
+
+/// AES-128 block cipher (16-byte blocks, 10 rounds).
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spe_ciphers::Aes128;
+    /// let aes = Aes128::new(&[0u8; 16]);
+    /// let ct = aes.encrypt_block(&[0u8; 16]);
+    /// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+    /// ```
+    pub fn new(key: &[u8; 16]) -> Self {
+        let sbox = build_sbox();
+        let mut inv_sbox = [0u8; 256];
+        for (i, s) in sbox.iter().enumerate() {
+            inv_sbox[*s as usize] = i as u8;
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        round_keys[0] = *key;
+        let mut rcon = 1u8;
+        for r in 1..11 {
+            let prev = round_keys[r - 1];
+            let mut word = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon.
+            word.rotate_left(1);
+            for b in word.iter_mut() {
+                *b = sbox[*b as usize];
+            }
+            word[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+            for c in 0..4 {
+                for i in 0..4 {
+                    let prev_word = prev[c * 4 + i];
+                    let x = if c == 0 {
+                        word[i] ^ prev_word
+                    } else {
+                        round_keys[r][(c - 1) * 4 + i] ^ prev_word
+                    };
+                    round_keys[r][c * 4 + i] = x;
+                }
+            }
+        }
+        Aes128 {
+            round_keys,
+            sbox,
+            inv_sbox,
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut s = *plaintext;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..10 {
+            self.sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[r]);
+        }
+        self.sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let mut s = *ciphertext;
+        add_round_key(&mut s, &self.round_keys[10]);
+        inv_shift_rows(&mut s);
+        self.inv_sub_bytes(&mut s);
+        for r in (1..10).rev() {
+            add_round_key(&mut s, &self.round_keys[r]);
+            inv_mix_columns(&mut s);
+            inv_shift_rows(&mut s);
+            self.inv_sub_bytes(&mut s);
+        }
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+
+    fn sub_bytes(&self, s: &mut [u8; 16]) {
+        for b in s.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, s: &mut [u8; 16]) {
+        for b in s.iter_mut() {
+            *b = self.inv_sbox[*b as usize];
+        }
+    }
+}
+
+fn add_round_key(s: &mut [u8; 16], k: &[u8; 16]) {
+    for (b, kb) in s.iter_mut().zip(k) {
+        *b ^= kb;
+    }
+}
+
+/// State layout: column-major, `s[c*4 + r]` = row r, column c (FIPS order).
+fn shift_rows(s: &mut [u8; 16]) {
+    let orig = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[c * 4 + r] = orig[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    let orig = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[((c + r) % 4) * 4 + r] = orig[c * 4 + r];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[c * 4], s[c * 4 + 1], s[c * 4 + 2], s[c * 4 + 3]];
+        s[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        s[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        s[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        s[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[c * 4], s[c * 4 + 1], s[c * 4 + 2], s[c * 4 + 3]];
+        s[c * 4] = gf_mul(col[0], 0x0E) ^ gf_mul(col[1], 0x0B) ^ gf_mul(col[2], 0x0D) ^ gf_mul(col[3], 0x09);
+        s[c * 4 + 1] = gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0E) ^ gf_mul(col[2], 0x0B) ^ gf_mul(col[3], 0x0D);
+        s[c * 4 + 2] = gf_mul(col[0], 0x0D) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0E) ^ gf_mul(col[3], 0x0B);
+        s[c * 4 + 3] = gf_mul(col[0], 0x0B) ^ gf_mul(col[1], 0x0D) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0E);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sbox_has_known_landmarks() {
+        let sbox = build_sbox();
+        // Canonical spot values from FIPS-197.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7C);
+        assert_eq!(sbox[0x53], 0xED);
+        assert_eq!(sbox[0xFF], 0x16);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let sbox = build_sbox();
+        let mut seen = [false; 256];
+        for v in sbox {
+            assert!(!seen[v as usize], "duplicate S-box value {v:#x}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        assert_eq!(gf_mul(1, 0xAB), 0xAB);
+        assert_eq!(gf_mul(0, 0xAB), 0);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ];
+        let pt = [
+            0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A,
+            0x0B, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn avalanche_in_plaintext() {
+        let aes = Aes128::new(&[0x42; 16]);
+        let a = aes.encrypt_block(&[0u8; 16]);
+        let mut flipped = [0u8; 16];
+        flipped[0] = 1;
+        let b = aes.encrypt_block(&flipped);
+        let diff: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!(
+            (40..=88).contains(&diff),
+            "single-bit flip changed {diff}/128 bits"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(key in proptest::array::uniform16(any::<u8>()),
+                     pt in proptest::array::uniform16(any::<u8>())) {
+            let aes = Aes128::new(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+    }
+}

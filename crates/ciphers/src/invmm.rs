@@ -1,0 +1,180 @@
+//! The i-NVMM incremental-encryption model (paper ref \[4\]).
+//!
+//! i-NVMM keeps *hot* pages in plaintext for speed and encrypts *inert*
+//! pages — pages not accessed for a window — in the background; everything
+//! left is encrypted at power-down. The model tracks page states against a
+//! cycle clock so the simulator can sample the encrypted fraction over time
+//! (Fig. 8) and size the power-down exposure window (the 14.6 s the paper
+//! quotes against i-NVMM in §2).
+
+use std::collections::HashMap;
+
+/// Page lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Plaintext in memory (recently used).
+    Hot,
+    /// Encrypted in memory.
+    Encrypted,
+}
+
+/// Tracks page heat and drives incremental background encryption.
+#[derive(Debug, Clone)]
+pub struct InertPageTracker {
+    /// Bytes per page.
+    pub page_bytes: u64,
+    /// Idle window (in cycles) after which a page is considered inert.
+    pub inert_window: u64,
+    pages: HashMap<u64, PageEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    last_access: u64,
+    state: PageState,
+}
+
+impl InertPageTracker {
+    /// Creates a tracker (the reference design uses 4 KiB pages).
+    pub fn new(page_bytes: u64, inert_window: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        InertPageTracker {
+            page_bytes,
+            inert_window,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Page index of a byte address.
+    pub fn page_of(&self, address: u64) -> u64 {
+        address / self.page_bytes
+    }
+
+    /// Records an access at cycle `now`. Returns `true` if the page had to
+    /// be decrypted first (the access pays the decryption latency).
+    ///
+    /// A page touched for the first time holds no ciphertext yet (it was
+    /// never written through the engine), so only *re-heating* a page the
+    /// background scrub previously encrypted pays the decryption cost.
+    pub fn on_access(&mut self, address: u64, now: u64) -> bool {
+        let page = self.page_of(address);
+        let entry = self.pages.entry(page).or_insert(PageEntry {
+            last_access: now,
+            state: PageState::Hot,
+        });
+        let was_encrypted = entry.state == PageState::Encrypted;
+        entry.state = PageState::Hot;
+        entry.last_access = now;
+        was_encrypted
+    }
+
+    /// Background scrub at cycle `now`: encrypts every hot page idle for at
+    /// least the inert window. Returns the number of pages encrypted.
+    pub fn scrub(&mut self, now: u64) -> usize {
+        let window = self.inert_window;
+        let mut encrypted = 0;
+        for entry in self.pages.values_mut() {
+            if entry.state == PageState::Hot && now.saturating_sub(entry.last_access) >= window {
+                entry.state = PageState::Encrypted;
+                encrypted += 1;
+            }
+        }
+        encrypted
+    }
+
+    /// Number of pages ever touched.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of currently hot (plaintext) pages.
+    pub fn hot_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|e| e.state == PageState::Hot)
+            .count()
+    }
+
+    /// Fraction of touched memory currently encrypted (1.0 when nothing has
+    /// been touched — untouched memory is ciphertext at rest).
+    pub fn fraction_encrypted(&self) -> f64 {
+        if self.pages.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.hot_pages() as f64 / self.pages.len() as f64
+    }
+
+    /// Power-down: encrypts every remaining hot page. Returns
+    /// `(pages_encrypted, seconds)` given an AES engine throughput in
+    /// bytes/second — the attacker's cold-boot window against i-NVMM.
+    pub fn power_down(&mut self, aes_bytes_per_second: f64) -> (usize, f64) {
+        let hot = self.hot_pages();
+        for entry in self.pages.values_mut() {
+            entry.state = PageState::Encrypted;
+        }
+        let bytes = hot as u64 * self.page_bytes;
+        (hot, bytes as f64 / aes_bytes_per_second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> InertPageTracker {
+        InertPageTracker::new(4096, 1_000_000)
+    }
+
+    #[test]
+    fn first_touch_is_free_reheat_decrypts() {
+        let mut t = tracker();
+        assert!(!t.on_access(0x1234, 0), "fresh page holds no ciphertext");
+        assert!(!t.on_access(0x1000, 10), "same page already hot");
+        assert_eq!(t.hot_pages(), 1);
+        t.scrub(5_000_000);
+        assert!(t.on_access(0x1000, 5_000_001), "re-heat pays decryption");
+    }
+
+    #[test]
+    fn scrub_encrypts_idle_pages_only() {
+        let mut t = tracker();
+        t.on_access(0x0000, 0); // page 0
+        t.on_access(0x2000, 900_000); // page 2, recent
+        assert_eq!(t.scrub(1_000_000), 1);
+        assert_eq!(t.hot_pages(), 1);
+        assert!((t.fraction_encrypted() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rehot_after_scrub_pays_decryption() {
+        let mut t = tracker();
+        t.on_access(0x0000, 0);
+        t.scrub(2_000_000);
+        assert!(t.on_access(0x0000, 2_000_001), "re-access decrypts again");
+    }
+
+    #[test]
+    fn untouched_memory_counts_encrypted() {
+        let t = tracker();
+        assert_eq!(t.fraction_encrypted(), 1.0);
+    }
+
+    #[test]
+    fn power_down_encrypts_everything_with_window() {
+        let mut t = tracker();
+        for p in 0..10u64 {
+            t.on_access(p * 4096, 0);
+        }
+        // 10 hot 4 KiB pages at 100 MB/s -> 40960/1e8 s.
+        let (pages, secs) = t.power_down(100.0e6);
+        assert_eq!(pages, 10);
+        assert!((secs - 40960.0 / 100.0e6).abs() < 1e-12);
+        assert_eq!(t.fraction_encrypted(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_page_size() {
+        InertPageTracker::new(1000, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline memory-encryption schemes the paper compares SPE against.
+//!
+//! Three baselines appear in the paper's Figs. 7–8 and Table 3:
+//!
+//! * **AES block cipher** — full-strength encryption of every cache line
+//!   ([`Aes128`] implemented from first principles: the S-box is *computed*
+//!   from the GF(2⁸) inverse + affine map rather than transcribed, and the
+//!   cipher is validated against the FIPS-197 test vectors). Line-level
+//!   modes live in [`modes`].
+//! * **Stream cipher** \[5, 8\] — pad-ahead XOR encryption with low read
+//!   latency but large pad-storage area. The keystream generator is a full
+//!   [`Trivium`] implementation; [`StreamMemoryCipher`] applies it per cache
+//!   line with an address/version tweak.
+//! * **i-NVMM** \[4\] — incremental encryption of *inert* pages (pages not
+//!   touched for a window), with the remainder encrypted at power-down;
+//!   modelled by [`InertPageTracker`].
+//!
+//! [`SchemeProfile`] carries the latency/area figures of the paper's
+//! Table 3 so the cycle-level simulator and the harness share one source of
+//! truth.
+
+pub mod aes;
+pub mod invmm;
+pub mod modes;
+pub mod profile;
+pub mod stream;
+pub mod trivium;
+
+pub use aes::Aes128;
+pub use invmm::InertPageTracker;
+pub use modes::{AesCtr, AesEcb};
+pub use profile::SchemeProfile;
+pub use stream::StreamMemoryCipher;
+pub use trivium::Trivium;

@@ -1,0 +1,45 @@
+//! Development aid: sweep SPECU parameters and measure avalanche balance.
+
+use spe_core::datasets;
+use spe_core::{Key, Specu, SpecuConfig};
+
+fn bias(bytes: &[u8]) -> f64 {
+    let ones: u64 = bytes.iter().map(|b| b.count_ones() as u64).sum();
+    ones as f64 / (bytes.len() * 8) as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for rounds in [1usize, 2] {
+        for beta in [1.0f64] {
+            let config = SpecuConfig {
+                rounds,
+                context_beta: beta,
+                ..SpecuConfig::default()
+            };
+            let mut specu = Specu::with_config(Key::from_seed(1), config)?;
+            // Ciphertext level histogram for all-zero plaintext, random keys.
+            let mut hist = [0usize; 4];
+            for seed in 0..200u64 {
+                specu.load_key(Key::from_seed(seed * 7 + 1));
+                let ct = specu.encrypt_block(&[0u8; 16])?;
+                for byte in ct.data() {
+                    for k in 0..4 {
+                        hist[(byte >> (6 - 2 * k) & 3) as usize] += 1;
+                    }
+                }
+            }
+            let total: usize = hist.iter().sum();
+            let ka = datasets::key_avalanche(&mut specu, 32 * 1024, 11)?;
+            let pa = datasets::plaintext_avalanche(&mut specu, 32 * 1024, 12)?;
+            let ld = datasets::density_pt(&mut specu, 32 * 1024, 13, false)?;
+            println!(
+                "rounds={rounds} beta={beta}: hist {:?} key-aval {:.3} pt-aval {:.3} lowden {:.3}",
+                hist.map(|h| (h as f64 / total as f64 * 100.0).round() as i64),
+                bias(&ka),
+                bias(&pa),
+                bias(&ld)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Development aid: per-block popcount dispersion of the PT-avalanche
+//! stream (block-frequency test proxy; binomial(128, 0.5) has variance 32).
+
+use spe_core::datasets;
+use spe_core::{Key, Specu, SpecuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (rounds, threshold) in [(2usize, 0.35f64), (2, 0.30), (3, 0.35), (3, 0.30)] {
+        let config = SpecuConfig {
+            rounds,
+            train_threshold: threshold,
+            ..SpecuConfig::default()
+        };
+        let mut specu = Specu::with_config(Key::from_seed(1), config)?;
+        let bytes = datasets::plaintext_avalanche(&mut specu, 256 * 1024, 5)?;
+        let counts: Vec<f64> = bytes
+            .chunks(16)
+            .map(|b| b.iter().map(|x| x.count_ones() as f64).sum())
+            .collect();
+        let mean: f64 = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var: f64 =
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        println!(
+            "rounds={rounds} th={threshold}: mean {mean:.1} var {var:.1} (binomial: 64.0 / 32.0)"
+        );
+    }
+    Ok(())
+}

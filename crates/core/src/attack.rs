@@ -1,0 +1,363 @@
+//! Attack experiments (§3 threat model, §6 security analysis).
+//!
+//! These are *executable* versions of the paper's arguments:
+//!
+//! * [`wrong_order_decrypt`] — Fig. 2b: decrypting with the correct PoEs in
+//!   the wrong order corrupts the plaintext.
+//! * [`known_plaintext_ambiguity`] — §6.2.2: a cell covered by overlapping
+//!   polyominoes admits many pulse combinations that explain the observed
+//!   resistance change, forcing the attacker back to brute force.
+//! * [`brute_force_reduced`] — an actual exhaustive search on a reduced
+//!   instance (tiny LUT, few PoEs), demonstrating the cost scaling that
+//!   §6.2.1 extrapolates.
+
+use crate::error::SpeError;
+use crate::specu::{Specu, BLOCK_BYTES};
+use spe_crossbar::CellAddr;
+use spe_memristor::Pulse;
+
+/// Result of the Fig. 2b wrong-order experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrongOrderReport {
+    /// Plaintext recovered with the correct (reverse) order.
+    pub correct: [u8; BLOCK_BYTES],
+    /// "Plaintext" recovered with a wrong order.
+    pub wrong: [u8; BLOCK_BYTES],
+    /// Number of mismatching bytes between the two.
+    pub corrupted_bytes: usize,
+}
+
+/// Runs Fig. 2b: encrypt, then decrypt once with the correct reversed
+/// schedule and once with the PoEs in forward (wrong) order.
+///
+/// # Errors
+///
+/// Propagates [`SpeError`] from the SPECU.
+pub fn wrong_order_decrypt(
+    specu: &mut Specu,
+    plaintext: &[u8; BLOCK_BYTES],
+) -> Result<WrongOrderReport, SpeError> {
+    let block = specu.encrypt_block(plaintext)?;
+    let correct = specu.decrypt_block(&block)?;
+
+    // Wrong order: replay the *forward* schedule inverses (first PoE first).
+    let schedule = specu.schedule(block.tweak())?;
+    let mut arr = rebuild_array(specu, &block.states)?;
+    for _ in 0..specu.config().rounds {
+        for (poe, pulse) in schedule.steps() {
+            arr.apply_pulse_inverse(*poe, *pulse)?;
+        }
+    }
+    let wrong = crate::specu::levels_to_bytes(&arr.levels());
+    let corrupted_bytes = correct.iter().zip(&wrong).filter(|(a, b)| a != b).count();
+    Ok(WrongOrderReport {
+        correct,
+        wrong,
+        corrupted_bytes,
+    })
+}
+
+fn rebuild_array(
+    specu: &Specu,
+    states: &[f64],
+) -> Result<spe_crossbar::FastArray, SpeError> {
+    let mut arr = spe_crossbar::FastArray::new(
+        spe_crossbar::Dims::square8(),
+        specu.config().device.clone(),
+        *specu.fast_params(),
+        specu.kernel().clone(),
+    )?;
+    arr.set_states(states)?;
+    Ok(arr)
+}
+
+/// §6.2.2 known-plaintext analysis for one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmbiguityReport {
+    /// The analysed cell.
+    pub cell: CellAddr,
+    /// How many polyominoes of the schedule cover it.
+    pub coverage: usize,
+    /// Number of pulse combinations consistent with the observed state
+    /// change (1 ⇒ the attacker learns the pulses; >1 ⇒ ambiguous).
+    pub consistent_combinations: usize,
+}
+
+/// Counts pulse combinations consistent with a known plaintext/ciphertext
+/// pair at one cell.
+///
+/// The attacker knows the PoE addresses and the cell's initial and final
+/// analog state, and enumerates LUT pulse pairs; every pair whose combined
+/// nominal effect matches the observation (within `tolerance` of the logit
+/// shift) stays on the candidate list.
+///
+/// The analysis runs on the *analog* pulse semantics (the paper's §6.2.2
+/// argument is about analog resistance transitions); the keyed schedule is
+/// shared with whatever variant the SPECU is configured for.
+///
+/// # Errors
+///
+/// Propagates [`SpeError`] from the SPECU.
+pub fn known_plaintext_ambiguity(
+    specu: &mut Specu,
+    plaintext: &[u8; BLOCK_BYTES],
+    tolerance: f64,
+) -> Result<Vec<AmbiguityReport>, SpeError> {
+    let block = specu.encrypt_block(plaintext)?;
+    let schedule = specu.schedule(block.tweak())?;
+
+    // Forward-simulate to get pre/post states (the attacker has these for a
+    // known plaintext).
+    let mut arr = rebuild_array(specu, &{
+        let mut tmp = rebuild_array(specu, &vec![0.0; 64])?;
+        tmp.write_levels(&crate::specu::bytes_to_levels(plaintext))?;
+        tmp.states().to_vec()
+    })?;
+    let pre = arr.states().to_vec();
+    for (poe, pulse) in schedule.steps() {
+        arr.apply_pulse(*poe, *pulse)?;
+    }
+    let post = arr.states().to_vec();
+
+    let dims = spe_crossbar::Dims::square8();
+    let vt = specu.config().device.v_threshold;
+    let mut reports = Vec::new();
+    for cell in dims.iter() {
+        // Which schedule steps cover this cell (geometric membership)?
+        let covering: Vec<(CellAddr, Pulse)> = schedule
+            .steps()
+            .iter()
+            .filter(|(poe, pulse)| {
+                let (dr, dc) = cell.offset_from(*poe);
+                specu.kernel().at(dr, dc) * pulse.voltage.abs() >= vt
+            })
+            .copied()
+            .collect();
+        if covering.len() < 2 {
+            continue;
+        }
+        // States are stored in logit coordinates, so the observed shift is
+        // a direct difference.
+        let observed = post[dims.index(cell)] - pre[dims.index(cell)];
+        // Enumerate pulse choices at each covering PoE from the 32-entry LUT.
+        let lut = specu.voltages().pulses().to_vec();
+        let mut consistent = 0usize;
+        let mut assign = vec![0usize; covering.len()];
+        loop {
+            let mut total = 0.0;
+            for (slot, (poe, _)) in assign.iter().zip(&covering) {
+                let p = lut[*slot];
+                let (dr, dc) = cell.offset_from(*poe);
+                let v = p.voltage * specu.kernel().at(dr, dc);
+                total += specu.fast_params().logit_shift(v, p.width);
+            }
+            if (total - observed).abs() <= tolerance {
+                consistent += 1;
+            }
+            // Odometer increment over the assignment vector.
+            let mut k = 0;
+            loop {
+                assign[k] += 1;
+                if assign[k] < lut.len() {
+                    break;
+                }
+                assign[k] = 0;
+                k += 1;
+                if k == assign.len() {
+                    break;
+                }
+            }
+            if k == assign.len() {
+                break;
+            }
+        }
+        reports.push(AmbiguityReport {
+            cell,
+            coverage: covering.len(),
+            consistent_combinations: consistent,
+        });
+    }
+    Ok(reports)
+}
+
+/// Result of the reduced exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BruteForceRunReport {
+    /// Schedules tried before the plaintext was recovered.
+    pub attempts: usize,
+    /// Total size of the reduced schedule space.
+    pub space: usize,
+    /// Whether the true schedule was found.
+    pub recovered: bool,
+}
+
+/// Exhaustively searches a *reduced* schedule space: `poes` PoEs from the
+/// SPECU's LUT (known set, unknown order) and a pruned pulse LUT of
+/// `pulse_choices` entries. Demonstrates §6.2.1's scaling on an instance
+/// small enough to actually enumerate.
+///
+/// # Errors
+///
+/// Propagates [`SpeError`] from the SPECU.
+///
+/// # Panics
+///
+/// Panics if `poes > 5` (the factorial space would be excessive for a test
+/// helper) or `poes == 0`.
+pub fn brute_force_reduced(
+    specu: &mut Specu,
+    plaintext: &[u8; BLOCK_BYTES],
+    poes: usize,
+    pulse_choices: usize,
+) -> Result<BruteForceRunReport, SpeError> {
+    assert!((1..=5).contains(&poes), "reduced search supports 1..=5 PoEs");
+    let poe_list: Vec<CellAddr> = specu.addresses().poes()[..poes].to_vec();
+    let lut: Vec<Pulse> = specu.voltages().pulses()[..pulse_choices].to_vec();
+
+    // The "true" schedule the victim used (first `poes` steps of a keyed
+    // schedule restricted to the reduced space).
+    let mut prng_schedule = Vec::new();
+    {
+        let steps = specu.schedule(0)?;
+        for (i, poe) in poe_list.iter().enumerate() {
+            let (_, pulse) = steps.steps()[i % steps.len()];
+            // Snap the pulse to the reduced LUT.
+            let snapped = lut
+                .iter()
+                .min_by(|a, b| {
+                    let da = (a.width - pulse.width).abs() + (a.voltage - pulse.voltage).abs();
+                    let db = (b.width - pulse.width).abs() + (b.voltage - pulse.voltage).abs();
+                    da.partial_cmp(&db).expect("finite widths")
+                })
+                .copied()
+                .expect("non-empty LUT");
+            prng_schedule.push((*poe, snapped));
+        }
+    }
+
+    // Victim encryption.
+    let mut victim = rebuild_array(specu, &{
+        let mut tmp = rebuild_array(specu, &vec![0.0; 64])?;
+        tmp.write_levels(&crate::specu::bytes_to_levels(plaintext))?;
+        tmp.states().to_vec()
+    })?;
+    for (poe, pulse) in &prng_schedule {
+        victim.apply_pulse(*poe, *pulse)?;
+    }
+    let cipher_states = victim.states().to_vec();
+
+    // Exhaustive search over (permutation, pulse assignment).
+    let mut attempts = 0usize;
+    let mut recovered = false;
+    let perms = permutations(poes);
+    let space = perms.len() * lut.len().pow(poes as u32);
+    'search: for perm in &perms {
+        let mut assign = vec![0usize; poes];
+        loop {
+            attempts += 1;
+            let mut arr = rebuild_array(specu, &cipher_states)?;
+            // Candidate decryption: reverse order of the candidate schedule.
+            for k in (0..poes).rev() {
+                arr.apply_pulse_inverse(poe_list[perm[k]], lut[assign[k]])?;
+            }
+            if crate::specu::levels_to_bytes(&arr.levels()) == *plaintext {
+                recovered = true;
+                break 'search;
+            }
+            let mut k = 0;
+            loop {
+                assign[k] += 1;
+                if assign[k] < lut.len() {
+                    break;
+                }
+                assign[k] = 0;
+                k += 1;
+                if k == poes {
+                    break;
+                }
+            }
+            if k == poes {
+                break;
+            }
+        }
+    }
+    Ok(BruteForceRunReport {
+        attempts,
+        space,
+        recovered,
+    })
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let smaller = permutations(n - 1);
+    let mut out = Vec::new();
+    for p in smaller {
+        for pos in 0..=p.len() {
+            let mut q: Vec<usize> = p.clone();
+            q.insert(pos, n - 1);
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use std::sync::OnceLock;
+
+    fn specu() -> Specu {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xA77AC)).expect("specu"))
+            .clone()
+    }
+
+    #[test]
+    fn wrong_order_corrupts() {
+        let mut s = specu();
+        let pt = *b"confidential doc";
+        let report = wrong_order_decrypt(&mut s, &pt).expect("experiment");
+        assert_eq!(report.correct, pt, "correct order must work");
+        assert!(
+            report.corrupted_bytes > 0,
+            "wrong order should corrupt the recovery"
+        );
+    }
+
+    #[test]
+    fn overlapping_cells_are_ambiguous() {
+        let mut s = specu();
+        let pt = *b"known  plaintext";
+        let reports = known_plaintext_ambiguity(&mut s, &pt, 0.05).expect("analysis");
+        assert!(!reports.is_empty(), "schedule must overlap somewhere");
+        let ambiguous = reports
+            .iter()
+            .filter(|r| r.consistent_combinations > 1)
+            .count();
+        assert!(
+            ambiguous > 0,
+            "at least one covered cell must admit multiple pulse explanations"
+        );
+    }
+
+    #[test]
+    fn reduced_brute_force_recovers_with_many_attempts() {
+        let mut s = specu();
+        let pt = *b"toy  target  blk";
+        let report = brute_force_reduced(&mut s, &pt, 2, 4).expect("search");
+        assert!(report.recovered, "the reduced space contains the schedule");
+        assert!(report.space >= 32);
+        assert!(report.attempts >= 1);
+    }
+
+    #[test]
+    fn permutation_helper_counts() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+    }
+}

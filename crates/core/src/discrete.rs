@@ -1,0 +1,249 @@
+//! Closed-loop SPE: the program-verify variant of the sneak pulse.
+//!
+//! The open-loop analog variant ([`crate::specu::SpeVariant::Analog`])
+//! applies a single voltage pulse per PoE. Empirically (see EXPERIMENTS.md)
+//! that leaves the ciphertext level distribution bimodal — cells either
+//! stay near their plaintext level or rail — which cannot pass the paper's
+//! Table 2 randomness criteria.
+//!
+//! MLC NVMMs do not program cells with single open-loop pulses in the first
+//! place: the write path uses *closed-loop program-verify pulse trains*
+//! (§5.1 notes the crossbar "uses several different pulse widths to program
+//! the memory cells"). This module models SPE built on that machinery: the
+//! pulse train at a PoE moves every polyomino member by an *independently
+//! keyed number of level steps*, cyclically through the level ladder, with
+//! each step additionally mixed with a weighted, nonlinear (conductance)
+//! image of the other members' levels.
+//!
+//! * **Exactly invertible** — the member sweep is triangular (predecessors
+//!   updated, successors original), so the reverse sweep reconstructs each
+//!   member's context and subtracts the same step count.
+//! * **Order-sensitive** — contexts change between pulses, so replaying
+//!   PoEs in the wrong order fails (Fig. 2b), exactly like the analog
+//!   variant.
+//! * **Balanced** — level steps are uniform over ℤ₄, so ciphertext levels
+//!   are uniform and the Table 2 datasets are statistically flat.
+
+use crate::error::SpeError;
+use spe_crossbar::{CellAddr, Dims};
+
+/// Number of MLC levels.
+const LEVELS: u8 = 4;
+
+/// Nonlinear level-to-conductance contribution table. Cell conductance is a
+/// nonlinear function of its level (resistance steps are equal, conductance
+/// steps are not), so the verify comparator's view of a neighbouring cell
+/// is a *nonlinear* image of its level. Without this nonlinearity the
+/// between-run difference dynamics are linear mod 4 and diffusion stalls in
+/// small invariant subspaces.
+const CONDUCTANCE: [u32; 4] = [0, 1, 3, 2];
+
+/// A crossbar's quantized level state under closed-loop SPE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscreteArray {
+    dims: Dims,
+    levels: Vec<u8>,
+}
+
+impl DiscreteArray {
+    /// Creates an array with every cell at level 0 (`00`).
+    pub fn new(dims: Dims) -> Self {
+        DiscreteArray {
+            levels: vec![0; dims.cells()],
+            dims,
+        }
+    }
+
+    /// The per-cell levels, row-major (values 0..4).
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Overwrites the level state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::BadLength`] on a size mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is outside `0..4`.
+    pub fn set_levels(&mut self, levels: &[u8]) -> Result<(), SpeError> {
+        if levels.len() != self.levels.len() {
+            return Err(SpeError::BadLength {
+                expected: self.levels.len(),
+                actual: levels.len(),
+            });
+        }
+        assert!(levels.iter().all(|l| *l < LEVELS), "levels must be 0..4");
+        self.levels.copy_from_slice(levels);
+        Ok(())
+    }
+
+    /// Applies one PoE pulse train: member cell `k` moves by
+    /// `dir · (steps[k] + mix_k)` (mod 4), where `steps[k]` is that member's
+    /// independent keyed level step and `mix_k` a weighted mod-4 sum of the
+    /// *other* members' levels under the triangular sweep.
+    ///
+    /// `members` must be sorted (the SPECU passes the geometric membership
+    /// in address order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps.len() != members.len()`.
+    pub fn apply_train(&mut self, members: &[CellAddr], steps: &[u8], dir: i8, inverse: bool) {
+        assert_eq!(steps.len(), members.len(), "one step per member");
+        let idxs: Vec<usize> = members.iter().map(|a| self.dims.index(*a)).collect();
+        let order: Vec<usize> = if inverse {
+            (0..idxs.len()).rev().collect()
+        } else {
+            (0..idxs.len()).collect()
+        };
+        for k in order {
+            // Receiver-dependent weighted context (weights 1 and 3 are the
+            // units mod 4, patterned on (k + m) so every member sees its
+            // neighbours differently — this spreads a one-cell change into
+            // distinct deltas instead of a uniform shift). The independent
+            // per-member steps keep deltas uniform over the key even though
+            // the context is data-dependent, and the triangular sweep keeps
+            // the whole train exactly reconstructible during inversion.
+            let mut mix = 0u32;
+            for (m, idx) in idxs.iter().enumerate() {
+                if m != k {
+                    let w = 1 + 2 * ((k as u32 + m as u32) & 1);
+                    mix += w * CONDUCTANCE[self.levels[*idx] as usize];
+                }
+            }
+            let delta = (steps[k] as u32 + mix) % LEVELS as u32;
+            let delta = if dir < 0 {
+                (LEVELS as u32 - delta) % LEVELS as u32
+            } else {
+                delta
+            };
+            let idx = idxs[k];
+            let cur = self.levels[idx] as u32;
+            self.levels[idx] = if inverse {
+                ((cur + LEVELS as u32 - delta) % LEVELS as u32) as u8
+            } else {
+                ((cur + delta) % LEVELS as u32) as u8
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(cells: &[(usize, usize)]) -> Vec<CellAddr> {
+        let mut v: Vec<CellAddr> = cells.iter().map(|(r, c)| CellAddr::new(*r, *c)).collect();
+        v.sort();
+        v
+    }
+
+    fn random_levels(seed: u64, n: usize) -> Vec<u8> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) % 4) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn train_then_inverse_is_identity() {
+        let dims = Dims::square8();
+        let mut arr = DiscreteArray::new(dims);
+        arr.set_levels(&random_levels(3, 64)).expect("set");
+        let before = arr.levels().to_vec();
+        let m = members(&[(2, 2), (2, 3), (3, 2), (1, 2), (2, 1)]);
+        let steps = vec![3u8, 1, 0, 2, 3];
+        arr.apply_train(&m, &steps, 1, false);
+        assert_ne!(arr.levels(), &before[..]);
+        arr.apply_train(&m, &steps, 1, true);
+        assert_eq!(arr.levels(), &before[..]);
+    }
+
+    #[test]
+    fn sequences_invert_in_reverse_order() {
+        let dims = Dims::square8();
+        let mut arr = DiscreteArray::new(dims);
+        arr.set_levels(&random_levels(5, 64)).expect("set");
+        let before = arr.levels().to_vec();
+        let trains = [
+            (members(&[(1, 1), (1, 2), (2, 1)]), vec![2u8, 0, 1], 1i8),
+            (members(&[(2, 1), (2, 2), (3, 2)]), vec![1, 3, 2], -1),
+            (members(&[(1, 2), (2, 2), (2, 3)]), vec![3, 3, 0], 1),
+        ];
+        for (m, s, d) in &trains {
+            arr.apply_train(m, s, *d, false);
+        }
+        for (m, s, d) in trains.iter().rev() {
+            arr.apply_train(m, s, *d, true);
+        }
+        assert_eq!(arr.levels(), &before[..]);
+    }
+
+    #[test]
+    fn wrong_order_fails() {
+        let dims = Dims::square8();
+        let mut arr = DiscreteArray::new(dims);
+        arr.set_levels(&random_levels(7, 64)).expect("set");
+        let before = arr.levels().to_vec();
+        let trains = [
+            (members(&[(1, 1), (1, 2), (2, 1)]), vec![2u8, 1, 3], 1i8),
+            (members(&[(2, 1), (2, 2), (1, 2)]), vec![1, 0, 2], 1),
+        ];
+        for (m, s, d) in &trains {
+            arr.apply_train(m, s, *d, false);
+        }
+        // Invert in forward (wrong) order.
+        for (m, s, d) in &trains {
+            arr.apply_train(m, s, *d, true);
+        }
+        assert_ne!(arr.levels(), &before[..], "order must matter");
+    }
+
+    #[test]
+    fn context_diffuses_neighbour_changes() {
+        let dims = Dims::square8();
+        let m = members(&[(1, 1), (1, 2), (2, 1), (2, 2)]);
+        let mut a = DiscreteArray::new(dims);
+        let mut b = DiscreteArray::new(dims);
+        let mut levels = random_levels(9, 64);
+        a.set_levels(&levels).expect("set");
+        levels[9] = (levels[9] + 1) % 4; // cell (1,1)
+        b.set_levels(&levels).expect("set");
+        a.apply_train(&m, &[1, 2, 0, 3], 1, false);
+        b.apply_train(&m, &[1, 2, 0, 3], 1, false);
+        let diffs = a
+            .levels()
+            .iter()
+            .zip(b.levels())
+            .enumerate()
+            .filter(|(i, (x, y))| *i != 9 && x != y)
+            .count();
+        assert!(diffs > 0, "a member change must affect other members");
+    }
+
+    #[test]
+    fn negative_direction_is_inverse_of_positive_without_context() {
+        // With a single member there is no context; +step then -step with
+        // the same magnitude returns to start.
+        let dims = Dims::square8();
+        let mut arr = DiscreteArray::new(dims);
+        arr.set_levels(&random_levels(11, 64)).expect("set");
+        let before = arr.levels().to_vec();
+        let m = members(&[(4, 4)]);
+        arr.apply_train(&m, &[3], 1, false);
+        arr.apply_train(&m, &[3], -1, false);
+        assert_eq!(arr.levels(), &before[..]);
+    }
+
+    #[test]
+    fn set_levels_validates() {
+        let mut arr = DiscreteArray::new(Dims::square8());
+        assert!(arr.set_levels(&[0; 10]).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for SPE operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the SPE engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeError {
+    /// A crossbar-level failure (circuit solve, bad address, …).
+    Crossbar(spe_crossbar::CrossbarError),
+    /// PoE placement failed (ILP infeasible or budget exhausted).
+    Placement(spe_ilp::IlpError),
+    /// The SPECU has no key loaded (e.g. after power-down).
+    KeyNotLoaded,
+    /// TPM refused to release the key (platform authentication failed).
+    AuthenticationFailed {
+        /// The NVMM identity that was presented.
+        presented: u64,
+        /// The identity the TPM was provisioned for.
+        expected: u64,
+    },
+    /// A data buffer has the wrong size.
+    BadLength {
+        /// Expected byte count.
+        expected: usize,
+        /// Actual byte count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeError::Crossbar(e) => write!(f, "crossbar error: {e}"),
+            SpeError::Placement(e) => write!(f, "poe placement error: {e}"),
+            SpeError::KeyNotLoaded => write!(f, "no key loaded in the SPECU"),
+            SpeError::AuthenticationFailed {
+                presented,
+                expected,
+            } => write!(
+                f,
+                "TPM authentication failed: NVMM {presented:#x} != provisioned {expected:#x}"
+            ),
+            SpeError::BadLength { expected, actual } => {
+                write!(f, "bad buffer length: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for SpeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpeError::Crossbar(e) => Some(e),
+            SpeError::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<spe_crossbar::CrossbarError> for SpeError {
+    fn from(e: spe_crossbar::CrossbarError) -> Self {
+        SpeError::Crossbar(e)
+    }
+}
+
+impl From<spe_ilp::IlpError> for SpeError {
+    fn from(e: spe_ilp::IlpError) -> Self {
+        SpeError::Placement(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpeError::BadLength {
+            expected: 64,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(SpeError::KeyNotLoaded.to_string().contains("key"));
+    }
+
+    #[test]
+    fn conversion_from_substrate_errors() {
+        let c: SpeError = spe_crossbar::CrossbarError::SingularNetwork.into();
+        assert!(matches!(c, SpeError::Crossbar(_)));
+        let p: SpeError = spe_ilp::IlpError::Infeasible.into();
+        assert!(matches!(p, SpeError::Placement(_)));
+    }
+}

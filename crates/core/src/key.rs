@@ -1,0 +1,166 @@
+//! The 88-bit SPE secret key.
+
+use std::fmt;
+
+/// Number of key bits (§5.4: 44-bit PoE-sequence seed + 44-bit voltage
+/// seed for an 8×8 crossbar).
+pub const KEY_BITS: usize = 88;
+
+/// The SPE secret key.
+///
+/// The key is held in volatile SPECU storage and provisioned by the TPM at
+/// power-on; it never persists in the NVMM.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// The 88-bit value, in the low bits of a `u128`.
+    value: u128,
+}
+
+impl Key {
+    /// Mask of the valid 88 bits.
+    const MASK: u128 = (1u128 << KEY_BITS) - 1;
+
+    /// Builds a key from its raw 88-bit value (upper bits discarded).
+    pub fn from_value(value: u128) -> Self {
+        Key {
+            value: value & Self::MASK,
+        }
+    }
+
+    /// Expands a small seed into a full-width key (SplitMix64 over two
+    /// words) — convenient for tests and examples.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let k = spe_core::Key::from_seed(42);
+    /// assert_ne!(k, spe_core::Key::from_seed(43));
+    /// ```
+    pub fn from_seed(seed: u64) -> Self {
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let lo = mix(seed);
+        let hi = mix(seed ^ 0xA5A5_5A5A_1234_8765);
+        Key::from_value(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// The all-zero key (used by the plaintext-avalanche dataset).
+    pub fn zero() -> Self {
+        Key { value: 0 }
+    }
+
+    /// The all-ones key (high-density key dataset).
+    pub fn ones() -> Self {
+        Key { value: Self::MASK }
+    }
+
+    /// The raw 88-bit value.
+    pub fn value(&self) -> u128 {
+        self.value
+    }
+
+    /// The 44-bit address (PoE-sequence) seed — the low half.
+    pub fn address_seed(&self) -> u64 {
+        (self.value & ((1 << 44) - 1)) as u64
+    }
+
+    /// The 44-bit voltage seed — the high half.
+    pub fn voltage_seed(&self) -> u64 {
+        ((self.value >> 44) & ((1 << 44) - 1)) as u64
+    }
+
+    /// Returns the key with bit `i` flipped (key-avalanche dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 88`.
+    pub fn flip_bit(&self, i: usize) -> Key {
+        assert!(i < KEY_BITS, "key bit {i} out of range");
+        Key {
+            value: self.value ^ (1u128 << i),
+        }
+    }
+
+    /// The number of set bits.
+    pub fn weight(&self) -> u32 {
+        self.value.count_ones()
+    }
+
+    /// Every key of Hamming weight one (88 keys — low-density dataset).
+    pub fn weight_one_keys() -> impl Iterator<Item = Key> {
+        (0..KEY_BITS).map(|i| Key::zero().flip_bit(i))
+    }
+
+    /// Every key of Hamming weight two (88·87/2 keys).
+    pub fn weight_two_keys() -> impl Iterator<Item = Key> {
+        (0..KEY_BITS).flat_map(|i| ((i + 1)..KEY_BITS).map(move |j| Key::zero().flip_bit(i).flip_bit(j)))
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Keys are secrets: show only a short fingerprint in debug output.
+        write!(f, "Key(fp={:04x})", (self.value ^ (self.value >> 41)) as u16)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:022x}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_to_88_bits() {
+        let k = Key::from_value(u128::MAX);
+        assert_eq!(k.value() >> KEY_BITS, 0);
+        assert_eq!(k, Key::ones());
+        assert_eq!(k.weight(), 88);
+    }
+
+    #[test]
+    fn seed_halves_partition_the_key() {
+        let k = Key::from_value((0xABC_DEF0_1234 << 44) | 0x555_AAAA_0F0F);
+        assert_eq!(k.address_seed(), 0x555_AAAA_0F0F);
+        assert_eq!(k.voltage_seed(), 0xABC_DEF0_1234);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let k = Key::from_seed(9);
+        for i in [0, 43, 44, 87] {
+            assert_eq!(k.flip_bit(i).flip_bit(i), k);
+            assert_ne!(k.flip_bit(i), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_bounds() {
+        let _ = Key::zero().flip_bit(88);
+    }
+
+    #[test]
+    fn density_key_family_sizes() {
+        assert_eq!(Key::weight_one_keys().count(), 88);
+        assert_eq!(Key::weight_two_keys().count(), 88 * 87 / 2);
+        assert!(Key::weight_one_keys().all(|k| k.weight() == 1));
+        assert!(Key::weight_two_keys().all(|k| k.weight() == 2));
+    }
+
+    #[test]
+    fn debug_does_not_leak_value() {
+        let k = Key::from_seed(1234);
+        let dbg = format!("{k:?}");
+        let shown = format!("{k}");
+        assert!(!dbg.contains(&shown));
+    }
+}

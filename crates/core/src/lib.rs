@@ -1,0 +1,70 @@
+//! Sneak-path encryption (SPE) — the paper's primary contribution.
+//!
+//! SPE encrypts a memristor crossbar *in place* by enabling its sneak paths
+//! and applying a keyed sequence of voltage pulses at *points of encryption*
+//! (PoEs). Each pulse perturbs the analog resistance of every cell in the
+//! PoE's polyomino; the key determines the PoE order and the pulse
+//! voltage/width pair applied at each. Decryption replays the schedule in
+//! reverse with hysteresis-matched pulses. Because the pulses interact
+//! through the stored data, replaying them in any other order fails
+//! (Fig. 2b), and the ciphertext can only be decrypted on the same physical
+//! array.
+//!
+//! The crate provides:
+//!
+//! * [`Key`] — the 88-bit secret (44-bit address seed ∥ 44-bit voltage
+//!   seed, §5.4) and utilities for the Table 2 key datasets.
+//! * [`CoupledLcg`] — the coupled linear-congruential PRNG of ref. \[14\]
+//!   that expands the key into the pulse/PoE stream.
+//! * [`lut`] — the voltage/pulse-width and address LUTs of Fig. 1b.
+//! * [`PulseSchedule`] — a per-block schedule (PoE permutation + pulses).
+//! * [`Specu`] — the Sneak-Path Encryption Control Unit: block/line
+//!   encryption against the behavioral crossbar, validated against the
+//!   circuit engine.
+//! * [`SecureNvmm`] — an SPE-protected main memory with SPE-serial /
+//!   SPE-parallel policies, encrypted-fraction tracking and the power-down
+//!   lifecycle ([`Tpm`]).
+//! * [`datasets`] — the nine Table 2 dataset builders (avalanche,
+//!   correlation, density).
+//! * [`analysis`] + [`bignum`] — exact brute-force keyspace arithmetic
+//!   (§6.2) and the cold-boot window model (§6.4).
+//! * [`attack`] — attack experiments: wrong-order decryption, known- and
+//!   chosen-plaintext ambiguity, brute force on a reduced instance.
+//!
+//! # Example
+//!
+//! ```
+//! use spe_core::{Key, Specu};
+//!
+//! # fn main() -> Result<(), spe_core::SpeError> {
+//! let mut specu = Specu::new(Key::from_seed(7))?;
+//! let plaintext = *b"attack at dawn!!";
+//! let block = specu.encrypt_block(&plaintext)?;
+//! assert_ne!(block.data(), plaintext, "ciphertext differs");
+//! assert_eq!(specu.decrypt_block(&block)?, plaintext);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod attack;
+pub mod bignum;
+pub mod datasets;
+pub mod discrete;
+pub mod error;
+pub mod key;
+pub mod lut;
+pub mod nvmm;
+pub mod prng;
+pub mod schedule;
+pub mod specu;
+pub mod tpm;
+
+pub use bignum::BigUint;
+pub use error::SpeError;
+pub use key::Key;
+pub use nvmm::{SecureNvmm, SpeMode};
+pub use prng::CoupledLcg;
+pub use schedule::PulseSchedule;
+pub use specu::{CipherBlock, Specu, SpecuConfig, SpeVariant};
+pub use tpm::Tpm;

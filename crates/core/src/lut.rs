@@ -1,0 +1,156 @@
+//! The SPECU look-up tables (Fig. 1b): pulse voltage/width and PoE address.
+
+use spe_crossbar::CellAddr;
+use spe_memristor::Pulse;
+
+/// Number of distinct pulses the generator produces (§5.4: 16 widths at
+/// each of ±1 V).
+pub const PULSE_COUNT: usize = 32;
+
+/// The voltage/pulse-width LUT: maps a 5-bit PRNG value to one of 32
+/// pulses.
+///
+/// Widths start at the paper's Fig. 2 lower bound (0.04 µs) and extend to
+/// 0.2 µs so that with the calibrated device kinetics a full-drive pulse can
+/// traverse the whole four-level ladder (needed for ciphertext balance; see
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageLut {
+    pulses: Vec<Pulse>,
+}
+
+impl Default for VoltageLut {
+    fn default() -> Self {
+        VoltageLut::new(1.0, 0.04e-6, 0.2e-6)
+    }
+}
+
+impl VoltageLut {
+    /// Builds the LUT with 16 linearly spaced widths between `w_min` and
+    /// `w_max` at each of `±amplitude`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width range is empty or non-positive.
+    pub fn new(amplitude: f64, w_min: f64, w_max: f64) -> Self {
+        assert!(w_min > 0.0 && w_max > w_min, "invalid width range");
+        let mut pulses = Vec::with_capacity(PULSE_COUNT);
+        for i in 0..16 {
+            let w = w_min + (w_max - w_min) * i as f64 / 15.0;
+            pulses.push(Pulse::new(amplitude, w));
+        }
+        for i in 0..16 {
+            let w = w_min + (w_max - w_min) * i as f64 / 15.0;
+            pulses.push(Pulse::new(-amplitude, w));
+        }
+        VoltageLut { pulses }
+    }
+
+    /// The pulse for a LUT index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn pulse(&self, index: usize) -> Pulse {
+        self.pulses[index]
+    }
+
+    /// All 32 pulses.
+    pub fn pulses(&self) -> &[Pulse] {
+        &self.pulses
+    }
+}
+
+/// The address LUT: the PoE cells selected by the placement ILP, in
+/// canonical order. The key's PRNG permutes this list to produce the
+/// per-block PoE sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressLut {
+    poes: Vec<CellAddr>,
+}
+
+impl AddressLut {
+    /// Builds the LUT from PoE cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poes` is empty.
+    pub fn new(poes: Vec<CellAddr>) -> Self {
+        assert!(!poes.is_empty(), "address LUT needs at least one PoE");
+        AddressLut { poes }
+    }
+
+    /// Number of PoEs.
+    pub fn len(&self) -> usize {
+        self.poes.len()
+    }
+
+    /// Whether the LUT is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.poes.is_empty()
+    }
+
+    /// The PoE at a canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn poe(&self, index: usize) -> CellAddr {
+        self.poes[index]
+    }
+
+    /// All PoEs in canonical order.
+    pub fn poes(&self) -> &[CellAddr] {
+        &self.poes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_lut_has_32_distinct_pulses() {
+        let lut = VoltageLut::default();
+        assert_eq!(lut.pulses().len(), 32);
+        let mut seen = std::collections::HashSet::new();
+        for p in lut.pulses() {
+            assert!(seen.insert((p.voltage.to_bits(), p.width.to_bits())));
+        }
+    }
+
+    #[test]
+    fn voltage_lut_polarity_split() {
+        let lut = VoltageLut::default();
+        assert!(lut.pulses()[..16].iter().all(|p| p.voltage > 0.0));
+        assert!(lut.pulses()[16..].iter().all(|p| p.voltage < 0.0));
+    }
+
+    #[test]
+    fn widths_span_requested_range() {
+        let lut = VoltageLut::new(1.0, 0.04e-6, 0.2e-6);
+        assert!((lut.pulse(0).width - 0.04e-6).abs() < 1e-12);
+        assert!((lut.pulse(15).width - 0.2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid width range")]
+    fn rejects_empty_width_range() {
+        let _ = VoltageLut::new(1.0, 0.1e-6, 0.04e-6);
+    }
+
+    #[test]
+    fn address_lut_roundtrip() {
+        let poes = vec![CellAddr::new(0, 1), CellAddr::new(3, 4)];
+        let lut = AddressLut::new(poes.clone());
+        assert_eq!(lut.len(), 2);
+        assert_eq!(lut.poe(1), CellAddr::new(3, 4));
+        assert_eq!(lut.poes(), &poes[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn address_lut_rejects_empty() {
+        let _ = AddressLut::new(Vec::new());
+    }
+}

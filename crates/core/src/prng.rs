@@ -1,0 +1,203 @@
+//! Coupled linear congruential generator (paper ref \[14\]).
+//!
+//! Katti & Kavasseri propose coupling two LCGs so each perturbs the other's
+//! state, removing the lattice structure of a single LCG. SPE uses the
+//! 88-bit key to seed the pair (44 bits each, §5.4) and draws the PoE
+//! permutation and the voltage/width selections from the output stream.
+
+use crate::key::Key;
+
+/// A pair of cross-coupled 44-bit LCGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoupledLcg {
+    x: u64,
+    y: u64,
+}
+
+impl CoupledLcg {
+    /// Modulus mask: the generators run modulo 2⁴⁴.
+    const MASK: u64 = (1 << 44) - 1;
+    // Multipliers chosen ≡ 5 (mod 8) for full period modulo a power of two;
+    // the exact constants are an implementation choice.
+    const A1: u64 = 0x5DEECE66D & Self::MASK;
+    const A2: u64 = 0x2545F4914F5 & Self::MASK;
+    const C1: u64 = 0xB;
+    const C2: u64 = 0x3C6EF372FD;
+
+    /// Seeds the pair from an SPE key (address seed → x, voltage seed → y).
+    pub fn new(key: &Key) -> Self {
+        CoupledLcg::with_tweak(key, 0)
+    }
+
+    /// Seeds the pair from a key and a block tweak (the NVMM block address)
+    /// so every memory block gets an independent schedule.
+    ///
+    /// Both seed words pass through a finalizing hash so that a single key
+    /// bit flip fully reseeds the stream (the key-avalanche property of
+    /// §6.1 requires it; raw LCG seeding diffuses low bits too slowly).
+    pub fn with_tweak(key: &Key, tweak: u64) -> Self {
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let t1 = tweak.wrapping_mul(0x9E3779B97F4A7C15);
+        let t2 = tweak.wrapping_mul(0xC2B2AE3D27D4EB4F).rotate_left(31);
+        // Cross both key halves into each seed word so every key bit
+        // reaches both generators.
+        let a = mix(key.address_seed() ^ t1 ^ mix(key.voltage_seed()));
+        let b = mix(key.voltage_seed() ^ t2 ^ mix(key.address_seed() ^ 0xABCD));
+        let mut g = CoupledLcg {
+            x: a & Self::MASK | 1,
+            y: b & Self::MASK | 2,
+        };
+        for _ in 0..8 {
+            g.next_raw();
+        }
+        g
+    }
+
+    /// One coupled step; returns 44 pseudo-random bits.
+    fn next_raw(&mut self) -> u64 {
+        // Each generator's next state folds in the other's current state.
+        let nx = (Self::A1.wrapping_mul(self.x).wrapping_add(Self::C1).wrapping_add(self.y >> 13))
+            & Self::MASK;
+        let ny = (Self::A2.wrapping_mul(self.y).wrapping_add(Self::C2).wrapping_add(nx >> 7))
+            & Self::MASK;
+        self.x = nx;
+        self.y = ny;
+        // Combine both states; the XOR hides either generator's lattice.
+        (nx ^ ny.rotate_left(21)) & Self::MASK
+    }
+
+    /// The next `bits`-wide value (1..=44 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 44.
+    pub fn next_bits(&mut self, bits: u32) -> u64 {
+        assert!((1..=44).contains(&bits), "bits must be in 1..=44");
+        self.next_raw() >> (44 - bits)
+    }
+
+    /// An unbiased value in `0..bound` (rejection sampling on the top bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or `bound > 2^32`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0 && bound <= 1 << 32, "bound out of range");
+        let bits = 64 - (bound - 1).leading_zeros().min(63);
+        let bits = bits.clamp(1, 44);
+        loop {
+            let v = self.next_bits(bits);
+            if v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Fisher–Yates permutation of `0..n` driven by the generator.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        let k = Key::from_seed(5);
+        let a: Vec<u64> = {
+            let mut g = CoupledLcg::new(&k);
+            (0..16).map(|_| g.next_bits(44)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = CoupledLcg::new(&k);
+            (0..16).map(|_| g.next_bits(44)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let mut g1 = CoupledLcg::new(&Key::from_seed(5));
+        let mut g2 = CoupledLcg::new(&Key::from_seed(5).flip_bit(0));
+        let same = (0..32).filter(|_| g1.next_bits(44) == g2.next_bits(44)).count();
+        assert!(same <= 1, "streams should diverge, {same}/32 collisions");
+    }
+
+    #[test]
+    fn tweak_changes_stream() {
+        let k = Key::from_seed(7);
+        let mut g1 = CoupledLcg::with_tweak(&k, 0);
+        let mut g2 = CoupledLcg::with_tweak(&k, 1);
+        let same = (0..32).filter(|_| g1.next_bits(44) == g2.next_bits(44)).count();
+        assert!(same <= 1);
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut g = CoupledLcg::new(&Key::from_seed(11));
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = g.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut g = CoupledLcg::new(&Key::from_seed(13));
+        let mut counts = [0usize; 8];
+        const N: usize = 16000;
+        for _ in 0..N {
+            counts[g.next_below(8) as usize] += 1;
+        }
+        for c in counts {
+            let expected = N / 8;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 4) as u64,
+                "bucket count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        let mut g = CoupledLcg::new(&Key::from_seed(17));
+        let p = g.permutation(16);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutations_vary_with_key() {
+        let a = CoupledLcg::new(&Key::from_seed(1)).permutation(16);
+        let b = CoupledLcg::new(&Key::from_seed(2)).permutation(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn monobit_balance_of_stream() {
+        let mut g = CoupledLcg::new(&Key::from_seed(23));
+        let mut ones = 0u64;
+        const DRAWS: u64 = 4000;
+        for _ in 0..DRAWS {
+            ones += g.next_bits(44).count_ones() as u64;
+        }
+        let total = DRAWS * 44;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.48..0.52).contains(&ratio), "bit bias {ratio}");
+    }
+}

@@ -1,0 +1,804 @@
+//! The Sneak-Path Encryption Control Unit (SPECU).
+
+use crate::error::SpeError;
+use crate::key::Key;
+use crate::lut::{AddressLut, VoltageLut};
+use crate::schedule::{PulseSchedule, DEFAULT_POE_PLACEMENT};
+use spe_crossbar::{CellAddr, Dims, FastArray, Kernel, WireParams};
+use spe_crossbar::fast::FastParams;
+use spe_ilp::{PlacementProblem, PolyominoShape};
+use spe_memristor::{DeviceParams, MlcLevel};
+use std::fmt;
+
+/// Bytes encrypted per crossbar block (64 MLC-2 cells = 128 bits).
+pub const BLOCK_BYTES: usize = 16;
+/// Bytes per cache line (four crossbar blocks, §6.2.1).
+pub const LINE_BYTES: usize = 64;
+
+/// Which physical realization of the sneak pulse the SPECU drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeVariant {
+    /// Single open-loop analog pulse per PoE (the paper's literal
+    /// description). Exactly invertible, but the ciphertext level
+    /// distribution is bimodal — see EXPERIMENTS.md (Table 2 discussion).
+    Analog,
+    /// Closed-loop program-verify pulse train per PoE: keyed cyclic level
+    /// steps with context mixing ([`crate::discrete`]). Statistically flat
+    /// ciphertext; the default.
+    ClosedLoop,
+}
+
+/// SPECU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecuConfig {
+    /// The sneak-pulse realization.
+    pub variant: SpeVariant,
+    /// Memristor device parameters.
+    pub device: DeviceParams,
+    /// Crossbar wire/periphery parameters.
+    pub wires: WireParams,
+    /// Number of PoEs per 8×8 block (paper: 16).
+    pub poe_count: usize,
+    /// Encryption rounds (full passes over the schedule). The paper's
+    /// single analog pass is `1`; the closed-loop default is `2`, the
+    /// smallest count with full plaintext avalanche (see EXPERIMENTS.md).
+    pub rounds: usize,
+    /// Strength of the cross-cell data coupling inside a polyomino
+    /// (analog variant).
+    pub context_beta: f64,
+    /// Membership voltage threshold of closed-loop pulse trains. Trains
+    /// accumulate sub-threshold programming over many verify pulses, so
+    /// they reach further than a single open-loop pulse; the default keeps
+    /// the polyomino near the paper's ~11 cells with heavy overlap.
+    pub train_threshold: f64,
+    /// Kernel calibration samples against the circuit engine.
+    pub calibration_samples: usize,
+}
+
+impl SpecuConfig {
+    /// The paper-literal configuration: single open-loop analog pulses.
+    pub fn paper_analog() -> Self {
+        SpecuConfig {
+            variant: SpeVariant::Analog,
+            rounds: 1,
+            ..SpecuConfig::default()
+        }
+    }
+
+    /// The statistical-grade operating point used by the Table 2 harness:
+    /// closed-loop trains, 3 rounds (binomial per-block dispersion).
+    pub fn statistical() -> Self {
+        SpecuConfig {
+            rounds: 3,
+            ..SpecuConfig::default()
+        }
+    }
+}
+
+impl Default for SpecuConfig {
+    fn default() -> Self {
+        SpecuConfig {
+            variant: SpeVariant::ClosedLoop,
+            device: DeviceParams::default(),
+            wires: WireParams::default(),
+            poe_count: 16,
+            rounds: 2,
+            context_beta: 2.0,
+            train_threshold: 0.35,
+            calibration_samples: 4,
+        }
+    }
+}
+
+/// An encrypted crossbar block: the analog cell states the NVMM physically
+/// holds after SPE (in the model's logit coordinates), plus the schedule
+/// tweak it was encrypted under.
+///
+/// An attacker reading the stolen NVMM sees only the quantized
+/// [`data`](CipherBlock::data); decryption needs the analog state *and* the
+/// key — which is exactly the paper's "decryptable only on the same NVMM"
+/// property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CipherBlock {
+    pub(crate) states: Vec<f64>,
+    pub(crate) data: [u8; BLOCK_BYTES],
+    pub(crate) tweak: u64,
+}
+
+impl CipherBlock {
+    /// The quantized ciphertext bytes (what a probe reads out).
+    pub fn data(&self) -> [u8; BLOCK_BYTES] {
+        self.data
+    }
+
+    /// Quantizes analog-variant states under explicit device parameters
+    /// (used by the hardware-avalanche study, where the reader's thresholds
+    /// differ from the writer's).
+    pub fn data_with_device(&self, device: &DeviceParams) -> [u8; BLOCK_BYTES] {
+        let mut out = [0u8; BLOCK_BYTES];
+        for (i, u) in self.states.iter().enumerate() {
+            let x = 1.0 / (1.0 + (-u.clamp(-40.0, 40.0)).exp());
+            let level = MlcLevel::quantize(device.resistance_at(x), device);
+            out[i / 4] |= level.bits() << (6 - 2 * (i % 4));
+        }
+        out
+    }
+
+    /// The raw cell states the NVMM physically holds (logit coordinates for
+    /// the analog variant, level values for the closed-loop variant).
+    pub fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    /// The schedule tweak (block address).
+    pub fn tweak(&self) -> u64 {
+        self.tweak
+    }
+
+    /// Rebuilds a block from its parts (e.g. NVMM storage).
+    pub fn from_parts(states: Vec<f64>, data: [u8; BLOCK_BYTES], tweak: u64) -> Self {
+        CipherBlock { states, data, tweak }
+    }
+}
+
+/// An encrypted 64-byte cache line (four blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CipherLine {
+    /// The four crossbar blocks of the line.
+    pub blocks: Vec<CipherBlock>,
+}
+
+impl CipherLine {
+    /// The quantized 64-byte ciphertext.
+    pub fn data(&self) -> [u8; LINE_BYTES] {
+        let mut out = [0u8; LINE_BYTES];
+        for (i, b) in self.blocks.iter().enumerate() {
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&b.data());
+        }
+        out
+    }
+}
+
+/// The Sneak-Path Encryption Control Unit.
+///
+/// Holds the (volatile) key, the calibrated behavioral crossbar model and
+/// the PoE placement; encrypts/decrypts 16-byte blocks and 64-byte lines.
+#[derive(Clone)]
+pub struct Specu {
+    key: Option<Key>,
+    config: SpecuConfig,
+    kernel: Kernel,
+    fast_params: FastParams,
+    addresses: AddressLut,
+    voltages: VoltageLut,
+    template: FastArray,
+}
+
+impl fmt::Debug for Specu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Specu")
+            .field("key_loaded", &self.key.is_some())
+            .field("poes", &self.addresses.len())
+            .field("rounds", &self.config.rounds)
+            .finish()
+    }
+}
+
+impl Specu {
+    /// Creates a SPECU with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if calibration or PoE placement fails.
+    pub fn new(key: Key) -> Result<Self, SpeError> {
+        Specu::with_config(key, SpecuConfig::default())
+    }
+
+    /// Creates a SPECU with an explicit configuration.
+    ///
+    /// The attenuation kernel is calibrated against the circuit engine and
+    /// the PoE placement is taken from the pinned default (validated in
+    /// tests) when the configuration matches the paper's 16-PoE / default-
+    /// device setup, or re-derived with the ILP otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if calibration fails or the ILP cannot place
+    /// `poe_count` PoEs covering every cell.
+    pub fn with_config(key: Key, config: SpecuConfig) -> Result<Self, SpeError> {
+        let mut kernel = Kernel::calibrate(
+            &config.device,
+            &config.wires,
+            config.calibration_samples,
+            0xDAC2014,
+        )?;
+        kernel.context_beta = config.context_beta;
+        let fast_params = FastParams::calibrated(&config.device)?;
+        let dims = Dims::square8();
+
+        let is_default_geometry = config.poe_count == 16
+            && config.device == DeviceParams::default()
+            && config.wires == WireParams::default();
+        let poes: Vec<CellAddr> = if is_default_geometry {
+            DEFAULT_POE_PLACEMENT
+                .iter()
+                .map(|(r, c)| CellAddr::new(*r, *c))
+                .collect()
+        } else {
+            let shape = PolyominoShape::from_offsets(
+                kernel.member_offsets(1.0, config.device.v_threshold),
+            );
+            cached_placement(&shape, config.poe_count)?
+        };
+        let template = FastArray::new(dims, config.device.clone(), fast_params, kernel.clone())?;
+        Ok(Specu {
+            key: Some(key),
+            config,
+            kernel,
+            fast_params,
+            addresses: AddressLut::new(poes),
+            voltages: VoltageLut::default(),
+            template,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpecuConfig {
+        &self.config
+    }
+
+    /// The PoE address LUT.
+    pub fn addresses(&self) -> &AddressLut {
+        &self.addresses
+    }
+
+    /// The pulse LUT.
+    pub fn voltages(&self) -> &VoltageLut {
+        &self.voltages
+    }
+
+    /// The calibrated attenuation kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The calibrated behavioral dynamics constants.
+    pub fn fast_params(&self) -> &FastParams {
+        &self.fast_params
+    }
+
+    /// Whether a key is currently loaded.
+    pub fn key_loaded(&self) -> bool {
+        self.key.is_some()
+    }
+
+    /// Clears the volatile key register (power-down).
+    pub fn clear_key(&mut self) {
+        self.key = None;
+    }
+
+    /// Loads a key (power-up, after TPM authentication).
+    pub fn load_key(&mut self, key: Key) {
+        self.key = Some(key);
+    }
+
+    fn key(&self) -> Result<&Key, SpeError> {
+        self.key.as_ref().ok_or(SpeError::KeyNotLoaded)
+    }
+
+    /// The schedule for a block tweak under the current key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::KeyNotLoaded`] after power-down.
+    pub fn schedule(&self, tweak: u64) -> Result<PulseSchedule, SpeError> {
+        Ok(PulseSchedule::generate(
+            self.key()?,
+            tweak,
+            &self.addresses,
+            &self.voltages,
+        ))
+    }
+
+    /// Encrypts a 16-byte block (tweak 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or the model rejects the
+    /// pulse schedule.
+    pub fn encrypt_block(&mut self, plaintext: &[u8; BLOCK_BYTES]) -> Result<CipherBlock, SpeError> {
+        self.encrypt_block_with_tweak(plaintext, 0)
+    }
+
+    /// Encrypts a 16-byte block under a block-address tweak.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or the model rejects the
+    /// pulse schedule.
+    pub fn encrypt_block_with_tweak(
+        &mut self,
+        plaintext: &[u8; BLOCK_BYTES],
+        tweak: u64,
+    ) -> Result<CipherBlock, SpeError> {
+        let schedule = self.schedule(tweak)?;
+        match self.config.variant {
+            SpeVariant::Analog => {
+                let mut arr = self.template.clone();
+                arr.write_levels(&bytes_to_levels(plaintext))?;
+                for _ in 0..self.config.rounds {
+                    for (poe, pulse) in schedule.steps() {
+                        arr.apply_pulse(*poe, *pulse)?;
+                    }
+                }
+                let states = arr.states().to_vec();
+                let block = CipherBlock {
+                    states,
+                    data: [0; BLOCK_BYTES],
+                    tweak,
+                };
+                let data = block.data_with_device(&self.config.device);
+                Ok(CipherBlock { data, ..block })
+            }
+            SpeVariant::ClosedLoop => {
+                let mut arr = crate::discrete::DiscreteArray::new(Dims::square8());
+                arr.set_levels(&bytes_to_level_values(plaintext))?;
+                let trains = self.train_steps(&schedule, tweak)?;
+                for round_trains in &trains {
+                    for (members, steps, dir) in round_trains {
+                        arr.apply_train(members, steps, *dir, false);
+                    }
+                }
+                let data = level_values_to_bytes(arr.levels());
+                Ok(CipherBlock {
+                    states: arr.levels().iter().map(|l| *l as f64).collect(),
+                    data,
+                    tweak,
+                })
+            }
+        }
+    }
+
+    /// Decrypts a block in place on the same (modelled) crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or the stored state has the
+    /// wrong size.
+    pub fn decrypt_block(&mut self, block: &CipherBlock) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        let schedule = self.schedule(block.tweak)?.reversed();
+        match self.config.variant {
+            SpeVariant::Analog => {
+                let mut arr = self.template.clone();
+                arr.set_states(&block.states)?;
+                for _ in 0..self.config.rounds {
+                    for (poe, pulse) in schedule.steps() {
+                        arr.apply_pulse_inverse(*poe, *pulse)?;
+                    }
+                }
+                Ok(levels_to_bytes(&arr.levels()))
+            }
+            SpeVariant::ClosedLoop => {
+                let mut arr = crate::discrete::DiscreteArray::new(Dims::square8());
+                let levels: Vec<u8> = block.states.iter().map(|l| *l as u8).collect();
+                arr.set_levels(&levels)?;
+                // The decrypt schedule is already reversed; regenerate the
+                // per-member step stream in *forward* order, then walk it
+                // backwards alongside the reversed schedule.
+                let forward = self.schedule(block.tweak)?;
+                let trains = self.train_steps(&forward, block.tweak)?;
+                for round_trains in trains.iter().rev() {
+                    for (members, steps, dir) in round_trains.iter().rev() {
+                        arr.apply_train(members, steps, *dir, true);
+                    }
+                }
+                let _ = schedule;
+                Ok(level_values_to_bytes(arr.levels()))
+            }
+        }
+    }
+
+    /// The member cells of a closed-loop train at a PoE (kernel offsets at
+    /// the train threshold, clipped to the array).
+    fn train_members(&self, poe: CellAddr, amplitude: f64) -> Vec<CellAddr> {
+        let dims = Dims::square8();
+        let mut cells = Vec::new();
+        for (dr, dc) in self
+            .kernel
+            .member_offsets(amplitude, self.config.train_threshold)
+        {
+            let r = poe.row as isize + dr;
+            let c = poe.col as isize + dc;
+            if r >= 0 && c >= 0 {
+                let a = CellAddr::new(r as usize, c as usize);
+                if dims.contains(a) {
+                    cells.push(a);
+                }
+            }
+        }
+        cells.sort();
+        cells
+    }
+
+    /// Expands a schedule into closed-loop pulse trains: for every round and
+    /// PoE, the member cells, an independent keyed 2-bit level step *per
+    /// member* (drawn from the PRNG stream, §5.4), and the pulse polarity.
+    fn train_steps(
+        &self,
+        schedule: &PulseSchedule,
+        tweak: u64,
+    ) -> Result<Vec<Vec<Train>>, SpeError> {
+        let key = self.key()?;
+        // A separate PRNG domain from the schedule generation, bound to
+        // this crossbar's calibrated hardware fingerprint: the verify
+        // thresholds of the pulse trains derive from the device response,
+        // so a ciphertext is only invertible on the hardware that made it.
+        let mut stream = crate::prng::CoupledLcg::with_tweak(
+            key,
+            tweak ^ 0x5350_4543_5F54_524E ^ self.kernel.fingerprint(),
+        );
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        for round in 0..self.config.rounds {
+            // Alternate the PoE direction between rounds so every cell gets
+            // both an early and a late position in the sweep (symmetric
+            // diffusion for the avalanche datasets).
+            let steps_iter: Vec<&(CellAddr, spe_memristor::Pulse)> = if round % 2 == 1 {
+                schedule.steps().iter().rev().collect()
+            } else {
+                schedule.steps().iter().collect()
+            };
+            let mut trains = Vec::with_capacity(schedule.len());
+            for (poe, pulse) in steps_iter {
+                let members = self.train_members(*poe, pulse.voltage);
+                // Each member's step folds in a quantized image of its
+                // calibrated sneak attenuation: the pulse train's verify
+                // loop terminates against device-specific analog levels, so
+                // the ciphertext is bound to this crossbar's physical
+                // parameters (the hardware-avalanche property of §6.1 and
+                // the "decrypt only on the same NVMM" claim).
+                let steps: Vec<u8> = members
+                    .iter()
+                    .map(|m| {
+                        let (dr, dc) = m.offset_from(*poe);
+                        let q = (self.kernel.at(dr, dc) * 59.0).floor() as u64;
+                        ((stream.next_below(4) + q) % 4) as u8
+                    })
+                    .collect();
+                let dir = if pulse.voltage >= 0.0 { 1 } else { -1 };
+                trains.push((members, steps, dir));
+            }
+            rounds.push(trains);
+        }
+        Ok(rounds)
+    }
+
+    /// Encrypts a 64-byte cache line (four blocks, per-block tweaks derived
+    /// from the line address).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded.
+    pub fn encrypt_line(
+        &mut self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+    ) -> Result<CipherLine, SpeError> {
+        let mut blocks = Vec::with_capacity(4);
+        for i in 0..4 {
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
+            blocks.push(self.encrypt_block_with_tweak(&block, line_address * 4 + i as u64)?);
+        }
+        Ok(CipherLine { blocks })
+    }
+
+    /// Decrypts a 64-byte cache line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or the line is malformed.
+    pub fn decrypt_line(&mut self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        if line.blocks.len() != 4 {
+            return Err(SpeError::BadLength {
+                expected: 4,
+                actual: line.blocks.len(),
+            });
+        }
+        let mut out = [0u8; LINE_BYTES];
+        for (i, block) in line.blocks.iter().enumerate() {
+            let pt = self.decrypt_block(block)?;
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
+        }
+        Ok(out)
+    }
+
+    /// Encryption latency in NVMM cycles: one write pulse per PoE (§6.4
+    /// sizes the cold-boot window from these 16 operations).
+    pub fn encryption_cycles(&self) -> u32 {
+        (self.addresses.len() * self.config.rounds) as u32
+    }
+}
+
+/// One closed-loop pulse train: member cells, per-member keyed level steps
+/// and the pulse polarity.
+type Train = (Vec<CellAddr>, Vec<u8>, i8);
+
+/// Process-wide memo of ILP placements, keyed by (shape, PoE count): the
+/// hardware-avalanche dataset constructs many SPECUs over the same few
+/// perturbed geometries and the placement solve dominates construction.
+fn cached_placement(
+    shape: &PolyominoShape,
+    poe_count: usize,
+) -> Result<Vec<CellAddr>, SpeError> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type PlacementKey = (Vec<(isize, isize)>, usize);
+    static CACHE: OnceLock<Mutex<HashMap<PlacementKey, Vec<CellAddr>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (shape.offsets().to_vec(), poe_count);
+    if let Some(hit) = cache.lock().expect("placement cache lock").get(&key) {
+        return Ok(hit.clone());
+    }
+    let dims = Dims::square8();
+    let problem = PlacementProblem {
+        rows: dims.rows,
+        cols: dims.cols,
+        shape: shape.clone(),
+        security_margin: 0,
+        max_coverage: 2,
+    };
+    let solution = problem.with_poe_count(poe_count)?;
+    let poes: Vec<CellAddr> = solution
+        .poes
+        .iter()
+        .map(|(r, c)| CellAddr::new(*r, *c))
+        .collect();
+    cache
+        .lock()
+        .expect("placement cache lock")
+        .insert(key, poes.clone());
+    Ok(poes)
+}
+
+/// Expands 16 bytes into 64 raw 2-bit level values (MSB-first pairs).
+pub fn bytes_to_level_values(bytes: &[u8; BLOCK_BYTES]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    for b in bytes {
+        for k in 0..4 {
+            out.push(b >> (6 - 2 * k) & 0b11);
+        }
+    }
+    out
+}
+
+/// Packs 64 raw 2-bit level values back into 16 bytes.
+///
+/// # Panics
+///
+/// Panics if `levels` does not hold exactly 64 entries.
+pub fn level_values_to_bytes(levels: &[u8]) -> [u8; BLOCK_BYTES] {
+    assert_eq!(levels.len(), 64, "a block holds 64 cells");
+    let mut out = [0u8; BLOCK_BYTES];
+    for (i, level) in levels.iter().enumerate() {
+        out[i / 4] |= (level & 0b11) << (6 - 2 * (i % 4));
+    }
+    out
+}
+
+/// Expands 16 bytes into 64 MLC-2 levels (MSB-first pairs).
+pub fn bytes_to_levels(bytes: &[u8; BLOCK_BYTES]) -> Vec<MlcLevel> {
+    let mut levels = Vec::with_capacity(64);
+    for b in bytes {
+        for k in 0..4 {
+            levels.push(MlcLevel::from_bits(b >> (6 - 2 * k) & 0b11));
+        }
+    }
+    levels
+}
+
+/// Packs 64 MLC-2 levels back into 16 bytes.
+///
+/// # Panics
+///
+/// Panics if `levels` does not hold exactly 64 entries.
+pub fn levels_to_bytes(levels: &[MlcLevel]) -> [u8; BLOCK_BYTES] {
+    assert_eq!(levels.len(), 64, "a block holds 64 cells");
+    let mut out = [0u8; BLOCK_BYTES];
+    for (i, level) in levels.iter().enumerate() {
+        out[i / 4] |= level.bits() << (6 - 2 * (i % 4));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    // SPECU construction calibrates against the circuit engine; share one
+    // instance across tests to keep the suite fast.
+    fn specu() -> Specu {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xDAC)).expect("specu"))
+            .clone()
+    }
+
+    #[test]
+    fn bytes_levels_roundtrip() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| (i * 37 + 5) as u8);
+        assert_eq!(levels_to_bytes(&bytes_to_levels(&bytes)), bytes);
+    }
+
+    #[test]
+    fn default_placement_covers_fully() {
+        // The pinned placement must cover all 64 cells (decryptability) and
+        // respect the saturation cap under the calibrated five-cell plus.
+        let shape =
+            PolyominoShape::from_offsets([(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]);
+        let mut coverage = vec![0usize; 64];
+        for (r, c) in DEFAULT_POE_PLACEMENT {
+            for (cr, cc) in shape.covered(8, 8, (r, c)) {
+                coverage[cr * 8 + cc] += 1;
+            }
+        }
+        assert!(
+            coverage.iter().all(|c| *c >= 1),
+            "uncovered cells: {:?}",
+            coverage
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c == 0)
+                .map(|(i, _)| (i / 8, i % 8))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn encrypt_changes_ciphertext() {
+        let mut s = specu();
+        let pt = *b"sixteen byte msg";
+        let ct = s.encrypt_block(&pt).expect("encrypt");
+        assert_ne!(ct.data(), pt);
+        // A healthy fraction of the 128 bits should flip.
+        let flips: u32 = ct
+            .data()
+            .iter()
+            .zip(&pt)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!(flips >= 16, "only {flips}/128 ciphertext bits differ");
+    }
+
+    #[test]
+    fn decrypt_recovers_plaintext() {
+        let mut s = specu();
+        for seed in 0..8u8 {
+            let pt: [u8; 16] = core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            let ct = s.encrypt_block(&pt).expect("encrypt");
+            assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let mut s = specu();
+        let pt = *b"top secret block";
+        let ct = s.encrypt_block(&pt).expect("encrypt");
+        let mut other = specu();
+        other.load_key(Key::from_seed(999));
+        let wrong = other.decrypt_block(&ct).expect("runs");
+        assert_ne!(wrong, pt, "a different key must not decrypt");
+    }
+
+    #[test]
+    fn ciphertext_depends_on_tweak() {
+        let mut s = specu();
+        let pt = [0u8; 16];
+        let a = s.encrypt_block_with_tweak(&pt, 0).expect("encrypt");
+        let b = s.encrypt_block_with_tweak(&pt, 1).expect("encrypt");
+        assert_ne!(a.data(), b.data(), "tweak must decorrelate blocks");
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut s = specu();
+        let pt: [u8; 64] = core::array::from_fn(|i| (i * 11 + 3) as u8);
+        let line = s.encrypt_line(&pt, 0x40).expect("encrypt");
+        assert_ne!(line.data(), pt);
+        assert_eq!(s.decrypt_line(&line).expect("decrypt"), pt);
+    }
+
+    #[test]
+    fn power_down_clears_key() {
+        let mut s = specu();
+        s.clear_key();
+        assert!(!s.key_loaded());
+        assert!(matches!(
+            s.encrypt_block(&[0; 16]),
+            Err(SpeError::KeyNotLoaded)
+        ));
+        s.load_key(Key::from_seed(0xDAC));
+        assert!(s.encrypt_block(&[0; 16]).is_ok());
+    }
+
+    #[test]
+    fn encryption_cycles_match_poe_count() {
+        let s = specu();
+        // Two rounds over 16 PoEs.
+        assert_eq!(s.encryption_cycles(), 32);
+    }
+
+    #[test]
+    fn statistical_preset_roundtrips() {
+        // Odd round counts use the alternating-direction schedule; the
+        // reverse replay must still be exact.
+        let mut s = Specu::with_config(Key::from_seed(5), SpecuConfig::statistical())
+            .expect("specu");
+        for seed in 0..4u8 {
+            let pt: [u8; 16] =
+                core::array::from_fn(|i| seed.wrapping_mul(53).wrapping_add(i as u8 * 7));
+            let ct = s.encrypt_block_with_tweak(&pt, seed as u64).expect("encrypt");
+            assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt);
+        }
+    }
+
+    #[test]
+    fn config_presets_differ_as_documented() {
+        let analog = SpecuConfig::paper_analog();
+        assert_eq!(analog.variant, SpeVariant::Analog);
+        assert_eq!(analog.rounds, 1);
+        let stat = SpecuConfig::statistical();
+        assert_eq!(stat.variant, SpeVariant::ClosedLoop);
+        assert_eq!(stat.rounds, 3);
+        assert_eq!(SpecuConfig::default().rounds, 2);
+    }
+
+    #[test]
+    fn ciphertext_is_bound_to_the_hardware() {
+        // §6.1 hardware avalanche / "decrypt only on the same NVMM": the
+        // same key and plaintext on perturbed hardware give a different
+        // ciphertext, and the foreign ciphertext does not decrypt here.
+        use spe_memristor::Variation;
+        let mut nominal = specu();
+        let config = SpecuConfig {
+            device: DeviceParams::default().with_variation(&Variation::uniform(0.08)),
+            ..SpecuConfig::default()
+        };
+        let mut foreign = Specu::with_config(Key::from_seed(0xDAC), config).expect("specu");
+        let pt = *b"hardware boundpt";
+        let c_nominal = nominal.encrypt_block(&pt).expect("encrypt");
+        let c_foreign = foreign.encrypt_block(&pt).expect("encrypt");
+        assert_ne!(
+            c_nominal.data(),
+            c_foreign.data(),
+            "perturbed hardware must change the ciphertext"
+        );
+        // Moving the foreign ciphertext onto the nominal device fails.
+        let migrated = nominal.decrypt_block(&c_foreign).expect("runs");
+        assert_ne!(migrated, pt, "ciphertext must not decrypt on other hardware");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn roundtrip_random_blocks(pt in proptest::array::uniform16(any::<u8>()), tweak in 0u64..1000) {
+            let mut s = specu();
+            let ct = s.encrypt_block_with_tweak(&pt, tweak).expect("encrypt");
+            prop_assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt);
+        }
+
+        // Encrypt/decrypt under every variant stays a bijection: two
+        // distinct plaintexts never collide in ciphertext.
+        #[test]
+        fn encryption_is_injective(a in proptest::array::uniform16(any::<u8>()),
+                                   b in proptest::array::uniform16(any::<u8>())) {
+            prop_assume!(a != b);
+            let mut s = specu();
+            let ca = s.encrypt_block(&a).expect("encrypt");
+            let cb = s.encrypt_block(&b).expect("encrypt");
+            prop_assert_ne!(ca.data(), cb.data());
+        }
+    }
+}

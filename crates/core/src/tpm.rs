@@ -1,0 +1,79 @@
+//! Trusted Platform Module model (§4.1 initialization).
+//!
+//! The TPM is provisioned with the SPE key and the identity of the NVMM it
+//! belongs to. At power-on it authenticates the platform (here: the NVMM
+//! identity) and releases the key into the SPECU's volatile register; the
+//! key never touches persistent storage.
+
+use crate::error::SpeError;
+use crate::key::Key;
+
+/// A minimal TPM: provisioned key + platform identity check.
+#[derive(Clone)]
+pub struct Tpm {
+    key: Key,
+    nvmm_id: u64,
+}
+
+impl std::fmt::Debug for Tpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tpm").field("nvmm_id", &self.nvmm_id).finish()
+    }
+}
+
+impl Tpm {
+    /// Provisions a TPM with a key bound to an NVMM identity.
+    pub fn provision(key: Key, nvmm_id: u64) -> Self {
+        Tpm { key, nvmm_id }
+    }
+
+    /// The identity this TPM is bound to.
+    pub fn nvmm_id(&self) -> u64 {
+        self.nvmm_id
+    }
+
+    /// Authenticates a platform and releases the key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::AuthenticationFailed`] when the presented NVMM
+    /// identity does not match the provisioned one (e.g. the attacker moved
+    /// the NVMM to another machine).
+    pub fn authenticate(&self, presented_nvmm_id: u64) -> Result<Key, SpeError> {
+        if presented_nvmm_id == self.nvmm_id {
+            Ok(self.key)
+        } else {
+            Err(SpeError::AuthenticationFailed {
+                presented: presented_nvmm_id,
+                expected: self.nvmm_id,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_key_to_matching_platform() {
+        let tpm = Tpm::provision(Key::from_seed(1), 0xABCD);
+        assert_eq!(tpm.authenticate(0xABCD).expect("auth"), Key::from_seed(1));
+    }
+
+    #[test]
+    fn rejects_foreign_platform() {
+        let tpm = Tpm::provision(Key::from_seed(1), 0xABCD);
+        assert!(matches!(
+            tpm.authenticate(0x1234),
+            Err(SpeError::AuthenticationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let tpm = Tpm::provision(Key::from_seed(77), 9);
+        let s = format!("{tpm:?}");
+        assert!(!s.contains(&Key::from_seed(77).to_string()));
+    }
+}

@@ -1,0 +1,32 @@
+//! Diagnostic dump of the sneak-path voltage field (development aid).
+
+use spe_crossbar::{CellAddr, Crossbar, Dims};
+use spe_memristor::{DeviceParams, MlcLevel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = Dims::square8();
+    let mut xbar = Crossbar::new(dims, DeviceParams::default())?;
+    let levels: Vec<MlcLevel> = (0..64)
+        .map(|i| MlcLevel::from_bits(((i * 7 + 3) % 4) as u8))
+        .collect();
+    xbar.write_levels(&levels)?;
+    let poe = CellAddr::new(3, 4);
+    let field = xbar.sneak_voltages(poe, 1.0)?;
+    println!("cell voltages (PoE at {poe}):");
+    for i in 0..8 {
+        for j in 0..8 {
+            print!("{:7.3}", field.at(CellAddr::new(i, j)));
+        }
+        println!();
+    }
+    println!("\nsense test:");
+    for level in MlcLevel::ALL {
+        xbar.write_level(CellAddr::new(2, 5), level)?;
+        let sensed = xbar.sense_resistance(CellAddr::new(2, 5))?;
+        println!(
+            "level {level}: nominal {:>9.0} sensed {sensed:>12.1}",
+            level.nominal_resistance(xbar.device())
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,500 @@
+//! The 1T1M crossbar array: storage, readout and sneak-pulse dynamics.
+
+use crate::bias::Bias;
+use crate::dense::solve;
+use crate::error::CrossbarError;
+use crate::geometry::{CellAddr, Dims};
+use crate::netlist::{assemble, col_node, row_node, Gating};
+use crate::polyomino::Polyomino;
+use crate::wires::WireParams;
+use spe_memristor::{mlc, DeviceParams, Memristor, MlcLevel, Pulse};
+
+/// Per-cell voltages resulting from a nodal-analysis solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageField {
+    dims: Dims,
+    volts: Vec<f64>,
+}
+
+impl VoltageField {
+    /// The voltage across the cell at `addr` (row node minus column node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn at(&self, addr: CellAddr) -> f64 {
+        self.volts[self.dims.index(addr)]
+    }
+
+    /// Iterates over `(cell, voltage)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellAddr, f64)> + '_ {
+        self.dims.iter().map(move |a| (a, self.at(a)))
+    }
+
+    /// Array dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Extracts the polyomino at `threshold` for a given PoE.
+    pub fn polyomino(&self, poe: CellAddr, threshold: f64) -> Polyomino {
+        Polyomino::from_voltages(poe, self.iter(), threshold)
+    }
+}
+
+/// Result of applying a sneak pulse to the array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseReport {
+    /// The cells that exceeded the threshold (with their initial voltages).
+    pub polyomino: Polyomino,
+    /// Number of nodal solves performed.
+    pub solves: usize,
+    /// Maximum absolute state change of any cell.
+    pub max_delta_x: f64,
+}
+
+/// An `R × C` 1T1M crossbar with circuit-accurate sneak-pulse dynamics.
+///
+/// Normal reads and writes use row-select gating (no sneak paths); SPE
+/// pulses switch every transistor on and resolve the full resistive network
+/// each timestep, integrating every cell's TEAM dynamics under its solved
+/// voltage.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    dims: Dims,
+    device: DeviceParams,
+    wires: WireParams,
+    cells: Vec<Memristor>,
+}
+
+impl Crossbar {
+    /// Creates an array with every cell at logic `00`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] if dimensions or parameters are invalid.
+    pub fn new(dims: Dims, device: DeviceParams) -> Result<Self, CrossbarError> {
+        Crossbar::with_wires(dims, device, WireParams::default())
+    }
+
+    /// Creates an array with explicit wire parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] if dimensions or parameters are invalid.
+    pub fn with_wires(
+        dims: Dims,
+        device: DeviceParams,
+        wires: WireParams,
+    ) -> Result<Self, CrossbarError> {
+        dims.validate()?;
+        device.validate()?;
+        wires.validate()?;
+        let cell = Memristor::with_level(&device, MlcLevel::L00);
+        Ok(Crossbar {
+            dims,
+            device,
+            wires,
+            cells: vec![cell; dims.cells()],
+        })
+    }
+
+    /// Array dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Device parameters shared by every cell.
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// Wire parameters.
+    pub fn wires(&self) -> &WireParams {
+        &self.wires
+    }
+
+    /// Immutable access to a cell device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn cell(&self, addr: CellAddr) -> &Memristor {
+        &self.cells[self.dims.index(addr)]
+    }
+
+    /// Mutable access to a cell device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn cell_mut(&mut self, addr: CellAddr) -> &mut Memristor {
+        let idx = self.dims.index(addr);
+        &mut self.cells[idx]
+    }
+
+    /// The quantized logic level of every cell, row-major.
+    pub fn levels(&self) -> Vec<MlcLevel> {
+        self.cells.iter().map(Memristor::level).collect()
+    }
+
+    /// The raw analog state of every cell, row-major.
+    pub fn states(&self) -> Vec<f64> {
+        self.cells.iter().map(Memristor::state).collect()
+    }
+
+    /// Programs a single cell to a logic level (closed-loop write, normal
+    /// row-select addressing — no sneak paths, paper Fig. 3a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad address.
+    pub fn write_level(&mut self, addr: CellAddr, level: MlcLevel) -> Result<(), CrossbarError> {
+        self.check(addr)?;
+        let idx = self.dims.index(addr);
+        mlc::program_verify(&mut self.cells[idx], level, 8192);
+        Ok(())
+    }
+
+    /// Programs the whole array from row-major levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DataSizeMismatch`] if `levels` has the wrong
+    /// length.
+    pub fn write_levels(&mut self, levels: &[MlcLevel]) -> Result<(), CrossbarError> {
+        if levels.len() != self.dims.cells() {
+            return Err(CrossbarError::DataSizeMismatch {
+                expected: self.dims.cells(),
+                actual: levels.len(),
+            });
+        }
+        for (cell, level) in self.cells.iter_mut().zip(levels) {
+            mlc::program_verify(cell, *level, 8192);
+        }
+        Ok(())
+    }
+
+    /// Reads the quantized logic level of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad address.
+    pub fn read_level(&self, addr: CellAddr) -> Result<MlcLevel, CrossbarError> {
+        self.check(addr)?;
+        Ok(self.cells[self.dims.index(addr)].level())
+    }
+
+    /// Senses a cell's resistance through the full addressed circuit path
+    /// (drivers + wires + cell), the way the real readout sees it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] on a bad address or a singular network.
+    pub fn sense_resistance(&self, addr: CellAddr) -> Result<f64, CrossbarError> {
+        self.check(addr)?;
+        let v_read = 0.2;
+        let bias = Bias::addressed(self.dims, addr, v_read);
+        let (g, b) = assemble(
+            self.dims,
+            &self.wires,
+            &bias,
+            Gating::Row(addr.row),
+            |i, j| self.cells[i * self.dims.cols + j].series_resistance(),
+        );
+        let v = solve(g, b).map_err(|_| CrossbarError::SingularNetwork)?;
+        let v_cell = v[row_node(self.dims, addr.row, addr.col)]
+            - v[col_node(self.dims, addr.row, addr.col)];
+        let r_series = self.cells[self.dims.index(addr)].series_resistance();
+        let i_cell = v_cell / r_series;
+        if i_cell.abs() < 1e-15 {
+            return Err(CrossbarError::SingularNetwork);
+        }
+        // Resistance inferred from the sensed current at the driver voltage.
+        Ok(v_read / i_cell - self.device.r_transistor)
+    }
+
+    /// Solves the sneak-path network for a pulse at `poe` without changing
+    /// any state, returning the full per-cell voltage field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] on a bad address or singular network.
+    pub fn sneak_voltages(
+        &self,
+        poe: CellAddr,
+        voltage: f64,
+    ) -> Result<VoltageField, CrossbarError> {
+        self.check(poe)?;
+        let bias = Bias::sneak_pulse(self.dims, poe, voltage);
+        let (g, b) = assemble(self.dims, &self.wires, &bias, Gating::AllOn, |i, j| {
+            self.cells[i * self.dims.cols + j].series_resistance()
+        });
+        let v = solve(g, b).map_err(|_| CrossbarError::SingularNetwork)?;
+        let volts = self
+            .dims
+            .iter()
+            .map(|a| {
+                v[row_node(self.dims, a.row, a.col)] - v[col_node(self.dims, a.row, a.col)]
+            })
+            .collect();
+        Ok(VoltageField {
+            dims: self.dims,
+            volts,
+        })
+    }
+
+    /// The polyomino a pulse at `poe` would affect, given the current data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] on a bad address or singular network.
+    pub fn polyomino_at(&self, poe: CellAddr, voltage: f64) -> Result<Polyomino, CrossbarError> {
+        let field = self.sneak_voltages(poe, voltage)?;
+        Ok(field.polyomino(poe, self.device.v_threshold))
+    }
+
+    /// Applies a sneak pulse at `poe`, integrating every cell's dynamics
+    /// under the solved voltage field. The network is re-solved every
+    /// `resolve_every` timesteps (1 = fully coupled; larger trades accuracy
+    /// for speed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] on a bad address or singular network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolve_every` is zero.
+    pub fn apply_sneak_pulse(
+        &mut self,
+        poe: CellAddr,
+        pulse: Pulse,
+        resolve_every: usize,
+    ) -> Result<PulseReport, CrossbarError> {
+        assert!(resolve_every > 0, "resolve_every must be at least 1");
+        self.check(poe)?;
+        let dt = self.device.dt;
+        let total_steps = (pulse.width / dt).round().max(0.0) as usize;
+        let mut polyomino: Option<Polyomino> = None;
+        let mut solves = 0;
+        let mut max_delta = 0.0f64;
+        let mut step = 0;
+        while step < total_steps {
+            let field = self.sneak_voltages(poe, pulse.voltage)?;
+            solves += 1;
+            if polyomino.is_none() {
+                polyomino = Some(field.polyomino(poe, self.device.v_threshold));
+            }
+            let chunk = resolve_every.min(total_steps - step);
+            for _ in 0..chunk {
+                for (idx, cell) in self.cells.iter_mut().enumerate() {
+                    let dx = cell.step(field.volts[idx], dt);
+                    max_delta = max_delta.max(dx.abs());
+                }
+            }
+            step += chunk;
+        }
+        let polyomino = match polyomino {
+            Some(p) => p,
+            None => self.polyomino_at(poe, pulse.voltage)?,
+        };
+        Ok(PulseReport {
+            polyomino,
+            solves,
+            max_delta_x: max_delta,
+        })
+    }
+
+    fn check(&self, addr: CellAddr) -> Result<(), CrossbarError> {
+        if self.dims.contains(addr) {
+            Ok(())
+        } else {
+            Err(CrossbarError::AddressOutOfBounds {
+                row: addr.row,
+                col: addr.col,
+                rows: self.dims.rows,
+                cols: self.dims.cols,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_levels(dims: Dims, seed: u64) -> Vec<MlcLevel> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..dims.cells())
+            .map(|_| MlcLevel::from_bits(rng.gen_range(0..4)))
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_every_cell() {
+        let dims = Dims::new(4, 4);
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        let levels = random_levels(dims, 7);
+        xbar.write_levels(&levels).expect("write");
+        for (i, addr) in dims.iter().enumerate() {
+            assert_eq!(xbar.read_level(addr).expect("read"), levels[i]);
+        }
+    }
+
+    #[test]
+    fn sense_resistance_tracks_level() {
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        let addr = CellAddr::new(2, 5);
+        for level in MlcLevel::ALL {
+            xbar.write_level(addr, level).expect("write");
+            let sensed = xbar.sense_resistance(addr).expect("sense");
+            let nominal = level.nominal_resistance(xbar.device());
+            // The sensed value includes divider/programming error, but must
+            // still quantize to the written level (that is what readout does).
+            assert_eq!(
+                MlcLevel::quantize(sensed.clamp(10.0e3, 200.0e3), xbar.device()),
+                level,
+                "sensed {sensed} for level {level} (nominal {nominal}) misquantizes"
+            );
+        }
+    }
+
+    #[test]
+    fn sneak_field_peaks_at_poe() {
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.write_levels(&random_levels(dims, 42)).expect("write");
+        let poe = CellAddr::new(3, 4);
+        let field = xbar.sneak_voltages(poe, 1.0).expect("solve");
+        let v_poe = field.at(poe);
+        assert!(v_poe > 0.8, "PoE voltage {v_poe}");
+        for (addr, v) in field.iter() {
+            assert!(
+                v.abs() <= v_poe.abs() + 1e-9,
+                "cell {addr} at {v} exceeds PoE {v_poe}"
+            );
+        }
+    }
+
+    #[test]
+    fn polyomino_is_local_and_nonempty() {
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.write_levels(&random_levels(dims, 3)).expect("write");
+        let poe = CellAddr::new(4, 4);
+        let poly = xbar.polyomino_at(poe, 1.0).expect("polyomino");
+        assert!(poly.contains(poe), "PoE must be inside its own polyomino");
+        assert!(
+            poly.len() >= 2 && poly.len() <= 32,
+            "polyomino should be a local group, got {} cells:\n{}",
+            poly.len(),
+            poly.render(dims)
+        );
+        // Local: every member within Chebyshev distance 4 of the PoE.
+        for (addr, _) in poly.iter() {
+            assert!(
+                addr.chebyshev(poe) <= 4,
+                "member {addr} too far from PoE {poe}:\n{}",
+                poly.render(dims)
+            );
+        }
+    }
+
+    #[test]
+    fn polyomino_shape_depends_on_data() {
+        let dims = Dims::square8();
+        let poe = CellAddr::new(3, 3);
+        let mut shapes = std::collections::HashSet::new();
+        for seed in 0..6 {
+            let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+            xbar.write_levels(&random_levels(dims, seed)).expect("write");
+            let poly = xbar.polyomino_at(poe, 1.0).expect("polyomino");
+            shapes.insert(poly.addrs());
+        }
+        assert!(
+            shapes.len() > 1,
+            "polyomino shape should vary with stored data"
+        );
+    }
+
+    #[test]
+    fn sneak_pulse_changes_state_inside_polyomino_only() {
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.write_levels(&random_levels(dims, 11)).expect("write");
+        let before = xbar.states();
+        let poe = CellAddr::new(2, 6);
+        let report = xbar
+            .apply_sneak_pulse(poe, Pulse::new(1.0, 0.05e-6), 4)
+            .expect("pulse");
+        let after = xbar.states();
+        assert!(report.solves > 0);
+        let mut changed = Vec::new();
+        for (i, addr) in dims.iter().enumerate() {
+            if (before[i] - after[i]).abs() > 1e-12 {
+                changed.push(addr);
+            }
+        }
+        assert!(!changed.is_empty(), "pulse must change some state");
+        for addr in &changed {
+            // Everything that moved was at least near the initial polyomino
+            // (membership can grow slightly as resistances shift).
+            assert!(
+                addr.chebyshev(poe) <= 5,
+                "cell {addr} changed but is far from PoE"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        // The nodal solver must stay well-posed for any geometry, data and
+        // PoE: finite voltages, PoE dominance, KCL residual at machine
+        // precision (checked inside sneak_voltages via the solve).
+        #[test]
+        fn sneak_solve_is_well_posed(
+            rows in 2usize..10,
+            cols in 2usize..10,
+            seed in 0u64..1000,
+            poe_pick in 0usize..64,
+        ) {
+            let dims = Dims::new(rows, cols);
+            let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+            xbar.write_levels(&random_levels(dims, seed)).expect("write");
+            let poe = dims.addr(poe_pick % dims.cells());
+            let field = xbar.sneak_voltages(poe, 1.0).expect("solve");
+            let v_poe = field.at(poe);
+            proptest::prop_assert!(v_poe.is_finite() && v_poe > 0.0);
+            for (addr, v) in field.iter() {
+                proptest::prop_assert!(v.is_finite());
+                proptest::prop_assert!(
+                    v.abs() <= v_poe.abs() + 1e-9,
+                    "cell {} at {} exceeds PoE {}", addr, v, v_poe
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_addresses_are_rejected() {
+        let dims = Dims::new(4, 4);
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        let bad = CellAddr::new(4, 0);
+        assert!(xbar.read_level(bad).is_err());
+        assert!(xbar.write_level(bad, MlcLevel::L00).is_err());
+        assert!(xbar.sneak_voltages(bad, 1.0).is_err());
+    }
+
+    #[test]
+    fn write_levels_rejects_wrong_size() {
+        let mut xbar = Crossbar::new(Dims::new(4, 4), DeviceParams::default()).expect("build");
+        assert!(matches!(
+            xbar.write_levels(&[MlcLevel::L00; 3]),
+            Err(CrossbarError::DataSizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! Terminal bias configurations for the crossbar periphery.
+
+use crate::geometry::{CellAddr, Dims};
+
+/// State of one wire terminal at the array periphery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Terminal {
+    /// Driven through the driver resistance toward the given voltage.
+    Driven(f64),
+    /// High-impedance (disconnected driver).
+    Floating,
+}
+
+impl Terminal {
+    /// Convenience: a grounded terminal.
+    pub const GROUND: Terminal = Terminal::Driven(0.0);
+}
+
+/// Bias applied to every row and column terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bias {
+    /// Per-row terminal states (word-line drivers, west side).
+    pub rows: Vec<Terminal>,
+    /// Per-column terminal states (bit-line drivers, south side).
+    pub cols: Vec<Terminal>,
+}
+
+impl Bias {
+    /// All terminals floating.
+    pub fn floating(dims: Dims) -> Self {
+        Bias {
+            rows: vec![Terminal::Floating; dims.rows],
+            cols: vec![Terminal::Floating; dims.cols],
+        }
+    }
+
+    /// The SPE sneak-pulse bias: the PoE's row driven at `voltage`, the
+    /// PoE's column grounded, everything else floating (the coupled
+    /// periphery spreads the drive into the neighbourhood).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poe` is outside `dims`.
+    pub fn sneak_pulse(dims: Dims, poe: CellAddr, voltage: f64) -> Self {
+        assert!(dims.contains(poe), "PoE {poe} outside {dims}");
+        let mut bias = Bias::floating(dims);
+        bias.rows[poe.row] = Terminal::Driven(voltage);
+        bias.cols[poe.col] = Terminal::GROUND;
+        bias
+    }
+
+    /// The normal read/write bias for an addressed cell: addressed row
+    /// driven at `voltage`, addressed column grounded, all other rows and
+    /// columns grounded (their transistors are off anyway in row-select
+    /// mode, so this matches the paper's Fig. 3a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside `dims`.
+    pub fn addressed(dims: Dims, addr: CellAddr, voltage: f64) -> Self {
+        assert!(dims.contains(addr), "address {addr} outside {dims}");
+        let mut bias = Bias {
+            rows: vec![Terminal::GROUND; dims.rows],
+            cols: vec![Terminal::GROUND; dims.cols],
+        };
+        bias.rows[addr.row] = Terminal::Driven(voltage);
+        bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sneak_pulse_sets_poe_terminals() {
+        let dims = Dims::square8();
+        let b = Bias::sneak_pulse(dims, CellAddr::new(3, 5), 1.0);
+        assert_eq!(b.rows[3], Terminal::Driven(1.0));
+        assert_eq!(b.cols[5], Terminal::GROUND);
+        assert_eq!(b.rows[0], Terminal::Floating);
+        assert_eq!(b.cols[0], Terminal::Floating);
+    }
+
+    #[test]
+    fn addressed_grounds_everything_else() {
+        let dims = Dims::new(4, 4);
+        let b = Bias::addressed(dims, CellAddr::new(1, 2), 0.2);
+        assert_eq!(b.rows[1], Terminal::Driven(0.2));
+        assert_eq!(b.rows[0], Terminal::GROUND);
+        assert_eq!(b.cols[2], Terminal::GROUND);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn sneak_pulse_rejects_out_of_bounds() {
+        Bias::sneak_pulse(Dims::new(2, 2), CellAddr::new(2, 2), 1.0);
+    }
+}

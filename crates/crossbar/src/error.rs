@@ -1,0 +1,108 @@
+//! Error types for crossbar circuit simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by crossbar construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossbarError {
+    /// The requested array dimensions are unusable.
+    InvalidDims {
+        /// Requested row count.
+        rows: usize,
+        /// Requested column count.
+        cols: usize,
+        /// Why the dimensions were rejected.
+        reason: &'static str,
+    },
+    /// A cell address lies outside the array.
+    AddressOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Array row count.
+        rows: usize,
+        /// Array column count.
+        cols: usize,
+    },
+    /// The nodal-analysis system was singular (no conducting path anywhere).
+    SingularNetwork,
+    /// A device-level error bubbled up from the memristor model.
+    Device(spe_memristor::DeviceError),
+    /// The supplied data length does not match the array size.
+    DataSizeMismatch {
+        /// Number of cells in the array.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::InvalidDims { rows, cols, reason } => {
+                write!(f, "invalid crossbar dimensions {rows}x{cols}: {reason}")
+            }
+            CrossbarError::AddressOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "cell address ({row}, {col}) outside {rows}x{cols} array"
+            ),
+            CrossbarError::SingularNetwork => {
+                write!(f, "singular crossbar network: no conducting path")
+            }
+            CrossbarError::Device(e) => write!(f, "device error: {e}"),
+            CrossbarError::DataSizeMismatch { expected, actual } => {
+                write!(f, "data size mismatch: expected {expected} cells, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CrossbarError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<spe_memristor::DeviceError> for CrossbarError {
+    fn from(e: spe_memristor::DeviceError) -> Self {
+        CrossbarError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CrossbarError::AddressOutOfBounds {
+            row: 9,
+            col: 1,
+            rows: 8,
+            cols: 8,
+        };
+        assert!(e.to_string().contains("(9, 1)"));
+    }
+
+    #[test]
+    fn device_error_converts() {
+        let d = spe_memristor::DeviceError::ResistanceOutOfRange {
+            resistance: 1.0,
+            r_on: 10.0,
+            r_off: 20.0,
+        };
+        let e: CrossbarError = d.clone().into();
+        assert_eq!(e, CrossbarError::Device(d));
+    }
+}

@@ -1,0 +1,610 @@
+//! Calibrated behavioral model of the sneak pulse.
+//!
+//! The circuit-accurate engine ([`crate::array::Crossbar`]) resolves the
+//! full resistive network every nanosecond — perfect for figures, far too
+//! slow for the megabits of ciphertext the NIST datasets need. This module
+//! provides a behavioral stand-in with three properties the security
+//! experiments rely on:
+//!
+//! 1. **Geometric attenuation.** A pulse at the PoE reaches neighbouring
+//!    cells with a voltage fraction given by a [`Kernel`] — a per-offset
+//!    attenuation table *calibrated against the circuit engine* (mean cell
+//!    voltage over random stored data).
+//! 2. **Cross-cell data diffusion.** Each member cell's effective drive is
+//!    modulated by the states of the other polyomino members (the paper's
+//!    data-dependent polyomino). The modulation uses a *triangular sweep*:
+//!    cells are updated in address order and each cell's context mixes
+//!    already-updated predecessors with not-yet-updated successors. That
+//!    structure makes every pulse an exactly invertible map.
+//! 3. **Exact hysteresis flows.** Cell dynamics use a logistic TEAM
+//!    approximation: the state's log-odds (logit) shifts linearly with
+//!    `rate(v) × width`, with asymmetric up/down rates calibrated from the
+//!    TEAM model's measured transition times. Logistic flows have closed
+//!    forms in both directions, so decryption reverses encryption exactly
+//!    — while pulses at different PoEs still fail to commute (the context
+//!    changes between pulses), reproducing the paper's Fig. 2b order
+//!    sensitivity.
+
+use crate::error::CrossbarError;
+use crate::geometry::{CellAddr, Dims};
+use crate::{Crossbar, WireParams};
+use spe_memristor::{DeviceParams, MlcLevel, Pulse, PulseWidthSearch};
+
+/// Chebyshev radius of the attenuation kernel (offsets beyond this are
+/// treated as fully attenuated).
+pub const KERNEL_RADIUS: usize = 4;
+
+/// Per-offset voltage attenuation of a sneak pulse, calibrated against the
+/// circuit engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// `attenuation[(dr + R)][(dc + R)]` = mean fraction of the drive
+    /// voltage across a cell at offset `(dr, dc)` from the PoE.
+    attenuation: Vec<f64>,
+    /// Sensitivity of a member cell's drive to its polyomino context
+    /// (normalized neighbour state average).
+    pub context_beta: f64,
+}
+
+impl Kernel {
+    const SIDE: usize = 2 * KERNEL_RADIUS + 1;
+
+    /// Builds a kernel from an explicit attenuation table
+    /// (`(2·R+1) × (2·R+1)`, row-major, centered on the PoE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has the wrong size.
+    pub fn from_table(attenuation: Vec<f64>, context_beta: f64) -> Self {
+        assert_eq!(
+            attenuation.len(),
+            Self::SIDE * Self::SIDE,
+            "kernel table must be {0}x{0}",
+            Self::SIDE
+        );
+        Kernel {
+            attenuation,
+            context_beta,
+        }
+    }
+
+    /// Calibrates the kernel against the circuit engine: solves the sneak
+    /// network for `samples` random data patterns (deterministic in `seed`)
+    /// with central PoEs on an 8×8 mat and averages the per-offset voltage
+    /// fraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from the circuit engine.
+    pub fn calibrate(
+        device: &DeviceParams,
+        wires: &WireParams,
+        samples: usize,
+        seed: u64,
+    ) -> Result<Self, CrossbarError> {
+        let dims = Dims::square8();
+        let mut sums = vec![0.0f64; Self::SIDE * Self::SIDE];
+        let mut counts = vec![0usize; Self::SIDE * Self::SIDE];
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next_level = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            MlcLevel::from_bits(((state >> 33) & 0b11) as u8)
+        };
+        let poes = [CellAddr::new(3, 3), CellAddr::new(4, 4), CellAddr::new(3, 4)];
+        for s in 0..samples.max(1) {
+            let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
+            let levels: Vec<MlcLevel> = (0..dims.cells()).map(|_| next_level()).collect();
+            xbar.write_levels(&levels)?;
+            let poe = poes[s % poes.len()];
+            let field = xbar.sneak_voltages(poe, 1.0)?;
+            for (addr, v) in field.iter() {
+                let (dr, dc) = addr.offset_from(poe);
+                if dr.unsigned_abs() <= KERNEL_RADIUS && dc.unsigned_abs() <= KERNEL_RADIUS {
+                    let idx = ((dr + KERNEL_RADIUS as isize) as usize) * Self::SIDE
+                        + (dc + KERNEL_RADIUS as isize) as usize;
+                    sums[idx] += v;
+                    counts[idx] += 1;
+                }
+            }
+        }
+        let attenuation = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, c)| if *c > 0 { (s / *c as f64).max(0.0) } else { 0.0 })
+            .collect();
+        Ok(Kernel {
+            attenuation,
+            context_beta: 0.15,
+        })
+    }
+
+    /// A 64-bit fingerprint of the calibrated attenuation table (FNV-1a
+    /// over the raw bit patterns). Two crossbars agree on the fingerprint
+    /// only if their calibrated sneak responses match exactly — the basis
+    /// of SPE's hardware binding.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in &self.attenuation {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    /// Attenuation at a signed offset from the PoE (0 outside the radius).
+    pub fn at(&self, dr: isize, dc: isize) -> f64 {
+        if dr.unsigned_abs() > KERNEL_RADIUS || dc.unsigned_abs() > KERNEL_RADIUS {
+            return 0.0;
+        }
+        let idx = ((dr + KERNEL_RADIUS as isize) as usize) * Self::SIDE
+            + (dc + KERNEL_RADIUS as isize) as usize;
+        self.attenuation[idx]
+    }
+
+    /// The member offsets of a pulse of amplitude `amplitude` given the cell
+    /// threshold: offsets whose attenuated drive reaches `v_threshold`.
+    pub fn member_offsets(&self, amplitude: f64, v_threshold: f64) -> Vec<(isize, isize)> {
+        let r = KERNEL_RADIUS as isize;
+        let mut members = Vec::new();
+        for dr in -r..=r {
+            for dc in -r..=r {
+                if self.at(dr, dc) * amplitude.abs() >= v_threshold {
+                    members.push((dr, dc));
+                }
+            }
+        }
+        members
+    }
+}
+
+/// Behavioral dynamics constants of the logistic TEAM approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastParams {
+    /// Logit shift rate toward high resistance, in 1/(V·s).
+    pub k_up: f64,
+    /// Logit shift rate toward low resistance, in 1/(V·s).
+    pub k_down: f64,
+    /// Minimum effective cell voltage for any state change, in volts.
+    pub v_threshold: f64,
+}
+
+impl FastParams {
+    /// Calibrates the rates so the logistic flow reproduces the TEAM model's
+    /// measured `L10 → L00` encryption and decryption transition times at
+    /// ±1 V (the paper's Fig. 5 transition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a device error if the TEAM transitions are unreachable.
+    pub fn calibrated(device: &DeviceParams) -> Result<Self, CrossbarError> {
+        let search = PulseWidthSearch::new(device);
+        let r10 = MlcLevel::L10.nominal_resistance(device);
+        let r00 = MlcLevel::L00.nominal_resistance(device);
+        let w_up = search.width_for(r10, r00, 1.0)?;
+        let w_down = search.width_for(r00, r10, -1.0)?;
+        let x10 = device.state_for_resistance(r10)?;
+        let x00 = device.state_for_resistance(r00)?;
+        let delta_logit = logit(x00) - logit(x10);
+        let overdrive = 1.0 - device.v_threshold;
+        Ok(FastParams {
+            k_up: delta_logit / (w_up * overdrive),
+            k_down: delta_logit / (w_down * overdrive),
+            v_threshold: device.v_threshold,
+        })
+    }
+
+    /// Logit shift produced by an effective voltage `v` applied for `width`
+    /// seconds (zero below threshold; signed toward the pulse direction).
+    pub fn logit_shift(&self, v: f64, width: f64) -> f64 {
+        let mag = v.abs();
+        if mag < self.v_threshold {
+            return 0.0;
+        }
+        let overdrive = mag - self.v_threshold;
+        if v > 0.0 {
+            self.k_up * overdrive * width
+        } else {
+            -self.k_down * overdrive * width
+        }
+    }
+}
+
+fn logit(x: f64) -> f64 {
+    let x = x.clamp(1e-9, 1.0 - 1e-9);
+    (x / (1.0 - x)).ln()
+}
+
+fn sigmoid(u: f64) -> f64 {
+    let u = u.clamp(-40.0, 40.0);
+    1.0 / (1.0 + (-u).exp())
+}
+
+/// Behavioral crossbar: cell states under the logistic TEAM approximation.
+///
+/// `apply_pulse` / `apply_pulse_inverse` are exact inverses of each other,
+/// which is what guarantees SPE decryption correctness on this model (the
+/// circuit engine validates the approximation on small cases).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastArray {
+    dims: Dims,
+    device: DeviceParams,
+    params: FastParams,
+    kernel: Kernel,
+    /// Per-cell state in logit (log-odds) coordinates, row-major. The
+    /// normalized state is `x = sigmoid(u)`; storing `u` keeps pulse flows
+    /// exactly invertible at any shift magnitude (no clamping needed).
+    u: Vec<f64>,
+}
+
+impl FastArray {
+    /// Creates an array with every cell at logic `00`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] for invalid dimensions or parameters.
+    pub fn new(
+        dims: Dims,
+        device: DeviceParams,
+        params: FastParams,
+        kernel: Kernel,
+    ) -> Result<Self, CrossbarError> {
+        dims.validate()?;
+        device.validate()?;
+        let x00 = device.state_for_resistance(MlcLevel::L00.nominal_resistance(&device))?;
+        Ok(FastArray {
+            u: vec![logit(x00); dims.cells()],
+            dims,
+            device,
+            params,
+            kernel,
+        })
+    }
+
+    /// Array dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The dynamics constants.
+    pub fn params(&self) -> &FastParams {
+        &self.params
+    }
+
+    /// Raw per-cell states in logit coordinates, row-major (opaque storage
+    /// format; use [`levels`](Self::levels) for logical readout).
+    pub fn states(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// Overwrites the raw per-cell states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DataSizeMismatch`] on a length mismatch.
+    pub fn set_states(&mut self, states: &[f64]) -> Result<(), CrossbarError> {
+        if states.len() != self.u.len() {
+            return Err(CrossbarError::DataSizeMismatch {
+                expected: self.u.len(),
+                actual: states.len(),
+            });
+        }
+        self.u.copy_from_slice(states);
+        Ok(())
+    }
+
+    /// Quantized logic level of every cell, row-major.
+    pub fn levels(&self) -> Vec<MlcLevel> {
+        self.u
+            .iter()
+            .map(|u| MlcLevel::quantize(self.device.resistance_at(sigmoid(*u)), &self.device))
+            .collect()
+    }
+
+    /// Programs the array from row-major levels (nominal analog values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DataSizeMismatch`] on a length mismatch.
+    pub fn write_levels(&mut self, levels: &[MlcLevel]) -> Result<(), CrossbarError> {
+        if levels.len() != self.u.len() {
+            return Err(CrossbarError::DataSizeMismatch {
+                expected: self.u.len(),
+                actual: levels.len(),
+            });
+        }
+        for (u, level) in self.u.iter_mut().zip(levels) {
+            let r = level.nominal_resistance(&self.device);
+            *u = logit(
+                self.device
+                    .state_for_resistance(r)
+                    .expect("nominal resistance is in range"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Quantized level of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn level(&self, addr: CellAddr) -> MlcLevel {
+        let x = sigmoid(self.u[self.dims.index(addr)]);
+        MlcLevel::quantize(self.device.resistance_at(x), &self.device)
+    }
+
+    /// The (geometry-determined) member cells of a pulse at `poe`.
+    pub fn members(&self, poe: CellAddr, amplitude: f64) -> Vec<CellAddr> {
+        let mut cells = Vec::new();
+        for (dr, dc) in self
+            .kernel
+            .member_offsets(amplitude, self.params.v_threshold)
+        {
+            let r = poe.row as isize + dr;
+            let c = poe.col as isize + dc;
+            if r >= 0 && c >= 0 {
+                let a = CellAddr::new(r as usize, c as usize);
+                if self.dims.contains(a) {
+                    cells.push(a);
+                }
+            }
+        }
+        cells.sort();
+        cells
+    }
+
+    /// Applies a sneak pulse at `poe` (forward direction).
+    ///
+    /// Member cells are visited in address order; each cell's drive is the
+    /// kernel-attenuated amplitude modulated by the mean state of the other
+    /// members (predecessors already updated — the triangular structure that
+    /// keeps the map invertible). Returns the member cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad PoE.
+    pub fn apply_pulse(&mut self, poe: CellAddr, pulse: Pulse) -> Result<Vec<CellAddr>, CrossbarError> {
+        self.pulse_sweep(poe, pulse, false)
+    }
+
+    /// Exactly inverts a previous [`apply_pulse`](Self::apply_pulse) with
+    /// the same arguments (reverse sweep order, negated logit shifts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad PoE.
+    pub fn apply_pulse_inverse(
+        &mut self,
+        poe: CellAddr,
+        pulse: Pulse,
+    ) -> Result<Vec<CellAddr>, CrossbarError> {
+        self.pulse_sweep(poe, pulse, true)
+    }
+
+    fn pulse_sweep(
+        &mut self,
+        poe: CellAddr,
+        pulse: Pulse,
+        inverse: bool,
+    ) -> Result<Vec<CellAddr>, CrossbarError> {
+        if !self.dims.contains(poe) {
+            return Err(CrossbarError::AddressOutOfBounds {
+                row: poe.row,
+                col: poe.col,
+                rows: self.dims.rows,
+                cols: self.dims.cols,
+            });
+        }
+        let members = self.members(poe, pulse.voltage);
+        let order: Vec<usize> = if inverse {
+            (0..members.len()).rev().collect()
+        } else {
+            (0..members.len()).collect()
+        };
+        for k in order {
+            let addr = members[k];
+            let idx = self.dims.index(addr);
+            // Context: mean normalized state of the *other* members. In the
+            // forward sweep predecessors hold updated values and successors
+            // original ones; the reverse sweep sees exactly the same mix
+            // (successors already restored, predecessors still updated), so
+            // the drive recomputes identically and the flow inverts exactly.
+            let mut ctx = 0.0;
+            let mut n = 0;
+            for (m, other) in members.iter().enumerate() {
+                if m == k {
+                    continue;
+                }
+                ctx += 2.0 * (sigmoid(self.u[self.dims.index(*other)]) - 0.5);
+                n += 1;
+            }
+            let ctx = if n > 0 { ctx / n as f64 } else { 0.0 };
+            let (dr, dc) = addr.offset_from(poe);
+            let atten = self.kernel.at(dr, dc);
+            let v = pulse.voltage * atten * (1.0 + self.kernel.context_beta * ctx);
+            let shift = self.params.logit_shift(v, pulse.width);
+            let shift = if inverse { -shift } else { shift };
+            self.u[idx] += shift;
+        }
+        Ok(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> FastArray {
+        let device = DeviceParams::default();
+        let wires = WireParams::default();
+        let kernel = Kernel::calibrate(&device, &wires, 4, 1).expect("calibrate");
+        let params = FastParams::calibrated(&device).expect("rates");
+        FastArray::new(Dims::square8(), device, params, kernel).expect("array")
+    }
+
+    fn random_levels(n: usize, seed: u64) -> Vec<MlcLevel> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| MlcLevel::from_bits(rng.gen_range(0..4))).collect()
+    }
+
+    #[test]
+    fn kernel_peaks_at_poe_and_decays() {
+        let device = DeviceParams::default();
+        let kernel = Kernel::calibrate(&device, &WireParams::default(), 4, 9).expect("calibrate");
+        let center = kernel.at(0, 0);
+        assert!(center > 0.8, "PoE attenuation {center}");
+        assert!(kernel.at(0, 1) <= center + 1e-9);
+        assert!(kernel.at(4, 4) < center);
+        assert_eq!(kernel.at(5, 0), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_parameter_sensitive() {
+        let device = DeviceParams::default();
+        let wires = WireParams::default();
+        let a = Kernel::calibrate(&device, &wires, 4, 1).expect("calibrate");
+        let b = Kernel::calibrate(&device, &wires, 4, 1).expect("calibrate");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same hardware, same id");
+        let varied = device.with_variation(&spe_memristor::Variation::uniform(0.05));
+        let c = Kernel::calibrate(&varied, &wires, 4, 1).expect("calibrate");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "5% device shift changes it");
+    }
+
+    #[test]
+    fn members_form_local_group() {
+        let arr = setup();
+        let members = arr.members(CellAddr::new(4, 4), 1.0);
+        assert!(
+            members.len() >= 2 && members.len() <= 41,
+            "member count {}",
+            members.len()
+        );
+        assert!(members.contains(&CellAddr::new(4, 4)));
+    }
+
+    #[test]
+    fn pulse_then_inverse_is_identity() {
+        let mut arr = setup();
+        arr.write_levels(&random_levels(64, 5)).expect("write");
+        let before = arr.states().to_vec();
+        let pulse = Pulse::new(1.0, 0.07e-6);
+        let poe = CellAddr::new(3, 4);
+        arr.apply_pulse(poe, pulse).expect("pulse");
+        assert_ne!(arr.states(), &before[..], "pulse must change state");
+        arr.apply_pulse_inverse(poe, pulse).expect("inverse");
+        for (a, b) in arr.states().iter().zip(&before) {
+            assert!((a - b).abs() < 1e-9, "inverse must restore state");
+        }
+    }
+
+    #[test]
+    fn pulse_sequence_inverts_in_reverse_order() {
+        let mut arr = setup();
+        arr.write_levels(&random_levels(64, 6)).expect("write");
+        let before = arr.states().to_vec();
+        let schedule = [
+            (CellAddr::new(1, 2), Pulse::new(1.0, 0.06e-6)),
+            (CellAddr::new(4, 4), Pulse::new(-1.0, 0.02e-6)),
+            (CellAddr::new(6, 1), Pulse::new(1.0, 0.09e-6)),
+            (CellAddr::new(2, 6), Pulse::new(-1.0, 0.04e-6)),
+        ];
+        for (poe, pulse) in schedule {
+            arr.apply_pulse(poe, pulse).expect("pulse");
+        }
+        for (poe, pulse) in schedule.iter().rev() {
+            arr.apply_pulse_inverse(*poe, *pulse).expect("inverse");
+        }
+        for (a, b) in arr.states().iter().zip(&before) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_order_inversion_fails() {
+        // Paper Fig. 2b: decrypting with the right PoEs in the wrong order
+        // does not recover the plaintext.
+        let mut arr = setup();
+        arr.write_levels(&random_levels(64, 8)).expect("write");
+        let before = arr.states().to_vec();
+        let schedule = [
+            (CellAddr::new(2, 2), Pulse::new(1.0, 0.08e-6)),
+            (CellAddr::new(3, 3), Pulse::new(-1.0, 0.03e-6)),
+            (CellAddr::new(4, 4), Pulse::new(1.0, 0.06e-6)),
+        ];
+        for (poe, pulse) in schedule {
+            arr.apply_pulse(poe, pulse).expect("pulse");
+        }
+        // Invert in *forward* order instead of reverse.
+        for (poe, pulse) in schedule {
+            arr.apply_pulse_inverse(poe, pulse).expect("inverse");
+        }
+        let max_err = arr
+            .states()
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err > 1e-6,
+            "wrong-order inversion should not be exact (max err {max_err})"
+        );
+    }
+
+    #[test]
+    fn pulses_change_quantized_levels() {
+        let mut arr = setup();
+        arr.write_levels(&random_levels(64, 12)).expect("write");
+        let before = arr.levels();
+        for (i, poe) in [CellAddr::new(2, 2), CellAddr::new(5, 5), CellAddr::new(3, 6)]
+            .into_iter()
+            .enumerate()
+        {
+            let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+            arr.apply_pulse(poe, Pulse::new(v, 0.08e-6)).expect("pulse");
+        }
+        let after = arr.levels();
+        let flips = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(flips >= 3, "encryption must flip levels, got {flips}");
+    }
+
+    #[test]
+    fn context_couples_neighbour_data() {
+        // Changing one member's state changes the ciphertext of others
+        // (plaintext avalanche prerequisite).
+        let device = DeviceParams::default();
+        let kernel =
+            Kernel::calibrate(&device, &WireParams::default(), 4, 1).expect("calibrate");
+        let params = FastParams::calibrated(&device).expect("rates");
+        let mut a = FastArray::new(Dims::square8(), device.clone(), params, kernel.clone())
+            .expect("array");
+        let mut b = FastArray::new(Dims::square8(), device, params, kernel).expect("array");
+        let mut levels = random_levels(64, 21);
+        a.write_levels(&levels).expect("write");
+        levels[27] = MlcLevel::from_bits(levels[27].bits() ^ 0b11);
+        b.write_levels(&levels).expect("write");
+        let poe = CellAddr::new(3, 3); // index 27 and neighbours in range
+        let pulse = Pulse::new(1.0, 0.08e-6);
+        a.apply_pulse(poe, pulse).expect("pulse");
+        b.apply_pulse(poe, pulse).expect("pulse");
+        let diffs = a
+            .states()
+            .iter()
+            .zip(b.states())
+            .enumerate()
+            .filter(|(i, (x, y))| *i != 27 && (*x - *y).abs() > 1e-12)
+            .count();
+        assert!(diffs > 0, "neighbour data must influence other cells");
+    }
+
+    #[test]
+    fn write_levels_rejects_wrong_size() {
+        let mut arr = setup();
+        assert!(arr.write_levels(&[MlcLevel::L00; 3]).is_err());
+    }
+}

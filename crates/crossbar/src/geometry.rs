@@ -1,0 +1,196 @@
+//! Array dimensions and cell addressing.
+
+use crate::error::CrossbarError;
+use std::fmt;
+
+/// Dimensions of a crossbar array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dims {
+    /// Number of rows (word lines).
+    pub rows: usize,
+    /// Number of columns (bit lines).
+    pub cols: usize,
+}
+
+impl Dims {
+    /// Creates a dimension descriptor.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let d = spe_crossbar::Dims::new(8, 8);
+    /// assert_eq!(d.cells(), 64);
+    /// ```
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Dims { rows, cols }
+    }
+
+    /// The paper's standard 8×8 crossbar.
+    pub const fn square8() -> Self {
+        Dims::new(8, 8)
+    }
+
+    /// Total number of cells.
+    pub const fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Validates that the dimensions form a usable array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidDims`] for degenerate (zero-sized) or
+    /// oversized arrays (> 64×64; the paper's NVMM is tiled from 8×8 mats).
+    pub fn validate(&self) -> Result<(), CrossbarError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(CrossbarError::InvalidDims {
+                rows: self.rows,
+                cols: self.cols,
+                reason: "dimensions must be non-zero",
+            });
+        }
+        if self.rows > 64 || self.cols > 64 {
+            return Err(CrossbarError::InvalidDims {
+                rows: self.rows,
+                cols: self.cols,
+                reason: "mats larger than 64x64 are not supported; tile instead",
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks whether an address lies inside the array.
+    pub fn contains(&self, addr: CellAddr) -> bool {
+        addr.row < self.rows && addr.col < self.cols
+    }
+
+    /// Linear (row-major) index of an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of bounds.
+    pub fn index(&self, addr: CellAddr) -> usize {
+        assert!(self.contains(addr), "address {addr} outside {self}");
+        addr.row * self.cols + addr.col
+    }
+
+    /// The address corresponding to a linear (row-major) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cells()`.
+    pub fn addr(&self, index: usize) -> CellAddr {
+        assert!(index < self.cells(), "index {index} outside {self}");
+        CellAddr::new(index / self.cols, index % self.cols)
+    }
+
+    /// Iterates over every address in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = CellAddr> + '_ {
+        let cols = self.cols;
+        (0..self.cells()).map(move |i| CellAddr::new(i / cols, i % cols))
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Address of a single cell, 0-based `(row, col)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellAddr {
+    /// Row (word line) index.
+    pub row: usize,
+    /// Column (bit line) index.
+    pub col: usize,
+}
+
+impl CellAddr {
+    /// Creates a cell address.
+    pub const fn new(row: usize, col: usize) -> Self {
+        CellAddr { row, col }
+    }
+
+    /// Chebyshev (chessboard) distance to another cell.
+    pub fn chebyshev(&self, other: CellAddr) -> usize {
+        let dr = self.row.abs_diff(other.row);
+        let dc = self.col.abs_diff(other.col);
+        dr.max(dc)
+    }
+
+    /// Manhattan distance to another cell.
+    pub fn manhattan(&self, other: CellAddr) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Signed offset `(Δrow, Δcol)` from `other` to `self`.
+    pub fn offset_from(&self, other: CellAddr) -> (isize, isize) {
+        (
+            self.row as isize - other.row as isize,
+            self.col as isize - other.col as isize,
+        )
+    }
+}
+
+impl fmt::Display for CellAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn index_addr_roundtrip() {
+        let d = Dims::new(5, 7);
+        for i in 0..d.cells() {
+            assert_eq!(d.index(d.addr(i)), i);
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_cell_once() {
+        let d = Dims::new(4, 3);
+        let all: Vec<CellAddr> = d.iter().collect();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0], CellAddr::new(0, 0));
+        assert_eq!(all[11], CellAddr::new(3, 2));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        assert!(Dims::new(0, 8).validate().is_err());
+        assert!(Dims::new(8, 0).validate().is_err());
+        assert!(Dims::new(65, 8).validate().is_err());
+        assert!(Dims::square8().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_panics_out_of_bounds() {
+        Dims::new(2, 2).index(CellAddr::new(2, 0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = CellAddr::new(1, 1);
+        let b = CellAddr::new(4, 3);
+        assert_eq!(a.chebyshev(b), 3);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.offset_from(a), (3, 2));
+        assert_eq!(a.offset_from(b), (-3, -2));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_dims(rows in 1usize..16, cols in 1usize..16, seed in 0usize..256) {
+            let d = Dims::new(rows, cols);
+            let i = seed % d.cells();
+            prop_assert_eq!(d.index(d.addr(i)), i);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! 1T1M memristor crossbar circuit simulation with on-demand sneak paths.
+//!
+//! This crate is the circuit-level substrate of the SNVMM reproduction — the
+//! role HSPICE plays in the paper. It provides:
+//!
+//! * [`Crossbar`] — an `R × C` one-transistor/one-memristor (1T1M) array
+//!   with distributed wire resistance, row-select or all-on (sneak) gating,
+//!   and the modified *sneak-path control* periphery of the paper's Fig. 1b
+//!   (adjacent wires resistively coupled in sneak mode so a pulse at a point
+//!   of encryption spreads into a local, data-dependent *polyomino*).
+//! * [`dense`] — a small dense linear-algebra kernel (Gaussian elimination
+//!   with partial pivoting) used by the nodal-analysis solver.
+//! * [`netlist`] — modified nodal analysis assembly for the crossbar.
+//! * [`Polyomino`] — the set of cells whose voltage exceeds the transistor
+//!   threshold during a sneak pulse (paper Fig. 4).
+//! * [`fast`] — a calibrated behavioral model of the sneak pulse for
+//!   high-throughput encryption (the NIST datasets need ~18 Mbit of
+//!   ciphertext; nodal analysis per pulse is reserved for figures and
+//!   validation).
+//!
+//! # Example
+//!
+//! ```
+//! use spe_crossbar::{CellAddr, Crossbar, Dims};
+//! use spe_memristor::{DeviceParams, MlcLevel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut xbar = Crossbar::new(Dims::new(8, 8), DeviceParams::default())?;
+//! xbar.write_level(CellAddr::new(3, 4), MlcLevel::L10)?;
+//! assert_eq!(xbar.read_level(CellAddr::new(3, 4))?, MlcLevel::L10);
+//!
+//! // Solve the sneak-path network for a 1 V pulse at a PoE.
+//! let poe = CellAddr::new(3, 4);
+//! let field = xbar.sneak_voltages(poe, 1.0)?;
+//! assert!(field.at(poe) > 0.8, "the PoE sees most of the drive voltage");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod array;
+pub mod bias;
+pub mod dense;
+pub mod error;
+pub mod fast;
+pub mod geometry;
+pub mod montecarlo;
+pub mod netlist;
+pub mod polyomino;
+pub mod wires;
+
+pub use array::{Crossbar, PulseReport, VoltageField};
+pub use bias::{Bias, Terminal};
+pub use error::CrossbarError;
+pub use fast::{FastArray, Kernel};
+pub use geometry::{CellAddr, Dims};
+pub use polyomino::Polyomino;
+pub use wires::WireParams;

@@ -1,0 +1,127 @@
+//! Monte-Carlo polyomino stability study (paper §5).
+//!
+//! The paper varies the wire resistance by ±5 % and observes that the
+//! polyomino *shape* does not change, while macro-level parameter changes
+//! do alter it (the basis of the *hardware avalanche* property). This module
+//! runs that study against the circuit engine.
+
+use crate::error::CrossbarError;
+use crate::geometry::{CellAddr, Dims};
+use crate::wires::WireParams;
+use crate::Crossbar;
+use spe_memristor::{DeviceParams, MlcLevel};
+
+/// Outcome of a polyomino stability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    /// The perturbations applied (relative, e.g. `-0.05` = −5 %).
+    pub perturbations: Vec<f64>,
+    /// For each perturbation, whether the polyomino cell set matched the
+    /// nominal one.
+    pub shape_matches: Vec<bool>,
+    /// Number of cells in the nominal polyomino.
+    pub nominal_size: usize,
+}
+
+impl StabilityReport {
+    /// Whether every perturbation left the shape unchanged.
+    pub fn all_stable(&self) -> bool {
+        self.shape_matches.iter().all(|m| *m)
+    }
+
+    /// Fraction of perturbations that preserved the shape.
+    pub fn stability(&self) -> f64 {
+        if self.shape_matches.is_empty() {
+            return 1.0;
+        }
+        self.shape_matches.iter().filter(|m| **m).count() as f64 / self.shape_matches.len() as f64
+    }
+}
+
+/// Runs the §5 Monte-Carlo study: perturbs wire resistance across
+/// `perturbations` and compares each polyomino against the nominal shape.
+///
+/// `levels` is the stored data pattern (row-major, one entry per cell of an
+/// 8×8 mat); `poe` the pulse location.
+///
+/// # Errors
+///
+/// Propagates [`CrossbarError`] from the circuit engine.
+pub fn wire_variation_study(
+    device: &DeviceParams,
+    wires: &WireParams,
+    levels: &[MlcLevel],
+    poe: CellAddr,
+    perturbations: &[f64],
+) -> Result<StabilityReport, CrossbarError> {
+    let dims = Dims::square8();
+    let nominal = polyomino_cells(dims, device, wires, levels, poe)?;
+    let mut matches = Vec::with_capacity(perturbations.len());
+    for rel in perturbations {
+        let varied = wires.with_wire_variation(*rel);
+        let cells = polyomino_cells(dims, device, &varied, levels, poe)?;
+        matches.push(cells == nominal);
+    }
+    Ok(StabilityReport {
+        perturbations: perturbations.to_vec(),
+        shape_matches: matches,
+        nominal_size: nominal.len(),
+    })
+}
+
+fn polyomino_cells(
+    dims: Dims,
+    device: &DeviceParams,
+    wires: &WireParams,
+    levels: &[MlcLevel],
+    poe: CellAddr,
+) -> Result<Vec<CellAddr>, CrossbarError> {
+    let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
+    xbar.write_levels(levels)?;
+    Ok(xbar.polyomino_at(poe, 1.0)?.addrs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_levels(seed: u64) -> Vec<MlcLevel> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..64).map(|_| MlcLevel::from_bits(rng.gen_range(0..4))).collect()
+    }
+
+    #[test]
+    fn small_wire_variation_keeps_shape() {
+        let device = DeviceParams::default();
+        let wires = WireParams::default();
+        let levels = random_levels(17);
+        let report = wire_variation_study(
+            &device,
+            &wires,
+            &levels,
+            CellAddr::new(3, 4),
+            &[-0.05, -0.025, 0.025, 0.05],
+        )
+        .expect("study");
+        assert!(
+            report.stability() >= 0.75,
+            "±5% wire variation should mostly preserve the polyomino shape \
+             (stability {})",
+            report.stability()
+        );
+        assert!(report.nominal_size >= 2);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = StabilityReport {
+            perturbations: vec![0.05, -0.05],
+            shape_matches: vec![true, false],
+            nominal_size: 9,
+        };
+        assert!(!r.all_stable());
+        assert_eq!(r.stability(), 0.5);
+    }
+}

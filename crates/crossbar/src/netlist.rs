@@ -1,0 +1,233 @@
+//! Modified nodal analysis assembly for the 1T1M crossbar.
+//!
+//! Every cell pitch point on every wire is a circuit node: node
+//! `row(i, j)` is the point on word line `i` above bit line `j`, and
+//! `col(i, j)` the point on bit line `j` at word line `i`. Cells connect the
+//! two node sets; wire segments chain nodes along each wire; drivers attach
+//! at the west (rows) and south (columns) edges; and in sneak mode the
+//! periphery couples adjacent wires (see [`crate::wires::WireParams`]).
+
+use crate::bias::{Bias, Terminal};
+use crate::dense::Matrix;
+use crate::geometry::Dims;
+use crate::wires::WireParams;
+
+/// Transistor gating configuration of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gating {
+    /// Normal operation: only the selected row's access transistors conduct
+    /// (paper Fig. 3a — sneak paths eliminated).
+    Row(usize),
+    /// Sneak mode: every access transistor conducts (paper Fig. 3b).
+    AllOn,
+}
+
+impl Gating {
+    /// Whether the cell at `row` conducts under this gating.
+    #[inline]
+    pub fn conducts(self, row: usize) -> bool {
+        match self {
+            Gating::Row(r) => r == row,
+            Gating::AllOn => true,
+        }
+    }
+}
+
+/// Node index of the word-line point above cell `(i, j)`.
+#[inline]
+pub fn row_node(dims: Dims, i: usize, j: usize) -> usize {
+    i * dims.cols + j
+}
+
+/// Node index of the bit-line point at cell `(i, j)`.
+#[inline]
+pub fn col_node(dims: Dims, i: usize, j: usize) -> usize {
+    dims.cells() + i * dims.cols + j
+}
+
+/// Total node count of the network.
+#[inline]
+pub fn node_count(dims: Dims) -> usize {
+    2 * dims.cells()
+}
+
+/// Assembles the nodal conductance matrix and current vector.
+///
+/// `cell_resistance(i, j)` must return the series resistance (memristor +
+/// ON transistor) of the cell; it is consulted only for conducting cells.
+///
+/// # Panics
+///
+/// Panics if the bias vectors do not match `dims`.
+pub fn assemble<F>(
+    dims: Dims,
+    wires: &WireParams,
+    bias: &Bias,
+    gating: Gating,
+    mut cell_resistance: F,
+) -> (Matrix, Vec<f64>)
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    assert_eq!(bias.rows.len(), dims.rows, "row bias length mismatch");
+    assert_eq!(bias.cols.len(), dims.cols, "column bias length mismatch");
+    let n = node_count(dims);
+    let mut g = Matrix::zeros(n);
+    let mut b = vec![0.0; n];
+
+    let stamp_pair = |g: &mut Matrix, a: usize, c: usize, cond: f64| {
+        g.add(a, a, cond);
+        g.add(c, c, cond);
+        g.add(a, c, -cond);
+        g.add(c, a, -cond);
+    };
+
+    // Regularization leak on every node.
+    for node in 0..n {
+        g.add(node, node, wires.g_leak);
+    }
+
+    let g_row_seg = 1.0 / wires.r_row_segment;
+    let g_col_seg = 1.0 / wires.r_col_segment;
+    let g_driver = 1.0 / wires.r_driver;
+    let g_couple = 1.0 / wires.r_couple;
+
+    // Wire segments.
+    for i in 0..dims.rows {
+        for j in 0..dims.cols.saturating_sub(1) {
+            stamp_pair(&mut g, row_node(dims, i, j), row_node(dims, i, j + 1), g_row_seg);
+        }
+    }
+    for j in 0..dims.cols {
+        for i in 0..dims.rows.saturating_sub(1) {
+            stamp_pair(&mut g, col_node(dims, i, j), col_node(dims, i + 1, j), g_col_seg);
+        }
+    }
+
+    // Cells (only conducting rows).
+    for i in 0..dims.rows {
+        if !gating.conducts(i) {
+            continue;
+        }
+        for j in 0..dims.cols {
+            let r = cell_resistance(i, j);
+            stamp_pair(&mut g, row_node(dims, i, j), col_node(dims, i, j), 1.0 / r);
+        }
+    }
+
+    // Drivers: rows at the west edge (j = 0), columns at the south edge
+    // (i = rows - 1).
+    for (i, term) in bias.rows.iter().enumerate() {
+        if let Terminal::Driven(v) = term {
+            let node = row_node(dims, i, 0);
+            g.add(node, node, g_driver);
+            b[node] += g_driver * v;
+        }
+    }
+    for (j, term) in bias.cols.iter().enumerate() {
+        if let Terminal::Driven(v) = term {
+            let node = col_node(dims, dims.rows - 1, j);
+            g.add(node, node, g_driver);
+            b[node] += g_driver * v;
+        }
+    }
+
+    // Sneak-path control periphery: adjacent-wire coupling, sneak mode only.
+    if gating == Gating::AllOn {
+        for i in 0..dims.rows.saturating_sub(1) {
+            stamp_pair(
+                &mut g,
+                row_node(dims, i, 0),
+                row_node(dims, i + 1, 0),
+                g_couple,
+            );
+        }
+        for j in 0..dims.cols.saturating_sub(1) {
+            stamp_pair(
+                &mut g,
+                col_node(dims, dims.rows - 1, j),
+                col_node(dims, dims.rows - 1, j + 1),
+                g_couple,
+            );
+        }
+    }
+
+    (g, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::solve;
+    use crate::geometry::CellAddr;
+
+    fn uniform_resistance(_: usize, _: usize) -> f64 {
+        60.0e3
+    }
+
+    #[test]
+    fn node_indices_are_disjoint() {
+        let dims = Dims::new(4, 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            for j in 0..5 {
+                assert!(seen.insert(row_node(dims, i, j)));
+                assert!(seen.insert(col_node(dims, i, j)));
+            }
+        }
+        assert_eq!(seen.len(), node_count(dims));
+    }
+
+    #[test]
+    fn addressed_bias_solves_and_respects_kcl() {
+        let dims = Dims::new(4, 4);
+        let wires = WireParams::default();
+        let bias = Bias::addressed(dims, CellAddr::new(1, 2), 0.2);
+        let (g, b) = assemble(dims, &wires, &bias, Gating::Row(1), uniform_resistance);
+        let v = solve(g.clone(), b.clone()).expect("network solves");
+        let residual = g.mul_vec(&v);
+        for (ri, bi) in residual.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9, "KCL residual too large");
+        }
+        // The addressed cell should see most of the drive voltage.
+        let v_cell = v[row_node(dims, 1, 2)] - v[col_node(dims, 1, 2)];
+        assert!(v_cell > 0.19, "addressed cell sees {v_cell} V of 0.2 V");
+    }
+
+    #[test]
+    fn sneak_bias_is_nonsingular_despite_floating_wires() {
+        let dims = Dims::square8();
+        let wires = WireParams::default();
+        let bias = Bias::sneak_pulse(dims, CellAddr::new(3, 4), 1.0);
+        let (g, b) = assemble(dims, &wires, &bias, Gating::AllOn, uniform_resistance);
+        let v = solve(g, b).expect("leak regularization keeps system nonsingular");
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn row_gating_blocks_other_rows() {
+        // In row-select mode, a cell on an unselected row carries no cell
+        // conductance: its row and column nodes decouple except via wires.
+        let dims = Dims::new(2, 2);
+        let wires = WireParams::default();
+        let bias = Bias::addressed(dims, CellAddr::new(0, 0), 0.2);
+        let (g, b) = assemble(dims, &wires, &bias, Gating::Row(0), |i, _| {
+            assert_eq!(i, 0, "resistance must only be consulted for row 0");
+            60.0e3
+        });
+        solve(g, b).expect("solves");
+    }
+
+    #[test]
+    fn sneak_mode_consults_every_cell() {
+        let dims = Dims::new(3, 3);
+        let wires = WireParams::default();
+        let bias = Bias::sneak_pulse(dims, CellAddr::new(1, 1), 1.0);
+        let mut consulted = 0;
+        let (_, _) = assemble(dims, &wires, &bias, Gating::AllOn, |_, _| {
+            consulted += 1;
+            60.0e3
+        });
+        assert_eq!(consulted, 9);
+    }
+}

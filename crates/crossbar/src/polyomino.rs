@@ -1,0 +1,184 @@
+//! Polyominoes: the group of cells affected by a pulse at a PoE.
+
+use crate::geometry::{CellAddr, Dims};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The set of cells whose voltage magnitude reached the transistor
+/// threshold during a sneak pulse, together with those voltages.
+///
+/// The paper calls this group the *polyomino* of the PoE (Fig. 4). Its
+/// shape depends on the crossbar's physical parameters **and** on the data
+/// stored in the neighbourhood — the property that makes decryption
+/// order-sensitive (Fig. 2b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyomino {
+    poe: CellAddr,
+    cells: BTreeMap<CellAddr, f64>,
+}
+
+impl Polyomino {
+    /// Builds a polyomino from a PoE and `(cell, voltage)` pairs.
+    ///
+    /// The PoE itself is included if present in `cells`.
+    pub fn new(poe: CellAddr, cells: impl IntoIterator<Item = (CellAddr, f64)>) -> Self {
+        Polyomino {
+            poe,
+            cells: cells.into_iter().collect(),
+        }
+    }
+
+    /// Extracts the polyomino from a voltage field: every cell with
+    /// `|v| >= threshold`.
+    pub fn from_voltages<I>(poe: CellAddr, voltages: I, threshold: f64) -> Self
+    where
+        I: IntoIterator<Item = (CellAddr, f64)>,
+    {
+        Polyomino {
+            poe,
+            cells: voltages
+                .into_iter()
+                .filter(|(_, v)| v.abs() >= threshold)
+                .collect(),
+        }
+    }
+
+    /// The point of encryption.
+    pub fn poe(&self) -> CellAddr {
+        self.poe
+    }
+
+    /// Number of affected cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell reached the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether a cell is part of the polyomino.
+    pub fn contains(&self, addr: CellAddr) -> bool {
+        self.cells.contains_key(&addr)
+    }
+
+    /// The voltage seen by a cell, if it is in the polyomino.
+    pub fn voltage(&self, addr: CellAddr) -> Option<f64> {
+        self.cells.get(&addr).copied()
+    }
+
+    /// Iterates over `(cell, voltage)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellAddr, f64)> + '_ {
+        self.cells.iter().map(|(a, v)| (*a, *v))
+    }
+
+    /// The affected cell addresses in order.
+    pub fn addrs(&self) -> Vec<CellAddr> {
+        self.cells.keys().copied().collect()
+    }
+
+    /// Number of cells shared with another polyomino.
+    pub fn overlap(&self, other: &Polyomino) -> usize {
+        self.cells
+            .keys()
+            .filter(|a| other.cells.contains_key(a))
+            .count()
+    }
+
+    /// Renders the polyomino as an ASCII grid (`#` = PoE, `o` = member,
+    /// `.` = untouched), mirroring the paper's Fig. 4 layout.
+    pub fn render(&self, dims: Dims) -> String {
+        let mut out = String::with_capacity(dims.cells() + dims.rows);
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                let a = CellAddr::new(i, j);
+                out.push(if a == self.poe {
+                    '#'
+                } else if self.contains(a) {
+                    'o'
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Polyomino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polyomino@{} ({} cells)", self.poe, self.cells.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Polyomino {
+        Polyomino::new(
+            CellAddr::new(2, 2),
+            [
+                (CellAddr::new(2, 2), 0.98),
+                (CellAddr::new(1, 2), 0.85),
+                (CellAddr::new(3, 2), -0.80),
+                (CellAddr::new(2, 1), 0.77),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_voltages_filters_below_threshold() {
+        let p = Polyomino::from_voltages(
+            CellAddr::new(0, 0),
+            [
+                (CellAddr::new(0, 0), 1.0),
+                (CellAddr::new(0, 1), 0.5),
+                (CellAddr::new(1, 0), -0.8),
+            ],
+            0.75,
+        );
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(CellAddr::new(1, 0)));
+        assert!(!p.contains(CellAddr::new(0, 1)));
+    }
+
+    #[test]
+    fn overlap_counts_shared_cells() {
+        let a = sample();
+        let b = Polyomino::new(
+            CellAddr::new(3, 2),
+            [
+                (CellAddr::new(3, 2), 0.9),
+                (CellAddr::new(2, 2), 0.8),
+                (CellAddr::new(4, 2), 0.8),
+            ],
+        );
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(b.overlap(&a), 2);
+    }
+
+    #[test]
+    fn render_marks_poe_and_members() {
+        let p = sample();
+        let grid = p.render(Dims::new(5, 5));
+        let lines: Vec<&str> = grid.lines().collect();
+        assert_eq!(lines[2].chars().nth(2), Some('#'));
+        assert_eq!(lines[1].chars().nth(2), Some('o'));
+        assert_eq!(lines[0].chars().next(), Some('.'));
+    }
+
+    #[test]
+    fn display_reports_size() {
+        assert!(sample().to_string().contains("4 cells"));
+    }
+
+    #[test]
+    fn empty_polyomino() {
+        let p = Polyomino::new(CellAddr::new(0, 0), []);
+        assert!(p.is_empty());
+        assert_eq!(p.voltage(CellAddr::new(0, 0)), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Interconnect and periphery parameters of the crossbar.
+
+use crate::error::CrossbarError;
+
+/// Wire and periphery resistances of a 1T1M crossbar.
+///
+/// The *sneak-path control* periphery (paper Fig. 1b) is modeled as
+/// resistive coupling between adjacent word lines and between adjacent bit
+/// lines, enabled only in sneak mode. Driving the PoE's row high and
+/// grounding its column then pulls neighbouring wires toward the rails with
+/// a per-wire attenuation set by `r_couple` against the cell loading — this
+/// is what localizes the polyomino around the PoE (Fig. 4) and what makes
+/// its shape depend on the stored data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParams {
+    /// Row (word line) wire resistance per cell pitch, in ohms.
+    pub r_row_segment: f64,
+    /// Column (bit line) wire resistance per cell pitch, in ohms.
+    pub r_col_segment: f64,
+    /// Driver output resistance, in ohms.
+    pub r_driver: f64,
+    /// Adjacent-wire coupling resistance of the sneak-path control
+    /// periphery, in ohms (sneak mode only).
+    pub r_couple: f64,
+    /// Regularization leak conductance from every node to ground, in
+    /// siemens. Keeps floating sub-networks numerically well-posed; chosen
+    /// far below any signal conductance.
+    pub g_leak: f64,
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        WireParams {
+            r_row_segment: 20.0,
+            r_col_segment: 20.0,
+            r_driver: 100.0,
+            r_couple: 1.5e3,
+            g_leak: 1.0e-9,
+        }
+    }
+}
+
+impl WireParams {
+    /// Creates the default parameter set (identical to [`Default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidDims`] — reused with a descriptive
+    /// reason — when any resistance is non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), CrossbarError> {
+        let all_ok = [
+            self.r_row_segment,
+            self.r_col_segment,
+            self.r_driver,
+            self.r_couple,
+            self.g_leak,
+        ]
+        .iter()
+        .all(|v| *v > 0.0 && v.is_finite());
+        if all_ok {
+            Ok(())
+        } else {
+            Err(CrossbarError::InvalidDims {
+                rows: 0,
+                cols: 0,
+                reason: "wire parameters must be positive and finite",
+            })
+        }
+    }
+
+    /// Returns a copy with wire segment resistances scaled by `1 + relative`
+    /// (the paper's §5 Monte-Carlo perturbs wire resistance by ±5 %).
+    pub fn with_wire_variation(&self, relative: f64) -> Self {
+        WireParams {
+            r_row_segment: self.r_row_segment * (1.0 + relative),
+            r_col_segment: self.r_col_segment * (1.0 + relative),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        WireParams::default().validate().expect("default wires");
+    }
+
+    #[test]
+    fn rejects_nonpositive() {
+        let w = WireParams {
+            r_driver: 0.0,
+            ..WireParams::default()
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn wire_variation_scales_segments_only() {
+        let w = WireParams::default();
+        let v = w.with_wire_variation(0.05);
+        assert!((v.r_row_segment / w.r_row_segment - 1.05).abs() < 1e-12);
+        assert!((v.r_col_segment / w.r_col_segment - 1.05).abs() < 1e-12);
+        assert_eq!(v.r_driver, w.r_driver);
+        assert_eq!(v.r_couple, w.r_couple);
+    }
+}

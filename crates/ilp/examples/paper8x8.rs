@@ -1,0 +1,14 @@
+//! Security-margin sweep of the Table 1 PoE-placement ILP (development
+//! aid; the polished version is the `table1_ilp` harness binary).
+
+use spe_ilp::PlacementProblem;
+fn main() {
+    for margin in [0usize, 32, 56, 60, 63] {
+        let t = std::time::Instant::now();
+        match PlacementProblem::paper_8x8(margin).min_poes() {
+            Ok(sol) => println!("S={margin}: P={} total_cov={} covered={} overlapped={} in {:?}",
+                sol.poes.len(), sol.total_coverage(), sol.covered, sol.overlapped, t.elapsed()),
+            Err(e) => println!("S={margin}: {e} in {:?}", t.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Depth-first branch-and-bound over the LP relaxation.
+
+use crate::error::IlpError;
+use crate::model::{Model, Sense, Solution};
+use crate::simplex::{solve_relaxation, LpOutcome};
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solves a model to proven optimality.
+///
+/// # Errors
+///
+/// See [`Model::solve`].
+pub fn solve(model: &Model) -> Result<Solution, IlpError> {
+    let n = model.num_vars();
+    let root_lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let root_upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+
+    // Objective comparison always as minimization internally.
+    let sense_sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let integral_objective = model
+        .vars
+        .iter()
+        .all(|v| !v.integer || (v.objective - v.objective.round()).abs() < 1e-12);
+    let all_integer_objective = integral_objective
+        && model
+            .vars
+            .iter()
+            .all(|v| v.integer || v.objective == 0.0);
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (internal obj, values)
+    let mut nodes = 0usize;
+    let mut stack = vec![(root_lower, root_upper)];
+
+    while let Some((lower, upper)) = stack.pop() {
+        if nodes >= model.node_limit {
+            return Err(IlpError::NodeLimit {
+                limit: model.node_limit,
+            });
+        }
+        nodes += 1;
+        let outcome = solve_relaxation(model, &lower, &upper);
+        let (objective, values) = match outcome {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+            LpOutcome::Optimal { objective, values } => (objective, values),
+        };
+        let mut bound = sense_sign * objective;
+        if all_integer_objective {
+            // The true optimum below this node is integral: tighten.
+            bound = (bound - 1e-7).ceil();
+        }
+        if let Some((best, _)) = &incumbent {
+            if bound >= *best - 1e-9 {
+                continue; // pruned
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = INT_TOL;
+        for (v, val) in values.iter().enumerate() {
+            if !model.vars[v].integer {
+                continue;
+            }
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some(v);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integer feasible: candidate incumbent.
+                let mut rounded = values.clone();
+                for (v, val) in rounded.iter_mut().enumerate() {
+                    if model.vars[v].integer {
+                        *val = val.round();
+                    }
+                }
+                let internal = sense_sign * model.objective_value(&rounded);
+                let better = incumbent
+                    .as_ref()
+                    .map(|(best, _)| internal < *best - 1e-9)
+                    .unwrap_or(true);
+                if better {
+                    incumbent = Some((internal, rounded));
+                }
+            }
+            Some(v) => {
+                let val = values[v];
+                let floor = val.floor();
+                // Explore the "round toward LP value" side first (pushed
+                // last so it pops first).
+                let mut down_upper = upper.clone();
+                down_upper[v] = floor;
+                let mut up_lower = lower.clone();
+                up_lower[v] = floor + 1.0;
+                if val - floor > 0.5 {
+                    stack.push((lower.clone(), down_upper));
+                    stack.push((up_lower, upper));
+                } else {
+                    stack.push((up_lower, upper));
+                    stack.push((lower.clone(), down_upper));
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((internal, values)) => Ok(Solution {
+            objective: sense_sign * internal,
+            values: {
+                debug_assert_eq!(values.len(), n);
+                values
+            },
+            nodes,
+        }),
+        None => Err(IlpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RelOp, Sense};
+    use proptest::prelude::*;
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut m = Model::new(Sense::Maximize);
+        // A knapsack big enough to need more than one node.
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(1.0 + (i % 5) as f64)).collect();
+        let weights: Vec<f64> = (0..12).map(|i| 2.0 + (i * 7 % 11) as f64).collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(v, w)| (*v, *w)).collect();
+        m.add_constraint(&terms, RelOp::Le, 20.0).unwrap();
+        m.node_limit = 1;
+        assert!(matches!(m.solve(), Err(IlpError::NodeLimit { limit: 1 })));
+    }
+
+    #[test]
+    fn branching_finds_non_lp_optimum() {
+        // LP relaxation is fractional; ILP optimum differs from rounding.
+        // max 8x + 11y + 6z + 4w s.t. 5x + 7y + 4z + 3w <= 14 (binary)
+        // LP opt: x=y=1, z=0.5.. ; ILP opt = 21 (x,y,w or y,z,w...).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary(8.0);
+        let y = m.add_binary(11.0);
+        let z = m.add_binary(6.0);
+        let w = m.add_binary(4.0);
+        m.add_constraint(&[(x, 5.0), (y, 7.0), (z, 4.0), (w, 3.0)], RelOp::Le, 14.0)
+            .unwrap();
+        let sol = m.solve().expect("solves");
+        assert_eq!(sol.objective.round() as i64, 21);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        // Random small binary knapsacks: branch-and-bound must match brute force.
+        #[test]
+        fn matches_bruteforce_on_knapsacks(seed in 0u64..5000) {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) % 9 + 1) as f64
+            };
+            let n = 8;
+            let profits: Vec<f64> = (0..n).map(|_| next()).collect();
+            let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+            let cap = weights.iter().sum::<f64>() * 0.5;
+
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = profits.iter().map(|p| m.add_binary(*p)).collect();
+            let terms: Vec<_> = vars.iter().zip(&weights).map(|(v, w)| (*v, *w)).collect();
+            m.add_constraint(&terms, RelOp::Le, cap).unwrap();
+            let sol = m.solve().expect("solves");
+
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                let wsum: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+                if wsum <= cap + 1e-9 {
+                    let p: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| profits[i]).sum();
+                    best = best.max(p);
+                }
+            }
+            prop_assert!((sol.objective - best).abs() < 1e-6,
+                "bb {} vs brute {}", sol.objective, best);
+        }
+
+        // Random covering problems: minimize selected sets, coverage >= 1.
+        #[test]
+        fn matches_bruteforce_on_covers(seed in 0u64..3000) {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) as usize
+            };
+            let n_sets = 7;
+            let n_elems = 6;
+            // Each set covers a random nonempty subset; ensure coverable.
+            let mut covers = vec![0u32; n_sets];
+            for c in covers.iter_mut() {
+                *c = (next() as u32) & ((1 << n_elems) - 1);
+            }
+            covers[0] = (1 << n_elems) - 1; // guarantee feasibility
+            let mut m = Model::new(Sense::Minimize);
+            let vars: Vec<_> = (0..n_sets).map(|_| m.add_binary(1.0)).collect();
+            for e in 0..n_elems {
+                let terms: Vec<_> = covers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| *c >> e & 1 == 1)
+                    .map(|(s, _)| (vars[s], 1.0))
+                    .collect();
+                m.add_constraint(&terms, RelOp::Ge, 1.0).unwrap();
+            }
+            let sol = m.solve().expect("solves");
+
+            let mut best = usize::MAX;
+            for mask in 0u32..(1 << n_sets) {
+                let mut cov = 0u32;
+                for s in 0..n_sets {
+                    if mask >> s & 1 == 1 {
+                        cov |= covers[s];
+                    }
+                }
+                if cov & ((1 << n_elems) - 1) == (1 << n_elems) - 1 {
+                    best = best.min(mask.count_ones() as usize);
+                }
+            }
+            prop_assert_eq!(sol.objective.round() as usize, best);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the ILP solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpError {
+    /// The model references a variable that does not exist.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables in the model.
+        count: usize,
+    },
+    /// A coefficient or bound is not finite.
+    NonFiniteValue {
+        /// Where the value appeared.
+        context: &'static str,
+    },
+    /// The model has no feasible solution.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Branch-and-bound exceeded its node budget without proving optimality.
+    NodeLimit {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::UnknownVariable { index, count } => {
+                write!(f, "unknown variable {index} (model has {count})")
+            }
+            IlpError::NonFiniteValue { context } => {
+                write!(f, "non-finite value in {context}")
+            }
+            IlpError::Infeasible => write!(f, "model is infeasible"),
+            IlpError::Unbounded => write!(f, "model is unbounded"),
+            IlpError::NodeLimit { limit } => {
+                write!(f, "node limit of {limit} exhausted before optimality")
+            }
+        }
+    }
+}
+
+impl Error for IlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(IlpError::Infeasible.to_string().contains("infeasible"));
+        assert!(IlpError::NodeLimit { limit: 10 }.to_string().contains("10"));
+    }
+}

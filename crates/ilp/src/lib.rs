@@ -1,0 +1,41 @@
+//! A small exact 0/1 (mixed-)integer linear programming solver.
+//!
+//! The paper determines PoE locations with the FICO Xpress ILP solver
+//! (Table 1). This crate replaces it with a self-contained solver sized for
+//! that problem class (tens of binary variables, a few hundred rows):
+//!
+//! * [`Model`] — build mixed binary/continuous models with `≤`/`≥`/`=` rows.
+//! * [`simplex`] — a dense two-phase primal simplex for the LP relaxation.
+//! * [`branch`] — depth-first branch-and-bound with LP bounding, fractional
+//!   branching and integral-objective bound tightening.
+//! * [`cover`] — the Table 1 PoE-placement model (coverage between 1 and 2
+//!   per cell, tunable security margin `S`, minimum PoE count objective) and
+//!   the fixed-PoE coverage model behind Fig. 6.
+//!
+//! # Example
+//!
+//! ```
+//! use spe_ilp::{Model, RelOp, Sense};
+//!
+//! # fn main() -> Result<(), spe_ilp::IlpError> {
+//! // maximize x + y  s.t.  x + 2y <= 3,  3x + y <= 4   (binary x, y)
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_binary(1.0);
+//! let y = m.add_binary(1.0);
+//! m.add_constraint(&[(x, 1.0), (y, 2.0)], RelOp::Le, 3.0)?;
+//! m.add_constraint(&[(x, 3.0), (y, 1.0)], RelOp::Le, 4.0)?;
+//! let sol = m.solve()?;
+//! assert_eq!(sol.objective.round() as i64, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod branch;
+pub mod cover;
+pub mod error;
+pub mod model;
+pub mod simplex;
+
+pub use cover::{CoverageSolution, PlacementProblem, PolyominoShape};
+pub use error::IlpError;
+pub use model::{Model, RelOp, Sense, Solution, VarId};

@@ -1,0 +1,376 @@
+//! Model construction for mixed 0/1 linear programs.
+
+use crate::branch;
+use crate::error::IlpError;
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relational operator of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The variable's index within the model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A variable's static description.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Variable {
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+    pub integer: bool,
+}
+
+/// A linear constraint row.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Constraint {
+    pub coeffs: Vec<(usize, f64)>,
+    pub op: RelOp,
+    pub rhs: f64,
+}
+
+/// A mixed 0/1 linear program.
+///
+/// Variables are continuous within `[lower, upper]` unless marked integer;
+/// integer variables are restricted to integral values within their bounds
+/// (the solver is exercised only with 0/1 integers, but the machinery is
+/// general).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    /// Branch-and-bound node budget.
+    pub node_limit: usize,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Objective value at the optimum (in the model's own sense).
+    pub objective: f64,
+    /// Variable values, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+impl Solution {
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this model.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Whether a 0/1 variable is set in the solution.
+    pub fn is_set(&self, var: VarId) -> bool {
+        self.values[var.0] > 0.5
+    }
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            node_limit: 2_000_000,
+        }
+    }
+
+    /// Adds a binary (0/1) variable with the given objective coefficient.
+    pub fn add_binary(&mut self, objective: f64) -> VarId {
+        self.add_var(0.0, 1.0, objective, true)
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]`.
+    pub fn add_continuous(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.add_var(lower, upper, objective, false)
+    }
+
+    fn add_var(&mut self, lower: f64, upper: f64, objective: f64, integer: bool) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            lower,
+            upper,
+            objective,
+            integer,
+        });
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a constraint `Σ coeffᵢ·varᵢ (op) rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] for a stale handle and
+    /// [`IlpError::NonFiniteValue`] for non-finite coefficients.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        op: RelOp,
+        rhs: f64,
+    ) -> Result<(), IlpError> {
+        if !rhs.is_finite() {
+            return Err(IlpError::NonFiniteValue { context: "rhs" });
+        }
+        let mut coeffs = Vec::with_capacity(terms.len());
+        for (var, c) in terms {
+            if var.0 >= self.vars.len() {
+                return Err(IlpError::UnknownVariable {
+                    index: var.0,
+                    count: self.vars.len(),
+                });
+            }
+            if !c.is_finite() {
+                return Err(IlpError::NonFiniteValue {
+                    context: "constraint coefficient",
+                });
+            }
+            coeffs.push((var.0, *c));
+        }
+        self.constraints.push(Constraint { coeffs, op, rhs });
+        Ok(())
+    }
+
+    /// Solves only the LP relaxation (integrality dropped), exposing the
+    /// intermediate bound branch-and-bound works from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::Infeasible`] or [`IlpError::Unbounded`] from the
+    /// relaxation.
+    pub fn solve_relaxation(&self) -> Result<Solution, IlpError> {
+        let lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
+        match crate::simplex::solve_relaxation(self, &lower, &upper) {
+            crate::simplex::LpOutcome::Optimal { objective, values } => Ok(Solution {
+                objective,
+                values,
+                nodes: 0,
+            }),
+            crate::simplex::LpOutcome::Infeasible => Err(IlpError::Infeasible),
+            crate::simplex::LpOutcome::Unbounded => Err(IlpError::Unbounded),
+        }
+    }
+
+    /// Solves the model to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::Infeasible`] — no assignment satisfies the rows.
+    /// * [`IlpError::Unbounded`] — the relaxation is unbounded.
+    /// * [`IlpError::NodeLimit`] — the node budget ran out first.
+    pub fn solve(&self) -> Result<Solution, IlpError> {
+        branch::solve(self)
+    }
+
+    /// Evaluates the objective for an assignment (in the model's sense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.vars.len());
+        self.vars
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.objective * x)
+            .sum()
+    }
+
+    /// Checks whether an assignment satisfies every constraint and bound
+    /// within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        assert_eq!(values.len(), self.vars.len());
+        for (v, x) in self.vars.iter().zip(values) {
+            if *x < v.lower - tol || *x > v.upper + tol {
+                return false;
+            }
+            if v.integer && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|(i, a)| a * values[*i]).sum();
+            let ok = match c.op {
+                RelOp::Le => lhs <= c.rhs + tol,
+                RelOp::Ge => lhs >= c.rhs - tol,
+                RelOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_knapsack() {
+        // maximize 10a + 6b + 4c s.t. a+b+c<=2, 5a+4b+3c<=8 (binary)
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(6.0);
+        let c = m.add_binary(4.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], RelOp::Le, 2.0)
+            .unwrap();
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], RelOp::Le, 8.0)
+            .unwrap();
+        // {a, b} weighs 9 > 8, so the optimum is {a, c} at 14.
+        let sol = m.solve().expect("solves");
+        assert_eq!(sol.objective.round() as i64, 14);
+        assert!(sol.is_set(a));
+        assert!(!sol.is_set(b));
+        assert!(sol.is_set(c));
+    }
+
+    #[test]
+    fn minimize_cover() {
+        // Minimal set cover: elements {0,1,2}; sets A={0,1}, B={1,2}, C={2}.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary(1.0);
+        let b = m.add_binary(1.0);
+        let c = m.add_binary(1.0);
+        m.add_constraint(&[(a, 1.0)], RelOp::Ge, 1.0).unwrap(); // element 0
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], RelOp::Ge, 1.0).unwrap(); // 1
+        m.add_constraint(&[(b, 1.0), (c, 1.0)], RelOp::Ge, 1.0).unwrap(); // 2
+        let sol = m.solve().expect("solves");
+        assert_eq!(sol.objective.round() as i64, 2);
+        assert!(sol.is_set(a));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x + y s.t. x + y = 1, x - y = 1  -> x=1, y=0.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Eq, 1.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Eq, 1.0).unwrap();
+        let sol = m.solve().expect("solves");
+        assert!(sol.is_set(x) && !sol.is_set(y));
+    }
+
+    #[test]
+    fn infeasible_model_reports() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        m.add_constraint(&[(x, 1.0)], RelOp::Ge, 2.0).unwrap();
+        assert_eq!(m.solve(), Err(IlpError::Infeasible));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // maximize y (continuous, <= 2.5) + 2x (binary), y <= 1.7 + x.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary(2.0);
+        let y = m.add_continuous(0.0, 2.5, 1.0);
+        m.add_constraint(&[(y, 1.0), (x, -1.0)], RelOp::Le, 1.7).unwrap();
+        let sol = m.solve().expect("solves");
+        assert!(sol.is_set(x));
+        assert!((sol.value(y) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxation_bounds_the_integer_optimum() {
+        // max 8x + 11y + 6z + 4w s.t. 5x+7y+4z+3w <= 14: LP 22, ILP 21.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary(8.0);
+        let y = m.add_binary(11.0);
+        let z = m.add_binary(6.0);
+        let w = m.add_binary(4.0);
+        m.add_constraint(&[(x, 5.0), (y, 7.0), (z, 4.0), (w, 3.0)], RelOp::Le, 14.0)
+            .unwrap();
+        let lp = m.solve_relaxation().expect("lp");
+        let ilp = m.solve().expect("ilp");
+        assert!(lp.objective >= ilp.objective - 1e-9, "LP must bound the ILP");
+        assert!(lp.objective > ilp.objective, "this instance has an LP gap");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let mut m1 = Model::new(Sense::Minimize);
+        let _ = m1.add_binary(1.0);
+        let mut m2 = Model::new(Sense::Minimize);
+        let foreign = VarId(5);
+        assert!(matches!(
+            m2.add_constraint(&[(foreign, 1.0)], RelOp::Le, 1.0),
+            Err(IlpError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        assert!(m
+            .add_constraint(&[(x, f64::NAN)], RelOp::Le, 1.0)
+            .is_err());
+        assert!(m
+            .add_constraint(&[(x, 1.0)], RelOp::Le, f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 1.0).unwrap();
+        assert!(m.is_feasible(&[1.0, 0.0], 1e-9));
+        assert!(!m.is_feasible(&[0.0, 0.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 0.6], 1e-9)); // fractional integer var
+    }
+}

@@ -1,0 +1,522 @@
+//! Dense two-phase primal simplex for the LP relaxation.
+//!
+//! The branch-and-bound driver calls [`solve_relaxation`] once per node with
+//! node-specific variable bounds. Fixed variables (`lower == upper`) are
+//! substituted out before the tableau is built, so deep nodes solve smaller
+//! LPs.
+
+// Tableau index arithmetic mirrors the textbook pivoting rules.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{Model, RelOp, Sense};
+
+/// Outcome of an LP relaxation solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// The relaxation has an optimum.
+    Optimal {
+        /// Objective value in the *model's* sense.
+        objective: f64,
+        /// Variable values, indexed like the model.
+        values: Vec<f64>,
+    },
+    /// No assignment satisfies the rows within the given bounds.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP relaxation of `model` with overriding variable bounds.
+///
+/// # Panics
+///
+/// Panics if the bound slices do not match the model's variable count, or a
+/// lower bound exceeds its upper bound.
+pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcome {
+    assert_eq!(lower.len(), model.num_vars());
+    assert_eq!(upper.len(), model.num_vars());
+    for (l, u) in lower.iter().zip(upper) {
+        assert!(l <= u, "lower bound {l} exceeds upper bound {u}");
+    }
+
+    // Partition variables into fixed (substituted) and free (columns).
+    let n = model.num_vars();
+    let mut col_of = vec![usize::MAX; n];
+    let mut free_vars = Vec::new();
+    for v in 0..n {
+        if (upper[v] - lower[v]).abs() > EPS {
+            col_of[v] = free_vars.len();
+            free_vars.push(v);
+        }
+    }
+    let nf = free_vars.len();
+
+    // Objective in internal minimize convention, over shifted variables
+    // x = lower + y, 0 <= y <= span.
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; nf];
+    let mut const_obj = 0.0; // model-sense objective contribution of lower/fixed parts
+    for v in 0..n {
+        let c = model.vars[v].objective;
+        const_obj += c * lower[v];
+        if col_of[v] != usize::MAX {
+            cost[col_of[v]] = sign * c;
+        }
+    }
+
+    // Rows: model constraints (with fixed/lower parts folded into rhs), plus
+    // upper-bound rows y_j <= span_j for finite spans.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        op: RelOp,
+        rhs: f64,
+    }
+    let mut rows = Vec::new();
+    for c in &model.constraints {
+        let mut rhs = c.rhs;
+        let mut coeffs = Vec::new();
+        for (v, a) in &c.coeffs {
+            rhs -= a * lower[*v];
+            if col_of[*v] != usize::MAX {
+                coeffs.push((col_of[*v], *a));
+            }
+        }
+        // Merge duplicate columns.
+        coeffs.sort_by_key(|(j, _)| *j);
+        coeffs.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        if coeffs.is_empty() {
+            let ok = match c.op {
+                RelOp::Le => 0.0 <= rhs + EPS,
+                RelOp::Ge => 0.0 >= rhs - EPS,
+                RelOp::Eq => rhs.abs() <= EPS,
+            };
+            if !ok {
+                return LpOutcome::Infeasible;
+            }
+            continue;
+        }
+        rows.push(Row {
+            coeffs,
+            op: c.op,
+            rhs,
+        });
+    }
+    for (j, v) in free_vars.iter().enumerate() {
+        let span = upper[*v] - lower[*v];
+        if span.is_finite() {
+            rows.push(Row {
+                coeffs: vec![(j, 1.0)],
+                op: RelOp::Le,
+                rhs: span,
+            });
+        }
+    }
+
+    let m = rows.len();
+    if nf == 0 {
+        // Everything fixed; rows already checked above where possible.
+        let values: Vec<f64> = (0..n).map(|v| lower[v]).collect();
+        if model.is_feasible(&values, 1e-7) || m == 0 {
+            return LpOutcome::Optimal {
+                objective: const_obj,
+                values,
+            };
+        }
+        return LpOutcome::Infeasible;
+    }
+
+    // Build the tableau. Columns: nf structural + m slack/surplus + (#artificials).
+    // First normalize rhs >= 0.
+    let mut a = vec![vec![0.0; nf]; m];
+    let mut b = vec![0.0; m];
+    let mut ops = vec![RelOp::Eq; m];
+    for (i, row) in rows.iter().enumerate() {
+        let flip = row.rhs < 0.0;
+        let s = if flip { -1.0 } else { 1.0 };
+        for (j, v) in &row.coeffs {
+            a[i][*j] = s * v;
+        }
+        b[i] = s * row.rhs;
+        ops[i] = match (row.op, flip) {
+            (RelOp::Le, false) | (RelOp::Ge, true) => RelOp::Le,
+            (RelOp::Ge, false) | (RelOp::Le, true) => RelOp::Ge,
+            (RelOp::Eq, _) => RelOp::Eq,
+        };
+    }
+
+    // Column layout.
+    let mut ncols = nf;
+    let mut slack_col = vec![usize::MAX; m];
+    let mut art_col = vec![usize::MAX; m];
+    for i in 0..m {
+        match ops[i] {
+            RelOp::Le => {
+                slack_col[i] = ncols;
+                ncols += 1;
+            }
+            RelOp::Ge => {
+                slack_col[i] = ncols;
+                ncols += 1;
+                art_col[i] = ncols;
+                ncols += 1;
+            }
+            RelOp::Eq => {
+                art_col[i] = ncols;
+                ncols += 1;
+            }
+        }
+    }
+
+    // Tableau: m rows x (ncols + 1), basis per row.
+    let mut t = vec![vec![0.0; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    for i in 0..m {
+        t[i][..nf].copy_from_slice(&a[i]);
+        t[i][ncols] = b[i];
+        match ops[i] {
+            RelOp::Le => {
+                t[i][slack_col[i]] = 1.0;
+                basis[i] = slack_col[i];
+            }
+            RelOp::Ge => {
+                t[i][slack_col[i]] = -1.0;
+                t[i][art_col[i]] = 1.0;
+                basis[i] = art_col[i];
+            }
+            RelOp::Eq => {
+                t[i][art_col[i]] = 1.0;
+                basis[i] = art_col[i];
+            }
+        }
+    }
+
+    let is_artificial = |col: usize| art_col.contains(&col) && col >= nf;
+
+    // Phase 1: minimize sum of artificials.
+    let has_artificials = art_col.iter().any(|c| *c != usize::MAX);
+    if has_artificials {
+        let mut z = vec![0.0; ncols + 1];
+        for i in 0..m {
+            if art_col[i] != usize::MAX {
+                // cost row = sum of artificial rows (since artificials basic).
+                for j in 0..=ncols {
+                    z[j] += t[i][j];
+                }
+            }
+        }
+        // Reduced costs: c_j - z_j where c_j = 1 for artificials else 0.
+        // Stored as objective row `obj[j] = z_j - c_j` so we pivot on obj > 0.
+        let mut obj = z;
+        for i in 0..m {
+            if art_col[i] != usize::MAX {
+                obj[art_col[i]] -= 1.0;
+            }
+        }
+        if !iterate(&mut t, &mut obj, &mut basis, ncols, m) {
+            // Phase 1 is never unbounded (objective bounded below by 0).
+            unreachable!("phase 1 cannot be unbounded");
+        }
+        if obj[ncols] > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial still in the basis out (or drop its row).
+        for i in 0..m {
+            if is_artificial(basis[i]) {
+                let pivot_col = (0..nf + m)
+                    .filter(|j| *j < ncols && !is_artificial(*j))
+                    .find(|j| t[i][*j].abs() > 1e-7);
+                if let Some(j) = pivot_col {
+                    pivot(&mut t, &mut obj, i, j, ncols, m);
+                    basis[i] = j;
+                }
+                // else: redundant row; leave the artificial basic at 0.
+            }
+        }
+    }
+
+    // Phase 2: objective row for the real costs over the current basis.
+    let mut obj = vec![0.0; ncols + 1];
+    for (j, cj) in cost.iter().enumerate() {
+        obj[j] = -cj;
+    }
+    // Artificials must never re-enter: give them strongly unfavourable
+    // reduced cost by zeroing their columns out of consideration (handled in
+    // the pivot rule below via the blocked set).
+    let blocked: Vec<bool> = (0..ncols).map(is_artificial).collect();
+    // Express objective in terms of nonbasic variables.
+    for i in 0..m {
+        let bj = basis[i];
+        let coef = obj[bj];
+        if coef.abs() > 0.0 {
+            for j in 0..=ncols {
+                obj[j] -= coef * t[i][j];
+            }
+            obj[bj] = 0.0;
+        }
+    }
+    if !iterate_blocked(&mut t, &mut obj, &mut basis, ncols, m, &blocked) {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract solution.
+    let mut y = vec![0.0; ncols];
+    for i in 0..m {
+        y[basis[i]] = t[i][ncols];
+    }
+    let mut values = vec![0.0; n];
+    for v in 0..n {
+        values[v] = if col_of[v] == usize::MAX {
+            lower[v]
+        } else {
+            lower[v] + y[col_of[v]]
+        };
+    }
+    // The objective row's rhs holds the negated maximize-internal value,
+    // which equals the minimized `sign * (c·x - c·lower)` directly; convert
+    // back to the model sense.
+    let internal = obj[ncols];
+    let objective = const_obj + sign * internal;
+    LpOutcome::Optimal { objective, values }
+}
+
+/// Runs simplex iterations until optimal (returns true) or unbounded
+/// (returns false). The objective row convention: pivot while some
+/// `obj[j] > EPS` for nonbasic j.
+fn iterate(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    ncols: usize,
+    m: usize,
+) -> bool {
+    let blocked = vec![false; ncols];
+    iterate_blocked(t, obj, basis, ncols, m, &blocked)
+}
+
+fn iterate_blocked(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    ncols: usize,
+    m: usize,
+    blocked: &[bool],
+) -> bool {
+    let mut iters = 0usize;
+    let bland_after = 50 * (m + ncols) + 1000;
+    loop {
+        iters += 1;
+        let use_bland = iters > bland_after;
+        // Entering column.
+        let mut enter = None;
+        if use_bland {
+            for j in 0..ncols {
+                if !blocked[j] && obj[j] > EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = EPS;
+            for j in 0..ncols {
+                if !blocked[j] && obj[j] > best {
+                    best = obj[j];
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(e) = enter else {
+            return true; // optimal
+        };
+        // Ratio test.
+        let mut leave = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let aie = t[i][e];
+            if aie > EPS {
+                let ratio = t[i][ncols] / aie;
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l: usize| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return false; // unbounded
+        };
+        pivot(t, obj, l, e, ncols, m);
+        basis[l] = e;
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, ncols: usize, m: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > 1e-12, "pivot on a (near-)zero element");
+    for j in 0..=ncols {
+        t[row][j] /= p;
+    }
+    t[row][col] = 1.0;
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let f = t[i][col];
+        if f.abs() > 0.0 {
+            for j in 0..=ncols {
+                t[i][j] -= f * t[row][j];
+            }
+            t[i][col] = 0.0;
+        }
+    }
+    let f = obj[col];
+    if f.abs() > 0.0 {
+        for j in 0..=ncols {
+            obj[j] -= f * t[row][j];
+        }
+        obj[col] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, RelOp, Sense};
+
+    fn lp(model: &Model) -> LpOutcome {
+        let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+        solve_relaxation(model, &lower, &upper)
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; optimum 36 at (2,6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(0.0, f64::INFINITY, 3.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 5.0);
+        m.add_constraint(&[(x, 1.0)], RelOp::Le, 4.0).unwrap();
+        m.add_constraint(&[(y, 2.0)], RelOp::Le, 12.0).unwrap();
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], RelOp::Le, 18.0).unwrap();
+        match lp(&m) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 36.0).abs() < 1e-6, "objective {objective}");
+                assert!((values[0] - 2.0).abs() < 1e-6);
+                assert!((values[1] - 6.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ge_and_eq_rows_need_phase1() {
+        // min x + y s.t. x + y >= 2, x - y = 0 -> x = y = 1, objective 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        let y = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 2.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Eq, 0.0).unwrap();
+        match lp(&m) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 2.0).abs() < 1e-6);
+                assert!((values[0] - 1.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], RelOp::Ge, 2.0).unwrap();
+        assert_eq!(lp(&m), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 0.0);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Le, 1.0).unwrap();
+        assert_eq!(lp(&m), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        let y = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 1.5).unwrap();
+        // Fix x at 1.
+        let out = solve_relaxation(&m, &[1.0, 0.0], &[1.0, 1.0]);
+        match out {
+            LpOutcome::Optimal { objective, values } => {
+                assert_eq!(values[0], 1.0);
+                assert!((values[1] - 0.5).abs() < 1e-6);
+                assert!((objective - 1.5).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min -x s.t. -x >= -3, x <= 5 -> x = 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous(0.0, 5.0, -1.0);
+        m.add_constraint(&[(x, -1.0)], RelOp::Ge, -3.0).unwrap();
+        match lp(&m) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((values[0] - 3.0).abs() < 1e-6);
+                assert!((objective + 3.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_variables_fixed() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(2.0);
+        m.add_constraint(&[(x, 1.0)], RelOp::Ge, 1.0).unwrap();
+        match solve_relaxation(&m, &[1.0], &[1.0]) {
+            LpOutcome::Optimal { objective, values } => {
+                assert_eq!(values, vec![1.0]);
+                assert!((objective - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        assert_eq!(solve_relaxation(&m, &[0.0], &[0.0]), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A problem with heavy degeneracy (many redundant rows).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        let y = m.add_continuous(0.0, 1.0, 1.0);
+        for _ in 0..20 {
+            m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Le, 1.0).unwrap();
+        }
+        match lp(&m) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 1.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for device-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by device-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A parameter value is outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+    /// A requested resistance target cannot be represented by the device.
+    ResistanceOutOfRange {
+        /// The rejected resistance in ohms.
+        resistance: f64,
+        /// Device lower bound (`r_on`) in ohms.
+        r_on: f64,
+        /// Device upper bound (`r_off`) in ohms.
+        r_off: f64,
+    },
+    /// A pulse-width search failed to converge on a target state.
+    PulseSearchFailed {
+        /// Resistance the search started from, in ohms.
+        from: f64,
+        /// Resistance the search tried to reach, in ohms.
+        to: f64,
+        /// Pulse voltage used, in volts.
+        voltage: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name}={value}: {constraint}"),
+            DeviceError::ResistanceOutOfRange {
+                resistance,
+                r_on,
+                r_off,
+            } => write!(
+                f,
+                "resistance {resistance} ohm outside device range [{r_on}, {r_off}]"
+            ),
+            DeviceError::PulseSearchFailed { from, to, voltage } => write!(
+                f,
+                "pulse width search failed: {from} ohm -> {to} ohm at {voltage} V"
+            ),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::ResistanceOutOfRange {
+            resistance: 5.0,
+            r_on: 10.0,
+            r_off: 20.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5"));
+        assert!(s.contains("outside"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

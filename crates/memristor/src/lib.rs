@@ -1,0 +1,47 @@
+//! TEAM memristor device model with multi-level-cell (MLC) support.
+//!
+//! This crate is the device-level substrate of the SNVMM reproduction. It
+//! implements the ThrEshold Adaptive Memristor (TEAM) model of Kvatinsky et
+//! al. — the same device model the paper integrates with HSPICE — as a pure
+//! Rust state-integration engine:
+//!
+//! * [`DeviceParams`] — physical parameters (resistance bounds, switching
+//!   rates, current thresholds, window-function exponents) with support for
+//!   parametric variation (used by the Monte-Carlo and *hardware avalanche*
+//!   experiments).
+//! * [`Memristor`] — a single device holding a continuous internal state
+//!   `x ∈ [0, 1]`; voltages applied over time move the state with the
+//!   nonlinear, thresholded, hysteretic TEAM dynamics.
+//! * [`MlcLevel`] — the four-level (2 bits/cell) quantization the paper's
+//!   NVMM uses, plus closed-loop program-and-verify writing.
+//! * [`pulse`] — pulse descriptors and the hysteresis-aware pulse-width
+//!   search that decryption relies on (paper Fig. 5: a `+1 V / 0.071 µs`
+//!   encryption pulse needs a `−1 V / 0.015 µs` pulse to undo).
+//!
+//! # Example
+//!
+//! ```
+//! use spe_memristor::{DeviceParams, Memristor, MlcLevel};
+//!
+//! let params = DeviceParams::default();
+//! let mut cell = Memristor::with_level(&params, MlcLevel::L10);
+//! // A positive pulse raises resistance (toward logic 00).
+//! cell.apply_pulse(1.0, 0.071e-6);
+//! assert!(cell.resistance() > MlcLevel::L10.nominal_resistance(&params));
+//! ```
+
+pub mod endurance;
+pub mod error;
+pub mod mlc;
+pub mod params;
+pub mod pulse;
+pub mod team;
+pub mod variation;
+
+pub use endurance::{EnduranceImpact, EnduranceMeter};
+pub use error::DeviceError;
+pub use mlc::MlcLevel;
+pub use params::DeviceParams;
+pub use pulse::{Pulse, PulseWidthSearch};
+pub use team::Memristor;
+pub use variation::Variation;

@@ -1,0 +1,230 @@
+//! Multi-level cell (MLC-2) quantization: two bits per memristor.
+
+use crate::params::DeviceParams;
+use crate::team::Memristor;
+use std::fmt;
+
+/// The four logic levels of an MLC-2 memristor cell.
+///
+/// Logic value falls as resistance rises (paper Fig. 5: encrypting logic
+/// `10` raises its resistance to 172 kΩ = logic `00`). Nominal level
+/// resistances sit inside `[r_on, r_off]` with guard bands; quantization
+/// boundaries are the midpoints between adjacent nominal values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MlcLevel {
+    /// Logic `00` — highest resistance (≈ 170 kΩ nominal).
+    L00,
+    /// Logic `01` (≈ 110 kΩ nominal).
+    L01,
+    /// Logic `10` (≈ 60 kΩ nominal).
+    L10,
+    /// Logic `11` — lowest resistance (≈ 15 kΩ nominal).
+    L11,
+}
+
+impl MlcLevel {
+    /// All four levels, ordered from logic `00` to `11`.
+    pub const ALL: [MlcLevel; 4] = [MlcLevel::L00, MlcLevel::L01, MlcLevel::L10, MlcLevel::L11];
+
+    /// Nominal level resistances as fractions of the `[r_on, r_off]` span,
+    /// ordered `00, 01, 10, 11`.
+    const FRACTIONS: [f64; 4] = [
+        0.842_105_263_157_894_7, // ≈ 170 kΩ for the default 10k..200k device
+        0.526_315_789_473_684_2, // ≈ 110 kΩ
+        0.263_157_894_736_842_1, // ≈  60 kΩ
+        0.026_315_789_473_684_2, // ≈  15 kΩ
+    ];
+
+    /// Builds a level from its two-bit logic value (`0b00` through `0b11`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    pub fn from_bits(bits: u8) -> MlcLevel {
+        match bits {
+            0b00 => MlcLevel::L00,
+            0b01 => MlcLevel::L01,
+            0b10 => MlcLevel::L10,
+            0b11 => MlcLevel::L11,
+            _ => panic!("MLC-2 level must be a 2-bit value, got {bits}"),
+        }
+    }
+
+    /// The two-bit logic value of this level.
+    pub fn bits(self) -> u8 {
+        match self {
+            MlcLevel::L00 => 0b00,
+            MlcLevel::L01 => 0b01,
+            MlcLevel::L10 => 0b10,
+            MlcLevel::L11 => 0b11,
+        }
+    }
+
+    /// Index `0..4` in `00, 01, 10, 11` order.
+    fn index(self) -> usize {
+        self.bits() as usize
+    }
+
+    /// Nominal programmed resistance for this level on a given device.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spe_memristor::{DeviceParams, MlcLevel};
+    /// let p = DeviceParams::default();
+    /// let r = MlcLevel::L00.nominal_resistance(&p);
+    /// assert!((r - 170.0e3).abs() < 1.0e3);
+    /// ```
+    pub fn nominal_resistance(self, params: &DeviceParams) -> f64 {
+        let f = Self::FRACTIONS[self.index()];
+        params.r_on + f * (params.r_off - params.r_on)
+    }
+
+    /// Quantizes a resistance to the nearest MLC level.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spe_memristor::{DeviceParams, MlcLevel};
+    /// let p = DeviceParams::default();
+    /// assert_eq!(MlcLevel::quantize(172.0e3, &p), MlcLevel::L00);
+    /// assert_eq!(MlcLevel::quantize(58.0e3, &p), MlcLevel::L10);
+    /// ```
+    pub fn quantize(resistance: f64, params: &DeviceParams) -> MlcLevel {
+        let mut best = MlcLevel::L00;
+        let mut best_dist = f64::INFINITY;
+        for level in MlcLevel::ALL {
+            let d = (level.nominal_resistance(params) - resistance).abs();
+            if d < best_dist {
+                best_dist = d;
+                best = level;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for MlcLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02b}", self.bits())
+    }
+}
+
+/// Programs a cell to a target level with closed-loop program-and-verify.
+///
+/// Real MLC NVMMs iterate short write pulses and verify reads until the cell
+/// lands inside the target band; this mirrors that controller behaviour and
+/// is how the NVMM model performs logical writes. Returns the number of
+/// pulses used.
+///
+/// # Example
+///
+/// ```
+/// use spe_memristor::{mlc, DeviceParams, Memristor, MlcLevel};
+/// let p = DeviceParams::default();
+/// let mut cell = Memristor::with_level(&p, MlcLevel::L11);
+/// mlc::program_verify(&mut cell, MlcLevel::L00, 256);
+/// assert_eq!(cell.level(), MlcLevel::L00);
+/// ```
+pub fn program_verify(cell: &mut Memristor, target: MlcLevel, max_pulses: u32) -> u32 {
+    let params = cell.params().clone();
+    let target_r = target.nominal_resistance(&params);
+    let tolerance = 0.02 * (params.r_off - params.r_on);
+    let pulse_width = 2.0e-9;
+    let mut pulses = 0;
+    while pulses < max_pulses {
+        let r = cell.resistance();
+        let error = target_r - r;
+        if error.abs() <= tolerance {
+            break;
+        }
+        let v = if error > 0.0 { 1.0 } else { -1.0 };
+        cell.apply_pulse(v, pulse_width);
+        pulses += 1;
+        if cell.resistance() == r {
+            // Stuck at a rail or sub-threshold: a longer/full-swing pulse.
+            cell.apply_pulse(v * 1.2, 4.0 * pulse_width);
+            pulses += 1;
+        }
+    }
+    pulses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for b in 0..4u8 {
+            assert_eq!(MlcLevel::from_bits(b).bits(), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit")]
+    fn from_bits_rejects_wide_values() {
+        MlcLevel::from_bits(4);
+    }
+
+    #[test]
+    fn nominal_resistances_are_ordered() {
+        let p = DeviceParams::default();
+        let rs: Vec<f64> = MlcLevel::ALL
+            .iter()
+            .map(|l| l.nominal_resistance(&p))
+            .collect();
+        assert!(rs[0] > rs[1] && rs[1] > rs[2] && rs[2] > rs[3]);
+    }
+
+    #[test]
+    fn quantize_nominals_is_identity() {
+        let p = DeviceParams::default();
+        for level in MlcLevel::ALL {
+            assert_eq!(MlcLevel::quantize(level.nominal_resistance(&p), &p), level);
+        }
+    }
+
+    #[test]
+    fn display_shows_two_bits() {
+        assert_eq!(MlcLevel::L10.to_string(), "10");
+        assert_eq!(MlcLevel::L00.to_string(), "00");
+    }
+
+    #[test]
+    fn program_verify_reaches_every_level_from_every_level() {
+        let p = DeviceParams::default();
+        for from in MlcLevel::ALL {
+            for to in MlcLevel::ALL {
+                let mut cell = Memristor::with_level(&p, from);
+                let pulses = program_verify(&mut cell, to, 4096);
+                assert_eq!(
+                    cell.level(),
+                    to,
+                    "program {from} -> {to} landed at {} after {pulses} pulses",
+                    cell.level()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_is_total(r in 10.0e3f64..200.0e3) {
+            let p = DeviceParams::default();
+            let _ = MlcLevel::quantize(r, &p);
+        }
+
+        #[test]
+        fn quantize_picks_nearest(r in 10.0e3f64..200.0e3) {
+            let p = DeviceParams::default();
+            let picked = MlcLevel::quantize(r, &p);
+            let picked_d = (picked.nominal_resistance(&p) - r).abs();
+            for level in MlcLevel::ALL {
+                let d = (level.nominal_resistance(&p) - r).abs();
+                prop_assert!(picked_d <= d + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Physical parameters of the TEAM memristor device.
+
+use crate::error::DeviceError;
+use crate::variation::Variation;
+
+/// Physical parameters of a TEAM memristor.
+///
+/// The normalized internal state `x ∈ [0, 1]` maps linearly onto the device
+/// resistance: `R(x) = r_on + x · (r_off − r_on)`. State motion is governed
+/// by the TEAM kinetics (see [`crate::team::Memristor::step`]): current above
+/// `i_off` drives `x` (and therefore resistance) *up* at rate `k_off`, while
+/// current below `i_on` (negative) drives `x` *down* at rate `k_on`.
+///
+/// Defaults are chosen so that the paper's Fig. 5 behaviour is reproduced:
+/// starting from logic `10` (60 kΩ), a `+1 V` pulse of ≈ 0.07 µs lands on
+/// logic `00` (≈ 172 kΩ), and undoing that transition with `−1 V` needs a
+/// much shorter (≈ 0.015 µs) pulse because the switch-on kinetics are faster
+/// (the hysteresis SPE decryption exploits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Minimum device resistance (fully ON), in ohms.
+    pub r_on: f64,
+    /// Maximum device resistance (fully OFF), in ohms.
+    pub r_off: f64,
+    /// OFF-switching rate constant (state increase), in 1/s.
+    pub k_off: f64,
+    /// ON-switching rate constant magnitude (state decrease), in 1/s.
+    pub k_on: f64,
+    /// Positive current threshold for OFF switching, in amperes.
+    pub i_off: f64,
+    /// Negative-direction current threshold magnitude for ON switching, in amperes.
+    pub i_on: f64,
+    /// OFF-switching nonlinearity exponent (dimensionless).
+    pub alpha_off: f64,
+    /// ON-switching nonlinearity exponent (dimensionless).
+    pub alpha_on: f64,
+    /// Window-function exponent keeping the state inside `[0, 1]`.
+    pub window_p: u32,
+    /// Series access-transistor ON resistance, in ohms.
+    pub r_transistor: f64,
+    /// Minimum voltage magnitude across the cell for any state change, in
+    /// volts. Models the series transistor threshold the paper uses to bound
+    /// the polyomino (Fig. 4: cells below `Vt` are unaffected). The default
+    /// is scaled to the voltage the coupled sneak-path periphery actually
+    /// delivers at the PoE (≈ 0.86 V of the 1 V drive).
+    pub v_threshold: f64,
+    /// Integration timestep used by pulse application, in seconds.
+    pub dt: f64,
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams {
+            r_on: 10.0e3,
+            r_off: 200.0e3,
+            k_off: 9.0e5,
+            k_on: 4.0e6,
+            i_off: 1.0e-6,
+            i_on: 1.0e-6,
+            alpha_off: 1.0,
+            alpha_on: 1.0,
+            window_p: 5,
+            r_transistor: 500.0,
+            v_threshold: 0.55,
+            dt: 1.0e-9,
+        }
+    }
+}
+
+impl DeviceParams {
+    /// Creates the default parameter set (identical to [`Default`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = spe_memristor::DeviceParams::new();
+    /// assert_eq!(p.r_on, 10.0e3);
+    /// ```
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates physical consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] when a value is outside its
+    /// physically meaningful range (non-positive resistance, inverted
+    /// resistance bounds, non-positive rates/thresholds/timestep).
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        fn positive(name: &'static str, value: f64) -> Result<(), DeviceError> {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(DeviceError::InvalidParameter {
+                    name,
+                    value,
+                    constraint: "must be positive and finite",
+                })
+            }
+        }
+        positive("r_on", self.r_on)?;
+        positive("r_off", self.r_off)?;
+        positive("k_off", self.k_off)?;
+        positive("k_on", self.k_on)?;
+        positive("i_off", self.i_off)?;
+        positive("i_on", self.i_on)?;
+        positive("alpha_off", self.alpha_off)?;
+        positive("alpha_on", self.alpha_on)?;
+        positive("r_transistor", self.r_transistor)?;
+        positive("v_threshold", self.v_threshold)?;
+        positive("dt", self.dt)?;
+        if self.r_off <= self.r_on {
+            return Err(DeviceError::InvalidParameter {
+                name: "r_off",
+                value: self.r_off,
+                constraint: "must exceed r_on",
+            });
+        }
+        if self.window_p == 0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "window_p",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// Resistance corresponding to a normalized state `x ∈ [0, 1]`, in ohms.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = spe_memristor::DeviceParams::default();
+    /// assert_eq!(p.resistance_at(0.0), p.r_on);
+    /// assert_eq!(p.resistance_at(1.0), p.r_off);
+    /// ```
+    pub fn resistance_at(&self, x: f64) -> f64 {
+        self.r_on + x.clamp(0.0, 1.0) * (self.r_off - self.r_on)
+    }
+
+    /// Normalized state corresponding to a resistance, in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ResistanceOutOfRange`] when `resistance` lies
+    /// outside `[r_on, r_off]`.
+    pub fn state_for_resistance(&self, resistance: f64) -> Result<f64, DeviceError> {
+        if resistance < self.r_on || resistance > self.r_off || !resistance.is_finite() {
+            return Err(DeviceError::ResistanceOutOfRange {
+                resistance,
+                r_on: self.r_on,
+                r_off: self.r_off,
+            });
+        }
+        Ok((resistance - self.r_on) / (self.r_off - self.r_on))
+    }
+
+    /// Returns a copy of the parameters with a [`Variation`] applied.
+    ///
+    /// Used by the Monte-Carlo polyomino-stability study and the paper's
+    /// *hardware avalanche* dataset, which perturb physical parameters by a
+    /// given relative amount.
+    pub fn with_variation(&self, variation: &Variation) -> Self {
+        variation.apply(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        DeviceParams::default().validate().expect("default params");
+    }
+
+    #[test]
+    fn resistance_state_roundtrip() {
+        let p = DeviceParams::default();
+        for r in [10.0e3, 60.0e3, 110.0e3, 172.0e3, 200.0e3] {
+            let x = p.state_for_resistance(r).expect("in range");
+            assert!((p.resistance_at(x) - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_resistance() {
+        let p = DeviceParams::default();
+        assert!(p.state_for_resistance(1.0).is_err());
+        assert!(p.state_for_resistance(1.0e9).is_err());
+        assert!(p.state_for_resistance(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        let p = DeviceParams {
+            r_on: 100.0e3,
+            r_off: 10.0e3,
+            ..DeviceParams::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(DeviceError::InvalidParameter { name: "r_off", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_rate() {
+        let p = DeviceParams {
+            k_off: 0.0,
+            ..DeviceParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn resistance_clamps_state() {
+        let p = DeviceParams::default();
+        assert_eq!(p.resistance_at(-1.0), p.r_on);
+        assert_eq!(p.resistance_at(2.0), p.r_off);
+    }
+}

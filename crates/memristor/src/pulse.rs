@@ -1,0 +1,232 @@
+//! Voltage pulses and hysteresis-aware pulse-width search.
+
+use crate::error::DeviceError;
+use crate::params::DeviceParams;
+use crate::team::Memristor;
+use std::fmt;
+
+/// A rectangular voltage pulse.
+///
+/// SPE's pulse generator produces 32 distinct pulses: 16 widths at each of
+/// `+1 V` and `−1 V` (paper §5.4). The width table lives in the SPECU's LUT;
+/// this type is just the physical descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Pulse amplitude, in volts (sign selects switching direction).
+    pub voltage: f64,
+    /// Pulse width, in seconds.
+    pub width: f64,
+}
+
+impl Pulse {
+    /// Creates a pulse descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is negative or either field is non-finite.
+    pub fn new(voltage: f64, width: f64) -> Self {
+        assert!(voltage.is_finite(), "pulse voltage must be finite");
+        assert!(
+            width.is_finite() && width >= 0.0,
+            "pulse width must be non-negative"
+        );
+        Pulse { voltage, width }
+    }
+
+    /// Applies this pulse to a device and returns the resulting resistance.
+    pub fn apply(&self, cell: &mut Memristor) -> f64 {
+        cell.apply_pulse(self.voltage, self.width)
+    }
+}
+
+impl fmt::Display for Pulse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.2} V / {:.3} µs", self.voltage, self.width * 1.0e6)
+    }
+}
+
+/// Searches for the pulse width that moves a device between two resistances.
+///
+/// Because the TEAM kinetics are hysteretic, the width that encrypts a cell
+/// is *not* the width that decrypts it (paper Fig. 5); the SPECU therefore
+/// derives decryption widths with exactly this kind of search against the
+/// device model.
+#[derive(Debug, Clone)]
+pub struct PulseWidthSearch {
+    params: DeviceParams,
+    /// Resolution of the search, in seconds.
+    pub resolution: f64,
+    /// Upper bound on candidate widths, in seconds.
+    pub max_width: f64,
+}
+
+impl PulseWidthSearch {
+    /// Creates a search over the given device parameters with 1 ns
+    /// resolution and a 2 µs width cap.
+    pub fn new(params: &DeviceParams) -> Self {
+        PulseWidthSearch {
+            params: params.clone(),
+            resolution: 1.0e-9,
+            max_width: 2.0e-6,
+        }
+    }
+
+    /// Finds the shortest pulse width at `voltage` that moves a device from
+    /// resistance `from` to (at least) resistance `to`.
+    ///
+    /// "At least" is directional: for a positive pulse the search stops when
+    /// the resistance reaches or exceeds `to`; for a negative pulse when it
+    /// falls to or below `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PulseSearchFailed`] when `voltage` cannot move
+    /// the state toward `to` (wrong sign, sub-threshold, or cap exceeded),
+    /// and [`DeviceError::ResistanceOutOfRange`] when `from` is outside the
+    /// device range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spe_memristor::{DeviceParams, PulseWidthSearch};
+    /// # fn main() -> Result<(), spe_memristor::DeviceError> {
+    /// let p = DeviceParams::default();
+    /// let search = PulseWidthSearch::new(&p);
+    /// let encrypt = search.width_for(60.0e3, 172.0e3, 1.0)?;
+    /// let decrypt = search.width_for(172.0e3, 60.0e3, -1.0)?;
+    /// assert!(decrypt < encrypt, "hysteresis: decryption is faster");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn width_for(&self, from: f64, to: f64, voltage: f64) -> Result<f64, DeviceError> {
+        let going_up = to > from;
+        if (going_up && voltage <= 0.0) || (!going_up && voltage >= 0.0) {
+            return Err(DeviceError::PulseSearchFailed { from, to, voltage });
+        }
+        let mut cell = Memristor::with_resistance(&self.params, from)?;
+        let mut width = 0.0;
+        while width < self.max_width {
+            let r = cell.resistance();
+            if (going_up && r >= to) || (!going_up && r <= to) {
+                return Ok(width);
+            }
+            let before = cell.state();
+            cell.step(voltage, self.resolution);
+            width += self.resolution;
+            if cell.state() == before {
+                // No motion: sub-threshold or railed; the target is
+                // unreachable at this voltage.
+                return Err(DeviceError::PulseSearchFailed { from, to, voltage });
+            }
+        }
+        Err(DeviceError::PulseSearchFailed { from, to, voltage })
+    }
+
+    /// Convenience: the `(encrypt, decrypt)` pulse pair reproducing the
+    /// paper's Fig. 5 for arbitrary level resistances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError`] from [`width_for`](Self::width_for).
+    pub fn hysteresis_pair(
+        &self,
+        plain_r: f64,
+        cipher_r: f64,
+        amplitude: f64,
+    ) -> Result<(Pulse, Pulse), DeviceError> {
+        let (up_v, down_v) = if cipher_r > plain_r {
+            (amplitude, -amplitude)
+        } else {
+            (-amplitude, amplitude)
+        };
+        let w_enc = self.width_for(plain_r, cipher_r, up_v)?;
+        let w_dec = self.width_for(cipher_r, plain_r, down_v)?;
+        Ok((Pulse::new(up_v, w_enc), Pulse::new(down_v, w_dec)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig5_widths_have_expected_magnitudes() {
+        // Paper Fig. 5: encrypt 60 kΩ → 172 kΩ at +1 V takes ≈ 0.07 µs; the
+        // reverse at −1 V takes ≈ 0.015 µs. Our device constants are tuned to
+        // land in those neighbourhoods (order-of-magnitude check here; the
+        // fig5 harness prints the exact values).
+        let p = DeviceParams::default();
+        let s = PulseWidthSearch::new(&p);
+        let enc = s.width_for(60.0e3, 172.0e3, 1.0).expect("encrypt width");
+        let dec = s.width_for(172.0e3, 60.0e3, -1.0).expect("decrypt width");
+        assert!(
+            (0.02e-6..0.3e-6).contains(&enc),
+            "encrypt width {enc} out of expected band"
+        );
+        assert!(
+            (0.002e-6..0.1e-6).contains(&dec),
+            "decrypt width {dec} out of expected band"
+        );
+        assert!(dec < enc);
+    }
+
+    #[test]
+    fn wrong_sign_is_rejected() {
+        let p = DeviceParams::default();
+        let s = PulseWidthSearch::new(&p);
+        assert!(s.width_for(60.0e3, 172.0e3, -1.0).is_err());
+        assert!(s.width_for(172.0e3, 60.0e3, 1.0).is_err());
+    }
+
+    #[test]
+    fn subthreshold_voltage_fails_cleanly() {
+        let p = DeviceParams::default();
+        let s = PulseWidthSearch::new(&p);
+        assert!(matches!(
+            s.width_for(60.0e3, 172.0e3, 0.5),
+            Err(DeviceError::PulseSearchFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn hysteresis_pair_orients_pulses() {
+        let p = DeviceParams::default();
+        let s = PulseWidthSearch::new(&p);
+        let (enc, dec) = s.hysteresis_pair(60.0e3, 172.0e3, 1.0).expect("pair");
+        assert!(enc.voltage > 0.0 && dec.voltage < 0.0);
+        let (enc2, dec2) = s.hysteresis_pair(172.0e3, 60.0e3, 1.0).expect("pair");
+        assert!(enc2.voltage < 0.0 && dec2.voltage > 0.0);
+        assert!(enc.width > 0.0 && dec.width > 0.0 && enc2.width > 0.0 && dec2.width > 0.0);
+    }
+
+    #[test]
+    fn pulse_display_formats_microseconds() {
+        let pulse = Pulse::new(1.0, 0.071e-6);
+        let s = pulse.to_string();
+        assert!(s.contains("+1.00 V"));
+        assert!(s.contains("0.071"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn pulse_rejects_negative_width() {
+        Pulse::new(1.0, -1.0e-9);
+    }
+
+    proptest! {
+        // Found width actually achieves the target when applied.
+        #[test]
+        fn width_is_sufficient(from_f in 0.15f64..0.5, to_f in 0.55f64..0.9) {
+            let p = DeviceParams::default();
+            let from = p.resistance_at(from_f);
+            let to = p.resistance_at(to_f);
+            let s = PulseWidthSearch::new(&p);
+            if let Ok(w) = s.width_for(from, to, 1.0) {
+                let mut cell = Memristor::with_resistance(&p, from).unwrap();
+                cell.apply_pulse(1.0, w);
+                prop_assert!(cell.resistance() >= to - 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Parametric variation of device constants.
+//!
+//! Two experiments in the paper perturb physical parameters:
+//!
+//! * the §5 Monte-Carlo study varies wire resistance by ±5 % and checks the
+//!   polyomino shape is stable;
+//! * the §6.1 *hardware avalanche* dataset perturbs device/crossbar
+//!   parameters by 5–10 % in 0.5 % steps and feeds the resulting ciphertext
+//!   deltas to the NIST suite.
+//!
+//! [`Variation`] expresses such perturbations as multiplicative factors on a
+//! [`DeviceParams`]; wire-level variation lives in the crossbar crate.
+
+use crate::params::DeviceParams;
+
+/// Multiplicative perturbation factors for device parameters.
+///
+/// A factor of `1.0` leaves the parameter untouched; `1.05` scales it up by
+/// 5 %. Use [`Variation::uniform`] for the paper's "perturb everything by
+/// x %" sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variation {
+    /// Factor applied to `r_on`.
+    pub r_on: f64,
+    /// Factor applied to `r_off`.
+    pub r_off: f64,
+    /// Factor applied to `k_off`.
+    pub k_off: f64,
+    /// Factor applied to `k_on`.
+    pub k_on: f64,
+    /// Factor applied to `v_threshold`.
+    pub v_threshold: f64,
+}
+
+impl Default for Variation {
+    fn default() -> Self {
+        Variation::NONE
+    }
+}
+
+impl Variation {
+    /// The identity variation (all factors `1.0`).
+    pub const NONE: Variation = Variation {
+        r_on: 1.0,
+        r_off: 1.0,
+        k_off: 1.0,
+        k_on: 1.0,
+        v_threshold: 1.0,
+    };
+
+    /// Scales every parameter by the same relative amount.
+    ///
+    /// `relative` is signed: `0.05` means +5 %, `-0.05` means −5 %.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spe_memristor::{DeviceParams, Variation};
+    /// let varied = DeviceParams::default().with_variation(&Variation::uniform(0.05));
+    /// assert!((varied.r_off - 210.0e3).abs() < 1.0);
+    /// ```
+    pub fn uniform(relative: f64) -> Variation {
+        let f = 1.0 + relative;
+        Variation {
+            r_on: f,
+            r_off: f,
+            k_off: f,
+            k_on: f,
+            v_threshold: f,
+        }
+    }
+
+    /// Scales only the resistance range (`r_on`, `r_off`).
+    pub fn resistance_range(relative: f64) -> Variation {
+        Variation {
+            r_on: 1.0 + relative,
+            r_off: 1.0 + relative,
+            ..Variation::NONE
+        }
+    }
+
+    /// Applies the factors to a parameter set, returning the varied copy.
+    pub fn apply(&self, params: &DeviceParams) -> DeviceParams {
+        DeviceParams {
+            r_on: params.r_on * self.r_on,
+            r_off: params.r_off * self.r_off,
+            k_off: params.k_off * self.k_off,
+            k_on: params.k_on * self.k_on,
+            v_threshold: params.v_threshold * self.v_threshold,
+            ..params.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let p = DeviceParams::default();
+        assert_eq!(p.with_variation(&Variation::NONE), p);
+    }
+
+    #[test]
+    fn uniform_scales_all_factors() {
+        let v = Variation::uniform(0.1);
+        let p = DeviceParams::default();
+        let q = v.apply(&p);
+        assert!((q.r_on / p.r_on - 1.1).abs() < 1e-12);
+        assert!((q.k_off / p.k_off - 1.1).abs() < 1e-12);
+        assert!((q.v_threshold / p.v_threshold - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistance_range_leaves_kinetics_alone() {
+        let v = Variation::resistance_range(-0.05);
+        let p = DeviceParams::default();
+        let q = v.apply(&p);
+        assert_eq!(q.k_off, p.k_off);
+        assert_eq!(q.k_on, p.k_on);
+        assert!((q.r_off / p.r_off - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn varied_params_remain_valid_for_small_perturbations() {
+        let p = DeviceParams::default();
+        for step in -20..=20 {
+            let rel = step as f64 * 0.005;
+            let q = p.with_variation(&Variation::uniform(rel));
+            q.validate().expect("small variations keep params valid");
+        }
+    }
+}

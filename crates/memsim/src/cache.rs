@@ -1,0 +1,273 @@
+//! Set-associative write-back cache with LRU replacement.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A dirty line evicted to make room (line-aligned address).
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative, write-back, write-allocate cache with true-LRU
+/// replacement (the paper's L1/L2 configuration).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line_bytes: u64,
+    /// `tags[set * ways + way]` — tag + valid flag.
+    tags: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+    /// LRU stamps (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache of `size_bytes` with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (size not divisible into sets,
+    /// or any parameter zero / non-power-of-two line).
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(ways > 0 && size_bytes > 0, "degenerate cache");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines.is_multiple_of(ways as u64) && lines > 0,
+            "size/associativity mismatch"
+        );
+        let sets = (lines / ways as u64) as usize;
+        SetAssocCache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![None; sets * ways],
+            dirty: vec![false; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        ((line % self.sets as u64) as usize, line / self.sets as u64)
+    }
+
+    /// Accesses an address; allocates on miss; returns hit/miss and any
+    /// dirty eviction.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.ways;
+        // Hit path.
+        for way in 0..self.ways {
+            if self.tags[base + way] == Some(tag) {
+                self.stamps[base + way] = self.clock;
+                if is_write {
+                    self.dirty[base + way] = true;
+                }
+                return AccessOutcome {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+        // Miss: pick the LRU victim (preferring invalid ways).
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for way in 0..self.ways {
+            match self.tags[base + way] {
+                None => {
+                    victim = way;
+                    break;
+                }
+                Some(_) => {
+                    if self.stamps[base + way] < best {
+                        best = self.stamps[base + way];
+                        victim = way;
+                    }
+                }
+            }
+        }
+        let writeback = match self.tags[base + victim] {
+            Some(old_tag) if self.dirty[base + victim] => {
+                let line = old_tag * self.sets as u64 + set as u64;
+                Some(line * self.line_bytes)
+            }
+            _ => None,
+        };
+        self.tags[base + victim] = Some(tag);
+        self.dirty[base + victim] = is_write;
+        self.stamps[base + victim] = self.clock;
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Addresses of all dirty lines currently resident (power-down sweep).
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                let i = set * self.ways + way;
+                if let (Some(tag), true) = (self.tags[i], self.dirty[i]) {
+                    let line = tag * self.sets as u64 + set as u64;
+                    out.push(line * self.line_bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of valid lines.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = SetAssocCache::new(32 * 1024, 8, 64);
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1004, false).hit, "same line hits");
+        assert!(!c.access(0x2000, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Direct construction of conflict: 2-way cache, 2 sets.
+        let mut c = SetAssocCache::new(256, 2, 64); // 4 lines, 2 sets
+        // Set 0 holds lines with (line % 2 == 0): 0x0, 0x80, 0x100...
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // refresh 0x0
+        let out = c.access(0x100, false); // evicts 0x80 (LRU)
+        assert!(!out.hit);
+        assert!(c.access(0x000, false).hit, "0x0 survived");
+        assert!(!c.access(0x080, false).hit, "0x80 was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = SetAssocCache::new(256, 2, 64);
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        c.access(0x100, false); // evicts dirty 0x0
+        let out = c.access(0x180, false); // evicts clean 0x80? LRU order...
+        // One of the two fills must have produced the 0x0 writeback.
+        let mut c2 = SetAssocCache::new(256, 2, 64);
+        c2.access(0x000, true);
+        c2.access(0x080, false);
+        let wb = c2.access(0x100, false).writeback;
+        assert_eq!(wb, Some(0x000));
+        let _ = out;
+    }
+
+    #[test]
+    fn dirty_lines_enumerates_residents() {
+        let mut c = SetAssocCache::new(32 * 1024, 8, 64);
+        c.access(0x40, true);
+        c.access(0x80, false);
+        c.access(0xC0, true);
+        let mut dirty = c.dirty_lines();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![0x40, 0xC0]);
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn write_then_read_keeps_dirty() {
+        let mut c = SetAssocCache::new(256, 2, 64);
+        c.access(0x000, true);
+        c.access(0x000, false); // read does not clean
+        c.access(0x080, false);
+        assert_eq!(c.access(0x100, false).writeback, Some(0x000));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_bad_geometry() {
+        let _ = SetAssocCache::new(100, 3, 64);
+    }
+
+    #[test]
+    fn matches_reference_lru_model() {
+        // Differential test against a naive per-set Vec-based LRU.
+        struct RefCache {
+            sets: usize,
+            ways: usize,
+            line: u64,
+            // per set: (tag, dirty), most-recent last
+            data: Vec<Vec<(u64, bool)>>,
+        }
+        impl RefCache {
+            fn access(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
+                let lineno = addr / self.line;
+                let set = (lineno % self.sets as u64) as usize;
+                let tag = lineno / self.sets as u64;
+                let ways = self.ways;
+                let v = &mut self.data[set];
+                if let Some(pos) = v.iter().position(|(t, _)| *t == tag) {
+                    let (t, d) = v.remove(pos);
+                    v.push((t, d || is_write));
+                    return (true, None);
+                }
+                let mut wb = None;
+                if v.len() == ways {
+                    let (old, dirty) = v.remove(0);
+                    if dirty {
+                        wb = Some((old * self.sets as u64 + set as u64) * self.line);
+                    }
+                }
+                v.push((tag, is_write));
+                (false, wb)
+            }
+        }
+        let mut real = SetAssocCache::new(4096, 4, 64); // 16 sets x 4 ways
+        let mut reference = RefCache {
+            sets: 16,
+            ways: 4,
+            line: 64,
+            data: vec![Vec::new(); 16],
+        };
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = (state >> 16) % (32 * 4096); // 8x capacity -> conflicts
+            let is_write = state & 1 == 1;
+            let got = real.access(addr, is_write);
+            let (hit, wb) = reference.access(addr, is_write);
+            assert_eq!(got.hit, hit, "hit mismatch at {addr:#x}");
+            assert_eq!(got.writeback, wb, "writeback mismatch at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let c = SetAssocCache::new(2 * 1024 * 1024, 16, 64);
+        assert_eq!(c.sets(), 2048);
+        assert_eq!(c.ways(), 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! System configuration (the paper's §7 machine).
+
+/// Timing and geometry parameters of the simulated system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Core clock, in Hz (3.2 GHz).
+    pub core_hz: f64,
+    /// Issue width (instructions per cycle at peak).
+    pub issue_width: u32,
+    /// L1 data cache size in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 access latency in cycles.
+    pub l1_latency: u32,
+    /// L2 size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 access latency in cycles.
+    pub l2_latency: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Raw NVMM access latency in core cycles (row activate + transfer on
+    /// the 800 MHz channel, seen from the 3.2 GHz core).
+    pub memory_latency: u32,
+    /// Channel occupancy per NVMM operation in core cycles (bandwidth
+    /// model: a second request queues behind it).
+    pub memory_occupancy: u32,
+    /// Cycles of a miss's latency the out-of-order window can hide.
+    pub overlap_cycles: u32,
+    /// Average memory-level parallelism: concurrent misses whose exposed
+    /// latencies overlap (the MSHR/ROB effect a full OoO model captures
+    /// natively). Exposed stalls divide by this factor.
+    pub mlp: f64,
+    /// Enable a next-line prefetcher at the L2: demand misses also fetch
+    /// the following line off the critical path. Prefetches pass through
+    /// the encryption engine like any other NVMM read, so they interact
+    /// with the schemes' latency/occupancy. Off by default (the paper's
+    /// configuration does not mention one).
+    pub next_line_prefetch: bool,
+}
+
+impl SystemConfig {
+    /// The configuration of the paper's §7 evaluation.
+    pub fn paper() -> Self {
+        SystemConfig {
+            core_hz: 3.2e9,
+            issue_width: 4,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_latency: 4,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 16,
+            l2_latency: 16,
+            line_bytes: 64,
+            memory_latency: 160,
+            memory_occupancy: 16,
+            overlap_cycles: 40,
+            mlp: 10.0,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values.
+    pub fn validate(&self) {
+        assert!(self.issue_width > 0, "issue width");
+        assert!(self.line_bytes.is_power_of_two(), "line size");
+        assert!(self.l1_bytes > 0 && self.l2_bytes > self.l1_bytes, "cache sizes");
+        assert!(self.memory_latency > self.l2_latency, "memory latency");
+        assert!(self.mlp >= 1.0, "mlp must be at least 1");
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section7() {
+        let c = SystemConfig::paper();
+        c.validate();
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l1_ways, 8);
+        assert_eq!(c.l1_latency, 4);
+        assert_eq!(c.l2_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2_ways, 16);
+        assert_eq!(c.l2_latency, 16);
+        assert_eq!(c.issue_width, 4);
+        assert!((c.core_hz - 3.2e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The encryption engine between the L2 cache and the NVMM.
+//!
+//! Each variant implements one scheme of the paper's Figs. 7–8 as *timing
+//! plus encrypted-state bookkeeping* (the functional ciphers live in
+//! `spe-ciphers` / `spe-core`; the simulator only needs their costs and
+//! their exposure behaviour).
+
+use spe_ciphers::{InertPageTracker, SchemeProfile};
+use std::collections::HashMap;
+
+/// Extra cycles an engine adds to one NVMM operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCost {
+    /// Added to the requester-visible latency.
+    pub latency: u32,
+    /// Added to the channel occupancy (post-read re-encryption and similar
+    /// bandwidth costs that do not block the requester).
+    pub occupancy: u32,
+}
+
+#[derive(Debug, Clone)]
+enum EngineKind {
+    None,
+    Aes,
+    Stream,
+    Invmm {
+        tracker: InertPageTracker,
+        scrub_interval: u64,
+        last_scrub: u64,
+    },
+    SpeSerial {
+        /// line -> cycle at which it was decrypted in place.
+        exposed: HashMap<u64, u64>,
+        /// lines ever resident (denominator of the encrypted fraction).
+        touched: std::collections::HashSet<u64>,
+        /// background re-encryption after this many idle cycles.
+        reencrypt_window: u64,
+    },
+    SpeParallel,
+}
+
+/// A pluggable encryption engine (scheme timing + exposure bookkeeping).
+#[derive(Debug, Clone)]
+pub struct EncryptionEngine {
+    profile: SchemeProfile,
+    kind: EngineKind,
+}
+
+impl EncryptionEngine {
+    /// No encryption (the IPC baseline).
+    pub fn none() -> Self {
+        EncryptionEngine {
+            profile: SchemeProfile::none(),
+            kind: EngineKind::None,
+        }
+    }
+
+    /// AES block cipher over every line.
+    pub fn aes() -> Self {
+        EncryptionEngine {
+            profile: SchemeProfile::aes(),
+            kind: EngineKind::Aes,
+        }
+    }
+
+    /// Stream cipher with precomputed pads.
+    pub fn stream() -> Self {
+        EncryptionEngine {
+            profile: SchemeProfile::stream(),
+            kind: EngineKind::Stream,
+        }
+    }
+
+    /// i-NVMM with 4 KiB pages and the given inert window (cycles).
+    pub fn invmm(inert_window: u64) -> Self {
+        EncryptionEngine {
+            profile: SchemeProfile::invmm(),
+            kind: EngineKind::Invmm {
+                tracker: InertPageTracker::new(4096, inert_window),
+                scrub_interval: inert_window / 4,
+                last_scrub: 0,
+            },
+        }
+    }
+
+    /// SPE-serial: lines decrypt in place and re-encrypt after
+    /// `reencrypt_window` idle cycles or on write-back.
+    pub fn spe_serial(reencrypt_window: u64) -> Self {
+        EncryptionEngine {
+            profile: SchemeProfile::spe_serial(),
+            kind: EngineKind::SpeSerial {
+                exposed: HashMap::new(),
+                touched: std::collections::HashSet::new(),
+                reencrypt_window,
+            },
+        }
+    }
+
+    /// SPE-parallel: immediate re-encryption after every read.
+    pub fn spe_parallel() -> Self {
+        EncryptionEngine {
+            profile: SchemeProfile::spe_parallel(),
+            kind: EngineKind::SpeParallel,
+        }
+    }
+
+    /// The static cost profile (Table 3 constants).
+    pub fn profile(&self) -> &SchemeProfile {
+        &self.profile
+    }
+
+    /// The scheme name.
+    pub fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    /// Cost of an NVMM *read* of `line_addr` at cycle `now`.
+    pub fn on_read(&mut self, line_addr: u64, now: u64) -> EngineCost {
+        match &mut self.kind {
+            EngineKind::None => EngineCost::default(),
+            EngineKind::Aes | EngineKind::Stream => EngineCost {
+                latency: self.profile.read_latency,
+                occupancy: 0,
+            },
+            EngineKind::Invmm { tracker, .. } => {
+                let was_encrypted = tracker.on_access(line_addr, now);
+                EngineCost {
+                    latency: if was_encrypted {
+                        self.profile.read_latency
+                    } else {
+                        0
+                    },
+                    occupancy: 0,
+                }
+            }
+            EngineKind::SpeSerial {
+                exposed, touched, ..
+            } => {
+                touched.insert(line_addr);
+                let was_encrypted = !exposed.contains_key(&line_addr);
+                exposed.insert(line_addr, now);
+                EngineCost {
+                    latency: if was_encrypted {
+                        self.profile.read_latency
+                    } else {
+                        0
+                    },
+                    occupancy: 0,
+                }
+            }
+            EngineKind::SpeParallel => EngineCost {
+                // §7: "each read operation ... is delayed by 16 cycles for
+                // the decryption process and another 16 cycles for
+                // encryption" — the re-encryption is on the read path.
+                latency: self.profile.read_latency + self.profile.reencrypt_latency,
+                occupancy: 0,
+            },
+        }
+    }
+
+    /// Cost of an NVMM *write* (cache write-back) of `line_addr`.
+    pub fn on_write(&mut self, line_addr: u64, now: u64) -> EngineCost {
+        match &mut self.kind {
+            EngineKind::None => EngineCost::default(),
+            EngineKind::Aes | EngineKind::Stream | EngineKind::SpeParallel => EngineCost {
+                latency: 0,
+                occupancy: self.profile.write_latency,
+            },
+            EngineKind::Invmm { tracker, .. } => {
+                // Writes go to the (hot, plaintext) page.
+                tracker.on_access(line_addr, now);
+                EngineCost::default()
+            }
+            EngineKind::SpeSerial {
+                exposed, touched, ..
+            } => {
+                touched.insert(line_addr);
+                exposed.remove(&line_addr);
+                EngineCost {
+                    latency: 0,
+                    occupancy: self.profile.write_latency,
+                }
+            }
+        }
+    }
+
+    /// Background duty at cycle `now` (inert-page scrub, SPE-serial
+    /// re-encryption). Called periodically by the system.
+    pub fn tick(&mut self, now: u64) {
+        match &mut self.kind {
+            EngineKind::Invmm {
+                tracker,
+                scrub_interval,
+                last_scrub,
+            } if now.saturating_sub(*last_scrub) >= *scrub_interval => {
+                tracker.scrub(now);
+                *last_scrub = now;
+            }
+            EngineKind::SpeSerial {
+                exposed,
+                reencrypt_window,
+                ..
+            } => {
+                let window = *reencrypt_window;
+                exposed.retain(|_, t| now.saturating_sub(*t) < window);
+            }
+            _ => {}
+        }
+    }
+
+    /// Fraction of the scheme's protected state currently encrypted
+    /// (Fig. 8's metric; 1.0 for always-encrypted schemes, 0.0 for none).
+    pub fn fraction_encrypted(&self) -> f64 {
+        match &self.kind {
+            EngineKind::None => 0.0,
+            EngineKind::Aes | EngineKind::Stream | EngineKind::SpeParallel => 1.0,
+            EngineKind::Invmm { tracker, .. } => tracker.fraction_encrypted(),
+            EngineKind::SpeSerial {
+                exposed, touched, ..
+            } => {
+                if touched.is_empty() {
+                    1.0
+                } else {
+                    1.0 - exposed.len() as f64 / touched.len() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table3_rows() {
+        assert_eq!(EncryptionEngine::none().name(), "None");
+        assert_eq!(EncryptionEngine::aes().name(), "AES");
+        assert_eq!(EncryptionEngine::invmm(1).name(), "i-NVMM");
+        assert_eq!(EncryptionEngine::spe_serial(1).name(), "SPE-serial");
+        assert_eq!(EncryptionEngine::spe_parallel().name(), "SPE-parallel");
+        assert_eq!(EncryptionEngine::stream().name(), "Stream cipher");
+    }
+
+    #[test]
+    fn baseline_costs_nothing() {
+        let mut e = EncryptionEngine::none();
+        assert_eq!(e.on_read(0x1000, 0), EngineCost::default());
+        assert_eq!(e.on_write(0x1000, 0), EngineCost::default());
+        assert_eq!(e.fraction_encrypted(), 0.0);
+    }
+
+    #[test]
+    fn aes_charges_every_read() {
+        let mut e = EncryptionEngine::aes();
+        assert_eq!(e.on_read(0, 0).latency, 80);
+        assert_eq!(e.on_read(0, 1).latency, 80);
+        assert_eq!(e.on_write(0, 2).occupancy, 80);
+        assert_eq!(e.fraction_encrypted(), 1.0);
+    }
+
+    #[test]
+    fn stream_is_one_cycle() {
+        let mut e = EncryptionEngine::stream();
+        assert_eq!(e.on_read(0, 0).latency, 1);
+        assert_eq!(e.fraction_encrypted(), 1.0);
+    }
+
+    #[test]
+    fn spe_parallel_pays_decrypt_plus_reencrypt_on_reads() {
+        let mut e = EncryptionEngine::spe_parallel();
+        let cost = e.on_read(0x40, 0);
+        assert_eq!(cost.latency, 32, "16 decrypt + 16 re-encrypt, per §7");
+        assert_eq!(cost.occupancy, 0);
+        assert_eq!(e.fraction_encrypted(), 1.0);
+    }
+
+    #[test]
+    fn spe_serial_first_read_decrypts_repeat_is_free() {
+        let mut e = EncryptionEngine::spe_serial(1_000_000);
+        assert_eq!(e.on_read(0x40, 0).latency, 16);
+        assert_eq!(e.on_read(0x40, 10).latency, 0, "already exposed");
+        assert!(e.fraction_encrypted() < 1.0);
+        // Write-back re-encrypts.
+        e.on_write(0x40, 20);
+        assert_eq!(e.fraction_encrypted(), 1.0);
+        assert_eq!(e.on_read(0x40, 30).latency, 16);
+    }
+
+    #[test]
+    fn spe_serial_background_reencrypts_idle_lines() {
+        let mut e = EncryptionEngine::spe_serial(100);
+        e.on_read(0x40, 0);
+        e.on_read(0x80, 90);
+        e.tick(120); // 0x40 idle 120 >= 100 -> re-encrypted; 0x80 still out
+        assert_eq!(e.on_read(0x40, 125).latency, 16);
+        assert_eq!(e.on_read(0x80, 126).latency, 0);
+    }
+
+    #[test]
+    fn invmm_charges_only_reheats() {
+        let mut e = EncryptionEngine::invmm(1000);
+        assert_eq!(e.on_read(0x1000, 0).latency, 0, "fresh page is free");
+        assert_eq!(e.on_read(0x1040, 1).latency, 0, "same page stays hot");
+        e.tick(2000); // page idle past window -> scrubbed
+        assert_eq!(e.on_read(0x1000, 2001).latency, 80, "re-heat pays");
+    }
+
+    #[test]
+    fn invmm_fraction_reflects_hot_pages() {
+        let mut e = EncryptionEngine::invmm(1000);
+        e.on_read(0x0000, 0);
+        e.on_read(0x2000, 0);
+        assert_eq!(e.fraction_encrypted(), 0.0, "both pages hot");
+        e.tick(5000);
+        assert_eq!(e.fraction_encrypted(), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-level CPU / cache / NVMM timing simulator.
+//!
+//! This crate fills the role Zesto plays in the paper's §7 evaluation: a
+//! trace-driven timing model of the system in Fig. 1a with the exact
+//! configuration the paper simulates —
+//!
+//! * 3.2 GHz, 4-issue core (modelled as issue-width CPI plus exposed miss
+//!   latency with an out-of-order overlap window),
+//! * 32 KB 8-way L1 (4-cycle) and 2 MB 16-way shared L2 (16-cycle), 64 B
+//!   lines, LRU, write-back/write-allocate,
+//! * a single-rank NVMM channel with queueing occupancy,
+//! * a pluggable [`EncryptionEngine`] between L2 and the NVMM implementing
+//!   the five schemes of Figs. 7–8 (none/AES/i-NVMM/SPE-serial/
+//!   SPE-parallel/stream), including the encrypted-fraction bookkeeping
+//!   behind Fig. 8,
+//! * the power-down sweep behind the §6.4 cold-boot window
+//!   ([`power`]),
+//! * start-gap wear leveling \[6\] as an extension ([`wear`]), and
+//! * the §8 future-work study of SPE on non-volatile caches ([`nvcache`]).
+//!
+//! Absolute IPC is not the point (the paper's own numbers come from a
+//! different core model); the *relative* overheads of the encryption
+//! schemes are, and those are governed by miss traffic × added latency,
+//! which this model captures.
+//!
+//! # Example
+//!
+//! ```
+//! use spe_memsim::{EncryptionEngine, System, SystemConfig};
+//! use spe_workloads::{BenchProfile, TraceGenerator};
+//!
+//! let config = SystemConfig::paper();
+//! let trace = TraceGenerator::new(&BenchProfile::bzip2(), 1);
+//! let mut system = System::new(config, EncryptionEngine::none());
+//! let stats = system.run(trace, 200_000);
+//! assert!(stats.cycles > 0);
+//! assert!(stats.ipc() > 0.1);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod nvcache;
+pub mod power;
+pub mod stats;
+pub mod system;
+pub mod wear;
+
+pub use cache::{AccessOutcome, SetAssocCache};
+pub use config::SystemConfig;
+pub use engine::EncryptionEngine;
+pub use stats::SimStats;
+pub use system::System;
+pub use wear::StartGap;

@@ -1,0 +1,139 @@
+//! Power-down sweep and cold-boot windows (§6.4).
+
+use crate::cache::SetAssocCache;
+use spe_ciphers::SchemeProfile;
+
+/// DRAM retention after power loss the paper compares against, in seconds.
+pub const DRAM_RETENTION_SECONDS: f64 = 3.2;
+
+/// Outcome of a power-down sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerDownReport {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Dirty cache lines written back and secured.
+    pub lines: usize,
+    /// Nanoseconds to secure one 64-byte line.
+    pub ns_per_line: f64,
+    /// Total exposure window in seconds.
+    pub window_seconds: f64,
+}
+
+impl PowerDownReport {
+    /// Whether the window beats DRAM's natural retention (the paper's
+    /// safety criterion).
+    pub fn beats_dram(&self) -> bool {
+        self.window_seconds < DRAM_RETENTION_SECONDS
+    }
+}
+
+/// Nanoseconds to encrypt one 64-byte line under a scheme.
+///
+/// SPE applies 16 PoE writes at ~100 ns each (§6.4's 1600 ns); engine-based
+/// schemes run at their cycle latency on a 3.2 GHz engine clock.
+pub fn line_encrypt_ns(profile: &SchemeProfile, poes_per_block: u32, ns_per_poe: f64) -> f64 {
+    if profile.name.starts_with("SPE") {
+        poes_per_block as f64 * ns_per_poe
+    } else {
+        // One engine pass per 64-byte line at 3.2 GHz.
+        profile.write_latency.max(1) as f64 / 3.2
+    }
+}
+
+/// Simulates power-down: every dirty L2 line is written back through the
+/// scheme's encryption path.
+pub fn power_down_sweep(l2: &SetAssocCache, profile: &SchemeProfile) -> PowerDownReport {
+    let lines = l2.dirty_lines().len();
+    let ns = line_encrypt_ns(profile, 16, 100.0);
+    PowerDownReport {
+        scheme: profile.name,
+        lines,
+        ns_per_line: ns,
+        window_seconds: lines as f64 * ns * 1e-9,
+    }
+}
+
+/// The §6.4 race: an attacker starts dumping the NVMM the instant power-down
+/// begins. The sweep encrypts lines front-to-back while the attacker reads at
+/// `attacker_bytes_per_sec`; a line leaks if the attacker reaches it before
+/// its encryption completes. Returns the leaked fraction in `[0, 1]`.
+///
+/// With SPE's millisecond windows the leak is tiny even for absurdly fast
+/// probes, whereas DRAM's 3.2 s retention leaks everything.
+pub fn cold_boot_race(
+    lines: usize,
+    sweep_ns_per_line: f64,
+    attacker_bytes_per_sec: f64,
+) -> f64 {
+    if lines == 0 {
+        return 0.0;
+    }
+    let attacker_ns_per_line = 64.0e9 / attacker_bytes_per_sec;
+    let mut leaked = 0usize;
+    for i in 0..lines {
+        let sweep_done = (i + 1) as f64 * sweep_ns_per_line;
+        let attacker_arrives = (i + 1) as f64 * attacker_ns_per_line;
+        if attacker_arrives < sweep_done {
+            leaked += 1;
+        }
+    }
+    leaked as f64 / lines as f64
+}
+
+/// The paper's worst case: the *entire* cache is dirty and written back.
+pub fn worst_case_window(cache_bytes: u64, profile: &SchemeProfile) -> PowerDownReport {
+    let lines = (cache_bytes / 64) as usize;
+    let ns = line_encrypt_ns(profile, 16, 100.0);
+    PowerDownReport {
+        scheme: profile.name,
+        lines,
+        ns_per_line: ns,
+        window_seconds: lines as f64 * ns * 1e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spe_line_time_matches_paper() {
+        let ns = line_encrypt_ns(&SchemeProfile::spe_serial(), 16, 100.0);
+        assert!((ns - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_cache_worst_case_beats_dram() {
+        let report = worst_case_window(2 * 1024 * 1024, &SchemeProfile::spe_parallel());
+        assert_eq!(report.lines, 32768);
+        assert!(report.window_seconds < 0.1, "window {}", report.window_seconds);
+        assert!(report.beats_dram());
+    }
+
+    #[test]
+    fn race_depends_on_attacker_bandwidth() {
+        let lines = 32768;
+        // Attacker slower than the sweep leaks nothing.
+        let slow = cold_boot_race(lines, 1600.0, 10.0e6);
+        assert_eq!(slow, 0.0, "slow probe loses the race");
+        // An attacker faster than the 40 MB/s sweep rate leaks everything
+        // it reaches before each line is sealed.
+        let fast = cold_boot_race(lines, 1600.0, 10.0e9);
+        assert!(fast > 0.9, "a 10 GB/s probe wins the race: {fast}");
+        // At DRAM's effective window (3.2 s for 2 MiB -> ~97 µs/line) even a
+        // modest probe leaks everything.
+        let dram = cold_boot_race(lines, 97_656.0, 100.0e6);
+        assert!(dram > 0.99, "DRAM-scale retention leaks all: {dram}");
+    }
+
+    #[test]
+    fn sweep_counts_dirty_lines_only() {
+        let mut l2 = SetAssocCache::new(2 * 1024 * 1024, 16, 64);
+        l2.access(0x0000, true);
+        l2.access(0x1000, false);
+        l2.access(0x2000, true);
+        let report = power_down_sweep(&l2, &SchemeProfile::spe_serial());
+        assert_eq!(report.lines, 2);
+        assert!(report.beats_dram());
+    }
+}

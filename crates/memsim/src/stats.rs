@@ -1,0 +1,148 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+/// Counters and derived metrics from one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total cycles (base pipeline + exposed stalls).
+    pub cycles: u64,
+    /// Exposed stall cycles attributable to the memory system.
+    pub stall_cycles: u64,
+    /// L1 data accesses.
+    pub l1_accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses (NVMM reads).
+    pub l2_misses: u64,
+    /// NVMM write-backs.
+    pub memory_writes: u64,
+    /// Prefetch fills issued (0 unless the prefetcher is enabled).
+    pub prefetches: u64,
+    /// Periodic samples of the encrypted fraction `(cycle, fraction)`.
+    pub encrypted_samples: Vec<(u64, f64)>,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// L2 misses per kilo-instruction (memory intensity).
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.l2_misses as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Relative performance overhead versus a baseline run of the same
+    /// trace: `cycles / baseline.cycles - 1` (the Fig. 7 metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs retired different instruction counts.
+    pub fn overhead_vs(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.instructions, baseline.instructions,
+            "overhead comparison requires equal instruction counts"
+        );
+        self.cycles as f64 / baseline.cycles as f64 - 1.0
+    }
+
+    /// Time-averaged encrypted fraction over the sampled run (Fig. 8).
+    pub fn mean_encrypted_fraction(&self) -> f64 {
+        if self.encrypted_samples.is_empty() {
+            return 0.0;
+        }
+        self.encrypted_samples.iter().map(|(_, f)| f).sum::<f64>()
+            / self.encrypted_samples.len() as f64
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instrs, {} cycles (IPC {:.2}), L1 miss {:.1}%, L2 MPKI {:.2}, enc {:.1}%",
+            self.instructions,
+            self.cycles,
+            self.ipc(),
+            if self.l1_accesses > 0 {
+                self.l1_misses as f64 * 100.0 / self.l1_accesses as f64
+            } else {
+                0.0
+            },
+            self.mpki(),
+            self.mean_encrypted_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            instructions: 1000,
+            cycles: 500,
+            l2_misses: 5,
+            encrypted_samples: vec![(0, 0.5), (100, 1.0)],
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.mpki() - 5.0).abs() < 1e-12);
+        assert!((s.mean_encrypted_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_comparison() {
+        let base = SimStats {
+            instructions: 1000,
+            cycles: 1000,
+            ..SimStats::default()
+        };
+        let enc = SimStats {
+            instructions: 1000,
+            cycles: 1140,
+            ..SimStats::default()
+        };
+        assert!((enc.overhead_vs(&base) - 0.14).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal instruction counts")]
+    fn overhead_requires_same_instructions() {
+        let a = SimStats {
+            instructions: 10,
+            cycles: 10,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            instructions: 20,
+            cycles: 10,
+            ..SimStats::default()
+        };
+        let _ = a.overhead_vs(&b);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = SimStats {
+            instructions: 100,
+            cycles: 100,
+            ..SimStats::default()
+        };
+        assert!(s.to_string().contains("IPC"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Packed bit sequences.
+
+use std::fmt;
+
+/// A packed sequence of bits (most-significant-bit-first within each input
+/// byte, matching the NIST reference tooling).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bits {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Bits::default()
+    }
+
+    /// Creates a sequence of `len` bits from a generator function.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let alt = spe_nist::Bits::from_fn(8, |i| i % 2 == 0);
+    /// assert_eq!(alt.ones(), 4);
+    /// ```
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut bits = Bits::with_capacity(len);
+        for i in 0..len {
+            bits.push(f(i));
+        }
+        bits
+    }
+
+    /// Creates an empty sequence with reserved capacity.
+    pub fn with_capacity(len: usize) -> Self {
+        Bits {
+            len: 0,
+            words: Vec::with_capacity(len.div_ceil(64)),
+        }
+    }
+
+    /// Builds a sequence from bytes, MSB first.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let b = spe_nist::Bits::from_bytes(&[0b1000_0001]);
+    /// assert!(b.get(0) && b.get(7) && !b.get(1));
+    /// ```
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bits = Bits::with_capacity(bytes.len() * 8);
+        for byte in bytes {
+            for k in (0..8).rev() {
+                bits.push(byte >> k & 1 == 1);
+            }
+        }
+        bits
+    }
+
+    /// Builds a sequence from 0/1 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is neither 0 nor 1.
+    pub fn from_bits(values: &[u8]) -> Self {
+        Bits::from_fn(values.len(), |i| match values[i] {
+            0 => false,
+            1 => true,
+            v => panic!("bit value must be 0 or 1, got {v}"),
+        })
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Appends every bit of another sequence.
+    pub fn extend_bits(&mut self, other: &Bits) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Appends the bits of a byte slice (MSB first).
+    pub fn extend_bytes(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            for k in (0..8).rev() {
+                self.push(byte >> k & 1 == 1);
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// The bit at `index` as 0/1.
+    #[inline]
+    pub fn bit(&self, index: usize) -> u8 {
+        self.get(index) as u8
+    }
+
+    /// Number of one bits.
+    pub fn ones(&self) -> usize {
+        // The final partial word has zero padding, so popcount is exact.
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// A sub-sequence `[start, start + count)` copied out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the sequence.
+    pub fn slice(&self, start: usize, count: usize) -> Bits {
+        assert!(start + count <= self.len, "slice out of range");
+        Bits::from_fn(count, |i| self.get(start + i))
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// XOR of two equal-length sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor(&self, other: &Bits) -> Bits {
+        assert_eq!(self.len, other.len, "XOR requires equal lengths");
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 64;
+        for i in 0..self.len.min(PREVIEW) {
+            write!(f, "{}", self.bit(i))?;
+        }
+        if self.len > PREVIEW {
+            write!(f, "... ({} bits)", self.len)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bits = Bits::new();
+        for b in iter {
+            bits.push(b);
+        }
+        bits
+    }
+}
+
+impl Extend<bool> for Bits {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let bits: Bits = pattern.iter().copied().collect();
+        assert_eq!(bits.len(), 9);
+        for (i, b) in pattern.iter().enumerate() {
+            assert_eq!(bits.get(i), *b);
+        }
+    }
+
+    #[test]
+    fn from_bytes_is_msb_first() {
+        let b = Bits::from_bytes(&[0b1010_0000, 0xFF]);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(2));
+        assert_eq!(b.ones(), 10);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn ones_counts_across_words() {
+        let bits = Bits::from_fn(200, |i| i % 3 == 0);
+        assert_eq!(bits.ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn slice_copies_range() {
+        let bits = Bits::from_fn(100, |i| i % 2 == 0);
+        let s = bits.slice(10, 5);
+        assert_eq!(s.len(), 5);
+        for i in 0..5 {
+            assert_eq!(s.get(i), (10 + i) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn xor_differences() {
+        let a = Bits::from_fn(70, |i| i % 2 == 0);
+        let b = Bits::from_fn(70, |i| i % 4 == 0);
+        let x = a.xor(&b);
+        assert_eq!(x.ones(), (0..70).filter(|i| (i % 2 == 0) != (i % 4 == 0)).count());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn xor_length_mismatch_panics() {
+        let a = Bits::from_fn(8, |_| true);
+        let b = Bits::from_fn(9, |_| true);
+        let _ = a.xor(&b);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let bits = Bits::from_fn(100, |_| true);
+        let s = bits.to_string();
+        assert!(s.contains("(100 bits)"));
+    }
+
+    #[test]
+    fn extend_variants() {
+        let mut bits = Bits::from_bytes(&[0xF0]);
+        bits.extend_bytes(&[0x0F]);
+        assert_eq!(bits.len(), 16);
+        assert_eq!(bits.ones(), 8);
+        let mut other = Bits::new();
+        other.extend_bits(&bits);
+        assert_eq!(other, bits);
+        other.extend([true, false]);
+        assert_eq!(other.len(), 18);
+        assert_eq!(other.ones(), 9);
+    }
+
+    #[test]
+    fn from_bits_and_iter() {
+        let b = Bits::from_bits(&[1, 0, 1, 1]);
+        let collected: Vec<bool> = b.iter().collect();
+        assert_eq!(collected, vec![true, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn from_bits_rejects_other_values() {
+        let _ = Bits::from_bits(&[2]);
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let bits = Bits::from_bytes(&bytes);
+            prop_assert_eq!(bits.len(), bytes.len() * 8);
+            let expected: usize = bytes.iter().map(|b| b.count_ones() as usize).sum();
+            prop_assert_eq!(bits.ones(), expected);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Iterative radix-2 complex FFT for the spectral (DFT) test.
+
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over interleaved complex
+/// values `(re, im)`.
+///
+/// # Panics
+///
+/// Panics if the number of complex points is not a power of two.
+pub fn fft_in_place(data: &mut [(f64, f64)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut start = 0;
+        while start < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitudes of the first `n/2` FFT bins of a real-valued signal.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is not a power of two.
+pub fn half_spectrum_magnitudes(signal: &[f64]) -> Vec<f64> {
+    let mut data: Vec<(f64, f64)> = signal.iter().map(|x| (*x, 0.0)).collect();
+    fft_in_place(&mut data);
+    data[..signal.len() / 2]
+        .iter()
+        .map(|(re, im)| (re * re + im * im).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_naive(signal: &[f64]) -> Vec<(f64, f64)> {
+        let n = signal.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (t, x) in signal.iter().enumerate() {
+                    let ang = -2.0 * PI * k as f64 * t as f64 / n as f64;
+                    re += x * ang.cos();
+                    im += x * ang.sin();
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let mut data: Vec<(f64, f64)> = signal.iter().map(|x| (*x, 0.0)).collect();
+        fft_in_place(&mut data);
+        let expected = dft_naive(&signal);
+        for ((ar, ai), (br, bi)) in data.iter().zip(&expected) {
+            assert!((ar - br).abs() < 1e-9 && (ai - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0; 64];
+        signal[0] = 1.0;
+        let mags = half_spectrum_magnitudes(&signal);
+        for m in mags {
+            assert!((m - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let signal = vec![1.0; 64];
+        let mags = half_spectrum_magnitudes(&signal);
+        assert!((mags[0] - 64.0).abs() < 1e-9);
+        for m in &mags[1..] {
+            assert!(m.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 31 + 17) % 97) as f64 / 48.0 - 1.0).collect();
+        let mut data: Vec<(f64, f64)> = signal.iter().map(|x| (*x, 0.0)).collect();
+        fft_in_place(&mut data);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            data.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / signal.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft_in_place(&mut data);
+    }
+}

@@ -1,0 +1,58 @@
+//! NIST SP 800-22 statistical randomness test suite.
+//!
+//! A self-contained Rust implementation of the fifteen statistical tests
+//! the paper uses for its Table 2 security evaluation (Rukhin et al., *A
+//! Statistical Test Suite for Random and Pseudorandom Number Generators for
+//! Cryptographic Applications*):
+//!
+//! | # | Test | Module |
+//! |---|------|--------|
+//! | 1 | Frequency (monobit) | [`tests::frequency`] |
+//! | 2 | Block frequency | [`tests::block_frequency`] |
+//! | 3 | Runs | [`tests::runs`] |
+//! | 4 | Longest run of ones | [`tests::longest_run`] |
+//! | 5 | Binary matrix rank | [`tests::matrix_rank`] |
+//! | 6 | Discrete Fourier transform | [`tests::dft`] |
+//! | 7 | Non-overlapping template matching | [`tests::non_overlapping_template`] |
+//! | 8 | Overlapping template matching | [`tests::overlapping_template`] |
+//! | 9 | Maurer's universal | [`tests::universal`] |
+//! | 10 | Linear complexity | [`tests::linear_complexity`] |
+//! | 11 | Serial | [`tests::serial`] |
+//! | 12 | Approximate entropy | [`tests::approximate_entropy`] |
+//! | 13 | Cumulative sums | [`tests::cusum`] |
+//! | 14 | Random excursions | [`tests::random_excursions`] |
+//! | 15 | Random excursions variant | [`tests::random_excursions_variant`] |
+//!
+//! Supporting numerics (`erfc`, regularized incomplete gamma, an FFT and
+//! GF(2) matrix rank) are implemented in [`special`], [`fft`] and inside the
+//! test modules — no external math dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use spe_nist::{Bits, Suite};
+//!
+//! // A clearly non-random sequence fails the monobit test...
+//! let zeros = Bits::from_fn(2048, |_| false);
+//! let report = Suite::new().run(&zeros);
+//! assert!(!report.passed("frequency").unwrap());
+//!
+//! // ...while a decent PRNG stream passes it.
+//! let mut s = 0x1234_5678_9ABC_DEFu64;
+//! let random = Bits::from_fn(2048, |_| {
+//!     s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+//!     (s >> 63) == 1
+//! });
+//! let report = Suite::new().run(&random);
+//! assert!(report.passed("frequency").unwrap());
+//! ```
+
+pub mod bits;
+pub mod fft;
+pub mod special;
+pub mod suite;
+pub mod tests;
+
+pub use bits::Bits;
+pub use suite::{Suite, SuiteReport, TestOutcome, TEST_NAMES};
+pub use tests::TestResult;

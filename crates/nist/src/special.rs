@@ -1,0 +1,259 @@
+//! Special functions used by the test statistics: `erfc`, the regularized
+//! incomplete gamma function and the standard normal CDF.
+
+/// Complementary error function.
+///
+/// Uses the rational Chebyshev approximation of Numerical Recipes (absolute
+/// error below `1.2e-7`, ample for p-value thresholds at `α = 0.01`).
+///
+/// # Example
+///
+/// ```
+/// let v = spe_nist::special::erfc(1.0);
+/// assert!((v - 0.157299).abs() < 1e-5);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function (`1 − erfc`).
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// # Example
+///
+/// ```
+/// assert!((spe_nist::special::normal_cdf(0.0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos g=5, n=6 coefficients.
+    const COF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn igam(a: f64, x: f64) -> f64 {
+    1.0 - igamc(a, x)
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)` — the workhorse of
+/// the chi-square based NIST tests.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+///
+/// # Example
+///
+/// ```
+/// // Q(0.5, x) = erfc(sqrt(x))
+/// let q = spe_nist::special::igamc(0.5, 1.0);
+/// assert!((q - spe_nist::special::erfc(1.0)).abs() < 1e-6);
+/// ```
+pub fn igamc(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "igamc requires a > 0");
+    assert!(x >= 0.0, "igamc requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)` (valid for `x < a + 1`).
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x)` (valid for `x >= a + 1`).
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.479500),
+            (1.0, 0.157299),
+            (2.0, 0.004678),
+            (-1.0, 1.842701),
+        ];
+        for (x, expected) in cases {
+            assert!(
+                (erfc(x) - expected).abs() < 2e-6,
+                "erfc({x}) = {} vs {expected}",
+                erfc(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for i in -30..=30 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for i in 0..=20 {
+            let x = i as f64 * 0.2;
+            // The erfc approximation is accurate to ~1.2e-7.
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..=10 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
+                "ln_gamma({n})"
+            );
+        }
+        // Γ(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn igamc_half_is_erfc_sqrt() {
+        for i in 1..=20 {
+            let x = i as f64 * 0.3;
+            assert!(
+                (igamc(0.5, x) - erfc(x.sqrt())).abs() < 1e-7,
+                "igamc(0.5, {x})"
+            );
+        }
+    }
+
+    #[test]
+    fn igamc_integer_a_matches_poisson_tail() {
+        // Q(n, x) = P[Poisson(x) < n] = sum_{k<n} e^-x x^k / k!
+        for (a, x) in [(1.0f64, 0.5f64), (2.0, 1.0), (3.0, 2.5), (5.0, 7.0)] {
+            let n = a as usize;
+            let mut term = (-x).exp();
+            let mut sum = 0.0;
+            for k in 0..n {
+                if k > 0 {
+                    term *= x / k as f64;
+                }
+                sum += term;
+            }
+            assert!(
+                (igamc(a, x) - sum).abs() < 1e-10,
+                "igamc({a}, {x}) = {} vs {sum}",
+                igamc(a, x)
+            );
+        }
+    }
+
+    #[test]
+    fn igamc_boundaries() {
+        assert_eq!(igamc(1.0, 0.0), 1.0);
+        assert!(igamc(1.0, 50.0) < 1e-20);
+        assert!(igam(1.0, 50.0) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "a > 0")]
+    fn igamc_rejects_bad_a() {
+        igamc(0.0, 1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The full test suite runner (the paper's Table 2 machinery).
+
+use crate::bits::Bits;
+use crate::tests::{self, TestResult};
+use std::fmt;
+
+/// Names of the fifteen tests, in the order of the paper's Table 2.
+pub const TEST_NAMES: [&str; 15] = [
+    "frequency",
+    "block-frequency",
+    "runs",
+    "longest-run",
+    "matrix-rank",
+    "dft",
+    "non-overlapping-template",
+    "overlapping-template",
+    "universal",
+    "linear-complexity",
+    "serial",
+    "approximate-entropy",
+    "cusum",
+    "random-excursions",
+    "random-excursions-variant",
+];
+
+/// Configuration of the suite (parameterized tests use these values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    /// Significance level (the paper uses 0.01).
+    pub alpha: f64,
+    /// Block frequency block size.
+    pub block_frequency_m: usize,
+    /// Serial test pattern length.
+    pub serial_m: usize,
+    /// Approximate entropy block length.
+    pub approximate_entropy_m: usize,
+    /// Linear complexity block size.
+    pub linear_complexity_m: usize,
+    /// Non-overlapping template.
+    pub template: Vec<u8>,
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Suite {
+            alpha: 0.01,
+            block_frequency_m: 128,
+            serial_m: 5,
+            approximate_entropy_m: 3,
+            linear_complexity_m: 500,
+            template: tests::DEFAULT_APERIODIC_TEMPLATE.to_vec(),
+        }
+    }
+}
+
+impl Suite {
+    /// Creates the suite with the reference parameters.
+    pub fn new() -> Self {
+        Suite::default()
+    }
+
+    /// Runs every test on a sequence.
+    pub fn run(&self, bits: &Bits) -> SuiteReport {
+        let results = vec![
+            tests::frequency(bits),
+            tests::block_frequency(bits, self.block_frequency_m),
+            tests::runs(bits),
+            tests::longest_run(bits),
+            tests::matrix_rank(bits),
+            tests::dft(bits),
+            tests::non_overlapping_template(bits, &self.template),
+            tests::overlapping_template(bits),
+            tests::universal(bits),
+            tests::linear_complexity(bits, self.linear_complexity_m),
+            tests::serial(bits, self.serial_m),
+            tests::approximate_entropy(bits, self.approximate_entropy_m),
+            tests::cusum(bits),
+            tests::random_excursions(bits),
+            tests::random_excursions_variant(bits),
+        ];
+        SuiteReport {
+            alpha: self.alpha,
+            results,
+        }
+    }
+
+    /// Runs the suite over many sequences and tallies failures per test —
+    /// exactly the numbers the paper's Table 2 reports ("number of failed
+    /// sequences out of 150 for each test").
+    pub fn tally<'a, I>(&self, sequences: I) -> FailureTally
+    where
+        I: IntoIterator<Item = &'a Bits>,
+    {
+        let mut failed = [0usize; 15];
+        let mut applicable = [0usize; 15];
+        let mut p_values: [Vec<f64>; 15] = Default::default();
+        let mut total = 0usize;
+        for bits in sequences {
+            total += 1;
+            let report = self.run(bits);
+            for (i, result) in report.results.iter().enumerate() {
+                if let Some(pass) = result.passes(self.alpha) {
+                    applicable[i] += 1;
+                    if !pass {
+                        failed[i] += 1;
+                    }
+                    if let TestResult::Done { p_values: ps } = result {
+                        p_values[i].extend_from_slice(ps);
+                    }
+                }
+            }
+        }
+        FailureTally {
+            sequences: total,
+            failed,
+            applicable,
+            p_values,
+        }
+    }
+}
+
+/// Second-level analysis of a batch of p-values (SP 800-22 §4.2.2): the
+/// p-values of a good generator are themselves uniform on [0, 1]; this
+/// checks uniformity with a 10-bin chi-square and returns the P-value of
+/// the P-values.
+///
+/// Returns `None` for fewer than 55 samples (the reference suite's minimum
+/// for the 10-bin chi-square approximation).
+///
+/// # Example
+///
+/// ```
+/// let uniform: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let p = spe_nist::suite::pvalue_uniformity(&uniform).unwrap();
+/// assert!(p > 0.99, "perfectly uniform p-values score high");
+/// ```
+pub fn pvalue_uniformity(p_values: &[f64]) -> Option<f64> {
+    if p_values.len() < 55 {
+        return None;
+    }
+    let mut bins = [0usize; 10];
+    for p in p_values {
+        let b = ((p * 10.0) as usize).min(9);
+        bins[b] += 1;
+    }
+    let expected = p_values.len() as f64 / 10.0;
+    let chi2: f64 = bins
+        .iter()
+        .map(|o| {
+            let d = *o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    Some(crate::special::igamc(4.5, chi2 / 2.0))
+}
+
+/// Per-sequence results for all fifteen tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    alpha: f64,
+    results: Vec<TestResult>,
+}
+
+/// One test's outcome in a [`SuiteReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestOutcome {
+    /// All (Bonferroni-adjusted) p-values at or above threshold.
+    Passed,
+    /// At least one p-value below threshold.
+    Failed {
+        /// The smallest p-value observed.
+        min_p: f64,
+    },
+    /// The sequence was too short for this test.
+    NotApplicable {
+        /// Why the test could not run.
+        reason: String,
+    },
+}
+
+impl SuiteReport {
+    /// The raw [`TestResult`] for a test by name.
+    pub fn result(&self, name: &str) -> Option<&TestResult> {
+        let idx = TEST_NAMES.iter().position(|n| *n == name)?;
+        self.results.get(idx)
+    }
+
+    /// Whether the sequence passed a test (None if unknown name or not
+    /// applicable).
+    pub fn passed(&self, name: &str) -> Option<bool> {
+        self.result(name)?.passes(self.alpha)
+    }
+
+    /// The outcome of every test, in [`TEST_NAMES`] order.
+    pub fn outcomes(&self) -> Vec<(&'static str, TestOutcome)> {
+        TEST_NAMES
+            .iter()
+            .zip(&self.results)
+            .map(|(name, result)| {
+                let outcome = match result.passes(self.alpha) {
+                    Some(true) => TestOutcome::Passed,
+                    Some(false) => TestOutcome::Failed {
+                        min_p: result.min_p().unwrap_or(0.0),
+                    },
+                    None => match result {
+                        TestResult::NotApplicable { reason } => TestOutcome::NotApplicable {
+                            reason: reason.clone(),
+                        },
+                        _ => unreachable!("Done results always report pass/fail"),
+                    },
+                };
+                (*name, outcome)
+            })
+            .collect()
+    }
+
+    /// Number of applicable tests the sequence failed.
+    pub fn failures(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.passes(self.alpha) == Some(false))
+            .count()
+    }
+}
+
+/// Failure counts across a batch of sequences (one Table 2 column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureTally {
+    /// Number of sequences examined.
+    pub sequences: usize,
+    /// Failures per test, in [`TEST_NAMES`] order.
+    pub failed: [usize; 15],
+    /// Applicable sequence count per test.
+    pub applicable: [usize; 15],
+    /// Every p-value observed per test (for second-level uniformity).
+    pub p_values: [Vec<f64>; 15],
+}
+
+impl FailureTally {
+    /// Whether the batch satisfies the paper's acceptance rule: at
+    /// significance 0.01 and 150 sequences, no more than `max_failures`
+    /// failures per test.
+    pub fn passes(&self, max_failures: usize) -> bool {
+        self.failed.iter().all(|f| *f <= max_failures)
+    }
+
+    /// Failure count for a test by name.
+    pub fn failures_for(&self, name: &str) -> Option<usize> {
+        let idx = TEST_NAMES.iter().position(|n| *n == name)?;
+        Some(self.failed[idx])
+    }
+
+    /// Second-level uniformity P-value per test (SP 800-22 §4.2.2), `None`
+    /// where too few p-values accumulated.
+    pub fn uniformity(&self) -> [Option<f64>; 15] {
+        core::array::from_fn(|i| pvalue_uniformity(&self.p_values[i]))
+    }
+}
+
+impl fmt::Display for FailureTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "failures out of {} sequences:", self.sequences)?;
+        for (i, name) in TEST_NAMES.iter().enumerate() {
+            writeln!(
+                f,
+                "  {name:<28} {:>3} / {:>3}",
+                self.failed[i], self.applicable[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod suite_tests {
+    use super::*;
+
+    fn prng_bits(len: usize, seed: u64) -> Bits {
+        let mut state = seed;
+        Bits::from_fn(len, |_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) >> 63 == 1
+        })
+    }
+
+    #[test]
+    fn good_stream_passes_every_applicable_test() {
+        let bits = prng_bits(1 << 16, 1234);
+        let report = Suite::new().run(&bits);
+        for (name, outcome) in report.outcomes() {
+            if let TestOutcome::Failed { min_p } = outcome {
+                panic!("{name} failed with min p {min_p}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_stream_fails_many_tests() {
+        let bits = Bits::from_fn(1 << 16, |_| true);
+        let report = Suite::new().run(&bits);
+        assert!(report.failures() >= 4, "got {} failures", report.failures());
+        assert_eq!(report.passed("frequency"), Some(false));
+        assert_eq!(report.passed("runs"), Some(false));
+    }
+
+    #[test]
+    fn tally_counts_failures() {
+        let good: Vec<Bits> = (0..4).map(|s| prng_bits(1 << 14, s)).collect();
+        let tally = Suite::new().tally(good.iter());
+        assert_eq!(tally.sequences, 4);
+        assert!(tally.passes(1), "{tally}");
+        let bad = vec![Bits::from_fn(1 << 14, |_| false); 2];
+        let tally = Suite::new().tally(bad.iter());
+        assert!(!tally.passes(0));
+        assert_eq!(tally.failures_for("frequency"), Some(2));
+    }
+
+    #[test]
+    fn report_lookup_by_name() {
+        let bits = prng_bits(1 << 14, 5);
+        let report = Suite::new().run(&bits);
+        assert!(report.result("frequency").is_some());
+        assert!(report.result("nonexistent").is_none());
+        assert_eq!(report.passed("nonexistent"), None);
+    }
+}

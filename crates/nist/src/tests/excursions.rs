@@ -1,0 +1,184 @@
+//! Random-walk excursion tests (tests 14 and 15).
+
+use crate::bits::Bits;
+use crate::special::{erfc, igamc};
+use crate::tests::TestResult;
+
+/// The zero-delimited cycles of the cumulative ±1 walk.
+///
+/// Returns `(cycles, states_per_position)`: the walk values between zero
+/// crossings, with a leading and trailing zero appended per the spec.
+fn walk_cycles(bits: &Bits) -> Vec<Vec<i64>> {
+    let mut cycles = Vec::new();
+    let mut current = Vec::new();
+    let mut s = 0i64;
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        current.push(s);
+        if s == 0 {
+            cycles.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        // Final (unclosed) segment counts as one more cycle with an
+        // implicit return to zero.
+        cycles.push(current);
+    }
+    cycles
+}
+
+/// Test 14 — Random excursions.
+///
+/// For each state `x ∈ {−4..−1, 1..4}` the distribution of per-cycle visit
+/// counts is compared against its theoretical law; eight p-values.
+///
+/// Not applicable when the walk has fewer than `max(0.005·√n, 500)` cycles.
+pub fn random_excursions(bits: &Bits) -> TestResult {
+    let n = bits.len();
+    let cycles = walk_cycles(bits);
+    let j = cycles.len();
+    let j_min = (0.005 * (n as f64).sqrt()).max(500.0);
+    if (j as f64) < j_min {
+        return TestResult::skip(format!(
+            "random excursions needs >= {j_min:.0} cycles, got {j}"
+        ));
+    }
+    let states: [i64; 8] = [-4, -3, -2, -1, 1, 2, 3, 4];
+    let mut p_values = Vec::with_capacity(8);
+    for x in states {
+        // nu[k] = number of cycles with exactly k visits to x (k = 0..4, >=5).
+        let mut nu = [0u64; 6];
+        for cycle in &cycles {
+            let visits = cycle.iter().filter(|s| **s == x).count();
+            nu[visits.min(5)] += 1;
+        }
+        let pi = excursion_probabilities(x.unsigned_abs() as f64);
+        let jf = j as f64;
+        let chi2: f64 = nu
+            .iter()
+            .zip(pi)
+            .map(|(obs, p)| {
+                let e = jf * p;
+                (*obs as f64 - e) * (*obs as f64 - e) / e
+            })
+            .sum();
+        p_values.push(igamc(5.0 / 2.0, chi2 / 2.0));
+    }
+    TestResult::Done { p_values }
+}
+
+/// Theoretical visit-count class probabilities `π_k(x)`, k = 0..4 and ≥5.
+fn excursion_probabilities(x: f64) -> [f64; 6] {
+    let q = 1.0 - 1.0 / (2.0 * x);
+    let mut pi = [0.0; 6];
+    pi[0] = q;
+    for (k, item) in pi.iter_mut().enumerate().take(5).skip(1) {
+        *item = 1.0 / (4.0 * x * x) * q.powi(k as i32 - 1);
+    }
+    pi[5] = 1.0 / (2.0 * x) * q.powi(4);
+    pi
+}
+
+/// Test 15 — Random excursions variant.
+///
+/// Total visit counts to the eighteen states `x ∈ {−9..−1, 1..9}` compared
+/// against the cycle count; eighteen p-values.
+pub fn random_excursions_variant(bits: &Bits) -> TestResult {
+    let n = bits.len();
+    let cycles = walk_cycles(bits);
+    let j = cycles.len();
+    let j_min = (0.005 * (n as f64).sqrt()).max(500.0);
+    if (j as f64) < j_min {
+        return TestResult::skip(format!(
+            "random excursions variant needs >= {j_min:.0} cycles, got {j}"
+        ));
+    }
+    let mut visits = std::collections::HashMap::new();
+    for cycle in &cycles {
+        for s in cycle {
+            if *s != 0 {
+                *visits.entry(*s).or_insert(0u64) += 1;
+            }
+        }
+    }
+    let jf = j as f64;
+    let mut p_values = Vec::with_capacity(18);
+    for x in (-9..=9).filter(|x| *x != 0) {
+        let xi = *visits.get(&x).unwrap_or(&0) as f64;
+        let denom = (2.0 * jf * (4.0 * (x as f64).abs() - 2.0)).sqrt();
+        p_values.push(erfc((xi - jf).abs() / denom / std::f64::consts::SQRT_2));
+    }
+    TestResult::Done { p_values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::testutil::{assert_calibrated, prng_bits};
+
+    #[test]
+    fn cycles_of_alternating_walk() {
+        // 10 10 10 ... : walk 1,0,1,0..., a cycle every two steps.
+        let bits = Bits::from_fn(100, |i| i % 2 == 0);
+        let cycles = walk_cycles(&bits);
+        assert_eq!(cycles.len(), 50);
+        assert!(cycles.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for x in 1..=4 {
+            let pi = excursion_probabilities(x as f64);
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "x = {x}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn skips_when_walk_drifts() {
+        // Heavy drift: almost no zero crossings.
+        let bits = Bits::from_fn(1 << 16, |i| i % 10 != 0);
+        assert!(matches!(
+            random_excursions(&bits),
+            TestResult::NotApplicable { .. }
+        ));
+        assert!(matches!(
+            random_excursions_variant(&bits),
+            TestResult::NotApplicable { .. }
+        ));
+    }
+
+    #[test]
+    fn produces_expected_pvalue_counts() {
+        let bits = prng_bits(1 << 20, 9);
+        if let TestResult::Done { p_values } = random_excursions(&bits) {
+            assert_eq!(p_values.len(), 8);
+        } else {
+            panic!("excursions should be applicable at 2^20 bits");
+        }
+        if let TestResult::Done { p_values } = random_excursions_variant(&bits) {
+            assert_eq!(p_values.len(), 18);
+        } else {
+            panic!("variant should be applicable at 2^20 bits");
+        }
+    }
+
+    #[test]
+    fn structured_walk_fails() {
+        // A walk that returns to zero rapidly but with a rigid pattern:
+        // 1100 repeated gives cycles visiting +1 twice, never -1.
+        let bits = Bits::from_fn(1 << 16, |i| i % 4 < 2);
+        let r = random_excursions(&bits);
+        if let Some(pass) = r.passes(0.01) {
+            assert!(!pass, "rigid pattern must fail excursions");
+        } else {
+            panic!("expected applicability: {r:?}");
+        }
+    }
+
+    #[test]
+    fn calibration_on_prng_streams() {
+        assert_calibrated(random_excursions, 1 << 20, 6, 1);
+        assert_calibrated(random_excursions_variant, 1 << 20, 6, 1);
+    }
+}

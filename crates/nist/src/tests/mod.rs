@@ -1,0 +1,160 @@
+//! The fifteen SP 800-22 statistical tests.
+//!
+//! Every test takes a [`Bits`] sequence and returns a [`TestResult`]: either
+//! one or more p-values, or a *not applicable* marker when the sequence is
+//! too short for the test's asymptotic statistics (mirroring the reference
+//! suite's input-size recommendations).
+
+mod complexity;
+mod entropy;
+mod excursions;
+mod frequency;
+mod spectral;
+mod templates;
+
+pub use complexity::{berlekamp_massey, linear_complexity};
+pub use entropy::{approximate_entropy, serial, universal};
+pub use excursions::{random_excursions, random_excursions_variant};
+pub use frequency::{block_frequency, cusum, frequency, longest_run, runs};
+pub use spectral::{dft, matrix_rank};
+pub use templates::{aperiodic_templates, non_overlapping_template, overlapping_template, DEFAULT_APERIODIC_TEMPLATE};
+
+use crate::bits::Bits;
+
+/// Outcome of a single statistical test on one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestResult {
+    /// The test ran and produced one or more p-values.
+    Done {
+        /// The p-values (most tests produce one; serial and cusum two,
+        /// random excursions eight, its variant eighteen).
+        p_values: Vec<f64>,
+    },
+    /// The sequence does not meet the test's input-size requirements.
+    NotApplicable {
+        /// Why the test could not run.
+        reason: String,
+    },
+}
+
+impl TestResult {
+    pub(crate) fn single(p: f64) -> TestResult {
+        TestResult::Done { p_values: vec![p] }
+    }
+
+    pub(crate) fn skip(reason: impl Into<String>) -> TestResult {
+        TestResult::NotApplicable {
+            reason: reason.into(),
+        }
+    }
+
+    /// The smallest p-value, if the test ran.
+    pub fn min_p(&self) -> Option<f64> {
+        match self {
+            TestResult::Done { p_values } => {
+                p_values.iter().copied().fold(None, |acc, p| {
+                    Some(acc.map_or(p, |a: f64| a.min(p)))
+                })
+            }
+            TestResult::NotApplicable { .. } => None,
+        }
+    }
+
+    /// Whether the sequence passes at significance `alpha`.
+    ///
+    /// Multi-p-value tests use a Bonferroni-corrected per-value threshold
+    /// `alpha / k`, so the per-sequence false-failure rate stays near
+    /// `alpha` for every test (this is how the per-test failure counts of
+    /// the paper's Table 2 stay comparable across tests).
+    ///
+    /// Returns `None` when the test was not applicable.
+    pub fn passes(&self, alpha: f64) -> Option<bool> {
+        match self {
+            TestResult::Done { p_values } => {
+                if p_values.is_empty() {
+                    return Some(true);
+                }
+                let threshold = alpha / p_values.len() as f64;
+                Some(p_values.iter().all(|p| *p >= threshold))
+            }
+            TestResult::NotApplicable { .. } => None,
+        }
+    }
+}
+
+/// Converts a sequence to the ±1 random walk increments used by several
+/// tests.
+pub(crate) fn signed(bits: &Bits) -> impl Iterator<Item = f64> + '_ {
+    bits.iter().map(|b| if b { 1.0 } else { -1.0 })
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::bits::Bits;
+
+    /// A deterministic, good-quality bit stream (SplitMix64 high bits).
+    pub fn prng_bits(len: usize, seed: u64) -> Bits {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut bits = Bits::with_capacity(len);
+        let mut word = 0u64;
+        for i in 0..len {
+            if i % 64 == 0 {
+                word = next();
+            }
+            bits.push(word >> (i % 64) & 1 == 1);
+        }
+        bits
+    }
+
+    /// Asserts that a test's false-failure rate over PRNG streams is sane.
+    pub fn assert_calibrated<F>(test: F, len: usize, trials: usize, max_failures: usize)
+    where
+        F: Fn(&Bits) -> super::TestResult,
+    {
+        let mut failures = 0;
+        let mut applicable = 0;
+        for t in 0..trials {
+            let bits = prng_bits(len, 0xC0FFEE + t as u64 * 7919);
+            match test(&bits).passes(0.01) {
+                Some(true) => applicable += 1,
+                Some(false) => {
+                    applicable += 1;
+                    failures += 1;
+                }
+                None => {}
+            }
+        }
+        assert!(applicable > 0, "test never applicable at n = {len}");
+        assert!(
+            failures <= max_failures,
+            "{failures}/{applicable} PRNG sequences failed (allowed {max_failures})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod result_tests {
+    use super::*;
+
+    #[test]
+    fn min_p_and_passes() {
+        let r = TestResult::Done {
+            p_values: vec![0.5, 0.02, 0.9],
+        };
+        assert_eq!(r.min_p(), Some(0.02));
+        // Bonferroni threshold: 0.01/3 = 0.0033 < 0.02, so it passes.
+        assert_eq!(r.passes(0.01), Some(true));
+        let bad = TestResult::single(0.001);
+        assert_eq!(bad.passes(0.01), Some(false));
+        let na = TestResult::skip("too short");
+        assert_eq!(na.passes(0.01), None);
+        assert_eq!(na.min_p(), None);
+    }
+}

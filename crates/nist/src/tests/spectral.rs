@@ -1,0 +1,164 @@
+//! Spectral tests: discrete Fourier transform and binary matrix rank.
+
+use crate::bits::Bits;
+use crate::fft::half_spectrum_magnitudes;
+use crate::special::erfc;
+use crate::tests::{signed, TestResult};
+
+/// Test 6 — Discrete Fourier transform (spectral).
+///
+/// Detects periodic features via the count of low-magnitude spectral bins.
+/// The FFT is radix-2; sequences whose length is not a power of two are
+/// truncated to the largest power of two (documented deviation from the
+/// reference suite, which uses an arbitrary-n transform).
+pub fn dft(bits: &Bits) -> TestResult {
+    let n_raw = bits.len();
+    if n_raw < 1024 {
+        return TestResult::skip(format!("dft test needs n >= 1024, got {n_raw}"));
+    }
+    let n = if n_raw.is_power_of_two() {
+        n_raw
+    } else {
+        1usize << (usize::BITS - 1 - n_raw.leading_zeros())
+    };
+    let signal: Vec<f64> = signed(bits).take(n).collect();
+    let mags = half_spectrum_magnitudes(&signal);
+    let nf = n as f64;
+    let t = (nf * (1.0f64 / 0.05).ln()).sqrt();
+    let n0 = 0.95 * nf / 2.0;
+    let n1 = mags.iter().filter(|m| **m < t).count() as f64;
+    let d = (n1 - n0) / (nf * 0.95 * 0.05 / 4.0).sqrt();
+    TestResult::single(erfc(d.abs() / std::f64::consts::SQRT_2))
+}
+
+/// Test 5 — Binary matrix rank (32×32 blocks over GF(2)).
+pub fn matrix_rank(bits: &Bits) -> TestResult {
+    const M: usize = 32;
+    let n = bits.len();
+    let blocks = n / (M * M);
+    if blocks < 38 {
+        return TestResult::skip(format!(
+            "matrix-rank test needs 38 32x32 blocks (n >= 38912), got {blocks}"
+        ));
+    }
+    let mut f_full = 0usize;
+    let mut f_minus1 = 0usize;
+    for b in 0..blocks {
+        let mut rows = [0u32; M];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for c in 0..M {
+                if bits.get(b * M * M + r * M + c) {
+                    *row |= 1 << c;
+                }
+            }
+        }
+        match gf2_rank(&mut rows) {
+            32 => f_full += 1,
+            31 => f_minus1 += 1,
+            _ => {}
+        }
+    }
+    let nf = blocks as f64;
+    // Reference asymptotic probabilities for rank 32 / 31 / <=30.
+    let p = [0.2888, 0.5776, 0.1336];
+    let f_rest = blocks - f_full - f_minus1;
+    let obs = [f_full as f64, f_minus1 as f64, f_rest as f64];
+    let chi2: f64 = obs
+        .iter()
+        .zip(p)
+        .map(|(o, pi)| {
+            let e = nf * pi;
+            (o - e) * (o - e) / e
+        })
+        .sum();
+    TestResult::single((-chi2 / 2.0).exp())
+}
+
+/// Rank of a bit matrix over GF(2); rows given as `u32` bitmasks. The slice
+/// is used as elimination scratch.
+pub(crate) fn gf2_rank(rows: &mut [u32]) -> usize {
+    let mut rank = 0;
+    for col in 0..32 {
+        let mask = 1u32 << col;
+        // Find a pivot row at or below `rank`.
+        let pivot = (rank..rows.len()).find(|r| rows[*r] & mask != 0);
+        let Some(p) = pivot else { continue };
+        rows.swap(rank, p);
+        for r in 0..rows.len() {
+            if r != rank && rows[r] & mask != 0 {
+                rows[r] ^= rows[rank];
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::testutil::{assert_calibrated, prng_bits};
+
+    #[test]
+    fn rank_of_identity_is_full() {
+        let mut rows: Vec<u32> = (0..32).map(|i| 1 << i).collect();
+        assert_eq!(gf2_rank(&mut rows), 32);
+    }
+
+    #[test]
+    fn rank_of_duplicated_rows() {
+        let mut rows: Vec<u32> = (0..32).map(|i| 1 << (i / 2)).collect();
+        assert_eq!(gf2_rank(&mut rows), 16);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix() {
+        let mut rows = vec![0u32; 32];
+        assert_eq!(gf2_rank(&mut rows), 0);
+    }
+
+    #[test]
+    fn rank_xor_dependency() {
+        let mut rows = vec![0u32; 32];
+        rows[0] = 0b0110;
+        rows[1] = 0b0011;
+        rows[2] = 0b0101; // rows[0] ^ rows[1]
+        assert_eq!(gf2_rank(&mut rows), 2);
+    }
+
+    #[test]
+    fn dft_detects_periodicity() {
+        let bits = Bits::from_fn(4096, |i| i % 4 < 2);
+        assert_eq!(dft(&bits).passes(0.01), Some(false));
+    }
+
+    #[test]
+    fn dft_truncates_non_power_of_two() {
+        let bits = prng_bits(5000, 3);
+        assert!(matches!(dft(&bits), TestResult::Done { .. }));
+    }
+
+    #[test]
+    fn matrix_rank_detects_structured_bits() {
+        // Repeating 32-bit rows: every matrix has rank 1.
+        let bits = Bits::from_fn(64 * 1024, |i| (i % 32) < 16);
+        assert_eq!(matrix_rank(&bits).passes(0.01), Some(false));
+    }
+
+    #[test]
+    fn matrix_rank_skips_short() {
+        assert!(matches!(
+            matrix_rank(&prng_bits(4096, 1)),
+            TestResult::NotApplicable { .. }
+        ));
+    }
+
+    #[test]
+    fn calibration_on_prng_streams() {
+        assert_calibrated(dft, 1 << 13, 40, 3);
+        assert_calibrated(matrix_rank, 64 * 1024, 25, 2);
+    }
+}

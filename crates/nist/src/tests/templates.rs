@@ -1,0 +1,221 @@
+//! Template-matching tests (non-overlapping and overlapping).
+
+use crate::bits::Bits;
+use crate::special::igamc;
+use crate::tests::TestResult;
+
+/// Default non-overlapping template (m = 9), an aperiodic pattern from the
+/// reference suite's template library.
+pub const DEFAULT_APERIODIC_TEMPLATE: &[u8] = &[0, 0, 0, 0, 0, 0, 0, 0, 1];
+
+/// Generates every aperiodic template of length `m` (the reference suite
+/// ships these as data files; we derive them).
+///
+/// A template is aperiodic when no proper prefix equals the corresponding
+/// suffix (i.e. it cannot overlap itself at any shift), which is the
+/// pre-condition for the non-overlapping test's mean/variance formulas.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or greater than 16 (2^m enumeration).
+///
+/// # Example
+///
+/// ```
+/// let t2 = spe_nist::tests::aperiodic_templates(2);
+/// assert_eq!(t2, vec![vec![0, 1], vec![1, 0]]);
+/// let t9 = spe_nist::tests::aperiodic_templates(9);
+/// assert_eq!(t9.len(), 148); // the reference suite's count for m = 9
+/// ```
+pub fn aperiodic_templates(m: usize) -> Vec<Vec<u8>> {
+    assert!((1..=16).contains(&m), "template length must be 1..=16");
+    let mut out = Vec::new();
+    'candidates: for value in 0..(1u32 << m) {
+        let bits: Vec<u8> = (0..m).map(|k| (value >> (m - 1 - k) & 1) as u8).collect();
+        // Aperiodic: for every shift s in 1..m the prefix of length m-s must
+        // differ from the suffix of length m-s.
+        for s in 1..m {
+            if bits[..m - s] == bits[s..] {
+                continue 'candidates;
+            }
+        }
+        out.push(bits);
+    }
+    out
+}
+
+/// Test 7 — Non-overlapping template matching.
+///
+/// Splits the sequence into 8 blocks and compares per-block occurrence
+/// counts of the (aperiodic) `template` against their theoretical mean.
+///
+/// # Panics
+///
+/// Panics if the template is empty or not made of 0/1 values.
+pub fn non_overlapping_template(bits: &Bits, template: &[u8]) -> TestResult {
+    let m = template.len();
+    assert!(m > 0, "template must be non-empty");
+    assert!(
+        template.iter().all(|b| *b <= 1),
+        "template must contain only 0/1"
+    );
+    let n = bits.len();
+    const N_BLOCKS: usize = 8;
+    let block = n / N_BLOCKS;
+    if block < 10 * m {
+        return TestResult::skip(format!(
+            "non-overlapping template needs blocks of >= {} bits, got {block}",
+            10 * m
+        ));
+    }
+    let mu = (block - m + 1) as f64 / 2f64.powi(m as i32);
+    let sigma2 = block as f64
+        * (1.0 / 2f64.powi(m as i32) - (2.0 * m as f64 - 1.0) / 2f64.powi(2 * m as i32));
+    let mut chi2 = 0.0;
+    for b in 0..N_BLOCKS {
+        let mut w = 0u64;
+        let mut i = 0;
+        while i + m <= block {
+            let matched = (0..m).all(|k| bits.bit(b * block + i + k) == template[k]);
+            if matched {
+                w += 1;
+                i += m;
+            } else {
+                i += 1;
+            }
+        }
+        chi2 += (w as f64 - mu) * (w as f64 - mu) / sigma2;
+    }
+    TestResult::single(igamc(N_BLOCKS as f64 / 2.0, chi2 / 2.0))
+}
+
+/// Test 8 — Overlapping template matching (all-ones template, m = 9).
+///
+/// Uses the reference block size M = 1032 and the spec's asymptotic class
+/// probabilities for 0, 1, …, ≥5 occurrences per block.
+pub fn overlapping_template(bits: &Bits) -> TestResult {
+    const M_TEMPLATE: usize = 9;
+    const BLOCK: usize = 1032;
+    const PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
+    let n = bits.len();
+    let blocks = n / BLOCK;
+    // Chi-square validity: expected count in the rarest class >= 5.
+    if (blocks as f64) * PI[4] < 5.0 {
+        return TestResult::skip(format!(
+            "overlapping template needs ~{} blocks of {BLOCK} bits, got {blocks}",
+            (5.0 / PI[4]).ceil() as usize
+        ));
+    }
+    let mut v = [0u64; 6];
+    for b in 0..blocks {
+        let mut count = 0usize;
+        for i in 0..=(BLOCK - M_TEMPLATE) {
+            if (0..M_TEMPLATE).all(|k| bits.get(b * BLOCK + i + k)) {
+                count += 1;
+            }
+        }
+        v[count.min(5)] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(PI)
+        .map(|(obs, p)| {
+            let e = nf * p;
+            (*obs as f64 - e) * (*obs as f64 - e) / e
+        })
+        .sum();
+    TestResult::single(igamc(5.0 / 2.0, chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::testutil::{assert_calibrated, prng_bits};
+
+    #[test]
+    fn notm_detects_planted_templates() {
+        // Plant "000000001" much more often than chance in half the blocks.
+        let template = DEFAULT_APERIODIC_TEMPLATE;
+        let mut bits = prng_bits(1 << 14, 77);
+        let block = bits.len() / 8;
+        let planted = Bits::from_fn(bits.len(), |i| {
+            let in_first_blocks = i / block < 4;
+            if in_first_blocks {
+                // dense plants: repeat the template back to back
+                template[i % 9] == 1
+            } else {
+                bits.get(i)
+            }
+        });
+        bits = planted;
+        assert_eq!(
+            non_overlapping_template(&bits, template).passes(0.01),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn aperiodic_template_counts_match_reference() {
+        // Counts from the SP 800-22 template library.
+        assert_eq!(aperiodic_templates(2).len(), 2);
+        assert_eq!(aperiodic_templates(3).len(), 4);
+        assert_eq!(aperiodic_templates(4).len(), 6);
+        assert_eq!(aperiodic_templates(5).len(), 12);
+        assert_eq!(aperiodic_templates(9).len(), 148);
+    }
+
+    #[test]
+    fn aperiodic_templates_never_self_overlap() {
+        for t in aperiodic_templates(7) {
+            for s in 1..t.len() {
+                assert_ne!(t[..t.len() - s], t[s..], "template {t:?} overlaps at {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_template_is_aperiodic() {
+        assert!(aperiodic_templates(9).contains(&DEFAULT_APERIODIC_TEMPLATE.to_vec()));
+    }
+
+    #[test]
+    fn notm_skips_tiny_sequences() {
+        assert!(matches!(
+            non_overlapping_template(&prng_bits(256, 1), DEFAULT_APERIODIC_TEMPLATE),
+            TestResult::NotApplicable { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "0/1")]
+    fn notm_rejects_bad_template() {
+        let _ = non_overlapping_template(&prng_bits(4096, 1), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn otm_detects_long_one_runs() {
+        // Periodic blocks of 16 ones create far too many all-ones windows.
+        let bits = Bits::from_fn(128 * 1024, |i| (i / 16) % 4 == 0);
+        assert_eq!(overlapping_template(&bits).passes(0.01), Some(false));
+    }
+
+    #[test]
+    fn otm_skips_short() {
+        assert!(matches!(
+            overlapping_template(&prng_bits(8192, 1)),
+            TestResult::NotApplicable { .. }
+        ));
+    }
+
+    #[test]
+    fn calibration_on_prng_streams() {
+        assert_calibrated(
+            |b| non_overlapping_template(b, DEFAULT_APERIODIC_TEMPLATE),
+            1 << 14,
+            40,
+            3,
+        );
+        assert_calibrated(overlapping_template, 128 * 1024, 20, 2);
+    }
+}

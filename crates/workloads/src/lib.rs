@@ -1,0 +1,26 @@
+//! Deterministic synthetic SPEC CPU2006-like memory trace generators.
+//!
+//! SPEC binaries are proprietary, so the paper's workloads are replaced by
+//! parameterized generators whose memory behaviour mimics each benchmark's
+//! published character: footprint, hot-set locality, streaming fraction and
+//! write ratio (see `DESIGN.md` §2 for the substitution rationale). The
+//! Fig. 7/8 harness runs each profile for the paper's 500 M instructions
+//! (scaled in quick mode).
+//!
+//! # Example
+//!
+//! ```
+//! use spe_workloads::{BenchProfile, TraceGenerator};
+//!
+//! let profile = BenchProfile::bzip2();
+//! let mut gen = TraceGenerator::new(&profile, 42);
+//! let access = gen.next().expect("infinite trace");
+//! assert!(access.addr < profile.footprint_bytes);
+//! ```
+
+pub mod generator;
+pub mod profile;
+pub mod trace;
+
+pub use generator::{Access, TraceGenerator};
+pub use profile::BenchProfile;

@@ -1,0 +1,280 @@
+//! Per-benchmark memory-behaviour profiles.
+
+use std::fmt;
+
+/// Parameters describing one benchmark's memory behaviour.
+///
+/// The knobs map onto well-known characterizations of SPEC CPU2006:
+/// `mcf`/`milc`/`libquantum` are memory-intensive with large footprints and
+/// poor locality; `bzip2`/`h264ref`/`hmmer` live mostly in a small hot set;
+/// `sjeng`/`astar`/`gobmk` scatter pointer-chasing accesses across many
+/// pages (the behaviour the paper highlights when contrasting `bzip2` with
+/// `sjeng` in Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchProfile {
+    /// Benchmark name as it appears on the Fig. 7/8 x-axis.
+    pub name: &'static str,
+    /// Total data footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Bytes of the hot working set.
+    pub hot_bytes: u64,
+    /// Probability that an access hits the small always-resident region
+    /// (stack, locals, hot globals — the traffic the L1 absorbs).
+    pub resident_prob: f64,
+    /// Probability that a non-resident access goes to the hot set.
+    pub hot_prob: f64,
+    /// Probability that a non-hot access continues the streaming pointer
+    /// (the rest are uniform over the footprint).
+    pub stream_prob: f64,
+    /// Fraction of memory accesses that are writes.
+    pub write_ratio: f64,
+    /// Average instructions between memory accesses.
+    pub instructions_per_access: f64,
+}
+
+impl BenchProfile {
+    /// `bzip2` — compression with a compact, heavily reused working set.
+    pub fn bzip2() -> Self {
+        BenchProfile {
+            name: "bzip2",
+            resident_prob: 0.93,
+            footprint_bytes: 64 << 20,
+            hot_bytes: 256 << 10,
+            hot_prob: 0.97,
+            stream_prob: 0.80,
+            write_ratio: 0.34,
+            instructions_per_access: 3.2,
+        }
+    }
+
+    /// `gcc` — compiler with medium footprint and moderate locality.
+    pub fn gcc() -> Self {
+        BenchProfile {
+            name: "gcc",
+            resident_prob: 0.9,
+            footprint_bytes: 128 << 20,
+            hot_bytes: 2 << 20,
+            hot_prob: 0.90,
+            stream_prob: 0.50,
+            write_ratio: 0.30,
+            instructions_per_access: 2.9,
+        }
+    }
+
+    /// `mcf` — pointer-chasing network simplex; memory bound.
+    pub fn mcf() -> Self {
+        BenchProfile {
+            name: "mcf",
+            resident_prob: 0.72,
+            footprint_bytes: 1536 << 20,
+            hot_bytes: 4 << 20,
+            hot_prob: 0.45,
+            stream_prob: 0.10,
+            write_ratio: 0.25,
+            instructions_per_access: 2.4,
+        }
+    }
+
+    /// `milc` — lattice QCD, large streaming arrays.
+    pub fn milc() -> Self {
+        BenchProfile {
+            name: "milc",
+            resident_prob: 0.78,
+            footprint_bytes: 640 << 20,
+            hot_bytes: 8 << 20,
+            hot_prob: 0.35,
+            stream_prob: 0.85,
+            write_ratio: 0.38,
+            instructions_per_access: 2.8,
+        }
+    }
+
+    /// `gobmk` — Go AI, scattered small-structure accesses.
+    pub fn gobmk() -> Self {
+        BenchProfile {
+            name: "gobmk",
+            resident_prob: 0.9,
+            footprint_bytes: 28 << 20,
+            hot_bytes: 1 << 20,
+            hot_prob: 0.86,
+            stream_prob: 0.25,
+            write_ratio: 0.28,
+            instructions_per_access: 3.4,
+        }
+    }
+
+    /// `hmmer` — profile HMM search, tight compute loop.
+    pub fn hmmer() -> Self {
+        BenchProfile {
+            name: "hmmer",
+            resident_prob: 0.95,
+            footprint_bytes: 24 << 20,
+            hot_bytes: 512 << 10,
+            hot_prob: 0.96,
+            stream_prob: 0.70,
+            write_ratio: 0.40,
+            instructions_per_access: 3.0,
+        }
+    }
+
+    /// `sjeng` — chess search touching many pages with little reuse.
+    pub fn sjeng() -> Self {
+        BenchProfile {
+            name: "sjeng",
+            resident_prob: 0.88,
+            footprint_bytes: 180 << 20,
+            hot_bytes: 1 << 20,
+            hot_prob: 0.55,
+            stream_prob: 0.05,
+            write_ratio: 0.30,
+            instructions_per_access: 3.1,
+        }
+    }
+
+    /// `libquantum` — quantum simulation, pure streaming over a big vector.
+    pub fn libquantum() -> Self {
+        BenchProfile {
+            name: "libquantum",
+            resident_prob: 0.7,
+            footprint_bytes: 96 << 20,
+            hot_bytes: 64 << 10,
+            hot_prob: 0.20,
+            stream_prob: 0.97,
+            write_ratio: 0.45,
+            instructions_per_access: 2.6,
+        }
+    }
+
+    /// `h264ref` — video encoder, blocked frames with good reuse.
+    pub fn h264ref() -> Self {
+        BenchProfile {
+            name: "h264ref",
+            resident_prob: 0.93,
+            footprint_bytes: 64 << 20,
+            hot_bytes: 1 << 20,
+            hot_prob: 0.93,
+            stream_prob: 0.65,
+            write_ratio: 0.35,
+            instructions_per_access: 3.3,
+        }
+    }
+
+    /// `omnetpp` — discrete event simulation, heap-scattered.
+    pub fn omnetpp() -> Self {
+        BenchProfile {
+            name: "omnetpp",
+            resident_prob: 0.85,
+            footprint_bytes: 160 << 20,
+            hot_bytes: 2 << 20,
+            hot_prob: 0.60,
+            stream_prob: 0.15,
+            write_ratio: 0.32,
+            instructions_per_access: 2.7,
+        }
+    }
+
+    /// `astar` — path-finding over a grid with regional locality.
+    pub fn astar() -> Self {
+        BenchProfile {
+            name: "astar",
+            resident_prob: 0.86,
+            footprint_bytes: 320 << 20,
+            hot_bytes: 3 << 20,
+            hot_prob: 0.72,
+            stream_prob: 0.20,
+            write_ratio: 0.27,
+            instructions_per_access: 2.9,
+        }
+    }
+
+    /// `xalancbmk` — XSLT processing, DOM-pointer chasing.
+    pub fn xalancbmk() -> Self {
+        BenchProfile {
+            name: "xalancbmk",
+            resident_prob: 0.84,
+            footprint_bytes: 384 << 20,
+            hot_bytes: 2 << 20,
+            hot_prob: 0.65,
+            stream_prob: 0.20,
+            write_ratio: 0.29,
+            instructions_per_access: 2.8,
+        }
+    }
+
+    /// The full benchmark set of the Fig. 7/8 reproduction, in x-axis order.
+    pub fn all() -> Vec<BenchProfile> {
+        vec![
+            BenchProfile::bzip2(),
+            BenchProfile::gcc(),
+            BenchProfile::mcf(),
+            BenchProfile::milc(),
+            BenchProfile::gobmk(),
+            BenchProfile::hmmer(),
+            BenchProfile::sjeng(),
+            BenchProfile::libquantum(),
+            BenchProfile::h264ref(),
+            BenchProfile::omnetpp(),
+            BenchProfile::astar(),
+            BenchProfile::xalancbmk(),
+        ]
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are outside `[0, 1]` or the hot set exceeds
+    /// the footprint.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.resident_prob), "resident_prob");
+        assert!((0.0..=1.0).contains(&self.hot_prob), "hot_prob");
+        assert!((0.0..=1.0).contains(&self.stream_prob), "stream_prob");
+        assert!((0.0..=1.0).contains(&self.write_ratio), "write_ratio");
+        assert!(self.hot_bytes <= self.footprint_bytes, "hot set too large");
+        assert!(self.instructions_per_access >= 1.0, "ipa must be >= 1");
+    }
+}
+
+impl fmt::Display for BenchProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} MiB footprint, {:.0}% hot)",
+            self.name,
+            self.footprint_bytes >> 20,
+            self.hot_prob * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_valid_and_distinct() {
+        let all = BenchProfile::all();
+        assert_eq!(all.len(), 12);
+        let names: std::collections::HashSet<_> = all.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 12);
+        for p in &all {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn paper_contrast_pair_is_present() {
+        // Fig. 8's argument hinges on bzip2 (page reuse) vs sjeng (page
+        // scatter): bzip2's hot set must dominate, sjeng's must not.
+        let bzip2 = BenchProfile::bzip2();
+        let sjeng = BenchProfile::sjeng();
+        assert!(bzip2.hot_prob > 0.9);
+        assert!(sjeng.hot_prob < 0.7);
+        assert!(sjeng.footprint_bytes > bzip2.footprint_bytes);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(BenchProfile::mcf().to_string().contains("mcf"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Audit SPE's ciphertext randomness with the NIST suite (a miniature
+//! Table 2).
+//!
+//! Run with: `cargo run --release --example randomness_audit`
+
+use snvmm::core::datasets::Dataset;
+use snvmm::core::{Key, Specu};
+use snvmm::nist::{Bits, Suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut specu = Specu::new(Key::from_seed(0xA0D17))?;
+    let suite = Suite::new();
+    let bits_per_sequence = 1 << 14;
+
+    println!("randomness audit — 4 sequences per dataset, {bits_per_sequence} bits each\n");
+    for dataset in [
+        Dataset::KeyAvalanche,
+        Dataset::PlaintextAvalanche,
+        Dataset::RandomPtKey,
+        Dataset::LowDensityPt,
+    ] {
+        let sequences: Vec<Bits> = (0..4)
+            .map(|s| {
+                let bytes = dataset
+                    .build(&mut specu, bits_per_sequence, 100 + s)
+                    .expect("dataset build");
+                Bits::from_bytes(&bytes).slice(0, bits_per_sequence)
+            })
+            .collect();
+        let tally = suite.tally(sequences.iter());
+        let failed: usize = tally.failed.iter().sum();
+        println!(
+            "{:<16} worst-test failures: {} (total failed checks {failed})",
+            dataset.name(),
+            tally.failed.iter().max().unwrap()
+        );
+    }
+    println!("\nfull Table 2: cargo run --release -p spe-bench --bin table2_nist");
+    Ok(())
+}

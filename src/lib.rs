@@ -1,0 +1,40 @@
+//! # snvmm — Secure Memristor-based Main Memory
+//!
+//! Umbrella crate for the SNVMM reproduction (Kannan, Karimi, Sinanoglu,
+//! *"Secure Memristor-based Main Memory"*, DAC 2014). It re-exports every
+//! subsystem so examples and downstream users need a single dependency:
+//!
+//! * [`memristor`] — TEAM device model, MLC-2 levels, hysteresis pulses.
+//! * [`crossbar`] — 1T1M crossbar circuit engine with on-demand sneak paths.
+//! * [`ilp`] — simplex + branch-and-bound ILP solver (PoE placement, Table 1).
+//! * [`nist`] — NIST SP 800-22 randomness test suite (Table 2).
+//! * [`ciphers`] — baselines: AES-128, Trivium stream cipher, i-NVMM.
+//! * [`core`] — sneak-path encryption, the SPECU, keys, attacks, analysis.
+//! * [`memsim`] — cycle-level CPU/cache/NVMM timing simulator (Figs. 7–8).
+//! * [`workloads`] — synthetic SPEC CPU2006-like trace generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snvmm::core::{Key, Specu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let key = Key::from_seed(0xDAC2014);
+//! let mut specu = Specu::new(key)?;
+//! let plaintext = *b"sixteen byte msg";
+//! let ciphertext = specu.encrypt_block(&plaintext)?;
+//! assert_ne!(ciphertext.data(), plaintext);
+//! let recovered = specu.decrypt_block(&ciphertext)?;
+//! assert_eq!(recovered, plaintext);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use spe_ciphers as ciphers;
+pub use spe_core as core;
+pub use spe_crossbar as crossbar;
+pub use spe_ilp as ilp;
+pub use spe_memristor as memristor;
+pub use spe_memsim as memsim;
+pub use spe_nist as nist;
+pub use spe_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Integration: the behavioral (fast) model against the circuit engine.
+//!
+//! The NIST-scale experiments run on the behavioral crossbar; these tests
+//! pin its calibration to the nodal-analysis engine.
+
+use snvmm::crossbar::fast::FastParams;
+use snvmm::crossbar::{CellAddr, Crossbar, Dims, Kernel, WireParams};
+use snvmm::memristor::{DeviceParams, MlcLevel, PulseWidthSearch};
+
+fn random_levels(seed: u64) -> Vec<MlcLevel> {
+    let mut s = seed;
+    (0..64)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            MlcLevel::from_bits(((s >> 33) & 3) as u8)
+        })
+        .collect()
+}
+
+#[test]
+fn kernel_attenuation_tracks_circuit_voltages() {
+    let device = DeviceParams::default();
+    let wires = WireParams::default();
+    let kernel = Kernel::calibrate(&device, &wires, 6, 5).expect("calibrate");
+
+    // Fresh circuit instance, fresh data: kernel predictions should land
+    // within a coarse band of the solved voltages near the PoE.
+    let mut xbar = Crossbar::with_wires(Dims::square8(), device, wires).expect("build");
+    xbar.write_levels(&random_levels(99)).expect("write");
+    let poe = CellAddr::new(4, 3);
+    let field = xbar.sneak_voltages(poe, 1.0).expect("solve");
+    for (dr, dc) in [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)] {
+        let cell = CellAddr::new(
+            (poe.row as isize + dr) as usize,
+            (poe.col as isize + dc) as usize,
+        );
+        let predicted = kernel.at(dr, dc);
+        let actual = field.at(cell);
+        assert!(
+            (predicted - actual).abs() < 0.25,
+            "offset ({dr},{dc}): kernel {predicted:.3} vs circuit {actual:.3}"
+        );
+    }
+}
+
+#[test]
+fn circuit_polyomino_is_contained_in_kernel_membership() {
+    // The behavioral membership (calibrated mean) must cover the cells the
+    // circuit engine actually switches in typical instances.
+    let device = DeviceParams::default();
+    let wires = WireParams::default();
+    let kernel = Kernel::calibrate(&device, &wires, 6, 7).expect("calibrate");
+    let member_offsets = kernel.member_offsets(1.0, 0.35);
+
+    let mut xbar = Crossbar::with_wires(Dims::square8(), device.clone(), wires).expect("build");
+    xbar.write_levels(&random_levels(3)).expect("write");
+    let poe = CellAddr::new(3, 3);
+    let poly = xbar.polyomino_at(poe, 1.0).expect("polyomino");
+    for (addr, _) in poly.iter() {
+        let off = addr.offset_from(poe);
+        assert!(
+            member_offsets.contains(&off),
+            "circuit polyomino cell {addr} (offset {off:?}) outside the \
+             behavioral train membership"
+        );
+    }
+}
+
+#[test]
+fn fast_kinetics_match_team_transition_times() {
+    // FastParams is calibrated from the TEAM model's L10 <-> L00 pulse
+    // widths; verify the identity it encodes.
+    let device = DeviceParams::default();
+    let params = FastParams::calibrated(&device).expect("calibrated");
+    let search = PulseWidthSearch::new(&device);
+    let r10 = MlcLevel::L10.nominal_resistance(&device);
+    let r00 = MlcLevel::L00.nominal_resistance(&device);
+    let w_up = search.width_for(r10, r00, 1.0).expect("width");
+    let w_down = search.width_for(r00, r10, -1.0).expect("width");
+    // k_up * overdrive * w_up must equal the logit gap (and same down).
+    let x10 = device.state_for_resistance(r10).expect("x10");
+    let x00 = device.state_for_resistance(r00).expect("x00");
+    let gap = (x00 / (1.0 - x00)).ln() - (x10 / (1.0 - x10)).ln();
+    let overdrive = 1.0 - device.v_threshold;
+    assert!((params.k_up * overdrive * w_up - gap).abs() < 1e-9);
+    assert!((params.k_down * overdrive * w_down - gap).abs() < 1e-9);
+    // Hysteresis survives calibration: switching down is faster.
+    assert!(params.k_down > params.k_up);
+}
+
+#[test]
+fn circuit_pulse_moves_polyomino_cells_toward_pulse_direction() {
+    let device = DeviceParams::default();
+    let mut xbar = Crossbar::new(Dims::square8(), device).expect("build");
+    xbar.write_levels(&[MlcLevel::L01; 64]).expect("write");
+    let poe = CellAddr::new(3, 4);
+    let before: Vec<f64> = xbar.states();
+    let report = xbar
+        .apply_sneak_pulse(poe, snvmm::memristor::Pulse::new(1.0, 0.07e-6), 4)
+        .expect("pulse");
+    let after = xbar.states();
+    let mut moved_up = 0;
+    for (addr, _) in report.polyomino.iter() {
+        let i = Dims::square8().index(addr);
+        if after[i] > before[i] + 1e-9 {
+            moved_up += 1;
+        }
+    }
+    assert!(
+        moved_up >= report.polyomino.len() / 2,
+        "positive pulse should raise most polyomino cells"
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration: trace generation → cache hierarchy → encryption engines.
+
+use snvmm::memsim::power::{power_down_sweep, worst_case_window};
+use snvmm::memsim::{EncryptionEngine, System, SystemConfig};
+use snvmm::workloads::{BenchProfile, TraceGenerator};
+use spe_ciphers::SchemeProfile;
+
+fn run(profile: &BenchProfile, engine: EncryptionEngine, n: u64) -> snvmm::memsim::SimStats {
+    let mut system = System::new(SystemConfig::paper(), engine);
+    system.run(TraceGenerator::new(profile, 11), n)
+}
+
+#[test]
+fn fig7_shape_holds_across_workloads() {
+    // The paper's ordering must hold per workload, not just on average.
+    for profile in [BenchProfile::mcf(), BenchProfile::milc(), BenchProfile::sjeng()] {
+        let n = 300_000;
+        let base = run(&profile, EncryptionEngine::none(), n);
+        let aes = run(&profile, EncryptionEngine::aes(), n).overhead_vs(&base);
+        let par = run(&profile, EncryptionEngine::spe_parallel(), n).overhead_vs(&base);
+        let ser = run(&profile, EncryptionEngine::spe_serial(20_000), n).overhead_vs(&base);
+        let stream = run(&profile, EncryptionEngine::stream(), n).overhead_vs(&base);
+        assert!(
+            aes > par && par >= ser && ser >= stream,
+            "{}: aes {aes:.4} par {par:.4} ser {ser:.4} stream {stream:.4}",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn fig8_bzip2_vs_sjeng_contrast_under_invmm() {
+    // Page-reusing bzip2 keeps pages hot (low encrypted fraction); sjeng's
+    // scattered pages go inert (higher fraction) — the paper's §7 point.
+    let n = 400_000;
+    let bzip2 = run(&BenchProfile::bzip2(), EncryptionEngine::invmm(100_000), n);
+    let sjeng = run(&BenchProfile::sjeng(), EncryptionEngine::invmm(100_000), n);
+    let fb = bzip2.mean_encrypted_fraction();
+    let fs = sjeng.mean_encrypted_fraction();
+    assert!(
+        fs > fb,
+        "sjeng inert fraction {fs:.3} should exceed bzip2 {fb:.3}"
+    );
+}
+
+#[test]
+fn spe_serial_keeps_memory_nearly_encrypted() {
+    let n = 400_000;
+    // Window sized against the run length, as the Fig. 8 harness does.
+    let stats = run(&BenchProfile::gcc(), EncryptionEngine::spe_serial(2_000), n);
+    let f = stats.mean_encrypted_fraction();
+    assert!(f > 0.9, "SPE-serial fraction {f} (paper: 99.4%)");
+}
+
+#[test]
+fn power_down_sweep_matches_dirty_l2_state() {
+    let mut system = System::new(SystemConfig::paper(), EncryptionEngine::spe_parallel());
+    system.run(TraceGenerator::new(&BenchProfile::gcc(), 5), 400_000);
+    let report = power_down_sweep(system.l2(), &SchemeProfile::spe_parallel());
+    assert_eq!(report.lines, system.l2().dirty_lines().len());
+    assert!(report.beats_dram());
+    // And the worst case (whole cache dirty) still beats DRAM by far.
+    let worst = worst_case_window(2 * 1024 * 1024, &SchemeProfile::spe_parallel());
+    assert!(worst.window_seconds < 0.32, "two orders below DRAM's 3.2 s");
+}
+
+#[test]
+fn recorded_trace_replays_to_identical_stats() {
+    use snvmm::workloads::trace;
+    let accesses: Vec<_> = TraceGenerator::new(&BenchProfile::gobmk(), 13)
+        .take(30_000)
+        .collect();
+    let mut buf = Vec::new();
+    trace::write(&mut buf, &accesses).expect("record");
+    let replayed = trace::read(&mut buf.as_slice()).expect("replay");
+
+    let mut live_sys = System::new(SystemConfig::paper(), EncryptionEngine::aes());
+    let live = live_sys.run(accesses, u64::MAX);
+    let mut replay_sys = System::new(SystemConfig::paper(), EncryptionEngine::aes());
+    let replay = replay_sys.run(replayed, u64::MAX);
+    assert_eq!(live, replay, "replayed traces must be bit-identical inputs");
+}
+
+#[test]
+fn identical_seeds_reproduce_runs_exactly() {
+    let a = run(&BenchProfile::astar(), EncryptionEngine::aes(), 150_000);
+    let b = run(&BenchProfile::astar(), EncryptionEngine::aes(), 150_000);
+    assert_eq!(a, b);
+}

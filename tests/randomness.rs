@@ -1,0 +1,64 @@
+//! Integration: SPE dataset builders through the NIST suite (a CI-scale
+//! Table 2).
+
+use snvmm::core::datasets::Dataset;
+use snvmm::core::{Key, Specu};
+use snvmm::nist::{Bits, Suite};
+use std::sync::OnceLock;
+
+fn specu() -> Specu {
+    static CACHE: OnceLock<Specu> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Specu::new(Key::from_seed(0x7AB1E2)).expect("specu"))
+        .clone()
+}
+
+fn tally(dataset: Dataset, sequences: usize, bits: usize) -> snvmm::nist::suite::FailureTally {
+    let mut s = specu();
+    let suite = Suite::new();
+    let seqs: Vec<Bits> = (0..sequences)
+        .map(|i| {
+            let bytes = dataset
+                .build(&mut s, bits, 0x600D + i as u64)
+                .expect("dataset");
+            Bits::from_bytes(&bytes).slice(0, bits)
+        })
+        .collect();
+    suite.tally(seqs.iter())
+}
+
+#[test]
+fn key_avalanche_passes_quick_nist() {
+    let t = tally(Dataset::KeyAvalanche, 6, 1 << 14);
+    assert!(t.passes(1), "key avalanche failures: {t}");
+}
+
+#[test]
+fn plaintext_avalanche_passes_quick_nist() {
+    let t = tally(Dataset::PlaintextAvalanche, 6, 1 << 14);
+    assert!(t.passes(1), "plaintext avalanche failures: {t}");
+}
+
+#[test]
+fn random_pt_key_passes_quick_nist() {
+    let t = tally(Dataset::RandomPtKey, 6, 1 << 14);
+    assert!(t.passes(1), "random pt/key failures: {t}");
+}
+
+#[test]
+fn low_density_plaintext_passes_quick_nist() {
+    let t = tally(Dataset::LowDensityPt, 6, 1 << 14);
+    assert!(t.passes(1), "low-density plaintext failures: {t}");
+}
+
+#[test]
+fn high_density_key_passes_quick_nist() {
+    let t = tally(Dataset::HighDensityKey, 6, 1 << 14);
+    assert!(t.passes(1), "high-density key failures: {t}");
+}
+
+#[test]
+fn pt_ct_correlation_passes_quick_nist() {
+    let t = tally(Dataset::PtCtCorrelation, 6, 1 << 14);
+    assert!(t.passes(1), "pt/ct correlation failures: {t}");
+}

@@ -1,0 +1,69 @@
+//! Cross-configuration soak: encrypt/decrypt correctness over the whole
+//! configuration space (variants × rounds × PoE counts × keys × tweaks).
+//!
+//! The quick sweep runs in CI; `soak_exhaustive` is `#[ignore]`d and meant
+//! for manual deep runs (`cargo test --release --test soak -- --ignored`).
+
+use snvmm::core::{Key, Specu, SpecuConfig, SpeVariant};
+
+fn roundtrip_sweep(configs: &[(SpeVariant, usize, usize)], keys: u64, tweaks: u64) {
+    for (variant, rounds, poe_count) in configs {
+        let config = SpecuConfig {
+            variant: *variant,
+            rounds: *rounds,
+            poe_count: *poe_count,
+            ..SpecuConfig::default()
+        };
+        let mut specu = Specu::with_config(Key::from_seed(1), config)
+            .unwrap_or_else(|e| panic!("{variant:?}/{rounds}r/{poe_count}p: {e}"));
+        for k in 0..keys {
+            specu.load_key(Key::from_seed(k * 977 + 5));
+            for tw in 0..tweaks {
+                let pt: [u8; 16] = core::array::from_fn(|i| {
+                    (k as u8)
+                        .wrapping_mul(31)
+                        .wrapping_add(tw as u8)
+                        .wrapping_add(i as u8 * 17)
+                });
+                let ct = specu
+                    .encrypt_block_with_tweak(&pt, tw)
+                    .expect("encrypt");
+                let back = specu.decrypt_block(&ct).expect("decrypt");
+                assert_eq!(
+                    back, pt,
+                    "roundtrip failed at {variant:?}/{rounds}r/{poe_count}p key {k} tweak {tw}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quick_soak_across_configs() {
+    roundtrip_sweep(
+        &[
+            (SpeVariant::ClosedLoop, 1, 16),
+            (SpeVariant::ClosedLoop, 2, 16),
+            (SpeVariant::ClosedLoop, 3, 16),
+            (SpeVariant::ClosedLoop, 2, 12),
+            (SpeVariant::Analog, 1, 16),
+            (SpeVariant::Analog, 2, 16),
+        ],
+        3,
+        3,
+    );
+}
+
+#[test]
+#[ignore = "deep sweep for manual runs"]
+fn soak_exhaustive() {
+    let mut configs = Vec::new();
+    for variant in [SpeVariant::ClosedLoop, SpeVariant::Analog] {
+        for rounds in 1..=4 {
+            for poe_count in [10, 12, 14, 16, 18, 20] {
+                configs.push((variant, rounds, poe_count));
+            }
+        }
+    }
+    roundtrip_sweep(&configs, 8, 8);
+}
