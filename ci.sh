@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, the tier-1 suite and a smoke run
+# of the paper reproduction. Entirely offline — the workspace has no
+# external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --workspace --offline
+
+echo "== reproduce_all smoke"
+cargo run --release --offline -p spe-bench --bin reproduce_all
+
+echo "CI gate passed."

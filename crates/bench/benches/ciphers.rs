@@ -1,47 +1,33 @@
-//! Criterion benches: baseline ciphers.
+//! Baseline cipher micro-benchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_bench::Bench;
 use spe_ciphers::{Aes128, AesCtr, AesEcb, StreamMemoryCipher, Trivium};
 
-fn bench_ciphers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ciphers");
+fn main() {
+    let b = Bench::new("ciphers");
 
     let aes = Aes128::new(&[7; 16]);
     let block = [0x5Au8; 16];
-    group.throughput(Throughput::Bytes(16));
-    group.bench_function("aes128/encrypt_block", |b| {
-        b.iter(|| aes.encrypt_block(&block))
-    });
-    group.bench_function("aes128/decrypt_block", |b| {
-        let ct = aes.encrypt_block(&block);
-        b.iter(|| aes.decrypt_block(&ct))
-    });
+    b.run_bytes("aes128/encrypt_block", 16, || aes.encrypt_block(&block));
+    let ct = aes.encrypt_block(&block);
+    b.run_bytes("aes128/decrypt_block", 16, || aes.decrypt_block(&ct));
 
-    group.throughput(Throughput::Bytes(64));
     let ecb = AesEcb::new(&[7; 16]);
     let ctr = AesCtr::new(&[7; 16]);
     let line = [0xA5u8; 64];
-    group.bench_function("aes_ecb/line", |b| {
-        b.iter_batched(
-            || line,
-            |mut l| ecb.encrypt_line(&mut l),
-            criterion::BatchSize::SmallInput,
-        )
+    b.run_bytes("aes_ecb/line", 64, || {
+        let mut l = line;
+        ecb.encrypt_line(&mut l);
+        l
     });
-    group.bench_function("aes_ctr/line", |b| {
-        b.iter_batched(
-            || line,
-            |mut l| ctr.apply_line(&mut l, 0x1000, 1),
-            criterion::BatchSize::SmallInput,
-        )
+    b.run_bytes("aes_ctr/line", 64, || {
+        let mut l = line;
+        ctr.apply_line(&mut l, 0x1000, 1);
+        l
     });
-    group.bench_function("trivium/init_plus_64B", |b| {
-        b.iter(|| Trivium::new(&[1; 10], &[2; 10]).keystream_bytes(64))
+    b.run_bytes("trivium/init_plus_64B", 64, || {
+        Trivium::new(&[1; 10], &[2; 10]).keystream_bytes(64)
     });
     let stream = StreamMemoryCipher::new([3; 10]);
-    group.bench_function("stream/line_pad", |b| b.iter(|| stream.pad(0x4000, 1)));
-    group.finish();
+    b.run_bytes("stream/line_pad", 64, || stream.pad(0x4000, 1));
 }
-
-criterion_group!(benches, bench_ciphers);
-criterion_main!(benches);

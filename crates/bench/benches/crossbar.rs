@@ -1,6 +1,6 @@
-//! Criterion benches: circuit engine (nodal solve and full sneak pulse).
+//! Circuit-engine micro-benchmarks (nodal solve and full sneak pulse).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spe_bench::Bench;
 use spe_crossbar::{CellAddr, Crossbar, Dims};
 use spe_memristor::{DeviceParams, MlcLevel, Pulse};
 
@@ -13,31 +13,22 @@ fn setup() -> Crossbar {
     xbar
 }
 
-fn bench_crossbar(c: &mut Criterion) {
+fn main() {
+    let b = Bench::new("crossbar");
     let xbar = setup();
-    c.bench_function("crossbar/sneak_solve_8x8", |b| {
-        b.iter(|| {
-            xbar.sneak_voltages(CellAddr::new(3, 4), 1.0)
-                .expect("solve")
-        })
+    b.run("sneak_solve_8x8", || {
+        xbar.sneak_voltages(CellAddr::new(3, 4), 1.0)
+            .expect("solve")
     });
-    c.bench_function("crossbar/polyomino_extract", |b| {
-        b.iter(|| xbar.polyomino_at(CellAddr::new(3, 4), 1.0).expect("poly"))
+    b.run("polyomino_extract", || {
+        xbar.polyomino_at(CellAddr::new(3, 4), 1.0).expect("poly")
     });
-    c.bench_function("crossbar/sneak_pulse_70ns_resolve4", |b| {
-        b.iter_batched(
-            setup,
-            |mut x| {
-                x.apply_sneak_pulse(CellAddr::new(3, 4), Pulse::new(1.0, 0.07e-6), 4)
-                    .expect("pulse")
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    b.run("sneak_pulse_70ns_resolve4", || {
+        let mut x = setup();
+        x.apply_sneak_pulse(CellAddr::new(3, 4), Pulse::new(1.0, 0.07e-6), 4)
+            .expect("pulse")
     });
-    c.bench_function("crossbar/sense_resistance", |b| {
-        b.iter(|| xbar.sense_resistance(CellAddr::new(2, 5)).expect("sense"))
+    b.run("sense_resistance", || {
+        xbar.sense_resistance(CellAddr::new(2, 5)).expect("sense")
     });
 }
-
-criterion_group!(benches, bench_crossbar);
-criterion_main!(benches);

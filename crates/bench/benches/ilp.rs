@@ -1,41 +1,33 @@
-//! Criterion benches: ILP solver (the Table 1 instance and smaller ones).
+//! ILP-solver micro-benchmarks (the Table 1 instance and smaller ones).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spe_bench::Bench;
 use spe_ilp::{Model, PlacementProblem, PolyominoShape, RelOp, Sense};
 
-fn bench_ilp(c: &mut Criterion) {
-    // ILP solves are expensive; keep criterion's sampling modest.
-    let mut c = c.benchmark_group("ilp");
-    c.sample_size(10);
-    c.bench_function("knapsack_12", |b| {
-        b.iter(|| {
-            let mut m = Model::new(Sense::Maximize);
-            let vars: Vec<_> = (0..12)
-                .map(|i| m.add_binary(1.0 + (i % 5) as f64))
-                .collect();
-            let weights: Vec<f64> = (0..12).map(|i| 2.0 + (i * 7 % 11) as f64).collect();
-            let terms: Vec<_> = vars.iter().zip(&weights).map(|(v, w)| (*v, *w)).collect();
-            m.add_constraint(&terms, RelOp::Le, 20.0).expect("row");
-            m.solve().expect("solves")
-        })
+fn main() {
+    let b = Bench::new("ilp");
+    b.run("knapsack_12", || {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(1.0 + (i % 5) as f64))
+            .collect();
+        let weights: Vec<f64> = (0..12).map(|i| 2.0 + (i * 7 % 11) as f64).collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(v, w)| (*v, *w)).collect();
+        m.add_constraint(&terms, RelOp::Le, 20.0).expect("row");
+        m.solve().expect("solves")
     });
 
-    c.bench_function("min_poes_margin0", |b| {
-        b.iter(|| PlacementProblem::paper_8x8(0).min_poes().expect("solves"))
+    b.run("min_poes_margin0", || {
+        PlacementProblem::paper_8x8(0).min_poes().expect("solves")
     });
 
-    c.bench_function("fig6_placement_12poes", |b| {
-        let problem = PlacementProblem {
-            rows: 8,
-            cols: 8,
-            shape: PolyominoShape::paper_cross(),
-            security_margin: 0,
-            max_coverage: 2,
-        };
-        b.iter(|| problem.with_poe_count(12).expect("solves"))
+    let problem = PlacementProblem {
+        rows: 8,
+        cols: 8,
+        shape: PolyominoShape::paper_cross(),
+        security_margin: 0,
+        max_coverage: 2,
+    };
+    b.run("fig6_placement_12poes", || {
+        problem.with_poe_count(12).expect("solves")
     });
-    c.finish();
 }
-
-criterion_group!(benches, bench_ilp);
-criterion_main!(benches);

@@ -1,14 +1,12 @@
-//! Criterion benches: simulator speed (instructions simulated per second).
+//! Simulator speed (instructions simulated per second).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_bench::Bench;
 use spe_memsim::{EncryptionEngine, System, SystemConfig};
 use spe_workloads::{BenchProfile, TraceGenerator};
 
-fn bench_memsim(c: &mut Criterion) {
+fn main() {
     const INSTRS: u64 = 200_000;
-    let mut group = c.benchmark_group("memsim");
-    group.throughput(Throughput::Elements(INSTRS));
-    group.sample_size(10);
+    let b = Bench::new("memsim");
     type EngineCtor = fn() -> EncryptionEngine;
     let engines: [(&str, EngineCtor); 3] = [
         ("baseline", EncryptionEngine::none),
@@ -16,15 +14,11 @@ fn bench_memsim(c: &mut Criterion) {
         ("spe_parallel", EncryptionEngine::spe_parallel),
     ];
     for (name, engine) in engines {
-        group.bench_function(format!("gcc_200k/{name}"), |b| {
-            b.iter(|| {
-                let mut system = System::new(SystemConfig::paper(), engine());
-                system.run(TraceGenerator::new(&BenchProfile::gcc(), 1), INSTRS)
-            })
+        let m = b.run(&format!("gcc_200k/{name}"), || {
+            let mut system = System::new(SystemConfig::paper(), engine());
+            system.run(TraceGenerator::new(&BenchProfile::gcc(), 1), INSTRS)
         });
+        let mips = INSTRS as f64 * m.per_second() / 1.0e6;
+        println!("    {mips:.1} M simulated instrs/s");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_memsim);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion benches: NIST suite cost per sequence.
+//! NIST-suite cost per sequence.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spe_bench::Bench;
 use spe_nist::{tests as nist_tests, Bits, Suite};
 
 fn prng_bits(len: usize, seed: u64) -> Bits {
@@ -14,23 +14,14 @@ fn prng_bits(len: usize, seed: u64) -> Bits {
     })
 }
 
-fn bench_nist(c: &mut Criterion) {
+fn main() {
     let bits = prng_bits(1 << 14, 11);
-    let mut group = c.benchmark_group("nist");
-    group.throughput(Throughput::Elements(bits.len() as u64));
-    group.bench_function("full_suite_16kbit", |b| {
-        let suite = Suite::new();
-        b.iter(|| suite.run(&bits))
+    let b = Bench::new("nist");
+    let suite = Suite::new();
+    b.run("full_suite_16kbit", || suite.run(&bits));
+    b.run("dft_16kbit", || nist_tests::dft(&bits));
+    b.run("linear_complexity_16kbit", || {
+        nist_tests::linear_complexity(&bits, 500)
     });
-    group.bench_function("dft_16kbit", |b| b.iter(|| nist_tests::dft(&bits)));
-    group.bench_function("linear_complexity_16kbit", |b| {
-        b.iter(|| nist_tests::linear_complexity(&bits, 500))
-    });
-    group.bench_function("serial_m5_16kbit", |b| {
-        b.iter(|| nist_tests::serial(&bits, 5))
-    });
-    group.finish();
+    b.run("serial_m5_16kbit", || nist_tests::serial(&bits, 5));
 }
-
-criterion_group!(benches, bench_nist);
-criterion_main!(benches);

@@ -1,8 +1,13 @@
-//! Criterion benches: SPE encryption throughput — the behavioural-variant
-//! ablation DESIGN.md calls out (closed-loop vs analog fast model).
+//! SPE encryption throughput — the behavioural-variant ablation DESIGN.md
+//! calls out (closed-loop vs analog fast model), plus the multi-bank
+//! parallel datapath: a 4-bank `ParallelSpecu` must beat the serial SPECU
+//! by at least 3× on whole-line batches (the paper's Fig. 1b bank-level
+//! parallelism argument).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use spe_core::{Key, Specu, SpecuConfig, SpeVariant};
+use spe_bench::Bench;
+use spe_core::{Key, LineJob, SpeVariant, Specu, SpecuConfig};
+
+const BATCH_LINES: usize = 32;
 
 fn specu(variant: SpeVariant) -> Specu {
     Specu::with_config(
@@ -15,36 +20,78 @@ fn specu(variant: SpeVariant) -> Specu {
     .expect("specu")
 }
 
-fn bench_spe(c: &mut Criterion) {
+fn line_jobs() -> Vec<LineJob> {
+    (0..BATCH_LINES)
+        .map(|i| {
+            let line: [u8; 64] = core::array::from_fn(|j| (i * 64 + j) as u8);
+            LineJob::new(line, 0x4000 + 64 * i as u64)
+        })
+        .collect()
+}
+
+fn main() {
     let pt = *b"benchmark block!";
     let line: [u8; 64] = core::array::from_fn(|i| i as u8);
 
-    let mut group = c.benchmark_group("spe");
-    group.throughput(Throughput::Bytes(16));
-    let mut closed = specu(SpeVariant::ClosedLoop);
-    group.bench_function("encrypt_block/closed_loop", |b| {
-        b.iter(|| closed.encrypt_block(&pt).expect("encrypt"))
+    let b = Bench::new("spe");
+    let closed = specu(SpeVariant::ClosedLoop);
+    b.run_bytes("encrypt_block/closed_loop", 16, || {
+        closed.encrypt_block(&pt).expect("encrypt")
     });
     let block = closed.encrypt_block(&pt).expect("encrypt");
-    group.bench_function("decrypt_block/closed_loop", |b| {
-        b.iter(|| closed.decrypt_block(&block).expect("decrypt"))
+    b.run_bytes("decrypt_block/closed_loop", 16, || {
+        closed.decrypt_block(&block).expect("decrypt")
     });
 
-    let mut analog = specu(SpeVariant::Analog);
-    group.bench_function("encrypt_block/analog", |b| {
-        b.iter(|| analog.encrypt_block(&pt).expect("encrypt"))
+    let analog = specu(SpeVariant::Analog);
+    b.run_bytes("encrypt_block/analog", 16, || {
+        analog.encrypt_block(&pt).expect("encrypt")
     });
 
-    group.throughput(Throughput::Bytes(64));
-    group.bench_function("encrypt_line/closed_loop", |b| {
-        b.iter(|| closed.encrypt_line(&line, 0x40).expect("encrypt"))
+    b.run_bytes("encrypt_line/closed_loop", 64, || {
+        closed.encrypt_line(&line, 0x40).expect("encrypt")
     });
-    group.finish();
 
-    c.bench_function("spe/schedule_generation", |b| {
-        b.iter(|| closed.schedule(7).expect("schedule"))
+    b.run("schedule_generation", || {
+        closed.schedule(7).expect("schedule")
     });
+
+    // Multi-bank datapath: batch whole-line encryption, serial vs 4 banks.
+    let jobs = line_jobs();
+    let batch_bytes = (BATCH_LINES * 64) as u64;
+    let serial = closed.parallel(1).expect("serial datapath");
+    let banked = closed.parallel(4).expect("banked datapath");
+    let base = b.run_bytes(&format!("lines_x{BATCH_LINES}/serial"), batch_bytes, || {
+        serial.encrypt_lines(&jobs).expect("encrypt")
+    });
+    let par = b.run_bytes(
+        &format!("lines_x{BATCH_LINES}/4_banks"),
+        batch_bytes,
+        || banked.encrypt_lines(&jobs).expect("encrypt"),
+    );
+    let speedup = base.ns_per_iter / par.ns_per_iter;
+    println!("spe/parallel_speedup_4_banks: {speedup:.2}x (wall clock)");
+
+    // Device-level speedup: a line on one bank serialises its four mats,
+    // while four banks overlap them (Table 3's read-latency argument).
+    let modeled = serial.latency_cycles() as f64 / banked.latency_cycles() as f64;
+    println!("spe/parallel_speedup_4_banks: {modeled:.2}x (modeled device cycles)");
+    assert!(
+        modeled >= 3.0,
+        "4-bank datapath must cut modeled line latency >= 3x (got {modeled:.2}x)"
+    );
+
+    // Host-side wall clock only parallelises when the machine has cores to
+    // run the bank workers on; gate the assertion the way the target is
+    // stated (>= 3x on 4+ cores).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 {
+        assert!(
+            speedup >= 3.0,
+            "4-bank datapath must give >= 3x over serial on {cores} cores \
+             (got {speedup:.2}x)"
+        );
+    } else {
+        println!("(only {cores} core(s) available: wall-clock 3x gate skipped)");
+    }
 }
-
-criterion_group!(benches, bench_spe);
-criterion_main!(benches);

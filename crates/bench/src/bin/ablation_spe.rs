@@ -32,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poe_count: poes,
             ..SpecuConfig::default()
         };
-        let mut specu = Specu::with_config(Key::from_seed(1), config)?;
-        let ka = bias(&datasets::key_avalanche(&mut specu, bits, 11)?);
-        let pa = bias(&datasets::plaintext_avalanche(&mut specu, bits, 12)?);
+        let specu = Specu::with_config(Key::from_seed(1), config)?;
+        let ka = bias(&datasets::key_avalanche(&specu, bits, 11)?);
+        let pa = bias(&datasets::plaintext_avalanche(&specu, bits, 12)?);
         t1.row([poes.to_string(), format!("{ka:.3}"), format!("{pa:.3}")]);
     }
     println!("{t1}");
@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rounds,
             ..SpecuConfig::default()
         };
-        let mut specu = Specu::with_config(Key::from_seed(1), config)?;
-        let pa = bias(&datasets::plaintext_avalanche(&mut specu, bits, 12)?);
+        let specu = Specu::with_config(Key::from_seed(1), config)?;
+        let pa = bias(&datasets::plaintext_avalanche(&specu, bits, 12)?);
         t2.row([
             rounds.to_string(),
             format!("{pa:.3}"),

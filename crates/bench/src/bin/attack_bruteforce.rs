@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if args.has("demo") {
         println!("\nreduced-instance exhaustive search (2 PoEs, 4 pulses):");
-        let mut specu = Specu::new(Key::from_seed(0xBF))?;
-        let report = brute_force_reduced(&mut specu, b"toy  target  blk", 2, 4)?;
+        let specu = Specu::new(Key::from_seed(0xBF))?;
+        let report = brute_force_reduced(&specu, b"toy  target  blk", 2, 4)?;
         println!(
             "  space {} schedules, recovered after {} attempts (recovered: {})",
             report.space, report.attempts, report.recovered

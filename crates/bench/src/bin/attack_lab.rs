@@ -10,13 +10,13 @@ use spe_core::attack::{known_plaintext_ambiguity, wrong_order_decrypt};
 use spe_core::{Key, Specu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut specu = Specu::new(Key::from_seed(0x5EC))?;
+    let specu = Specu::new(Key::from_seed(0x5EC))?;
 
     println!("attack lab — executable versions of the §6 security arguments\n");
 
     // Known-plaintext (§6.2.2): overlapping polyominoes make the applied
     // pulses ambiguous.
-    let reports = known_plaintext_ambiguity(&mut specu, b"known  plaintext", 0.05)?;
+    let reports = known_plaintext_ambiguity(&specu, b"known  plaintext", 0.05)?;
     let multi: Vec<_> = reports.iter().filter(|r| r.coverage >= 2).collect();
     let ambiguous = multi
         .iter()
@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flipped[(i / 8) % 16] ^= 1 << (i % 8);
         let c1 = specu.encrypt_block(&pt)?.data();
         let c2 = specu.encrypt_block(&flipped)?.data();
-        flips += c1.iter().zip(&c2).map(|(a, b)| (a ^ b).count_ones()).sum::<u32>();
+        flips += c1
+            .iter()
+            .zip(&c2)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum::<u32>();
     }
     let density = flips as f64 / (trials as f64 * 128.0);
     println!(
@@ -67,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Wrong order (Fig. 2b).
-    let report = wrong_order_decrypt(&mut specu, b"confidential doc")?;
+    let report = wrong_order_decrypt(&specu, b"confidential doc")?;
     println!(
         "\nwrong-order decryption (Fig. 2b): {} of 16 bytes corrupted when the\n\
          correct PoEs are replayed in the wrong order.",

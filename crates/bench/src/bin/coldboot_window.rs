@@ -5,7 +5,9 @@
 
 use spe_bench::{Args, Table};
 use spe_ciphers::SchemeProfile;
-use spe_memsim::power::{cold_boot_race, power_down_sweep, worst_case_window, DRAM_RETENTION_SECONDS};
+use spe_memsim::power::{
+    cold_boot_race, power_down_sweep, worst_case_window, DRAM_RETENTION_SECONDS,
+};
 use spe_memsim::{EncryptionEngine, System, SystemConfig};
 use spe_workloads::{BenchProfile, TraceGenerator};
 
@@ -14,8 +16,17 @@ fn main() {
     let cache_bytes = args.get_u64("cache-bytes", 2 * 1024 * 1024);
     println!("§6.4 reproduction — power-down exposure windows\n");
 
-    println!("worst case: the whole {} KiB L2 is dirty:", cache_bytes >> 10);
-    let mut table = Table::new(["scheme", "lines", "ns/line", "window", "beats DRAM (3.2 s)?"]);
+    println!(
+        "worst case: the whole {} KiB L2 is dirty:",
+        cache_bytes >> 10
+    );
+    let mut table = Table::new([
+        "scheme",
+        "lines",
+        "ns/line",
+        "window",
+        "beats DRAM (3.2 s)?",
+    ]);
     for profile in [
         SchemeProfile::aes(),
         SchemeProfile::spe_serial(),
@@ -40,10 +51,7 @@ fn main() {
     // Realistic case: run a workload, sweep the actually-dirty lines.
     let instructions = args.get_u64("instructions", 1_000_000);
     let mut system = System::new(SystemConfig::paper(), EncryptionEngine::spe_parallel());
-    system.run(
-        TraceGenerator::new(&BenchProfile::gcc(), 3),
-        instructions,
-    );
+    system.run(TraceGenerator::new(&BenchProfile::gcc(), 3), instructions);
     let report = power_down_sweep(system.l2(), &SchemeProfile::spe_parallel());
     println!(
         "measured: after {instructions} instructions of gcc, {} dirty L2 lines\n\

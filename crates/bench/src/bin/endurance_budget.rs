@@ -14,7 +14,7 @@ use spe_memristor::{EnduranceImpact, EnduranceMeter};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let blocks = args.get_u64("blocks", 512);
-    let mut specu = Specu::new(Key::from_seed(0xE0D))?;
+    let specu = Specu::new(Key::from_seed(0xE0D))?;
 
     println!("§5.2 reproduction — endurance impact of SPE\n");
 
@@ -33,12 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Each write programs the plaintext (full-swing budget charged
             // by the write itself, not SPE) and the encryption moves the
             // cell by some number of level steps (1 step = 1/3 range).
-            let steps = ((*a as i32 - *z as i32).rem_euclid(4)).min(4 - (*a as i32 - *z as i32).rem_euclid(4)) as f64;
+            let steps = ((*a as i32 - *z as i32).rem_euclid(4))
+                .min(4 - (*a as i32 - *z as i32).rem_euclid(4)) as f64;
             m.record(steps / 3.0);
         }
     }
-    let avg_consumed: f64 =
-        meters.iter().map(|m| m.consumed()).sum::<f64>() / meters.len() as f64;
+    let avg_consumed: f64 = meters.iter().map(|m| m.consumed()).sum::<f64>() / meters.len() as f64;
     let avg_swing = avg_consumed / blocks as f64;
     println!(
         "measured: {blocks} encryptions; mean SPE wear per encryption per cell:\n\

@@ -27,7 +27,7 @@ fn grid(bytes: &[u8; 16]) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let key = Key::from_seed(args.get_u64("seed", 0xDAC));
-    let mut specu = Specu::new(key)?;
+    let specu = Specu::new(key)?;
 
     let plaintext = *b"DAC 2014 SNVMM!!";
     println!("Fig. 2 reproduction — SPE walkthrough on one 8x8 crossbar block\n");
@@ -42,15 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let block = specu.encrypt_block(&plaintext)?;
     println!("\nciphertext levels:\n{}", grid(&block.data()));
 
-    let report = wrong_order_decrypt(&mut specu, &plaintext)?;
+    let report = wrong_order_decrypt(&specu, &plaintext)?;
     println!(
         "correct-order decryption (Fig. 2a):\n{}",
         grid(&report.correct)
     );
-    println!(
-        "wrong-order decryption (Fig. 2b):\n{}",
-        grid(&report.wrong)
-    );
+    println!("wrong-order decryption (Fig. 2b):\n{}", grid(&report.wrong));
     println!(
         "wrong order corrupted {} of 16 bytes -> \"{}\"",
         report.corrupted_bytes,

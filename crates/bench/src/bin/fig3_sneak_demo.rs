@@ -8,8 +8,8 @@
 
 use spe_bench::Table;
 use spe_crossbar::bias::Bias;
-use spe_crossbar::netlist::{assemble, col_node, row_node, Gating};
 use spe_crossbar::dense::solve;
+use spe_crossbar::netlist::{assemble, col_node, row_node, Gating};
 use spe_crossbar::{CellAddr, Crossbar, Dims};
 use spe_memristor::{DeviceParams, MlcLevel};
 
@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sneaky = sensed_resistance(&xbar, victim, Gating::AllOn);
 
     let mut table = Table::new(["gating", "sensed R (kΩ)", "quantizes to"]);
-    for (name, r) in [("row-select (Fig. 3a)", gated), ("all-on / sneak (Fig. 3b)", sneaky)] {
+    for (name, r) in [
+        ("row-select (Fig. 3a)", gated),
+        ("all-on / sneak (Fig. 3b)", sneaky),
+    ] {
         table.row([
             name.to_string(),
             format!("{:.1}", r / 1e3),

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let poly = field.polyomino(poe, device.v_threshold);
 
     println!("Fig. 4 reproduction — cell voltages for a 1 V pulse at PoE {poe}");
-    println!("(cells at or above Vt = {:.2} V form the polyomino)\n", device.v_threshold);
+    println!(
+        "(cells at or above Vt = {:.2} V form the polyomino)\n",
+        device.v_threshold
+    );
     for r in 0..8 {
         for c in 0..8 {
             let a = CellAddr::new(r, c);

@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("plaintext state : logic 10 ({:.0} kΩ)", r_plain / 1e3);
     println!("ciphertext state: logic 00 ({:.0} kΩ)", r_cipher / 1e3);
     println!();
-    println!("encryption pulse: +1 V for {:.3} µs   (paper: 0.071 µs)", w_enc * 1e6);
-    println!("decryption pulse: -1 V for {:.3} µs   (paper: 0.015 µs)", w_dec * 1e6);
+    println!(
+        "encryption pulse: +1 V for {:.3} µs   (paper: 0.071 µs)",
+        w_enc * 1e6
+    );
+    println!(
+        "decryption pulse: -1 V for {:.3} µs   (paper: 0.015 µs)",
+        w_dec * 1e6
+    );
     println!(
         "hysteresis ratio: {:.1}x shorter decrypt (paper: ~4.7x)",
         w_enc / w_dec

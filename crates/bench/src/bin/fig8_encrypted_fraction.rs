@@ -15,7 +15,13 @@ fn main() {
          ({instructions} instructions per run)\n"
     );
     let cells = run_matrix(instructions, seed);
-    let schemes = ["AES", "i-NVMM", "SPE-serial", "SPE-parallel", "Stream cipher"];
+    let schemes = [
+        "AES",
+        "i-NVMM",
+        "SPE-serial",
+        "SPE-parallel",
+        "Stream cipher",
+    ];
     let mut table = Table::new(
         std::iter::once("workload".to_string()).chain(schemes.iter().map(|s| s.to_string())),
     );

@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Fig. 2 / SPE roundtrip.
-    let mut specu = Specu::new(Key::from_seed(0xDAC))?;
-    let report = wrong_order_decrypt(&mut specu, b"reproduction run")?;
+    let specu = Specu::new(Key::from_seed(0xDAC))?;
+    let report = wrong_order_decrypt(&specu, b"reproduction run")?;
     println!(
         "Fig. 2   decrypt ok; wrong order corrupts {}/16 bytes",
         report.corrupted_bytes
@@ -71,7 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nFigs. 7/8 (400k instructions per run):");
     let cells = run_matrix(400_000, 7);
     let mut table = Table::new(["scheme", "avg overhead", "avg % encrypted"]);
-    for s in ["AES", "i-NVMM", "SPE-serial", "SPE-parallel", "Stream cipher"] {
+    for s in [
+        "AES",
+        "i-NVMM",
+        "SPE-serial",
+        "SPE-parallel",
+        "Stream cipher",
+    ] {
         table.row([
             s.to_string(),
             format!("{:.1}%", mean_overhead(&cells, s) * 100.0),

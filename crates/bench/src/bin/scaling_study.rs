@@ -66,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Polyomino and placement.
         let poly = xbar.polyomino_at(poe, 1.0)?;
         let shape = PolyominoShape::from_offsets(
-            poly.iter().map(|(a, _)| a.offset_from(poe)).collect::<Vec<_>>(),
+            poly.iter()
+                .map(|(a, _)| a.offset_from(poe))
+                .collect::<Vec<_>>(),
         );
         let poes = if dim <= 8 {
             let problem = PlacementProblem {

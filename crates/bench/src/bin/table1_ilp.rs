@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ]);
             }
             Err(e) => {
-                table.row([margin.to_string(), format!("({e})"), String::new(), String::new()]);
+                table.row([
+                    margin.to_string(),
+                    format!("({e})"),
+                    String::new(),
+                    String::new(),
+                ]);
             }
         }
     }
@@ -40,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("placement (X = PoE):");
     for r in 0..8 {
         for c in 0..8 {
-            print!(
-                "{} ",
-                if sol.poes.contains(&(r, c)) { 'X' } else { '.' }
-            );
+            print!("{} ", if sol.poes.contains(&(r, c)) { 'X' } else { '.' });
         }
         println!();
     }

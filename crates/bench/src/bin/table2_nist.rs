@@ -11,7 +11,7 @@
 
 use spe_bench::{Args, Table};
 use spe_core::datasets::Dataset;
-use spe_core::{Key, Specu, SpecuConfig, SpeVariant};
+use spe_core::{Key, SpeVariant, Specu, SpecuConfig};
 use spe_nist::{Bits, Suite, TEST_NAMES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,11 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.rounds,
         max_failures(sequences)
     );
-    let mut specu = Specu::with_config(Key::from_seed(0xDAC2014), config)?;
+    let specu = Specu::with_config(Key::from_seed(0xDAC2014), config)?;
     let suite = Suite::new();
 
     let mut table = Table::new(
-        std::iter::once("test".to_string()).chain(Dataset::ALL.iter().map(|d| d.name().to_string())),
+        std::iter::once("test".to_string())
+            .chain(Dataset::ALL.iter().map(|d| d.name().to_string())),
     );
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -60,14 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tally_sequences: Vec<Bits> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in 0..threads {
-                let mut worker = specu.clone();
+                let worker = specu.clone();
                 let suite_bits = bits;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut s = chunk;
                     while s < sequences {
                         let bytes = dataset
-                            .build(&mut worker, suite_bits, 0x1000 + s as u64)
+                            .build(&worker, suite_bits, 0x1000 + s as u64)
                             .expect("dataset build");
                         let mut b = Bits::from_bytes(&bytes);
                         if b.len() > suite_bits {

@@ -5,9 +5,13 @@
 //! bits they share: a tiny argument parser, table rendering and the
 //! standard scheme/workload matrices.
 
+#![deny(unsafe_code)]
+
 pub mod args;
+pub mod microbench;
 pub mod runs;
 pub mod table;
 
 pub use args::Args;
+pub use microbench::{Bench, Measurement};
 pub use table::Table;

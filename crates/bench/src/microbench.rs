@@ -1,0 +1,149 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The `benches/` targets use this instead of an external framework so the
+//! workspace builds with no network access. It is deliberately simple:
+//! wall-clock timing around a closure, auto-scaled iteration counts, and a
+//! median-of-samples report. Numbers are indicative, not statistically
+//! rigorous — the figures of merit for the paper (Tables 1–3, Figs. 2–8)
+//! come from the `src/bin/` reproductions, not from here.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark; the median is reported.
+const SAMPLES: usize = 11;
+/// Target wall-clock time per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+/// Ceiling on iterations per sample (cheap closures would otherwise spin).
+const MAX_ITERS: u64 = 1 << 20;
+
+/// One benchmark group: prints a header, then one line per measured case.
+pub struct Bench {
+    group: String,
+}
+
+/// The outcome of one measured case (also printed by [`Bench::run`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median.
+    pub fn per_second(&self) -> f64 {
+        1.0e9 / self.ns_per_iter
+    }
+}
+
+impl Bench {
+    /// Starts a named benchmark group.
+    pub fn new(group: &str) -> Self {
+        println!("== {group} ==");
+        Bench {
+            group: group.to_string(),
+        }
+    }
+
+    /// Measures `f`, printing median ns/iter, and returns the measurement.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        // Calibrate: grow the iteration count until one sample is long
+        // enough for the clock resolution not to matter.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = (iters * grow.clamp(2, 16)).min(MAX_ITERS);
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            ns_per_iter: samples[SAMPLES / 2],
+        };
+        println!(
+            "{}/{name}: {} ({:.1} iter/s)",
+            self.group,
+            format_ns(m.ns_per_iter),
+            m.per_second()
+        );
+        m
+    }
+
+    /// Like [`Bench::run`] but also reports bytes/s for a per-iteration
+    /// payload size.
+    pub fn run_bytes<T>(&self, name: &str, bytes: u64, f: impl FnMut() -> T) -> Measurement {
+        let m = self.run(name, f);
+        let rate = bytes as f64 * m.per_second();
+        println!("    throughput: {}/s", format_bytes(rate));
+        m
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1.0e3 {
+        format!("{ns:.0} ns/iter")
+    } else if ns < 1.0e6 {
+        format!("{:.2} µs/iter", ns / 1.0e3)
+    } else if ns < 1.0e9 {
+        format!("{:.2} ms/iter", ns / 1.0e6)
+    } else {
+        format!("{:.2} s/iter", ns / 1.0e9)
+    }
+}
+
+fn format_bytes(rate: f64) -> String {
+    if rate < 1024.0 {
+        format!("{rate:.0} B")
+    } else if rate < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", rate / 1024.0)
+    } else if rate < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", rate / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", rate / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let b = Bench::new("selftest");
+        let m = b.run("sum", || (0..100u64).sum::<u64>());
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.per_second() > 0.0);
+    }
+
+    #[test]
+    fn formats_cover_ranges() {
+        assert!(format_ns(5.0).contains("ns"));
+        assert!(format_ns(5.0e4).contains("µs"));
+        assert!(format_ns(5.0e7).contains("ms"));
+        assert!(format_ns(5.0e10).contains("s/iter"));
+        assert!(format_bytes(100.0).contains("B"));
+        assert!(format_bytes(1.0e5).contains("KiB"));
+        assert!(format_bytes(1.0e7).contains("MiB"));
+        assert!(format_bytes(1.0e10).contains("GiB"));
+    }
+}

@@ -37,12 +37,8 @@ fn build_sbox() -> [u8; 256] {
     let mut sbox = [0u8; 256];
     for (i, item) in sbox.iter_mut().enumerate() {
         let x = inv[i];
-        *item = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        *item =
+            x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
     }
     sbox
 }
@@ -187,17 +183,28 @@ fn mix_columns(s: &mut [u8; 16]) {
 fn inv_mix_columns(s: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [s[c * 4], s[c * 4 + 1], s[c * 4 + 2], s[c * 4 + 3]];
-        s[c * 4] = gf_mul(col[0], 0x0E) ^ gf_mul(col[1], 0x0B) ^ gf_mul(col[2], 0x0D) ^ gf_mul(col[3], 0x09);
-        s[c * 4 + 1] = gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0E) ^ gf_mul(col[2], 0x0B) ^ gf_mul(col[3], 0x0D);
-        s[c * 4 + 2] = gf_mul(col[0], 0x0D) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0E) ^ gf_mul(col[3], 0x0B);
-        s[c * 4 + 3] = gf_mul(col[0], 0x0B) ^ gf_mul(col[1], 0x0D) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0E);
+        s[c * 4] = gf_mul(col[0], 0x0E)
+            ^ gf_mul(col[1], 0x0B)
+            ^ gf_mul(col[2], 0x0D)
+            ^ gf_mul(col[3], 0x09);
+        s[c * 4 + 1] = gf_mul(col[0], 0x09)
+            ^ gf_mul(col[1], 0x0E)
+            ^ gf_mul(col[2], 0x0B)
+            ^ gf_mul(col[3], 0x0D);
+        s[c * 4 + 2] = gf_mul(col[0], 0x0D)
+            ^ gf_mul(col[1], 0x09)
+            ^ gf_mul(col[2], 0x0E)
+            ^ gf_mul(col[3], 0x0B);
+        s[c * 4 + 3] = gf_mul(col[0], 0x0B)
+            ^ gf_mul(col[1], 0x0D)
+            ^ gf_mul(col[2], 0x09)
+            ^ gf_mul(col[3], 0x0E);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn sbox_has_known_landmarks() {
@@ -273,12 +280,23 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip(key in proptest::array::uniform16(any::<u8>()),
-                     pt in proptest::array::uniform16(any::<u8>())) {
+    #[test]
+    fn roundtrip() {
+        let mut s = 0xAE5_128u64;
+        let mut block = move || {
+            let mut out = [0u8; 16];
+            for b in out.iter_mut() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (s >> 33) as u8;
+            }
+            out
+        };
+        for _ in 0..32 {
+            let (key, pt) = (block(), block());
             let aes = Aes128::new(&key);
-            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
         }
     }
 }

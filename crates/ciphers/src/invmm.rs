@@ -37,7 +37,10 @@ struct PageEntry {
 impl InertPageTracker {
     /// Creates a tracker (the reference design uses 4 KiB pages).
     pub fn new(page_bytes: u64, inert_window: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         InertPageTracker {
             page_bytes,
             inert_window,

@@ -19,6 +19,8 @@
 //! Table 3 so the cycle-level simulator and the harness share one source of
 //! truth.
 
+#![deny(unsafe_code)]
+
 pub mod aes;
 pub mod invmm;
 pub mod modes;

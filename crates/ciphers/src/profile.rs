@@ -128,8 +128,7 @@ mod tests {
         assert!(SchemeProfile::stream().read_latency < SchemeProfile::spe_serial().read_latency);
         assert_eq!(SchemeProfile::spe_parallel().total_read_latency(), 32);
         assert!(
-            SchemeProfile::spe_parallel().total_read_latency()
-                < SchemeProfile::aes().read_latency
+            SchemeProfile::spe_parallel().total_read_latency() < SchemeProfile::aes().read_latency
         );
     }
 

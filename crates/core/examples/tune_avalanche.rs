@@ -29,9 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             let total: usize = hist.iter().sum();
-            let ka = datasets::key_avalanche(&mut specu, 32 * 1024, 11)?;
-            let pa = datasets::plaintext_avalanche(&mut specu, 32 * 1024, 12)?;
-            let ld = datasets::density_pt(&mut specu, 32 * 1024, 13, false)?;
+            let ka = datasets::key_avalanche(&specu, 32 * 1024, 11)?;
+            let pa = datasets::plaintext_avalanche(&specu, 32 * 1024, 12)?;
+            let ld = datasets::density_pt(&specu, 32 * 1024, 13, false)?;
             println!(
                 "rounds={rounds} beta={beta}: hist {:?} key-aval {:.3} pt-aval {:.3} lowden {:.3}",
                 hist.map(|h| (h as f64 / total as f64 * 100.0).round() as i64),

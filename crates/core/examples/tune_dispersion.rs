@@ -11,8 +11,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             train_threshold: threshold,
             ..SpecuConfig::default()
         };
-        let mut specu = Specu::with_config(Key::from_seed(1), config)?;
-        let bytes = datasets::plaintext_avalanche(&mut specu, 256 * 1024, 5)?;
+        let specu = Specu::with_config(Key::from_seed(1), config)?;
+        let bytes = datasets::plaintext_avalanche(&specu, 256 * 1024, 5)?;
         let counts: Vec<f64> = bytes
             .chunks(16)
             .map(|b| b.iter().map(|x| x.count_ones() as f64).sum())

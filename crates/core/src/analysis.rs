@@ -20,8 +20,7 @@ pub struct BruteForceReport {
 impl BruteForceReport {
     fn from_keyspace(keyspace: BigUint, poes: u64, seconds_per_poe: f64) -> Self {
         let seconds_per_attempt = poes as f64 * seconds_per_poe;
-        let log10_years =
-            keyspace.log10() + seconds_per_attempt.log10() - SECONDS_PER_YEAR.log10();
+        let log10_years = keyspace.log10() + seconds_per_attempt.log10() - SECONDS_PER_YEAR.log10();
         BruteForceReport {
             keyspace,
             seconds_per_attempt,
@@ -35,7 +34,12 @@ impl BruteForceReport {
 /// (`pulses^poes`), at `seconds_per_poe` per applied pulse.
 ///
 /// Paper instance: `P(64,16) · 32¹⁶` at 100 ns per PoE.
-pub fn brute_force_full(cells: u64, poes: u64, pulses: u64, seconds_per_poe: f64) -> BruteForceReport {
+pub fn brute_force_full(
+    cells: u64,
+    poes: u64,
+    pulses: u64,
+    seconds_per_poe: f64,
+) -> BruteForceReport {
     let keyspace =
         BigUint::permutations(cells, poes).mul(&BigUint::from_u64(pulses).pow(poes as u32));
     BruteForceReport::from_keyspace(keyspace, poes, seconds_per_poe)
@@ -104,7 +108,11 @@ mod tests {
         let report = brute_force_full(64, 16, 32, 100e-9);
         // P(64,16)·32^16 ≈ 10^52.1; at 1.6 µs/attempt ≈ 10^39 years.
         assert!((report.keyspace.log10() - 52.1).abs() < 0.3);
-        assert!(report.log10_years > 35.0, "log10 years {}", report.log10_years);
+        assert!(
+            report.log10_years > 35.0,
+            "log10 years {}",
+            report.log10_years
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub struct WrongOrderReport {
 ///
 /// Propagates [`SpeError`] from the SPECU.
 pub fn wrong_order_decrypt(
-    specu: &mut Specu,
+    specu: &Specu,
     plaintext: &[u8; BLOCK_BYTES],
 ) -> Result<WrongOrderReport, SpeError> {
     let block = specu.encrypt_block(plaintext)?;
@@ -57,10 +57,7 @@ pub fn wrong_order_decrypt(
     })
 }
 
-fn rebuild_array(
-    specu: &Specu,
-    states: &[f64],
-) -> Result<spe_crossbar::FastArray, SpeError> {
+fn rebuild_array(specu: &Specu, states: &[f64]) -> Result<spe_crossbar::FastArray, SpeError> {
     let mut arr = spe_crossbar::FastArray::new(
         spe_crossbar::Dims::square8(),
         specu.config().device.clone(),
@@ -99,7 +96,7 @@ pub struct AmbiguityReport {
 ///
 /// Propagates [`SpeError`] from the SPECU.
 pub fn known_plaintext_ambiguity(
-    specu: &mut Specu,
+    specu: &Specu,
     plaintext: &[u8; BLOCK_BYTES],
     tolerance: f64,
 ) -> Result<Vec<AmbiguityReport>, SpeError> {
@@ -205,12 +202,15 @@ pub struct BruteForceRunReport {
 /// Panics if `poes > 5` (the factorial space would be excessive for a test
 /// helper) or `poes == 0`.
 pub fn brute_force_reduced(
-    specu: &mut Specu,
+    specu: &Specu,
     plaintext: &[u8; BLOCK_BYTES],
     poes: usize,
     pulse_choices: usize,
 ) -> Result<BruteForceRunReport, SpeError> {
-    assert!((1..=5).contains(&poes), "reduced search supports 1..=5 PoEs");
+    assert!(
+        (1..=5).contains(&poes),
+        "reduced search supports 1..=5 PoEs"
+    );
     let poe_list: Vec<CellAddr> = specu.addresses().poes()[..poes].to_vec();
     let lut: Vec<Pulse> = specu.voltages().pulses()[..pulse_choices].to_vec();
 
@@ -319,9 +319,9 @@ mod tests {
 
     #[test]
     fn wrong_order_corrupts() {
-        let mut s = specu();
+        let s = specu();
         let pt = *b"confidential doc";
-        let report = wrong_order_decrypt(&mut s, &pt).expect("experiment");
+        let report = wrong_order_decrypt(&s, &pt).expect("experiment");
         assert_eq!(report.correct, pt, "correct order must work");
         assert!(
             report.corrupted_bytes > 0,
@@ -331,9 +331,9 @@ mod tests {
 
     #[test]
     fn overlapping_cells_are_ambiguous() {
-        let mut s = specu();
+        let s = specu();
         let pt = *b"known  plaintext";
-        let reports = known_plaintext_ambiguity(&mut s, &pt, 0.05).expect("analysis");
+        let reports = known_plaintext_ambiguity(&s, &pt, 0.05).expect("analysis");
         assert!(!reports.is_empty(), "schedule must overlap somewhere");
         let ambiguous = reports
             .iter()
@@ -347,9 +347,9 @@ mod tests {
 
     #[test]
     fn reduced_brute_force_recovers_with_many_attempts() {
-        let mut s = specu();
+        let s = specu();
         let pt = *b"toy  target  blk";
-        let report = brute_force_reduced(&mut s, &pt, 2, 4).expect("search");
+        let report = brute_force_reduced(&s, &pt, 2, 4).expect("search");
         assert!(report.recovered, "the reduced space contains the schedule");
         assert!(report.space >= 32);
         assert!(report.attempts >= 1);

@@ -4,14 +4,23 @@
 //! assembled from 128-bit ciphertext (or XOR) blocks exactly as the paper
 //! describes. The streams feed the NIST suite in the Table 2 harness.
 //!
-//! All builders are deterministic in their `seed`.
+//! All builders are deterministic in their `seed` *and independent of the
+//! bank count*: every random draw happens sequentially from the coupled
+//! LCG up front, producing a job list that the multi-bank datapath
+//! ([`ParallelSpecu`]) encrypts order-preservingly. ~18 Mbit of ciphertext
+//! per Table 2 run makes these builders the heaviest SPECU workload in the
+//! repo, which is why they ride the parallel datapath.
 
 use crate::key::Key;
-use crate::specu::{Specu, SpecuConfig, BLOCK_BYTES};
+use crate::parallel::{fan_out, BlockJob, ParallelSpecu};
+use crate::prng::CoupledLcg;
+use crate::specu::{SpeContext, Specu, SpecuConfig, BLOCK_BYTES};
 use crate::SpeError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use spe_memristor::Variation;
+
+/// Default SPECU bank count for dataset builds: the paper's one-bank-per-mat
+/// configuration.
+pub const DEFAULT_BANKS: usize = 4;
 
 /// Identifies one of the nine Table 2 datasets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,27 +74,44 @@ impl Dataset {
         }
     }
 
-    /// Builds a stream of at least `target_bits` bits.
+    /// Builds a stream of at least `target_bits` bits on the default
+    /// four-bank datapath.
     ///
     /// # Errors
     ///
     /// Propagates [`SpeError`] from the SPECU.
-    pub fn build(
+    pub fn build(&self, specu: &Specu, target_bits: usize, seed: u64) -> Result<Vec<u8>, SpeError> {
+        self.build_with_banks(specu, target_bits, seed, DEFAULT_BANKS)
+    }
+
+    /// Builds a stream of at least `target_bits` bits with an explicit
+    /// SPECU bank count. The output is byte-identical for every `banks`
+    /// value (randomness is drawn before the parallel fan-out).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpeError`] from the SPECU.
+    pub fn build_with_banks(
         &self,
-        specu: &mut Specu,
+        specu: &Specu,
         target_bits: usize,
         seed: u64,
+        banks: usize,
     ) -> Result<Vec<u8>, SpeError> {
         match self {
-            Dataset::KeyAvalanche => key_avalanche(specu, target_bits, seed),
-            Dataset::PlaintextAvalanche => plaintext_avalanche(specu, target_bits, seed),
-            Dataset::HardwareAvalanche => hardware_avalanche(specu, target_bits, seed),
-            Dataset::PtCtCorrelation => pt_ct_correlation(specu, target_bits, seed),
-            Dataset::RandomPtKey => random_pt_key(specu, target_bits, seed),
-            Dataset::LowDensityPt => density_pt(specu, target_bits, seed, false),
-            Dataset::HighDensityPt => density_pt(specu, target_bits, seed, true),
-            Dataset::LowDensityKey => density_key(specu, target_bits, seed, false),
-            Dataset::HighDensityKey => density_key(specu, target_bits, seed, true),
+            Dataset::KeyAvalanche => key_avalanche_banked(specu, target_bits, seed, banks),
+            Dataset::PlaintextAvalanche => {
+                plaintext_avalanche_banked(specu, target_bits, seed, banks)
+            }
+            Dataset::HardwareAvalanche => {
+                hardware_avalanche_banked(specu, target_bits, seed, banks)
+            }
+            Dataset::PtCtCorrelation => pt_ct_correlation_banked(specu, target_bits, seed, banks),
+            Dataset::RandomPtKey => random_pt_key_banked(specu, target_bits, seed, banks),
+            Dataset::LowDensityPt => density_pt_banked(specu, target_bits, seed, false, banks),
+            Dataset::HighDensityPt => density_pt_banked(specu, target_bits, seed, true, banks),
+            Dataset::LowDensityKey => density_key_banked(specu, target_bits, seed, false, banks),
+            Dataset::HighDensityKey => density_key_banked(specu, target_bits, seed, true, banks),
         }
     }
 }
@@ -98,53 +124,85 @@ fn xor_block(a: &[u8; BLOCK_BYTES], b: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] 
     core::array::from_fn(|i| a[i] ^ b[i])
 }
 
-fn random_key(rng: &mut StdRng) -> Key {
-    Key::from_value(((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128)
+fn random_key(rng: &mut CoupledLcg) -> Key {
+    Key::from_value(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)
 }
 
-fn random_block(rng: &mut StdRng) -> [u8; BLOCK_BYTES] {
-    core::array::from_fn(|_| rng.gen())
+fn random_block(rng: &mut CoupledLcg) -> [u8; BLOCK_BYTES] {
+    let mut block = [0u8; BLOCK_BYTES];
+    rng.fill_bytes(&mut block);
+    block
+}
+
+/// A parallel datapath over `specu`'s calibration under `key`.
+fn datapath(specu: &Specu, key: Key, banks: usize) -> ParallelSpecu {
+    ParallelSpecu::new(
+        SpeContext::with_calibration(key, std::sync::Arc::clone(specu.calibration())),
+        banks,
+    )
 }
 
 /// 1) Key avalanche.
-pub fn key_avalanche(
-    specu: &mut Specu,
+pub fn key_avalanche(specu: &Specu, target_bits: usize, seed: u64) -> Result<Vec<u8>, SpeError> {
+    key_avalanche_banked(specu, target_bits, seed, DEFAULT_BANKS)
+}
+
+fn key_avalanche_banked(
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
+    banks: usize,
 ) -> Result<Vec<u8>, SpeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
+    let mut rng = CoupledLcg::from_seed(seed);
     let zero_pt = [0u8; BLOCK_BYTES];
+    // Sequential draws, parallel encryption: jobs 2i and 2i+1 are the
+    // key/flipped-key pair of trial i.
+    let mut jobs = Vec::with_capacity(2 * target_blocks(target_bits));
     for _ in 0..target_blocks(target_bits) {
         let key = random_key(&mut rng);
-        specu.load_key(key);
-        let c1 = specu.encrypt_block(&zero_pt)?.data();
-        specu.load_key(key.flip_bit(rng.gen_range(0..crate::key::KEY_BITS)));
-        let c2 = specu.encrypt_block(&zero_pt)?.data();
-        out.extend_from_slice(&xor_block(&c1, &c2));
+        let bit = rng.next_below(crate::key::KEY_BITS as u64) as usize;
+        jobs.push(BlockJob::with_key(zero_pt, 0, key));
+        jobs.push(BlockJob::with_key(zero_pt, 0, key.flip_bit(bit)));
+    }
+    let cts = datapath(specu, Key::zero(), banks).encrypt_blocks(&jobs)?;
+    let mut out = Vec::with_capacity(cts.len() / 2 * BLOCK_BYTES);
+    for pair in cts.chunks_exact(2) {
+        out.extend_from_slice(&xor_block(&pair[0].data(), &pair[1].data()));
     }
     Ok(out)
 }
 
 /// 2) Plaintext avalanche (all-zero key).
 pub fn plaintext_avalanche(
-    specu: &mut Specu,
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
 ) -> Result<Vec<u8>, SpeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    specu.load_key(Key::zero());
-    let mut out = Vec::new();
+    plaintext_avalanche_banked(specu, target_bits, seed, DEFAULT_BANKS)
+}
+
+fn plaintext_avalanche_banked(
+    specu: &Specu,
+    target_bits: usize,
+    seed: u64,
+    banks: usize,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = CoupledLcg::from_seed(seed);
+    let mut jobs = Vec::with_capacity(2 * target_blocks(target_bits));
     for _ in 0..target_blocks(target_bits) {
         let pt = random_block(&mut rng);
         let mut flipped = pt;
         // Uniformly random bit position per trial (cycling positions
         // deterministically imprints a periodic pattern on the stream).
-        let bit: usize = rng.gen_range(0..128);
+        let bit = rng.next_below(128) as usize;
         flipped[bit / 8] ^= 1 << (bit % 8);
-        let c1 = specu.encrypt_block(&pt)?.data();
-        let c2 = specu.encrypt_block(&flipped)?.data();
-        out.extend_from_slice(&xor_block(&c1, &c2));
+        jobs.push(BlockJob::new(pt, 0));
+        jobs.push(BlockJob::new(flipped, 0));
+    }
+    let cts = datapath(specu, Key::zero(), banks).encrypt_blocks(&jobs)?;
+    let mut out = Vec::with_capacity(cts.len() / 2 * BLOCK_BYTES);
+    for pair in cts.chunks_exact(2) {
+        out.extend_from_slice(&xor_block(&pair[0].data(), &pair[1].data()));
     }
     Ok(out)
 }
@@ -152,106 +210,146 @@ pub fn plaintext_avalanche(
 /// 3) Hardware avalanche: all-zero key and plaintext; physical parameters
 ///    perturbed 5–10 % in 0.5 % steps (§6.1).
 pub fn hardware_avalanche(
-    specu: &mut Specu,
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
 ) -> Result<Vec<u8>, SpeError> {
-    specu.load_key(Key::zero());
-    let zero_pt = [0u8; BLOCK_BYTES];
+    hardware_avalanche_banked(specu, target_bits, seed, DEFAULT_BANKS)
+}
 
-    // Build the perturbed SPECUs once (kernel recalibration per step);
-    // the paper sweeps physical parameters 5-10% in 0.5% steps.
-    let mut perturbed = Vec::new();
-    let mut rel = 0.05;
-    while rel <= 0.10 + 1e-9 {
+fn hardware_avalanche_banked(
+    specu: &Specu,
+    target_bits: usize,
+    seed: u64,
+    banks: usize,
+) -> Result<Vec<u8>, SpeError> {
+    let zero_pt = [0u8; BLOCK_BYTES];
+    let nominal =
+        SpeContext::with_calibration(Key::zero(), std::sync::Arc::clone(specu.calibration()));
+
+    // The paper sweeps physical parameters 5-10% in 0.5% steps. Each step
+    // needs its own kernel recalibration — by far the most expensive part
+    // of this builder — so the perturbed contexts are built on the bank
+    // workers too.
+    let rels: Vec<f64> = (0..=10).map(|i| 0.05 + 0.005 * i as f64).collect();
+    let perturbed: Vec<SpeContext> = fan_out(banks, rels.len(), |i| {
         let config = SpecuConfig {
-            device: specu.config().device.with_variation(&Variation::uniform(rel)),
+            device: specu
+                .config()
+                .device
+                .with_variation(&Variation::uniform(rels[i])),
             ..specu.config().clone()
         };
-        perturbed.push(Specu::with_config(Key::zero(), config)?);
-        rel += 0.005;
-    }
+        SpeContext::new(Key::zero(), config)
+    })?;
+
     // Stream: XOR of nominal-hardware vs perturbed-hardware ciphertexts of
     // the same (all-zero) plaintext at the same block address, sweeping
-    // perturbation levels and block addresses.
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    // The seed offsets the block-address range so different sequences use
-    // disjoint schedules (otherwise every sequence would be identical).
+    // perturbation levels and block addresses. The seed offsets the
+    // block-address range so different sequences use disjoint schedules.
+    let trials = target_blocks(target_bits);
     let tweak_base = seed.wrapping_mul(0x10_0000);
-    while out.len() * 8 < target_bits {
+    let blocks = fan_out(banks, trials, |i| {
         let idx = i % perturbed.len();
         let tweak = tweak_base.wrapping_add((i / perturbed.len()) as u64);
-        let base = specu.encrypt_block_with_tweak(&zero_pt, tweak)?.data();
+        let base = nominal.encrypt_block_with_tweak(&zero_pt, tweak)?.data();
         let varied = perturbed[idx]
             .encrypt_block_with_tweak(&zero_pt, tweak)?
             .data();
-        out.extend_from_slice(&xor_block(&base, &varied));
-        i += 1;
-    }
-    Ok(out)
+        Ok(xor_block(&base, &varied))
+    })?;
+    Ok(blocks.concat())
 }
 
 /// 4) Plaintext/ciphertext correlation.
 pub fn pt_ct_correlation(
-    specu: &mut Specu,
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
 ) -> Result<Vec<u8>, SpeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    specu.load_key(random_key(&mut rng));
-    let mut out = Vec::new();
-    for _ in 0..target_blocks(target_bits) {
-        let pt = random_block(&mut rng);
-        let ct = specu.encrypt_block(&pt)?.data();
-        out.extend_from_slice(&xor_block(&pt, &ct));
+    pt_ct_correlation_banked(specu, target_bits, seed, DEFAULT_BANKS)
+}
+
+fn pt_ct_correlation_banked(
+    specu: &Specu,
+    target_bits: usize,
+    seed: u64,
+    banks: usize,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = CoupledLcg::from_seed(seed);
+    let key = random_key(&mut rng);
+    let jobs: Vec<BlockJob> = (0..target_blocks(target_bits))
+        .map(|_| BlockJob::new(random_block(&mut rng), 0))
+        .collect();
+    let cts = datapath(specu, key, banks).encrypt_blocks(&jobs)?;
+    let mut out = Vec::with_capacity(cts.len() * BLOCK_BYTES);
+    for (job, ct) in jobs.iter().zip(&cts) {
+        out.extend_from_slice(&xor_block(&job.plaintext, &ct.data()));
     }
     Ok(out)
 }
 
 /// 5) Random plaintext / random key: raw ciphertext stream.
-pub fn random_pt_key(
-    specu: &mut Specu,
+pub fn random_pt_key(specu: &Specu, target_bits: usize, seed: u64) -> Result<Vec<u8>, SpeError> {
+    random_pt_key_banked(specu, target_bits, seed, DEFAULT_BANKS)
+}
+
+fn random_pt_key_banked(
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
+    banks: usize,
 ) -> Result<Vec<u8>, SpeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    specu.load_key(random_key(&mut rng));
-    let mut out = Vec::new();
-    for _ in 0..target_blocks(target_bits) {
-        let pt = random_block(&mut rng);
-        out.extend_from_slice(&specu.encrypt_block(&pt)?.data());
+    let mut rng = CoupledLcg::from_seed(seed);
+    let key = random_key(&mut rng);
+    let jobs: Vec<BlockJob> = (0..target_blocks(target_bits))
+        .map(|_| BlockJob::new(random_block(&mut rng), 0))
+        .collect();
+    let cts = datapath(specu, key, banks).encrypt_blocks(&jobs)?;
+    let mut out = Vec::with_capacity(cts.len() * BLOCK_BYTES);
+    for ct in &cts {
+        out.extend_from_slice(&ct.data());
     }
     Ok(out)
 }
 
 /// 6/8) Low- or high-density plaintext ciphertexts under one random key.
 pub fn density_pt(
-    specu: &mut Specu,
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
     high: bool,
 ) -> Result<Vec<u8>, SpeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    specu.load_key(random_key(&mut rng));
+    density_pt_banked(specu, target_bits, seed, high, DEFAULT_BANKS)
+}
+
+fn density_pt_banked(
+    specu: &Specu,
+    target_bits: usize,
+    seed: u64,
+    high: bool,
+    banks: usize,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = CoupledLcg::from_seed(seed);
     let base: u8 = if high { 0xFF } else { 0x00 };
-    let mut out = Vec::new();
-    let mut produced = 0usize;
+    let total = target_blocks(target_bits);
+    // Per key epoch: the base block, all weight-1 flips, then weight-2
+    // flips; exhausting weight <= 2 rotates the key. Each block gets its
+    // index as the tweak, mirroring address-tweaked memory encryption.
+    let mut jobs: Vec<BlockJob> = Vec::with_capacity(total);
     'outer: loop {
-        // One base block, then all weight-1 flips, then weight-2 flips.
-        let mut emit = |specu: &mut Specu, pt: [u8; BLOCK_BYTES]| -> Result<bool, SpeError> {
-            out.extend_from_slice(&specu.encrypt_block(&pt)?.data());
-            produced += BLOCK_BYTES * 8;
-            Ok(produced >= target_bits)
+        let key = random_key(&mut rng);
+        let mut push = |pt: [u8; BLOCK_BYTES]| {
+            jobs.push(BlockJob::with_key(pt, jobs.len() as u64, key));
+            jobs.len() >= total
         };
-        let pt = [base; BLOCK_BYTES];
-        if emit(specu, pt)? {
+        if push([base; BLOCK_BYTES]) {
             break 'outer;
         }
         for i in 0..128 {
             let mut pt = [base; BLOCK_BYTES];
             pt[i / 8] ^= 1 << (i % 8);
-            if emit(specu, pt)? {
+            if push(pt) {
                 break 'outer;
             }
         }
@@ -260,40 +358,51 @@ pub fn density_pt(
                 let mut pt = [base; BLOCK_BYTES];
                 pt[i / 8] ^= 1 << (i % 8);
                 pt[j / 8] ^= 1 << (j % 8);
-                if emit(specu, pt)? {
+                if push(pt) {
                     break 'outer;
                 }
             }
         }
-        // Exhausted weight <= 2: rotate the key and continue.
-        specu.load_key(random_key(&mut rng));
+    }
+    let cts = datapath(specu, Key::zero(), banks).encrypt_blocks(&jobs)?;
+    let mut out = Vec::with_capacity(cts.len() * BLOCK_BYTES);
+    for ct in &cts {
+        out.extend_from_slice(&ct.data());
     }
     Ok(out)
 }
 
 /// 7/9) Low- or high-density key ciphertexts of one random plaintext.
 pub fn density_key(
-    specu: &mut Specu,
+    specu: &Specu,
     target_bits: usize,
     seed: u64,
     high: bool,
 ) -> Result<Vec<u8>, SpeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    density_key_banked(specu, target_bits, seed, high, DEFAULT_BANKS)
+}
+
+fn density_key_banked(
+    specu: &Specu,
+    target_bits: usize,
+    seed: u64,
+    high: bool,
+    banks: usize,
+) -> Result<Vec<u8>, SpeError> {
+    let mut rng = CoupledLcg::from_seed(seed);
     let pt = random_block(&mut rng);
     let flip_all = |k: Key| if high { Key::from_value(!k.value()) } else { k };
-    let mut out = Vec::new();
-    let mut produced = 0usize;
     let mut keys: Vec<Key> = Vec::new();
     keys.push(flip_all(Key::zero()));
     keys.extend(Key::weight_one_keys().map(flip_all));
     keys.extend(Key::weight_two_keys().map(flip_all));
-    let mut idx = 0usize;
-    while produced < target_bits {
-        specu.load_key(keys[idx % keys.len()]);
-        let tweak = (idx / keys.len()) as u64;
-        out.extend_from_slice(&specu.encrypt_block_with_tweak(&pt, tweak)?.data());
-        produced += BLOCK_BYTES * 8;
-        idx += 1;
+    let jobs: Vec<BlockJob> = (0..target_blocks(target_bits))
+        .map(|idx| BlockJob::with_key(pt, (idx / keys.len()) as u64, keys[idx % keys.len()]))
+        .collect();
+    let cts = datapath(specu, Key::zero(), banks).encrypt_blocks(&jobs)?;
+    let mut out = Vec::with_capacity(cts.len() * BLOCK_BYTES);
+    for ct in &cts {
+        out.extend_from_slice(&ct.data());
     }
     Ok(out)
 }
@@ -312,7 +421,7 @@ mod tests {
 
     #[test]
     fn builders_reach_target_length() {
-        let mut s = specu();
+        let s = specu();
         for ds in [
             Dataset::KeyAvalanche,
             Dataset::PtCtCorrelation,
@@ -320,24 +429,35 @@ mod tests {
             Dataset::LowDensityPt,
             Dataset::HighDensityKey,
         ] {
-            let bytes = ds.build(&mut s, 2048, 7).expect("build");
+            let bytes = ds.build(&s, 2048, 7).expect("build");
             assert!(bytes.len() * 8 >= 2048, "{ds:?} too short");
         }
     }
 
     #[test]
     fn builders_are_deterministic() {
-        let mut s1 = specu();
-        let mut s2 = specu();
-        let a = Dataset::RandomPtKey.build(&mut s1, 1024, 3).expect("a");
-        let b = Dataset::RandomPtKey.build(&mut s2, 1024, 3).expect("b");
+        let s = specu();
+        let a = Dataset::RandomPtKey.build(&s, 1024, 3).expect("a");
+        let b = Dataset::RandomPtKey.build(&s, 1024, 3).expect("b");
         assert_eq!(a, b);
     }
 
     #[test]
+    fn builds_are_bank_count_invariant() {
+        // The whole point of the sequential-draw/parallel-encrypt split:
+        // the stream must not depend on how many banks encrypted it.
+        let s = specu();
+        for ds in [Dataset::KeyAvalanche, Dataset::LowDensityKey] {
+            let one = ds.build_with_banks(&s, 1024, 5, 1).expect("one bank");
+            let four = ds.build_with_banks(&s, 1024, 5, 4).expect("four banks");
+            assert_eq!(one, four, "{ds:?} changed with bank count");
+        }
+    }
+
+    #[test]
     fn key_avalanche_is_roughly_balanced() {
-        let mut s = specu();
-        let bytes = key_avalanche(&mut s, 16 * 1024, 11).expect("build");
+        let s = specu();
+        let bytes = key_avalanche(&s, 16 * 1024, 11).expect("build");
         let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
         let ratio = ones as f64 / (bytes.len() * 8) as f64;
         assert!(
@@ -348,8 +468,7 @@ mod tests {
 
     #[test]
     fn dataset_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Dataset::ALL.iter().map(|d| d.name()).collect();
+        let names: std::collections::HashSet<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), 9);
     }
 }

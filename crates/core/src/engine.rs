@@ -1,0 +1,230 @@
+//! The unified encryption-backend interface.
+//!
+//! Every memory-encryption scheme the simulator compares — SPE (serial and
+//! parallel), AES counter mode, the Trivium stream cipher, i-NVMM's
+//! incremental AES — operates on the same unit of work: a 64-byte cache
+//! line at a line address. [`BlockEngine`] captures that contract so the
+//! cycle-level simulator (`spe-memsim`) dispatches every scheme through one
+//! trait object and can optionally run *functional* encryption instead of
+//! cost-only accounting.
+//!
+//! SPE's ciphertext is analog crossbar state, not a byte string, so the
+//! sealed representation is an enum: [`SealedLine::Bytes`] for conventional
+//! ciphers, [`SealedLine::Spe`] for crossbar lines.
+
+use crate::error::SpeError;
+use crate::parallel::ParallelSpecu;
+use crate::specu::{CipherLine, SpeContext, LINE_BYTES};
+
+/// The memory operation an engine is asked to cost (schemes price reads
+/// and writes differently — Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineOp {
+    /// A demand read (decrypt on fetch).
+    Read,
+    /// A writeback (encrypt on store).
+    Write,
+    /// A background re-encryption pass (i-NVMM's idle-time sealing,
+    /// SPE-serial's re-encrypt after read).
+    Reencrypt,
+}
+
+/// A 64-byte line in its at-rest (sealed) representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SealedLine {
+    /// Conventional ciphertext bytes (AES/stream/i-NVMM), tagged with the
+    /// line address the keystream or tweak was derived from.
+    Bytes {
+        /// The sealed 64 bytes.
+        data: [u8; LINE_BYTES],
+        /// The line address used for tweak/keystream derivation.
+        address: u64,
+    },
+    /// SPE crossbar state (four encrypted mats).
+    Spe(CipherLine),
+}
+
+impl SealedLine {
+    /// The line address this sealed line was produced under.
+    pub fn address(&self) -> u64 {
+        match self {
+            SealedLine::Bytes { address, .. } => *address,
+            SealedLine::Spe(line) => line
+                .blocks
+                .first()
+                .map_or(0, |b| b.tweak() / crate::specu::BLOCKS_PER_LINE as u64),
+        }
+    }
+}
+
+/// A functional memory-encryption backend operating on 64-byte lines.
+///
+/// Implementations must be thread-safe: the simulator and the parallel
+/// datapath share one engine across banks.
+pub trait BlockEngine: Send + Sync {
+    /// The scheme name (Table 3 row label).
+    fn name(&self) -> &'static str;
+
+    /// Seals a plaintext line at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if the backend rejects the line.
+    fn encrypt_line(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        address: u64,
+    ) -> Result<SealedLine, SpeError>;
+
+    /// Opens a sealed line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if the sealed representation does not belong to
+    /// this backend or fails to open.
+    fn decrypt_line(&self, sealed: &SealedLine) -> Result<[u8; LINE_BYTES], SpeError>;
+
+    /// The NVMM-cycle cost this engine adds to `op` (Table 3).
+    fn latency_cycles(&self, op: EngineOp) -> u32;
+}
+
+/// The serial SPECU as a [`BlockEngine`]: one bank encrypts the four mats
+/// of a line back to back (Table 3's SPE row — the read path decrypts one
+/// block per access, the full-line cost shows up on writeback).
+impl BlockEngine for SpeContext {
+    fn name(&self) -> &'static str {
+        "SPE-serial"
+    }
+
+    fn encrypt_line(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        address: u64,
+    ) -> Result<SealedLine, SpeError> {
+        Ok(SealedLine::Spe(SpeContext::encrypt_line(
+            self, plaintext, address,
+        )?))
+    }
+
+    fn decrypt_line(&self, sealed: &SealedLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        match sealed {
+            SealedLine::Spe(line) => SpeContext::decrypt_line(self, line),
+            SealedLine::Bytes { .. } => {
+                Err(SpeError::Internal("SPE engine handed a byte-sealed line"))
+            }
+        }
+    }
+
+    fn latency_cycles(&self, op: EngineOp) -> u32 {
+        match op {
+            // A demand read decrypts the one block it needs.
+            EngineOp::Read => self.encryption_cycles(),
+            // A serial writeback re-encrypts all four mats on one bank.
+            EngineOp::Write | EngineOp::Reencrypt => {
+                self.encryption_cycles() * crate::specu::BLOCKS_PER_LINE as u32
+            }
+        }
+    }
+}
+
+/// The multi-bank SPECU as a [`BlockEngine`]: the four mats run
+/// concurrently, so a whole line costs one block's schedule (Table 3's
+/// SPE-parallel row).
+impl BlockEngine for ParallelSpecu {
+    fn name(&self) -> &'static str {
+        "SPE-parallel"
+    }
+
+    fn encrypt_line(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        address: u64,
+    ) -> Result<SealedLine, SpeError> {
+        Ok(SealedLine::Spe(ParallelSpecu::encrypt_line(
+            self, plaintext, address,
+        )?))
+    }
+
+    fn decrypt_line(&self, sealed: &SealedLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        match sealed {
+            SealedLine::Spe(line) => ParallelSpecu::decrypt_line(self, line),
+            SealedLine::Bytes { .. } => {
+                Err(SpeError::Internal("SPE engine handed a byte-sealed line"))
+            }
+        }
+    }
+
+    fn latency_cycles(&self, op: EngineOp) -> u32 {
+        match op {
+            EngineOp::Read => self.latency_cycles(),
+            // All four banks fire at once: line cost == block cost.
+            EngineOp::Write | EngineOp::Reencrypt => self.latency_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use crate::specu::Specu;
+    use std::sync::{Arc, OnceLock};
+
+    fn specu() -> Specu {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xE6)).expect("specu"))
+            .clone()
+    }
+
+    #[test]
+    fn engines_are_object_safe_and_roundtrip() {
+        let s = specu();
+        let serial: Arc<dyn BlockEngine> = Arc::new(s.context().expect("ctx").clone());
+        let parallel: Arc<dyn BlockEngine> = Arc::new(s.parallel(4).expect("par"));
+        let pt: [u8; LINE_BYTES] = core::array::from_fn(|i| (i * 13 + 1) as u8);
+        for engine in [&serial, &parallel] {
+            let sealed = engine.encrypt_line(&pt, 0x80).expect("seal");
+            assert_eq!(
+                engine.decrypt_line(&sealed).expect("open"),
+                pt,
+                "{}",
+                engine.name()
+            );
+        }
+        // Serial and parallel SPECUs produce identical sealed state.
+        assert_eq!(
+            serial.encrypt_line(&pt, 0x80).expect("seal"),
+            parallel.encrypt_line(&pt, 0x80).expect("seal"),
+        );
+    }
+
+    #[test]
+    fn spe_latencies_follow_table3() {
+        let s = specu();
+        let ctx = s.context().expect("ctx").clone();
+        let par = s.parallel(4).expect("par");
+        let block = ctx.encryption_cycles();
+        assert_eq!(BlockEngine::latency_cycles(&ctx, EngineOp::Read), block);
+        assert_eq!(
+            BlockEngine::latency_cycles(&ctx, EngineOp::Write),
+            block * 4
+        );
+        assert_eq!(BlockEngine::latency_cycles(&par, EngineOp::Write), block);
+    }
+
+    #[test]
+    fn spe_engine_rejects_foreign_sealed_lines() {
+        let s = specu();
+        let ctx = s.context().expect("ctx").clone();
+        let sealed = SealedLine::Bytes {
+            data: [0; LINE_BYTES],
+            address: 4,
+        };
+        assert!(matches!(
+            BlockEngine::decrypt_line(&ctx, &sealed),
+            Err(SpeError::Internal(_))
+        ));
+        assert_eq!(sealed.address(), 4);
+    }
+}

@@ -26,6 +26,8 @@ pub enum SpeError {
         /// Actual byte count.
         actual: usize,
     },
+    /// An internal invariant failed (e.g. a SPECU bank worker died).
+    Internal(&'static str),
 }
 
 impl fmt::Display for SpeError {
@@ -42,8 +44,12 @@ impl fmt::Display for SpeError {
                 "TPM authentication failed: NVMM {presented:#x} != provisioned {expected:#x}"
             ),
             SpeError::BadLength { expected, actual } => {
-                write!(f, "bad buffer length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "bad buffer length: expected {expected} bytes, got {actual}"
+                )
             }
+            SpeError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }

@@ -97,14 +97,19 @@ impl Key {
 
     /// Every key of Hamming weight two (88·87/2 keys).
     pub fn weight_two_keys() -> impl Iterator<Item = Key> {
-        (0..KEY_BITS).flat_map(|i| ((i + 1)..KEY_BITS).map(move |j| Key::zero().flip_bit(i).flip_bit(j)))
+        (0..KEY_BITS)
+            .flat_map(|i| ((i + 1)..KEY_BITS).map(move |j| Key::zero().flip_bit(i).flip_bit(j)))
     }
 }
 
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Keys are secrets: show only a short fingerprint in debug output.
-        write!(f, "Key(fp={:04x})", (self.value ^ (self.value >> 41)) as u16)
+        write!(
+            f,
+            "Key(fp={:04x})",
+            (self.value ^ (self.value >> 41)) as u16
+        )
     }
 }
 

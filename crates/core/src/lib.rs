@@ -37,7 +37,7 @@
 //! use spe_core::{Key, Specu};
 //!
 //! # fn main() -> Result<(), spe_core::SpeError> {
-//! let mut specu = Specu::new(Key::from_seed(7))?;
+//! let specu = Specu::new(Key::from_seed(7))?;
 //! let plaintext = *b"attack at dawn!!";
 //! let block = specu.encrypt_block(&plaintext)?;
 //! assert_ne!(block.data(), plaintext, "ciphertext differs");
@@ -46,25 +46,33 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod analysis;
 pub mod attack;
 pub mod bignum;
 pub mod datasets;
 pub mod discrete;
+pub mod engine;
 pub mod error;
 pub mod key;
 pub mod lut;
 pub mod nvmm;
+pub mod parallel;
 pub mod prng;
 pub mod schedule;
 pub mod specu;
 pub mod tpm;
 
 pub use bignum::BigUint;
+pub use engine::{BlockEngine, EngineOp, SealedLine};
 pub use error::SpeError;
 pub use key::Key;
 pub use nvmm::{SecureNvmm, SpeMode};
+pub use parallel::{BlockJob, LineJob, ParallelSpecu};
 pub use prng::CoupledLcg;
 pub use schedule::PulseSchedule;
-pub use specu::{CipherBlock, Specu, SpecuConfig, SpeVariant};
+pub use specu::{
+    CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuConfig,
+};
 pub use tpm::Tpm;

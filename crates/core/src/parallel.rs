@@ -1,0 +1,339 @@
+//! Multi-bank SPECU datapath (SPE-parallel, §7 / Fig. 7, Table 3).
+//!
+//! The paper's SPE-parallel mode replicates the SPECU once per mat so all
+//! four 8×8 crossbars of a 64 B line encrypt concurrently. With the keyed
+//! state factored into the shared immutable [`SpeContext`], a bank is just
+//! a worker thread holding `&SpeContext`: [`ParallelSpecu`] shards the four
+//! blocks of a line across banks, and fans whole-line (or whole-block)
+//! batches out over [`std::thread::scope`] workers.
+//!
+//! All batch APIs are order-preserving: output `i` corresponds to job `i`
+//! regardless of bank count, so datasets built through the parallel
+//! datapath are byte-identical to their serial builds.
+
+use crate::error::SpeError;
+use crate::key::Key;
+use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
+
+/// One block-encryption job for a bank batch: a plaintext block, its
+/// schedule tweak, and an optional per-job key (the Table 2 avalanche and
+/// density datasets rotate keys per block).
+#[derive(Debug, Clone)]
+pub struct BlockJob {
+    /// The 16-byte plaintext.
+    pub plaintext: [u8; BLOCK_BYTES],
+    /// The schedule tweak (block address).
+    pub tweak: u64,
+    /// Key override for this job; `None` uses the context key.
+    pub key: Option<Key>,
+}
+
+impl BlockJob {
+    /// A job under the context key.
+    pub fn new(plaintext: [u8; BLOCK_BYTES], tweak: u64) -> Self {
+        BlockJob {
+            plaintext,
+            tweak,
+            key: None,
+        }
+    }
+
+    /// A job under an explicit key.
+    pub fn with_key(plaintext: [u8; BLOCK_BYTES], tweak: u64, key: Key) -> Self {
+        BlockJob {
+            plaintext,
+            tweak,
+            key: Some(key),
+        }
+    }
+}
+
+/// One line-encryption job for a bank batch.
+#[derive(Debug, Clone)]
+pub struct LineJob {
+    /// The 64-byte plaintext line.
+    pub plaintext: [u8; LINE_BYTES],
+    /// The line address (per-block tweaks derive from it).
+    pub address: u64,
+}
+
+impl LineJob {
+    /// A job under the context key.
+    pub fn new(plaintext: [u8; LINE_BYTES], address: u64) -> Self {
+        LineJob { plaintext, address }
+    }
+}
+
+/// A multi-bank SPECU: one logical SPECU bank per worker, all sharing one
+/// immutable keyed [`SpeContext`].
+#[derive(Debug, Clone)]
+pub struct ParallelSpecu {
+    context: SpeContext,
+    banks: usize,
+}
+
+impl ParallelSpecu {
+    /// Builds a parallel datapath over `context` with `banks` SPECU banks
+    /// (clamped to at least one; the paper's configuration is one bank per
+    /// mat, i.e. four).
+    pub fn new(context: SpeContext, banks: usize) -> Self {
+        ParallelSpecu {
+            context,
+            banks: banks.max(1),
+        }
+    }
+
+    /// The shared keyed context.
+    pub fn context(&self) -> &SpeContext {
+        &self.context
+    }
+
+    /// The number of SPECU banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Per-line encryption latency in NVMM cycles: the four mats run on
+    /// separate banks, so a line takes `ceil(4 / banks)` block schedules
+    /// back-to-back — one with 4+ banks (Table 3's SPE-parallel row), four
+    /// when a single bank serialises the mats.
+    pub fn latency_cycles(&self) -> u32 {
+        self.context.encryption_cycles() * BLOCKS_PER_LINE.div_ceil(self.banks) as u32
+    }
+
+    /// Encrypts one 64-byte line, sharding its four mats across the banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if the model rejects a pulse schedule or a bank
+    /// worker dies ([`SpeError::Internal`]).
+    pub fn encrypt_line(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+    ) -> Result<CipherLine, SpeError> {
+        if self.banks == 1 {
+            return self.context.encrypt_line(plaintext, line_address);
+        }
+        let ctx = &self.context;
+        let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
+            ctx.encrypt_block_with_tweak(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)
+        })?;
+        Ok(CipherLine { blocks: results })
+    }
+
+    /// Decrypts one 64-byte line, sharding its four mats across the banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if the line is malformed or a bank worker dies.
+    pub fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        if line.blocks.len() != BLOCKS_PER_LINE {
+            return Err(SpeError::BadLength {
+                expected: BLOCKS_PER_LINE,
+                actual: line.blocks.len(),
+            });
+        }
+        if self.banks == 1 {
+            return self.context.decrypt_line(line);
+        }
+        let ctx = &self.context;
+        let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
+            ctx.decrypt_block(&line.blocks[i])
+        })?;
+        let mut out = [0u8; LINE_BYTES];
+        for (i, pt) in blocks.iter().enumerate() {
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(pt);
+        }
+        Ok(out)
+    }
+
+    /// Encrypts a batch of lines across the banks, order-preserving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpeError`] any bank hit.
+    pub fn encrypt_lines(&self, jobs: &[LineJob]) -> Result<Vec<CipherLine>, SpeError> {
+        let ctx = &self.context;
+        fan_out(self.banks, jobs.len(), |i| {
+            ctx.encrypt_line(&jobs[i].plaintext, jobs[i].address)
+        })
+    }
+
+    /// Decrypts a batch of lines across the banks, order-preserving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpeError`] any bank hit.
+    pub fn decrypt_lines(&self, lines: &[CipherLine]) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
+        let ctx = &self.context;
+        fan_out(self.banks, lines.len(), |i| ctx.decrypt_line(&lines[i]))
+    }
+
+    /// Encrypts a batch of independent block jobs across the banks,
+    /// order-preserving. Jobs with a key override run under a cheap
+    /// [`SpeContext::rekeyed`] context sharing this datapath's calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpeError`] any bank hit.
+    pub fn encrypt_blocks(&self, jobs: &[BlockJob]) -> Result<Vec<CipherBlock>, SpeError> {
+        let ctx = &self.context;
+        fan_out(self.banks, jobs.len(), |i| {
+            let job = &jobs[i];
+            match job.key {
+                Some(key) => ctx
+                    .rekeyed(key)
+                    .encrypt_block_with_tweak(&job.plaintext, job.tweak),
+                None => ctx.encrypt_block_with_tweak(&job.plaintext, job.tweak),
+            }
+        })
+    }
+}
+
+/// Runs `work(0..jobs)` across up to `banks` scoped worker threads and
+/// returns the results in job order. Worker panics surface as
+/// [`SpeError::Internal`] instead of poisoning the caller.
+pub(crate) fn fan_out<T, F>(banks: usize, jobs: usize, work: F) -> Result<Vec<T>, SpeError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, SpeError> + Sync,
+{
+    if jobs == 0 {
+        return Ok(Vec::new());
+    }
+    let banks = banks.max(1).min(jobs);
+    if banks == 1 {
+        return (0..jobs).map(&work).collect();
+    }
+    let chunk = jobs.div_ceil(banks);
+    let mut results: Vec<Option<Result<T, SpeError>>> = Vec::with_capacity(jobs);
+    results.resize_with(jobs, || None);
+    let mut spans: Vec<&mut [Option<Result<T, SpeError>>]> = Vec::with_capacity(banks);
+    let mut rest = results.as_mut_slice();
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        spans.push(head);
+        rest = tail;
+    }
+    let panicked = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(spans.len());
+        for (b, span) in spans.into_iter().enumerate() {
+            let work = &work;
+            handles.push(scope.spawn(move || {
+                for (j, slot) in span.iter_mut().enumerate() {
+                    *slot = Some(work(b * chunk + j));
+                }
+            }));
+        }
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+    if panicked {
+        return Err(SpeError::Internal("a SPECU bank worker panicked"));
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.unwrap_or(Err(SpeError::Internal("a SPECU bank dropped a job"))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specu::Specu;
+    use std::sync::OnceLock;
+
+    fn specu() -> Specu {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xBA)).expect("specu"))
+            .clone()
+    }
+
+    fn line(seed: u64) -> [u8; LINE_BYTES] {
+        let mut s = seed;
+        core::array::from_fn(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as u8
+        })
+    }
+
+    #[test]
+    fn parallel_line_matches_serial() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        for seed in 0..4 {
+            let pt = line(seed);
+            let serial = s.encrypt_line(&pt, 0x100 + seed).expect("serial");
+            let banked = par.encrypt_line(&pt, 0x100 + seed).expect("parallel");
+            assert_eq!(serial, banked, "seed {seed}");
+            assert_eq!(par.decrypt_line(&banked).expect("decrypt"), pt);
+        }
+    }
+
+    #[test]
+    fn batch_is_order_preserving_across_bank_counts() {
+        let s = specu();
+        let jobs: Vec<LineJob> = (0..10).map(|i| LineJob::new(line(i), i)).collect();
+        let one = s.parallel(1).expect("p1").encrypt_lines(&jobs).expect("b1");
+        for banks in [2, 3, 4, 7] {
+            let many = s
+                .parallel(banks)
+                .expect("p")
+                .encrypt_lines(&jobs)
+                .expect("b");
+            assert_eq!(one, many, "banks {banks}");
+        }
+    }
+
+    #[test]
+    fn block_jobs_honour_key_overrides() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        let pt = *b"per-job key test";
+        let jobs = vec![
+            BlockJob::new(pt, 7),
+            BlockJob::with_key(pt, 7, Key::from_seed(0xBA)),
+            BlockJob::with_key(pt, 7, Key::from_seed(1234)),
+        ];
+        let out = par.encrypt_blocks(&jobs).expect("batch");
+        // The context key is from_seed(0xBA): jobs 0 and 1 agree.
+        assert_eq!(out[0], out[1]);
+        assert_ne!(out[0].data(), out[2].data());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        assert!(par.encrypt_lines(&[]).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn parallel_latency_is_one_block() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        assert_eq!(par.latency_cycles(), s.encryption_cycles());
+        // A single bank serialises all four mats of the line.
+        let serial = s.parallel(1).expect("serial");
+        assert_eq!(serial.latency_cycles(), 4 * s.encryption_cycles());
+    }
+
+    #[test]
+    fn short_line_is_rejected() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        let pt = line(9);
+        let mut enc = par.encrypt_line(&pt, 3).expect("encrypt");
+        enc.blocks.pop();
+        assert!(matches!(
+            par.decrypt_line(&enc),
+            Err(SpeError::BadLength { .. })
+        ));
+    }
+}

@@ -29,6 +29,12 @@ impl CoupledLcg {
         CoupledLcg::with_tweak(key, 0)
     }
 
+    /// Seeds from a bare 64-bit seed (dataset builders and test harnesses;
+    /// derives a throwaway key).
+    pub fn from_seed(seed: u64) -> Self {
+        CoupledLcg::new(&Key::from_seed(seed))
+    }
+
     /// Seeds the pair from a key and a block tweak (the NVMM block address)
     /// so every memory block gets an independent schedule.
     ///
@@ -60,9 +66,15 @@ impl CoupledLcg {
     /// One coupled step; returns 44 pseudo-random bits.
     fn next_raw(&mut self) -> u64 {
         // Each generator's next state folds in the other's current state.
-        let nx = (Self::A1.wrapping_mul(self.x).wrapping_add(Self::C1).wrapping_add(self.y >> 13))
+        let nx = (Self::A1
+            .wrapping_mul(self.x)
+            .wrapping_add(Self::C1)
+            .wrapping_add(self.y >> 13))
             & Self::MASK;
-        let ny = (Self::A2.wrapping_mul(self.y).wrapping_add(Self::C2).wrapping_add(nx >> 7))
+        let ny = (Self::A2
+            .wrapping_mul(self.y)
+            .wrapping_add(Self::C2)
+            .wrapping_add(nx >> 7))
             & Self::MASK;
         self.x = nx;
         self.y = ny;
@@ -93,6 +105,21 @@ impl CoupledLcg {
             let v = self.next_bits(bits);
             if v < bound {
                 return v;
+            }
+        }
+    }
+
+    /// The next pseudo-random `u64` (two 44-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_raw() << 20) ^ self.next_raw()
+    }
+
+    /// Fills `buf` with pseudo-random bytes (five bytes per draw).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(5) {
+            let v = self.next_bits(40);
+            for (k, b) in chunk.iter_mut().enumerate() {
+                *b = (v >> (8 * k)) as u8;
             }
         }
     }
@@ -130,7 +157,9 @@ mod tests {
     fn different_keys_diverge() {
         let mut g1 = CoupledLcg::new(&Key::from_seed(5));
         let mut g2 = CoupledLcg::new(&Key::from_seed(5).flip_bit(0));
-        let same = (0..32).filter(|_| g1.next_bits(44) == g2.next_bits(44)).count();
+        let same = (0..32)
+            .filter(|_| g1.next_bits(44) == g2.next_bits(44))
+            .count();
         assert!(same <= 1, "streams should diverge, {same}/32 collisions");
     }
 
@@ -139,7 +168,9 @@ mod tests {
         let k = Key::from_seed(7);
         let mut g1 = CoupledLcg::with_tweak(&k, 0);
         let mut g2 = CoupledLcg::with_tweak(&k, 1);
-        let same = (0..32).filter(|_| g1.next_bits(44) == g2.next_bits(44)).count();
+        let same = (0..32)
+            .filter(|_| g1.next_bits(44) == g2.next_bits(44))
+            .count();
         assert!(same <= 1);
     }
 

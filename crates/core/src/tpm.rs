@@ -17,7 +17,9 @@ pub struct Tpm {
 
 impl std::fmt::Debug for Tpm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tpm").field("nvmm_id", &self.nvmm_id).finish()
+        f.debug_struct("Tpm")
+            .field("nvmm_id", &self.nvmm_id)
+            .finish()
     }
 }
 

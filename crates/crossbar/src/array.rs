@@ -203,8 +203,8 @@ impl Crossbar {
             |i, j| self.cells[i * self.dims.cols + j].series_resistance(),
         );
         let v = solve(g, b).map_err(|_| CrossbarError::SingularNetwork)?;
-        let v_cell = v[row_node(self.dims, addr.row, addr.col)]
-            - v[col_node(self.dims, addr.row, addr.col)];
+        let v_cell =
+            v[row_node(self.dims, addr.row, addr.col)] - v[col_node(self.dims, addr.row, addr.col)];
         let r_series = self.cells[self.dims.index(addr)].series_resistance();
         let i_cell = v_cell / r_series;
         if i_cell.abs() < 1e-15 {
@@ -234,9 +234,7 @@ impl Crossbar {
         let volts = self
             .dims
             .iter()
-            .map(|a| {
-                v[row_node(self.dims, a.row, a.col)] - v[col_node(self.dims, a.row, a.col)]
-            })
+            .map(|a| v[row_node(self.dims, a.row, a.col)] - v[col_node(self.dims, a.row, a.col)])
             .collect();
         Ok(VoltageField {
             dims: self.dims,
@@ -323,13 +321,18 @@ impl Crossbar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn random_levels(dims: Dims, seed: u64) -> Vec<MlcLevel> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (0..dims.cells())
-            .map(|_| MlcLevel::from_bits(rng.gen_range(0..4)))
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                MlcLevel::from_bits(((s >> 33) % 4) as u8)
+            })
             .collect()
     }
 
@@ -411,7 +414,8 @@ mod tests {
         let mut shapes = std::collections::HashSet::new();
         for seed in 0..6 {
             let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
-            xbar.write_levels(&random_levels(dims, seed)).expect("write");
+            xbar.write_levels(&random_levels(dims, seed))
+                .expect("write");
             let poly = xbar.polyomino_at(poe, 1.0).expect("polyomino");
             shapes.insert(poly.addrs());
         }
@@ -450,30 +454,37 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
-        // The nodal solver must stay well-posed for any geometry, data and
-        // PoE: finite voltages, PoE dominance, KCL residual at machine
-        // precision (checked inside sneak_voltages via the solve).
-        #[test]
-        fn sneak_solve_is_well_posed(
-            rows in 2usize..10,
-            cols in 2usize..10,
-            seed in 0u64..1000,
-            poe_pick in 0usize..64,
-        ) {
+    // The nodal solver must stay well-posed for any geometry, data and
+    // PoE: finite voltages, PoE dominance, KCL residual at machine
+    // precision (checked inside sneak_voltages via the solve).
+    #[test]
+    fn sneak_solve_is_well_posed() {
+        let mut s = 0x5EEBu64;
+        for case in 0..12u64 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let rows = 2 + (s >> 33) as usize % 8;
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let cols = 2 + (s >> 33) as usize % 8;
             let dims = Dims::new(rows, cols);
             let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
-            xbar.write_levels(&random_levels(dims, seed)).expect("write");
-            let poe = dims.addr(poe_pick % dims.cells());
+            xbar.write_levels(&random_levels(dims, case))
+                .expect("write");
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let poe = dims.addr((s >> 33) as usize % dims.cells());
             let field = xbar.sneak_voltages(poe, 1.0).expect("solve");
             let v_poe = field.at(poe);
-            proptest::prop_assert!(v_poe.is_finite() && v_poe > 0.0);
+            assert!(v_poe.is_finite() && v_poe > 0.0);
             for (addr, v) in field.iter() {
-                proptest::prop_assert!(v.is_finite());
-                proptest::prop_assert!(
+                assert!(v.is_finite());
+                assert!(
                     v.abs() <= v_poe.abs() + 1e-9,
-                    "cell {} at {} exceeds PoE {}", addr, v, v_poe
+                    "cell {addr} at {v} exceeds PoE {v_poe}"
                 );
             }
         }

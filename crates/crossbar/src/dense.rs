@@ -216,7 +216,7 @@ pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, SingularMat
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag) .map(|(ri, di)| ri * di).collect();
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
     let mut p = z.clone();
     let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
     let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
@@ -251,7 +251,6 @@ pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, SingularMat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn solves_identity() {
@@ -325,15 +324,17 @@ mod tests {
         assert!(solve_cg(&a, &[1.0; 4], 1e-9).is_err());
     }
 
-    proptest! {
-        // Random diagonally dominant systems (the shape nodal analysis
-        // produces) solve to high accuracy.
-        #[test]
-        fn random_diag_dominant_roundtrip(seed in 0u64..500) {
+    // Random diagonally dominant systems (the shape nodal analysis
+    // produces) solve to high accuracy.
+    #[test]
+    fn random_diag_dominant_roundtrip() {
+        for seed in (0u64..500).step_by(7) {
             let n = 8 + (seed % 8) as usize;
             let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             };
             let mut a = Matrix::zeros(n);
@@ -352,7 +353,7 @@ mod tests {
             let x = solve(a.clone(), b.clone()).expect("dominant system is nonsingular");
             let back = a.mul_vec(&x);
             for (bi, yi) in b.iter().zip(&back) {
-                prop_assert!((bi - yi).abs() < 1e-8, "residual too large");
+                assert!((bi - yi).abs() < 1e-8, "residual too large (seed {seed})");
             }
         }
     }

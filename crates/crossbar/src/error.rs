@@ -50,16 +50,16 @@ impl fmt::Display for CrossbarError {
                 col,
                 rows,
                 cols,
-            } => write!(
-                f,
-                "cell address ({row}, {col}) outside {rows}x{cols} array"
-            ),
+            } => write!(f, "cell address ({row}, {col}) outside {rows}x{cols} array"),
             CrossbarError::SingularNetwork => {
                 write!(f, "singular crossbar network: no conducting path")
             }
             CrossbarError::Device(e) => write!(f, "device error: {e}"),
             CrossbarError::DataSizeMismatch { expected, actual } => {
-                write!(f, "data size mismatch: expected {expected} cells, got {actual}")
+                write!(
+                    f,
+                    "data size mismatch: expected {expected} cells, got {actual}"
+                )
             }
         }
     }

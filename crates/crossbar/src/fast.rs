@@ -92,7 +92,11 @@ impl Kernel {
                 .wrapping_add(1442695040888963407);
             MlcLevel::from_bits(((state >> 33) & 0b11) as u8)
         };
-        let poes = [CellAddr::new(3, 3), CellAddr::new(4, 4), CellAddr::new(3, 4)];
+        let poes = [
+            CellAddr::new(3, 3),
+            CellAddr::new(4, 4),
+            CellAddr::new(3, 4),
+        ];
         for s in 0..samples.max(1) {
             let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
             let levels: Vec<MlcLevel> = (0..dims.cells()).map(|_| next_level()).collect();
@@ -112,7 +116,13 @@ impl Kernel {
         let attenuation = sums
             .iter()
             .zip(&counts)
-            .map(|(s, c)| if *c > 0 { (s / *c as f64).max(0.0) } else { 0.0 })
+            .map(|(s, c)| {
+                if *c > 0 {
+                    (s / *c as f64).max(0.0)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         Ok(Kernel {
             attenuation,
@@ -274,6 +284,16 @@ impl FastArray {
         &self.params
     }
 
+    /// The attenuation kernel this array was built with.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The device parameters this array was built with.
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
     /// Raw per-cell states in logit coordinates, row-major (opaque storage
     /// format; use [`levels`](Self::levels) for logical readout).
     pub fn states(&self) -> &[f64] {
@@ -367,7 +387,11 @@ impl FastArray {
     /// # Errors
     ///
     /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad PoE.
-    pub fn apply_pulse(&mut self, poe: CellAddr, pulse: Pulse) -> Result<Vec<CellAddr>, CrossbarError> {
+    pub fn apply_pulse(
+        &mut self,
+        poe: CellAddr,
+        pulse: Pulse,
+    ) -> Result<Vec<CellAddr>, CrossbarError> {
         self.pulse_sweep(poe, pulse, false)
     }
 
@@ -437,8 +461,6 @@ impl FastArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn setup() -> FastArray {
         let device = DeviceParams::default();
@@ -449,8 +471,17 @@ mod tests {
     }
 
     fn random_levels(n: usize, seed: u64) -> Vec<MlcLevel> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| MlcLevel::from_bits(rng.gen_range(0..4))).collect()
+        let mut s = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                MlcLevel::from_bits(((s >> 33) % 4) as u8)
+            })
+            .collect()
     }
 
     #[test]
@@ -473,7 +504,11 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint(), "same hardware, same id");
         let varied = device.with_variation(&spe_memristor::Variation::uniform(0.05));
         let c = Kernel::calibrate(&varied, &wires, 4, 1).expect("calibrate");
-        assert_ne!(a.fingerprint(), c.fingerprint(), "5% device shift changes it");
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "5% device shift changes it"
+        );
     }
 
     #[test]
@@ -561,9 +596,13 @@ mod tests {
         let mut arr = setup();
         arr.write_levels(&random_levels(64, 12)).expect("write");
         let before = arr.levels();
-        for (i, poe) in [CellAddr::new(2, 2), CellAddr::new(5, 5), CellAddr::new(3, 6)]
-            .into_iter()
-            .enumerate()
+        for (i, poe) in [
+            CellAddr::new(2, 2),
+            CellAddr::new(5, 5),
+            CellAddr::new(3, 6),
+        ]
+        .into_iter()
+        .enumerate()
         {
             let v = if i % 2 == 0 { 1.0 } else { -1.0 };
             arr.apply_pulse(poe, Pulse::new(v, 0.08e-6)).expect("pulse");
@@ -578,11 +617,10 @@ mod tests {
         // Changing one member's state changes the ciphertext of others
         // (plaintext avalanche prerequisite).
         let device = DeviceParams::default();
-        let kernel =
-            Kernel::calibrate(&device, &WireParams::default(), 4, 1).expect("calibrate");
+        let kernel = Kernel::calibrate(&device, &WireParams::default(), 4, 1).expect("calibrate");
         let params = FastParams::calibrated(&device).expect("rates");
-        let mut a = FastArray::new(Dims::square8(), device.clone(), params, kernel.clone())
-            .expect("array");
+        let mut a =
+            FastArray::new(Dims::square8(), device.clone(), params, kernel.clone()).expect("array");
         let mut b = FastArray::new(Dims::square8(), device, params, kernel).expect("array");
         let mut levels = random_levels(64, 21);
         a.write_levels(&levels).expect("write");

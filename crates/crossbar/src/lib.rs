@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod array;
 pub mod bias;
 pub mod dense;

@@ -84,12 +84,19 @@ fn polyomino_cells(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn random_levels(seed: u64) -> Vec<MlcLevel> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..64).map(|_| MlcLevel::from_bits(rng.gen_range(0..4))).collect()
+        let mut s = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (0..64)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                MlcLevel::from_bits(((s >> 33) % 4) as u8)
+            })
+            .collect()
     }
 
     #[test]

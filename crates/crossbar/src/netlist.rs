@@ -95,12 +95,22 @@ where
     // Wire segments.
     for i in 0..dims.rows {
         for j in 0..dims.cols.saturating_sub(1) {
-            stamp_pair(&mut g, row_node(dims, i, j), row_node(dims, i, j + 1), g_row_seg);
+            stamp_pair(
+                &mut g,
+                row_node(dims, i, j),
+                row_node(dims, i, j + 1),
+                g_row_seg,
+            );
         }
     }
     for j in 0..dims.cols {
         for i in 0..dims.rows.saturating_sub(1) {
-            stamp_pair(&mut g, col_node(dims, i, j), col_node(dims, i + 1, j), g_col_seg);
+            stamp_pair(
+                &mut g,
+                col_node(dims, i, j),
+                col_node(dims, i + 1, j),
+                g_col_seg,
+            );
         }
     }
 

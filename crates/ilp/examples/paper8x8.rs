@@ -6,8 +6,14 @@ fn main() {
     for margin in [0usize, 32, 56, 60, 63] {
         let t = std::time::Instant::now();
         match PlacementProblem::paper_8x8(margin).min_poes() {
-            Ok(sol) => println!("S={margin}: P={} total_cov={} covered={} overlapped={} in {:?}",
-                sol.poes.len(), sol.total_coverage(), sol.covered, sol.overlapped, t.elapsed()),
+            Ok(sol) => println!(
+                "S={margin}: P={} total_cov={} covered={} overlapped={} in {:?}",
+                sol.poes.len(),
+                sol.total_coverage(),
+                sol.covered,
+                sol.overlapped,
+                t.elapsed()
+            ),
             Err(e) => println!("S={margin}: {e} in {:?}", t.elapsed()),
         }
     }

@@ -71,12 +71,7 @@ impl PolyominoShape {
 
     /// The cells a PoE at `(row, col)` covers on an `rows × cols` grid
     /// (boundary-clipped, per the paper's footnote b).
-    pub fn covered(
-        &self,
-        rows: usize,
-        cols: usize,
-        poe: (usize, usize),
-    ) -> Vec<(usize, usize)> {
+    pub fn covered(&self, rows: usize, cols: usize, poe: (usize, usize)) -> Vec<(usize, usize)> {
         let mut cells = Vec::with_capacity(self.offsets.len());
         for (dr, dc) in &self.offsets {
             let r = poe.0 as isize + dr;
@@ -143,7 +138,11 @@ impl PlacementProblem {
             let weight = self.shape.covered(self.rows, self.cols, poe).len() as f64;
             total.push((*var, weight));
         }
-        model.add_constraint(&total, RelOp::Ge, (self.cells() + self.security_margin) as f64)?;
+        model.add_constraint(
+            &total,
+            RelOp::Ge,
+            (self.cells() + self.security_margin) as f64,
+        )?;
         let sol = model.solve()?;
         Ok(self.extract(&vars, &sol.values))
     }
@@ -169,10 +168,10 @@ impl PlacementProblem {
             let mut z_terms = vec![(z, 1.0)];
             z_terms.extend(terms.iter().map(|(v, a)| (*v, -*a)));
             model.add_constraint(&z_terms, RelOp::Le, 0.0)?; // z <= cover
-            // Overlap indicator: w <= cover - z keeps the model feasible
-            // even for uncoverable cells (cover = 0 forces z = w = 0),
-            // while maximization still drives w to 1 exactly when the cell
-            // is covered at least twice.
+                                                             // Overlap indicator: w <= cover - z keeps the model feasible
+                                                             // even for uncoverable cells (cover = 0 forces z = w = 0),
+                                                             // while maximization still drives w to 1 exactly when the cell
+                                                             // is covered at least twice.
             let mut w_terms = vec![(w, 1.0), (z, 1.0)];
             w_terms.extend(terms.iter().map(|(v, a)| (*v, -*a)));
             model.add_constraint(&w_terms, RelOp::Le, 0.0)?; // w + z <= cover
@@ -261,7 +260,9 @@ mod tests {
     #[test]
     fn shapes_include_poe() {
         assert!(PolyominoShape::paper_cross().offsets().contains(&(0, 0)));
-        assert!(PolyominoShape::from_offsets([(1, 0)]).offsets().contains(&(0, 0)));
+        assert!(PolyominoShape::from_offsets([(1, 0)])
+            .offsets()
+            .contains(&(0, 0)));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod branch;
 pub mod cover;
 pub mod error;

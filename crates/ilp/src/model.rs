@@ -284,8 +284,10 @@ mod tests {
         let b = m.add_binary(1.0);
         let c = m.add_binary(1.0);
         m.add_constraint(&[(a, 1.0)], RelOp::Ge, 1.0).unwrap(); // element 0
-        m.add_constraint(&[(a, 1.0), (b, 1.0)], RelOp::Ge, 1.0).unwrap(); // 1
-        m.add_constraint(&[(b, 1.0), (c, 1.0)], RelOp::Ge, 1.0).unwrap(); // 2
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], RelOp::Ge, 1.0)
+            .unwrap(); // 1
+        m.add_constraint(&[(b, 1.0), (c, 1.0)], RelOp::Ge, 1.0)
+            .unwrap(); // 2
         let sol = m.solve().expect("solves");
         assert_eq!(sol.objective.round() as i64, 2);
         assert!(sol.is_set(a));
@@ -297,8 +299,10 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_binary(1.0);
         let y = m.add_binary(1.0);
-        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Eq, 1.0).unwrap();
-        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Eq, 1.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Eq, 1.0)
+            .unwrap();
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Eq, 1.0)
+            .unwrap();
         let sol = m.solve().expect("solves");
         assert!(sol.is_set(x) && !sol.is_set(y));
     }
@@ -317,7 +321,8 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_binary(2.0);
         let y = m.add_continuous(0.0, 2.5, 1.0);
-        m.add_constraint(&[(y, 1.0), (x, -1.0)], RelOp::Le, 1.7).unwrap();
+        m.add_constraint(&[(y, 1.0), (x, -1.0)], RelOp::Le, 1.7)
+            .unwrap();
         let sol = m.solve().expect("solves");
         assert!(sol.is_set(x));
         assert!((sol.value(y) - 2.5).abs() < 1e-6);
@@ -335,7 +340,10 @@ mod tests {
             .unwrap();
         let lp = m.solve_relaxation().expect("lp");
         let ilp = m.solve().expect("ilp");
-        assert!(lp.objective >= ilp.objective - 1e-9, "LP must bound the ILP");
+        assert!(
+            lp.objective >= ilp.objective - 1e-9,
+            "LP must bound the ILP"
+        );
         assert!(lp.objective > ilp.objective, "this instance has an LP gap");
     }
 
@@ -355,9 +363,7 @@ mod tests {
     fn rejects_non_finite() {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_binary(1.0);
-        assert!(m
-            .add_constraint(&[(x, f64::NAN)], RelOp::Le, 1.0)
-            .is_err());
+        assert!(m.add_constraint(&[(x, f64::NAN)], RelOp::Le, 1.0).is_err());
         assert!(m
             .add_constraint(&[(x, 1.0)], RelOp::Le, f64::INFINITY)
             .is_err());
@@ -368,7 +374,8 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_binary(1.0);
         let y = m.add_binary(1.0);
-        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 1.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 1.0)
+            .unwrap();
         assert!(m.is_feasible(&[1.0, 0.0], 1e-9));
         assert!(!m.is_feasible(&[0.0, 0.0], 1e-9));
         assert!(!m.is_feasible(&[0.5, 0.6], 1e-9)); // fractional integer var

@@ -410,7 +410,8 @@ mod tests {
         let y = m.add_continuous(0.0, f64::INFINITY, 5.0);
         m.add_constraint(&[(x, 1.0)], RelOp::Le, 4.0).unwrap();
         m.add_constraint(&[(y, 2.0)], RelOp::Le, 12.0).unwrap();
-        m.add_constraint(&[(x, 3.0), (y, 2.0)], RelOp::Le, 18.0).unwrap();
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], RelOp::Le, 18.0)
+            .unwrap();
         match lp(&m) {
             LpOutcome::Optimal { objective, values } => {
                 assert!((objective - 36.0).abs() < 1e-6, "objective {objective}");
@@ -427,8 +428,10 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_continuous(0.0, 10.0, 1.0);
         let y = m.add_continuous(0.0, 10.0, 1.0);
-        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 2.0).unwrap();
-        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Eq, 0.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 2.0)
+            .unwrap();
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Eq, 0.0)
+            .unwrap();
         match lp(&m) {
             LpOutcome::Optimal { objective, values } => {
                 assert!((objective - 2.0).abs() < 1e-6);
@@ -451,7 +454,8 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
         let y = m.add_continuous(0.0, f64::INFINITY, 0.0);
-        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Le, 1.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], RelOp::Le, 1.0)
+            .unwrap();
         assert_eq!(lp(&m), LpOutcome::Unbounded);
     }
 
@@ -460,7 +464,8 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_continuous(0.0, 1.0, 1.0);
         let y = m.add_continuous(0.0, 1.0, 1.0);
-        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 1.5).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Ge, 1.5)
+            .unwrap();
         // Fix x at 1.
         let out = solve_relaxation(&m, &[1.0, 0.0], &[1.0, 1.0]);
         match out {
@@ -510,7 +515,8 @@ mod tests {
         let x = m.add_continuous(0.0, 1.0, 1.0);
         let y = m.add_continuous(0.0, 1.0, 1.0);
         for _ in 0..20 {
-            m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Le, 1.0).unwrap();
+            m.add_constraint(&[(x, 1.0), (y, 1.0)], RelOp::Le, 1.0)
+                .unwrap();
         }
         match lp(&m) {
             LpOutcome::Optimal { objective, .. } => {

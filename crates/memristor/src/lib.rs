@@ -30,6 +30,8 @@
 //! assert!(cell.resistance() > MlcLevel::L10.nominal_resistance(&params));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod endurance;
 pub mod error;
 pub mod mlc;

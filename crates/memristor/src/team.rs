@@ -182,7 +182,6 @@ fn window_on(x: f64, p: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn params() -> DeviceParams {
         DeviceParams::default()
@@ -288,35 +287,55 @@ mod tests {
         assert!(Memristor::with_resistance(&p, 1.0).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn state_always_in_bounds(x0 in 0.0f64..1.0, v in -2.0f64..2.0, w in 0.0f64..1.0e-6) {
-            let p = params();
+    /// Deterministic uniform draws in [0, 1) for loop-based properties.
+    fn unit_draws(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn state_always_in_bounds() {
+        let p = params();
+        for d in unit_draws(0x7EA1, 192).chunks_exact(3) {
+            let (x0, v, w) = (d[0], -2.0 + 4.0 * d[1], d[2] * 1.0e-6);
             let mut m = Memristor::new(&p, x0);
             m.apply_pulse(v, w);
-            prop_assert!(m.state() >= 0.0 && m.state() <= 1.0);
-            prop_assert!(m.resistance() >= p.r_on && m.resistance() <= p.r_off);
+            assert!(m.state() >= 0.0 && m.state() <= 1.0);
+            assert!(m.resistance() >= p.r_on && m.resistance() <= p.r_off);
         }
+    }
 
-        #[test]
-        fn monotone_in_pulse_direction(x0 in 0.05f64..0.95, w in 1.0e-9f64..0.2e-6) {
-            let p = params();
+    #[test]
+    fn monotone_in_pulse_direction() {
+        let p = params();
+        for d in unit_draws(0x7EA2, 128).chunks_exact(2) {
+            let (x0, w) = (0.05 + 0.9 * d[0], 1.0e-9 + d[1] * 0.2e-6);
             let mut up = Memristor::new(&p, x0);
             let mut down = Memristor::new(&p, x0);
             up.apply_pulse(1.0, w);
             down.apply_pulse(-1.0, w);
-            prop_assert!(up.state() >= x0);
-            prop_assert!(down.state() <= x0);
+            assert!(up.state() >= x0);
+            assert!(down.state() <= x0);
         }
+    }
 
-        #[test]
-        fn longer_pulse_moves_at_least_as_far(x0 in 0.1f64..0.7, w in 1.0e-9f64..0.1e-6) {
-            let p = params();
+    #[test]
+    fn longer_pulse_moves_at_least_as_far() {
+        let p = params();
+        for d in unit_draws(0x7EA3, 128).chunks_exact(2) {
+            let (x0, w) = (0.1 + 0.6 * d[0], 1.0e-9 + d[1] * 0.1e-6);
             let mut short = Memristor::new(&p, x0);
             let mut long = Memristor::new(&p, x0);
             short.apply_pulse(1.0, w);
             long.apply_pulse(1.0, 2.0 * w);
-            prop_assert!(long.state() >= short.state());
+            assert!(long.state() >= short.state());
         }
     }
 }

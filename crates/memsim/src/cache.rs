@@ -159,7 +159,7 @@ mod tests {
     fn lru_evicts_oldest() {
         // Direct construction of conflict: 2-way cache, 2 sets.
         let mut c = SetAssocCache::new(256, 2, 64); // 4 lines, 2 sets
-        // Set 0 holds lines with (line % 2 == 0): 0x0, 0x80, 0x100...
+                                                    // Set 0 holds lines with (line % 2 == 0): 0x0, 0x80, 0x100...
         c.access(0x000, false);
         c.access(0x080, false);
         c.access(0x000, false); // refresh 0x0
@@ -176,7 +176,7 @@ mod tests {
         c.access(0x080, false);
         c.access(0x100, false); // evicts dirty 0x0
         let out = c.access(0x180, false); // evicts clean 0x80? LRU order...
-        // One of the two fills must have produced the 0x0 writeback.
+                                          // One of the two fills must have produced the 0x0 writeback.
         let mut c2 = SetAssocCache::new(256, 2, 64);
         c2.access(0x000, true);
         c2.access(0x080, false);

@@ -70,7 +70,10 @@ impl SystemConfig {
     pub fn validate(&self) {
         assert!(self.issue_width > 0, "issue width");
         assert!(self.line_bytes.is_power_of_two(), "line size");
-        assert!(self.l1_bytes > 0 && self.l2_bytes > self.l1_bytes, "cache sizes");
+        assert!(
+            self.l1_bytes > 0 && self.l2_bytes > self.l1_bytes,
+            "cache sizes"
+        );
         assert!(self.memory_latency > self.l2_latency, "memory latency");
         assert!(self.mlp >= 1.0, "mlp must be at least 1");
     }

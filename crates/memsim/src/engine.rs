@@ -1,12 +1,20 @@
 //! The encryption engine between the L2 cache and the NVMM.
 //!
-//! Each variant implements one scheme of the paper's Figs. 7–8 as *timing
-//! plus encrypted-state bookkeeping* (the functional ciphers live in
-//! `spe-ciphers` / `spe-core`; the simulator only needs their costs and
-//! their exposure behaviour).
+//! An [`EncryptionEngine`] is a [`BlockEngine`] backend (which answers
+//! *what the scheme costs* and, optionally, *what the ciphertext is*) plus
+//! an [`ExposurePolicy`] (which tracks *what is currently encrypted* —
+//! i-NVMM's hot pages, SPE-serial's decrypted-in-place lines). All five
+//! schemes of the paper's Figs. 7–8 dispatch through the same trait, so
+//! substituting a functional SPECU for the cost model is a backend swap
+//! (see [`crate::backends`]).
 
+use crate::backends::{AesCtrEngine, InvmmEngine, NullEngine, SpeCostModel, StreamEngine};
 use spe_ciphers::{InertPageTracker, SchemeProfile};
+use spe_core::specu::LINE_BYTES;
+use spe_core::{BlockEngine, EngineOp, SealedLine, SpeError};
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Extra cycles an engine adds to one NVMM operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,17 +26,25 @@ pub struct EngineCost {
     pub occupancy: u32,
 }
 
+/// Which lines/pages are exposed (plaintext) at any instant — the
+/// scheme-specific bookkeeping behind Fig. 8's encrypted fraction.
 #[derive(Debug, Clone)]
-enum EngineKind {
-    None,
-    Aes,
-    Stream,
-    Invmm {
+enum ExposurePolicy {
+    /// Nothing is ever encrypted.
+    Plaintext,
+    /// Everything is always encrypted (AES, stream cipher).
+    AlwaysEncrypted,
+    /// Decrypt + immediate re-encrypt on the read path (SPE-parallel, §7).
+    ReencryptOnRead,
+    /// i-NVMM: hot pages stay plaintext until inert.
+    InertPages {
         tracker: InertPageTracker,
         scrub_interval: u64,
         last_scrub: u64,
     },
-    SpeSerial {
+    /// SPE-serial: lines decrypt in place, re-encrypt on write-back or
+    /// after an idle window.
+    ExposedLines {
         /// line -> cycle at which it was decrypted in place.
         exposed: HashMap<u64, u64>,
         /// lines ever resident (denominator of the encrypted fraction).
@@ -36,14 +52,24 @@ enum EngineKind {
         /// background re-encryption after this many idle cycles.
         reencrypt_window: u64,
     },
-    SpeParallel,
 }
 
-/// A pluggable encryption engine (scheme timing + exposure bookkeeping).
-#[derive(Debug, Clone)]
+/// A pluggable encryption engine: scheme timing and ciphertext via a
+/// [`BlockEngine`] backend, exposure bookkeeping via the policy.
+#[derive(Clone)]
 pub struct EncryptionEngine {
     profile: SchemeProfile,
-    kind: EngineKind,
+    backend: Arc<dyn BlockEngine>,
+    policy: ExposurePolicy,
+}
+
+impl fmt::Debug for EncryptionEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EncryptionEngine")
+            .field("scheme", &self.backend.name())
+            .field("policy", &self.policy)
+            .finish()
+    }
 }
 
 impl EncryptionEngine {
@@ -51,7 +77,8 @@ impl EncryptionEngine {
     pub fn none() -> Self {
         EncryptionEngine {
             profile: SchemeProfile::none(),
-            kind: EngineKind::None,
+            backend: Arc::new(NullEngine),
+            policy: ExposurePolicy::Plaintext,
         }
     }
 
@@ -59,7 +86,8 @@ impl EncryptionEngine {
     pub fn aes() -> Self {
         EncryptionEngine {
             profile: SchemeProfile::aes(),
-            kind: EngineKind::Aes,
+            backend: Arc::new(AesCtrEngine::new(b"simulated aeskey")),
+            policy: ExposurePolicy::AlwaysEncrypted,
         }
     }
 
@@ -67,7 +95,8 @@ impl EncryptionEngine {
     pub fn stream() -> Self {
         EncryptionEngine {
             profile: SchemeProfile::stream(),
-            kind: EngineKind::Stream,
+            backend: Arc::new(StreamEngine::new(*b"trivium-ky")),
+            policy: ExposurePolicy::AlwaysEncrypted,
         }
     }
 
@@ -75,7 +104,8 @@ impl EncryptionEngine {
     pub fn invmm(inert_window: u64) -> Self {
         EncryptionEngine {
             profile: SchemeProfile::invmm(),
-            kind: EngineKind::Invmm {
+            backend: Arc::new(InvmmEngine::new(b"simulated aeskey")),
+            policy: ExposurePolicy::InertPages {
                 tracker: InertPageTracker::new(4096, inert_window),
                 scrub_interval: inert_window / 4,
                 last_scrub: 0,
@@ -88,7 +118,8 @@ impl EncryptionEngine {
     pub fn spe_serial(reencrypt_window: u64) -> Self {
         EncryptionEngine {
             profile: SchemeProfile::spe_serial(),
-            kind: EngineKind::SpeSerial {
+            backend: Arc::new(SpeCostModel::serial()),
+            policy: ExposurePolicy::ExposedLines {
                 exposed: HashMap::new(),
                 touched: std::collections::HashSet::new(),
                 reencrypt_window,
@@ -100,8 +131,22 @@ impl EncryptionEngine {
     pub fn spe_parallel() -> Self {
         EncryptionEngine {
             profile: SchemeProfile::spe_parallel(),
-            kind: EngineKind::SpeParallel,
+            backend: Arc::new(SpeCostModel::parallel()),
+            policy: ExposurePolicy::ReencryptOnRead,
         }
+    }
+
+    /// Replaces the backend (e.g. a functional SPECU wrapped in a
+    /// [`crate::backends::ProfiledEngine`]) while keeping the scheme's
+    /// exposure policy and profile.
+    pub fn with_backend(mut self, backend: Arc<dyn BlockEngine>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The functional backend.
+    pub fn backend(&self) -> &Arc<dyn BlockEngine> {
+        &self.backend
     }
 
     /// The static cost profile (Table 3 constants).
@@ -111,74 +156,86 @@ impl EncryptionEngine {
 
     /// The scheme name.
     pub fn name(&self) -> &'static str {
-        self.profile.name
+        self.backend.name()
+    }
+
+    /// Seals a line through the backend (functional mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpeError`] from the backend.
+    pub fn seal(&self, plaintext: &[u8; LINE_BYTES], address: u64) -> Result<SealedLine, SpeError> {
+        self.backend.encrypt_line(plaintext, address)
+    }
+
+    /// Opens a sealed line through the backend (functional mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpeError`] from the backend.
+    pub fn open(&self, sealed: &SealedLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        self.backend.decrypt_line(sealed)
     }
 
     /// Cost of an NVMM *read* of `line_addr` at cycle `now`.
     pub fn on_read(&mut self, line_addr: u64, now: u64) -> EngineCost {
-        match &mut self.kind {
-            EngineKind::None => EngineCost::default(),
-            EngineKind::Aes | EngineKind::Stream => EngineCost {
-                latency: self.profile.read_latency,
+        let read = self.backend.latency_cycles(EngineOp::Read);
+        match &mut self.policy {
+            ExposurePolicy::Plaintext => EngineCost::default(),
+            ExposurePolicy::AlwaysEncrypted => EngineCost {
+                latency: read,
                 occupancy: 0,
             },
-            EngineKind::Invmm { tracker, .. } => {
+            ExposurePolicy::ReencryptOnRead => EngineCost {
+                // §7: "each read operation ... is delayed by 16 cycles for
+                // the decryption process and another 16 cycles for
+                // encryption" — the re-encryption is on the read path.
+                latency: read + self.backend.latency_cycles(EngineOp::Reencrypt),
+                occupancy: 0,
+            },
+            ExposurePolicy::InertPages { tracker, .. } => {
                 let was_encrypted = tracker.on_access(line_addr, now);
                 EngineCost {
-                    latency: if was_encrypted {
-                        self.profile.read_latency
-                    } else {
-                        0
-                    },
+                    latency: if was_encrypted { read } else { 0 },
                     occupancy: 0,
                 }
             }
-            EngineKind::SpeSerial {
+            ExposurePolicy::ExposedLines {
                 exposed, touched, ..
             } => {
                 touched.insert(line_addr);
                 let was_encrypted = !exposed.contains_key(&line_addr);
                 exposed.insert(line_addr, now);
                 EngineCost {
-                    latency: if was_encrypted {
-                        self.profile.read_latency
-                    } else {
-                        0
-                    },
+                    latency: if was_encrypted { read } else { 0 },
                     occupancy: 0,
                 }
             }
-            EngineKind::SpeParallel => EngineCost {
-                // §7: "each read operation ... is delayed by 16 cycles for
-                // the decryption process and another 16 cycles for
-                // encryption" — the re-encryption is on the read path.
-                latency: self.profile.read_latency + self.profile.reencrypt_latency,
-                occupancy: 0,
-            },
         }
     }
 
     /// Cost of an NVMM *write* (cache write-back) of `line_addr`.
     pub fn on_write(&mut self, line_addr: u64, now: u64) -> EngineCost {
-        match &mut self.kind {
-            EngineKind::None => EngineCost::default(),
-            EngineKind::Aes | EngineKind::Stream | EngineKind::SpeParallel => EngineCost {
+        let write = self.backend.latency_cycles(EngineOp::Write);
+        match &mut self.policy {
+            ExposurePolicy::Plaintext => EngineCost::default(),
+            ExposurePolicy::AlwaysEncrypted | ExposurePolicy::ReencryptOnRead => EngineCost {
                 latency: 0,
-                occupancy: self.profile.write_latency,
+                occupancy: write,
             },
-            EngineKind::Invmm { tracker, .. } => {
+            ExposurePolicy::InertPages { tracker, .. } => {
                 // Writes go to the (hot, plaintext) page.
                 tracker.on_access(line_addr, now);
                 EngineCost::default()
             }
-            EngineKind::SpeSerial {
+            ExposurePolicy::ExposedLines {
                 exposed, touched, ..
             } => {
                 touched.insert(line_addr);
                 exposed.remove(&line_addr);
                 EngineCost {
                     latency: 0,
-                    occupancy: self.profile.write_latency,
+                    occupancy: write,
                 }
             }
         }
@@ -187,8 +244,8 @@ impl EncryptionEngine {
     /// Background duty at cycle `now` (inert-page scrub, SPE-serial
     /// re-encryption). Called periodically by the system.
     pub fn tick(&mut self, now: u64) {
-        match &mut self.kind {
-            EngineKind::Invmm {
+        match &mut self.policy {
+            ExposurePolicy::InertPages {
                 tracker,
                 scrub_interval,
                 last_scrub,
@@ -196,7 +253,7 @@ impl EncryptionEngine {
                 tracker.scrub(now);
                 *last_scrub = now;
             }
-            EngineKind::SpeSerial {
+            ExposurePolicy::ExposedLines {
                 exposed,
                 reencrypt_window,
                 ..
@@ -211,11 +268,11 @@ impl EncryptionEngine {
     /// Fraction of the scheme's protected state currently encrypted
     /// (Fig. 8's metric; 1.0 for always-encrypted schemes, 0.0 for none).
     pub fn fraction_encrypted(&self) -> f64 {
-        match &self.kind {
-            EngineKind::None => 0.0,
-            EngineKind::Aes | EngineKind::Stream | EngineKind::SpeParallel => 1.0,
-            EngineKind::Invmm { tracker, .. } => tracker.fraction_encrypted(),
-            EngineKind::SpeSerial {
+        match &self.policy {
+            ExposurePolicy::Plaintext => 0.0,
+            ExposurePolicy::AlwaysEncrypted | ExposurePolicy::ReencryptOnRead => 1.0,
+            ExposurePolicy::InertPages { tracker, .. } => tracker.fraction_encrypted(),
+            ExposurePolicy::ExposedLines {
                 exposed, touched, ..
             } => {
                 if touched.is_empty() {
@@ -313,6 +370,38 @@ mod tests {
         e.on_read(0x2000, 0);
         assert_eq!(e.fraction_encrypted(), 0.0, "both pages hot");
         e.tick(5000);
+        assert_eq!(e.fraction_encrypted(), 1.0);
+    }
+
+    #[test]
+    fn every_scheme_is_functional_through_the_trait() {
+        // The acceptance bar: all five schemes dispatch data through the
+        // BlockEngine backend (SPE cost models pass bytes through).
+        let engines = [
+            EncryptionEngine::none(),
+            EncryptionEngine::aes(),
+            EncryptionEngine::stream(),
+            EncryptionEngine::invmm(1000),
+            EncryptionEngine::spe_serial(1000),
+            EncryptionEngine::spe_parallel(),
+        ];
+        let pt: [u8; LINE_BYTES] = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        for e in &engines {
+            let sealed = e.seal(&pt, 0x40).expect("seal");
+            assert_eq!(e.open(&sealed).expect("open"), pt, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn backend_swap_keeps_policy() {
+        use crate::backends::{ProfiledEngine, SpeCostModel};
+        let functional: Arc<dyn BlockEngine> = Arc::new(ProfiledEngine::new(
+            Arc::new(SpeCostModel::serial()),
+            SchemeProfile::spe_parallel(),
+        ));
+        let mut e = EncryptionEngine::spe_parallel().with_backend(functional);
+        assert_eq!(e.name(), "SPE-parallel");
+        assert_eq!(e.on_read(0x40, 0).latency, 32);
         assert_eq!(e.fraction_encrypted(), 1.0);
     }
 }

@@ -37,6 +37,9 @@
 //! assert!(stats.ipc() > 0.1);
 //! ```
 
+#![deny(unsafe_code)]
+
+pub mod backends;
 pub mod cache;
 pub mod config;
 pub mod engine;
@@ -46,6 +49,9 @@ pub mod stats;
 pub mod system;
 pub mod wear;
 
+pub use backends::{
+    AesCtrEngine, InvmmEngine, NullEngine, ProfiledEngine, SpeCostModel, StreamEngine,
+};
 pub use cache::{AccessOutcome, SetAssocCache};
 pub use config::SystemConfig;
 pub use engine::EncryptionEngine;

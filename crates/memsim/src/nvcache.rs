@@ -45,8 +45,7 @@ pub fn sweep(
     crypto_latencies
         .iter()
         .map(|lat| {
-            let extra =
-                (*lat as f64 * base.l2_accesses as f64 / config.mlp).round() as u64;
+            let extra = (*lat as f64 * base.l2_accesses as f64 / config.mlp).round() as u64;
             let mut stats = base.clone();
             stats.cycles += extra;
             stats.stall_cycles += extra;

@@ -60,11 +60,7 @@ pub fn power_down_sweep(l2: &SetAssocCache, profile: &SchemeProfile) -> PowerDow
 ///
 /// With SPE's millisecond windows the leak is tiny even for absurdly fast
 /// probes, whereas DRAM's 3.2 s retention leaks everything.
-pub fn cold_boot_race(
-    lines: usize,
-    sweep_ns_per_line: f64,
-    attacker_bytes_per_sec: f64,
-) -> f64 {
+pub fn cold_boot_race(lines: usize, sweep_ns_per_line: f64, attacker_bytes_per_sec: f64) -> f64 {
     if lines == 0 {
         return 0.0;
     }
@@ -106,7 +102,11 @@ mod tests {
     fn full_cache_worst_case_beats_dram() {
         let report = worst_case_window(2 * 1024 * 1024, &SchemeProfile::spe_parallel());
         assert_eq!(report.lines, 32768);
-        assert!(report.window_seconds < 0.1, "window {}", report.window_seconds);
+        assert!(
+            report.window_seconds < 0.1,
+            "window {}",
+            report.window_seconds
+        );
         assert!(report.beats_dram());
     }
 

@@ -23,6 +23,12 @@ pub struct SimStats {
     pub memory_writes: u64,
     /// Prefetch fills issued (0 unless the prefetcher is enabled).
     pub prefetches: u64,
+    /// Lines functionally sealed through the engine backend (0 unless the
+    /// system runs in functional-encryption mode).
+    pub lines_sealed: u64,
+    /// Lines functionally opened and verified against their expected
+    /// contents (0 unless the system runs in functional-encryption mode).
+    pub lines_opened: u64,
     /// Periodic samples of the encrypted fraction `(cycle, fraction)`.
     pub encrypted_samples: Vec<(u64, f64)>,
 }

@@ -4,7 +4,9 @@ use crate::cache::SetAssocCache;
 use crate::config::SystemConfig;
 use crate::engine::EncryptionEngine;
 use crate::stats::SimStats;
+use spe_core::SealedLine;
 use spe_workloads::Access;
+use std::collections::HashMap;
 
 /// Instructions between engine ticks / encrypted-fraction samples.
 const SAMPLE_INTERVAL: u64 = 50_000;
@@ -17,6 +19,10 @@ pub struct System {
     l2: SetAssocCache,
     engine: EncryptionEngine,
     channel_free_at: u64,
+    /// When present, NVMM contents are actually sealed/opened through the
+    /// engine's [`spe_core::BlockEngine`] backend (keyed by line address)
+    /// instead of cost-only accounting.
+    sealed_store: Option<HashMap<u64, SealedLine>>,
 }
 
 impl System {
@@ -35,12 +41,40 @@ impl System {
             l2,
             engine,
             channel_free_at: 0,
+            sealed_store: None,
         }
+    }
+
+    /// Switches the system to functional-encryption mode: every NVMM
+    /// write-back seals the line's (synthesized) contents through the
+    /// engine's `BlockEngine` backend, and every demand read of a sealed
+    /// line opens and verifies it. Timing is unchanged — the backend's
+    /// Table 3 costs already apply — but `lines_sealed`/`lines_opened`
+    /// count the functional traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at use) if the backend cannot round-trip a line; that is a
+    /// backend bug, not a workload condition.
+    pub fn enable_functional(&mut self) {
+        self.sealed_store = Some(HashMap::new());
     }
 
     /// The encryption engine (for post-run inspection).
     pub fn engine(&self) -> &EncryptionEngine {
         &self.engine
+    }
+
+    /// Deterministic synthetic contents of a line (the trace carries no
+    /// data, so functional mode seals an address-derived pattern).
+    fn line_contents(line: u64) -> [u8; 64] {
+        let mut s = line.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        core::array::from_fn(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as u8
+        })
     }
 
     /// The L2 cache (for the power-down sweep).
@@ -89,7 +123,8 @@ impl System {
                     let exposed = self
                         .config
                         .l2_latency
-                        .saturating_sub(self.config.overlap_cycles) as f64
+                        .saturating_sub(self.config.overlap_cycles)
+                        as f64
                         / self.config.mlp;
                     stats.stall_cycles += exposed.round() as u64;
                 } else {
@@ -129,6 +164,17 @@ impl System {
     /// latency, and exposes whatever the out-of-order window cannot hide.
     fn memory_read(&mut self, addr: u64, now: u64, stats: &mut SimStats) {
         let line = addr & !(self.config.line_bytes - 1);
+        if let Some(store) = &self.sealed_store {
+            if let Some(sealed) = store.get(&line) {
+                let opened = self.engine.open(sealed).expect("backend open");
+                assert_eq!(
+                    opened,
+                    Self::line_contents(line),
+                    "functional backend corrupted line {line:#x}"
+                );
+                stats.lines_opened += 1;
+            }
+        }
         let cost = self.engine.on_read(line, now);
         let start = now.max(self.channel_free_at);
         let queue_delay = start - now;
@@ -136,8 +182,8 @@ impl System {
         // The engine is pipelined: its latency delays the requester but the
         // channel frees after the raw transfer.
         self.channel_free_at = start + self.config.memory_occupancy as u64;
-        let exposed = (service + queue_delay as u32)
-            .saturating_sub(self.config.overlap_cycles) as f64
+        let exposed = (service + queue_delay as u32).saturating_sub(self.config.overlap_cycles)
+            as f64
             / self.config.mlp;
         stats.stall_cycles += exposed.round() as u64;
     }
@@ -163,6 +209,14 @@ impl System {
     /// cost) but does not stall the core directly.
     fn memory_write(&mut self, addr: u64, now: u64, stats: &mut SimStats) {
         let line = addr & !(self.config.line_bytes - 1);
+        if let Some(store) = &mut self.sealed_store {
+            let sealed = self
+                .engine
+                .seal(&Self::line_contents(line), line)
+                .expect("backend seal");
+            store.insert(line, sealed);
+            stats.lines_sealed += 1;
+        }
         let _ = self.engine.on_write(line, now);
         let start = now.max(self.channel_free_at);
         self.channel_free_at = start + self.config.memory_occupancy as u64;
@@ -269,6 +323,32 @@ mod tests {
             "prefetching should not materially slow the run ({} vs {})",
             pf.cycles,
             base.cycles
+        );
+    }
+
+    #[test]
+    fn functional_mode_roundtrips_real_ciphertext() {
+        // Dirty a region twice the L2, then re-read it: the second pass
+        // must open the ciphertext the first pass sealed on write-back.
+        let config = SystemConfig::paper();
+        let span = 2 * config.l2_bytes;
+        let write_pass = (0..span).step_by(64).map(|addr| Access {
+            addr,
+            is_write: true,
+            gap: 1,
+        });
+        let read_pass = (0..span).step_by(64).map(|addr| Access {
+            addr,
+            is_write: false,
+            gap: 1,
+        });
+        let mut system = System::new(config, EncryptionEngine::aes());
+        system.enable_functional();
+        let stats = system.run(write_pass.chain(read_pass), u64::MAX);
+        assert!(stats.lines_sealed > 0, "write-backs should seal lines");
+        assert!(
+            stats.lines_opened > 0,
+            "re-read write-backs should open sealed lines"
         );
     }
 

@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_conserved() {
-        let signal: Vec<f64> = (0..128).map(|i| ((i * 31 + 17) % 97) as f64 / 48.0 - 1.0).collect();
+        let signal: Vec<f64> = (0..128)
+            .map(|i| ((i * 31 + 17) % 97) as f64 / 48.0 - 1.0)
+            .collect();
         let mut data: Vec<(f64, f64)> = signal.iter().map(|x| (*x, 0.0)).collect();
         fft_in_place(&mut data);
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();

@@ -47,6 +47,8 @@
 //! assert!(report.passed("frequency").unwrap());
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod bits;
 pub mod fft;
 pub mod special;

@@ -43,7 +43,10 @@ pub fn serial(bits: &Bits, m: usize) -> TestResult {
     assert!(m >= 2, "serial test needs m >= 2");
     let n = bits.len();
     if n < (1 << (m + 2)) {
-        return TestResult::skip(format!("serial test with m = {m} needs n >= {}", 1 << (m + 2)));
+        return TestResult::skip(format!(
+            "serial test with m = {m} needs n >= {}",
+            1 << (m + 2)
+        ));
     }
     let psi_m = psi_squared(bits, m);
     let psi_m1 = psi_squared(bits, m - 1);
@@ -90,21 +93,21 @@ pub fn approximate_entropy(bits: &Bits, m: usize) -> TestResult {
 
 /// Expected value and variance of Maurer's statistic per block length L.
 const UNIVERSAL_TABLE: [(f64, f64); 15] = [
-    (1.5374383, 1.338),  // L = 2
-    (2.4016068, 1.901),  // L = 3
-    (3.3112247, 2.358),  // L = 4
-    (4.2534266, 2.705),  // L = 5
-    (5.2177052, 2.954),  // L = 6
-    (6.1962507, 3.125),  // L = 7
-    (7.1836656, 3.238),  // L = 8
-    (8.1764248, 3.311),  // L = 9
-    (9.1723243, 3.356),  // L = 10
-    (10.170032, 3.384),  // L = 11
-    (11.168765, 3.401),  // L = 12
-    (12.168070, 3.410),  // L = 13
-    (13.167693, 3.416),  // L = 14
-    (14.167488, 3.419),  // L = 15
-    (15.167379, 3.421),  // L = 16
+    (1.5374383, 1.338), // L = 2
+    (2.4016068, 1.901), // L = 3
+    (3.3112247, 2.358), // L = 4
+    (4.2534266, 2.705), // L = 5
+    (5.2177052, 2.954), // L = 6
+    (6.1962507, 3.125), // L = 7
+    (7.1836656, 3.238), // L = 8
+    (8.1764248, 3.311), // L = 9
+    (9.1723243, 3.356), // L = 10
+    (10.170032, 3.384), // L = 11
+    (11.168765, 3.401), // L = 12
+    (12.168070, 3.410), // L = 13
+    (13.167693, 3.416), // L = 14
+    (14.167488, 3.419), // L = 15
+    (15.167379, 3.421), // L = 16
 ];
 
 /// Test 9 — Maurer's universal statistical test.
@@ -154,9 +157,12 @@ pub fn universal(bits: &Bits) -> TestResult {
         last_seen[v] = i + 1;
     }
     let fn_stat = sum / k as f64;
-    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let c =
+        0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
     let sigma = c * (variance / k as f64).sqrt();
-    TestResult::single(erfc(((fn_stat - expected) / sigma).abs() / std::f64::consts::SQRT_2))
+    TestResult::single(erfc(
+        ((fn_stat - expected) / sigma).abs() / std::f64::consts::SQRT_2,
+    ))
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@ pub use entropy::{approximate_entropy, serial, universal};
 pub use excursions::{random_excursions, random_excursions_variant};
 pub use frequency::{block_frequency, cusum, frequency, longest_run, runs};
 pub use spectral::{dft, matrix_rank};
-pub use templates::{aperiodic_templates, non_overlapping_template, overlapping_template, DEFAULT_APERIODIC_TEMPLATE};
+pub use templates::{
+    aperiodic_templates, non_overlapping_template, overlapping_template, DEFAULT_APERIODIC_TEMPLATE,
+};
 
 use crate::bits::Bits;
 
@@ -51,11 +53,10 @@ impl TestResult {
     /// The smallest p-value, if the test ran.
     pub fn min_p(&self) -> Option<f64> {
         match self {
-            TestResult::Done { p_values } => {
-                p_values.iter().copied().fold(None, |acc, p| {
-                    Some(acc.map_or(p, |a: f64| a.min(p)))
-                })
-            }
+            TestResult::Done { p_values } => p_values
+                .iter()
+                .copied()
+                .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p)))),
             TestResult::NotApplicable { .. } => None,
         }
     }

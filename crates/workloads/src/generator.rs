@@ -1,8 +1,6 @@
 //! The trace generator: an infinite, deterministic access stream.
 
 use crate::profile::BenchProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One memory access in a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +14,51 @@ pub struct Access {
     pub gap: u32,
 }
 
+/// A small SplitMix64-based PRNG for trace synthesis (no external
+/// dependencies; the stream quality requirements here are mild — uniform
+/// draws and Bernoulli coins for mixing access behaviours).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        WorkloadRng { state: seed }
+    }
+
+    /// The next pseudo-random `u64` (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli coin with probability `p`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform draw in `0..bound` (widening-multiply range reduction;
+    /// the bias over a 64-bit draw is immeasurable at trace scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
 /// Infinite deterministic access stream for a [`BenchProfile`].
 ///
 /// Address selection mixes three behaviours per the profile: hot-set reuse,
@@ -24,7 +67,7 @@ pub struct Access {
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: BenchProfile,
-    rng: StdRng,
+    rng: WorkloadRng,
     stream_ptr: u64,
     hot_base: u64,
 }
@@ -37,9 +80,9 @@ impl TraceGenerator {
     /// Panics if the profile is invalid (see [`BenchProfile::validate`]).
     pub fn new(profile: &BenchProfile, seed: u64) -> Self {
         profile.validate();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x57_4C4F_4144);
+        let mut rng = WorkloadRng::new(seed ^ 0x57_4C4F_4144);
         let hot_base = if profile.footprint_bytes > profile.hot_bytes {
-            rng.gen_range(0..(profile.footprint_bytes - profile.hot_bytes)) & !63
+            rng.next_below(profile.footprint_bytes - profile.hot_bytes) & !63
         } else {
             0
         };
@@ -62,26 +105,26 @@ impl Iterator for TraceGenerator {
 
     fn next(&mut self) -> Option<Access> {
         let p = &self.profile;
-        let addr = if self.rng.gen_bool(p.resident_prob) {
+        let addr = if self.rng.next_bool(p.resident_prob) {
             // Resident region: an 8 KiB window at the hot base (fits L1).
-            self.hot_base + (self.rng.gen_range(0..8192u64) & !7)
-        } else if self.rng.gen_bool(p.hot_prob) {
+            self.hot_base + (self.rng.next_below(8192) & !7)
+        } else if self.rng.next_bool(p.hot_prob) {
             // Hot set: reuse a small region (zipf-ish by squaring the draw
             // so low offsets repeat more).
-            let u: f64 = self.rng.gen();
+            let u = self.rng.next_f64();
             let offset = ((u * u) * p.hot_bytes as f64) as u64;
             self.hot_base + offset.min(p.hot_bytes - 1)
-        } else if self.rng.gen_bool(p.stream_prob) {
+        } else if self.rng.next_bool(p.stream_prob) {
             // Streaming pointer advances one line at a time and wraps.
             self.stream_ptr = (self.stream_ptr + 64) % p.footprint_bytes;
             self.stream_ptr
         } else {
-            self.rng.gen_range(0..p.footprint_bytes)
+            self.rng.next_below(p.footprint_bytes)
         };
-        let is_write = self.rng.gen_bool(p.write_ratio);
+        let is_write = self.rng.next_bool(p.write_ratio);
         // Geometric-ish gap around the mean instructions-per-access.
         let mean = p.instructions_per_access;
-        let gap = 1 + self.rng.gen_range(0..(2.0 * mean) as u32 + 1);
+        let gap = 1 + self.rng.next_below((2.0 * mean) as u64 + 1) as u32;
         Some(Access {
             addr,
             is_write,
@@ -103,6 +146,19 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<Access> = TraceGenerator::new(&p, 10).take(1000).collect();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rng_draws_are_sane() {
+        let mut rng = WorkloadRng::new(42);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(rng.next_below(7) < 7);
+        }
+        let heads = (0..10_000).filter(|_| rng.next_bool(0.3)).count();
+        let ratio = heads as f64 / 10_000.0;
+        assert!((ratio - 0.3).abs() < 0.03, "coin bias {ratio}");
     }
 
     #[test]
@@ -174,10 +230,7 @@ mod tests {
             .collect();
         // Consecutive line-aligned addresses should frequently be +64 apart
         // (resident-region traffic interleaves, so "frequently" is ~1/3).
-        let sequential = addrs
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 64)
-            .count();
+        let sequential = addrs.windows(2).filter(|w| w[1] == w[0] + 64).count();
         assert!(
             sequential * 3 > addrs.len(),
             "streaming workload should be substantially sequential ({sequential}/{})",

@@ -18,6 +18,8 @@
 //! assert!(access.addr < profile.footprint_bytes);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod generator;
 pub mod profile;
 pub mod trace;

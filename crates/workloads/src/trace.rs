@@ -60,7 +60,10 @@ pub fn read<R: Read>(mut r: R) -> io::Result<Vec<Access>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let mut word = [0u8; 4];
     r.read_exact(&mut word)?;
@@ -102,7 +105,9 @@ mod tests {
     use crate::{BenchProfile, TraceGenerator};
 
     fn sample(n: usize) -> Vec<Access> {
-        TraceGenerator::new(&BenchProfile::mcf(), 5).take(n).collect()
+        TraceGenerator::new(&BenchProfile::mcf(), 5)
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -157,8 +162,7 @@ mod tests {
         let accesses = sample(64);
         let path = std::env::temp_dir().join("spe_trace_test.bin");
         write(std::fs::File::create(&path).expect("create"), &accesses).expect("write");
-        let replayed =
-            read(std::fs::File::open(&path).expect("open")).expect("read");
+        let replayed = read(std::fs::File::open(&path).expect("open")).expect("read");
         assert_eq!(replayed, accesses);
         let _ = std::fs::remove_file(&path);
     }

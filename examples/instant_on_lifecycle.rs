@@ -38,9 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         window.window_seconds * 1e6
     );
     assert!(memory.read_line(0).is_err(), "no key, no reads");
-    println!(
-        "at rest: 100% encrypted; a cold-boot probe sees ciphertext only"
-    );
+    println!("at rest: 100% encrypted; a cold-boot probe sees ciphertext only");
 
     // Power up: the TPM authenticates this NVMM and releases the key —
     // instant-on, no bulk re-encryption needed.

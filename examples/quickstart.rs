@@ -7,7 +7,7 @@ use snvmm::core::{Key, Specu};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 88-bit key would normally come from the TPM at power-on.
     let key = Key::from_seed(0xDAC_2014);
-    let mut specu = Specu::new(key)?;
+    let specu = Specu::new(key)?;
 
     let plaintext = *b"my secret laptop";
     println!("plaintext : {:02x?}", plaintext);
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("decrypted : {:02x?} (matches)", recovered);
 
     // A different key fails.
-    let mut wrong = Specu::new(Key::from_seed(999))?;
+    let wrong = Specu::new(Key::from_seed(999))?;
     let garbage = wrong.decrypt_block(&block)?;
     assert_ne!(garbage, plaintext);
     println!("wrong key : {:02x?} (garbage, as it should be)", garbage);

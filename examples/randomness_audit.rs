@@ -8,7 +8,7 @@ use snvmm::core::{Key, Specu};
 use snvmm::nist::{Bits, Suite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut specu = Specu::new(Key::from_seed(0xA0D17))?;
+    let specu = Specu::new(Key::from_seed(0xA0D17))?;
     let suite = Suite::new();
     let bits_per_sequence = 1 << 14;
 
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sequences: Vec<Bits> = (0..4)
             .map(|s| {
                 let bytes = dataset
-                    .build(&mut specu, bits_per_sequence, 100 + s)
+                    .build(&specu, bits_per_sequence, 100 + s)
                     .expect("dataset build");
                 Bits::from_bytes(&bytes).slice(0, bits_per_sequence)
             })

@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // On a reduced toy instance, the exhaustive search *does* work — which
     // is exactly why the real parameters matter.
-    let mut toy = Specu::new(Key::from_seed(7))?;
-    let run = brute_force_reduced(&mut toy, b"toy  target  blk", 2, 4)?;
+    let toy = Specu::new(Key::from_seed(7))?;
+    let run = brute_force_reduced(&toy, b"toy  target  blk", 2, 4)?;
     println!(
         "reduced instance (2 PoEs, 4 pulses): searched {} of {} schedules to recover",
         run.attempts, run.space

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use spe_ciphers as ciphers;
 pub use spe_core as core;
 pub use spe_crossbar as crossbar;

@@ -28,10 +28,10 @@ fn attack1_stolen_module_yields_only_ciphertext() {
 
 #[test]
 fn attack2_chosen_plaintext_stays_ambiguous() {
-    let mut s = specu();
+    let s = specu();
     // Chosen plaintexts, including degenerate ones.
     for pt in [[0u8; 16], [0xFF; 16], *b"chosen plaintext"] {
-        let reports = known_plaintext_ambiguity(&mut s, &pt, 0.05).expect("analysis");
+        let reports = known_plaintext_ambiguity(&s, &pt, 0.05).expect("analysis");
         let ambiguous = reports
             .iter()
             .filter(|r| r.consistent_combinations > 1)
@@ -63,9 +63,9 @@ fn attack3_cold_boot_window_is_complete_after_power_down() {
 
 #[test]
 fn wrong_order_and_wrong_key_both_fail() {
-    let mut s = specu();
+    let s = specu();
     let pt = *b"integrity matter";
-    let report = wrong_order_decrypt(&mut s, &pt).expect("experiment");
+    let report = wrong_order_decrypt(&s, &pt).expect("experiment");
     assert_eq!(report.correct, pt);
     assert!(report.corrupted_bytes > 4, "wrong order must corrupt");
 
@@ -77,9 +77,9 @@ fn wrong_order_and_wrong_key_both_fail() {
 
 #[test]
 fn reduced_brute_force_scales_with_space() {
-    let mut s = specu();
-    let small = brute_force_reduced(&mut s, b"0123456789abcdef", 2, 2).expect("run");
-    let large = brute_force_reduced(&mut s, b"0123456789abcdef", 3, 4).expect("run");
+    let s = specu();
+    let small = brute_force_reduced(&s, b"0123456789abcdef", 2, 2).expect("run");
+    let large = brute_force_reduced(&s, b"0123456789abcdef", 3, 4).expect("run");
     assert!(small.recovered && large.recovered);
     assert!(
         large.space > small.space,

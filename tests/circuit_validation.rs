@@ -11,7 +11,9 @@ fn random_levels(seed: u64) -> Vec<MlcLevel> {
     let mut s = seed;
     (0..64)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             MlcLevel::from_bits(((s >> 33) & 3) as u8)
         })
         .collect()

@@ -1,6 +1,6 @@
 //! Cross-crate integration: SPE encryption correctness end to end.
 
-use snvmm::core::{Key, SecureNvmm, SpeMode, Specu, SpecuConfig, SpeVariant};
+use snvmm::core::{Key, SecureNvmm, SpeMode, SpeVariant, Specu, SpecuConfig};
 use std::sync::OnceLock;
 
 fn specu() -> Specu {
@@ -12,9 +12,10 @@ fn specu() -> Specu {
 
 #[test]
 fn block_roundtrip_many_plaintexts() {
-    let mut s = specu();
+    let s = specu();
     for seed in 0..32u64 {
-        let pt: [u8; 16] = core::array::from_fn(|i| (seed as u8).wrapping_mul(37).wrapping_add(i as u8 * 13));
+        let pt: [u8; 16] =
+            core::array::from_fn(|i| (seed as u8).wrapping_mul(37).wrapping_add(i as u8 * 13));
         let ct = s.encrypt_block(&pt).expect("encrypt");
         assert_ne!(ct.data(), pt);
         assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt);
@@ -27,7 +28,7 @@ fn analog_variant_roundtrips_too() {
         variant: SpeVariant::Analog,
         ..SpecuConfig::default()
     };
-    let mut s = Specu::with_config(Key::from_seed(3), config).expect("specu");
+    let s = Specu::with_config(Key::from_seed(3), config).expect("specu");
     for seed in 0..8u64 {
         let pt: [u8; 16] = core::array::from_fn(|i| (seed as u8) ^ (i as u8).wrapping_mul(29));
         let ct = s.encrypt_block(&pt).expect("encrypt");
@@ -37,7 +38,7 @@ fn analog_variant_roundtrips_too() {
 
 #[test]
 fn ciphertexts_differ_across_keys_blocks_and_variants() {
-    let mut a = specu();
+    let a = specu();
     let mut b = specu();
     b.load_key(Key::from_seed(0xD1FF));
     let pt = [0x77u8; 16];

@@ -19,7 +19,7 @@ fn specu() -> Specu {
 
 #[test]
 fn single_cell_corruption_amplifies_across_the_block() {
-    let mut s = specu();
+    let s = specu();
     let pt = *b"integrity-less!!";
     let block = s.encrypt_block(&pt).expect("encrypt");
 
@@ -70,7 +70,7 @@ fn power_loss_before_scrub_leaves_serial_exposure_visible() {
     let line = [0x5Au8; 64];
     mem.write_line(0, &line).expect("write");
     mem.read_line(0).expect("read"); // expose
-    // No power_down() — the probe sees the exposed plaintext.
+                                     // No power_down() — the probe sees the exposed plaintext.
     let probed = mem.probe();
     assert_eq!(probed[0].1, line, "yanked power leaves the exposure window");
     // The orderly path closes it.
@@ -104,7 +104,7 @@ fn tpm_binding_survives_memory_swap_attack() {
 #[test]
 fn tampered_ciphertext_bytes_do_not_crash_decryption() {
     // Robustness: arbitrary state tampering must never panic the SPECU.
-    let mut s = specu();
+    let s = specu();
     let block = s.encrypt_block(b"no panics please").expect("encrypt");
     for magnitude in [0.5f64, 3.0, -3.0] {
         let mut states = block.states().to_vec();

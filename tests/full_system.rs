@@ -13,7 +13,11 @@ fn run(profile: &BenchProfile, engine: EncryptionEngine, n: u64) -> snvmm::memsi
 #[test]
 fn fig7_shape_holds_across_workloads() {
     // The paper's ordering must hold per workload, not just on average.
-    for profile in [BenchProfile::mcf(), BenchProfile::milc(), BenchProfile::sjeng()] {
+    for profile in [
+        BenchProfile::mcf(),
+        BenchProfile::milc(),
+        BenchProfile::sjeng(),
+    ] {
         let n = 300_000;
         let base = run(&profile, EncryptionEngine::none(), n);
         let aes = run(&profile, EncryptionEngine::aes(), n).overhead_vs(&base);

@@ -14,13 +14,11 @@ fn specu() -> Specu {
 }
 
 fn tally(dataset: Dataset, sequences: usize, bits: usize) -> snvmm::nist::suite::FailureTally {
-    let mut s = specu();
+    let s = specu();
     let suite = Suite::new();
     let seqs: Vec<Bits> = (0..sequences)
         .map(|i| {
-            let bytes = dataset
-                .build(&mut s, bits, 0x600D + i as u64)
-                .expect("dataset");
+            let bytes = dataset.build(&s, bits, 0x600D + i as u64).expect("dataset");
             Bits::from_bytes(&bytes).slice(0, bits)
         })
         .collect();

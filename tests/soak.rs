@@ -4,7 +4,7 @@
 //! The quick sweep runs in CI; `soak_exhaustive` is `#[ignore]`d and meant
 //! for manual deep runs (`cargo test --release --test soak -- --ignored`).
 
-use snvmm::core::{Key, Specu, SpecuConfig, SpeVariant};
+use snvmm::core::{Key, SpeVariant, Specu, SpecuConfig};
 
 fn roundtrip_sweep(configs: &[(SpeVariant, usize, usize)], keys: u64, tweaks: u64) {
     for (variant, rounds, poe_count) in configs {
@@ -25,9 +25,7 @@ fn roundtrip_sweep(configs: &[(SpeVariant, usize, usize)], keys: u64, tweaks: u6
                         .wrapping_add(tw as u8)
                         .wrapping_add(i as u8 * 17)
                 });
-                let ct = specu
-                    .encrypt_block_with_tweak(&pt, tw)
-                    .expect("encrypt");
+                let ct = specu.encrypt_block_with_tweak(&pt, tw).expect("encrypt");
                 let back = specu.decrypt_block(&ct).expect("decrypt");
                 assert_eq!(
                     back, pt,
