@@ -11,11 +11,17 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo clippy -D clippy::unwrap_used (fault-hardened library crates)"
+cargo clippy -p spe-memristor -p spe-crossbar --lib --offline -- -D warnings -D clippy::unwrap_used
+
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --workspace --offline
 
 echo "== reproduce_all smoke"
 cargo run --release --offline -p spe-bench --bin reproduce_all
+
+echo "== fault campaign smoke"
+cargo run --release --offline -p spe-bench --bin fault_campaign -- --lines 4
 
 echo "CI gate passed."

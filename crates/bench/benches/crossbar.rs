@@ -7,7 +7,7 @@ use spe_memristor::{DeviceParams, MlcLevel, Pulse};
 fn setup() -> Crossbar {
     let mut xbar = Crossbar::new(Dims::square8(), DeviceParams::default()).expect("build");
     let levels: Vec<MlcLevel> = (0..64)
-        .map(|i| MlcLevel::from_bits(((i * 7 + 3) % 4) as u8))
+        .map(|i| MlcLevel::from_masked((i * 7 + 3) as u8))
         .collect();
     xbar.write_levels(&levels).expect("write");
     xbar
@@ -25,8 +25,12 @@ fn main() {
     });
     b.run("sneak_pulse_70ns_resolve4", || {
         let mut x = setup();
-        x.apply_sneak_pulse(CellAddr::new(3, 4), Pulse::new(1.0, 0.07e-6), 4)
-            .expect("pulse")
+        x.apply_sneak_pulse(
+            CellAddr::new(3, 4),
+            Pulse::new(1.0, 0.07e-6).expect("pulse"),
+            4,
+        )
+        .expect("pulse")
     });
     b.run("sense_resistance", || {
         xbar.sense_resistance(CellAddr::new(2, 5)).expect("sense")

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            MlcLevel::from_bits(((state >> 33) & 3) as u8)
+            MlcLevel::from_masked((state >> 33) as u8)
         })
         .collect();
     xbar.write_levels(&levels)?;

@@ -19,7 +19,7 @@ fn random_levels(seed: u64) -> Vec<MlcLevel> {
             s = s
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            MlcLevel::from_bits(((s >> 33) & 3) as u8)
+            MlcLevel::from_masked((s >> 33) as u8)
         })
         .collect()
 }

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dims = Dims::new(dim, dim);
         let mut xbar = Crossbar::with_wires(dims, device.clone(), wires)?;
         let levels: Vec<MlcLevel> = (0..dims.cells())
-            .map(|i| MlcLevel::from_bits(((i * 7 + 3) % 4) as u8))
+            .map(|i| MlcLevel::from_masked((i * 7 + 3) as u8))
             .collect();
         xbar.write_levels(&levels)?;
         let poe = CellAddr::new(dim / 2, dim / 2);

@@ -26,6 +26,21 @@ pub enum SpeError {
         /// Actual byte count.
         actual: usize,
     },
+    /// Write-verify recovery ran out of spare regions: a polyomino could
+    /// not be committed anywhere, so the block cannot be stored.
+    FaultExhausted {
+        /// The tweak (block address) of the uncommittable block.
+        tweak: u64,
+        /// How many spare regions the policy allowed.
+        spares: u32,
+    },
+    /// A checked decrypt recovered data whose integrity tag does not
+    /// match: the stored line is unrecoverably corrupted (or was never
+    /// tagged).
+    IntegrityViolation {
+        /// The tweak (block address) of the failing block.
+        tweak: u64,
+    },
     /// An internal invariant failed (e.g. a SPECU bank worker died).
     Internal(&'static str),
 }
@@ -49,6 +64,14 @@ impl fmt::Display for SpeError {
                     "bad buffer length: expected {expected} bytes, got {actual}"
                 )
             }
+            SpeError::FaultExhausted { tweak, spares } => write!(
+                f,
+                "fault recovery exhausted: block {tweak:#x} uncommittable after {spares} spare regions"
+            ),
+            SpeError::IntegrityViolation { tweak } => write!(
+                f,
+                "integrity violation: block {tweak:#x} decrypted to corrupted data"
+            ),
             SpeError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
@@ -76,6 +99,12 @@ impl From<spe_ilp::IlpError> for SpeError {
     }
 }
 
+impl From<spe_memristor::DeviceError> for SpeError {
+    fn from(e: spe_memristor::DeviceError) -> Self {
+        SpeError::Crossbar(spe_crossbar::CrossbarError::Device(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +125,21 @@ mod tests {
         assert!(matches!(c, SpeError::Crossbar(_)));
         let p: SpeError = spe_ilp::IlpError::Infeasible.into();
         assert!(matches!(p, SpeError::Placement(_)));
+        let d: SpeError = spe_memristor::DeviceError::InvalidLevelBits { bits: 9 }.into();
+        assert!(matches!(
+            d,
+            SpeError::Crossbar(spe_crossbar::CrossbarError::Device(_))
+        ));
+    }
+
+    #[test]
+    fn fault_variants_display_the_tweak() {
+        let e = SpeError::FaultExhausted {
+            tweak: 0x2A,
+            spares: 2,
+        };
+        assert!(e.to_string().contains("0x2a"));
+        let i = SpeError::IntegrityViolation { tweak: 0x2A };
+        assert!(i.to_string().contains("0x2a"));
     }
 }

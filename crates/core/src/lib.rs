@@ -60,6 +60,7 @@ pub mod lut;
 pub mod nvmm;
 pub mod parallel;
 pub mod prng;
+pub mod recovery;
 pub mod schedule;
 pub mod specu;
 pub mod tpm;
@@ -71,6 +72,7 @@ pub use key::Key;
 pub use nvmm::{SecureNvmm, SpeMode};
 pub use parallel::{BlockJob, LineJob, ParallelSpecu};
 pub use prng::CoupledLcg;
+pub use recovery::{FaultCounters, FaultKind, FaultModel, FaultPolicy, RemapTable};
 pub use schedule::PulseSchedule;
 pub use specu::{
     CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuConfig,

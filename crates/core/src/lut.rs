@@ -34,14 +34,22 @@ impl VoltageLut {
     /// Panics if the width range is empty or non-positive.
     pub fn new(amplitude: f64, w_min: f64, w_max: f64) -> Self {
         assert!(w_min > 0.0 && w_max > w_min, "invalid width range");
+        // The asserted range keeps every descriptor physical, so the
+        // literals cannot hit `Pulse::new`'s error path.
         let mut pulses = Vec::with_capacity(PULSE_COUNT);
         for i in 0..16 {
             let w = w_min + (w_max - w_min) * i as f64 / 15.0;
-            pulses.push(Pulse::new(amplitude, w));
+            pulses.push(Pulse {
+                voltage: amplitude,
+                width: w,
+            });
         }
         for i in 0..16 {
             let w = w_min + (w_max - w_min) * i as f64 / 15.0;
-            pulses.push(Pulse::new(-amplitude, w));
+            pulses.push(Pulse {
+                voltage: -amplitude,
+                width: w,
+            });
         }
         VoltageLut { pulses }
     }

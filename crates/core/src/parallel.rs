@@ -13,6 +13,7 @@
 
 use crate::error::SpeError;
 use crate::key::Key;
+use crate::recovery::{FaultCounters, FaultPolicy};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
 
 /// One block-encryption job for a bank batch: a plaintext block, its
@@ -170,6 +171,117 @@ impl ParallelSpecu {
     pub fn decrypt_lines(&self, lines: &[CipherLine]) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
         let ctx = &self.context;
         fan_out(self.banks, lines.len(), |i| ctx.decrypt_line(&lines[i]))
+    }
+
+    /// Encrypts one line through the resilient (write-verify/retry/remap)
+    /// path, sharding its four mats across the banks and merging their
+    /// fault counters in mat order.
+    ///
+    /// Fault draws are pure functions of the policy seed and the block
+    /// tweak, so the counters — and the ciphertext — are identical to a
+    /// serial [`SpeContext::encrypt_line_resilient`] run regardless of the
+    /// bank count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::FaultExhausted`] when a mat's polyomino cannot
+    /// be committed, or [`SpeError::Internal`] if a bank worker dies.
+    pub fn encrypt_line_resilient(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherLine, FaultCounters), SpeError> {
+        if self.banks == 1 {
+            return self
+                .context
+                .encrypt_line_resilient(plaintext, line_address, policy);
+        }
+        let ctx = &self.context;
+        let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
+            ctx.encrypt_block_resilient(
+                &block,
+                line_address * BLOCKS_PER_LINE as u64 + i as u64,
+                policy,
+            )
+        })?;
+        let mut counters = FaultCounters::default();
+        let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
+        for (cb, c) in results {
+            counters.merge(&c);
+            blocks.push(cb);
+        }
+        Ok((CipherLine { blocks }, counters))
+    }
+
+    /// Encrypts a batch of lines through the resilient path across the
+    /// banks, order-preserving, merging all fault counters in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpeError`] any bank hit.
+    pub fn encrypt_lines_resilient(
+        &self,
+        jobs: &[LineJob],
+        policy: &FaultPolicy,
+    ) -> Result<(Vec<CipherLine>, FaultCounters), SpeError> {
+        let ctx = &self.context;
+        let results = fan_out(self.banks, jobs.len(), |i| {
+            ctx.encrypt_line_resilient(&jobs[i].plaintext, jobs[i].address, policy)
+        })?;
+        let mut counters = FaultCounters::default();
+        let mut lines = Vec::with_capacity(results.len());
+        for (line, c) in results {
+            counters.merge(&c);
+            lines.push(line);
+        }
+        Ok((lines, counters))
+    }
+
+    /// Decrypts one line, verifying every block's integrity tag, sharding
+    /// across the banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::IntegrityViolation`] for a corrupted or
+    /// untagged block, [`SpeError::BadLength`] for a malformed line.
+    pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        if line.blocks.len() != BLOCKS_PER_LINE {
+            return Err(SpeError::BadLength {
+                expected: BLOCKS_PER_LINE,
+                actual: line.blocks.len(),
+            });
+        }
+        if self.banks == 1 {
+            return self.context.decrypt_line_checked(line);
+        }
+        let ctx = &self.context;
+        let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
+            ctx.decrypt_block_checked(&line.blocks[i])
+        })?;
+        let mut out = [0u8; LINE_BYTES];
+        for (i, pt) in blocks.iter().enumerate() {
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(pt);
+        }
+        Ok(out)
+    }
+
+    /// Decrypts a batch of lines with integrity checking across the banks,
+    /// order-preserving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpeError`] any bank hit.
+    pub fn decrypt_lines_checked(
+        &self,
+        lines: &[CipherLine],
+    ) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
+        let ctx = &self.context;
+        fan_out(self.banks, lines.len(), |i| {
+            ctx.decrypt_line_checked(&lines[i])
+        })
     }
 
     /// Encrypts a batch of independent block jobs across the banks,

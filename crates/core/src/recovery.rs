@@ -1,0 +1,351 @@
+//! Write-verify, bounded retry and graceful polyomino remapping.
+//!
+//! The SPECU's closed-loop pulse trains are verify-terminated, but a real
+//! memristive NVMM still fails underneath them: a program pulse can skip
+//! (transient), and a cell can be stuck at a rail (permanent). This module
+//! models the *commit* of each pulse train onto physical cells under a
+//! [`FaultModel`] and implements the recovery ladder:
+//!
+//! 1. **Retry with backoff** — a skipped write is re-pulsed up to
+//!    [`FaultPolicy::max_retries`] times; each retry doubles the pulse
+//!    width, halving the skip probability (exponential pulse-width
+//!    backoff).
+//! 2. **Remap** — a hard failure (stuck cell, or retries exhausted)
+//!    migrates the *whole polyomino* to the next spare region of the mat
+//!    via the [`RemapTable`] and re-commits there. Remapping at train
+//!    granularity keeps the schedule's cell-to-cell coupling intact.
+//! 3. **Typed failure** — when every spare region is exhausted the commit
+//!    returns [`SpeError::FaultExhausted`]; the engine never panics and
+//!    never stores a block it could not commit.
+//!
+//! Every fault draw is a pure function of `(model seed, tweak, region,
+//! cell, epoch, attempt)`, so the serial and multi-bank parallel backends
+//! observe *identical* fault histories for the same seed — the property
+//! `tests/fault_recovery.rs` pins down.
+
+use crate::error::SpeError;
+pub use spe_memristor::{FaultKind, FaultModel};
+
+/// Cells per crossbar block (8×8 MLC-2 mat).
+const BLOCK_CELLS: usize = 64;
+
+/// How the SPECU reacts to device faults during encryption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// The fault model driving injected failures.
+    pub model: FaultModel,
+    /// Maximum re-pulses for a transiently skipped write before the
+    /// failure is treated as hard.
+    pub max_retries: u32,
+    /// Spare regions a polyomino may be remapped into before the block is
+    /// declared uncommittable.
+    pub spare_regions: u32,
+}
+
+impl FaultPolicy {
+    /// A policy with no faults (commits always succeed on the first try).
+    pub fn none() -> Self {
+        FaultPolicy {
+            model: FaultModel::none(),
+            max_retries: 4,
+            spare_regions: 2,
+        }
+    }
+
+    /// The default recovery ladder (4 retries, 2 spare regions) over an
+    /// arbitrary model.
+    pub fn with_model(model: FaultModel) -> Self {
+        FaultPolicy {
+            model,
+            ..FaultPolicy::none()
+        }
+    }
+
+    /// Transient-only faults at `rate` with the default recovery ladder.
+    pub fn transient(rate: f64, seed: u64) -> Self {
+        FaultPolicy::with_model(FaultModel::transient(rate, seed))
+    }
+
+    /// Permanent stuck-at faults at `rate` with the default ladder.
+    pub fn stuck(rate: f64, seed: u64) -> Self {
+        FaultPolicy::with_model(FaultModel::stuck(rate, seed))
+    }
+}
+
+/// Counters accumulated while committing blocks under a [`FaultPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Cell-commit operations attempted (first pulses, not retries).
+    pub cell_commits: u64,
+    /// Cells that needed at least one retry.
+    pub transient_faults: u64,
+    /// Extra program pulses issued by the retry ladder.
+    pub retries: u64,
+    /// Polyomino migrations to a spare region.
+    pub remaps: u64,
+    /// Blocks abandoned after spare exhaustion.
+    pub uncorrectable: u64,
+}
+
+impl FaultCounters {
+    /// Folds another counter set into this one (order-independent, so
+    /// per-bank counters merge deterministically).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.cell_commits += other.cell_commits;
+        self.transient_faults += other.transient_faults;
+        self.retries += other.retries;
+        self.remaps += other.remaps;
+        self.uncorrectable += other.uncorrectable;
+    }
+}
+
+/// Per-block map from logical cell to the physical region holding it.
+///
+/// Region `0` is the primary mat; regions `1..=spare_regions` are spares.
+/// Remapping moves an entire polyomino (all members of a train) one region
+/// up, so the cells a schedule couples together always live in the same
+/// region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapTable {
+    spare_regions: u32,
+    region: [u32; BLOCK_CELLS],
+}
+
+impl RemapTable {
+    /// A table with every cell in the primary region.
+    pub fn new(spare_regions: u32) -> Self {
+        RemapTable {
+            spare_regions,
+            region: [0; BLOCK_CELLS],
+        }
+    }
+
+    /// The region currently holding logical cell `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= 64`.
+    pub fn region(&self, cell: usize) -> u32 {
+        self.region[cell]
+    }
+
+    /// Number of cells living outside the primary region.
+    pub fn remapped_cells(&self) -> usize {
+        self.region.iter().filter(|r| **r > 0).count()
+    }
+
+    /// Moves every listed cell to one region past the highest any of them
+    /// occupies (the whole polyomino lands in one region). Returns the new
+    /// region, or `None` when the spares are exhausted.
+    pub fn remap_cells(&mut self, cells: &[usize]) -> Option<u32> {
+        let current = cells.iter().map(|c| self.region[*c]).max()?;
+        let next = current + 1;
+        if next > self.spare_regions {
+            return None;
+        }
+        for &c in cells {
+            self.region[c] = next;
+        }
+        Some(next)
+    }
+}
+
+/// Commits one pulse train's member cells under the policy, retrying
+/// transients and remapping the polyomino on hard failure.
+///
+/// `epoch` identifies the train within the block's schedule (round and
+/// train index), so every commit draws from an independent slice of the
+/// fault stream.
+///
+/// # Errors
+///
+/// Returns [`SpeError::FaultExhausted`] when the polyomino cannot be
+/// committed in any region; `counters.uncorrectable` is bumped.
+pub(crate) fn commit_train(
+    policy: &FaultPolicy,
+    remap: &mut RemapTable,
+    counters: &mut FaultCounters,
+    tweak: u64,
+    epoch: u64,
+    members: &[usize],
+) -> Result<(), SpeError> {
+    counters.cell_commits += members.len() as u64;
+    if policy.model.is_none() {
+        return Ok(());
+    }
+    loop {
+        let mut hard_failure = false;
+        'cells: for &cell in members {
+            let phys = phys_cell(tweak, remap.region(cell), cell);
+            if policy
+                .model
+                .permanent_fault(phys)
+                .is_some_and(FaultKind::is_permanent)
+            {
+                hard_failure = true;
+                break 'cells;
+            }
+            let mut recovered = false;
+            for attempt in 0..=policy.max_retries {
+                if !policy.model.write_skipped(phys, epoch, attempt) {
+                    if attempt > 0 {
+                        counters.transient_faults += 1;
+                        counters.retries += attempt as u64;
+                    }
+                    recovered = true;
+                    break;
+                }
+            }
+            if !recovered {
+                counters.transient_faults += 1;
+                counters.retries += policy.max_retries as u64;
+                hard_failure = true;
+                break 'cells;
+            }
+        }
+        if !hard_failure {
+            return Ok(());
+        }
+        match remap.remap_cells(members) {
+            Some(_) => counters.remaps += 1,
+            None => {
+                counters.uncorrectable += 1;
+                return Err(SpeError::FaultExhausted {
+                    tweak,
+                    spares: policy.spare_regions,
+                });
+            }
+        }
+    }
+}
+
+/// The physical cell id of a logical block cell in a given region.
+///
+/// Mixed from `(tweak, region, cell)` so remapping re-draws the cell's
+/// fault independently, and so every block in the address space owns a
+/// disjoint slice of physical cells.
+fn phys_cell(tweak: u64, region: u32, cell: usize) -> u64 {
+    let mut z = tweak
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((region as u64) << 32 | cell as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_policy_commits_without_recovery() {
+        let policy = FaultPolicy::none();
+        let mut remap = RemapTable::new(policy.spare_regions);
+        let mut counters = FaultCounters::default();
+        commit_train(&policy, &mut remap, &mut counters, 7, 0, &[0, 1, 2]).expect("commit");
+        assert_eq!(counters.cell_commits, 3);
+        assert_eq!(counters.retries, 0);
+        assert_eq!(counters.remaps, 0);
+        assert_eq!(remap.remapped_cells(), 0);
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let policy = FaultPolicy::transient(0.2, 11);
+        let mut remap = RemapTable::new(policy.spare_regions);
+        let mut counters = FaultCounters::default();
+        let members: Vec<usize> = (0..BLOCK_CELLS).collect();
+        for epoch in 0..64 {
+            commit_train(&policy, &mut remap, &mut counters, 1, epoch, &members)
+                .expect("retries absorb a 20% transient rate");
+        }
+        assert!(counters.retries > 0, "some retries must have happened");
+        assert!(counters.transient_faults > 0);
+    }
+
+    #[test]
+    fn stuck_cells_force_remap_and_then_exhaustion() {
+        // With every cell stuck, the first commit remaps through all the
+        // spares and then fails with the typed error.
+        let policy = FaultPolicy {
+            model: FaultModel::stuck(1.0, 3),
+            max_retries: 2,
+            spare_regions: 2,
+        };
+        let mut remap = RemapTable::new(policy.spare_regions);
+        let mut counters = FaultCounters::default();
+        let err = commit_train(&policy, &mut remap, &mut counters, 9, 0, &[0, 1, 2, 3])
+            .expect_err("all-stuck cells cannot commit");
+        assert_eq!(
+            err,
+            SpeError::FaultExhausted {
+                tweak: 9,
+                spares: 2
+            }
+        );
+        assert_eq!(counters.remaps, 2, "both spares were tried");
+        assert_eq!(counters.uncorrectable, 1);
+    }
+
+    #[test]
+    fn remap_moves_whole_polyomino_together() {
+        let mut remap = RemapTable::new(3);
+        assert_eq!(remap.remap_cells(&[4, 5, 6]), Some(1));
+        for c in [4, 5, 6] {
+            assert_eq!(remap.region(c), 1);
+        }
+        assert_eq!(remap.region(7), 0, "non-members stay put");
+        // Overlapping polyomino: lands one past the highest member region.
+        assert_eq!(remap.remap_cells(&[6, 7]), Some(2));
+        assert_eq!(remap.region(6), 2);
+        assert_eq!(remap.region(7), 2);
+        assert_eq!(remap.remapped_cells(), 4);
+    }
+
+    #[test]
+    fn remap_exhausts_after_spare_regions() {
+        let mut remap = RemapTable::new(1);
+        assert_eq!(remap.remap_cells(&[0]), Some(1));
+        assert_eq!(remap.remap_cells(&[0]), None);
+    }
+
+    #[test]
+    fn commit_is_deterministic() {
+        let policy = FaultPolicy::transient(0.3, 42);
+        let members: Vec<usize> = (0..16).collect();
+        let run = || {
+            let mut remap = RemapTable::new(policy.spare_regions);
+            let mut counters = FaultCounters::default();
+            for epoch in 0..32 {
+                let _ = commit_train(&policy, &mut remap, &mut counters, 5, epoch, &members);
+            }
+            counters
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn counters_merge_is_order_independent() {
+        let a = FaultCounters {
+            cell_commits: 10,
+            transient_faults: 2,
+            retries: 3,
+            remaps: 1,
+            uncorrectable: 0,
+        };
+        let b = FaultCounters {
+            cell_commits: 7,
+            transient_faults: 1,
+            retries: 1,
+            remaps: 0,
+            uncorrectable: 1,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.cell_commits, 17);
+        assert_eq!(ab.retries, 4);
+    }
+}

@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn from_steps_builds_explicit_schedules() {
-        let steps = vec![(CellAddr::new(1, 2), spe_memristor::Pulse::new(1.0, 0.05e-6))];
+        let steps = vec![(
+            CellAddr::new(1, 2),
+            spe_memristor::Pulse::new(1.0, 0.05e-6).expect("pulse"),
+        )];
         let s = PulseSchedule::from_steps(steps.clone());
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());

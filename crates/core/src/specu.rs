@@ -19,6 +19,7 @@
 use crate::error::SpeError;
 use crate::key::Key;
 use crate::lut::{AddressLut, VoltageLut};
+use crate::recovery::{commit_train, FaultCounters, FaultPolicy, RemapTable};
 use crate::schedule::{PulseSchedule, DEFAULT_POE_PLACEMENT};
 use spe_crossbar::fast::FastParams;
 use spe_crossbar::{CellAddr, Dims, FastArray, Kernel, WireParams};
@@ -122,6 +123,11 @@ pub struct CipherBlock {
     pub(crate) states: Vec<f64>,
     pub(crate) data: [u8; BLOCK_BYTES],
     pub(crate) tweak: u64,
+    /// Keyed integrity tag over the plaintext, present only on blocks
+    /// written through the resilient (write-verify) path. Checked decrypts
+    /// use it to detect unrecoverable corruption instead of returning
+    /// silently wrong plaintext.
+    pub(crate) tag: Option<u64>,
 }
 
 impl CipherBlock {
@@ -154,12 +160,34 @@ impl CipherBlock {
         self.tweak
     }
 
+    /// The keyed integrity tag, if the block was written through the
+    /// resilient path.
+    pub fn tag(&self) -> Option<u64> {
+        self.tag
+    }
+
     /// Rebuilds a block from its parts (e.g. NVMM storage).
     pub fn from_parts(states: Vec<f64>, data: [u8; BLOCK_BYTES], tweak: u64) -> Self {
         CipherBlock {
             states,
             data,
             tweak,
+            tag: None,
+        }
+    }
+
+    /// Rebuilds a tagged block (resilient-path NVMM storage).
+    pub fn from_parts_tagged(
+        states: Vec<f64>,
+        data: [u8; BLOCK_BYTES],
+        tweak: u64,
+        tag: u64,
+    ) -> Self {
+        CipherBlock {
+            states,
+            data,
+            tweak,
+            tag: Some(tag),
         }
     }
 }
@@ -403,6 +431,7 @@ impl SpeContext {
                     states,
                     data: [0; BLOCK_BYTES],
                     tweak,
+                    tag: None,
                 };
                 let data = block.data_with_device(&cal.config.device);
                 Ok(CipherBlock { data, ..block })
@@ -421,6 +450,7 @@ impl SpeContext {
                     states: arr.levels().iter().map(|l| *l as f64).collect(),
                     data,
                     tweak,
+                    tag: None,
                 })
             }
         }
@@ -505,6 +535,160 @@ impl SpeContext {
             out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
+    }
+
+    /// Encrypts a block with write-verify, bounded retry and polyomino
+    /// remapping under `policy`, and seals the result with a keyed
+    /// integrity tag (checked by [`SpeContext::decrypt_block_checked`]).
+    ///
+    /// The fault machinery acts on the *physical commit* of each pulse
+    /// train: transiently skipped writes are re-pulsed with exponential
+    /// pulse-width backoff, and hard failures migrate the whole polyomino
+    /// to a spare region. The logical level arithmetic is exact either
+    /// way, so a successfully committed block round-trips bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::FaultExhausted`] when a polyomino cannot be
+    /// committed in any spare region; the block is not stored.
+    pub fn encrypt_block_resilient(
+        &self,
+        plaintext: &[u8; BLOCK_BYTES],
+        tweak: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherBlock, FaultCounters), SpeError> {
+        let cal = &*self.calibration;
+        let dims = Dims::square8();
+        let mut counters = FaultCounters::default();
+        let mut remap = RemapTable::new(policy.spare_regions);
+        let mut block = match cal.config.variant {
+            SpeVariant::Analog => {
+                // The analog variant programs the whole mat once per round
+                // (a single open-loop pulse per PoE has no per-train verify
+                // loop to hang a retry on), so the commit granularity is
+                // the full block.
+                let all: Vec<usize> = (0..dims.cells()).collect();
+                for round in 0..cal.config.rounds {
+                    commit_train(
+                        policy,
+                        &mut remap,
+                        &mut counters,
+                        tweak,
+                        (round as u64) << 32,
+                        &all,
+                    )?;
+                }
+                self.encrypt_block_with_tweak(plaintext, tweak)?
+            }
+            SpeVariant::ClosedLoop => {
+                let schedule = self.schedule(tweak);
+                let mut arr = crate::discrete::DiscreteArray::new(dims);
+                arr.set_levels(&bytes_to_level_values(plaintext))?;
+                let trains = self.train_steps(&schedule, tweak);
+                for (round, round_trains) in trains.iter().enumerate() {
+                    for (t, (members, steps, dir)) in round_trains.iter().enumerate() {
+                        let cells: Vec<usize> = members.iter().map(|m| dims.index(*m)).collect();
+                        let epoch = ((round as u64) << 32) | t as u64;
+                        commit_train(policy, &mut remap, &mut counters, tweak, epoch, &cells)?;
+                        arr.apply_train(members, steps, *dir, false);
+                    }
+                }
+                let data = level_values_to_bytes(arr.levels());
+                CipherBlock {
+                    states: arr.levels().iter().map(|l| *l as f64).collect(),
+                    data,
+                    tweak,
+                    tag: None,
+                }
+            }
+        };
+        block.tag = Some(self.block_tag(tweak, plaintext));
+        Ok((block, counters))
+    }
+
+    /// Decrypts a block and verifies its keyed integrity tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::IntegrityViolation`] if the block carries no tag
+    /// or the recovered plaintext does not match it — i.e. the stored line
+    /// is unrecoverably corrupted. Plaintext is never returned in that
+    /// case.
+    pub fn decrypt_block_checked(
+        &self,
+        block: &CipherBlock,
+    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        let pt = self.decrypt_block(block)?;
+        match block.tag {
+            Some(tag) if tag == self.block_tag(block.tweak, &pt) => Ok(pt),
+            _ => Err(SpeError::IntegrityViolation { tweak: block.tweak }),
+        }
+    }
+
+    /// Encrypts a cache line through the resilient path, merging the four
+    /// blocks' fault counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::FaultExhausted`] if any block's polyomino
+    /// cannot be committed.
+    pub fn encrypt_line_resilient(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherLine, FaultCounters), SpeError> {
+        let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
+        let mut counters = FaultCounters::default();
+        for i in 0..BLOCKS_PER_LINE {
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
+            let (cb, c) = self.encrypt_block_resilient(
+                &block,
+                line_address * BLOCKS_PER_LINE as u64 + i as u64,
+                policy,
+            )?;
+            counters.merge(&c);
+            blocks.push(cb);
+        }
+        Ok((CipherLine { blocks }, counters))
+    }
+
+    /// Decrypts a cache line, verifying every block's integrity tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::IntegrityViolation`] for the first corrupted or
+    /// untagged block, or [`SpeError::BadLength`] if the line is malformed.
+    pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        if line.blocks.len() != BLOCKS_PER_LINE {
+            return Err(SpeError::BadLength {
+                expected: BLOCKS_PER_LINE,
+                actual: line.blocks.len(),
+            });
+        }
+        let mut out = [0u8; LINE_BYTES];
+        for (i, block) in line.blocks.iter().enumerate() {
+            let pt = self.decrypt_block_checked(block)?;
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
+        }
+        Ok(out)
+    }
+
+    /// The keyed integrity tag of a plaintext block: a MAC-like fold of
+    /// the plaintext into a key/tweak-seeded PRNG stream (its own domain,
+    /// disjoint from schedule and train-step generation).
+    fn block_tag(&self, tweak: u64, plaintext: &[u8; BLOCK_BYTES]) -> u64 {
+        const TAG_DOMAIN: u64 = 0x5350_4554_4147_3744; // "SPETAG" ‖ 0x3744
+        let mut stream = crate::prng::CoupledLcg::with_tweak(&self.key, tweak ^ TAG_DOMAIN);
+        let mut acc = stream.next_u64();
+        for &b in plaintext {
+            let mut z = acc ^ (b as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ stream.next_u64();
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            acc = z ^ (z >> 31);
+        }
+        acc
     }
 
     /// Expands a schedule into closed-loop pulse trains: for every round and
@@ -752,6 +936,62 @@ impl Specu {
         self.context()?.decrypt_line(line)
     }
 
+    /// Encrypts a block with write-verify/retry/remap under `policy` (see
+    /// [`SpeContext::encrypt_block_resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or fault recovery is
+    /// exhausted.
+    pub fn encrypt_block_resilient(
+        &self,
+        plaintext: &[u8; BLOCK_BYTES],
+        tweak: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherBlock, FaultCounters), SpeError> {
+        self.context()?
+            .encrypt_block_resilient(plaintext, tweak, policy)
+    }
+
+    /// Decrypts a block, verifying its integrity tag (see
+    /// [`SpeContext::decrypt_block_checked`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or the tag does not verify.
+    pub fn decrypt_block_checked(
+        &self,
+        block: &CipherBlock,
+    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        self.context()?.decrypt_block_checked(block)
+    }
+
+    /// Encrypts a cache line through the resilient path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded or fault recovery is
+    /// exhausted.
+    pub fn encrypt_line_resilient(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherLine, FaultCounters), SpeError> {
+        self.context()?
+            .encrypt_line_resilient(plaintext, line_address, policy)
+    }
+
+    /// Decrypts a cache line, verifying every block's integrity tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if no key is loaded, the line is malformed or a
+    /// block's tag does not verify.
+    pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        self.context()?.decrypt_line_checked(line)
+    }
+
     /// Encryption latency in NVMM cycles: one write pulse per PoE (§6.4
     /// sizes the cold-boot window from these 16 operations).
     pub fn encryption_cycles(&self) -> u32 {
@@ -830,7 +1070,7 @@ pub fn bytes_to_levels(bytes: &[u8; BLOCK_BYTES]) -> Vec<MlcLevel> {
     let mut levels = Vec::with_capacity(64);
     for b in bytes {
         for k in 0..4 {
-            levels.push(MlcLevel::from_bits(b >> (6 - 2 * k) & 0b11));
+            levels.push(MlcLevel::from_masked(b >> (6 - 2 * k) & 0b11));
         }
     }
     levels

@@ -7,7 +7,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dims = Dims::square8();
     let mut xbar = Crossbar::new(dims, DeviceParams::default())?;
     let levels: Vec<MlcLevel> = (0..64)
-        .map(|i| MlcLevel::from_bits(((i * 7 + 3) % 4) as u8))
+        .map(|i| MlcLevel::from_masked((i * 7 + 3) as u8))
         .collect();
     xbar.write_levels(&levels)?;
     let poe = CellAddr::new(3, 4);

@@ -3,6 +3,7 @@
 use crate::bias::Bias;
 use crate::dense::solve;
 use crate::error::CrossbarError;
+use crate::fault::FaultMap;
 use crate::geometry::{CellAddr, Dims};
 use crate::netlist::{assemble, col_node, row_node, Gating};
 use crate::polyomino::Polyomino;
@@ -65,6 +66,7 @@ pub struct Crossbar {
     device: DeviceParams,
     wires: WireParams,
     cells: Vec<Memristor>,
+    faults: FaultMap,
 }
 
 impl Crossbar {
@@ -90,13 +92,53 @@ impl Crossbar {
         dims.validate()?;
         device.validate()?;
         wires.validate()?;
-        let cell = Memristor::with_level(&device, MlcLevel::L00);
+        let cell = Memristor::with_level(&device, MlcLevel::L00)?;
         Ok(Crossbar {
             dims,
             device,
             wires,
             cells: vec![cell; dims.cells()],
+            faults: FaultMap::none(dims),
         })
+    }
+
+    /// Attaches a per-cell fault map, pinning permanently faulty cells at
+    /// their rail states immediately. Subsequent writes leave those cells
+    /// untouched and sneak pulses cannot move them, but their pinned
+    /// resistance still loads the network during nodal solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DataSizeMismatch`] if the map's geometry
+    /// does not match the array.
+    pub fn attach_faults(&mut self, faults: FaultMap) -> Result<(), CrossbarError> {
+        if faults.dims() != self.dims {
+            return Err(CrossbarError::DataSizeMismatch {
+                expected: self.dims.cells(),
+                actual: faults.dims().cells(),
+            });
+        }
+        self.faults = faults;
+        self.pin_faulty_cells();
+        Ok(())
+    }
+
+    /// The array's fault map.
+    pub fn faults(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Forces every permanently faulty cell back to its pinned rail state.
+    fn pin_faulty_cells(&mut self) {
+        for idx in 0..self.cells.len() {
+            if let Some(x) = self
+                .faults
+                .fault_at_index(idx)
+                .and_then(|kind| kind.pinned_state())
+            {
+                self.cells[idx].set_state(x);
+            }
+        }
     }
 
     /// Array dimensions.
@@ -150,10 +192,34 @@ impl Crossbar {
     ///
     /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad address.
     pub fn write_level(&mut self, addr: CellAddr, level: MlcLevel) -> Result<(), CrossbarError> {
+        self.write_level_verified(addr, level).map(|_| ())
+    }
+
+    /// Programs a single cell and reports whether the verify read matches
+    /// the target level. A permanently faulty cell ignores the program
+    /// pulses and stays pinned at its rail, so the verify fails unless the
+    /// rail happens to be the target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad address.
+    pub fn write_level_verified(
+        &mut self,
+        addr: CellAddr,
+        level: MlcLevel,
+    ) -> Result<bool, CrossbarError> {
         self.check(addr)?;
         let idx = self.dims.index(addr);
-        mlc::program_verify(&mut self.cells[idx], level, 8192);
-        Ok(())
+        if let Some(x) = self
+            .faults
+            .fault_at_index(idx)
+            .and_then(|kind| kind.pinned_state())
+        {
+            self.cells[idx].set_state(x);
+        } else {
+            mlc::program_verify(&mut self.cells[idx], level, 8192);
+        }
+        Ok(self.cells[idx].level() == level)
     }
 
     /// Programs the whole array from row-major levels.
@@ -169,8 +235,16 @@ impl Crossbar {
                 actual: levels.len(),
             });
         }
-        for (cell, level) in self.cells.iter_mut().zip(levels) {
-            mlc::program_verify(cell, *level, 8192);
+        for (idx, (cell, level)) in self.cells.iter_mut().zip(levels).enumerate() {
+            if let Some(x) = self
+                .faults
+                .fault_at_index(idx)
+                .and_then(|kind| kind.pinned_state())
+            {
+                cell.set_state(x);
+            } else {
+                mlc::program_verify(cell, *level, 8192);
+            }
         }
         Ok(())
     }
@@ -202,7 +276,7 @@ impl Crossbar {
             Gating::Row(addr.row),
             |i, j| self.cells[i * self.dims.cols + j].series_resistance(),
         );
-        let v = solve(g, b).map_err(|_| CrossbarError::SingularNetwork)?;
+        let v = solve(g, b)?;
         let v_cell =
             v[row_node(self.dims, addr.row, addr.col)] - v[col_node(self.dims, addr.row, addr.col)];
         let r_series = self.cells[self.dims.index(addr)].series_resistance();
@@ -230,7 +304,7 @@ impl Crossbar {
         let (g, b) = assemble(self.dims, &self.wires, &bias, Gating::AllOn, |i, j| {
             self.cells[i * self.dims.cols + j].series_resistance()
         });
-        let v = solve(g, b).map_err(|_| CrossbarError::SingularNetwork)?;
+        let v = solve(g, b)?;
         let volts = self
             .dims
             .iter()
@@ -259,18 +333,20 @@ impl Crossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError`] on a bad address or singular network.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `resolve_every` is zero.
+    /// Returns [`CrossbarError`] on a bad address, a singular network, or
+    /// a zero `resolve_every`.
     pub fn apply_sneak_pulse(
         &mut self,
         poe: CellAddr,
         pulse: Pulse,
         resolve_every: usize,
     ) -> Result<PulseReport, CrossbarError> {
-        assert!(resolve_every > 0, "resolve_every must be at least 1");
+        if resolve_every == 0 {
+            return Err(CrossbarError::InvalidParameter {
+                name: "resolve_every",
+                reason: "must be at least 1",
+            });
+        }
         self.check(poe)?;
         let dt = self.device.dt;
         let total_steps = (pulse.width / dt).round().max(0.0) as usize;
@@ -290,6 +366,11 @@ impl Crossbar {
                     let dx = cell.step(field.volts[idx], dt);
                     max_delta = max_delta.max(dx.abs());
                 }
+            }
+            // Stuck cells cannot move: snap them back before the next
+            // solve so their pinned resistance keeps loading the network.
+            if !self.faults.is_clean() {
+                self.pin_faulty_cells();
             }
             step += chunk;
         }
@@ -331,7 +412,7 @@ mod tests {
                 s = s
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                MlcLevel::from_bits(((s >> 33) % 4) as u8)
+                MlcLevel::from_masked((s >> 33) as u8)
             })
             .collect()
     }
@@ -433,7 +514,7 @@ mod tests {
         let before = xbar.states();
         let poe = CellAddr::new(2, 6);
         let report = xbar
-            .apply_sneak_pulse(poe, Pulse::new(1.0, 0.05e-6), 4)
+            .apply_sneak_pulse(poe, Pulse::new(1.0, 0.05e-6).expect("pulse desc"), 4)
             .expect("pulse");
         let after = xbar.states();
         assert!(report.solves > 0);
@@ -505,6 +586,72 @@ mod tests {
         let mut xbar = Crossbar::new(Dims::new(4, 4), DeviceParams::default()).expect("build");
         assert!(matches!(
             xbar.write_levels(&[MlcLevel::L00; 3]),
+            Err(CrossbarError::DataSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_resolve_every_is_a_typed_error() {
+        let mut xbar = Crossbar::new(Dims::square8(), DeviceParams::default()).expect("build");
+        let pulse = Pulse::new(1.0, 0.01e-6).expect("pulse desc");
+        assert!(matches!(
+            xbar.apply_sneak_pulse(CellAddr::new(1, 1), pulse, 0),
+            Err(CrossbarError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn stuck_cell_ignores_writes_and_reads_its_rail() {
+        use crate::fault::FaultMap;
+        use spe_memristor::FaultKind;
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        let stuck = CellAddr::new(2, 3);
+        let mut map = FaultMap::none(dims);
+        map.set_fault(stuck, Some(FaultKind::StuckAtHrs));
+        xbar.attach_faults(map).expect("attach");
+        // HRS rail (x = 1) quantizes to the highest-resistance level, L00.
+        assert_eq!(xbar.read_level(stuck).expect("read"), MlcLevel::L00);
+        let verified = xbar
+            .write_level_verified(stuck, MlcLevel::L11)
+            .expect("write");
+        assert!(!verified, "a stuck cell must fail write verification");
+        assert_eq!(xbar.read_level(stuck).expect("read"), MlcLevel::L00);
+        // A healthy neighbour still programs normally.
+        let ok = xbar
+            .write_level_verified(CellAddr::new(2, 4), MlcLevel::L11)
+            .expect("write");
+        assert!(ok);
+    }
+
+    #[test]
+    fn sneak_pulse_cannot_move_stuck_cells() {
+        use crate::fault::FaultMap;
+        use spe_memristor::FaultKind;
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.write_levels(&random_levels(dims, 5)).expect("write");
+        let poe = CellAddr::new(3, 3);
+        let stuck = CellAddr::new(3, 4); // adjacent: inside the polyomino
+        let mut map = FaultMap::none(dims);
+        map.set_fault(stuck, Some(FaultKind::StuckAtLrs));
+        xbar.attach_faults(map).expect("attach");
+        let x_before = xbar.cell(stuck).state();
+        xbar.apply_sneak_pulse(poe, Pulse::new(1.0, 0.05e-6).expect("pulse desc"), 4)
+            .expect("pulse");
+        assert_eq!(
+            xbar.cell(stuck).state(),
+            x_before,
+            "pinned cell state must survive the pulse"
+        );
+    }
+
+    #[test]
+    fn attach_faults_rejects_mismatched_dims() {
+        use crate::fault::FaultMap;
+        let mut xbar = Crossbar::new(Dims::square8(), DeviceParams::default()).expect("build");
+        assert!(matches!(
+            xbar.attach_faults(FaultMap::none(Dims::new(4, 4))),
             Err(CrossbarError::DataSizeMismatch { .. })
         ));
     }

@@ -97,15 +97,31 @@ impl fmt::Display for Matrix {
 
 /// Error returned when a linear system cannot be solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SingularMatrixError;
+pub enum DenseError {
+    /// The matrix is singular to working precision.
+    Singular,
+    /// The right-hand side length does not match the matrix order.
+    SizeMismatch {
+        /// The matrix order.
+        expected: usize,
+        /// The supplied right-hand-side length.
+        actual: usize,
+    },
+}
 
-impl fmt::Display for SingularMatrixError {
+impl fmt::Display for DenseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matrix is singular to working precision")
+        match self {
+            DenseError::Singular => write!(f, "matrix is singular to working precision"),
+            DenseError::SizeMismatch { expected, actual } => write!(
+                f,
+                "rhs length {actual} does not match matrix order {expected}"
+            ),
+        }
     }
 }
 
-impl std::error::Error for SingularMatrixError {}
+impl std::error::Error for DenseError {}
 
 /// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
 ///
@@ -113,17 +129,14 @@ impl std::error::Error for SingularMatrixError {}
 ///
 /// # Errors
 ///
-/// Returns [`SingularMatrixError`] when a pivot falls below `1e-300`.
-///
-/// # Panics
-///
-/// Panics if `b.len() != a.n()`.
+/// Returns [`DenseError::Singular`] when a pivot falls below `1e-300` and
+/// [`DenseError::SizeMismatch`] when `b.len() != a.n()`.
 ///
 /// # Example
 ///
 /// ```
 /// use spe_crossbar::dense::{solve, Matrix};
-/// # fn main() -> Result<(), spe_crossbar::dense::SingularMatrixError> {
+/// # fn main() -> Result<(), spe_crossbar::dense::DenseError> {
 /// let mut a = Matrix::zeros(2);
 /// a.set(0, 0, 2.0); a.set(0, 1, 1.0);
 /// a.set(1, 0, 1.0); a.set(1, 1, 3.0);
@@ -132,9 +145,14 @@ impl std::error::Error for SingularMatrixError {}
 /// # Ok(())
 /// # }
 /// ```
-pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMatrixError> {
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, DenseError> {
     let n = a.n;
-    assert_eq!(b.len(), n, "rhs length must match matrix order");
+    if b.len() != n {
+        return Err(DenseError::SizeMismatch {
+            expected: n,
+            actual: b.len(),
+        });
+    }
     for k in 0..n {
         // Partial pivot: largest magnitude in column k at or below row k.
         let mut pivot_row = k;
@@ -147,7 +165,7 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMatrixE
             }
         }
         if pivot_mag < 1e-300 {
-            return Err(SingularMatrixError);
+            return Err(DenseError::Singular);
         }
         if pivot_row != k {
             for j in 0..n {
@@ -196,21 +214,23 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMatrixE
 ///
 /// # Errors
 ///
-/// Returns [`SingularMatrixError`] if a diagonal entry vanishes or the
-/// iteration fails to converge within `4·n` steps.
-///
-/// # Panics
-///
-/// Panics if `b.len() != a.n()`.
-pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, SingularMatrixError> {
+/// Returns [`DenseError::Singular`] if a diagonal entry vanishes or the
+/// iteration fails to converge within `4·n` steps, and
+/// [`DenseError::SizeMismatch`] when `b.len() != a.n()`.
+pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, DenseError> {
     let n = a.n();
-    assert_eq!(b.len(), n, "rhs length must match matrix order");
+    if b.len() != n {
+        return Err(DenseError::SizeMismatch {
+            expected: n,
+            actual: b.len(),
+        });
+    }
     // Jacobi preconditioner.
     let mut inv_diag = vec![0.0; n];
     for i in 0..n {
         let d = a.get(i, i);
         if d.abs() < 1e-300 {
-            return Err(SingularMatrixError);
+            return Err(DenseError::Singular);
         }
         inv_diag[i] = 1.0 / d;
     }
@@ -224,7 +244,7 @@ pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, SingularMat
         let ap = a.mul_vec(&p);
         let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
         if pap.abs() < 1e-300 {
-            return Err(SingularMatrixError);
+            return Err(DenseError::Singular);
         }
         let alpha = rz / pap;
         for i in 0..n {
@@ -245,7 +265,7 @@ pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, SingularMat
             p[i] = z[i] + beta * p[i];
         }
     }
-    Err(SingularMatrixError)
+    Err(DenseError::Singular)
 }
 
 #[cfg(test)]
@@ -265,7 +285,26 @@ mod tests {
     #[test]
     fn detects_singular() {
         let a = Matrix::zeros(3);
-        assert_eq!(solve(a, vec![1.0, 2.0, 3.0]), Err(SingularMatrixError));
+        assert_eq!(solve(a, vec![1.0, 2.0, 3.0]), Err(DenseError::Singular));
+    }
+
+    #[test]
+    fn detects_size_mismatch() {
+        let a = Matrix::zeros(3);
+        assert_eq!(
+            solve(a.clone(), vec![1.0, 2.0]),
+            Err(DenseError::SizeMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            solve_cg(&a, &[1.0; 4], 1e-9),
+            Err(DenseError::SizeMismatch {
+                expected: 3,
+                actual: 4
+            })
+        );
     }
 
     #[test]

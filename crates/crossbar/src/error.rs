@@ -37,6 +37,13 @@ pub enum CrossbarError {
         /// Number of values supplied.
         actual: usize,
     },
+    /// A simulation parameter is outside its usable range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -61,6 +68,9 @@ impl fmt::Display for CrossbarError {
                     "data size mismatch: expected {expected} cells, got {actual}"
                 )
             }
+            CrossbarError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
         }
     }
 }
@@ -77,6 +87,17 @@ impl Error for CrossbarError {
 impl From<spe_memristor::DeviceError> for CrossbarError {
     fn from(e: spe_memristor::DeviceError) -> Self {
         CrossbarError::Device(e)
+    }
+}
+
+impl From<crate::dense::DenseError> for CrossbarError {
+    fn from(e: crate::dense::DenseError) -> Self {
+        match e {
+            crate::dense::DenseError::Singular => CrossbarError::SingularNetwork,
+            crate::dense::DenseError::SizeMismatch { expected, actual } => {
+                CrossbarError::DataSizeMismatch { expected, actual }
+            }
+        }
     }
 }
 

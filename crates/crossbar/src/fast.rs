@@ -90,7 +90,7 @@ impl Kernel {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            MlcLevel::from_bits(((state >> 33) & 0b11) as u8)
+            MlcLevel::from_masked((state >> 33) as u8)
         };
         let poes = [
             CellAddr::new(3, 3),
@@ -479,7 +479,7 @@ mod tests {
                 s = s
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                MlcLevel::from_bits(((s >> 33) % 4) as u8)
+                MlcLevel::from_masked((s >> 33) as u8)
             })
             .collect()
     }
@@ -528,7 +528,7 @@ mod tests {
         let mut arr = setup();
         arr.write_levels(&random_levels(64, 5)).expect("write");
         let before = arr.states().to_vec();
-        let pulse = Pulse::new(1.0, 0.07e-6);
+        let pulse = Pulse::new(1.0, 0.07e-6).expect("pulse");
         let poe = CellAddr::new(3, 4);
         arr.apply_pulse(poe, pulse).expect("pulse");
         assert_ne!(arr.states(), &before[..], "pulse must change state");
@@ -544,10 +544,22 @@ mod tests {
         arr.write_levels(&random_levels(64, 6)).expect("write");
         let before = arr.states().to_vec();
         let schedule = [
-            (CellAddr::new(1, 2), Pulse::new(1.0, 0.06e-6)),
-            (CellAddr::new(4, 4), Pulse::new(-1.0, 0.02e-6)),
-            (CellAddr::new(6, 1), Pulse::new(1.0, 0.09e-6)),
-            (CellAddr::new(2, 6), Pulse::new(-1.0, 0.04e-6)),
+            (
+                CellAddr::new(1, 2),
+                Pulse::new(1.0, 0.06e-6).expect("pulse"),
+            ),
+            (
+                CellAddr::new(4, 4),
+                Pulse::new(-1.0, 0.02e-6).expect("pulse"),
+            ),
+            (
+                CellAddr::new(6, 1),
+                Pulse::new(1.0, 0.09e-6).expect("pulse"),
+            ),
+            (
+                CellAddr::new(2, 6),
+                Pulse::new(-1.0, 0.04e-6).expect("pulse"),
+            ),
         ];
         for (poe, pulse) in schedule {
             arr.apply_pulse(poe, pulse).expect("pulse");
@@ -568,9 +580,18 @@ mod tests {
         arr.write_levels(&random_levels(64, 8)).expect("write");
         let before = arr.states().to_vec();
         let schedule = [
-            (CellAddr::new(2, 2), Pulse::new(1.0, 0.08e-6)),
-            (CellAddr::new(3, 3), Pulse::new(-1.0, 0.03e-6)),
-            (CellAddr::new(4, 4), Pulse::new(1.0, 0.06e-6)),
+            (
+                CellAddr::new(2, 2),
+                Pulse::new(1.0, 0.08e-6).expect("pulse"),
+            ),
+            (
+                CellAddr::new(3, 3),
+                Pulse::new(-1.0, 0.03e-6).expect("pulse"),
+            ),
+            (
+                CellAddr::new(4, 4),
+                Pulse::new(1.0, 0.06e-6).expect("pulse"),
+            ),
         ];
         for (poe, pulse) in schedule {
             arr.apply_pulse(poe, pulse).expect("pulse");
@@ -605,7 +626,8 @@ mod tests {
         .enumerate()
         {
             let v = if i % 2 == 0 { 1.0 } else { -1.0 };
-            arr.apply_pulse(poe, Pulse::new(v, 0.08e-6)).expect("pulse");
+            arr.apply_pulse(poe, Pulse::new(v, 0.08e-6).expect("pulse"))
+                .expect("pulse");
         }
         let after = arr.levels();
         let flips = before.iter().zip(&after).filter(|(a, b)| a != b).count();
@@ -624,10 +646,10 @@ mod tests {
         let mut b = FastArray::new(Dims::square8(), device, params, kernel).expect("array");
         let mut levels = random_levels(64, 21);
         a.write_levels(&levels).expect("write");
-        levels[27] = MlcLevel::from_bits(levels[27].bits() ^ 0b11);
+        levels[27] = MlcLevel::from_masked(levels[27].bits() ^ 0b11);
         b.write_levels(&levels).expect("write");
         let poe = CellAddr::new(3, 3); // index 27 and neighbours in range
-        let pulse = Pulse::new(1.0, 0.08e-6);
+        let pulse = Pulse::new(1.0, 0.08e-6).expect("pulse");
         a.apply_pulse(poe, pulse).expect("pulse");
         b.apply_pulse(poe, pulse).expect("pulse");
         let diffs = a

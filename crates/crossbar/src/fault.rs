@@ -1,0 +1,142 @@
+//! Per-cell fault state for crossbar arrays.
+//!
+//! A [`FaultMap`] materializes the *permanent* faults of a
+//! [`FaultModel`](spe_memristor::FaultModel) over a concrete array
+//! geometry, so that reads, writes and sneak pulses interact with faulty
+//! cells realistically: a stuck cell ignores program pulses, reads back
+//! its rail level, and still loads the resistive network with its pinned
+//! resistance during sneak-path solves. Transient faults (write skips,
+//! drift) have no per-cell residue and are drawn on the fly by the model,
+//! so they do not appear here.
+
+use crate::geometry::{CellAddr, Dims};
+use spe_memristor::{FaultKind, FaultModel};
+
+/// The permanent-fault state of every cell in an array, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMap {
+    dims: Dims,
+    faults: Vec<Option<FaultKind>>,
+}
+
+impl FaultMap {
+    /// A map with no faulty cells.
+    pub fn none(dims: Dims) -> Self {
+        FaultMap {
+            dims,
+            faults: vec![None; dims.cells()],
+        }
+    }
+
+    /// Materializes the permanent faults of `model` over an array whose
+    /// cells occupy physical ids `base_cell_id..base_cell_id + cells`.
+    ///
+    /// Deterministic: the same model, base id and geometry always yield
+    /// the same map, so independently built arrays (e.g. one per SPECU
+    /// bank) agree about which cells are broken.
+    pub fn sample(dims: Dims, model: &FaultModel, base_cell_id: u64) -> Self {
+        let faults = (0..dims.cells())
+            .map(|i| model.permanent_fault(base_cell_id + i as u64))
+            .collect();
+        FaultMap { dims, faults }
+    }
+
+    /// Array dimensions this map covers.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The fault (if any) of the cell at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn fault_at(&self, addr: CellAddr) -> Option<FaultKind> {
+        self.faults[self.dims.index(addr)]
+    }
+
+    /// Marks or clears a fault at `addr` (for targeted injection in tests
+    /// and campaigns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn set_fault(&mut self, addr: CellAddr, kind: Option<FaultKind>) {
+        let idx = self.dims.index(addr);
+        self.faults[idx] = kind;
+    }
+
+    /// Number of permanently faulty cells.
+    pub fn fault_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Whether the map contains no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.faults.iter().all(Option::is_none)
+    }
+
+    /// Iterates over `(addr, kind)` for every faulty cell.
+    pub fn iter(&self) -> impl Iterator<Item = (CellAddr, FaultKind)> + '_ {
+        self.dims
+            .iter()
+            .zip(self.faults.iter())
+            .filter_map(|(addr, f)| f.map(|k| (addr, k)))
+    }
+
+    /// Row-major access by linear index, used by array internals.
+    pub(crate) fn fault_at_index(&self, idx: usize) -> Option<FaultKind> {
+        self.faults[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_map_is_clean() {
+        let m = FaultMap::none(Dims::square8());
+        assert!(m.is_clean());
+        assert_eq!(m.fault_count(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn sample_is_deterministic_in_model_and_base() {
+        let dims = Dims::square8();
+        let model = FaultModel::stuck(0.3, 99);
+        let a = FaultMap::sample(dims, &model, 1000);
+        let b = FaultMap::sample(dims, &model, 1000);
+        let c = FaultMap::sample(dims, &model, 2000);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different base ids draw different faults");
+        assert!(a.fault_count() > 0, "rate 0.3 over 64 cells must hit");
+    }
+
+    #[test]
+    fn set_fault_round_trips() {
+        let mut m = FaultMap::none(Dims::square8());
+        let addr = CellAddr::new(3, 5);
+        m.set_fault(addr, Some(FaultKind::StuckAtHrs));
+        assert_eq!(m.fault_at(addr), Some(FaultKind::StuckAtHrs));
+        assert_eq!(m.fault_count(), 1);
+        m.set_fault(addr, None);
+        assert!(m.is_clean());
+    }
+
+    #[test]
+    fn iter_reports_faulty_cells_only() {
+        let mut m = FaultMap::none(Dims::new(4, 4));
+        m.set_fault(CellAddr::new(0, 1), Some(FaultKind::StuckAtLrs));
+        m.set_fault(CellAddr::new(3, 3), Some(FaultKind::WearOut));
+        let listed: Vec<_> = m.iter().collect();
+        assert_eq!(
+            listed,
+            vec![
+                (CellAddr::new(0, 1), FaultKind::StuckAtLrs),
+                (CellAddr::new(3, 3), FaultKind::WearOut),
+            ]
+        );
+    }
+}

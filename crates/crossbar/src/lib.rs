@@ -44,6 +44,7 @@ pub mod bias;
 pub mod dense;
 pub mod error;
 pub mod fast;
+pub mod fault;
 pub mod geometry;
 pub mod montecarlo;
 pub mod netlist;
@@ -54,6 +55,7 @@ pub use array::{Crossbar, PulseReport, VoltageField};
 pub use bias::{Bias, Terminal};
 pub use error::CrossbarError;
 pub use fast::{FastArray, Kernel};
+pub use fault::FaultMap;
 pub use geometry::{CellAddr, Dims};
 pub use polyomino::Polyomino;
 pub use wires::WireParams;

@@ -94,7 +94,7 @@ mod tests {
                 s = s
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                MlcLevel::from_bits(((s >> 33) % 4) as u8)
+                MlcLevel::from_masked((s >> 33) as u8)
             })
             .collect()
     }

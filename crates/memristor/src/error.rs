@@ -33,6 +33,19 @@ pub enum DeviceError {
         /// Pulse voltage used, in volts.
         voltage: f64,
     },
+    /// A pulse descriptor is physically meaningless (non-finite voltage,
+    /// or a negative/non-finite width).
+    InvalidPulse {
+        /// The rejected voltage, in volts.
+        voltage: f64,
+        /// The rejected width, in seconds.
+        width: f64,
+    },
+    /// A logic value does not fit the MLC-2 cell (must be `0b00..=0b11`).
+    InvalidLevelBits {
+        /// The rejected logic value.
+        bits: u8,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -55,6 +68,14 @@ impl fmt::Display for DeviceError {
                 f,
                 "pulse width search failed: {from} ohm -> {to} ohm at {voltage} V"
             ),
+            DeviceError::InvalidPulse { voltage, width } => write!(
+                f,
+                "invalid pulse: {voltage} V / {width} s (voltage must be finite, \
+                 width finite and non-negative)"
+            ),
+            DeviceError::InvalidLevelBits { bits } => {
+                write!(f, "MLC-2 level must be a 2-bit value, got {bits}")
+            }
         }
     }
 }

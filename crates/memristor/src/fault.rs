@@ -1,0 +1,305 @@
+//! Deterministic device-fault model: stuck-at cells, transient write
+//! skips, parametric drift and endurance wear-out.
+//!
+//! Memristive NVMM fails in ways DRAM does not: cells stick at a rail
+//! (forming/oxide breakdown), program pulses occasionally fail to move the
+//! state (transient write skip), resistance drifts between refreshes, and
+//! cells wear out after a finite switching budget (tracked by
+//! [`EnduranceMeter`]). SPE deliberately perturbs analog state through
+//! sneak paths, so the datapath must survive all of these rather than
+//! silently corrupt plaintext.
+//!
+//! Every draw in this module is a **pure function** of the model seed and
+//! the caller-supplied coordinates (cell id, epoch, retry attempt). There
+//! is no mutable RNG state, so any two evaluations — on any thread, in any
+//! order — agree. That is what lets the serial and multi-bank SPECU
+//! backends report identical fault statistics for the same seed.
+
+use crate::endurance::EnduranceMeter;
+
+/// Domain separators for the per-purpose hash streams.
+const DOMAIN_STUCK: u64 = 0x5354_5543_4B00_0001;
+const DOMAIN_SKIP: u64 = 0x534B_4950_0000_0002;
+const DOMAIN_DRIFT: u64 = 0x4452_4946_5400_0003;
+
+/// The failure modes a memristor cell can exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Permanently stuck in the low-resistance state (`x = 0`, reads as
+    /// the lowest-resistance level).
+    StuckAtLrs,
+    /// Permanently stuck in the high-resistance state (`x = 1`).
+    StuckAtHrs,
+    /// A transient programming failure: one write pulse left the state
+    /// unchanged. Recoverable by retrying with a longer pulse.
+    WriteSkip,
+    /// Parametric resistance drift between accesses.
+    Drift,
+    /// The cell exceeded its endurance rating and no longer switches
+    /// (modelled as stuck at the high-resistance rail, the dominant TaOx
+    /// end-of-life signature).
+    WearOut,
+}
+
+impl FaultKind {
+    /// The normalized state a *permanent* fault pins the cell to, or
+    /// `None` for transient kinds.
+    pub fn pinned_state(self) -> Option<f64> {
+        match self {
+            FaultKind::StuckAtLrs => Some(0.0),
+            FaultKind::StuckAtHrs | FaultKind::WearOut => Some(1.0),
+            FaultKind::WriteSkip | FaultKind::Drift => None,
+        }
+    }
+
+    /// Whether the fault is permanent (retries cannot clear it).
+    pub fn is_permanent(self) -> bool {
+        self.pinned_state().is_some()
+    }
+}
+
+/// A deterministic, seedable fault model attachable to any device or
+/// array.
+///
+/// Rates are per-cell probabilities; `seed` decorrelates independent
+/// experiments. The model is pure data (`Copy`) so it can be embedded in
+/// policies shared across SPECU banks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability a cell is permanently stuck at the LRS rail.
+    pub stuck_lrs_rate: f64,
+    /// Probability a cell is permanently stuck at the HRS rail.
+    pub stuck_hrs_rate: f64,
+    /// Per-pulse probability a program pulse fails to move the state.
+    /// Halves on each retry (exponential pulse-width backoff: a doubled
+    /// pulse width is twice as likely to land).
+    pub write_skip_rate: f64,
+    /// Standard deviation of the per-epoch normalized-state drift.
+    pub drift_sigma: f64,
+    /// Full-swing cycles after which a cell is worn out (use
+    /// `f64::INFINITY` to disable; compare against an
+    /// [`EnduranceMeter`]'s consumed budget).
+    pub wear_out_cycles: f64,
+    /// Seed decorrelating all draws of this model instance.
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// A model that never faults.
+    pub fn none() -> Self {
+        FaultModel {
+            stuck_lrs_rate: 0.0,
+            stuck_hrs_rate: 0.0,
+            write_skip_rate: 0.0,
+            drift_sigma: 0.0,
+            wear_out_cycles: f64::INFINITY,
+            seed: 0,
+        }
+    }
+
+    /// Transient-only model: write skips at `rate`, no permanent faults.
+    pub fn transient(rate: f64, seed: u64) -> Self {
+        FaultModel {
+            write_skip_rate: rate,
+            seed,
+            ..FaultModel::none()
+        }
+    }
+
+    /// Permanent-stuck-only model: `rate` split evenly between the rails.
+    pub fn stuck(rate: f64, seed: u64) -> Self {
+        FaultModel {
+            stuck_lrs_rate: rate / 2.0,
+            stuck_hrs_rate: rate / 2.0,
+            seed,
+            ..FaultModel::none()
+        }
+    }
+
+    /// Whether the model can never produce a fault.
+    pub fn is_none(&self) -> bool {
+        self.stuck_lrs_rate <= 0.0
+            && self.stuck_hrs_rate <= 0.0
+            && self.write_skip_rate <= 0.0
+            && self.drift_sigma <= 0.0
+            && self.wear_out_cycles.is_infinite()
+    }
+
+    /// The permanent fault (if any) of the physical cell `cell`.
+    ///
+    /// Deterministic in `(seed, cell)`: remapping a logical cell to a new
+    /// physical location re-draws its fault independently.
+    pub fn permanent_fault(&self, cell: u64) -> Option<FaultKind> {
+        let p = self.stuck_lrs_rate + self.stuck_hrs_rate;
+        if p <= 0.0 {
+            return None;
+        }
+        let u = unit(mix3(self.seed, DOMAIN_STUCK, cell));
+        if u < self.stuck_lrs_rate {
+            Some(FaultKind::StuckAtLrs)
+        } else if u < p {
+            Some(FaultKind::StuckAtHrs)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the program pulse at retry `attempt` (0 = first try) on
+    /// physical cell `cell` during `epoch` skips (fails to move the
+    /// state). The skip probability halves per attempt, modelling the
+    /// write-verify controller doubling the pulse width on each retry.
+    pub fn write_skipped(&self, cell: u64, epoch: u64, attempt: u32) -> bool {
+        if self.write_skip_rate <= 0.0 {
+            return false;
+        }
+        let p = self.write_skip_rate / f64::powi(2.0, attempt.min(52) as i32);
+        unit(mix5(self.seed, DOMAIN_SKIP, cell, epoch, attempt as u64)) < p
+    }
+
+    /// Normalized-state drift of `cell` during `epoch` (zero-mean,
+    /// approximately Gaussian with `drift_sigma`).
+    pub fn drift_offset(&self, cell: u64, epoch: u64) -> f64 {
+        if self.drift_sigma <= 0.0 {
+            return 0.0;
+        }
+        // Irwin–Hall sum of four uniforms: variance 4/12, so scale by
+        // sigma / sqrt(1/3) for a unit-sigma approximate normal.
+        let mut sum = 0.0;
+        for k in 0..4u64 {
+            sum += unit(mix5(self.seed, DOMAIN_DRIFT, cell, epoch, k));
+        }
+        (sum - 2.0) * self.drift_sigma / (1.0f64 / 3.0).sqrt()
+    }
+
+    /// Whether a cell with the given endurance history is worn out under
+    /// this model (its consumed budget exceeds `wear_out_cycles`, or the
+    /// meter's own rating is exhausted).
+    pub fn worn_out(&self, meter: &EnduranceMeter) -> bool {
+        meter.exhausted() || meter.consumed() >= self.wear_out_cycles
+    }
+}
+
+/// SplitMix64 finalizer: the avalanche stage used throughout the repo's
+/// deterministic draws.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    splitmix(splitmix(a ^ b).wrapping_add(c))
+}
+
+fn mix5(a: u64, b: u64, c: u64, d: u64, e: u64) -> u64 {
+    splitmix(splitmix(mix3(a, b, c) ^ d).wrapping_add(e))
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_model_never_faults() {
+        let m = FaultModel::none();
+        assert!(m.is_none());
+        for cell in 0..1000 {
+            assert_eq!(m.permanent_fault(cell), None);
+            assert!(!m.write_skipped(cell, 0, 0));
+            assert_eq!(m.drift_offset(cell, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_dependent() {
+        let a = FaultModel::stuck(0.3, 7);
+        let b = FaultModel::stuck(0.3, 7);
+        let c = FaultModel::stuck(0.3, 8);
+        let fa: Vec<_> = (0..500).map(|i| a.permanent_fault(i)).collect();
+        let fb: Vec<_> = (0..500).map(|i| b.permanent_fault(i)).collect();
+        let fc: Vec<_> = (0..500).map(|i| c.permanent_fault(i)).collect();
+        assert_eq!(fa, fb, "same seed, same faults");
+        assert_ne!(fa, fc, "different seed, different faults");
+    }
+
+    #[test]
+    fn stuck_rate_is_respected() {
+        let m = FaultModel::stuck(0.2, 42);
+        let n = 20_000u64;
+        let stuck = (0..n).filter(|i| m.permanent_fault(*i).is_some()).count();
+        let ratio = stuck as f64 / n as f64;
+        assert!((ratio - 0.2).abs() < 0.02, "stuck ratio {ratio}");
+        // Both rails occur.
+        assert!((0..n).any(|i| m.permanent_fault(i) == Some(FaultKind::StuckAtLrs)));
+        assert!((0..n).any(|i| m.permanent_fault(i) == Some(FaultKind::StuckAtHrs)));
+    }
+
+    #[test]
+    fn skip_probability_halves_per_attempt() {
+        let m = FaultModel::transient(0.5, 3);
+        let n = 20_000u64;
+        let rate = |attempt: u32| {
+            (0..n).filter(|c| m.write_skipped(*c, 1, attempt)).count() as f64 / n as f64
+        };
+        let r0 = rate(0);
+        let r1 = rate(1);
+        let r2 = rate(2);
+        assert!((r0 - 0.5).abs() < 0.03, "attempt 0 rate {r0}");
+        assert!((r1 - 0.25).abs() < 0.03, "attempt 1 rate {r1}");
+        assert!((r2 - 0.125).abs() < 0.03, "attempt 2 rate {r2}");
+    }
+
+    #[test]
+    fn drift_is_zero_mean_with_requested_sigma() {
+        let m = FaultModel {
+            drift_sigma: 0.05,
+            ..FaultModel::none()
+        };
+        let n = 20_000u64;
+        let draws: Vec<f64> = (0..n).map(|c| m.drift_offset(c, 9)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.002, "drift mean {mean}");
+        assert!(
+            (var.sqrt() - 0.05).abs() < 0.005,
+            "drift sigma {}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn wear_out_tracks_endurance_meter() {
+        let m = FaultModel {
+            wear_out_cycles: 10.0,
+            ..FaultModel::none()
+        };
+        let mut meter = EnduranceMeter::new(1.0e6);
+        assert!(!m.worn_out(&meter));
+        for _ in 0..10 {
+            meter.record(1.0);
+        }
+        assert!(m.worn_out(&meter), "model threshold reached");
+        // The meter's own rating also triggers wear-out.
+        let strict = FaultModel::none();
+        let mut spent = EnduranceMeter::new(2.0);
+        spent.record(1.0);
+        spent.record(1.0);
+        assert!(strict.worn_out(&spent));
+    }
+
+    #[test]
+    fn pinned_states_match_rails() {
+        assert_eq!(FaultKind::StuckAtLrs.pinned_state(), Some(0.0));
+        assert_eq!(FaultKind::StuckAtHrs.pinned_state(), Some(1.0));
+        assert_eq!(FaultKind::WearOut.pinned_state(), Some(1.0));
+        assert_eq!(FaultKind::WriteSkip.pinned_state(), None);
+        assert!(FaultKind::StuckAtHrs.is_permanent());
+        assert!(!FaultKind::Drift.is_permanent());
+    }
+}

@@ -23,17 +23,21 @@
 //! ```
 //! use spe_memristor::{DeviceParams, Memristor, MlcLevel};
 //!
+//! # fn main() -> Result<(), spe_memristor::DeviceError> {
 //! let params = DeviceParams::default();
-//! let mut cell = Memristor::with_level(&params, MlcLevel::L10);
+//! let mut cell = Memristor::with_level(&params, MlcLevel::L10)?;
 //! // A positive pulse raises resistance (toward logic 00).
 //! cell.apply_pulse(1.0, 0.071e-6);
 //! assert!(cell.resistance() > MlcLevel::L10.nominal_resistance(&params));
+//! # Ok(())
+//! # }
 //! ```
 
 #![deny(unsafe_code)]
 
 pub mod endurance;
 pub mod error;
+pub mod fault;
 pub mod mlc;
 pub mod params;
 pub mod pulse;
@@ -42,6 +46,7 @@ pub mod variation;
 
 pub use endurance::{EnduranceImpact, EnduranceMeter};
 pub use error::DeviceError;
+pub use fault::{FaultKind, FaultModel};
 pub use mlc::MlcLevel;
 pub use params::DeviceParams;
 pub use pulse::{Pulse, PulseWidthSearch};

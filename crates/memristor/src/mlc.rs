@@ -1,5 +1,6 @@
 //! Multi-level cell (MLC-2) quantization: two bits per memristor.
 
+use crate::error::DeviceError;
 use crate::params::DeviceParams;
 use crate::team::Memristor;
 use std::fmt;
@@ -37,17 +38,25 @@ impl MlcLevel {
 
     /// Builds a level from its two-bit logic value (`0b00` through `0b11`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bits > 3`.
-    pub fn from_bits(bits: u8) -> MlcLevel {
-        match bits {
-            0b00 => MlcLevel::L00,
-            0b01 => MlcLevel::L01,
-            0b10 => MlcLevel::L10,
-            0b11 => MlcLevel::L11,
-            _ => panic!("MLC-2 level must be a 2-bit value, got {bits}"),
+    /// Returns [`DeviceError::InvalidLevelBits`] if `bits > 3`. Callers
+    /// that already hold a masked two-bit value can use the infallible
+    /// [`from_masked`](Self::from_masked) instead.
+    pub fn from_bits(bits: u8) -> Result<MlcLevel, DeviceError> {
+        if bits > 0b11 {
+            return Err(DeviceError::InvalidLevelBits { bits });
         }
+        Ok(MlcLevel::ALL[bits as usize])
+    }
+
+    /// Builds a level from the low two bits of `bits`, ignoring the rest.
+    ///
+    /// Infallible companion to [`from_bits`](Self::from_bits) for call
+    /// sites that extract fields with a mask and cannot produce a wide
+    /// value.
+    pub fn from_masked(bits: u8) -> MlcLevel {
+        MlcLevel::ALL[(bits & 0b11) as usize]
     }
 
     /// The two-bit logic value of this level.
@@ -121,10 +130,13 @@ impl fmt::Display for MlcLevel {
 ///
 /// ```
 /// use spe_memristor::{mlc, DeviceParams, Memristor, MlcLevel};
+/// # fn main() -> Result<(), spe_memristor::DeviceError> {
 /// let p = DeviceParams::default();
-/// let mut cell = Memristor::with_level(&p, MlcLevel::L11);
+/// let mut cell = Memristor::with_level(&p, MlcLevel::L11)?;
 /// mlc::program_verify(&mut cell, MlcLevel::L00, 256);
 /// assert_eq!(cell.level(), MlcLevel::L00);
+/// # Ok(())
+/// # }
 /// ```
 pub fn program_verify(cell: &mut Memristor, target: MlcLevel, max_pulses: u32) -> u32 {
     let params = cell.params().clone();
@@ -157,14 +169,25 @@ mod tests {
     #[test]
     fn bits_roundtrip() {
         for b in 0..4u8 {
-            assert_eq!(MlcLevel::from_bits(b).bits(), b);
+            assert_eq!(MlcLevel::from_bits(b).expect("2-bit value").bits(), b);
+            assert_eq!(MlcLevel::from_masked(b).bits(), b);
         }
     }
 
     #[test]
-    #[should_panic(expected = "2-bit")]
     fn from_bits_rejects_wide_values() {
-        MlcLevel::from_bits(4);
+        for b in [4u8, 5, 128, 255] {
+            assert_eq!(
+                MlcLevel::from_bits(b),
+                Err(DeviceError::InvalidLevelBits { bits: b })
+            );
+        }
+    }
+
+    #[test]
+    fn from_masked_keeps_low_bits_only() {
+        assert_eq!(MlcLevel::from_masked(0b101), MlcLevel::L01);
+        assert_eq!(MlcLevel::from_masked(0xFF), MlcLevel::L11);
     }
 
     #[test]
@@ -196,7 +219,7 @@ mod tests {
         let p = DeviceParams::default();
         for from in MlcLevel::ALL {
             for to in MlcLevel::ALL {
-                let mut cell = Memristor::with_level(&p, from);
+                let mut cell = Memristor::with_level(&p, from).expect("nominal level");
                 let pulses = program_verify(&mut cell, to, 4096);
                 assert_eq!(
                     cell.level(),

@@ -21,16 +21,15 @@ pub struct Pulse {
 impl Pulse {
     /// Creates a pulse descriptor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is negative or either field is non-finite.
-    pub fn new(voltage: f64, width: f64) -> Self {
-        assert!(voltage.is_finite(), "pulse voltage must be finite");
-        assert!(
-            width.is_finite() && width >= 0.0,
-            "pulse width must be non-negative"
-        );
-        Pulse { voltage, width }
+    /// Returns [`DeviceError::InvalidPulse`] if `width` is negative or
+    /// either field is non-finite.
+    pub fn new(voltage: f64, width: f64) -> Result<Self, DeviceError> {
+        if !voltage.is_finite() || !width.is_finite() || width < 0.0 {
+            return Err(DeviceError::InvalidPulse { voltage, width });
+        }
+        Ok(Pulse { voltage, width })
     }
 
     /// Applies this pulse to a device and returns the resulting resistance.
@@ -141,7 +140,7 @@ impl PulseWidthSearch {
         };
         let w_enc = self.width_for(plain_r, cipher_r, up_v)?;
         let w_dec = self.width_for(cipher_r, plain_r, down_v)?;
-        Ok((Pulse::new(up_v, w_enc), Pulse::new(down_v, w_dec)))
+        Ok((Pulse::new(up_v, w_enc)?, Pulse::new(down_v, w_dec)?))
     }
 }
 
@@ -201,16 +200,25 @@ mod tests {
 
     #[test]
     fn pulse_display_formats_microseconds() {
-        let pulse = Pulse::new(1.0, 0.071e-6);
+        let pulse = Pulse::new(1.0, 0.071e-6).expect("valid pulse");
         let s = pulse.to_string();
         assert!(s.contains("+1.00 V"));
         assert!(s.contains("0.071"));
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn pulse_rejects_negative_width() {
-        Pulse::new(1.0, -1.0e-9);
+    fn pulse_rejects_unphysical_descriptors() {
+        for (v, w) in [
+            (1.0, -1.0e-9),
+            (f64::NAN, 1.0e-9),
+            (1.0, f64::INFINITY),
+            (f64::INFINITY, 1.0e-9),
+        ] {
+            assert!(matches!(
+                Pulse::new(v, w),
+                Err(DeviceError::InvalidPulse { .. })
+            ));
+        }
     }
 
     // Found width actually achieves the target when applied (grid sweep

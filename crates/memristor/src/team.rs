@@ -46,20 +46,27 @@ impl Memristor {
 
     /// Creates a device programmed at the nominal resistance of an MLC level.
     ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ResistanceOutOfRange`] when the level's
+    /// nominal resistance falls outside the device range (possible for
+    /// heavily varied or degenerate parameter sets).
+    ///
     /// # Example
     ///
     /// ```
     /// use spe_memristor::{DeviceParams, Memristor, MlcLevel};
+    /// # fn main() -> Result<(), spe_memristor::DeviceError> {
     /// let p = DeviceParams::default();
-    /// let cell = Memristor::with_level(&p, MlcLevel::L00);
+    /// let cell = Memristor::with_level(&p, MlcLevel::L00)?;
     /// assert_eq!(cell.level(), MlcLevel::L00);
+    /// # Ok(())
+    /// # }
     /// ```
-    pub fn with_level(params: &DeviceParams, level: MlcLevel) -> Self {
+    pub fn with_level(params: &DeviceParams, level: MlcLevel) -> Result<Self, DeviceError> {
         let r = level.nominal_resistance(params);
-        let x = params
-            .state_for_resistance(r)
-            .expect("nominal level resistance is inside device range");
-        Memristor::new(params, x)
+        let x = params.state_for_resistance(r)?;
+        Ok(Memristor::new(params, x))
     }
 
     /// Creates a device at a given resistance.
@@ -150,10 +157,13 @@ impl Memristor {
     ///
     /// ```
     /// use spe_memristor::{DeviceParams, Memristor, MlcLevel};
+    /// # fn main() -> Result<(), spe_memristor::DeviceError> {
     /// let p = DeviceParams::default();
-    /// let mut cell = Memristor::with_level(&p, MlcLevel::L10);
+    /// let mut cell = Memristor::with_level(&p, MlcLevel::L10)?;
     /// let r = cell.apply_pulse(1.0, 0.07e-6);
     /// assert!(r > 60.0e3);
+    /// # Ok(())
+    /// # }
     /// ```
     pub fn apply_pulse(&mut self, voltage: f64, width: f64) -> f64 {
         let dt = self.params.dt;
@@ -190,7 +200,7 @@ mod tests {
     #[test]
     fn positive_pulse_raises_resistance() {
         let p = params();
-        let mut m = Memristor::with_level(&p, MlcLevel::L10);
+        let mut m = Memristor::with_level(&p, MlcLevel::L10).expect("level");
         let r0 = m.resistance();
         m.apply_pulse(1.0, 0.05e-6);
         assert!(m.resistance() > r0);
@@ -199,7 +209,7 @@ mod tests {
     #[test]
     fn negative_pulse_lowers_resistance() {
         let p = params();
-        let mut m = Memristor::with_level(&p, MlcLevel::L00);
+        let mut m = Memristor::with_level(&p, MlcLevel::L00).expect("level");
         let r0 = m.resistance();
         m.apply_pulse(-1.0, 0.01e-6);
         assert!(m.resistance() < r0);
@@ -208,7 +218,7 @@ mod tests {
     #[test]
     fn subthreshold_voltage_is_ignored() {
         let p = params();
-        let mut m = Memristor::with_level(&p, MlcLevel::L01);
+        let mut m = Memristor::with_level(&p, MlcLevel::L01).expect("level");
         let r0 = m.resistance();
         m.apply_pulse(0.5, 1.0e-6);
         assert_eq!(m.resistance(), r0);
@@ -237,7 +247,7 @@ mod tests {
     #[test]
     fn state_saturates_at_bounds() {
         let p = params();
-        let mut m = Memristor::with_level(&p, MlcLevel::L00);
+        let mut m = Memristor::with_level(&p, MlcLevel::L00).expect("level");
         m.apply_pulse(1.5, 10.0e-6);
         assert!(m.state() <= 1.0);
         assert!(m.resistance() <= p.r_off);
@@ -251,7 +261,7 @@ mod tests {
         // Fig. 5: +1 V encryption 10→00 takes ~0.07 µs; −1 V decryption back
         // takes a *different, much shorter* width (~0.015 µs).
         let p = params();
-        let mut m = Memristor::with_level(&p, MlcLevel::L10);
+        let mut m = Memristor::with_level(&p, MlcLevel::L10).expect("level");
         let target = 172.0e3;
         let mut t_up = 0.0;
         while m.resistance() < target {
@@ -276,7 +286,7 @@ mod tests {
     fn level_roundtrip_through_with_level() {
         let p = params();
         for level in MlcLevel::ALL {
-            let m = Memristor::with_level(&p, level);
+            let m = Memristor::with_level(&p, level).expect("level");
             assert_eq!(m.level(), level);
         }
     }

@@ -1,0 +1,239 @@
+//! Fault-injection campaigns over the SPECU's resilient datapath.
+//!
+//! A campaign sweeps transient fault rates, encrypts a population of cache
+//! lines through the write-verify/retry/remap path, reads every line back
+//! through the integrity-checked decrypt, and records how much recovery
+//! work each rate cost ([`CampaignPoint`]). The same campaign runs on the
+//! serial [`SpeContext`] datapath and the multi-bank [`ParallelSpecu`];
+//! because every fault draw is a pure function of the policy seed and the
+//! block tweak, the two backends report identical statistics — the
+//! regression `tests/fault_recovery.rs` pins.
+
+use spe_core::{FaultCounters, FaultModel, FaultPolicy, ParallelSpecu, SpeContext, SpeError};
+
+use crate::stats::SimStats;
+
+/// Configuration of one fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Transient (write-skip) fault rates to sweep.
+    pub rates: Vec<f64>,
+    /// Cache lines encrypted and read back per rate.
+    pub lines_per_rate: u64,
+    /// Seed for the fault stream and the plaintext population.
+    pub seed: u64,
+    /// Retry budget per cell commit.
+    pub max_retries: u32,
+    /// Spare regions per block.
+    pub spare_regions: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            rates: vec![0.0, 1e-4, 1e-3, 1e-2],
+            lines_per_rate: 16,
+            seed: 0xFA17,
+            max_retries: 4,
+            spare_regions: 2,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A small smoke-test campaign (used by CI).
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            rates: vec![0.0, 1e-4, 1e-3],
+            lines_per_rate: 4,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// The fault policy for one swept rate.
+    pub fn policy(&self, rate: f64) -> FaultPolicy {
+        FaultPolicy {
+            model: FaultModel::transient(rate, self.seed),
+            max_retries: self.max_retries,
+            spare_regions: self.spare_regions,
+        }
+    }
+}
+
+/// The outcome of one swept fault rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignPoint {
+    /// The transient fault rate injected.
+    pub rate: f64,
+    /// Lines encrypted and read back.
+    pub lines: u64,
+    /// Merged fault counters across all lines.
+    pub counters: FaultCounters,
+    /// Lines that could not be committed (spares exhausted) or failed
+    /// their integrity check on read-back.
+    pub uncorrectable_lines: u64,
+    /// Lines whose read-back plaintext mismatched without a typed error —
+    /// always zero; a nonzero value means silent corruption escaped the
+    /// integrity tag.
+    pub silent_corruptions: u64,
+}
+
+/// A rate-sweeping fault-injection campaign.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultCampaign {
+    config: CampaignConfig,
+}
+
+/// One encrypt-then-checked-decrypt round trip, generic over the backend.
+type LineTrip<'a> =
+    dyn Fn(&[u8; 64], u64, &FaultPolicy) -> Result<(Vec<u8>, FaultCounters), SpeError> + 'a;
+
+impl FaultCampaign {
+    /// A campaign with the given configuration.
+    pub fn new(config: CampaignConfig) -> Self {
+        FaultCampaign { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the sweep on the serial datapath.
+    pub fn run_serial(&self, ctx: &SpeContext) -> Vec<CampaignPoint> {
+        self.run(&|pt, addr, policy| {
+            let (line, counters) = ctx.encrypt_line_resilient(pt, addr, policy)?;
+            Ok((ctx.decrypt_line_checked(&line)?.to_vec(), counters))
+        })
+    }
+
+    /// Runs the sweep on a multi-bank parallel datapath.
+    pub fn run_parallel(&self, par: &ParallelSpecu) -> Vec<CampaignPoint> {
+        self.run(&|pt, addr, policy| {
+            let (line, counters) = par.encrypt_line_resilient(pt, addr, policy)?;
+            Ok((par.decrypt_line_checked(&line)?.to_vec(), counters))
+        })
+    }
+
+    fn run(&self, trip: &LineTrip<'_>) -> Vec<CampaignPoint> {
+        self.config
+            .rates
+            .iter()
+            .map(|&rate| {
+                let policy = self.config.policy(rate);
+                let mut point = CampaignPoint {
+                    rate,
+                    lines: self.config.lines_per_rate,
+                    counters: FaultCounters::default(),
+                    uncorrectable_lines: 0,
+                    silent_corruptions: 0,
+                };
+                for n in 0..self.config.lines_per_rate {
+                    let pt = splitmix_line(self.config.seed ^ n.wrapping_mul(0x9E37));
+                    // Distinct address spaces per rate so sweeps don't
+                    // share fault draws through the tweak.
+                    let addr = (rate.to_bits() >> 40) ^ (n << 8);
+                    match trip(&pt, addr, &policy) {
+                        Ok((back, counters)) => {
+                            point.counters.merge(&counters);
+                            if back != pt {
+                                point.silent_corruptions += 1;
+                            }
+                        }
+                        // FaultExhausted (spares ran out) or
+                        // IntegrityViolation (corrupt read-back); any other
+                        // error also counts against the line rather than
+                        // aborting the sweep.
+                        Err(_) => point.uncorrectable_lines += 1,
+                    }
+                }
+                point
+            })
+            .collect()
+    }
+
+    /// Folds a sweep's recovery work into simulator statistics.
+    pub fn fold_into(points: &[CampaignPoint], stats: &mut SimStats) {
+        for p in points {
+            stats.fault_retries += p.counters.retries;
+            stats.fault_remaps += p.counters.remaps;
+            stats.uncorrectable_lines += p.uncorrectable_lines;
+        }
+    }
+}
+
+/// Deterministic pseudo-random 64-byte line.
+fn splitmix_line(seed: u64) -> [u8; 64] {
+    let mut s = seed;
+    core::array::from_fn(|_| {
+        s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_core::{Key, Specu};
+    use std::sync::OnceLock;
+
+    fn specu() -> Specu {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xCA)).expect("specu"))
+            .clone()
+    }
+
+    #[test]
+    fn zero_rate_point_is_clean() {
+        let campaign = FaultCampaign::new(CampaignConfig {
+            rates: vec![0.0],
+            lines_per_rate: 2,
+            ..CampaignConfig::default()
+        });
+        let pts = campaign.run_serial(specu().context().expect("ctx"));
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].counters.retries, 0);
+        assert_eq!(pts[0].uncorrectable_lines, 0);
+        assert_eq!(pts[0].silent_corruptions, 0);
+        assert!(pts[0].counters.cell_commits > 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let s = specu();
+        let campaign = FaultCampaign::new(CampaignConfig {
+            rates: vec![1e-3],
+            lines_per_rate: 3,
+            ..CampaignConfig::default()
+        });
+        let serial = campaign.run_serial(s.context().expect("ctx"));
+        let parallel = campaign.run_parallel(&s.parallel(4).expect("par"));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fold_into_accumulates() {
+        let pts = vec![CampaignPoint {
+            rate: 1e-3,
+            lines: 4,
+            counters: FaultCounters {
+                cell_commits: 100,
+                transient_faults: 3,
+                retries: 5,
+                remaps: 1,
+                uncorrectable: 0,
+            },
+            uncorrectable_lines: 2,
+            silent_corruptions: 0,
+        }];
+        let mut stats = SimStats::default();
+        FaultCampaign::fold_into(&pts, &mut stats);
+        assert_eq!(stats.fault_retries, 5);
+        assert_eq!(stats.fault_remaps, 1);
+        assert_eq!(stats.uncorrectable_lines, 2);
+    }
+}

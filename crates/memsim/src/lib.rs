@@ -41,6 +41,7 @@
 
 pub mod backends;
 pub mod cache;
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod nvcache;
@@ -53,6 +54,7 @@ pub use backends::{
     AesCtrEngine, InvmmEngine, NullEngine, ProfiledEngine, SpeCostModel, StreamEngine,
 };
 pub use cache::{AccessOutcome, SetAssocCache};
+pub use campaign::{CampaignConfig, CampaignPoint, FaultCampaign};
 pub use config::SystemConfig;
 pub use engine::EncryptionEngine;
 pub use stats::SimStats;

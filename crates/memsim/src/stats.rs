@@ -31,6 +31,14 @@ pub struct SimStats {
     pub lines_opened: u64,
     /// Periodic samples of the encrypted fraction `(cycle, fraction)`.
     pub encrypted_samples: Vec<(u64, f64)>,
+    /// Extra program pulses issued by SPECU write-verify retry (0 unless a
+    /// fault campaign runs).
+    pub fault_retries: u64,
+    /// Polyomino remaps to spare regions (0 unless a fault campaign runs).
+    pub fault_remaps: u64,
+    /// Lines the recovery ladder could not commit or whose integrity tag
+    /// failed on read-back (0 unless a fault campaign runs).
+    pub uncorrectable_lines: u64,
 }
 
 impl SimStats {

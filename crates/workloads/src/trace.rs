@@ -7,7 +7,7 @@
 //! with no external serialization dependencies.
 
 use crate::generator::Access;
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// File magic: "SPETRACE".
 const MAGIC: &[u8; 8] = b"SPETRACE";
@@ -99,6 +99,79 @@ pub fn read<R: Read>(mut r: R) -> io::Result<Vec<Access>> {
     Ok(out)
 }
 
+/// Serializes accesses as a human-editable text trace: one
+/// `W <addr> <gap>` or `R <addr> <gap>` line per access (addresses in
+/// hex), with `#` comments and blank lines permitted on read.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(mut w: W, accesses: &[Access]) -> io::Result<()> {
+    for a in accesses {
+        let op = if a.is_write { 'W' } else { 'R' };
+        writeln!(w, "{op} {:#x} {}", a.addr, a.gap)?;
+    }
+    Ok(())
+}
+
+/// Parses a text trace written by [`write_text`] (or by hand).
+///
+/// # Errors
+///
+/// Returns `InvalidData` naming the 1-based line number for any malformed
+/// line: an unknown op, a missing or unparsable field, or trailing junk.
+/// Blank lines and lines starting with `#` are skipped.
+pub fn read_text<R: Read>(r: R) -> io::Result<Vec<Access>> {
+    let bad = |line_no: usize, what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("trace line {line_no}: {what}"),
+        )
+    };
+    let mut out = Vec::new();
+    for (n, line) in BufReader::new(r).lines().enumerate() {
+        let line_no = n + 1;
+        let line = line?;
+        let body = line.trim();
+        if body.is_empty() || body.starts_with('#') {
+            continue;
+        }
+        let mut fields = body.split_whitespace();
+        let is_write = match fields.next() {
+            Some("W") | Some("w") => true,
+            Some("R") | Some("r") => false,
+            Some(op) => return Err(bad(line_no, &format!("unknown op {op:?} (want R or W)"))),
+            None => unreachable!("blank lines are skipped"),
+        };
+        let addr_field = fields
+            .next()
+            .ok_or_else(|| bad(line_no, "missing address field"))?;
+        let addr = match addr_field
+            .strip_prefix("0x")
+            .or_else(|| addr_field.strip_prefix("0X"))
+        {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => addr_field.parse(),
+        }
+        .map_err(|e| bad(line_no, &format!("bad address {addr_field:?}: {e}")))?;
+        let gap_field = fields
+            .next()
+            .ok_or_else(|| bad(line_no, "missing gap field"))?;
+        let gap: u32 = gap_field
+            .parse()
+            .map_err(|e| bad(line_no, &format!("bad gap {gap_field:?}: {e}")))?;
+        if let Some(junk) = fields.next() {
+            return Err(bad(line_no, &format!("trailing junk {junk:?}")));
+        }
+        out.push(Access {
+            addr,
+            is_write,
+            gap,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +238,55 @@ mod tests {
         let replayed = read(std::fs::File::open(&path).expect("open")).expect("read");
         assert_eq!(replayed, accesses);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_every_record() {
+        let accesses = sample(200);
+        let mut buf = Vec::new();
+        write_text(&mut buf, &accesses).expect("write");
+        let replayed = read_text(buf.as_slice()).expect("read");
+        assert_eq!(replayed, accesses);
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_blanks() {
+        let src = "# a comment\n\n  R 0x40 3\nW 128 0\n   # indented comment\n";
+        let accesses = read_text(src.as_bytes()).expect("read");
+        assert_eq!(
+            accesses,
+            vec![
+                Access {
+                    addr: 0x40,
+                    is_write: false,
+                    gap: 3
+                },
+                Access {
+                    addr: 128,
+                    is_write: true,
+                    gap: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn text_parser_reports_line_numbers() {
+        let cases = [
+            ("R 0x40 1\nX 0x80 2\n", "line 2", "unknown op"),
+            ("# ok\nR\n", "line 2", "missing address"),
+            ("R zzz 1\n", "line 1", "bad address"),
+            ("W 0x40\n", "line 1", "missing gap"),
+            ("W 0x40 -3\n", "line 1", "bad gap"),
+            ("W 0x40 1 extra\n", "line 1", "trailing junk"),
+        ];
+        for (src, line, what) in cases {
+            let err = read_text(src.as_bytes()).expect_err(src);
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{src}");
+            let msg = err.to_string();
+            assert!(msg.contains(line), "{src}: {msg}");
+            assert!(msg.contains(what), "{src}: {msg}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ fn random_levels(seed: u64) -> Vec<MlcLevel> {
             s = s
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            MlcLevel::from_bits(((s >> 33) & 3) as u8)
+            MlcLevel::from_masked((s >> 33) as u8)
         })
         .collect()
 }
@@ -98,7 +98,11 @@ fn circuit_pulse_moves_polyomino_cells_toward_pulse_direction() {
     let poe = CellAddr::new(3, 4);
     let before: Vec<f64> = xbar.states();
     let report = xbar
-        .apply_sneak_pulse(poe, snvmm::memristor::Pulse::new(1.0, 0.07e-6), 4)
+        .apply_sneak_pulse(
+            poe,
+            snvmm::memristor::Pulse::new(1.0, 0.07e-6).expect("pulse"),
+            4,
+        )
         .expect("pulse");
     let after = xbar.states();
     let mut moved_up = 0;

@@ -1,0 +1,175 @@
+//! Write-verify/retry/remap recovery under injected faults.
+//!
+//! Pins the tentpole robustness properties: transient faults are absorbed
+//! by the retry ladder without corrupting plaintext, hard failures degrade
+//! gracefully through polyomino remapping into a typed
+//! [`SpeError::FaultExhausted`], tampered or untagged lines surface as
+//! [`SpeError::IntegrityViolation`] instead of silently wrong bytes, and
+//! the serial and multi-bank parallel backends observe identical fault
+//! histories for the same seed.
+
+use snvmm::core::{
+    CipherBlock, FaultCounters, FaultModel, FaultPolicy, Key, LineJob, SpeError, Specu,
+};
+use snvmm::memsim::{CampaignConfig, FaultCampaign};
+use std::sync::OnceLock;
+
+fn specu() -> Specu {
+    static CACHE: OnceLock<Specu> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Specu::new(Key::from_seed(0x0F17)).expect("specu"))
+        .clone()
+}
+
+fn line(seed: u64) -> [u8; 64] {
+    let mut s = seed;
+    core::array::from_fn(|_| {
+        s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as u8
+    })
+}
+
+#[test]
+fn transient_faults_round_trip_exactly() {
+    // A fault rate high enough to exercise the retry ladder on nearly
+    // every line, but far below what exhausts 4 retries + 2 spares.
+    let s = specu();
+    let policy = FaultPolicy::transient(0.02, 0xBEEF);
+    let mut total = FaultCounters::default();
+    for n in 0..8u64 {
+        let pt = line(n);
+        let (enc, counters) = s
+            .encrypt_line_resilient(&pt, 0x1000 + n, &policy)
+            .expect("recovery absorbs a 2% transient rate");
+        total.merge(&counters);
+        assert_eq!(
+            s.decrypt_line_checked(&enc).expect("checked decrypt"),
+            pt,
+            "line {n}"
+        );
+    }
+    assert!(
+        total.retries > 0,
+        "a 2% rate over 8 lines must trigger retries: {total:?}"
+    );
+    assert_eq!(total.uncorrectable, 0);
+}
+
+#[test]
+fn remap_exhaustion_returns_typed_error() {
+    // Every cell permanently stuck: the first polyomino burns through both
+    // spare regions and fails with FaultExhausted — no panic, no
+    // ciphertext.
+    let s = specu();
+    let policy = FaultPolicy::with_model(FaultModel::stuck(1.0, 7));
+    let pt = line(99);
+    let serial = s.encrypt_line_resilient(&pt, 0x42, &policy);
+    assert!(
+        matches!(serial, Err(SpeError::FaultExhausted { spares: 2, .. })),
+        "serial: {serial:?}"
+    );
+    let par = s.parallel(4).expect("parallel");
+    let banked = par.encrypt_line_resilient(&pt, 0x42, &policy);
+    assert!(
+        matches!(banked, Err(SpeError::FaultExhausted { spares: 2, .. })),
+        "parallel: {banked:?}"
+    );
+}
+
+#[test]
+fn serial_and_parallel_report_identical_fault_stats() {
+    let s = specu();
+    let policy = FaultPolicy::transient(0.01, 0xD15EA5E);
+    let jobs: Vec<LineJob> = (0..6).map(|i| LineJob::new(line(i), 0x2000 + i)).collect();
+    let serial = s.parallel(1).expect("one bank");
+    let (lines_1, counters_1) = serial
+        .encrypt_lines_resilient(&jobs, &policy)
+        .expect("serial batch");
+    for banks in [2, 4, 7] {
+        let par = s.parallel(banks).expect("banks");
+        let (lines_n, counters_n) = par
+            .encrypt_lines_resilient(&jobs, &policy)
+            .expect("parallel batch");
+        assert_eq!(lines_1, lines_n, "ciphertext with {banks} banks");
+        assert_eq!(counters_1, counters_n, "fault stats with {banks} banks");
+        let round: Vec<[u8; 64]> = par.decrypt_lines_checked(&lines_n).expect("checked batch");
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(round[i], job.plaintext, "line {i} with {banks} banks");
+        }
+    }
+    assert!(counters_1.cell_commits > 0);
+}
+
+#[test]
+fn tampered_line_fails_integrity_check_on_both_backends() {
+    let s = specu();
+    let policy = FaultPolicy::none();
+    let pt = line(5);
+    let (mut enc, _) = s
+        .encrypt_line_resilient(&pt, 0x30, &policy)
+        .expect("encrypt");
+    // Corrupt one stored cell of block 2 (a level value in 0..4): the
+    // decrypt still runs, but the recovered plaintext no longer matches
+    // the keyed tag.
+    let victim = &enc.blocks[2];
+    let mut states = victim.states().to_vec();
+    states[17] = (states[17] + 1.0) % 4.0;
+    enc.blocks[2] = CipherBlock::from_parts_tagged(
+        states,
+        victim.data(),
+        victim.tweak(),
+        victim.tag().expect("resilient blocks are tagged"),
+    );
+    let serial = s.decrypt_line_checked(&enc);
+    assert!(
+        matches!(serial, Err(SpeError::IntegrityViolation { .. })),
+        "serial: {serial:?}"
+    );
+    let par = s.parallel(4).expect("parallel");
+    let banked = par.decrypt_line_checked(&enc);
+    assert!(
+        matches!(banked, Err(SpeError::IntegrityViolation { .. })),
+        "parallel: {banked:?}"
+    );
+}
+
+#[test]
+fn untagged_block_is_rejected_by_checked_decrypt() {
+    // A block written through the plain (non-resilient) path carries no
+    // tag; the checked decrypt refuses to vouch for it.
+    let s = specu();
+    let ct = s.encrypt_block(b"no integrity tag").expect("encrypt");
+    assert!(ct.tag().is_none());
+    assert!(matches!(
+        s.decrypt_block_checked(&ct),
+        Err(SpeError::IntegrityViolation { .. })
+    ));
+    // The unchecked decrypt still works for legacy blocks.
+    assert_eq!(
+        s.decrypt_block(&ct).expect("unchecked"),
+        *b"no integrity tag"
+    );
+}
+
+#[test]
+fn campaign_at_low_rate_has_zero_uncorrectable_lines() {
+    // Acceptance criterion: at a 1e-4 transient rate the recovery ladder
+    // corrects everything, under both backends, with identical stats.
+    let s = specu();
+    let campaign = FaultCampaign::new(CampaignConfig {
+        rates: vec![1e-4],
+        lines_per_rate: 8,
+        ..CampaignConfig::default()
+    });
+    let serial = campaign.run_serial(s.context().expect("context"));
+    let parallel = campaign.run_parallel(&s.parallel(4).expect("parallel"));
+    assert_eq!(serial, parallel, "backends must agree point-for-point");
+    for p in &serial {
+        assert_eq!(p.uncorrectable_lines, 0, "rate {}: {p:?}", p.rate);
+        assert_eq!(p.silent_corruptions, 0, "rate {}: {p:?}", p.rate);
+        assert_eq!(p.counters.uncorrectable, 0);
+    }
+}
