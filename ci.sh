@@ -12,7 +12,8 @@ echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo clippy -D clippy::unwrap_used (fault-hardened library crates)"
-cargo clippy -p spe-memristor -p spe-crossbar --lib --offline -- -D warnings -D clippy::unwrap_used
+cargo clippy -p spe-memristor -p spe-crossbar -p spe-telemetry -p spe-core --lib --offline \
+  -- -D warnings -D clippy::unwrap_used
 
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
@@ -21,7 +22,16 @@ cargo test -q --workspace --offline
 echo "== reproduce_all smoke"
 cargo run --release --offline -p spe-bench --bin reproduce_all
 
-echo "== fault campaign smoke"
-cargo run --release --offline -p spe-bench --bin fault_campaign -- --lines 4
+echo "== fault campaign + telemetry smoke"
+campaign_out=$(cargo run --release --offline -p spe-bench --bin fault_campaign -- --lines 4)
+echo "$campaign_out"
+# The snapshot omits zero counters, so plain presence means the datapath
+# really recorded pulses and recovery retries.
+for counter in poe_pulses retries; do
+  if ! grep -q "$counter: " <<<"$campaign_out"; then
+    echo "FAIL: fault_campaign snapshot is missing a nonzero '$counter' counter" >&2
+    exit 1
+  fi
+done
 
 echo "CI gate passed."

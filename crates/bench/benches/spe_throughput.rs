@@ -5,7 +5,9 @@
 //! parallelism argument).
 
 use spe_bench::Bench;
-use spe_core::{Key, LineJob, SpeVariant, Specu, SpecuConfig};
+use spe_core::{CipherRequest, Key, LineJob, SpeCipher, SpeVariant, Specu, SpecuConfig};
+use spe_telemetry::AtomicRecorder;
+use std::sync::Arc;
 
 const BATCH_LINES: usize = 32;
 
@@ -36,20 +38,28 @@ fn main() {
     let b = Bench::new("spe");
     let closed = specu(SpeVariant::ClosedLoop);
     b.run_bytes("encrypt_block/closed_loop", 16, || {
-        closed.encrypt_block(&pt).expect("encrypt")
+        closed.encrypt(CipherRequest::block(pt)).expect("encrypt")
     });
-    let block = closed.encrypt_block(&pt).expect("encrypt");
+    let block = closed
+        .encrypt(CipherRequest::block(pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
     b.run_bytes("decrypt_block/closed_loop", 16, || {
-        closed.decrypt_block(&block).expect("decrypt")
+        closed
+            .decrypt(CipherRequest::sealed_block(block.clone()))
+            .expect("decrypt")
     });
 
     let analog = specu(SpeVariant::Analog);
     b.run_bytes("encrypt_block/analog", 16, || {
-        analog.encrypt_block(&pt).expect("encrypt")
+        analog.encrypt(CipherRequest::block(pt)).expect("encrypt")
     });
 
     b.run_bytes("encrypt_line/closed_loop", 64, || {
-        closed.encrypt_line(&line, 0x40).expect("encrypt")
+        closed
+            .encrypt(CipherRequest::line(line, 0x40))
+            .expect("encrypt")
     });
 
     b.run("schedule_generation", || {
@@ -94,4 +104,16 @@ fn main() {
     } else {
         println!("(only {cores} core(s) available: wall-clock 3x gate skipped)");
     }
+
+    // Deterministic telemetry snapshot of a fixed post-bench batch — the
+    // machine-diffable side of this bench. A fresh recorder over the same
+    // context, one 4-line batch through the 4-bank datapath: identical
+    // counts on every run.
+    let recorder = Arc::new(AtomicRecorder::new());
+    let banked = banked.with_recorder(recorder.clone());
+    banked
+        .encrypt_lines(&jobs[..4])
+        .expect("telemetry batch encrypt");
+    println!("\ntelemetry snapshot (4-line batch, 4 banks):");
+    println!("{}", recorder.snapshot().to_text());
 }

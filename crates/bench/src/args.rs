@@ -50,6 +50,21 @@ impl Args {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     }
+
+    /// The `--seed` flag every harness shares.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.get_u64("seed", default)
+    }
+
+    /// The `--lines` flag of the line-population harnesses.
+    pub fn lines(&self, default: u64) -> u64 {
+        self.get_u64("lines", default)
+    }
+
+    /// The `--instructions` flag of the simulator harnesses.
+    pub fn instructions(&self, default: u64) -> u64 {
+        self.get_u64("instructions", default)
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +95,13 @@ mod tests {
     fn underscores_in_numbers() {
         let a = args(&["--instructions", "2_000_000"]);
         assert_eq!(a.get_u64("instructions", 0), 2_000_000);
+    }
+
+    #[test]
+    fn shared_flag_helpers() {
+        let a = args(&["--seed", "9", "--lines", "32"]);
+        assert_eq!(a.seed(7), 9);
+        assert_eq!(a.lines(8), 32);
+        assert_eq!(a.instructions(2_000_000), 2_000_000);
     }
 }

@@ -7,7 +7,7 @@
 
 use spe_bench::Table;
 use spe_core::attack::{known_plaintext_ambiguity, wrong_order_decrypt};
-use spe_core::{Key, Specu};
+use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let specu = Specu::new(Key::from_seed(0x5EC))?;
@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Chosen plaintext (§6.3.1): even an all-zero plaintext yields balanced
     // ciphertext.
-    let ct = specu.encrypt_block(&[0u8; 16])?.data();
+    let ct = specu
+        .encrypt(CipherRequest::block([0u8; 16]))?
+        .into_block()?
+        .data();
     let ones: u32 = ct.iter().map(|b| b.count_ones()).sum();
     println!(
         "chosen-plaintext attack (§6.3.1): all-zero plaintext encrypts to a\n\
@@ -56,8 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pt = [0x5Au8; 16];
         let mut flipped = pt;
         flipped[(i / 8) % 16] ^= 1 << (i % 8);
-        let c1 = specu.encrypt_block(&pt)?.data();
-        let c2 = specu.encrypt_block(&flipped)?.data();
+        let c1 = specu
+            .encrypt(CipherRequest::block(pt))?
+            .into_block()?
+            .data();
+        let c2 = specu
+            .encrypt(CipherRequest::block(flipped))?
+            .into_block()?
+            .data();
         flips += c1
             .iter()
             .zip(&c2)

@@ -49,7 +49,7 @@ fn main() {
     );
 
     // Realistic case: run a workload, sweep the actually-dirty lines.
-    let instructions = args.get_u64("instructions", 1_000_000);
+    let instructions = args.instructions(1_000_000);
     let mut system = System::new(SystemConfig::paper(), EncryptionEngine::spe_parallel());
     system.run(TraceGenerator::new(&BenchProfile::gcc(), 3), instructions);
     let report = power_down_sweep(system.l2(), &SchemeProfile::spe_parallel());

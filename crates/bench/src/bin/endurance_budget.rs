@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p spe-bench --bin endurance_budget [--blocks N]`
 
 use spe_bench::{Args, Table};
-use spe_core::{Key, Specu};
+use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 use spe_memristor::{EnduranceImpact, EnduranceMeter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *byte = (b as u8).wrapping_mul(31).wrapping_add(i as u8);
         }
         let before: Vec<u8> = spe_core::specu::bytes_to_level_values(&pt);
-        let ct = specu.encrypt_block_with_tweak(&pt, b)?;
+        let ct = specu
+            .encrypt(CipherRequest::block(pt).with_tweak(b))?
+            .into_block()?;
         let after: Vec<u8> = spe_core::specu::bytes_to_level_values(&ct.data());
         for ((m, a), z) in meters.iter_mut().zip(&before).zip(&after) {
             // Each write programs the plaintext (full-swing budget charged

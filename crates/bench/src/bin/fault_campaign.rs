@@ -5,11 +5,14 @@
 //! each rate, reads every line back through the integrity-checked decrypt,
 //! and reports the recovery work (retries, remaps) and failure counts
 //! (uncorrectable, silent). Runs the sweep on both the serial and the
-//! four-bank parallel backend and verifies they agree point-for-point.
+//! four-bank parallel backend and verifies they agree point-for-point —
+//! including the telemetry counters each backend records, whose serial
+//! snapshot is printed as the machine-diffable summary.
 //!
-//! Exits nonzero if the backends diverge, if any silent corruption escapes
-//! the integrity tag, or if the 1e-4 operating point (the paper-scale
-//! transient rate) has any uncorrectable line.
+//! Exits nonzero if the backends diverge (results or pulse/retry/remap
+//! telemetry), if any silent corruption escapes the integrity tag, or if
+//! the 1e-4 operating point (the paper-scale transient rate) has any
+//! uncorrectable line.
 //!
 //! Usage: `cargo run --release -p spe-bench --bin fault_campaign
 //!         [--lines N] [--seed S]`
@@ -17,13 +20,15 @@
 use spe_bench::{Args, Table};
 use spe_core::{Key, Specu};
 use spe_memsim::{CampaignConfig, FaultCampaign};
+use spe_telemetry::{AtomicRecorder, Counter};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
-    let lines = args.get_u64("lines", 8);
-    let seed = args.get_u64("seed", 0xFA17);
+    let lines = args.lines(8);
+    let seed = args.seed(0xFA17);
 
-    let specu = Specu::new(Key::from_seed(0xDAC2014))?;
+    let mut specu = Specu::new(Key::from_seed(0xDAC2014))?;
     let campaign = FaultCampaign::new(CampaignConfig {
         rates: vec![0.0, 1e-4, 1e-3, 1e-2],
         lines_per_rate: lines,
@@ -32,32 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     println!("SPECU fault-injection campaign — {lines} lines per rate\n");
+    let serial_rec = Arc::new(AtomicRecorder::new());
+    let parallel_rec = Arc::new(AtomicRecorder::new());
+    specu.attach_recorder(serial_rec.clone());
     let serial = campaign.run_serial(specu.context()?);
-    let parallel = campaign.run_parallel(&specu.parallel(4)?);
+    let par = specu.parallel(4)?.with_recorder(parallel_rec.clone());
+    let parallel = campaign.run_parallel(&par);
 
-    let mut table = Table::new([
-        "rate",
-        "lines",
-        "cell commits",
-        "transients",
-        "retries",
-        "remaps",
-        "uncorrectable",
-        "silent",
-    ]);
-    for p in &serial {
-        table.row([
-            format!("{:.0e}", p.rate),
-            p.lines.to_string(),
-            p.counters.cell_commits.to_string(),
-            p.counters.transient_faults.to_string(),
-            p.counters.retries.to_string(),
-            p.counters.remaps.to_string(),
-            p.uncorrectable_lines.to_string(),
-            p.silent_corruptions.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
+    println!("{}", Table::campaign(&serial).render());
 
     if serial != parallel {
         eprintln!("FAIL: serial and parallel backends disagree");
@@ -65,7 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("serial and 4-bank parallel sweeps agree point-for-point");
 
+    // The two backends drive the same datapath, so their telemetry must
+    // match count-for-count on everything the datapath does.
     let mut failed = false;
+    for c in [Counter::PoePulses, Counter::Retries, Counter::Remaps] {
+        let (s, p) = (serial_rec.counter(c), parallel_rec.counter(c));
+        if s != p {
+            eprintln!("FAIL: telemetry {c:?} diverges: serial {s} vs parallel {p}");
+            failed = true;
+        }
+    }
+    if !failed {
+        println!("telemetry agrees: pulse/retry/remap totals identical across backends");
+    }
+
     for p in &serial {
         if p.silent_corruptions > 0 {
             eprintln!(
@@ -86,5 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(1);
     }
     println!("all operating points within budget (zero uncorrectable at <=1e-4)");
+
+    println!("\ntelemetry snapshot (serial sweep):");
+    println!("{}", serial_rec.snapshot().to_text());
     Ok(())
 }

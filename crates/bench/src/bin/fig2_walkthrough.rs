@@ -9,7 +9,7 @@
 
 use spe_bench::Args;
 use spe_core::attack::wrong_order_decrypt;
-use spe_core::{Key, Specu};
+use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 
 fn grid(bytes: &[u8; 16]) -> String {
     let mut out = String::new();
@@ -26,7 +26,7 @@ fn grid(bytes: &[u8; 16]) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
-    let key = Key::from_seed(args.get_u64("seed", 0xDAC));
+    let key = Key::from_seed(args.seed(0xDAC));
     let specu = Specu::new(key)?;
 
     let plaintext = *b"DAC 2014 SNVMM!!";
@@ -39,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  step {i:2}: PoE {poe}  pulse {pulse}");
     }
 
-    let block = specu.encrypt_block(&plaintext)?;
+    let block = specu
+        .encrypt(CipherRequest::block(plaintext))?
+        .into_block()?;
     println!("\nciphertext levels:\n{}", grid(&block.data()));
 
     let report = wrong_order_decrypt(&specu, &plaintext)?;

@@ -10,7 +10,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let row = args.get_u64("row", 3) as usize;
     let col = args.get_u64("col", 4) as usize;
-    let seed = args.get_u64("seed", 42);
+    let seed = args.seed(42);
 
     let dims = Dims::square8();
     let device = DeviceParams::default();

@@ -8,53 +8,26 @@
 //! amortized — `--instructions 10_000_000` reproduces the recorded
 //! EXPERIMENTS.md numbers; `500_000_000` is the paper's scale.
 
-use spe_bench::runs::{mean_overhead, run_matrix};
+use spe_bench::runs::{find_cell, mean_overhead, run_matrix, workload_names, SCHEMES};
 use spe_bench::{Args, Table};
 
 fn main() {
     let args = Args::parse();
-    let instructions = args.get_u64("instructions", 2_000_000);
-    let seed = args.get_u64("seed", 7);
+    let instructions = args.instructions(2_000_000);
+    let seed = args.seed(7);
     println!(
         "Fig. 7 reproduction — performance overhead vs unencrypted baseline\n\
          ({instructions} instructions per run)\n"
     );
     let cells = run_matrix(instructions, seed);
-    let schemes = [
-        "AES",
-        "i-NVMM",
-        "SPE-serial",
-        "SPE-parallel",
-        "Stream cipher",
-    ];
-    let mut table = Table::new(
-        std::iter::once("workload".to_string()).chain(schemes.iter().map(|s| s.to_string())),
+    let table = Table::cross(
+        "workload",
+        &workload_names(&cells),
+        &SCHEMES,
+        |w, s| format!("{:6.2}%", find_cell(&cells, w, s).overhead * 100.0),
+        "average",
+        |s| format!("{:6.2}%", mean_overhead(&cells, s) * 100.0),
     );
-    let workloads: Vec<&str> = {
-        let mut seen = Vec::new();
-        for c in &cells {
-            if !seen.contains(&c.workload) {
-                seen.push(c.workload);
-            }
-        }
-        seen
-    };
-    for w in &workloads {
-        let mut row = vec![w.to_string()];
-        for s in &schemes {
-            let cell = cells
-                .iter()
-                .find(|c| c.workload == *w && c.scheme == *s)
-                .expect("matrix is complete");
-            row.push(format!("{:6.2}%", cell.overhead * 100.0));
-        }
-        table.row(row);
-    }
-    let mut avg = vec!["average".to_string()];
-    for s in &schemes {
-        avg.push(format!("{:6.2}%", mean_overhead(&cells, s) * 100.0));
-    }
-    table.row(avg);
     println!("{table}");
     println!(
         "paper (averages): AES 14%, i-NVMM ~1%, SPE-serial ~1.5%,\n\

@@ -3,56 +3,31 @@
 //! Usage: `cargo run --release -p spe-bench --bin fig8_encrypted_fraction
 //!         [--instructions N] [--seed S]`
 
-use spe_bench::runs::{mean_encrypted, run_matrix};
+use spe_bench::runs::{find_cell, mean_encrypted, run_matrix, workload_names, SCHEMES};
 use spe_bench::{Args, Table};
 
 fn main() {
     let args = Args::parse();
-    let instructions = args.get_u64("instructions", 2_000_000);
-    let seed = args.get_u64("seed", 7);
+    let instructions = args.instructions(2_000_000);
+    let seed = args.seed(7);
     println!(
         "Fig. 8 reproduction — % of data kept in encrypted form\n\
          ({instructions} instructions per run)\n"
     );
     let cells = run_matrix(instructions, seed);
-    let schemes = [
-        "AES",
-        "i-NVMM",
-        "SPE-serial",
-        "SPE-parallel",
-        "Stream cipher",
-    ];
-    let mut table = Table::new(
-        std::iter::once("workload".to_string()).chain(schemes.iter().map(|s| s.to_string())),
-    );
-    let workloads: Vec<&str> = {
-        let mut seen = Vec::new();
-        for c in &cells {
-            if !seen.contains(&c.workload) {
-                seen.push(c.workload);
-            }
-        }
-        seen
-    };
-    for w in &workloads {
-        let mut row = vec![w.to_string()];
-        for s in &schemes {
-            let cell = cells
-                .iter()
-                .find(|c| c.workload == *w && c.scheme == *s)
-                .expect("matrix is complete");
-            row.push(format!(
+    let table = Table::cross(
+        "workload",
+        &workload_names(&cells),
+        &SCHEMES,
+        |w, s| {
+            format!(
                 "{:6.1}%",
-                cell.stats.mean_encrypted_fraction() * 100.0
-            ));
-        }
-        table.row(row);
-    }
-    let mut avg = vec!["average".to_string()];
-    for s in &schemes {
-        avg.push(format!("{:6.1}%", mean_encrypted(&cells, s) * 100.0));
-    }
-    table.row(avg);
+                find_cell(&cells, w, s).stats.mean_encrypted_fraction() * 100.0
+            )
+        },
+        "average",
+        |s| format!("{:6.1}%", mean_encrypted(&cells, s) * 100.0),
+    );
     println!("{table}");
     println!(
         "paper (averages): AES 100%, i-NVMM 73%, SPE-serial 99.4%,\n\

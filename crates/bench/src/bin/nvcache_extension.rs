@@ -13,7 +13,7 @@ use spe_workloads::BenchProfile;
 
 fn main() {
     let args = Args::parse();
-    let instructions = args.get_u64("instructions", 500_000);
+    let instructions = args.instructions(500_000);
     println!(
         "SPE on a non-volatile L2 cache — overhead vs cache-crypto latency\n\
          ({instructions} instructions; main memory SPE-parallel in all runs)\n"

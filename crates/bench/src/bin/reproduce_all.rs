@@ -4,13 +4,16 @@
 //!
 //! Usage: `cargo run --release -p spe-bench --bin reproduce_all`
 
-use spe_bench::runs::{mean_encrypted, mean_overhead, run_matrix};
+use spe_bench::runs::{mean_encrypted, mean_overhead, run_matrix, SCHEMES};
 use spe_bench::Table;
 use spe_core::analysis::{brute_force_full, brute_force_known_ilp, cold_boot_window};
 use spe_core::attack::wrong_order_decrypt;
 use spe_core::{Key, Specu};
 use spe_ilp::PlacementProblem;
 use spe_memristor::{DeviceParams, MlcLevel, PulseWidthSearch};
+use spe_memsim::{CampaignConfig, FaultCampaign};
+use spe_telemetry::AtomicRecorder;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("snvmm — fast reproduction sweep\n================================\n");
@@ -71,13 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nFigs. 7/8 (400k instructions per run):");
     let cells = run_matrix(400_000, 7);
     let mut table = Table::new(["scheme", "avg overhead", "avg % encrypted"]);
-    for s in [
-        "AES",
-        "i-NVMM",
-        "SPE-serial",
-        "SPE-parallel",
-        "Stream cipher",
-    ] {
+    for s in SCHEMES {
         table.row([
             s.to_string(),
             format!("{:.1}%", mean_overhead(&cells, s) * 100.0),
@@ -87,6 +84,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
     println!("(paper averages: AES 14%/100%, i-NVMM 1%/73%, SPE-serial 1.5%/99.4%,");
     println!(" SPE-parallel 2.9%/100%, stream 0.4%/100% — ordering is the target)");
+
+    // Fault-injection smoke sweep with datapath telemetry: the snapshot
+    // text is deterministic for the fixed seed, so this section is
+    // machine-diffable across runs and machines.
+    println!("\nFault campaign (smoke sweep, telemetry-recorded):");
+    let recorder = Arc::new(AtomicRecorder::new());
+    let mut recorded = Specu::new(Key::from_seed(0xDAC2014))?;
+    recorded.attach_recorder(recorder.clone());
+    let points = FaultCampaign::new(CampaignConfig::smoke()).run_serial(recorded.context()?);
+    println!("{}", Table::campaign(&points).render());
+    println!("telemetry snapshot:");
+    println!("{}", recorder.snapshot().to_text());
+
     println!("\nfull-scale runs: see the per-figure binaries (README).");
     Ok(())
 }

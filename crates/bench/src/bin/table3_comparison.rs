@@ -12,9 +12,9 @@ use spe_ciphers::SchemeProfile;
 
 fn main() {
     let args = Args::parse();
-    let instructions = args.get_u64("instructions", 2_000_000);
+    let instructions = args.instructions(2_000_000);
     println!("Table 3 reproduction — scheme comparison ({instructions} instructions per run)\n");
-    let cells = run_matrix(instructions, args.get_u64("seed", 7));
+    let cells = run_matrix(instructions, args.seed(7));
 
     let profiles = [
         SchemeProfile::aes(),

@@ -9,7 +9,7 @@ use spe_memsim::StartGap;
 
 fn main() {
     let args = Args::parse();
-    let lines = args.get_u64("lines", 1024);
+    let lines = args.lines(1024);
     let writes = args.get_u64("writes", 2_000_000);
     let psi = args.get_u64("psi", 100);
 

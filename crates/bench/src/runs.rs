@@ -1,7 +1,17 @@
 //! Shared simulation matrices for the Fig. 7 / Fig. 8 / Table 3 harnesses.
 
 use spe_memsim::{EncryptionEngine, SimStats, System, SystemConfig};
+use spe_telemetry::{noop, TelemetryHandle};
 use spe_workloads::{BenchProfile, TraceGenerator};
+
+/// The five scheme names of the evaluation, in Fig. 7 legend order.
+pub const SCHEMES: [&str; 5] = [
+    "AES",
+    "i-NVMM",
+    "SPE-serial",
+    "SPE-parallel",
+    "Stream cipher",
+];
 
 /// The five encryption schemes of the evaluation, in Fig. 7 legend order,
 /// freshly constructed (engines hold run state).
@@ -38,12 +48,30 @@ pub struct MatrixCell {
 /// `instructions` is per run (the paper uses 500 M; quick mode uses less).
 /// Returns the baseline cells first for each workload, then the schemes.
 pub fn run_matrix(instructions: u64, seed: u64) -> Vec<MatrixCell> {
+    run_matrix_recorded(instructions, seed, &noop())
+}
+
+/// [`run_matrix`] with every simulated system reporting datapath and
+/// memory telemetry into `recorder` (line open/seal counts, NVMM
+/// reads/writes, latency histograms — the machine-diffable side of the
+/// Fig. 7 / Fig. 8 sweep).
+pub fn run_matrix_recorded(
+    instructions: u64,
+    seed: u64,
+    recorder: &TelemetryHandle,
+) -> Vec<MatrixCell> {
     let mut cells = Vec::new();
     for profile in BenchProfile::all() {
-        let baseline = run_one(&profile, EncryptionEngine::none(), instructions, seed);
+        let baseline = run_one_recorded(
+            &profile,
+            EncryptionEngine::none(),
+            instructions,
+            seed,
+            recorder,
+        );
         for engine in scheme_engines(instructions) {
             let scheme = engine.name();
-            let stats = run_one(&profile, engine, instructions, seed);
+            let stats = run_one_recorded(&profile, engine, instructions, seed, recorder);
             let overhead = stats.overhead_vs(&baseline);
             cells.push(MatrixCell {
                 workload: profile.name,
@@ -69,8 +97,43 @@ pub fn run_one(
     instructions: u64,
     seed: u64,
 ) -> SimStats {
+    run_one_recorded(profile, engine, instructions, seed, &noop())
+}
+
+/// [`run_one`] reporting simulator telemetry into `recorder`.
+pub fn run_one_recorded(
+    profile: &BenchProfile,
+    engine: EncryptionEngine,
+    instructions: u64,
+    seed: u64,
+    recorder: &TelemetryHandle,
+) -> SimStats {
     let mut system = System::new(SystemConfig::paper(), engine);
+    system.set_recorder(std::sync::Arc::clone(recorder));
     system.run(TraceGenerator::new(profile, seed), instructions)
+}
+
+/// The distinct workload names of a matrix, in first-seen order.
+pub fn workload_names(cells: &[MatrixCell]) -> Vec<&'static str> {
+    let mut seen = Vec::new();
+    for c in cells {
+        if !seen.contains(&c.workload) {
+            seen.push(c.workload);
+        }
+    }
+    seen
+}
+
+/// The (workload, scheme) cell of a complete matrix.
+///
+/// # Panics
+///
+/// Panics if the pair is missing — the matrix is built complete.
+pub fn find_cell<'a>(cells: &'a [MatrixCell], workload: &str, scheme: &str) -> &'a MatrixCell {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.scheme == scheme)
+        .expect("matrix is complete")
 }
 
 /// Geometric-mean style average of per-workload overheads for a scheme.

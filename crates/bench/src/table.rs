@@ -1,5 +1,7 @@
 //! Plain-text table rendering for harness output.
 
+use spe_memsim::CampaignPoint;
+
 /// A simple left-aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -26,6 +28,63 @@ impl Table {
         assert_eq!(row.len(), self.header.len(), "row width mismatch");
         self.rows.push(row);
         self
+    }
+
+    /// Builds a row-by-column cross table — the shape Fig. 7 / Fig. 8
+    /// share: one row per `rows` entry, one column per `cols` entry,
+    /// cells from the lookup, plus a trailing summary row.
+    pub fn cross<F, G>(
+        corner: &str,
+        rows: &[&str],
+        cols: &[&str],
+        mut cell: F,
+        summary_label: &str,
+        mut summary: G,
+    ) -> Self
+    where
+        F: FnMut(&str, &str) -> String,
+        G: FnMut(&str) -> String,
+    {
+        let mut table = Table::new(
+            std::iter::once(corner.to_string()).chain(cols.iter().map(|c| c.to_string())),
+        );
+        for r in rows {
+            let mut row = vec![r.to_string()];
+            row.extend(cols.iter().map(|c| cell(r, c)));
+            table.row(row);
+        }
+        let mut last = vec![summary_label.to_string()];
+        last.extend(cols.iter().map(|c| summary(c)));
+        table.row(last);
+        table
+    }
+
+    /// The standard fault-campaign sweep table (`fault_campaign`,
+    /// `reproduce_all`).
+    pub fn campaign(points: &[CampaignPoint]) -> Self {
+        let mut table = Table::new([
+            "rate",
+            "lines",
+            "cell commits",
+            "transients",
+            "retries",
+            "remaps",
+            "uncorrectable",
+            "silent",
+        ]);
+        for p in points {
+            table.row([
+                format!("{:.0e}", p.rate),
+                p.lines.to_string(),
+                p.counters.cell_commits.to_string(),
+                p.counters.transient_faults.to_string(),
+                p.counters.retries.to_string(),
+                p.counters.remaps.to_string(),
+                p.uncorrectable_lines.to_string(),
+                p.silent_corruptions.to_string(),
+            ]);
+        }
+        table
     }
 
     /// Renders the table.

@@ -1,7 +1,7 @@
 //! Development aid: sweep SPECU parameters and measure avalanche balance.
 
 use spe_core::datasets;
-use spe_core::{Key, Specu, SpecuConfig};
+use spe_core::{CipherRequest, Key, SpeCipher, Specu, SpecuConfig};
 
 fn bias(bytes: &[u8]) -> f64 {
     let ones: u64 = bytes.iter().map(|b| b.count_ones() as u64).sum();
@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut hist = [0usize; 4];
             for seed in 0..200u64 {
                 specu.load_key(Key::from_seed(seed * 7 + 1));
-                let ct = specu.encrypt_block(&[0u8; 16])?;
+                let ct = specu
+                    .encrypt(CipherRequest::block([0u8; 16]))?
+                    .into_block()?;
                 for byte in ct.data() {
                     for k in 0..4 {
                         hist[(byte >> (6 - 2 * k) & 3) as usize] += 1;

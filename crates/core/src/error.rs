@@ -41,6 +41,11 @@ pub enum SpeError {
         /// The tweak (block address) of the failing block.
         tweak: u64,
     },
+    /// A [`crate::request::CipherRequest`] paired an operation with an
+    /// incompatible payload (e.g. decrypting a plaintext payload), or a
+    /// response accessor asked for a payload kind the response does not
+    /// hold.
+    BadRequest(&'static str),
     /// An internal invariant failed (e.g. a SPECU bank worker died).
     Internal(&'static str),
 }
@@ -72,6 +77,7 @@ impl fmt::Display for SpeError {
                 f,
                 "integrity violation: block {tweak:#x} decrypted to corrupted data"
             ),
+            SpeError::BadRequest(what) => write!(f, "bad cipher request: {what}"),
             SpeError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }

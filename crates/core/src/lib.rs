@@ -34,14 +34,15 @@
 //! # Example
 //!
 //! ```
-//! use spe_core::{Key, Specu};
+//! use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 //!
 //! # fn main() -> Result<(), spe_core::SpeError> {
 //! let specu = Specu::new(Key::from_seed(7))?;
 //! let plaintext = *b"attack at dawn!!";
-//! let block = specu.encrypt_block(&plaintext)?;
+//! let block = specu.encrypt(CipherRequest::block(plaintext))?.into_block()?;
 //! assert_ne!(block.data(), plaintext, "ciphertext differs");
-//! assert_eq!(specu.decrypt_block(&block)?, plaintext);
+//! let out = specu.decrypt(CipherRequest::sealed_block(block))?.into_plain_block()?;
+//! assert_eq!(out, plaintext);
 //! # Ok(())
 //! # }
 //! ```
@@ -61,6 +62,7 @@ pub mod nvmm;
 pub mod parallel;
 pub mod prng;
 pub mod recovery;
+pub mod request;
 pub mod schedule;
 pub mod specu;
 pub mod tpm;
@@ -73,6 +75,7 @@ pub use nvmm::{SecureNvmm, SpeMode};
 pub use parallel::{BlockJob, LineJob, ParallelSpecu};
 pub use prng::CoupledLcg;
 pub use recovery::{FaultCounters, FaultKind, FaultModel, FaultPolicy, RemapTable};
+pub use request::{CipherOutput, CipherRequest, CipherResponse, Payload, SpeCipher, Verify};
 pub use schedule::PulseSchedule;
 pub use specu::{
     CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuConfig,

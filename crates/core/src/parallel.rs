@@ -15,6 +15,7 @@ use crate::error::SpeError;
 use crate::key::Key;
 use crate::recovery::{FaultCounters, FaultPolicy};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
+use spe_telemetry::{Counter, Histogram, TelemetryHandle};
 
 /// One block-encryption job for a bank batch: a plaintext block, its
 /// schedule tweak, and an optional per-job key (the Table 2 avalanche and
@@ -89,9 +90,37 @@ impl ParallelSpecu {
         &self.context
     }
 
+    /// The same datapath reporting telemetry into `recorder` (bank
+    /// fan-out plus everything the underlying context records).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: TelemetryHandle) -> Self {
+        self.context.set_recorder(recorder);
+        self
+    }
+
     /// The number of SPECU banks.
     pub fn banks(&self) -> usize {
         self.banks
+    }
+
+    /// Records the bank fan-out telemetry for a batch of `jobs`: the job
+    /// count and every bank's chunk occupancy. Computed from the shard
+    /// geometry (not from thread scheduling), so the numbers are identical
+    /// across runs and bank counts with the same job load.
+    fn record_fan_out(&self, jobs: usize) {
+        let rec = self.context.recorder();
+        if !rec.enabled() || jobs == 0 {
+            return;
+        }
+        rec.add(Counter::BankJobs, jobs as u64);
+        let banks = self.banks.max(1).min(jobs);
+        let chunk = jobs.div_ceil(banks);
+        let mut rest = jobs;
+        while rest > 0 {
+            let take = chunk.min(rest);
+            rec.observe(Histogram::BankUtilization, take as u64);
+            rest -= take;
+        }
     }
 
     /// Per-line encryption latency in NVMM cycles: the four mats run on
@@ -114,13 +143,14 @@ impl ParallelSpecu {
         line_address: u64,
     ) -> Result<CipherLine, SpeError> {
         if self.banks == 1 {
-            return self.context.encrypt_line(plaintext, line_address);
+            return self.context.encrypt_line_inner(plaintext, line_address);
         }
         let ctx = &self.context;
+        self.record_fan_out(BLOCKS_PER_LINE);
         let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            ctx.encrypt_block_with_tweak(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)
+            ctx.encrypt_block_inner(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)
         })?;
         Ok(CipherLine { blocks: results })
     }
@@ -138,11 +168,12 @@ impl ParallelSpecu {
             });
         }
         if self.banks == 1 {
-            return self.context.decrypt_line(line);
+            return self.context.decrypt_line_inner(line);
         }
         let ctx = &self.context;
+        self.record_fan_out(BLOCKS_PER_LINE);
         let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
-            ctx.decrypt_block(&line.blocks[i])
+            ctx.decrypt_block_inner(&line.blocks[i])
         })?;
         let mut out = [0u8; LINE_BYTES];
         for (i, pt) in blocks.iter().enumerate() {
@@ -158,8 +189,9 @@ impl ParallelSpecu {
     /// Returns the first [`SpeError`] any bank hit.
     pub fn encrypt_lines(&self, jobs: &[LineJob]) -> Result<Vec<CipherLine>, SpeError> {
         let ctx = &self.context;
+        self.record_fan_out(jobs.len());
         fan_out(self.banks, jobs.len(), |i| {
-            ctx.encrypt_line(&jobs[i].plaintext, jobs[i].address)
+            ctx.encrypt_line_inner(&jobs[i].plaintext, jobs[i].address)
         })
     }
 
@@ -170,7 +202,10 @@ impl ParallelSpecu {
     /// Returns the first [`SpeError`] any bank hit.
     pub fn decrypt_lines(&self, lines: &[CipherLine]) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
         let ctx = &self.context;
-        fan_out(self.banks, lines.len(), |i| ctx.decrypt_line(&lines[i]))
+        self.record_fan_out(lines.len());
+        fan_out(self.banks, lines.len(), |i| {
+            ctx.decrypt_line_inner(&lines[i])
+        })
     }
 
     /// Encrypts one line through the resilient (write-verify/retry/remap)
@@ -195,13 +230,14 @@ impl ParallelSpecu {
         if self.banks == 1 {
             return self
                 .context
-                .encrypt_line_resilient(plaintext, line_address, policy);
+                .encrypt_line_resilient_inner(plaintext, line_address, policy);
         }
         let ctx = &self.context;
+        self.record_fan_out(BLOCKS_PER_LINE);
         let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            ctx.encrypt_block_resilient(
+            ctx.encrypt_block_resilient_inner(
                 &block,
                 line_address * BLOCKS_PER_LINE as u64 + i as u64,
                 policy,
@@ -228,8 +264,9 @@ impl ParallelSpecu {
         policy: &FaultPolicy,
     ) -> Result<(Vec<CipherLine>, FaultCounters), SpeError> {
         let ctx = &self.context;
+        self.record_fan_out(jobs.len());
         let results = fan_out(self.banks, jobs.len(), |i| {
-            ctx.encrypt_line_resilient(&jobs[i].plaintext, jobs[i].address, policy)
+            ctx.encrypt_line_resilient_inner(&jobs[i].plaintext, jobs[i].address, policy)
         })?;
         let mut counters = FaultCounters::default();
         let mut lines = Vec::with_capacity(results.len());
@@ -255,11 +292,12 @@ impl ParallelSpecu {
             });
         }
         if self.banks == 1 {
-            return self.context.decrypt_line_checked(line);
+            return self.context.decrypt_line_checked_inner(line);
         }
         let ctx = &self.context;
+        self.record_fan_out(BLOCKS_PER_LINE);
         let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
-            ctx.decrypt_block_checked(&line.blocks[i])
+            ctx.decrypt_block_checked_inner(&line.blocks[i])
         })?;
         let mut out = [0u8; LINE_BYTES];
         for (i, pt) in blocks.iter().enumerate() {
@@ -279,8 +317,9 @@ impl ParallelSpecu {
         lines: &[CipherLine],
     ) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
         let ctx = &self.context;
+        self.record_fan_out(lines.len());
         fan_out(self.banks, lines.len(), |i| {
-            ctx.decrypt_line_checked(&lines[i])
+            ctx.decrypt_line_checked_inner(&lines[i])
         })
     }
 
@@ -293,13 +332,14 @@ impl ParallelSpecu {
     /// Returns the first [`SpeError`] any bank hit.
     pub fn encrypt_blocks(&self, jobs: &[BlockJob]) -> Result<Vec<CipherBlock>, SpeError> {
         let ctx = &self.context;
+        self.record_fan_out(jobs.len());
         fan_out(self.banks, jobs.len(), |i| {
             let job = &jobs[i];
             match job.key {
                 Some(key) => ctx
                     .rekeyed(key)
-                    .encrypt_block_with_tweak(&job.plaintext, job.tweak),
-                None => ctx.encrypt_block_with_tweak(&job.plaintext, job.tweak),
+                    .encrypt_block_inner(&job.plaintext, job.tweak),
+                None => ctx.encrypt_block_inner(&job.plaintext, job.tweak),
             }
         })
     }
@@ -354,6 +394,8 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::specu::Specu;
     use std::sync::OnceLock;

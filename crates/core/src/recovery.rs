@@ -25,6 +25,7 @@
 
 use crate::error::SpeError;
 pub use spe_memristor::{FaultKind, FaultModel};
+use spe_telemetry::{Counter, Histogram, Recorder};
 
 /// Cells per crossbar block (8×8 MLC-2 mat).
 const BLOCK_CELLS: usize = 64;
@@ -168,8 +169,10 @@ pub(crate) fn commit_train(
     tweak: u64,
     epoch: u64,
     members: &[usize],
+    recorder: &dyn Recorder,
 ) -> Result<(), SpeError> {
     counters.cell_commits += members.len() as u64;
+    recorder.add(Counter::CellCommits, members.len() as u64);
     if policy.model.is_none() {
         return Ok(());
     }
@@ -191,7 +194,12 @@ pub(crate) fn commit_train(
                     if attempt > 0 {
                         counters.transient_faults += 1;
                         counters.retries += attempt as u64;
+                        recorder.add(Counter::TransientFaults, 1);
+                        recorder.add(Counter::Retries, attempt as u64);
                     }
+                    // The final pulse width after exponential backoff, in
+                    // units of the nominal width (doubles per retry).
+                    recorder.observe(Histogram::PulseWidth, 1u64 << attempt.min(63));
                     recovered = true;
                     break;
                 }
@@ -199,6 +207,8 @@ pub(crate) fn commit_train(
             if !recovered {
                 counters.transient_faults += 1;
                 counters.retries += policy.max_retries as u64;
+                recorder.add(Counter::TransientFaults, 1);
+                recorder.add(Counter::Retries, policy.max_retries as u64);
                 hard_failure = true;
                 break 'cells;
             }
@@ -207,9 +217,13 @@ pub(crate) fn commit_train(
             return Ok(());
         }
         match remap.remap_cells(members) {
-            Some(_) => counters.remaps += 1,
+            Some(_) => {
+                counters.remaps += 1;
+                recorder.add(Counter::Remaps, 1);
+            }
             None => {
                 counters.uncorrectable += 1;
+                recorder.add(Counter::Uncorrectable, 1);
                 return Err(SpeError::FaultExhausted {
                     tweak,
                     spares: policy.spare_regions,
@@ -236,13 +250,23 @@ fn phys_cell(tweak: u64, region: u32, cell: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spe_telemetry::noop;
 
     #[test]
     fn no_fault_policy_commits_without_recovery() {
         let policy = FaultPolicy::none();
         let mut remap = RemapTable::new(policy.spare_regions);
         let mut counters = FaultCounters::default();
-        commit_train(&policy, &mut remap, &mut counters, 7, 0, &[0, 1, 2]).expect("commit");
+        commit_train(
+            &policy,
+            &mut remap,
+            &mut counters,
+            7,
+            0,
+            &[0, 1, 2],
+            noop().as_ref(),
+        )
+        .expect("commit");
         assert_eq!(counters.cell_commits, 3);
         assert_eq!(counters.retries, 0);
         assert_eq!(counters.remaps, 0);
@@ -256,8 +280,16 @@ mod tests {
         let mut counters = FaultCounters::default();
         let members: Vec<usize> = (0..BLOCK_CELLS).collect();
         for epoch in 0..64 {
-            commit_train(&policy, &mut remap, &mut counters, 1, epoch, &members)
-                .expect("retries absorb a 20% transient rate");
+            commit_train(
+                &policy,
+                &mut remap,
+                &mut counters,
+                1,
+                epoch,
+                &members,
+                noop().as_ref(),
+            )
+            .expect("retries absorb a 20% transient rate");
         }
         assert!(counters.retries > 0, "some retries must have happened");
         assert!(counters.transient_faults > 0);
@@ -274,8 +306,16 @@ mod tests {
         };
         let mut remap = RemapTable::new(policy.spare_regions);
         let mut counters = FaultCounters::default();
-        let err = commit_train(&policy, &mut remap, &mut counters, 9, 0, &[0, 1, 2, 3])
-            .expect_err("all-stuck cells cannot commit");
+        let err = commit_train(
+            &policy,
+            &mut remap,
+            &mut counters,
+            9,
+            0,
+            &[0, 1, 2, 3],
+            noop().as_ref(),
+        )
+        .expect_err("all-stuck cells cannot commit");
         assert_eq!(
             err,
             SpeError::FaultExhausted {
@@ -317,7 +357,15 @@ mod tests {
             let mut remap = RemapTable::new(policy.spare_regions);
             let mut counters = FaultCounters::default();
             for epoch in 0..32 {
-                let _ = commit_train(&policy, &mut remap, &mut counters, 5, epoch, &members);
+                let _ = commit_train(
+                    &policy,
+                    &mut remap,
+                    &mut counters,
+                    5,
+                    epoch,
+                    &members,
+                    noop().as_ref(),
+                );
             }
             counters
         };

@@ -1,0 +1,473 @@
+//! The unified cipher-request API.
+//!
+//! The SPECU grew a 3×3 method matrix (block/line × plain/resilient/
+//! checked) across [`SpeContext`], [`Specu`] and [`ParallelSpecu`]. This
+//! module collapses it into one request type and one two-method trait:
+//!
+//! * [`CipherRequest`] — *what* to process (a plaintext block/line or a
+//!   sealed one), under *which* tweak, with *how much* resilience
+//!   (optional write-verify [`FaultPolicy`]) and verification (integrity
+//!   [`Verify::Tag`]).
+//! * [`SpeCipher`] — `encrypt(request)` / `decrypt(request)`, implemented
+//!   by every datapath. Call sites pick the backend (serial context,
+//!   stateful facade, multi-bank parallel) without changing the request.
+//!
+//! The legacy named methods survive as `#[deprecated]` wrappers and route
+//! through the same inner implementations, so both surfaces stay
+//! bit-identical.
+//!
+//! ```
+//! use spe_core::{CipherRequest, Key, SpeCipher, Specu};
+//!
+//! # fn main() -> Result<(), spe_core::SpeError> {
+//! let specu = Specu::new(Key::from_seed(7))?;
+//! let plaintext = *b"attack at dawn!!";
+//! let sealed = specu
+//!     .encrypt(CipherRequest::block(plaintext).with_tweak(0x40))?
+//!     .into_block()?;
+//! let recovered = specu
+//!     .decrypt(CipherRequest::sealed_block(sealed))?
+//!     .into_plain_block()?;
+//! assert_eq!(recovered, plaintext);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::SpeError;
+use crate::parallel::ParallelSpecu;
+use crate::recovery::{FaultCounters, FaultPolicy};
+use crate::specu::{CipherBlock, CipherLine, SpeContext, Specu, BLOCK_BYTES, LINE_BYTES};
+
+/// How much verification a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verify {
+    /// No integrity checking (the plain datapath).
+    #[default]
+    None,
+    /// Seal with / check against the keyed integrity tag. On encrypt this
+    /// routes through the resilient write-verify path (tags are only
+    /// attached there); on decrypt a missing or mismatching tag is
+    /// [`SpeError::IntegrityViolation`].
+    Tag,
+}
+
+/// The data a [`CipherRequest`] operates on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A 16-byte plaintext block (encrypt requests).
+    Block([u8; BLOCK_BYTES]),
+    /// A 64-byte plaintext cache line (encrypt requests).
+    Line([u8; LINE_BYTES]),
+    /// An encrypted block (decrypt requests).
+    SealedBlock(CipherBlock),
+    /// An encrypted cache line (decrypt requests).
+    SealedLine(CipherLine),
+}
+
+/// One request against an SPE datapath: payload + tweak + policies.
+///
+/// Build with the payload constructors ([`CipherRequest::block`],
+/// [`CipherRequest::line`], [`CipherRequest::sealed_block`],
+/// [`CipherRequest::sealed_line`]) and refine with the builder methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CipherRequest {
+    /// The data to process.
+    pub payload: Payload,
+    /// The schedule tweak: the block address for block payloads, the line
+    /// address for line payloads. Ignored on decrypt (sealed payloads
+    /// carry their own tweaks).
+    pub tweak: u64,
+    /// Write-verify/retry/remap policy; `Some` routes encryption through
+    /// the resilient path and seals blocks with integrity tags.
+    pub resilience: Option<FaultPolicy>,
+    /// Integrity verification mode.
+    pub verify: Verify,
+}
+
+impl CipherRequest {
+    fn new(payload: Payload) -> Self {
+        CipherRequest {
+            payload,
+            tweak: 0,
+            resilience: None,
+            verify: Verify::None,
+        }
+    }
+
+    /// An encrypt request for a 16-byte block (tweak 0).
+    pub fn block(plaintext: [u8; BLOCK_BYTES]) -> Self {
+        CipherRequest::new(Payload::Block(plaintext))
+    }
+
+    /// An encrypt request for a 64-byte cache line at `address`.
+    pub fn line(plaintext: [u8; LINE_BYTES], address: u64) -> Self {
+        CipherRequest::new(Payload::Line(plaintext)).with_tweak(address)
+    }
+
+    /// A decrypt request for a sealed block.
+    pub fn sealed_block(block: CipherBlock) -> Self {
+        CipherRequest::new(Payload::SealedBlock(block))
+    }
+
+    /// A decrypt request for a sealed line.
+    pub fn sealed_line(line: CipherLine) -> Self {
+        CipherRequest::new(Payload::SealedLine(line))
+    }
+
+    /// Sets the schedule tweak (block address / line address).
+    #[must_use]
+    pub fn with_tweak(mut self, tweak: u64) -> Self {
+        self.tweak = tweak;
+        self
+    }
+
+    /// Routes encryption through the write-verify/retry/remap path under
+    /// `policy` (and seals blocks with integrity tags).
+    #[must_use]
+    pub fn resilient(mut self, policy: FaultPolicy) -> Self {
+        self.resilience = Some(policy);
+        self
+    }
+
+    /// Requests integrity verification: tags on encrypt, tag checking on
+    /// decrypt.
+    #[must_use]
+    pub fn verified(mut self) -> Self {
+        self.verify = Verify::Tag;
+        self
+    }
+
+    /// Whether encryption must take the resilient (write-verify) path:
+    /// either an explicit policy was attached, or integrity tags were
+    /// requested (only the resilient path seals them).
+    fn wants_resilient(&self) -> bool {
+        self.resilience.is_some() || self.verify == Verify::Tag
+    }
+
+    /// The effective fault policy of a resilient encrypt.
+    fn policy(&self) -> FaultPolicy {
+        self.resilience.unwrap_or_else(FaultPolicy::none)
+    }
+}
+
+/// The data produced by a [`CipherRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CipherOutput {
+    /// An encrypted block.
+    Block(CipherBlock),
+    /// An encrypted line.
+    Line(CipherLine),
+    /// A decrypted 16-byte block.
+    PlainBlock([u8; BLOCK_BYTES]),
+    /// A decrypted 64-byte line.
+    PlainLine([u8; LINE_BYTES]),
+}
+
+/// The result of a [`CipherRequest`]: the output payload plus the fault
+/// counters the resilient path accumulated (zero on the plain path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CipherResponse {
+    /// The produced payload.
+    pub output: CipherOutput,
+    /// Fault-recovery counters (all zero unless the request was
+    /// resilient).
+    pub faults: FaultCounters,
+}
+
+impl CipherResponse {
+    fn plain(output: CipherOutput) -> Self {
+        CipherResponse {
+            output,
+            faults: FaultCounters::default(),
+        }
+    }
+
+    /// The fault-recovery counters.
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
+    /// Unwraps an encrypted block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::BadRequest`] if the response holds a different
+    /// payload kind.
+    pub fn into_block(self) -> Result<CipherBlock, SpeError> {
+        match self.output {
+            CipherOutput::Block(b) => Ok(b),
+            _ => Err(SpeError::BadRequest("response is not a sealed block")),
+        }
+    }
+
+    /// Unwraps an encrypted line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::BadRequest`] if the response holds a different
+    /// payload kind.
+    pub fn into_line(self) -> Result<CipherLine, SpeError> {
+        match self.output {
+            CipherOutput::Line(l) => Ok(l),
+            _ => Err(SpeError::BadRequest("response is not a sealed line")),
+        }
+    }
+
+    /// Unwraps a decrypted block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::BadRequest`] if the response holds a different
+    /// payload kind.
+    pub fn into_plain_block(self) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        match self.output {
+            CipherOutput::PlainBlock(b) => Ok(b),
+            _ => Err(SpeError::BadRequest("response is not a plaintext block")),
+        }
+    }
+
+    /// Unwraps a decrypted line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::BadRequest`] if the response holds a different
+    /// payload kind.
+    pub fn into_plain_line(self) -> Result<[u8; LINE_BYTES], SpeError> {
+        match self.output {
+            CipherOutput::PlainLine(l) => Ok(l),
+            _ => Err(SpeError::BadRequest("response is not a plaintext line")),
+        }
+    }
+}
+
+/// The unified SPE datapath interface: every backend (serial context,
+/// stateful SPECU facade, multi-bank parallel datapath) processes the same
+/// [`CipherRequest`]s. Object-safe, so harnesses like the memsim fault
+/// campaign drive any backend through `&dyn SpeCipher`.
+pub trait SpeCipher {
+    /// Encrypts a plaintext payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::BadRequest`] for sealed payloads, plus any datapath
+    /// error ([`SpeError::FaultExhausted`], [`SpeError::KeyNotLoaded`], …).
+    fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError>;
+
+    /// Decrypts a sealed payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::BadRequest`] for plaintext payloads,
+    /// [`SpeError::IntegrityViolation`] on tag mismatch under
+    /// [`Verify::Tag`], plus any datapath error.
+    fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError>;
+}
+
+impl SpeCipher for SpeContext {
+    fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        match &request.payload {
+            Payload::Block(pt) => {
+                if request.wants_resilient() {
+                    let (block, faults) =
+                        self.encrypt_block_resilient_inner(pt, request.tweak, &request.policy())?;
+                    Ok(CipherResponse {
+                        output: CipherOutput::Block(block),
+                        faults,
+                    })
+                } else {
+                    let block = self.encrypt_block_inner(pt, request.tweak)?;
+                    Ok(CipherResponse::plain(CipherOutput::Block(block)))
+                }
+            }
+            Payload::Line(pt) => {
+                if request.wants_resilient() {
+                    let (line, faults) =
+                        self.encrypt_line_resilient_inner(pt, request.tweak, &request.policy())?;
+                    Ok(CipherResponse {
+                        output: CipherOutput::Line(line),
+                        faults,
+                    })
+                } else {
+                    let line = self.encrypt_line_inner(pt, request.tweak)?;
+                    Ok(CipherResponse::plain(CipherOutput::Line(line)))
+                }
+            }
+            Payload::SealedBlock(_) | Payload::SealedLine(_) => {
+                Err(SpeError::BadRequest("encrypt requires a plaintext payload"))
+            }
+        }
+    }
+
+    fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        match &request.payload {
+            Payload::SealedBlock(block) => {
+                let pt = match request.verify {
+                    Verify::Tag => self.decrypt_block_checked_inner(block)?,
+                    Verify::None => self.decrypt_block_inner(block)?,
+                };
+                Ok(CipherResponse::plain(CipherOutput::PlainBlock(pt)))
+            }
+            Payload::SealedLine(line) => {
+                let pt = match request.verify {
+                    Verify::Tag => self.decrypt_line_checked_inner(line)?,
+                    Verify::None => self.decrypt_line_inner(line)?,
+                };
+                Ok(CipherResponse::plain(CipherOutput::PlainLine(pt)))
+            }
+            Payload::Block(_) | Payload::Line(_) => {
+                Err(SpeError::BadRequest("decrypt requires a sealed payload"))
+            }
+        }
+    }
+}
+
+impl SpeCipher for Specu {
+    fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        self.context()?.encrypt(request)
+    }
+
+    fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        self.context()?.decrypt(request)
+    }
+}
+
+impl SpeCipher for ParallelSpecu {
+    fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        match &request.payload {
+            // Line payloads shard their four mats across the banks.
+            Payload::Line(pt) => {
+                if request.wants_resilient() {
+                    let (line, faults) =
+                        self.encrypt_line_resilient(pt, request.tweak, &request.policy())?;
+                    Ok(CipherResponse {
+                        output: CipherOutput::Line(line),
+                        faults,
+                    })
+                } else {
+                    let line = self.encrypt_line(pt, request.tweak)?;
+                    Ok(CipherResponse::plain(CipherOutput::Line(line)))
+                }
+            }
+            // A single block is one mat: no fan-out to win, run in place.
+            _ => self.context().encrypt(request),
+        }
+    }
+
+    fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        match (&request.payload, request.verify) {
+            (Payload::SealedLine(line), Verify::Tag) => {
+                let pt = self.decrypt_line_checked(line)?;
+                Ok(CipherResponse::plain(CipherOutput::PlainLine(pt)))
+            }
+            (Payload::SealedLine(line), Verify::None) => {
+                let pt = self.decrypt_line(line)?;
+                Ok(CipherResponse::plain(CipherOutput::PlainLine(pt)))
+            }
+            _ => self.context().decrypt(request),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    fn specu() -> Specu {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0xDAC)).expect("specu"))
+            .clone()
+    }
+
+    #[test]
+    fn block_roundtrip_through_requests() {
+        let s = specu();
+        let pt = *b"unified request!";
+        let sealed = s
+            .encrypt(CipherRequest::block(pt).with_tweak(9))
+            .expect("encrypt")
+            .into_block()
+            .expect("block");
+        assert_eq!(sealed.tweak(), 9);
+        let out = s
+            .decrypt(CipherRequest::sealed_block(sealed))
+            .expect("decrypt")
+            .into_plain_block()
+            .expect("plain");
+        assert_eq!(out, pt);
+    }
+
+    #[test]
+    fn verified_requests_seal_and_check_tags() {
+        let s = specu();
+        let pt: [u8; LINE_BYTES] = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        let resp = s
+            .encrypt(CipherRequest::line(pt, 0x88).verified())
+            .expect("encrypt");
+        assert!(resp.faults().cell_commits > 0);
+        let line = resp.into_line().expect("line");
+        assert!(line.blocks.iter().all(|b| b.tag().is_some()));
+        let out = s
+            .decrypt(CipherRequest::sealed_line(line).verified())
+            .expect("decrypt")
+            .into_plain_line()
+            .expect("plain");
+        assert_eq!(out, pt);
+    }
+
+    #[test]
+    fn mismatched_payloads_are_rejected() {
+        let s = specu();
+        let pt = *b"wrong side block";
+        let sealed = s
+            .encrypt(CipherRequest::block(pt))
+            .expect("encrypt")
+            .into_block()
+            .expect("block");
+        assert!(matches!(
+            s.encrypt(CipherRequest::sealed_block(sealed.clone())),
+            Err(SpeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            s.decrypt(CipherRequest::block(pt)),
+            Err(SpeError::BadRequest(_))
+        ));
+        // And the response accessors police their kinds.
+        let resp = s.encrypt(CipherRequest::block(pt)).expect("encrypt");
+        assert!(matches!(
+            resp.into_plain_line(),
+            Err(SpeError::BadRequest(_))
+        ));
+        let _ = sealed;
+    }
+
+    #[test]
+    fn requests_match_deprecated_methods() {
+        #![allow(deprecated)]
+        let s = specu();
+        let pt = *b"two surfaces, 1!";
+        let old = s.encrypt_block_with_tweak(&pt, 3).expect("old");
+        let new = s
+            .encrypt(CipherRequest::block(pt).with_tweak(3))
+            .expect("new")
+            .into_block()
+            .expect("block");
+        assert_eq!(old, new, "both surfaces share one datapath");
+    }
+
+    #[test]
+    fn parallel_backend_honours_the_same_requests() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        let pt: [u8; LINE_BYTES] = core::array::from_fn(|i| (i * 3 + 2) as u8);
+        let serial = s
+            .encrypt(CipherRequest::line(pt, 5).resilient(FaultPolicy::transient(0.02, 7)))
+            .expect("serial");
+        let banked = par
+            .encrypt(CipherRequest::line(pt, 5).resilient(FaultPolicy::transient(0.02, 7)))
+            .expect("banked");
+        assert_eq!(serial, banked, "bank count must not change the response");
+    }
+}

@@ -25,6 +25,7 @@ use spe_crossbar::fast::FastParams;
 use spe_crossbar::{CellAddr, Dims, FastArray, Kernel, WireParams};
 use spe_ilp::{PlacementProblem, PolyominoShape};
 use spe_memristor::{DeviceParams, MlcLevel};
+use spe_telemetry::{noop, Counter, Histogram, TelemetryHandle};
 use std::fmt;
 use std::sync::Arc;
 
@@ -244,11 +245,23 @@ impl SpeCalibration {
     /// Returns [`SpeError`] if calibration fails or the ILP cannot place
     /// `poe_count` PoEs covering every cell.
     pub fn new(config: SpecuConfig) -> Result<Self, SpeError> {
-        let mut kernel = Kernel::calibrate(
+        SpeCalibration::new_recorded(config, noop())
+    }
+
+    /// Like [`SpeCalibration::new`], but circuit calibration solves and
+    /// placement-LUT traffic report into `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError`] if calibration fails or the ILP cannot place
+    /// `poe_count` PoEs covering every cell.
+    pub fn new_recorded(config: SpecuConfig, recorder: TelemetryHandle) -> Result<Self, SpeError> {
+        let mut kernel = Kernel::calibrate_recorded(
             &config.device,
             &config.wires,
             config.calibration_samples,
             0xDAC2014,
+            recorder.clone(),
         )?;
         kernel.context_beta = config.context_beta;
         let fast_params = FastParams::calibrated(&config.device)?;
@@ -265,7 +278,7 @@ impl SpeCalibration {
         } else {
             let shape =
                 PolyominoShape::from_offsets(kernel.member_offsets(1.0, config.device.v_threshold));
-            cached_placement(&shape, config.poe_count)?
+            cached_placement(&shape, config.poe_count, &recorder)?
         };
         // The template owns the kernel and device copies; everything else
         // reads them back through its accessors (no duplicate storage).
@@ -341,6 +354,7 @@ impl SpeCalibration {
 pub struct SpeContext {
     calibration: Arc<SpeCalibration>,
     key: Key,
+    recorder: TelemetryHandle,
 }
 
 impl SpeContext {
@@ -353,21 +367,44 @@ impl SpeContext {
         Ok(SpeContext {
             calibration: Arc::new(SpeCalibration::new(config)?),
             key,
+            recorder: noop(),
         })
     }
 
     /// Builds a context over an existing calibration (cheap: no
     /// recalibration).
     pub fn with_calibration(key: Key, calibration: Arc<SpeCalibration>) -> Self {
-        SpeContext { calibration, key }
+        SpeContext {
+            calibration,
+            key,
+            recorder: noop(),
+        }
     }
 
-    /// The same context under a different key (cheap: `Arc` clone).
+    /// The same context under a different key (cheap: `Arc` clone). The
+    /// telemetry recorder carries over.
     pub fn rekeyed(&self, key: Key) -> SpeContext {
         SpeContext {
             calibration: Arc::clone(&self.calibration),
             key,
+            recorder: Arc::clone(&self.recorder),
         }
+    }
+
+    /// The same context reporting datapath telemetry into `recorder`.
+    pub fn with_recorder(mut self, recorder: TelemetryHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a telemetry recorder in place.
+    pub fn set_recorder(&mut self, recorder: TelemetryHandle) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder (the shared no-op by default).
+    pub fn recorder(&self) -> &TelemetryHandle {
+        &self.recorder
     }
 
     /// The shared calibration.
@@ -387,6 +424,7 @@ impl SpeContext {
 
     /// The schedule for a block tweak under this context's key.
     pub fn schedule(&self, tweak: u64) -> PulseSchedule {
+        self.recorder.add(Counter::ScheduleDerivations, 1);
         PulseSchedule::generate(
             &self.key,
             tweak,
@@ -395,13 +433,26 @@ impl SpeContext {
         )
     }
 
+    /// Records the telemetry of one applied pulse (forward or inverse) at
+    /// a PoE touching `touched` member cells.
+    fn record_pulse(&self, poe: CellAddr, touched: usize) {
+        self.recorder.add(Counter::PoePulses, 1);
+        self.recorder
+            .observe(Histogram::PoePulseIndex, (poe.row * 8 + poe.col) as u64);
+        self.recorder
+            .add(Counter::SneakPathActivations, touched as u64);
+    }
+
     /// Encrypts a 16-byte block (tweak 0).
     ///
     /// # Errors
     ///
     /// Returns [`SpeError`] if the model rejects the pulse schedule.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..))`"
+    )]
     pub fn encrypt_block(&self, plaintext: &[u8; BLOCK_BYTES]) -> Result<CipherBlock, SpeError> {
-        self.encrypt_block_with_tweak(plaintext, 0)
+        self.encrypt_block_inner(plaintext, 0)
     }
 
     /// Encrypts a 16-byte block under a block-address tweak.
@@ -409,13 +460,25 @@ impl SpeContext {
     /// # Errors
     ///
     /// Returns [`SpeError`] if the model rejects the pulse schedule.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).with_tweak(..))`"
+    )]
     pub fn encrypt_block_with_tweak(
+        &self,
+        plaintext: &[u8; BLOCK_BYTES],
+        tweak: u64,
+    ) -> Result<CipherBlock, SpeError> {
+        self.encrypt_block_inner(plaintext, tweak)
+    }
+
+    pub(crate) fn encrypt_block_inner(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
     ) -> Result<CipherBlock, SpeError> {
         let cal = &*self.calibration;
         let schedule = self.schedule(tweak);
+        self.recorder.add(Counter::BlocksEncrypted, 1);
         match cal.config.variant {
             SpeVariant::Analog => {
                 // Per-call scratch: the session state of this encryption.
@@ -423,7 +486,8 @@ impl SpeContext {
                 arr.write_levels(&bytes_to_levels(plaintext))?;
                 for _ in 0..cal.config.rounds {
                     for (poe, pulse) in schedule.steps() {
-                        arr.apply_pulse(*poe, *pulse)?;
+                        let members = arr.apply_pulse(*poe, *pulse)?;
+                        self.record_pulse(*poe, members.len());
                     }
                 }
                 let states = arr.states().to_vec();
@@ -441,7 +505,9 @@ impl SpeContext {
                 arr.set_levels(&bytes_to_level_values(plaintext))?;
                 let trains = self.train_steps(&schedule, tweak);
                 for round_trains in &trains {
-                    for (members, steps, dir) in round_trains {
+                    for (poe, members, steps, dir) in round_trains {
+                        self.record_pulse(*poe, members.len());
+                        self.recorder.add(Counter::TrainSteps, steps.len() as u64);
                         arr.apply_train(members, steps, *dir, false);
                     }
                 }
@@ -461,8 +527,19 @@ impl SpeContext {
     /// # Errors
     ///
     /// Returns [`SpeError`] if the stored state has the wrong size.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..))`"
+    )]
     pub fn decrypt_block(&self, block: &CipherBlock) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        self.decrypt_block_inner(block)
+    }
+
+    pub(crate) fn decrypt_block_inner(
+        &self,
+        block: &CipherBlock,
+    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
         let cal = &*self.calibration;
+        self.recorder.add(Counter::BlocksDecrypted, 1);
         match cal.config.variant {
             SpeVariant::Analog => {
                 let schedule = self.schedule(block.tweak).reversed();
@@ -470,7 +547,8 @@ impl SpeContext {
                 arr.set_states(&block.states)?;
                 for _ in 0..cal.config.rounds {
                     for (poe, pulse) in schedule.steps() {
-                        arr.apply_pulse_inverse(*poe, *pulse)?;
+                        let members = arr.apply_pulse_inverse(*poe, *pulse)?;
+                        self.record_pulse(*poe, members.len());
                     }
                 }
                 Ok(levels_to_bytes(&arr.levels()))
@@ -485,7 +563,9 @@ impl SpeContext {
                 let forward = self.schedule(block.tweak);
                 let trains = self.train_steps(&forward, block.tweak);
                 for round_trains in trains.iter().rev() {
-                    for (members, steps, dir) in round_trains.iter().rev() {
+                    for (poe, members, steps, dir) in round_trains.iter().rev() {
+                        self.record_pulse(*poe, members.len());
+                        self.recorder.add(Counter::TrainSteps, steps.len() as u64);
                         arr.apply_train(members, steps, *dir, true);
                     }
                 }
@@ -500,19 +580,30 @@ impl SpeContext {
     /// # Errors
     ///
     /// Returns [`SpeError`] if the model rejects a pulse schedule.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..))`"
+    )]
     pub fn encrypt_line(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
     ) -> Result<CipherLine, SpeError> {
+        self.encrypt_line_inner(plaintext, line_address)
+    }
+
+    pub(crate) fn encrypt_line_inner(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+    ) -> Result<CipherLine, SpeError> {
+        self.recorder.add(Counter::LinesEncrypted, 1);
         let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
         for i in 0..BLOCKS_PER_LINE {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            blocks.push(self.encrypt_block_with_tweak(
-                &block,
-                line_address * BLOCKS_PER_LINE as u64 + i as u64,
-            )?);
+            blocks.push(
+                self.encrypt_block_inner(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)?,
+            );
         }
         Ok(CipherLine { blocks })
     }
@@ -522,16 +613,27 @@ impl SpeContext {
     /// # Errors
     ///
     /// Returns [`SpeError`] if the line is malformed.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..))`"
+    )]
     pub fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        self.decrypt_line_inner(line)
+    }
+
+    pub(crate) fn decrypt_line_inner(
+        &self,
+        line: &CipherLine,
+    ) -> Result<[u8; LINE_BYTES], SpeError> {
         if line.blocks.len() != BLOCKS_PER_LINE {
             return Err(SpeError::BadLength {
                 expected: BLOCKS_PER_LINE,
                 actual: line.blocks.len(),
             });
         }
+        self.recorder.add(Counter::LinesDecrypted, 1);
         let mut out = [0u8; LINE_BYTES];
         for (i, block) in line.blocks.iter().enumerate() {
-            let pt = self.decrypt_block(block)?;
+            let pt = self.decrypt_block_inner(block)?;
             out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
@@ -551,7 +653,19 @@ impl SpeContext {
     ///
     /// Returns [`SpeError::FaultExhausted`] when a polyomino cannot be
     /// committed in any spare region; the block is not stored.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).resilient(..))`"
+    )]
     pub fn encrypt_block_resilient(
+        &self,
+        plaintext: &[u8; BLOCK_BYTES],
+        tweak: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherBlock, FaultCounters), SpeError> {
+        self.encrypt_block_resilient_inner(plaintext, tweak, policy)
+    }
+
+    pub(crate) fn encrypt_block_resilient_inner(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
@@ -576,20 +690,32 @@ impl SpeContext {
                         tweak,
                         (round as u64) << 32,
                         &all,
+                        self.recorder.as_ref(),
                     )?;
                 }
-                self.encrypt_block_with_tweak(plaintext, tweak)?
+                self.encrypt_block_inner(plaintext, tweak)?
             }
             SpeVariant::ClosedLoop => {
                 let schedule = self.schedule(tweak);
+                self.recorder.add(Counter::BlocksEncrypted, 1);
                 let mut arr = crate::discrete::DiscreteArray::new(dims);
                 arr.set_levels(&bytes_to_level_values(plaintext))?;
                 let trains = self.train_steps(&schedule, tweak);
                 for (round, round_trains) in trains.iter().enumerate() {
-                    for (t, (members, steps, dir)) in round_trains.iter().enumerate() {
+                    for (t, (poe, members, steps, dir)) in round_trains.iter().enumerate() {
                         let cells: Vec<usize> = members.iter().map(|m| dims.index(*m)).collect();
                         let epoch = ((round as u64) << 32) | t as u64;
-                        commit_train(policy, &mut remap, &mut counters, tweak, epoch, &cells)?;
+                        commit_train(
+                            policy,
+                            &mut remap,
+                            &mut counters,
+                            tweak,
+                            epoch,
+                            &cells,
+                            self.recorder.as_ref(),
+                        )?;
+                        self.record_pulse(*poe, members.len());
+                        self.recorder.add(Counter::TrainSteps, steps.len() as u64);
                         arr.apply_train(members, steps, *dir, false);
                     }
                 }
@@ -614,14 +740,30 @@ impl SpeContext {
     /// or the recovered plaintext does not match it — i.e. the stored line
     /// is unrecoverably corrupted. Plaintext is never returned in that
     /// case.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..).verified())`"
+    )]
     pub fn decrypt_block_checked(
         &self,
         block: &CipherBlock,
     ) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        let pt = self.decrypt_block(block)?;
+        self.decrypt_block_checked_inner(block)
+    }
+
+    pub(crate) fn decrypt_block_checked_inner(
+        &self,
+        block: &CipherBlock,
+    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        let pt = self.decrypt_block_inner(block)?;
         match block.tag {
-            Some(tag) if tag == self.block_tag(block.tweak, &pt) => Ok(pt),
-            _ => Err(SpeError::IntegrityViolation { tweak: block.tweak }),
+            Some(tag) if tag == self.block_tag(block.tweak, &pt) => {
+                self.recorder.add(Counter::TagsVerified, 1);
+                Ok(pt)
+            }
+            _ => {
+                self.recorder.add(Counter::IntegrityFailures, 1);
+                Err(SpeError::IntegrityViolation { tweak: block.tweak })
+            }
         }
     }
 
@@ -632,18 +774,31 @@ impl SpeContext {
     ///
     /// Returns [`SpeError::FaultExhausted`] if any block's polyomino
     /// cannot be committed.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..).resilient(..))`"
+    )]
     pub fn encrypt_line_resilient(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
         policy: &FaultPolicy,
     ) -> Result<(CipherLine, FaultCounters), SpeError> {
+        self.encrypt_line_resilient_inner(plaintext, line_address, policy)
+    }
+
+    pub(crate) fn encrypt_line_resilient_inner(
+        &self,
+        plaintext: &[u8; LINE_BYTES],
+        line_address: u64,
+        policy: &FaultPolicy,
+    ) -> Result<(CipherLine, FaultCounters), SpeError> {
+        self.recorder.add(Counter::LinesEncrypted, 1);
         let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
         let mut counters = FaultCounters::default();
         for i in 0..BLOCKS_PER_LINE {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            let (cb, c) = self.encrypt_block_resilient(
+            let (cb, c) = self.encrypt_block_resilient_inner(
                 &block,
                 line_address * BLOCKS_PER_LINE as u64 + i as u64,
                 policy,
@@ -660,16 +815,27 @@ impl SpeContext {
     ///
     /// Returns [`SpeError::IntegrityViolation`] for the first corrupted or
     /// untagged block, or [`SpeError::BadLength`] if the line is malformed.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..).verified())`"
+    )]
     pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
+        self.decrypt_line_checked_inner(line)
+    }
+
+    pub(crate) fn decrypt_line_checked_inner(
+        &self,
+        line: &CipherLine,
+    ) -> Result<[u8; LINE_BYTES], SpeError> {
         if line.blocks.len() != BLOCKS_PER_LINE {
             return Err(SpeError::BadLength {
                 expected: BLOCKS_PER_LINE,
                 actual: line.blocks.len(),
             });
         }
+        self.recorder.add(Counter::LinesDecrypted, 1);
         let mut out = [0u8; LINE_BYTES];
         for (i, block) in line.blocks.iter().enumerate() {
-            let pt = self.decrypt_block_checked(block)?;
+            let pt = self.decrypt_block_checked_inner(block)?;
             out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
@@ -729,7 +895,7 @@ impl SpeContext {
                     })
                     .collect();
                 let dir = if pulse.voltage >= 0.0 { 1 } else { -1 };
-                trains.push((members, steps, dir));
+                trains.push((*poe, members, steps, dir));
             };
             if round % 2 == 1 {
                 for (poe, pulse) in schedule.steps().iter().rev() {
@@ -840,12 +1006,27 @@ impl Specu {
     }
 
     /// Loads a key (power-up, after TPM authentication). Cheap: the
-    /// calibration is reused, only the keyed context is rebuilt.
+    /// calibration is reused, only the keyed context is rebuilt. An
+    /// attached telemetry recorder carries over to the new context.
     pub fn load_key(&mut self, key: Key) {
-        self.context = Some(SpeContext::with_calibration(
-            key,
-            Arc::clone(&self.calibration),
-        ));
+        let recorder = self
+            .context
+            .as_ref()
+            .map(|ctx| Arc::clone(ctx.recorder()))
+            .unwrap_or_else(noop);
+        self.context = Some(
+            SpeContext::with_calibration(key, Arc::clone(&self.calibration))
+                .with_recorder(recorder),
+        );
+    }
+
+    /// Attaches a telemetry recorder to the loaded context: all datapath
+    /// operations (schedule derivations, pulses, retries, …) report into
+    /// it. Survives [`Specu::load_key`]; a no-op when no key is loaded.
+    pub fn attach_recorder(&mut self, recorder: TelemetryHandle) {
+        if let Some(ctx) = self.context.as_mut() {
+            ctx.set_recorder(recorder);
+        }
     }
 
     /// The immutable keyed context (shareable across threads).
@@ -885,8 +1066,11 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if no key is loaded or the model rejects the
     /// pulse schedule.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..))`"
+    )]
     pub fn encrypt_block(&self, plaintext: &[u8; BLOCK_BYTES]) -> Result<CipherBlock, SpeError> {
-        self.context()?.encrypt_block(plaintext)
+        self.context()?.encrypt_block_inner(plaintext, 0)
     }
 
     /// Encrypts a 16-byte block under a block-address tweak.
@@ -895,12 +1079,15 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if no key is loaded or the model rejects the
     /// pulse schedule.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).with_tweak(..))`"
+    )]
     pub fn encrypt_block_with_tweak(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
     ) -> Result<CipherBlock, SpeError> {
-        self.context()?.encrypt_block_with_tweak(plaintext, tweak)
+        self.context()?.encrypt_block_inner(plaintext, tweak)
     }
 
     /// Decrypts a block in place on the same (modelled) crossbar.
@@ -909,8 +1096,11 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if no key is loaded or the stored state has the
     /// wrong size.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..))`"
+    )]
     pub fn decrypt_block(&self, block: &CipherBlock) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        self.context()?.decrypt_block(block)
+        self.context()?.decrypt_block_inner(block)
     }
 
     /// Encrypts a 64-byte cache line (four blocks, per-block tweaks derived
@@ -919,12 +1109,15 @@ impl Specu {
     /// # Errors
     ///
     /// Returns [`SpeError`] if no key is loaded.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..))`"
+    )]
     pub fn encrypt_line(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
     ) -> Result<CipherLine, SpeError> {
-        self.context()?.encrypt_line(plaintext, line_address)
+        self.context()?.encrypt_line_inner(plaintext, line_address)
     }
 
     /// Decrypts a 64-byte cache line.
@@ -932,8 +1125,11 @@ impl Specu {
     /// # Errors
     ///
     /// Returns [`SpeError`] if no key is loaded or the line is malformed.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..))`"
+    )]
     pub fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
-        self.context()?.decrypt_line(line)
+        self.context()?.decrypt_line_inner(line)
     }
 
     /// Encrypts a block with write-verify/retry/remap under `policy` (see
@@ -943,6 +1139,9 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if no key is loaded or fault recovery is
     /// exhausted.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).resilient(..))`"
+    )]
     pub fn encrypt_block_resilient(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
@@ -950,7 +1149,7 @@ impl Specu {
         policy: &FaultPolicy,
     ) -> Result<(CipherBlock, FaultCounters), SpeError> {
         self.context()?
-            .encrypt_block_resilient(plaintext, tweak, policy)
+            .encrypt_block_resilient_inner(plaintext, tweak, policy)
     }
 
     /// Decrypts a block, verifying its integrity tag (see
@@ -959,11 +1158,14 @@ impl Specu {
     /// # Errors
     ///
     /// Returns [`SpeError`] if no key is loaded or the tag does not verify.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..).verified())`"
+    )]
     pub fn decrypt_block_checked(
         &self,
         block: &CipherBlock,
     ) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        self.context()?.decrypt_block_checked(block)
+        self.context()?.decrypt_block_checked_inner(block)
     }
 
     /// Encrypts a cache line through the resilient path.
@@ -972,6 +1174,9 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if no key is loaded or fault recovery is
     /// exhausted.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..).resilient(..))`"
+    )]
     pub fn encrypt_line_resilient(
         &self,
         plaintext: &[u8; LINE_BYTES],
@@ -979,7 +1184,7 @@ impl Specu {
         policy: &FaultPolicy,
     ) -> Result<(CipherLine, FaultCounters), SpeError> {
         self.context()?
-            .encrypt_line_resilient(plaintext, line_address, policy)
+            .encrypt_line_resilient_inner(plaintext, line_address, policy)
     }
 
     /// Decrypts a cache line, verifying every block's integrity tag.
@@ -988,8 +1193,11 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if no key is loaded, the line is malformed or a
     /// block's tag does not verify.
+    #[deprecated(
+        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..).verified())`"
+    )]
     pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
-        self.context()?.decrypt_line_checked(line)
+        self.context()?.decrypt_line_checked_inner(line)
     }
 
     /// Encryption latency in NVMM cycles: one write pulse per PoE (§6.4
@@ -999,14 +1207,18 @@ impl Specu {
     }
 }
 
-/// One closed-loop pulse train: member cells, per-member keyed level steps
-/// and the pulse polarity.
-type Train = (Vec<CellAddr>, Vec<u8>, i8);
+/// One closed-loop pulse train: the PoE it fires at, its member cells,
+/// per-member keyed level steps and the pulse polarity.
+type Train = (CellAddr, Vec<CellAddr>, Vec<u8>, i8);
 
 /// Process-wide memo of ILP placements, keyed by (shape, PoE count): the
 /// hardware-avalanche dataset constructs many SPECUs over the same few
 /// perturbed geometries and the placement solve dominates construction.
-fn cached_placement(shape: &PolyominoShape, poe_count: usize) -> Result<Vec<CellAddr>, SpeError> {
+fn cached_placement(
+    shape: &PolyominoShape,
+    poe_count: usize,
+    recorder: &TelemetryHandle,
+) -> Result<Vec<CellAddr>, SpeError> {
     use std::collections::HashMap;
     use std::sync::{Mutex, OnceLock};
     type PlacementKey = (Vec<(isize, isize)>, usize);
@@ -1020,8 +1232,10 @@ fn cached_placement(shape: &PolyominoShape, poe_count: usize) -> Result<Vec<Cell
         m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     };
     if let Some(hit) = lock(cache).get(&key) {
+        recorder.add(Counter::PlacementCacheHits, 1);
         return Ok(hit.clone());
     }
+    recorder.add(Counter::PlacementCacheMisses, 1);
     let dims = Dims::square8();
     let problem = PlacementProblem {
         rows: dims.rows,
@@ -1092,6 +1306,10 @@ pub fn levels_to_bytes(levels: &[MlcLevel]) -> [u8; BLOCK_BYTES] {
 
 #[cfg(test)]
 mod tests {
+    // Legacy-surface coverage: the deprecated wrappers must keep working
+    // until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use std::sync::OnceLock;
 

@@ -9,6 +9,7 @@ use crate::netlist::{assemble, col_node, row_node, Gating};
 use crate::polyomino::Polyomino;
 use crate::wires::WireParams;
 use spe_memristor::{mlc, DeviceParams, Memristor, MlcLevel, Pulse};
+use spe_telemetry::{noop, Counter, TelemetryHandle};
 
 /// Per-cell voltages resulting from a nodal-analysis solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,7 @@ pub struct Crossbar {
     wires: WireParams,
     cells: Vec<Memristor>,
     faults: FaultMap,
+    recorder: TelemetryHandle,
 }
 
 impl Crossbar {
@@ -99,7 +101,20 @@ impl Crossbar {
             wires,
             cells: vec![cell; dims.cells()],
             faults: FaultMap::none(dims),
+            recorder: noop(),
         })
+    }
+
+    /// Attaches a telemetry recorder; circuit events (nodal solves,
+    /// sneak-path activations, fault-map hits) report into it. The
+    /// default is the shared no-op recorder.
+    pub fn set_recorder(&mut self, recorder: TelemetryHandle) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder.
+    pub fn recorder(&self) -> &TelemetryHandle {
+        &self.recorder
     }
 
     /// Attaches a per-cell fault map, pinning permanently faulty cells at
@@ -215,6 +230,7 @@ impl Crossbar {
             .fault_at_index(idx)
             .and_then(|kind| kind.pinned_state())
         {
+            self.recorder.add(Counter::FaultMapHits, 1);
             self.cells[idx].set_state(x);
         } else {
             mlc::program_verify(&mut self.cells[idx], level, 8192);
@@ -241,6 +257,7 @@ impl Crossbar {
                 .fault_at_index(idx)
                 .and_then(|kind| kind.pinned_state())
             {
+                self.recorder.add(Counter::FaultMapHits, 1);
                 cell.set_state(x);
             } else {
                 mlc::program_verify(cell, *level, 8192);
@@ -277,6 +294,7 @@ impl Crossbar {
             |i, j| self.cells[i * self.dims.cols + j].series_resistance(),
         );
         let v = solve(g, b)?;
+        self.recorder.add(Counter::NodalSolves, 1);
         let v_cell =
             v[row_node(self.dims, addr.row, addr.col)] - v[col_node(self.dims, addr.row, addr.col)];
         let r_series = self.cells[self.dims.index(addr)].series_resistance();
@@ -305,6 +323,7 @@ impl Crossbar {
             self.cells[i * self.dims.cols + j].series_resistance()
         });
         let v = solve(g, b)?;
+        self.recorder.add(Counter::NodalSolves, 1);
         let volts = self
             .dims
             .iter()
@@ -378,6 +397,8 @@ impl Crossbar {
             Some(p) => p,
             None => self.polyomino_at(poe, pulse.voltage)?,
         };
+        self.recorder
+            .add(Counter::SneakPathActivations, polyomino.len() as u64);
         Ok(PulseReport {
             polyomino,
             solves,

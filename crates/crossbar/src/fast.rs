@@ -29,6 +29,7 @@ use crate::error::CrossbarError;
 use crate::geometry::{CellAddr, Dims};
 use crate::{Crossbar, WireParams};
 use spe_memristor::{DeviceParams, MlcLevel, Pulse, PulseWidthSearch};
+use spe_telemetry::TelemetryHandle;
 
 /// Chebyshev radius of the attenuation kernel (offsets beyond this are
 /// treated as fully attenuated).
@@ -82,6 +83,22 @@ impl Kernel {
         samples: usize,
         seed: u64,
     ) -> Result<Self, CrossbarError> {
+        Kernel::calibrate_recorded(device, wires, samples, seed, spe_telemetry::noop())
+    }
+
+    /// Like [`Kernel::calibrate`], but every circuit-engine sample array
+    /// reports its nodal solves into `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from the circuit engine.
+    pub fn calibrate_recorded(
+        device: &DeviceParams,
+        wires: &WireParams,
+        samples: usize,
+        seed: u64,
+        recorder: TelemetryHandle,
+    ) -> Result<Self, CrossbarError> {
         let dims = Dims::square8();
         let mut sums = vec![0.0f64; Self::SIDE * Self::SIDE];
         let mut counts = vec![0usize; Self::SIDE * Self::SIDE];
@@ -99,6 +116,7 @@ impl Kernel {
         ];
         for s in 0..samples.max(1) {
             let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
+            xbar.set_recorder(recorder.clone());
             let levels: Vec<MlcLevel> = (0..dims.cells()).map(|_| next_level()).collect();
             xbar.write_levels(&levels)?;
             let poe = poes[s % poes.len()];

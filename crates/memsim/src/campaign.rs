@@ -9,7 +9,9 @@
 //! block tweak, the two backends report identical statistics — the
 //! regression `tests/fault_recovery.rs` pins.
 
-use spe_core::{FaultCounters, FaultModel, FaultPolicy, ParallelSpecu, SpeContext, SpeError};
+use spe_core::{
+    CipherRequest, FaultCounters, FaultModel, FaultPolicy, ParallelSpecu, SpeCipher, SpeContext,
+};
 
 use crate::stats::SimStats;
 
@@ -84,10 +86,6 @@ pub struct FaultCampaign {
     config: CampaignConfig,
 }
 
-/// One encrypt-then-checked-decrypt round trip, generic over the backend.
-type LineTrip<'a> =
-    dyn Fn(&[u8; 64], u64, &FaultPolicy) -> Result<(Vec<u8>, FaultCounters), SpeError> + 'a;
-
 impl FaultCampaign {
     /// A campaign with the given configuration.
     pub fn new(config: CampaignConfig) -> Self {
@@ -101,21 +99,18 @@ impl FaultCampaign {
 
     /// Runs the sweep on the serial datapath.
     pub fn run_serial(&self, ctx: &SpeContext) -> Vec<CampaignPoint> {
-        self.run(&|pt, addr, policy| {
-            let (line, counters) = ctx.encrypt_line_resilient(pt, addr, policy)?;
-            Ok((ctx.decrypt_line_checked(&line)?.to_vec(), counters))
-        })
+        self.run(ctx)
     }
 
     /// Runs the sweep on a multi-bank parallel datapath.
     pub fn run_parallel(&self, par: &ParallelSpecu) -> Vec<CampaignPoint> {
-        self.run(&|pt, addr, policy| {
-            let (line, counters) = par.encrypt_line_resilient(pt, addr, policy)?;
-            Ok((par.decrypt_line_checked(&line)?.to_vec(), counters))
-        })
+        self.run(par)
     }
 
-    fn run(&self, trip: &LineTrip<'_>) -> Vec<CampaignPoint> {
+    /// Runs the sweep on any backend of the unified request API: every
+    /// line is encrypted through the resilient tagged path and read back
+    /// through the integrity-checked decrypt.
+    pub fn run(&self, cipher: &dyn SpeCipher) -> Vec<CampaignPoint> {
         self.config
             .rates
             .iter()
@@ -133,7 +128,17 @@ impl FaultCampaign {
                     // Distinct address spaces per rate so sweeps don't
                     // share fault draws through the tweak.
                     let addr = (rate.to_bits() >> 40) ^ (n << 8);
-                    match trip(&pt, addr, &policy) {
+                    let trip = cipher
+                        .encrypt(CipherRequest::line(pt, addr).resilient(policy))
+                        .and_then(|resp| {
+                            let counters = *resp.faults();
+                            let line = resp.into_line()?;
+                            let back = cipher
+                                .decrypt(CipherRequest::sealed_line(line).verified())?
+                                .into_plain_line()?;
+                            Ok((back, counters))
+                        });
+                    match trip {
                         Ok((back, counters)) => {
                             point.counters.merge(&counters);
                             if back != pt {

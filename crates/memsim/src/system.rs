@@ -5,6 +5,7 @@ use crate::config::SystemConfig;
 use crate::engine::EncryptionEngine;
 use crate::stats::SimStats;
 use spe_core::SealedLine;
+use spe_telemetry::{noop, Counter, Histogram, Span, SpanTimer, TelemetryHandle};
 use spe_workloads::Access;
 use std::collections::HashMap;
 
@@ -23,6 +24,7 @@ pub struct System {
     /// engine's [`spe_core::BlockEngine`] backend (keyed by line address)
     /// instead of cost-only accounting.
     sealed_store: Option<HashMap<u64, SealedLine>>,
+    recorder: TelemetryHandle,
 }
 
 impl System {
@@ -42,7 +44,14 @@ impl System {
             engine,
             channel_free_at: 0,
             sealed_store: None,
+            recorder: noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder: NVMM channel traffic, queue delays
+    /// and per-line latencies report into it.
+    pub fn set_recorder(&mut self, recorder: TelemetryHandle) {
+        self.recorder = recorder;
     }
 
     /// Switches the system to functional-encryption mode: every NVMM
@@ -87,6 +96,8 @@ impl System {
     where
         T: IntoIterator<Item = Access>,
     {
+        let recorder = std::sync::Arc::clone(&self.recorder);
+        let _span = SpanTimer::start(recorder.as_ref(), Span::Simulation);
         let mut stats = SimStats::default();
         let mut next_sample = SAMPLE_INTERVAL;
         for access in trace {
@@ -173,6 +184,7 @@ impl System {
                     "functional backend corrupted line {line:#x}"
                 );
                 stats.lines_opened += 1;
+                self.recorder.add(Counter::LinesOpened, 1);
             }
         }
         let cost = self.engine.on_read(line, now);
@@ -182,6 +194,13 @@ impl System {
         // The engine is pipelined: its latency delays the requester but the
         // channel frees after the raw transfer.
         self.channel_free_at = start + self.config.memory_occupancy as u64;
+        self.recorder.add(Counter::NvmmReads, 1);
+        self.recorder
+            .observe(Histogram::QueueDelayCycles, queue_delay);
+        self.recorder
+            .observe(Histogram::ReadLatencyCycles, service as u64 + queue_delay);
+        self.recorder
+            .observe(Histogram::EngineLatencyCycles, cost.latency as u64);
         let exposed = (service + queue_delay as u32).saturating_sub(self.config.overlap_cycles)
             as f64
             / self.config.mlp;
@@ -216,10 +235,14 @@ impl System {
                 .expect("backend seal");
             store.insert(line, sealed);
             stats.lines_sealed += 1;
+            self.recorder.add(Counter::LinesSealed, 1);
         }
-        let _ = self.engine.on_write(line, now);
+        let cost = self.engine.on_write(line, now);
         let start = now.max(self.channel_free_at);
         self.channel_free_at = start + self.config.memory_occupancy as u64;
+        self.recorder.add(Counter::NvmmWrites, 1);
+        self.recorder
+            .observe(Histogram::EngineLatencyCycles, cost.latency as u64);
         stats.memory_writes += 1;
     }
 }

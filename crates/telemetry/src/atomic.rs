@@ -1,0 +1,202 @@
+//! The lock-free [`AtomicRecorder`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metric::{Counter, Histogram, Span};
+use crate::recorder::Recorder;
+use crate::snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
+
+/// One span's accumulator.
+#[derive(Debug, Default)]
+struct SpanCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// One histogram's accumulator: fixed bucket array plus a running sum.
+#[derive(Debug)]
+struct HistCell {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl HistCell {
+    fn new(histogram: Histogram) -> Self {
+        HistCell {
+            buckets: (0..histogram.bucket_count())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent recorder backed by relaxed atomics.
+///
+/// Every hook is a handful of `fetch_add`s — no locks, no allocation,
+/// safe to share across SPECU bank workers. Counter and bucket totals
+/// are order-independent, so for a fixed seed the serial and parallel
+/// datapaths produce identical snapshots.
+#[derive(Debug)]
+pub struct AtomicRecorder {
+    counters: [AtomicU64; Counter::COUNT],
+    histograms: [HistCell; Histogram::COUNT],
+    spans: [SpanCell; Span::COUNT],
+}
+
+impl Default for AtomicRecorder {
+    fn default() -> Self {
+        AtomicRecorder::new()
+    }
+}
+
+impl AtomicRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        AtomicRecorder {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: std::array::from_fn(|i| HistCell::new(Histogram::ALL[i])),
+            spans: std::array::from_fn(|_| SpanCell::default()),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = Counter::ALL.map(|c| (c, self.counter(c)));
+        let histograms = Histogram::ALL.map(|h| {
+            let cell = &self.histograms[h.index()];
+            let buckets: Vec<u64> = cell
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            HistogramSnapshot {
+                histogram: h,
+                total: buckets.iter().sum(),
+                sum: cell.sum.load(Ordering::Relaxed),
+                buckets,
+            }
+        });
+        let spans = Span::ALL.map(|s| {
+            let cell = &self.spans[s.index()];
+            SpanSnapshot {
+                span: s,
+                count: cell.count.load(Ordering::Relaxed),
+                total_ns: cell.total_ns.load(Ordering::Relaxed),
+            }
+        });
+        TelemetrySnapshot {
+            counters: counters.to_vec(),
+            histograms: histograms.to_vec(),
+            spans: spans.to_vec(),
+        }
+    }
+
+    /// Zeroes every counter, bucket and span.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.histograms {
+            for b in h.buckets.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.sum.store(0, Ordering::Relaxed);
+        }
+        for s in &self.spans {
+            s.count.store(0, Ordering::Relaxed);
+            s.total_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Recorder for AtomicRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: Counter, delta: u64) {
+        self.counters[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn observe(&self, histogram: Histogram, value: u64) {
+        let cell = &self.histograms[histogram.index()];
+        cell.buckets[histogram.bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn span_ns(&self, span: Span, nanos: u64) {
+        let cell = &self.spans[span.index()];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = AtomicRecorder::new();
+        r.add(Counter::Retries, 2);
+        r.add(Counter::Retries, 3);
+        assert_eq!(r.counter(Counter::Retries), 5);
+        assert_eq!(r.counter(Counter::Remaps), 0);
+    }
+
+    #[test]
+    fn histograms_bucket_and_sum() {
+        let r = AtomicRecorder::new();
+        r.observe(Histogram::PoePulseIndex, 7);
+        r.observe(Histogram::PoePulseIndex, 7);
+        r.observe(Histogram::PoePulseIndex, 63);
+        let snap = r.snapshot();
+        let h = snap
+            .histogram(Histogram::PoePulseIndex)
+            .expect("histogram present");
+        assert_eq!(h.total, 3);
+        assert_eq!(h.sum, 77);
+        assert_eq!(h.buckets[7], 2);
+        assert_eq!(h.buckets[63], 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let r = AtomicRecorder::new();
+        r.add(Counter::PoePulses, 9);
+        r.observe(Histogram::BankUtilization, 1);
+        r.span_ns(Span::Campaign, 100);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap, TelemetrySnapshot::default_shape());
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let r = std::sync::Arc::new(AtomicRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.add(Counter::PoePulses, 1);
+                        r.observe(Histogram::PulseWidth, 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter(Counter::PoePulses), 4000);
+        let snap = r.snapshot();
+        let h = snap
+            .histogram(Histogram::PulseWidth)
+            .expect("histogram present");
+        assert_eq!(h.total, 4000);
+        assert_eq!(h.sum, 40_000);
+    }
+}

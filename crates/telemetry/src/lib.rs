@@ -1,0 +1,46 @@
+//! # spe-telemetry — observability for the SPE datapath
+//!
+//! A zero-dependency, offline-safe metrics layer for the SNVMM
+//! reproduction. The paper's cost story (Figure 7 overhead, Table 3
+//! comparison) is entirely about *counting what the datapath does* —
+//! pulses applied, sneak-path solves, verify retries, remaps — so every
+//! crate in the datapath reports into a shared [`Recorder`]:
+//!
+//! * **Counters** ([`Counter`]) — lock-free monotonic event counts
+//!   (`fetch_add` on [`std::sync::atomic::AtomicU64`], relaxed ordering).
+//! * **Histograms** ([`Histogram`]) — fixed-bucket distributions for
+//!   latencies, pulse widths, per-PoE pulse placement and per-bank
+//!   utilization. Bucket bounds are static so snapshots are
+//!   deterministic and machine-diffable.
+//! * **Spans** ([`Span`]) — lightweight wall-clock timers via
+//!   [`SpanTimer`]. Span timings are *excluded* from the deterministic
+//!   snapshot text because wall-clock is nondeterministic; use
+//!   [`TelemetrySnapshot::to_text_full`] to see them.
+//!
+//! The default recorder is [`NoopRecorder`] (shared via [`noop`]):
+//! `enabled()` returns `false`, every hook is an empty inlineable call,
+//! and [`SpanTimer`] skips reading the clock entirely — instrumented hot
+//! paths cost nothing when telemetry is off.
+//!
+//! ```
+//! use spe_telemetry::{AtomicRecorder, Counter, Recorder};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(AtomicRecorder::new());
+//! recorder.add(Counter::PoePulses, 16);
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counter(Counter::PoePulses), 16);
+//! assert!(snapshot.to_text().contains("poe_pulses"));
+//! ```
+
+#![deny(unsafe_code)]
+
+mod atomic;
+mod metric;
+mod recorder;
+mod snapshot;
+
+pub use atomic::AtomicRecorder;
+pub use metric::{Counter, Histogram, Span};
+pub use recorder::{noop, NoopRecorder, Recorder, SpanTimer, TelemetryHandle};
+pub use snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};

@@ -1,0 +1,338 @@
+//! The metric inventory: every counter, histogram and span the datapath
+//! reports, with stable snake_case names and static histogram bucket
+//! bounds so snapshots are deterministic.
+
+/// A monotonically increasing event counter.
+///
+/// The discriminant is the index into the recorder's counter table, so
+/// the enum order is the canonical (and stable) snapshot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    // ---- spe-crossbar: circuit engine ----
+    /// Nodal sneak-path solves (one per `sneak_voltages` evaluation).
+    NodalSolves,
+    /// Cells disturbed by sneak paths during a keyed pulse.
+    SneakPathActivations,
+    /// Reads/writes that landed on a cell pinned by the fault map.
+    FaultMapHits,
+    // ---- spe-core: cipher datapath ----
+    /// Keyed voltage pulses applied at points of encryption.
+    PoePulses,
+    /// Closed-loop train steps committed to the discrete array.
+    TrainSteps,
+    /// Per-tweak pulse schedules derived from the key register.
+    ScheduleDerivations,
+    /// PoE placement LUT hits (cached ILP solutions).
+    PlacementCacheHits,
+    /// PoE placement LUT misses (fresh ILP solves).
+    PlacementCacheMisses,
+    /// 16-byte blocks encrypted.
+    BlocksEncrypted,
+    /// 16-byte blocks decrypted.
+    BlocksDecrypted,
+    /// 64-byte cache lines encrypted.
+    LinesEncrypted,
+    /// 64-byte cache lines decrypted.
+    LinesDecrypted,
+    // ---- spe-core: recovery ladder (PR 2) ----
+    /// Cell commits attempted through the write-verify path.
+    CellCommits,
+    /// Transient faults observed during write-verify.
+    TransientFaults,
+    /// Verify retries issued (with pulse-width backoff).
+    Retries,
+    /// Polyomino remaps into spare regions.
+    Remaps,
+    /// Commits abandoned after exhausting retries and spares.
+    Uncorrectable,
+    /// Integrity tags verified on checked decrypt.
+    TagsVerified,
+    /// Integrity tag mismatches (would-be silent corruption).
+    IntegrityFailures,
+    // ---- spe-core: multi-bank fan-out ----
+    /// Jobs dispatched to SPECU bank workers.
+    BankJobs,
+    // ---- spe-memsim: memory system ----
+    /// NVMM line reads serviced.
+    NvmmReads,
+    /// NVMM line writes serviced.
+    NvmmWrites,
+    /// Lines sealed (encrypted) by the memory-side engine.
+    LinesSealed,
+    /// Lines opened (decrypted) by the memory-side engine.
+    LinesOpened,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 24;
+
+    /// Every counter in canonical snapshot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::NodalSolves,
+        Counter::SneakPathActivations,
+        Counter::FaultMapHits,
+        Counter::PoePulses,
+        Counter::TrainSteps,
+        Counter::ScheduleDerivations,
+        Counter::PlacementCacheHits,
+        Counter::PlacementCacheMisses,
+        Counter::BlocksEncrypted,
+        Counter::BlocksDecrypted,
+        Counter::LinesEncrypted,
+        Counter::LinesDecrypted,
+        Counter::CellCommits,
+        Counter::TransientFaults,
+        Counter::Retries,
+        Counter::Remaps,
+        Counter::Uncorrectable,
+        Counter::TagsVerified,
+        Counter::IntegrityFailures,
+        Counter::BankJobs,
+        Counter::NvmmReads,
+        Counter::NvmmWrites,
+        Counter::LinesSealed,
+        Counter::LinesOpened,
+    ];
+
+    /// Index into the recorder's counter table.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in snapshot text.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::NodalSolves => "nodal_solves",
+            Counter::SneakPathActivations => "sneak_path_activations",
+            Counter::FaultMapHits => "fault_map_hits",
+            Counter::PoePulses => "poe_pulses",
+            Counter::TrainSteps => "train_steps",
+            Counter::ScheduleDerivations => "schedule_derivations",
+            Counter::PlacementCacheHits => "placement_cache_hits",
+            Counter::PlacementCacheMisses => "placement_cache_misses",
+            Counter::BlocksEncrypted => "blocks_encrypted",
+            Counter::BlocksDecrypted => "blocks_decrypted",
+            Counter::LinesEncrypted => "lines_encrypted",
+            Counter::LinesDecrypted => "lines_decrypted",
+            Counter::CellCommits => "cell_commits",
+            Counter::TransientFaults => "transient_faults",
+            Counter::Retries => "retries",
+            Counter::Remaps => "remaps",
+            Counter::Uncorrectable => "uncorrectable",
+            Counter::TagsVerified => "tags_verified",
+            Counter::IntegrityFailures => "integrity_failures",
+            Counter::BankJobs => "bank_jobs",
+            Counter::NvmmReads => "nvmm_reads",
+            Counter::NvmmWrites => "nvmm_writes",
+            Counter::LinesSealed => "lines_sealed",
+            Counter::LinesOpened => "lines_opened",
+        }
+    }
+}
+
+/// Linear bucket bounds `[0, 1, .., N-1]`.
+const fn linear_bounds<const N: usize>() -> [u64; N] {
+    let mut bounds = [0u64; N];
+    let mut i = 0;
+    while i < N {
+        bounds[i] = i as u64;
+        i += 1;
+    }
+    bounds
+}
+
+/// Per-PoE pulse placement: one linear bucket per cell index
+/// (`row * 8 + col` on the 8×8 crossbar), overflow bucket catches 63.
+static POE_INDEX_BOUNDS: [u64; 63] = linear_bounds::<63>();
+/// Bank index (0..14 linear, overflow catches 15+).
+static BANK_BOUNDS: [u64; 15] = linear_bounds::<15>();
+/// Power-of-two latency bounds, in cycles or the caller's time unit.
+static LOG2_BOUNDS: [u64; 16] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+];
+
+/// A fixed-bucket distribution.
+///
+/// Bounds are static per histogram (upper-inclusive, plus one overflow
+/// bucket), so two runs over the same workload produce byte-identical
+/// snapshot text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Histogram {
+    /// Pulse placement across the 64 crossbar cells: value is the PoE's
+    /// linear cell index (`row * 8 + col`), so buckets are *exact*
+    /// per-PoE pulse counts.
+    PoePulseIndex,
+    /// Jobs per SPECU bank (value = bank index) — fan-out utilization.
+    BankUtilization,
+    /// Write pulse widths (device time units; also used for the
+    /// exponential verify-retry backoff widths).
+    PulseWidth,
+    /// End-to-end memory read latency, in cycles.
+    ReadLatencyCycles,
+    /// Cycles a memory request waited for the channel.
+    QueueDelayCycles,
+    /// Added latency of the encryption engine per access, in cycles.
+    EngineLatencyCycles,
+}
+
+impl Histogram {
+    /// Number of histograms.
+    pub const COUNT: usize = 6;
+
+    /// Every histogram in canonical snapshot order.
+    pub const ALL: [Histogram; Histogram::COUNT] = [
+        Histogram::PoePulseIndex,
+        Histogram::BankUtilization,
+        Histogram::PulseWidth,
+        Histogram::ReadLatencyCycles,
+        Histogram::QueueDelayCycles,
+        Histogram::EngineLatencyCycles,
+    ];
+
+    /// Index into the recorder's histogram table.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in snapshot text.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Histogram::PoePulseIndex => "poe_pulse_index",
+            Histogram::BankUtilization => "bank_utilization",
+            Histogram::PulseWidth => "pulse_width",
+            Histogram::ReadLatencyCycles => "read_latency_cycles",
+            Histogram::QueueDelayCycles => "queue_delay_cycles",
+            Histogram::EngineLatencyCycles => "engine_latency_cycles",
+        }
+    }
+
+    /// Upper-inclusive bucket bounds; one extra overflow bucket follows.
+    pub fn bounds(self) -> &'static [u64] {
+        match self {
+            Histogram::PoePulseIndex => &POE_INDEX_BOUNDS,
+            Histogram::BankUtilization => &BANK_BOUNDS,
+            Histogram::PulseWidth
+            | Histogram::ReadLatencyCycles
+            | Histogram::QueueDelayCycles
+            | Histogram::EngineLatencyCycles => &LOG2_BOUNDS,
+        }
+    }
+
+    /// Total bucket count (bounds plus the overflow bucket).
+    pub fn bucket_count(self) -> usize {
+        self.bounds().len() + 1
+    }
+
+    /// The bucket a value falls into (first bound >= value, else overflow).
+    pub fn bucket_index(self, value: u64) -> usize {
+        let bounds = self.bounds();
+        bounds.partition_point(|&b| b < value)
+    }
+
+    /// Deterministic label for bucket `i` (used in snapshot text).
+    pub fn bucket_label(self, i: usize) -> String {
+        let bounds = self.bounds();
+        if i < bounds.len() {
+            format!("le_{}", bounds[i])
+        } else {
+            format!("gt_{}", bounds[bounds.len() - 1])
+        }
+    }
+}
+
+/// A wall-clock span accumulated by [`crate::SpanTimer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Span {
+    /// Crossbar kernel calibration.
+    Calibration,
+    /// One line encryption through the SPECU.
+    EncryptLine,
+    /// One line decryption through the SPECU.
+    DecryptLine,
+    /// One fault-campaign rate sweep.
+    Campaign,
+    /// One memory-system simulation run.
+    Simulation,
+}
+
+impl Span {
+    /// Number of spans.
+    pub const COUNT: usize = 5;
+
+    /// Every span in canonical snapshot order.
+    pub const ALL: [Span; Span::COUNT] = [
+        Span::Calibration,
+        Span::EncryptLine,
+        Span::DecryptLine,
+        Span::Campaign,
+        Span::Simulation,
+    ];
+
+    /// Index into the recorder's span table.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in snapshot text.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Span::Calibration => "calibration",
+            Span::EncryptLine => "encrypt_line",
+            Span::DecryptLine => "decrypt_line",
+            Span::Campaign => "campaign",
+            Span::Simulation => "simulation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn histogram_indices_match_all_order() {
+        for (i, h) in Histogram::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn span_indices_match_all_order() {
+        for (i, s) in Span::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn poe_index_buckets_are_exact() {
+        let h = Histogram::PoePulseIndex;
+        assert_eq!(h.bucket_count(), 64);
+        for cell in 0..64u64 {
+            assert_eq!(h.bucket_index(cell), cell as usize);
+        }
+    }
+
+    #[test]
+    fn log2_buckets_partition() {
+        let h = Histogram::ReadLatencyCycles;
+        assert_eq!(h.bucket_index(0), 0);
+        assert_eq!(h.bucket_index(1), 0);
+        assert_eq!(h.bucket_index(2), 1);
+        assert_eq!(h.bucket_index(3), 2);
+        assert_eq!(h.bucket_index(32768), 15);
+        assert_eq!(h.bucket_index(32769), 16);
+        assert_eq!(h.bucket_label(0), "le_1");
+        assert_eq!(h.bucket_label(16), "gt_32768");
+    }
+}

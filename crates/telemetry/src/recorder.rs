@@ -1,0 +1,126 @@
+//! The [`Recorder`] sink trait, the zero-cost no-op default, and the
+//! [`SpanTimer`] guard.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::metric::{Counter, Histogram, Span};
+
+/// A telemetry sink the datapath reports into.
+///
+/// All hooks take `&self` and must be safe to call from SPECU bank
+/// worker threads concurrently ([`Send`] + [`Sync`]). Implementations
+/// should make every hook cheap; hot paths call them unconditionally
+/// except where a recording has a setup cost (reading the clock,
+/// formatting), which is gated on [`Recorder::enabled`].
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// Whether this recorder keeps what it is given. `false` lets
+    /// instrumented code skip work that only feeds telemetry.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to a counter.
+    fn add(&self, counter: Counter, delta: u64);
+
+    /// Records one observation into a histogram.
+    fn observe(&self, histogram: Histogram, value: u64);
+
+    /// Accumulates `nanos` of wall-clock time into a span.
+    fn span_ns(&self, span: Span, nanos: u64);
+}
+
+/// A shared handle to a recorder, cheap to clone and thread through
+/// the datapath structs.
+pub type TelemetryHandle = Arc<dyn Recorder>;
+
+/// The default recorder: drops everything, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add(&self, _counter: Counter, _delta: u64) {}
+
+    fn observe(&self, _histogram: Histogram, _value: u64) {}
+
+    fn span_ns(&self, _span: Span, _nanos: u64) {}
+}
+
+/// The shared no-op handle. Cached so attaching the default recorder
+/// never allocates.
+pub fn noop() -> TelemetryHandle {
+    static NOOP: OnceLock<TelemetryHandle> = OnceLock::new();
+    Arc::clone(NOOP.get_or_init(|| Arc::new(NoopRecorder)))
+}
+
+/// A guard that times a [`Span`] from construction to drop.
+///
+/// When the recorder is disabled the clock is never read, so a
+/// `SpanTimer` over a no-op recorder is two branches and no syscalls.
+#[must_use = "a span timer records on drop"]
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    recorder: &'a dyn Recorder,
+    span: Span,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing `span`; reads the clock only if the recorder is
+    /// enabled.
+    pub fn start(recorder: &'a dyn Recorder, span: Span) -> Self {
+        let start = recorder.enabled().then(Instant::now);
+        SpanTimer {
+            recorder,
+            span,
+            start,
+        }
+    }
+
+    /// Whether the clock was actually read (i.e. the recorder was
+    /// enabled at start). Exposed so tests can pin the zero-overhead
+    /// property of the no-op recorder.
+    pub fn is_timing(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.span_ns(self.span, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_shared() {
+        let a = noop();
+        let b = noop();
+        assert!(!a.enabled());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn noop_span_timer_never_reads_the_clock() {
+        let handle = noop();
+        let timer = SpanTimer::start(handle.as_ref(), Span::EncryptLine);
+        assert!(!timer.is_timing());
+    }
+
+    #[test]
+    fn noop_hooks_accept_everything() {
+        let r = NoopRecorder;
+        r.add(Counter::PoePulses, u64::MAX);
+        r.observe(Histogram::PoePulseIndex, u64::MAX);
+        r.span_ns(Span::Simulation, u64::MAX);
+    }
+}

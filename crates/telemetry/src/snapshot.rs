@@ -1,0 +1,207 @@
+//! Point-in-time snapshots with a deterministic JSON-ish text form.
+
+use std::fmt::Write as _;
+
+use crate::metric::{Counter, Histogram, Span};
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Which histogram this is.
+    pub histogram: Histogram,
+    /// Total observations across all buckets.
+    pub total: u64,
+    /// Sum of all observed values (for means).
+    pub sum: u64,
+    /// Per-bucket counts, `histogram.bucket_count()` long.
+    pub buckets: Vec<u64>,
+}
+
+/// One span's accumulated wall-clock time at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Which span this is.
+    pub span: Span,
+    /// Completed timer count.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (nondeterministic across runs).
+    pub total_ns: u64,
+}
+
+/// Everything a recorder saw, frozen.
+///
+/// [`TelemetrySnapshot::to_text`] renders counters and histograms in
+/// canonical enum order, omitting zero entries — byte-identical across
+/// runs of a fixed-seed workload, so bench output is machine-diffable.
+/// Span timings are wall-clock and therefore only appear in
+/// [`TelemetrySnapshot::to_text_full`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// All counters in canonical order (zeros included).
+    pub counters: Vec<(Counter, u64)>,
+    /// All histograms in canonical order (empty ones included).
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All spans in canonical order.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// The all-zero snapshot an empty recorder produces.
+    pub fn default_shape() -> Self {
+        TelemetrySnapshot {
+            counters: Counter::ALL.map(|c| (c, 0)).to_vec(),
+            histograms: Histogram::ALL
+                .map(|h| HistogramSnapshot {
+                    histogram: h,
+                    total: 0,
+                    sum: 0,
+                    buckets: vec![0; h.bucket_count()],
+                })
+                .to_vec(),
+            spans: Span::ALL
+                .map(|s| SpanSnapshot {
+                    span: s,
+                    count: 0,
+                    total_ns: 0,
+                })
+                .to_vec(),
+        }
+    }
+
+    /// The value of one counter (zero if absent).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(c, _)| *c == counter)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// One histogram's snapshot, if present.
+    pub fn histogram(&self, histogram: Histogram) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.histogram == histogram)
+    }
+
+    /// One span's snapshot, if present.
+    pub fn span(&self, span: Span) -> Option<SpanSnapshot> {
+        self.spans.iter().find(|s| s.span == span).copied()
+    }
+
+    /// True when nothing was recorded (spans included).
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&(_, v)| v == 0)
+            && self.histograms.iter().all(|h| h.total == 0)
+            && self.spans.iter().all(|s| s.count == 0)
+    }
+
+    /// Deterministic JSON-ish rendering: counters and histograms only,
+    /// canonical order, zero entries omitted.
+    pub fn to_text(&self) -> String {
+        self.render(false)
+    }
+
+    /// Full rendering including wall-clock span timings — useful for
+    /// humans, nondeterministic across runs.
+    pub fn to_text_full(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, with_spans: bool) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry {\n");
+        out.push_str("  counters {\n");
+        for &(c, v) in &self.counters {
+            if v != 0 {
+                let _ = writeln!(out, "    {}: {v}", c.name());
+            }
+        }
+        out.push_str("  }\n");
+        out.push_str("  histograms {\n");
+        for h in &self.histograms {
+            if h.total == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "    {} {{ total: {}, sum: {} }}",
+                h.histogram.name(),
+                h.total,
+                h.sum
+            );
+            for (i, &count) in h.buckets.iter().enumerate() {
+                if count != 0 {
+                    let _ = writeln!(out, "      {}: {count}", h.histogram.bucket_label(i));
+                }
+            }
+        }
+        out.push_str("  }\n");
+        if with_spans {
+            out.push_str("  spans {\n");
+            for s in &self.spans {
+                if s.count != 0 {
+                    let _ = writeln!(
+                        out,
+                        "    {} {{ count: {}, total_ns: {} }}",
+                        s.span.name(),
+                        s.count,
+                        s.total_ns
+                    );
+                }
+            }
+            out.push_str("  }\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicRecorder;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn empty_snapshot_renders_empty_sections() {
+        let snap = TelemetrySnapshot::default_shape();
+        assert!(snap.is_empty());
+        let text = snap.to_text();
+        assert!(text.starts_with("telemetry {"));
+        assert!(!text.contains("poe_pulses"));
+    }
+
+    #[test]
+    fn text_is_deterministic_and_omits_spans() {
+        let build = || {
+            let r = AtomicRecorder::new();
+            r.add(Counter::PoePulses, 128);
+            r.add(Counter::Retries, 3);
+            r.observe(Histogram::PoePulseIndex, 12);
+            r.span_ns(Span::EncryptLine, 987_654);
+            r.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.to_text(), b.to_text());
+        assert!(a.to_text().contains("poe_pulses: 128"));
+        assert!(a.to_text().contains("retries: 3"));
+        assert!(a.to_text().contains("le_12: 1"));
+        assert!(!a.to_text().contains("encrypt_line"));
+        assert!(a.to_text_full().contains("encrypt_line"));
+    }
+
+    #[test]
+    fn accessors_read_back() {
+        let r = AtomicRecorder::new();
+        r.add(Counter::Remaps, 7);
+        r.span_ns(Span::Campaign, 10);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(Counter::Remaps), 7);
+        assert_eq!(snap.span(Span::Campaign).map(|s| s.count), Some(1));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use snvmm::core::{Key, Specu};
+use snvmm::core::{CipherRequest, Key, SpeCipher, Specu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 88-bit key would normally come from the TPM at power-on.
@@ -14,7 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Encryption happens in place on the crossbar: a keyed sequence of
     // sneak-path pulse trains at 16 points of encryption.
-    let block = specu.encrypt_block(&plaintext)?;
+    let block = specu
+        .encrypt(CipherRequest::block(plaintext))?
+        .into_block()?;
     println!("ciphertext: {:02x?}", block.data());
     println!(
         "(what a probe of the stolen NVMM reads — {} of 128 bits differ)",
@@ -26,13 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Decryption replays the schedule in reverse on the same array.
-    let recovered = specu.decrypt_block(&block)?;
+    let recovered = specu
+        .decrypt(CipherRequest::sealed_block(block.clone()))?
+        .into_plain_block()?;
     assert_eq!(recovered, plaintext);
     println!("decrypted : {:02x?} (matches)", recovered);
 
     // A different key fails.
     let wrong = Specu::new(Key::from_seed(999))?;
-    let garbage = wrong.decrypt_block(&block)?;
+    let garbage = wrong
+        .decrypt(CipherRequest::sealed_block(block))?
+        .into_plain_block()?;
     assert_ne!(garbage, plaintext);
     println!("wrong key : {:02x?} (garbage, as it should be)", garbage);
     Ok(())

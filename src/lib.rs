@@ -12,19 +12,22 @@
 //! * [`core`] — sneak-path encryption, the SPECU, keys, attacks, analysis.
 //! * [`memsim`] — cycle-level CPU/cache/NVMM timing simulator (Figs. 7–8).
 //! * [`workloads`] — synthetic SPEC CPU2006-like trace generators.
+//! * [`telemetry`] — counters/histograms/spans observing the datapath.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use snvmm::core::{Key, Specu};
+//! use snvmm::core::{CipherRequest, Key, SpeCipher, Specu};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let key = Key::from_seed(0xDAC2014);
-//! let mut specu = Specu::new(key)?;
+//! let specu = Specu::new(key)?;
 //! let plaintext = *b"sixteen byte msg";
-//! let ciphertext = specu.encrypt_block(&plaintext)?;
+//! let ciphertext = specu.encrypt(CipherRequest::block(plaintext))?.into_block()?;
 //! assert_ne!(ciphertext.data(), plaintext);
-//! let recovered = specu.decrypt_block(&ciphertext)?;
+//! let recovered = specu
+//!     .decrypt(CipherRequest::sealed_block(ciphertext))?
+//!     .into_plain_block()?;
 //! assert_eq!(recovered, plaintext);
 //! # Ok(())
 //! # }
@@ -39,4 +42,5 @@ pub use spe_ilp as ilp;
 pub use spe_memristor as memristor;
 pub use spe_memsim as memsim;
 pub use spe_nist as nist;
+pub use spe_telemetry as telemetry;
 pub use spe_workloads as workloads;

@@ -1,4 +1,8 @@
 //! Integration: the §3/§6 attack scenarios end to end.
+// These suites exercise the legacy named-method surface on purpose: the
+// deprecated wrappers must stay bit-identical to the unified request API
+// until they are removed (tests/cipher_request.rs covers the new surface).
+#![allow(deprecated)]
 
 use snvmm::core::attack::{brute_force_reduced, known_plaintext_ambiguity, wrong_order_decrypt};
 use snvmm::core::{Key, SecureNvmm, SpeMode, Specu, Tpm};

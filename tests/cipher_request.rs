@@ -1,0 +1,158 @@
+//! The unified cipher-request API: round trips for every payload kind,
+//! bit-identical agreement with the deprecated named methods, and
+//! request/response kind checking.
+
+use snvmm::core::{
+    CipherBlock, CipherRequest, FaultModel, FaultPolicy, Key, SpeCipher, SpeError, Specu, Verify,
+};
+use std::sync::OnceLock;
+
+fn specu() -> &'static Specu {
+    static CACHE: OnceLock<Specu> = OnceLock::new();
+    CACHE.get_or_init(|| Specu::new(Key::from_seed(0x9A)).expect("specu"))
+}
+
+fn policy() -> FaultPolicy {
+    FaultPolicy {
+        model: FaultModel::transient(1e-3, 0xBEEF),
+        max_retries: 4,
+        spare_regions: 2,
+    }
+}
+
+#[test]
+fn block_and_line_round_trips() {
+    let s = specu();
+    let pt = *b"unified requests";
+    let block = s
+        .encrypt(CipherRequest::block(pt).with_tweak(9))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
+    let back = s
+        .decrypt(CipherRequest::sealed_block(block))
+        .expect("decrypt")
+        .into_plain_block()
+        .expect("plain");
+    assert_eq!(back, pt);
+
+    let line: [u8; 64] = core::array::from_fn(|i| i as u8 ^ 0x5A);
+    let sealed = s
+        .encrypt(CipherRequest::line(line, 0x1C0))
+        .expect("encrypt")
+        .into_line()
+        .expect("line");
+    let back = s
+        .decrypt(CipherRequest::sealed_line(sealed))
+        .expect("decrypt")
+        .into_plain_line()
+        .expect("plain");
+    assert_eq!(back, line);
+}
+
+#[test]
+#[allow(deprecated)]
+fn requests_agree_with_the_deprecated_named_methods() {
+    let s = specu();
+    let pt = *b"legacy vs united";
+
+    let old = s.encrypt_block_with_tweak(&pt, 7).expect("old encrypt");
+    let new = s
+        .encrypt(CipherRequest::block(pt).with_tweak(7))
+        .expect("new encrypt")
+        .into_block()
+        .expect("block");
+    assert_eq!(old, new, "same schedule, same ciphertext");
+    assert_eq!(
+        s.decrypt_block(&new).expect("old decrypt"),
+        s.decrypt(CipherRequest::sealed_block(new.clone()))
+            .expect("new decrypt")
+            .into_plain_block()
+            .expect("plain")
+    );
+
+    let line: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(3));
+    let old = s.encrypt_line(&line, 0x80).expect("old line");
+    let new = s
+        .encrypt(CipherRequest::line(line, 0x80))
+        .expect("new line")
+        .into_line()
+        .expect("line");
+    assert_eq!(old, new);
+
+    let (old_sealed, old_faults) = s
+        .encrypt_line_resilient(&line, 0x80, &policy())
+        .expect("old resilient");
+    let resp = s
+        .encrypt(CipherRequest::line(line, 0x80).resilient(policy()))
+        .expect("new resilient");
+    assert_eq!(old_faults, *resp.faults());
+    assert_eq!(old_sealed, resp.into_line().expect("line"));
+}
+
+#[test]
+fn verified_requests_catch_tampering() {
+    let s = specu();
+    let line: [u8; 64] = core::array::from_fn(|i| i as u8);
+    let sealed = s
+        .encrypt(CipherRequest::line(line, 0).resilient(FaultPolicy::none()))
+        .expect("encrypt")
+        .into_line()
+        .expect("line");
+
+    let ok = s
+        .decrypt(CipherRequest::sealed_line(sealed.clone()).verified())
+        .expect("decrypt")
+        .into_plain_line()
+        .expect("plain");
+    assert_eq!(ok, line);
+
+    let mut tampered = sealed;
+    let victim = &tampered.blocks[0];
+    let mut states = victim.states().to_vec();
+    states[3] = (states[3] + 1.0) % 4.0;
+    tampered.blocks[0] = CipherBlock::from_parts_tagged(
+        states,
+        victim.data(),
+        victim.tweak(),
+        victim.tag().expect("resilient blocks are tagged"),
+    );
+    let err = s.decrypt(CipherRequest::sealed_line(tampered).verified());
+    assert!(matches!(err, Err(SpeError::IntegrityViolation { .. })));
+}
+
+#[test]
+fn mismatched_requests_are_typed_errors() {
+    let s = specu();
+    let block = s
+        .encrypt(CipherRequest::block([1u8; 16]))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
+
+    // Decrypting a plaintext payload is a bad request, as is encrypting
+    // an already-sealed one.
+    assert!(matches!(
+        s.decrypt(CipherRequest::block([0u8; 16])),
+        Err(SpeError::BadRequest(_))
+    ));
+    assert!(matches!(
+        s.encrypt(CipherRequest::sealed_block(block.clone())),
+        Err(SpeError::BadRequest(_))
+    ));
+    // And the response accessors check the output kind.
+    assert!(matches!(
+        s.decrypt(CipherRequest::sealed_block(block))
+            .expect("decrypt")
+            .into_plain_line(),
+        Err(SpeError::BadRequest(_))
+    ));
+}
+
+#[test]
+fn default_request_has_no_resilience_or_verification() {
+    let req = CipherRequest::block([0u8; 16]);
+    assert_eq!(req.verify, Verify::None);
+    assert!(req.resilience.is_none());
+    assert_eq!(req.tweak, 0);
+}

@@ -1,4 +1,8 @@
 //! Cross-crate integration: SPE encryption correctness end to end.
+// These suites exercise the legacy named-method surface on purpose: the
+// deprecated wrappers must stay bit-identical to the unified request API
+// until they are removed (tests/cipher_request.rs covers the new surface).
+#![allow(deprecated)]
 
 use snvmm::core::{Key, SecureNvmm, SpeMode, SpeVariant, Specu, SpecuConfig};
 use std::sync::OnceLock;
