@@ -12,12 +12,16 @@ echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo clippy -D clippy::unwrap_used (fault-hardened library crates)"
-cargo clippy -p spe-memristor -p spe-crossbar -p spe-telemetry -p spe-core --lib --offline \
+cargo clippy -p spe-linalg -p spe-memristor -p spe-crossbar -p spe-ilp -p spe-telemetry \
+  -p spe-core --lib --offline \
   -- -D warnings -D clippy::unwrap_used
 
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --workspace --offline
+
+echo "== solver equivalence smoke (sparse factorization vs dense oracle)"
+cargo test -q --offline --test solver_equivalence
 
 echo "== reproduce_all smoke"
 cargo run --release --offline -p spe-bench --bin reproduce_all

@@ -6,8 +6,12 @@
 
 use spe_bench::Bench;
 use spe_core::{CipherRequest, Key, LineJob, SpeCipher, SpeVariant, Specu, SpecuConfig};
+use spe_crossbar::netlist::Gating;
+use spe_crossbar::solver::solve_dense;
+use spe_crossbar::{Bias, CellAddr, Dims, NodalSolver, WireParams};
 use spe_telemetry::AtomicRecorder;
 use std::sync::Arc;
+use std::time::Instant;
 
 const BATCH_LINES: usize = 32;
 
@@ -116,4 +120,75 @@ fn main() {
         .expect("telemetry batch encrypt");
     println!("\ntelemetry snapshot (4-line batch, 4 banks):");
     println!("{}", recorder.snapshot().to_text());
+
+    solver_bench();
+}
+
+/// Per-pulse nodal-solve cost at 64×64: the sparse reusable-factorization
+/// path (warm `NodalSolver`, numeric refactorization only) against the
+/// dense verification oracle, with result parity asserted before timing
+/// counts for anything. Emits `BENCH_solver.json` at the workspace root so
+/// the perf trajectory is machine-trackable.
+fn solver_bench() {
+    let b = Bench::new("solver");
+    let dims = Dims::new(64, 64);
+    let wires = WireParams::default();
+    let bias = Bias::sneak_pulse(dims, CellAddr::new(32, 32), 1.0);
+    // Deterministic pseudo-random cell resistances over the MLC-2 range.
+    let resistance = |i: usize, j: usize| 15_000.0 + ((i * 131 + j * 17) % 64) as f64 * 2_500.0;
+
+    let mut solver = NodalSolver::new(dims).expect("solver");
+    let sparse_field = solver
+        .solve(&wires, &bias, Gating::AllOn, resistance)
+        .expect("sparse solve")
+        .to_vec();
+
+    // The dense oracle is O(n³) at n = 2·64·64 nodes: one solve is both
+    // the parity reference and the per-pulse baseline measurement.
+    let t = Instant::now();
+    let dense_field =
+        solve_dense(dims, &wires, &bias, Gating::AllOn, resistance).expect("dense solve");
+    let dense_ns = t.elapsed().as_nanos() as f64;
+    println!(
+        "solver/nodal_solve_64x64/dense_oracle: {:.2} s/iter (single run)",
+        dense_ns / 1e9
+    );
+
+    // Runtime parity gate: the speedup only counts if both paths agree.
+    assert_eq!(sparse_field.len(), dense_field.len());
+    for (idx, (s, d)) in sparse_field.iter().zip(&dense_field).enumerate() {
+        assert!(
+            (s - d).abs() <= 1e-6 * d.abs().max(1.0),
+            "sparse/dense divergence at node {idx}: {s} vs {d}"
+        );
+    }
+
+    // Steady state: the factorization is warm, every solve is a numeric
+    // refactorization + triangular solves.
+    let m = b.run("nodal_solve_64x64/sparse_warm", || {
+        solver
+            .solve(&wires, &bias, Gating::AllOn, resistance)
+            .expect("sparse solve");
+    });
+    let speedup = dense_ns / m.ns_per_iter;
+    println!("solver/per_pulse_speedup_64x64: {speedup:.1}x (sparse warm vs dense oracle)");
+    assert!(
+        speedup >= 2.0,
+        "sparse reusable factorization must cut per-pulse solve time >= 2x \
+         over the dense baseline at 64x64 (got {speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"array\": \"64x64\",\n  \"nodes\": {},\n  \"fill_nnz\": {},\n  \
+         \"dense_oracle_ns\": {:.0},\n  \"sparse_warm_ns\": {:.0},\n  \
+         \"speedup\": {:.1},\n  \"parity_rel_tol\": 1e-6\n}}\n",
+        2 * dims.cells(),
+        solver.fill_nnz(),
+        dense_ns,
+        m.ns_per_iter,
+        speedup,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(path, &json).expect("write BENCH_solver.json");
+    println!("solver/BENCH_solver.json written:\n{json}");
 }

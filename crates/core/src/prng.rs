@@ -126,12 +126,20 @@ impl CoupledLcg {
 
     /// Fisher–Yates permutation of `0..n` driven by the generator.
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
-        let mut p: Vec<usize> = (0..n).collect();
+        let mut p = Vec::new();
+        self.permutation_into(n, &mut p);
+        p
+    }
+
+    /// Like [`permutation`](Self::permutation), writing into `out` so hot
+    /// loops (per-block schedule derivation) reuse one allocation.
+    pub fn permutation_into(&mut self, n: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..n);
         for i in (1..n).rev() {
             let j = self.next_below(i as u64 + 1) as usize;
-            p.swap(i, j);
+            out.swap(i, j);
         }
-        p
     }
 }
 

@@ -34,7 +34,7 @@ pub const DEFAULT_POE_PLACEMENT: [(usize, usize); 16] = [
 ];
 
 /// One keyed encryption schedule: an ordered list of `(PoE, pulse)` steps.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PulseSchedule {
     steps: Vec<(CellAddr, Pulse)>,
 }
@@ -45,16 +45,39 @@ impl PulseSchedule {
     /// the 32 pulses for each PoE (§5.4: the first LUT half of each PRNG
     /// draw selects the pulse, the second the address).
     pub fn generate(key: &Key, tweak: u64, addresses: &AddressLut, voltages: &VoltageLut) -> Self {
+        let mut schedule = PulseSchedule::default();
+        PulseSchedule::generate_into(key, tweak, addresses, voltages, &mut schedule);
+        schedule
+    }
+
+    /// Like [`generate`](Self::generate), reusing `into`'s step buffer so
+    /// per-block schedule derivation in the line datapath allocates
+    /// nothing in steady state. The PRNG draw order (and therefore the
+    /// schedule) is identical to [`generate`](Self::generate).
+    pub fn generate_into(
+        key: &Key,
+        tweak: u64,
+        addresses: &AddressLut,
+        voltages: &VoltageLut,
+        into: &mut PulseSchedule,
+    ) {
         let mut prng = CoupledLcg::with_tweak(key, tweak);
-        let order = prng.permutation(addresses.len());
-        let steps = order
-            .into_iter()
-            .map(|idx| {
-                let pulse = voltages.pulse(prng.next_below(PULSE_COUNT as u64) as usize);
-                (addresses.poe(idx), pulse)
-            })
-            .collect();
-        PulseSchedule { steps }
+        let n = addresses.len();
+        // The steps buffer doubles as the permutation scratch: lay the PoEs
+        // down in LUT order, Fisher-Yates them (same draws as
+        // `CoupledLcg::permutation`), then fill in each slot's pulse in
+        // sweep order (same draws as the original per-step selection).
+        let placeholder = voltages.pulse(0);
+        into.steps.clear();
+        into.steps
+            .extend((0..n).map(|i| (addresses.poe(i), placeholder)));
+        for i in (1..n).rev() {
+            let j = prng.next_below(i as u64 + 1) as usize;
+            into.steps.swap(i, j);
+        }
+        for step in into.steps.iter_mut() {
+            step.1 = voltages.pulse(prng.next_below(PULSE_COUNT as u64) as usize);
+        }
     }
 
     /// Builds a schedule from explicit steps (attack experiments).
@@ -137,6 +160,17 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
         assert_eq!(s.steps(), &steps[..]);
+    }
+
+    #[test]
+    fn generate_into_reuses_a_dirty_buffer_correctly() {
+        let (addr, volt) = luts();
+        let mut buf = PulseSchedule::default();
+        for tweak in 0..4 {
+            PulseSchedule::generate_into(&Key::from_seed(9), tweak, &addr, &volt, &mut buf);
+            let fresh = PulseSchedule::generate(&Key::from_seed(9), tweak, &addr, &volt);
+            assert_eq!(buf, fresh);
+        }
     }
 
     #[test]

@@ -424,13 +424,23 @@ impl SpeContext {
 
     /// The schedule for a block tweak under this context's key.
     pub fn schedule(&self, tweak: u64) -> PulseSchedule {
+        let mut schedule = PulseSchedule::default();
+        self.schedule_into(tweak, &mut schedule);
+        schedule
+    }
+
+    /// Derives the schedule for a block tweak into a reused buffer (the
+    /// line datapath derives four schedules per line; one buffer serves
+    /// them all).
+    pub fn schedule_into(&self, tweak: u64, into: &mut PulseSchedule) {
         self.recorder.add(Counter::ScheduleDerivations, 1);
-        PulseSchedule::generate(
+        PulseSchedule::generate_into(
             &self.key,
             tweak,
             &self.calibration.addresses,
             &self.calibration.voltages,
-        )
+            into,
+        );
     }
 
     /// Records the telemetry of one applied pulse (forward or inverse) at
@@ -476,8 +486,20 @@ impl SpeContext {
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
     ) -> Result<CipherBlock, SpeError> {
+        let mut schedule = PulseSchedule::default();
+        self.schedule_into(tweak, &mut schedule);
+        self.encrypt_block_scheduled(plaintext, tweak, &schedule)
+    }
+
+    /// Encrypts one block with an already-derived schedule (the line
+    /// datapath derives schedules into a reused buffer).
+    fn encrypt_block_scheduled(
+        &self,
+        plaintext: &[u8; BLOCK_BYTES],
+        tweak: u64,
+        schedule: &PulseSchedule,
+    ) -> Result<CipherBlock, SpeError> {
         let cal = &*self.calibration;
-        let schedule = self.schedule(tweak);
         self.recorder.add(Counter::BlocksEncrypted, 1);
         match cal.config.variant {
             SpeVariant::Analog => {
@@ -503,7 +525,7 @@ impl SpeContext {
             SpeVariant::ClosedLoop => {
                 let mut arr = crate::discrete::DiscreteArray::new(Dims::square8());
                 arr.set_levels(&bytes_to_level_values(plaintext))?;
-                let trains = self.train_steps(&schedule, tweak);
+                let trains = self.train_steps(schedule, tweak);
                 for round_trains in &trains {
                     for (poe, members, steps, dir) in round_trains {
                         self.record_pulse(*poe, members.len());
@@ -538,15 +560,27 @@ impl SpeContext {
         &self,
         block: &CipherBlock,
     ) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        let mut schedule = PulseSchedule::default();
+        self.schedule_into(block.tweak, &mut schedule);
+        self.decrypt_block_scheduled(block, &schedule)
+    }
+
+    /// Decrypts one block with its already-derived *forward* schedule (the
+    /// line datapath derives schedules into a reused buffer; both variants
+    /// walk the forward schedule backwards).
+    fn decrypt_block_scheduled(
+        &self,
+        block: &CipherBlock,
+        schedule: &PulseSchedule,
+    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
         let cal = &*self.calibration;
         self.recorder.add(Counter::BlocksDecrypted, 1);
         match cal.config.variant {
             SpeVariant::Analog => {
-                let schedule = self.schedule(block.tweak).reversed();
                 let mut arr = cal.template.clone();
                 arr.set_states(&block.states)?;
                 for _ in 0..cal.config.rounds {
-                    for (poe, pulse) in schedule.steps() {
+                    for (poe, pulse) in schedule.steps().iter().rev() {
                         let members = arr.apply_pulse_inverse(*poe, *pulse)?;
                         self.record_pulse(*poe, members.len());
                     }
@@ -560,8 +594,7 @@ impl SpeContext {
                 // Regenerate the per-member step stream in *forward* order,
                 // then walk it backwards (the closed-loop inverse replays
                 // trains in reverse with inverted steps).
-                let forward = self.schedule(block.tweak);
-                let trains = self.train_steps(&forward, block.tweak);
+                let trains = self.train_steps(schedule, block.tweak);
                 for round_trains in trains.iter().rev() {
                     for (poe, members, steps, dir) in round_trains.iter().rev() {
                         self.record_pulse(*poe, members.len());
@@ -598,12 +631,14 @@ impl SpeContext {
     ) -> Result<CipherLine, SpeError> {
         self.recorder.add(Counter::LinesEncrypted, 1);
         let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
+        // One schedule buffer serves all four block derivations.
+        let mut schedule = PulseSchedule::default();
         for i in 0..BLOCKS_PER_LINE {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            blocks.push(
-                self.encrypt_block_inner(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)?,
-            );
+            let tweak = line_address * BLOCKS_PER_LINE as u64 + i as u64;
+            self.schedule_into(tweak, &mut schedule);
+            blocks.push(self.encrypt_block_scheduled(&block, tweak, &schedule)?);
         }
         Ok(CipherLine { blocks })
     }
@@ -632,8 +667,11 @@ impl SpeContext {
         }
         self.recorder.add(Counter::LinesDecrypted, 1);
         let mut out = [0u8; LINE_BYTES];
+        // One schedule buffer serves all four block derivations.
+        let mut schedule = PulseSchedule::default();
         for (i, block) in line.blocks.iter().enumerate() {
-            let pt = self.decrypt_block_inner(block)?;
+            self.schedule_into(block.tweak, &mut schedule);
+            let pt = self.decrypt_block_scheduled(block, &schedule)?;
             out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)

@@ -1,15 +1,16 @@
 //! The 1T1M crossbar array: storage, readout and sneak-pulse dynamics.
 
 use crate::bias::Bias;
-use crate::dense::solve;
 use crate::error::CrossbarError;
 use crate::fault::FaultMap;
 use crate::geometry::{CellAddr, Dims};
-use crate::netlist::{assemble, col_node, row_node, Gating};
+use crate::netlist::{col_node, row_node, Gating};
 use crate::polyomino::Polyomino;
+use crate::solver::{solve_dense, NodalSolver, SolverMode};
 use crate::wires::WireParams;
 use spe_memristor::{mlc, DeviceParams, Memristor, MlcLevel, Pulse};
 use spe_telemetry::{noop, Counter, TelemetryHandle};
+use std::sync::Mutex;
 
 /// Per-cell voltages resulting from a nodal-analysis solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +62,15 @@ pub struct PulseReport {
 /// pulses switch every transistor on and resolve the full resistive network
 /// each timestep, integrating every cell's TEAM dynamics under its solved
 /// voltage.
-#[derive(Debug, Clone)]
+///
+/// Nodal solves default to [`SolverMode::Sparse`]: the sparsity structure
+/// of the network is analyzed once (lazily, on the first solve) and every
+/// subsequent pulse only refactors numeric values in place — the array's
+/// topology never changes, so the factorization cache stays valid across
+/// writes, fault attachment and wire-parameter swaps. The dense
+/// elimination path remains available as [`SolverMode::Dense`] and as the
+/// automatic fallback if a stamped system ever fails to factor.
+#[derive(Debug)]
 pub struct Crossbar {
     dims: Dims,
     device: DeviceParams,
@@ -69,6 +78,28 @@ pub struct Crossbar {
     cells: Vec<Memristor>,
     faults: FaultMap,
     recorder: TelemetryHandle,
+    solver_mode: SolverMode,
+    /// Lazily-built sparse solver (template + symbolic factorization +
+    /// workspaces), cached for the lifetime of the array. Behind a mutex
+    /// so read-only circuit queries (`&self`) can reuse it.
+    solver: Mutex<Option<NodalSolver>>,
+}
+
+impl Clone for Crossbar {
+    fn clone(&self) -> Self {
+        Crossbar {
+            dims: self.dims,
+            device: self.device.clone(),
+            wires: self.wires,
+            cells: self.cells.clone(),
+            faults: self.faults.clone(),
+            recorder: self.recorder.clone(),
+            solver_mode: self.solver_mode,
+            // Carry the warm factorization cache into the clone (the
+            // structure depends only on geometry, which the clone shares).
+            solver: Mutex::new(self.solver.lock().map_or(None, |cached| cached.clone())),
+        }
+    }
 }
 
 impl Crossbar {
@@ -102,7 +133,34 @@ impl Crossbar {
             cells: vec![cell; dims.cells()],
             faults: FaultMap::none(dims),
             recorder: noop(),
+            solver_mode: SolverMode::default(),
+            solver: Mutex::new(None),
         })
+    }
+
+    /// Selects the nodal-solve implementation (sparse reusable
+    /// factorization vs the dense verification oracle).
+    pub fn set_solver_mode(&mut self, mode: SolverMode) {
+        self.solver_mode = mode;
+    }
+
+    /// The active nodal-solve implementation.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.solver_mode
+    }
+
+    /// Replaces the wire parameters in place, keeping cell states and the
+    /// cached factorization structure (only stamped *values* change with
+    /// wire resistances, never the sparsity pattern). Monte-Carlo sweeps
+    /// use this to perturb wires without rebuilding the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] if the parameters are invalid.
+    pub fn set_wires(&mut self, wires: WireParams) -> Result<(), CrossbarError> {
+        wires.validate()?;
+        self.wires = wires;
+        Ok(())
     }
 
     /// Attaches a telemetry recorder; circuit events (nodal solves,
@@ -286,17 +344,9 @@ impl Crossbar {
         self.check(addr)?;
         let v_read = 0.2;
         let bias = Bias::addressed(self.dims, addr, v_read);
-        let (g, b) = assemble(
-            self.dims,
-            &self.wires,
-            &bias,
-            Gating::Row(addr.row),
-            |i, j| self.cells[i * self.dims.cols + j].series_resistance(),
-        );
-        let v = solve(g, b)?;
-        self.recorder.add(Counter::NodalSolves, 1);
-        let v_cell =
-            v[row_node(self.dims, addr.row, addr.col)] - v[col_node(self.dims, addr.row, addr.col)];
+        let v_cell = self.solve_nodal(&bias, Gating::Row(addr.row), |v| {
+            v[row_node(self.dims, addr.row, addr.col)] - v[col_node(self.dims, addr.row, addr.col)]
+        })?;
         let r_series = self.cells[self.dims.index(addr)].series_resistance();
         let i_cell = v_cell / r_series;
         if i_cell.abs() < 1e-15 {
@@ -319,20 +369,66 @@ impl Crossbar {
     ) -> Result<VoltageField, CrossbarError> {
         self.check(poe)?;
         let bias = Bias::sneak_pulse(self.dims, poe, voltage);
-        let (g, b) = assemble(self.dims, &self.wires, &bias, Gating::AllOn, |i, j| {
-            self.cells[i * self.dims.cols + j].series_resistance()
-        });
-        let v = solve(g, b)?;
-        self.recorder.add(Counter::NodalSolves, 1);
-        let volts = self
-            .dims
-            .iter()
-            .map(|a| v[row_node(self.dims, a.row, a.col)] - v[col_node(self.dims, a.row, a.col)])
-            .collect();
+        let volts = self.solve_nodal(&bias, Gating::AllOn, |v| {
+            self.dims
+                .iter()
+                .map(|a| {
+                    v[row_node(self.dims, a.row, a.col)] - v[col_node(self.dims, a.row, a.col)]
+                })
+                .collect()
+        })?;
         Ok(VoltageField {
             dims: self.dims,
             volts,
         })
+    }
+
+    /// Solves the nodal system under (`bias`, `gating`) and hands the node
+    /// voltages (original numbering) to `consume`.
+    ///
+    /// In [`SolverMode::Sparse`] this reuses the cached factorization
+    /// (building it on first use) and falls back to the dense oracle —
+    /// counting the fallback — if the stamped system is singular; the
+    /// oracle classifies singularity with the same pivot threshold, so a
+    /// network that is *actually* degenerate still errors identically.
+    fn solve_nodal<T>(
+        &self,
+        bias: &Bias,
+        gating: Gating,
+        consume: impl FnOnce(&[f64]) -> T,
+    ) -> Result<T, CrossbarError> {
+        let resistance =
+            |i: usize, j: usize| self.cells[i * self.dims.cols + j].series_resistance();
+        if self.solver_mode == SolverMode::Dense {
+            let v = solve_dense(self.dims, &self.wires, bias, gating, resistance)?;
+            self.recorder.add(Counter::NodalSolves, 1);
+            return Ok(consume(&v));
+        }
+        let mut cache = self.solver.lock().unwrap_or_else(|p| p.into_inner());
+        let solver = match cache.as_mut() {
+            Some(solver) => {
+                self.recorder.add(Counter::FactorizationsReused, 1);
+                solver
+            }
+            None => {
+                self.recorder.add(Counter::FactorizationsRebuilt, 1);
+                cache.insert(NodalSolver::new(self.dims)?)
+            }
+        };
+        match solver.solve(&self.wires, bias, gating, resistance) {
+            Ok(v) => {
+                self.recorder.add(Counter::NodalSolves, 1);
+                Ok(consume(v))
+            }
+            Err(CrossbarError::SingularNetwork) => {
+                drop(cache);
+                self.recorder.add(Counter::SolverFallbacks, 1);
+                let v = solve_dense(self.dims, &self.wires, bias, gating, resistance)?;
+                self.recorder.add(Counter::NodalSolves, 1);
+                Ok(consume(&v))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The polyomino a pulse at `poe` would affect, given the current data.
@@ -675,5 +771,90 @@ mod tests {
             xbar.attach_faults(FaultMap::none(Dims::new(4, 4))),
             Err(CrossbarError::DataSizeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn sparse_and_dense_modes_agree_on_every_circuit_query() {
+        let dims = Dims::square8();
+        let mut sparse = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        sparse
+            .write_levels(&random_levels(dims, 17))
+            .expect("write");
+        let mut dense = sparse.clone();
+        dense.set_solver_mode(SolverMode::Dense);
+        assert_eq!(sparse.solver_mode(), SolverMode::Sparse);
+        for idx in [0, 9, 27, 63] {
+            let addr = dims.addr(idx);
+            let rs = sparse.sense_resistance(addr).expect("sparse sense");
+            let rd = dense.sense_resistance(addr).expect("dense sense");
+            assert!((rs - rd).abs() < 1e-6 * rd.abs(), "sense {rs} vs {rd}");
+            let fs = sparse.sneak_voltages(addr, 1.0).expect("sparse field");
+            let fd = dense.sneak_voltages(addr, 1.0).expect("dense field");
+            for (a, vs) in fs.iter() {
+                let vd = fd.at(a);
+                assert!((vs - vd).abs() < 1e-9, "field at {a}: {vs} vs {vd}");
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_is_built_once_and_reused_across_pulses() {
+        use spe_telemetry::AtomicRecorder;
+        use std::sync::Arc;
+        let recorder = Arc::new(AtomicRecorder::new());
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.set_recorder(recorder.clone());
+        xbar.write_levels(&random_levels(dims, 23)).expect("write");
+        for idx in 0..10 {
+            xbar.sneak_voltages(dims.addr(idx * 6 % dims.cells()), 1.0)
+                .expect("solve");
+        }
+        xbar.sense_resistance(CellAddr::new(2, 2)).expect("sense");
+        assert_eq!(recorder.counter(Counter::FactorizationsRebuilt), 1);
+        assert_eq!(recorder.counter(Counter::FactorizationsReused), 10);
+        assert_eq!(recorder.counter(Counter::SolverFallbacks), 0);
+        assert_eq!(recorder.counter(Counter::NodalSolves), 11);
+    }
+
+    #[test]
+    fn clone_carries_the_warm_factorization_cache() {
+        use spe_telemetry::AtomicRecorder;
+        use std::sync::Arc;
+        let dims = Dims::square8();
+        let xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.sneak_voltages(CellAddr::new(3, 3), 1.0).expect("warm");
+        let recorder = Arc::new(AtomicRecorder::new());
+        let mut clone = xbar.clone();
+        clone.set_recorder(recorder.clone());
+        clone
+            .sneak_voltages(CellAddr::new(4, 4), 1.0)
+            .expect("solve");
+        assert_eq!(recorder.counter(Counter::FactorizationsRebuilt), 0);
+        assert_eq!(recorder.counter(Counter::FactorizationsReused), 1);
+    }
+
+    #[test]
+    fn set_wires_keeps_state_and_changes_the_solution() {
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.write_levels(&random_levels(dims, 31)).expect("write");
+        let before = xbar
+            .sneak_voltages(CellAddr::new(3, 4), 1.0)
+            .expect("solve");
+        let states = xbar.states();
+        xbar.set_wires(WireParams::default().with_wire_variation(0.05))
+            .expect("set wires");
+        assert_eq!(xbar.states(), states, "cell states survive a wire swap");
+        let after = xbar
+            .sneak_voltages(CellAddr::new(3, 4), 1.0)
+            .expect("solve");
+        assert_ne!(before, after, "perturbed wires must change the field");
+        assert!(xbar
+            .set_wires(WireParams {
+                r_driver: -1.0,
+                ..WireParams::default()
+            })
+            .is_err());
     }
 }

@@ -1,345 +1,21 @@
-//! Small dense linear-algebra kernel for nodal analysis.
+//! Dense linear-algebra kernel, re-exported from [`spe_linalg`].
 //!
-//! Crossbar mats are at most 64×64 cells (≤ 8192 circuit nodes), so a dense
-//! Gaussian elimination with partial pivoting is simple, robust and fast
-//! enough; no external linear-algebra dependency is needed.
+//! The dense `Matrix`/Gaussian-elimination/CG code grew up inside this
+//! crate and moved to the shared `spe-linalg` kernel crate so the ILP
+//! solver and the sparse nodal path build on the same primitives. This
+//! module keeps the original `spe_crossbar::dense` paths alive; within
+//! the crossbar the dense path now serves as the *verification oracle*
+//! for the sparse reusable-factorization solver in [`crate::solver`].
 
-// Index arithmetic mirrors the textbook algorithms here.
-#![allow(clippy::needless_range_loop)]
-
-use std::fmt;
-
-/// A dense square matrix of `f64`, row-major.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Matrix {
-    n: usize,
-    data: Vec<f64>,
-}
-
-impl Matrix {
-    /// Creates an `n × n` zero matrix.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// let m = spe_crossbar::dense::Matrix::zeros(3);
-    /// assert_eq!(m.n(), 3);
-    /// assert_eq!(m.get(1, 2), 0.0);
-    /// ```
-    pub fn zeros(n: usize) -> Self {
-        Matrix {
-            n,
-            data: vec![0.0; n * n],
-        }
-    }
-
-    /// Matrix order.
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// Element at `(row, col)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either index is out of bounds.
-    #[inline]
-    pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n && col < self.n);
-        self.data[row * self.n + col]
-    }
-
-    /// Sets the element at `(row, col)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either index is out of bounds.
-    #[inline]
-    pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n);
-        self.data[row * self.n + col] = value;
-    }
-
-    /// Adds `value` to the element at `(row, col)` (conductance stamping).
-    #[inline]
-    pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n);
-        self.data[row * self.n + col] += value;
-    }
-
-    /// Matrix–vector product `A·x`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x.len() != n`.
-    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n);
-        let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
-            let row = &self.data[i * self.n..(i + 1) * self.n];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
-        y
-    }
-}
-
-impl fmt::Display for Matrix {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for i in 0..self.n {
-            for j in 0..self.n {
-                write!(f, "{:10.3e} ", self.get(i, j))?;
-            }
-            writeln!(f)?;
-        }
-        Ok(())
-    }
-}
-
-/// Error returned when a linear system cannot be solved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DenseError {
-    /// The matrix is singular to working precision.
-    Singular,
-    /// The right-hand side length does not match the matrix order.
-    SizeMismatch {
-        /// The matrix order.
-        expected: usize,
-        /// The supplied right-hand-side length.
-        actual: usize,
-    },
-}
-
-impl fmt::Display for DenseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DenseError::Singular => write!(f, "matrix is singular to working precision"),
-            DenseError::SizeMismatch { expected, actual } => write!(
-                f,
-                "rhs length {actual} does not match matrix order {expected}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for DenseError {}
-
-/// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
-///
-/// `a` and `b` are consumed as scratch space; the solution is returned.
-///
-/// # Errors
-///
-/// Returns [`DenseError::Singular`] when a pivot falls below `1e-300` and
-/// [`DenseError::SizeMismatch`] when `b.len() != a.n()`.
-///
-/// # Example
-///
-/// ```
-/// use spe_crossbar::dense::{solve, Matrix};
-/// # fn main() -> Result<(), spe_crossbar::dense::DenseError> {
-/// let mut a = Matrix::zeros(2);
-/// a.set(0, 0, 2.0); a.set(0, 1, 1.0);
-/// a.set(1, 0, 1.0); a.set(1, 1, 3.0);
-/// let x = solve(a, vec![5.0, 10.0])?;
-/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
-/// # Ok(())
-/// # }
-/// ```
-pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, DenseError> {
-    let n = a.n;
-    if b.len() != n {
-        return Err(DenseError::SizeMismatch {
-            expected: n,
-            actual: b.len(),
-        });
-    }
-    for k in 0..n {
-        // Partial pivot: largest magnitude in column k at or below row k.
-        let mut pivot_row = k;
-        let mut pivot_mag = a.get(k, k).abs();
-        for i in (k + 1)..n {
-            let mag = a.get(i, k).abs();
-            if mag > pivot_mag {
-                pivot_mag = mag;
-                pivot_row = i;
-            }
-        }
-        if pivot_mag < 1e-300 {
-            return Err(DenseError::Singular);
-        }
-        if pivot_row != k {
-            for j in 0..n {
-                let tmp = a.get(k, j);
-                a.set(k, j, a.get(pivot_row, j));
-                a.set(pivot_row, j, tmp);
-            }
-            b.swap(k, pivot_row);
-        }
-        let pivot = a.get(k, k);
-        for i in (k + 1)..n {
-            let factor = a.get(i, k) / pivot;
-            if factor == 0.0 {
-                continue;
-            }
-            // Row update: a[i][j] -= factor * a[k][j] for j >= k.
-            let (upper, lower) = a.data.split_at_mut(i * n);
-            let row_k = &upper[k * n..k * n + n];
-            let row_i = &mut lower[..n];
-            for j in k..n {
-                row_i[j] -= factor * row_k[j];
-            }
-            b[i] -= factor * b[k];
-        }
-    }
-    // Back substitution.
-    let mut x = vec![0.0; n];
-    for k in (0..n).rev() {
-        let mut sum = b[k];
-        for j in (k + 1)..n {
-            sum -= a.get(k, j) * x[j];
-        }
-        x[k] = sum / a.get(k, k);
-    }
-    Ok(x)
-}
-
-/// Solves `A·x = b` by Jacobi-preconditioned conjugate gradients.
-///
-/// Nodal-analysis matrices are symmetric positive definite, which CG
-/// exploits. With this dense matrix-vector product CG does *not* beat the
-/// direct solver (the `scaling_study` harness measures both); its value
-/// here is as an independent numerical cross-check of the elimination
-/// path, and as the algorithmic seed for a sparse-stamp implementation if
-/// mats ever grow beyond 64×64.
-///
-/// # Errors
-///
-/// Returns [`DenseError::Singular`] if a diagonal entry vanishes or the
-/// iteration fails to converge within `4·n` steps, and
-/// [`DenseError::SizeMismatch`] when `b.len() != a.n()`.
-pub fn solve_cg(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, DenseError> {
-    let n = a.n();
-    if b.len() != n {
-        return Err(DenseError::SizeMismatch {
-            expected: n,
-            actual: b.len(),
-        });
-    }
-    // Jacobi preconditioner.
-    let mut inv_diag = vec![0.0; n];
-    for i in 0..n {
-        let d = a.get(i, i);
-        if d.abs() < 1e-300 {
-            return Err(DenseError::Singular);
-        }
-        inv_diag[i] = 1.0 / d;
-    }
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-    let mut p = z.clone();
-    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
-    for _ in 0..4 * n {
-        let ap = a.mul_vec(&p);
-        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
-        if pap.abs() < 1e-300 {
-            return Err(DenseError::Singular);
-        }
-        let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        let r_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if r_norm / b_norm < tol {
-            return Ok(x);
-        }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
-        let rz_next: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        let beta = rz_next / rz;
-        rz = rz_next;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-    }
-    Err(DenseError::Singular)
-}
+pub use spe_linalg::dense::{solve, solve_cg, DenseError, Matrix, SINGULAR_THRESHOLD};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn solves_identity() {
-        let mut a = Matrix::zeros(4);
-        for i in 0..4 {
-            a.set(i, i, 1.0);
-        }
-        let x = solve(a, vec![1.0, 2.0, 3.0, 4.0]).expect("identity solve");
-        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
-    }
-
-    #[test]
-    fn detects_singular() {
-        let a = Matrix::zeros(3);
-        assert_eq!(solve(a, vec![1.0, 2.0, 3.0]), Err(DenseError::Singular));
-    }
-
-    #[test]
-    fn detects_size_mismatch() {
-        let a = Matrix::zeros(3);
-        assert_eq!(
-            solve(a.clone(), vec![1.0, 2.0]),
-            Err(DenseError::SizeMismatch {
-                expected: 3,
-                actual: 2
-            })
-        );
-        assert_eq!(
-            solve_cg(&a, &[1.0; 4], 1e-9),
-            Err(DenseError::SizeMismatch {
-                expected: 3,
-                actual: 4
-            })
-        );
-    }
-
-    #[test]
-    fn pivoting_handles_zero_diagonal() {
-        let mut a = Matrix::zeros(2);
-        a.set(0, 1, 1.0);
-        a.set(1, 0, 1.0);
-        let x = solve(a, vec![3.0, 7.0]).expect("permutation solve");
-        assert!((x[0] - 7.0).abs() < 1e-12);
-        assert!((x[1] - 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn mul_vec_matches_solution() {
-        let mut a = Matrix::zeros(3);
-        let entries = [
-            (0, 0, 4.0),
-            (0, 1, 1.0),
-            (1, 0, 1.0),
-            (1, 1, 3.0),
-            (1, 2, 0.5),
-            (2, 1, 0.5),
-            (2, 2, 2.0),
-        ];
-        for (i, j, v) in entries {
-            a.set(i, j, v);
-        }
-        let b = vec![1.0, 2.0, 3.0];
-        let x = solve(a.clone(), b.clone()).expect("solve");
-        let back = a.mul_vec(&x);
-        for (bi, yi) in b.iter().zip(&back) {
-            assert!((bi - yi).abs() < 1e-10);
-        }
-    }
-
+    // Kept here (not in spe-linalg) because it exercises the crossbar's
+    // own nodal assembly: CG is an independent numerical cross-check of
+    // the elimination path on real sneak-mode systems.
     #[test]
     fn cg_matches_direct_solver_on_nodal_systems() {
         use crate::bias::Bias;
@@ -354,46 +30,6 @@ mod tests {
         let cg = solve_cg(&g, &b, 1e-12).expect("cg");
         for (d, c) in direct.iter().zip(&cg) {
             assert!((d - c).abs() < 1e-6, "direct {d} vs cg {c}");
-        }
-    }
-
-    #[test]
-    fn cg_rejects_zero_diagonal() {
-        let a = Matrix::zeros(4);
-        assert!(solve_cg(&a, &[1.0; 4], 1e-9).is_err());
-    }
-
-    // Random diagonally dominant systems (the shape nodal analysis
-    // produces) solve to high accuracy.
-    #[test]
-    fn random_diag_dominant_roundtrip() {
-        for seed in (0u64..500).step_by(7) {
-            let n = 8 + (seed % 8) as usize;
-            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let mut next = || {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-            };
-            let mut a = Matrix::zeros(n);
-            for i in 0..n {
-                let mut row_sum = 0.0;
-                for j in 0..n {
-                    if i != j {
-                        let v = next();
-                        a.set(i, j, v);
-                        row_sum += v.abs();
-                    }
-                }
-                a.set(i, i, row_sum + 1.0 + next().abs());
-            }
-            let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
-            let x = solve(a.clone(), b.clone()).expect("dominant system is nonsingular");
-            let back = a.mul_vec(&x);
-            for (bi, yi) in b.iter().zip(&back) {
-                assert!((bi - yi).abs() < 1e-8, "residual too large (seed {seed})");
-            }
         }
     }
 }

@@ -44,6 +44,11 @@ pub enum CrossbarError {
         /// Why it was rejected.
         reason: &'static str,
     },
+    /// An iterative solve exhausted its iteration cap before converging.
+    SolverNonConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -71,6 +76,12 @@ impl fmt::Display for CrossbarError {
             CrossbarError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
             }
+            CrossbarError::SolverNonConvergence { iterations } => {
+                write!(
+                    f,
+                    "nodal solve failed to converge within {iterations} iterations"
+                )
+            }
         }
     }
 }
@@ -96,6 +107,9 @@ impl From<crate::dense::DenseError> for CrossbarError {
             crate::dense::DenseError::Singular => CrossbarError::SingularNetwork,
             crate::dense::DenseError::SizeMismatch { expected, actual } => {
                 CrossbarError::DataSizeMismatch { expected, actual }
+            }
+            crate::dense::DenseError::NonConvergence { iterations } => {
+                CrossbarError::SolverNonConvergence { iterations }
             }
         }
     }

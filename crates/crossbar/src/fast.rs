@@ -114,9 +114,12 @@ impl Kernel {
             CellAddr::new(4, 4),
             CellAddr::new(3, 4),
         ];
+        // One array for the whole calibration: each sample reprograms the
+        // cells, but the network topology never changes, so every sneak
+        // solve after the first reuses the cached sparse factorization.
+        let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
+        xbar.set_recorder(recorder);
         for s in 0..samples.max(1) {
-            let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
-            xbar.set_recorder(recorder.clone());
             let levels: Vec<MlcLevel> = (0..dims.cells()).map(|_| next_level()).collect();
             xbar.write_levels(&levels)?;
             let poe = poes[s % poes.len()];

@@ -8,9 +8,13 @@
 //!   and the modified *sneak-path control* periphery of the paper's Fig. 1b
 //!   (adjacent wires resistively coupled in sneak mode so a pulse at a point
 //!   of encryption spreads into a local, data-dependent *polyomino*).
-//! * [`dense`] — a small dense linear-algebra kernel (Gaussian elimination
-//!   with partial pivoting) used by the nodal-analysis solver.
-//! * [`netlist`] — modified nodal analysis assembly for the crossbar.
+//! * [`netlist`] — modified nodal analysis assembly for the crossbar,
+//!   generic over a stamp sink shared by the dense oracle and the sparse
+//!   solver.
+//! * [`solver`] — the sparse reusable-factorization nodal solver: the
+//!   sparsity structure is analyzed once per geometry and only numeric
+//!   refactorization runs per pulse. [`dense`] (re-exported from the
+//!   shared `spe-linalg` kernel crate) remains the verification oracle.
 //! * [`Polyomino`] — the set of cells whose voltage exceeds the transistor
 //!   threshold during a sneak pulse (paper Fig. 4).
 //! * [`fast`] — a calibrated behavioral model of the sneak pulse for
@@ -49,6 +53,7 @@ pub mod geometry;
 pub mod montecarlo;
 pub mod netlist;
 pub mod polyomino;
+pub mod solver;
 pub mod wires;
 
 pub use array::{Crossbar, PulseReport, VoltageField};
@@ -58,4 +63,5 @@ pub use fast::{FastArray, Kernel};
 pub use fault::FaultMap;
 pub use geometry::{CellAddr, Dims};
 pub use polyomino::Polyomino;
+pub use solver::{NodalSolver, SolverMode, StampedTemplate};
 pub use wires::WireParams;

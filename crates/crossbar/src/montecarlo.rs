@@ -55,11 +55,16 @@ pub fn wire_variation_study(
     perturbations: &[f64],
 ) -> Result<StabilityReport, CrossbarError> {
     let dims = Dims::square8();
-    let nominal = polyomino_cells(dims, device, wires, levels, poe)?;
+    // One array for the whole sweep: wire perturbations change stamped
+    // conductance *values* only, so `set_wires` keeps both the programmed
+    // cell states and the cached sparse factorization across perturbations.
+    let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
+    xbar.write_levels(levels)?;
+    let nominal = xbar.polyomino_at(poe, 1.0)?.addrs();
     let mut matches = Vec::with_capacity(perturbations.len());
     for rel in perturbations {
-        let varied = wires.with_wire_variation(*rel);
-        let cells = polyomino_cells(dims, device, &varied, levels, poe)?;
+        xbar.set_wires(wires.with_wire_variation(*rel))?;
+        let cells = xbar.polyomino_at(poe, 1.0)?.addrs();
         matches.push(cells == nominal);
     }
     Ok(StabilityReport {
@@ -67,18 +72,6 @@ pub fn wire_variation_study(
         shape_matches: matches,
         nominal_size: nominal.len(),
     })
-}
-
-fn polyomino_cells(
-    dims: Dims,
-    device: &DeviceParams,
-    wires: &WireParams,
-    levels: &[MlcLevel],
-    poe: CellAddr,
-) -> Result<Vec<CellAddr>, CrossbarError> {
-    let mut xbar = Crossbar::with_wires(dims, device.clone(), *wires)?;
-    xbar.write_levels(levels)?;
-    Ok(xbar.polyomino_at(poe, 1.0)?.addrs())
 }
 
 #[cfg(test)]

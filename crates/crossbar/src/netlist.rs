@@ -6,6 +6,12 @@
 //! two node sets; wire segments chain nodes along each wire; drivers attach
 //! at the west (rows) and south (columns) edges; and in sneak mode the
 //! periphery couples adjacent wires (see [`crate::wires::WireParams`]).
+//!
+//! Assembly is generic over a [`Stamp`] sink so the dense oracle
+//! ([`assemble`]) and the sparse reusable-factorization path
+//! ([`crate::solver::StampedTemplate`]) are guaranteed to stamp the exact
+//! same conductances — the sparse path differs only in where the numbers
+//! land.
 
 use crate::bias::{Bias, Terminal};
 use crate::dense::Matrix;
@@ -51,7 +57,122 @@ pub fn node_count(dims: Dims) -> usize {
     2 * dims.cells()
 }
 
-/// Assembles the nodal conductance matrix and current vector.
+/// A sink for nodal-analysis stamps: any structure that can accumulate
+/// conductances at `(node, node)` slots and currents into the rhs.
+pub trait Stamp {
+    /// Adds `value` to the matrix slot at `(row, col)`.
+    fn add(&mut self, row: usize, col: usize, value: f64);
+    /// Adds `current` to the right-hand side at `node`.
+    fn rhs(&mut self, node: usize, current: f64);
+
+    /// Stamps a two-terminal conductance between nodes `a` and `c`.
+    fn pair(&mut self, a: usize, c: usize, cond: f64) {
+        self.add(a, a, cond);
+        self.add(c, c, cond);
+        self.add(a, c, -cond);
+        self.add(c, a, -cond);
+    }
+}
+
+impl Stamp for (Matrix, Vec<f64>) {
+    fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.0.add(row, col, value);
+    }
+    fn rhs(&mut self, node: usize, current: f64) {
+        self.1[node] += current;
+    }
+}
+
+/// Stamps the full modified-nodal-analysis system into `sink`.
+///
+/// `cell_resistance(i, j)` must return the series resistance (memristor +
+/// ON transistor) of the cell; it is consulted only for conducting cells.
+///
+/// # Panics
+///
+/// Panics if the bias vectors do not match `dims`.
+pub fn stamp_system<S, F>(
+    dims: Dims,
+    wires: &WireParams,
+    bias: &Bias,
+    gating: Gating,
+    mut cell_resistance: F,
+    sink: &mut S,
+) where
+    S: Stamp,
+    F: FnMut(usize, usize) -> f64,
+{
+    assert_eq!(bias.rows.len(), dims.rows, "row bias length mismatch");
+    assert_eq!(bias.cols.len(), dims.cols, "column bias length mismatch");
+    let n = node_count(dims);
+
+    // Regularization leak on every node.
+    for node in 0..n {
+        sink.add(node, node, wires.g_leak);
+    }
+
+    let g_row_seg = 1.0 / wires.r_row_segment;
+    let g_col_seg = 1.0 / wires.r_col_segment;
+    let g_driver = 1.0 / wires.r_driver;
+    let g_couple = 1.0 / wires.r_couple;
+
+    // Wire segments.
+    for i in 0..dims.rows {
+        for j in 0..dims.cols.saturating_sub(1) {
+            sink.pair(row_node(dims, i, j), row_node(dims, i, j + 1), g_row_seg);
+        }
+    }
+    for j in 0..dims.cols {
+        for i in 0..dims.rows.saturating_sub(1) {
+            sink.pair(col_node(dims, i, j), col_node(dims, i + 1, j), g_col_seg);
+        }
+    }
+
+    // Cells (only conducting rows).
+    for i in 0..dims.rows {
+        if !gating.conducts(i) {
+            continue;
+        }
+        for j in 0..dims.cols {
+            let r = cell_resistance(i, j);
+            sink.pair(row_node(dims, i, j), col_node(dims, i, j), 1.0 / r);
+        }
+    }
+
+    // Drivers: rows at the west edge (j = 0), columns at the south edge
+    // (i = rows - 1).
+    for (i, term) in bias.rows.iter().enumerate() {
+        if let Terminal::Driven(v) = term {
+            let node = row_node(dims, i, 0);
+            sink.add(node, node, g_driver);
+            sink.rhs(node, g_driver * v);
+        }
+    }
+    for (j, term) in bias.cols.iter().enumerate() {
+        if let Terminal::Driven(v) = term {
+            let node = col_node(dims, dims.rows - 1, j);
+            sink.add(node, node, g_driver);
+            sink.rhs(node, g_driver * v);
+        }
+    }
+
+    // Sneak-path control periphery: adjacent-wire coupling, sneak mode only.
+    if gating == Gating::AllOn {
+        for i in 0..dims.rows.saturating_sub(1) {
+            sink.pair(row_node(dims, i, 0), row_node(dims, i + 1, 0), g_couple);
+        }
+        for j in 0..dims.cols.saturating_sub(1) {
+            sink.pair(
+                col_node(dims, dims.rows - 1, j),
+                col_node(dims, dims.rows - 1, j + 1),
+                g_couple,
+            );
+        }
+    }
+}
+
+/// Assembles the dense nodal conductance matrix and current vector (the
+/// verification-oracle path).
 ///
 /// `cell_resistance(i, j)` must return the series resistance (memristor +
 /// ON transistor) of the cell; it is consulted only for conducting cells.
@@ -64,105 +185,15 @@ pub fn assemble<F>(
     wires: &WireParams,
     bias: &Bias,
     gating: Gating,
-    mut cell_resistance: F,
+    cell_resistance: F,
 ) -> (Matrix, Vec<f64>)
 where
     F: FnMut(usize, usize) -> f64,
 {
-    assert_eq!(bias.rows.len(), dims.rows, "row bias length mismatch");
-    assert_eq!(bias.cols.len(), dims.cols, "column bias length mismatch");
     let n = node_count(dims);
-    let mut g = Matrix::zeros(n);
-    let mut b = vec![0.0; n];
-
-    let stamp_pair = |g: &mut Matrix, a: usize, c: usize, cond: f64| {
-        g.add(a, a, cond);
-        g.add(c, c, cond);
-        g.add(a, c, -cond);
-        g.add(c, a, -cond);
-    };
-
-    // Regularization leak on every node.
-    for node in 0..n {
-        g.add(node, node, wires.g_leak);
-    }
-
-    let g_row_seg = 1.0 / wires.r_row_segment;
-    let g_col_seg = 1.0 / wires.r_col_segment;
-    let g_driver = 1.0 / wires.r_driver;
-    let g_couple = 1.0 / wires.r_couple;
-
-    // Wire segments.
-    for i in 0..dims.rows {
-        for j in 0..dims.cols.saturating_sub(1) {
-            stamp_pair(
-                &mut g,
-                row_node(dims, i, j),
-                row_node(dims, i, j + 1),
-                g_row_seg,
-            );
-        }
-    }
-    for j in 0..dims.cols {
-        for i in 0..dims.rows.saturating_sub(1) {
-            stamp_pair(
-                &mut g,
-                col_node(dims, i, j),
-                col_node(dims, i + 1, j),
-                g_col_seg,
-            );
-        }
-    }
-
-    // Cells (only conducting rows).
-    for i in 0..dims.rows {
-        if !gating.conducts(i) {
-            continue;
-        }
-        for j in 0..dims.cols {
-            let r = cell_resistance(i, j);
-            stamp_pair(&mut g, row_node(dims, i, j), col_node(dims, i, j), 1.0 / r);
-        }
-    }
-
-    // Drivers: rows at the west edge (j = 0), columns at the south edge
-    // (i = rows - 1).
-    for (i, term) in bias.rows.iter().enumerate() {
-        if let Terminal::Driven(v) = term {
-            let node = row_node(dims, i, 0);
-            g.add(node, node, g_driver);
-            b[node] += g_driver * v;
-        }
-    }
-    for (j, term) in bias.cols.iter().enumerate() {
-        if let Terminal::Driven(v) = term {
-            let node = col_node(dims, dims.rows - 1, j);
-            g.add(node, node, g_driver);
-            b[node] += g_driver * v;
-        }
-    }
-
-    // Sneak-path control periphery: adjacent-wire coupling, sneak mode only.
-    if gating == Gating::AllOn {
-        for i in 0..dims.rows.saturating_sub(1) {
-            stamp_pair(
-                &mut g,
-                row_node(dims, i, 0),
-                row_node(dims, i + 1, 0),
-                g_couple,
-            );
-        }
-        for j in 0..dims.cols.saturating_sub(1) {
-            stamp_pair(
-                &mut g,
-                col_node(dims, dims.rows - 1, j),
-                col_node(dims, dims.rows - 1, j + 1),
-                g_couple,
-            );
-        }
-    }
-
-    (g, b)
+    let mut sink = (Matrix::zeros(n), vec![0.0; n]);
+    stamp_system(dims, wires, bias, gating, cell_resistance, &mut sink);
+    sink
 }
 
 #[cfg(test)]

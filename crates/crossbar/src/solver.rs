@@ -1,0 +1,402 @@
+//! The sparse reusable-factorization nodal solver.
+//!
+//! A crossbar's topology — and therefore the sparsity structure of its
+//! nodal matrix — is fixed for the lifetime of the array; only conductance
+//! values change between pulses. This module exploits that:
+//!
+//! * [`StampedTemplate`] lays out the CSR pattern of the full network
+//!   *once* per geometry (every cell, wire-segment, driver and coupling
+//!   slot, whatever the gating), then restamps values in place per solve.
+//! * [`NodalSolver`] pairs the template with a one-time
+//!   [`SymbolicLu`] fill analysis and a per-pulse [`NumericLu`]
+//!   refactorization, so a steady-state solve costs O(fill) flops and
+//!   zero allocations — against O(n³) and an O(n²) matrix allocation for
+//!   the dense oracle.
+//!
+//! Unknowns are reordered so each cell's word-line and bit-line nodes
+//! are adjacent (`2·(i·cols + j)` and `2·(i·cols + j) + 1`): that bounds
+//! the matrix bandwidth by `2·cols + 1` instead of `rows·cols`, which in
+//! turn bounds the LU fill.
+//!
+//! The dense elimination path remains the verification oracle
+//! ([`solve_dense`]); `tests/solver_equivalence.rs` pins sparse/dense
+//! parity across sizes, seeds and fault patterns, and [`crate::Crossbar`]
+//! falls back to the oracle (counting it) if a stamped system ever fails
+//! to factor.
+
+use crate::bias::Bias;
+use crate::dense;
+use crate::error::CrossbarError;
+use crate::geometry::Dims;
+use crate::netlist::{assemble, node_count, stamp_system, Gating, Stamp};
+use crate::wires::WireParams;
+use spe_linalg::{CsrMatrix, NumericLu, SolveWorkspace, SymbolicLu};
+
+/// Which nodal-solve implementation a [`crate::Crossbar`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Cached symbolic factorization + per-pulse numeric refactorization,
+    /// with a dense-oracle fallback on unfactorable systems.
+    #[default]
+    Sparse,
+    /// Dense Gaussian elimination on every solve (the verification
+    /// oracle; also what figures and equivalence tests compare against).
+    Dense,
+}
+
+/// Bandwidth-reducing node permutation: word-line and bit-line nodes of
+/// cell `(i, j)` become neighbours `2·(i·cols + j)` and `2·(i·cols+j)+1`.
+#[inline]
+fn permute(dims: Dims, node: usize) -> usize {
+    let cells = dims.cells();
+    if node < cells {
+        2 * node
+    } else {
+        2 * (node - cells) + 1
+    }
+}
+
+/// Collects matrix slots (in permuted numbering) without storing values.
+struct PatternCollector {
+    dims: Dims,
+    slots: Vec<(usize, usize)>,
+}
+
+impl Stamp for PatternCollector {
+    fn add(&mut self, row: usize, col: usize, _value: f64) {
+        self.slots
+            .push((permute(self.dims, row), permute(self.dims, col)));
+    }
+    fn rhs(&mut self, _node: usize, _current: f64) {}
+}
+
+/// Stamps values into the cached CSR pattern and the permuted rhs.
+struct CsrStamp<'a> {
+    dims: Dims,
+    matrix: &'a mut CsrMatrix,
+    rhs: &'a mut [f64],
+}
+
+impl Stamp for CsrStamp<'_> {
+    fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.matrix
+            .add_at(permute(self.dims, row), permute(self.dims, col), value);
+    }
+    fn rhs(&mut self, node: usize, current: f64) {
+        self.rhs[permute(self.dims, node)] += current;
+    }
+}
+
+/// The cached sparse structure of a crossbar's nodal system.
+///
+/// Built once per geometry; covers every slot any gating/bias combination
+/// can stamp (all-on gating is the structural superset — row gating just
+/// stamps fewer of the slots), so one template serves addressed reads and
+/// sneak pulses alike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedTemplate {
+    dims: Dims,
+    matrix: CsrMatrix,
+}
+
+impl StampedTemplate {
+    /// Lays out the full structural pattern for `dims`.
+    pub fn new(dims: Dims) -> Self {
+        let n = node_count(dims);
+        // All-on gating with every driver slot reaches the structural
+        // superset; bias terminals only contribute rhs entries and
+        // diagonal slots (already present via the leak), so any bias
+        // works for pattern collection.
+        let bias = Bias {
+            rows: vec![crate::bias::Terminal::Driven(0.0); dims.rows],
+            cols: vec![crate::bias::Terminal::Driven(0.0); dims.cols],
+        };
+        let mut collector = PatternCollector {
+            dims,
+            slots: Vec::new(),
+        };
+        stamp_system(
+            dims,
+            &WireParams::default(),
+            &bias,
+            Gating::AllOn,
+            |_, _| 1.0,
+            &mut collector,
+        );
+        StampedTemplate {
+            dims,
+            matrix: CsrMatrix::from_pattern(n, n, &collector.slots),
+        }
+    }
+
+    /// Array geometry.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The CSR matrix holding the current stamped values.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// Restamps the template for one solve: zeroes values, stamps the
+    /// system under (`wires`, `bias`, `gating`) and fills the permuted
+    /// right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias or `rhs` length does not match the geometry.
+    pub fn stamp<F>(
+        &mut self,
+        wires: &WireParams,
+        bias: &Bias,
+        gating: Gating,
+        cell_resistance: F,
+        rhs: &mut [f64],
+    ) where
+        F: FnMut(usize, usize) -> f64,
+    {
+        assert_eq!(rhs.len(), node_count(self.dims), "rhs length mismatch");
+        self.matrix.set_zero();
+        rhs.fill(0.0);
+        let mut sink = CsrStamp {
+            dims: self.dims,
+            matrix: &mut self.matrix,
+            rhs,
+        };
+        stamp_system(self.dims, wires, bias, gating, cell_resistance, &mut sink);
+    }
+}
+
+/// A reusable sparse nodal solver: template + symbolic factorization +
+/// numeric factor storage + scratch workspace, all cached across pulses.
+#[derive(Debug, Clone)]
+pub struct NodalSolver {
+    template: StampedTemplate,
+    symbolic: SymbolicLu,
+    numeric: NumericLu,
+    ws: SolveWorkspace,
+    /// Permuted rhs / in-place solution buffer.
+    rhs: Vec<f64>,
+    /// Solution mapped back to the original node numbering.
+    solution: Vec<f64>,
+}
+
+impl NodalSolver {
+    /// Builds the template and symbolic factorization for `dims` (the
+    /// expensive one-time step — callers should cache the solver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] if the structural analysis fails.
+    pub fn new(dims: Dims) -> Result<Self, CrossbarError> {
+        let template = StampedTemplate::new(dims);
+        let symbolic = SymbolicLu::analyze(template.matrix())?;
+        let numeric = NumericLu::new(&symbolic);
+        let n = node_count(dims);
+        Ok(NodalSolver {
+            template,
+            symbolic,
+            numeric,
+            ws: SolveWorkspace::new(),
+            rhs: vec![0.0; n],
+            solution: vec![0.0; n],
+        })
+    }
+
+    /// Array geometry.
+    pub fn dims(&self) -> Dims {
+        self.template.dims()
+    }
+
+    /// Structural nonzeros of the cached LU fill pattern.
+    pub fn fill_nnz(&self) -> usize {
+        self.symbolic.nnz()
+    }
+
+    /// Stamps and solves the nodal system, reusing the cached symbolic
+    /// factorization. Returns node voltages in the original numbering
+    /// ([`crate::netlist::row_node`] / [`crate::netlist::col_node`]);
+    /// the slice is valid until the next call. Steady-state calls
+    /// allocate nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::SingularNetwork`] when a pivot underflows
+    /// (the caller may fall back to the dense oracle, which classifies
+    /// singularity identically).
+    pub fn solve<F>(
+        &mut self,
+        wires: &WireParams,
+        bias: &Bias,
+        gating: Gating,
+        cell_resistance: F,
+    ) -> Result<&[f64], CrossbarError>
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let n = node_count(self.template.dims);
+        self.template
+            .stamp(wires, bias, gating, cell_resistance, &mut self.rhs[..n]);
+        self.numeric
+            .refactor(&self.symbolic, self.template.matrix(), &mut self.ws)?;
+        self.numeric
+            .solve_in_place(&self.symbolic, &mut self.rhs[..n]);
+        for node in 0..n {
+            self.solution[node] = self.rhs[permute(self.template.dims, node)];
+        }
+        Ok(&self.solution[..n])
+    }
+}
+
+/// Solves the nodal system with the dense oracle (assemble + Gaussian
+/// elimination with partial pivoting), returning voltages in the original
+/// node numbering.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::SingularNetwork`] for a degenerate network.
+pub fn solve_dense<F>(
+    dims: Dims,
+    wires: &WireParams,
+    bias: &Bias,
+    gating: Gating,
+    cell_resistance: F,
+) -> Result<Vec<f64>, CrossbarError>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    let (g, b) = assemble(dims, wires, bias, gating, cell_resistance);
+    Ok(dense::solve(g, b)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CellAddr;
+
+    fn lcg_resistance(dims: Dims, seed: u64) -> impl FnMut(usize, usize) -> f64 {
+        move |i, j| {
+            let mut s = seed
+                .wrapping_add((i * dims.cols + j) as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s ^= s >> 33;
+            10.0e3 + (s % 190_000) as f64
+        }
+    }
+
+    fn assert_parity(sparse: &[f64], oracle: &[f64]) {
+        assert_eq!(sparse.len(), oracle.len());
+        for (s, d) in sparse.iter().zip(oracle) {
+            assert!(
+                (s - d).abs() < 1e-9 * (1.0 + d.abs()),
+                "sparse {s} vs dense {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_for_sneak_and_addressed_bias() {
+        for (rows, cols) in [(4, 6), (8, 8), (5, 3)] {
+            let dims = Dims::new(rows, cols);
+            let wires = WireParams::default();
+            let mut solver = NodalSolver::new(dims).expect("solver");
+            for seed in 0..3u64 {
+                let poe = dims.addr(seed as usize % dims.cells());
+                let bias = Bias::sneak_pulse(dims, poe, 1.0);
+                let v = solver
+                    .solve(&wires, &bias, Gating::AllOn, lcg_resistance(dims, seed))
+                    .expect("sparse")
+                    .to_vec();
+                let d = solve_dense(
+                    dims,
+                    &wires,
+                    &bias,
+                    Gating::AllOn,
+                    lcg_resistance(dims, seed),
+                )
+                .expect("dense");
+                assert_parity(&v, &d);
+
+                let addr = dims.addr((seed as usize + 1) % dims.cells());
+                let bias = Bias::addressed(dims, addr, 0.2);
+                let v = solver
+                    .solve(
+                        &wires,
+                        &bias,
+                        Gating::Row(addr.row),
+                        lcg_resistance(dims, seed),
+                    )
+                    .expect("sparse")
+                    .to_vec();
+                let d = solve_dense(
+                    dims,
+                    &wires,
+                    &bias,
+                    Gating::Row(addr.row),
+                    lcg_resistance(dims, seed),
+                )
+                .expect("dense");
+                assert_parity(&v, &d);
+            }
+        }
+    }
+
+    #[test]
+    fn one_template_serves_both_gatings() {
+        // Row gating stamps a strict subset of the all-on structure; the
+        // same cached symbolic factorization must serve both.
+        let dims = Dims::square8();
+        let wires = WireParams::default();
+        let mut solver = NodalSolver::new(dims).expect("solver");
+        let fill_before = solver.fill_nnz();
+        let sneak = Bias::sneak_pulse(dims, CellAddr::new(3, 4), 1.0);
+        solver
+            .solve(&wires, &sneak, Gating::AllOn, |_, _| 60.0e3)
+            .expect("all-on");
+        let addressed = Bias::addressed(dims, CellAddr::new(2, 2), 0.2);
+        solver
+            .solve(&wires, &addressed, Gating::Row(2), |_, _| 60.0e3)
+            .expect("row gated");
+        assert_eq!(solver.fill_nnz(), fill_before, "structure never changes");
+    }
+
+    #[test]
+    fn singular_network_reports_the_same_typed_error_as_dense() {
+        // Pathological but validation-passing parameters: every
+        // conductance underflows the pivot threshold.
+        let dims = Dims::new(3, 3);
+        let wires = WireParams {
+            r_row_segment: 1.0e308,
+            r_col_segment: 1.0e308,
+            r_driver: 1.0e308,
+            r_couple: 1.0e308,
+            g_leak: 1.0e-310,
+        };
+        let bias = Bias::sneak_pulse(dims, CellAddr::new(1, 1), 1.0);
+        let mut solver = NodalSolver::new(dims).expect("solver");
+        let sparse = solver.solve(&wires, &bias, Gating::AllOn, |_, _| 1.0e308);
+        assert!(matches!(sparse, Err(CrossbarError::SingularNetwork)));
+        let oracle = solve_dense(dims, &wires, &bias, Gating::AllOn, |_, _| 1.0e308);
+        assert!(matches!(oracle, Err(CrossbarError::SingularNetwork)));
+    }
+
+    #[test]
+    fn repeated_solves_reuse_the_factorization() {
+        let dims = Dims::square8();
+        let wires = WireParams::default();
+        let mut solver = NodalSolver::new(dims).expect("solver");
+        let mut last = Vec::new();
+        for seed in 0..10u64 {
+            let bias = Bias::sneak_pulse(dims, CellAddr::new(4, 4), 1.0);
+            let v = solver
+                .solve(&wires, &bias, Gating::AllOn, lcg_resistance(dims, seed))
+                .expect("solve")
+                .to_vec();
+            assert!(v.iter().all(|x| x.is_finite()));
+            assert_ne!(v, last, "different data must change the field");
+            last = v;
+        }
+    }
+}

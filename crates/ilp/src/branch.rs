@@ -2,7 +2,7 @@
 
 use crate::error::IlpError;
 use crate::model::{Model, Sense, Solution};
-use crate::simplex::{solve_relaxation, LpOutcome};
+use crate::simplex::{solve_relaxation_with, LpOutcome, SimplexWorkspace};
 
 const INT_TOL: f64 = 1e-6;
 
@@ -31,6 +31,9 @@ pub fn solve(model: &Model) -> Result<Solution, IlpError> {
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // (internal obj, values)
     let mut nodes = 0usize;
     let mut stack = vec![(root_lower, root_upper)];
+    // One tableau workspace for the whole tree: every node's relaxation
+    // reuses the same backing allocation.
+    let mut ws = SimplexWorkspace::new();
 
     while let Some((lower, upper)) = stack.pop() {
         if nodes >= model.node_limit {
@@ -39,7 +42,7 @@ pub fn solve(model: &Model) -> Result<Solution, IlpError> {
             });
         }
         nodes += 1;
-        let outcome = solve_relaxation(model, &lower, &upper);
+        let outcome = solve_relaxation_with(model, &lower, &upper, &mut ws);
         let (objective, values) = match outcome {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => return Err(IlpError::Unbounded),

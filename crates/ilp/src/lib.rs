@@ -41,3 +41,4 @@ pub mod simplex;
 pub use cover::{CoverageSolution, PlacementProblem, PolyominoShape};
 pub use error::IlpError;
 pub use model::{Model, RelOp, Sense, Solution, VarId};
+pub use simplex::{solve_relaxation, solve_relaxation_with, LpOutcome, SimplexWorkspace};

@@ -1,14 +1,18 @@
 //! Dense two-phase primal simplex for the LP relaxation.
 //!
-//! The branch-and-bound driver calls [`solve_relaxation`] once per node with
-//! node-specific variable bounds. Fixed variables (`lower == upper`) are
-//! substituted out before the tableau is built, so deep nodes solve smaller
-//! LPs.
+//! The branch-and-bound driver calls [`solve_relaxation_with`] once per
+//! node with node-specific variable bounds, passing one shared
+//! [`SimplexWorkspace`] so successive nodes reuse the tableau allocation
+//! (the tableau is a contiguous [`DenseMat`] from the shared `spe-linalg`
+//! kernel crate, not a vec-of-vecs). Fixed variables (`lower == upper`)
+//! are substituted out before the tableau is built, so deep nodes solve
+//! smaller LPs.
 
 // Tableau index arithmetic mirrors the textbook pivoting rules.
 #![allow(clippy::needless_range_loop)]
 
 use crate::model::{Model, RelOp, Sense};
+use spe_linalg::DenseMat;
 
 /// Outcome of an LP relaxation solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,13 +32,50 @@ pub enum LpOutcome {
 
 const EPS: f64 = 1e-9;
 
-/// Solves the LP relaxation of `model` with overriding variable bounds.
+/// Reusable scratch memory for LP relaxation solves.
+///
+/// Branch-and-bound solves thousands of closely-sized relaxations; holding
+/// the tableau, objective row and basis in one workspace means only the
+/// first node of a campaign allocates ([`DenseMat::reset`] reuses the
+/// backing buffer when capacity suffices).
+#[derive(Debug, Clone, Default)]
+pub struct SimplexWorkspace {
+    tableau: DenseMat,
+    obj: Vec<f64>,
+    basis: Vec<usize>,
+}
+
+impl SimplexWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SimplexWorkspace::default()
+    }
+}
+
+/// Solves the LP relaxation of `model` with overriding variable bounds,
+/// using a throwaway workspace. Prefer [`solve_relaxation_with`] in loops.
 ///
 /// # Panics
 ///
 /// Panics if the bound slices do not match the model's variable count, or a
 /// lower bound exceeds its upper bound.
 pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcome {
+    solve_relaxation_with(model, lower, upper, &mut SimplexWorkspace::new())
+}
+
+/// Solves the LP relaxation of `model` with overriding variable bounds,
+/// reusing `ws` for all scratch storage.
+///
+/// # Panics
+///
+/// Panics if the bound slices do not match the model's variable count, or a
+/// lower bound exceeds its upper bound.
+pub fn solve_relaxation_with(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    ws: &mut SimplexWorkspace,
+) -> LpOutcome {
     assert_eq!(lower.len(), model.num_vars());
     assert_eq!(upper.len(), model.num_vars());
     for (l, u) in lower.iter().zip(upper) {
@@ -137,18 +178,16 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
         return LpOutcome::Infeasible;
     }
 
-    // Build the tableau. Columns: nf structural + m slack/surplus + (#artificials).
-    // First normalize rhs >= 0.
-    let mut a = vec![vec![0.0; nf]; m];
-    let mut b = vec![0.0; m];
+    // Normalize rhs >= 0 row by row.
     let mut ops = vec![RelOp::Eq; m];
-    for (i, row) in rows.iter().enumerate() {
+    for (i, row) in rows.iter_mut().enumerate() {
         let flip = row.rhs < 0.0;
-        let s = if flip { -1.0 } else { 1.0 };
-        for (j, v) in &row.coeffs {
-            a[i][*j] = s * v;
+        if flip {
+            for (_, v) in row.coeffs.iter_mut() {
+                *v = -*v;
+            }
+            row.rhs = -row.rhs;
         }
-        b[i] = s * row.rhs;
         ops[i] = match (row.op, flip) {
             (RelOp::Le, false) | (RelOp::Ge, true) => RelOp::Le,
             (RelOp::Ge, false) | (RelOp::Le, true) => RelOp::Ge,
@@ -156,7 +195,7 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
         };
     }
 
-    // Column layout.
+    // Column layout: nf structural + per-row slack/surplus + artificials.
     let mut ncols = nf;
     let mut slack_col = vec![usize::MAX; m];
     let mut art_col = vec![usize::MAX; m];
@@ -179,24 +218,31 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
         }
     }
 
-    // Tableau: m rows x (ncols + 1), basis per row.
-    let mut t = vec![vec![0.0; ncols + 1]; m];
-    let mut basis = vec![0usize; m];
-    for i in 0..m {
-        t[i][..nf].copy_from_slice(&a[i]);
-        t[i][ncols] = b[i];
+    // Tableau: m rows x (ncols + 1) in one contiguous workspace matrix;
+    // basis per row.
+    ws.tableau.reset(m, ncols + 1);
+    let t = &mut ws.tableau;
+    ws.basis.clear();
+    ws.basis.resize(m, 0);
+    let basis = &mut ws.basis;
+    for (i, row) in rows.iter().enumerate() {
+        let trow = t.row_mut(i);
+        for (j, v) in &row.coeffs {
+            trow[*j] = *v;
+        }
+        trow[ncols] = row.rhs;
         match ops[i] {
             RelOp::Le => {
-                t[i][slack_col[i]] = 1.0;
+                trow[slack_col[i]] = 1.0;
                 basis[i] = slack_col[i];
             }
             RelOp::Ge => {
-                t[i][slack_col[i]] = -1.0;
-                t[i][art_col[i]] = 1.0;
+                trow[slack_col[i]] = -1.0;
+                trow[art_col[i]] = 1.0;
                 basis[i] = art_col[i];
             }
             RelOp::Eq => {
-                t[i][art_col[i]] = 1.0;
+                trow[art_col[i]] = 1.0;
                 basis[i] = art_col[i];
             }
         }
@@ -207,28 +253,28 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
     // Phase 1: minimize sum of artificials.
     let has_artificials = art_col.iter().any(|c| *c != usize::MAX);
     if has_artificials {
-        let mut z = vec![0.0; ncols + 1];
+        ws.obj.clear();
+        ws.obj.resize(ncols + 1, 0.0);
         for i in 0..m {
             if art_col[i] != usize::MAX {
                 // cost row = sum of artificial rows (since artificials basic).
-                for j in 0..=ncols {
-                    z[j] += t[i][j];
+                for (zj, tij) in ws.obj.iter_mut().zip(t.row(i)) {
+                    *zj += tij;
                 }
             }
         }
         // Reduced costs: c_j - z_j where c_j = 1 for artificials else 0.
         // Stored as objective row `obj[j] = z_j - c_j` so we pivot on obj > 0.
-        let mut obj = z;
         for i in 0..m {
             if art_col[i] != usize::MAX {
-                obj[art_col[i]] -= 1.0;
+                ws.obj[art_col[i]] -= 1.0;
             }
         }
-        if !iterate(&mut t, &mut obj, &mut basis, ncols, m) {
+        if !iterate(t, &mut ws.obj, basis, ncols) {
             // Phase 1 is never unbounded (objective bounded below by 0).
             unreachable!("phase 1 cannot be unbounded");
         }
-        if obj[ncols] > 1e-7 {
+        if ws.obj[ncols] > 1e-7 {
             return LpOutcome::Infeasible;
         }
         // Drive any artificial still in the basis out (or drop its row).
@@ -236,9 +282,9 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
             if is_artificial(basis[i]) {
                 let pivot_col = (0..nf + m)
                     .filter(|j| *j < ncols && !is_artificial(*j))
-                    .find(|j| t[i][*j].abs() > 1e-7);
+                    .find(|j| t.get(i, *j).abs() > 1e-7);
                 if let Some(j) = pivot_col {
-                    pivot(&mut t, &mut obj, i, j, ncols, m);
+                    pivot(t, &mut ws.obj, i, j);
                     basis[i] = j;
                 }
                 // else: redundant row; leave the artificial basic at 0.
@@ -247,7 +293,9 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
     }
 
     // Phase 2: objective row for the real costs over the current basis.
-    let mut obj = vec![0.0; ncols + 1];
+    ws.obj.clear();
+    ws.obj.resize(ncols + 1, 0.0);
+    let obj = &mut ws.obj;
     for (j, cj) in cost.iter().enumerate() {
         obj[j] = -cj;
     }
@@ -260,20 +308,20 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
         let bj = basis[i];
         let coef = obj[bj];
         if coef.abs() > 0.0 {
-            for j in 0..=ncols {
-                obj[j] -= coef * t[i][j];
+            for (oj, tij) in obj.iter_mut().zip(t.row(i)) {
+                *oj -= coef * tij;
             }
             obj[bj] = 0.0;
         }
     }
-    if !iterate_blocked(&mut t, &mut obj, &mut basis, ncols, m, &blocked) {
+    if !iterate_blocked(t, obj, basis, ncols, &blocked) {
         return LpOutcome::Unbounded;
     }
 
     // Extract solution.
     let mut y = vec![0.0; ncols];
     for i in 0..m {
-        y[basis[i]] = t[i][ncols];
+        y[basis[i]] = t.get(i, ncols);
     }
     let mut values = vec![0.0; n];
     for v in 0..n {
@@ -294,25 +342,19 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> LpOutcom
 /// Runs simplex iterations until optimal (returns true) or unbounded
 /// (returns false). The objective row convention: pivot while some
 /// `obj[j] > EPS` for nonbasic j.
-fn iterate(
-    t: &mut [Vec<f64>],
-    obj: &mut [f64],
-    basis: &mut [usize],
-    ncols: usize,
-    m: usize,
-) -> bool {
+fn iterate(t: &mut DenseMat, obj: &mut [f64], basis: &mut [usize], ncols: usize) -> bool {
     let blocked = vec![false; ncols];
-    iterate_blocked(t, obj, basis, ncols, m, &blocked)
+    iterate_blocked(t, obj, basis, ncols, &blocked)
 }
 
 fn iterate_blocked(
-    t: &mut [Vec<f64>],
+    t: &mut DenseMat,
     obj: &mut [f64],
     basis: &mut [usize],
     ncols: usize,
-    m: usize,
     blocked: &[bool],
 ) -> bool {
+    let m = t.rows();
     let mut iters = 0usize;
     let bland_after = 50 * (m + ncols) + 1000;
     loop {
@@ -343,9 +385,9 @@ fn iterate_blocked(
         let mut leave = None;
         let mut best_ratio = f64::INFINITY;
         for i in 0..m {
-            let aie = t[i][e];
+            let aie = t.get(i, e);
             if aie > EPS {
-                let ratio = t[i][ncols] / aie;
+                let ratio = t.get(i, ncols) / aie;
                 if ratio < best_ratio - EPS
                     || (ratio < best_ratio + EPS
                         && leave.is_some_and(|l: usize| basis[i] < basis[l]))
@@ -358,34 +400,38 @@ fn iterate_blocked(
         let Some(l) = leave else {
             return false; // unbounded
         };
-        pivot(t, obj, l, e, ncols, m);
+        pivot(t, obj, l, e);
         basis[l] = e;
     }
 }
 
-fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, ncols: usize, m: usize) {
-    let p = t[row][col];
+fn pivot(t: &mut DenseMat, obj: &mut [f64], row: usize, col: usize) {
+    let p = t.get(row, col);
     debug_assert!(p.abs() > 1e-12, "pivot on a (near-)zero element");
-    for j in 0..=ncols {
-        t[row][j] /= p;
+    {
+        let prow = t.row_mut(row);
+        for v in prow.iter_mut() {
+            *v /= p;
+        }
+        prow[col] = 1.0;
     }
-    t[row][col] = 1.0;
-    for i in 0..m {
+    for i in 0..t.rows() {
         if i == row {
             continue;
         }
-        let f = t[i][col];
+        let (target, prow) = t.row_pair_mut(i, row);
+        let f = target[col];
         if f.abs() > 0.0 {
-            for j in 0..=ncols {
-                t[i][j] -= f * t[row][j];
+            for (tv, pv) in target.iter_mut().zip(prow) {
+                *tv -= f * pv;
             }
-            t[i][col] = 0.0;
+            target[col] = 0.0;
         }
     }
     let f = obj[col];
     if f.abs() > 0.0 {
-        for j in 0..=ncols {
-            obj[j] -= f * t[row][j];
+        for (ov, pv) in obj.iter_mut().zip(t.row(row)) {
+            *ov -= f * pv;
         }
         obj[col] = 0.0;
     }
@@ -523,6 +569,30 @@ mod tests {
                 assert!((objective - 1.0).abs() < 1e-6);
             }
             other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        // The same workspace across differently-shaped models must leave no
+        // stale state behind.
+        let mut ws = SimplexWorkspace::new();
+        let mut models = Vec::new();
+        for k in 1..6usize {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..k + 1)
+                .map(|i| m.add_continuous(0.0, 4.0, 1.0 + i as f64))
+                .collect();
+            let terms: Vec<_> = vars.iter().map(|v| (*v, 1.0)).collect();
+            m.add_constraint(&terms, RelOp::Le, 3.0 + k as f64).unwrap();
+            models.push(m);
+        }
+        for m in &models {
+            let lower: Vec<f64> = m.vars.iter().map(|v| v.lower).collect();
+            let upper: Vec<f64> = m.vars.iter().map(|v| v.upper).collect();
+            let reused = solve_relaxation_with(m, &lower, &upper, &mut ws);
+            let fresh = solve_relaxation(m, &lower, &upper);
+            assert_eq!(reused, fresh);
         }
     }
 }

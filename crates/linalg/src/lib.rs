@@ -1,0 +1,57 @@
+//! Shared numerical kernels for the SNVMM reproduction.
+//!
+//! Every layer of the stack that solves linear systems — the crossbar's
+//! modified nodal analysis, the ILP relaxation's simplex tableau — used to
+//! carry its own private matrix code. This crate pools those kernels:
+//!
+//! * [`dense`] — the dense square [`Matrix`](dense::Matrix) with Gaussian
+//!   elimination ([`dense::solve`]) and Jacobi-preconditioned conjugate
+//!   gradients ([`dense::solve_cg`]), lifted out of `spe-crossbar`. The
+//!   dense path stays the *verification oracle* for every sparse result.
+//! * [`tableau`] — a rectangular contiguous [`DenseMat`](tableau::DenseMat)
+//!   used for simplex tableaus (row-major, cheap row swaps and pivots).
+//! * [`sparse`] — a compressed-sparse-row matrix whose *pattern* is fixed
+//!   at construction and whose *values* are restamped in place, matching
+//!   the fixed-topology/varying-conductance shape of nodal analysis.
+//! * [`lu`] — sparse LU split into a one-time [`SymbolicLu`](lu::SymbolicLu)
+//!   fill analysis (per topology) and a cheap [`NumericLu`](lu::NumericLu)
+//!   refactorization (per pulse).
+//! * [`workspace`] — a [`SolveWorkspace`](workspace::SolveWorkspace)
+//!   scratch arena so steady-state solves allocate nothing.
+//!
+//! # Example
+//!
+//! ```
+//! use spe_linalg::{CsrMatrix, NumericLu, SolveWorkspace, SymbolicLu};
+//!
+//! # fn main() -> Result<(), spe_linalg::DenseError> {
+//! // Pattern fixed once (a 2x2 diagonally dominant system)...
+//! let mut a = CsrMatrix::from_pattern(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+//! let symbolic = SymbolicLu::analyze(&a)?;
+//! let mut numeric = NumericLu::new(&symbolic);
+//! let mut ws = SolveWorkspace::new();
+//! // ...values restamped and refactorized per solve, allocation-free.
+//! a.set_zero();
+//! a.add_at(0, 0, 4.0); a.add_at(0, 1, 1.0);
+//! a.add_at(1, 0, 1.0); a.add_at(1, 1, 3.0);
+//! numeric.refactor(&symbolic, &a, &mut ws)?;
+//! let mut x = [5.0, 10.0];
+//! numeric.solve_in_place(&symbolic, &mut x);
+//! assert!((x[0] - 0.454_545_454_545_454_5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)]
+
+pub mod dense;
+pub mod lu;
+pub mod sparse;
+pub mod tableau;
+pub mod workspace;
+
+pub use dense::{solve, solve_cg, DenseError, Matrix};
+pub use lu::{NumericLu, SymbolicLu};
+pub use sparse::CsrMatrix;
+pub use tableau::DenseMat;
+pub use workspace::SolveWorkspace;

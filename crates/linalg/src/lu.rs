@@ -1,0 +1,420 @@
+//! Sparse LU split into symbolic analysis and numeric refactorization.
+//!
+//! The crossbar's nodal matrix keeps one sparsity pattern for the lifetime
+//! of an array; only conductance values change between pulses. Factoring
+//! is therefore split in two:
+//!
+//! * [`SymbolicLu::analyze`] — computes the *fill pattern* of `L` and `U`
+//!   once per topology (row-merge symbolic factorization). This is the
+//!   expensive structural step, O(nnz(L+U)) with cheap constants.
+//! * [`NumericLu::refactor`] — recomputes the factor *values* over the
+//!   fixed pattern for each new set of stamped conductances (up-looking
+//!   row elimination scattered through a dense work row). Steady-state
+//!   refactorizations allocate nothing: all scratch lives in a
+//!   [`SolveWorkspace`].
+//!
+//! No pivoting is performed — nodal matrices are symmetric and made
+//! strictly diagonally dominant by the leak regularization, for which
+//! diagonal pivots are stable. A diagonal pivot below
+//! [`crate::dense::SINGULAR_THRESHOLD`] reports [`DenseError::Singular`],
+//! the same classification the dense oracle makes, so callers can fall
+//! back (or surface the same typed error) deterministically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dense::{DenseError, SINGULAR_THRESHOLD};
+use crate::sparse::CsrMatrix;
+use crate::workspace::SolveWorkspace;
+
+/// The fill pattern of a sparse LU factorization: which slots of `L`
+/// (strictly lower) and `U` (upper, diagonal first) hold nonzeros.
+///
+/// Computed once per matrix *pattern*; any matrix sharing the pattern can
+/// be numerically refactorized against the same `SymbolicLu`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicLu {
+    n: usize,
+    /// Strictly-lower pattern, rows concatenated, columns ascending.
+    l_ptr: Vec<usize>,
+    l_cols: Vec<usize>,
+    /// Upper pattern including the diagonal, rows concatenated, columns
+    /// ascending — so each row's first slot is its diagonal.
+    u_ptr: Vec<usize>,
+    u_cols: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Computes the fill pattern for the pattern of `a` (values ignored).
+    /// The diagonal is included implicitly even where `a` has no diagonal
+    /// slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseError::SizeMismatch`] if `a` is not square.
+    pub fn analyze(a: &CsrMatrix) -> Result<Self, DenseError> {
+        if a.n_rows() != a.n_cols() {
+            return Err(DenseError::SizeMismatch {
+                expected: a.n_rows(),
+                actual: a.n_cols(),
+            });
+        }
+        let n = a.n_rows();
+        let mut l_ptr = Vec::with_capacity(n + 1);
+        let mut l_cols = Vec::new();
+        let mut u_ptr = Vec::with_capacity(n + 1);
+        let mut u_cols = Vec::new();
+        l_ptr.push(0);
+        u_ptr.push(0);
+        // marker[j] == i means column j is already in row i's pattern.
+        let mut marker = vec![usize::MAX; n];
+        // Min-heap of pattern columns < i still awaiting their U-row merge.
+        let mut pending: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        let mut upper_row: Vec<usize> = Vec::new();
+        for i in 0..n {
+            upper_row.clear();
+            let admit = |j: usize,
+                         marker: &mut Vec<usize>,
+                         pending: &mut BinaryHeap<Reverse<usize>>,
+                         upper_row: &mut Vec<usize>| {
+                if marker[j] != i {
+                    marker[j] = i;
+                    if j < i {
+                        pending.push(Reverse(j));
+                    } else {
+                        upper_row.push(j);
+                    }
+                }
+            };
+            for &j in a.row_cols(i) {
+                admit(j, &mut marker, &mut pending, &mut upper_row);
+            }
+            admit(i, &mut marker, &mut pending, &mut upper_row);
+            // Row-merge fill: eliminating against row k < i drags in row
+            // k's upper pattern. Processing k ascending (the heap order)
+            // matches the numeric elimination order, and any fill with
+            // column in (k, i) re-enters the heap before it is reached.
+            while let Some(Reverse(k)) = pending.pop() {
+                l_cols.push(k);
+                // Skip k's diagonal (first slot of its U row).
+                for &j in &u_cols[u_ptr[k] + 1..u_ptr[k + 1]] {
+                    admit(j, &mut marker, &mut pending, &mut upper_row);
+                }
+            }
+            l_ptr.push(l_cols.len());
+            upper_row.sort_unstable();
+            u_cols.extend_from_slice(&upper_row);
+            u_ptr.push(u_cols.len());
+        }
+        Ok(SymbolicLu {
+            n,
+            l_ptr,
+            l_cols,
+            u_ptr,
+            u_cols,
+        })
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total factor fill: structural nonzeros of `L` plus `U`.
+    pub fn nnz(&self) -> usize {
+        self.l_cols.len() + self.u_cols.len()
+    }
+
+    #[inline]
+    fn l_row(&self, i: usize) -> &[usize] {
+        &self.l_cols[self.l_ptr[i]..self.l_ptr[i + 1]]
+    }
+
+    #[inline]
+    fn u_row(&self, i: usize) -> &[usize] {
+        &self.u_cols[self.u_ptr[i]..self.u_ptr[i + 1]]
+    }
+}
+
+/// The factor values of a sparse LU over a fixed [`SymbolicLu`] pattern.
+///
+/// Allocated once per pattern; [`NumericLu::refactor`] rewrites the values
+/// in place for each new stamped matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericLu {
+    /// Values of `L` (unit diagonal implied), parallel to the symbolic
+    /// `l_cols`.
+    l_vals: Vec<f64>,
+    /// Values of `U` (diagonal first per row), parallel to `u_cols`.
+    u_vals: Vec<f64>,
+}
+
+impl NumericLu {
+    /// Allocates factor storage matching `symbolic`'s fill pattern.
+    pub fn new(symbolic: &SymbolicLu) -> Self {
+        NumericLu {
+            l_vals: vec![0.0; symbolic.l_cols.len()],
+            u_vals: vec![0.0; symbolic.u_cols.len()],
+        }
+    }
+
+    /// Recomputes the factor values for `a`, whose pattern must be a
+    /// subset of the one `symbolic` was analyzed from. Allocation-free
+    /// once `ws` has reached the system size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseError::Singular`] when a diagonal pivot falls below
+    /// [`SINGULAR_THRESHOLD`] and [`DenseError::SizeMismatch`] when `a`'s
+    /// order differs from the symbolic pattern's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has a slot outside the analyzed pattern (a topology
+    /// bug) or if this `NumericLu` was allocated for a different pattern.
+    pub fn refactor(
+        &mut self,
+        symbolic: &SymbolicLu,
+        a: &CsrMatrix,
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), DenseError> {
+        let n = symbolic.n;
+        if a.n_rows() != n || a.n_cols() != n {
+            return Err(DenseError::SizeMismatch {
+                expected: n,
+                actual: a.n_rows(),
+            });
+        }
+        assert_eq!(self.l_vals.len(), symbolic.l_cols.len());
+        assert_eq!(self.u_vals.len(), symbolic.u_cols.len());
+        ws.ensure(n);
+        let work = &mut ws.work;
+        for i in 0..n {
+            // Clear the work row over this row's full fill pattern, then
+            // scatter A's row into it. Positions outside the pattern are
+            // never read, so no global reset is needed.
+            for &j in symbolic.l_row(i) {
+                work[j] = 0.0;
+            }
+            for &j in symbolic.u_row(i) {
+                work[j] = 0.0;
+            }
+            for (&j, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+                work[j] = v;
+            }
+            // Up-looking elimination: fold in each factored row k < i in
+            // ascending column order.
+            let (ls, le) = (symbolic.l_ptr[i], symbolic.l_ptr[i + 1]);
+            for idx in ls..le {
+                let k = symbolic.l_cols[idx];
+                let u_start = symbolic.u_ptr[k];
+                // Row k's pivot passed the threshold when it was factored.
+                let lik = work[k] / self.u_vals[u_start];
+                self.l_vals[idx] = lik;
+                if lik != 0.0 {
+                    for pos in u_start + 1..symbolic.u_ptr[k + 1] {
+                        work[symbolic.u_cols[pos]] -= lik * self.u_vals[pos];
+                    }
+                }
+            }
+            if work[i].abs() < SINGULAR_THRESHOLD {
+                return Err(DenseError::Singular);
+            }
+            let (us, ue) = (symbolic.u_ptr[i], symbolic.u_ptr[i + 1]);
+            for pos in us..ue {
+                self.u_vals[pos] = work[symbolic.u_cols[pos]];
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `L·U·x = b` in place: on return `b` holds `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != symbolic.n()` or the factors don't match the
+    /// pattern.
+    pub fn solve_in_place(&self, symbolic: &SymbolicLu, b: &mut [f64]) {
+        let n = symbolic.n;
+        assert_eq!(b.len(), n);
+        // Forward: L·y = b (unit diagonal).
+        for i in 0..n {
+            let mut acc = b[i];
+            for (idx, &j) in symbolic.l_row(i).iter().enumerate() {
+                acc -= self.l_vals[symbolic.l_ptr[i] + idx] * b[j];
+            }
+            b[i] = acc;
+        }
+        // Backward: U·x = y.
+        for i in (0..n).rev() {
+            let us = symbolic.u_ptr[i];
+            let mut acc = b[i];
+            for pos in us + 1..symbolic.u_ptr[i + 1] {
+                acc -= self.u_vals[pos] * b[symbolic.u_cols[pos]];
+            }
+            b[i] = acc / self.u_vals[us];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{solve, Matrix};
+
+    /// Deterministic diagonally dominant sparse system with a banded-ish
+    /// random pattern, mirrored to keep it structurally symmetric.
+    fn random_system(n: usize, seed: u64) -> CsrMatrix {
+        let mut slots = Vec::new();
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for i in 0..n {
+            slots.push((i, i));
+            for _ in 0..3 {
+                let j = next() % n;
+                slots.push((i, j));
+                slots.push((j, i));
+            }
+        }
+        let mut a = CsrMatrix::from_pattern(n, n, &slots);
+        let mut t = seed.wrapping_add(99);
+        let mut val = || {
+            t = t
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((t >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for &j in a.row_cols(i).to_vec().iter() {
+                if j != i {
+                    let v = val();
+                    a.add_at(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            a.add_at(i, i, row_sum + 1.0 + val().abs());
+        }
+        a
+    }
+
+    fn to_dense(a: &CsrMatrix) -> Matrix {
+        let mut m = Matrix::zeros(a.n_rows());
+        for i in 0..a.n_rows() {
+            for (&j, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_oracle() {
+        for seed in 0..8u64 {
+            let n = 20 + (seed as usize % 3) * 13;
+            let a = random_system(n, seed);
+            let symbolic = SymbolicLu::analyze(&a).expect("analyze");
+            assert!(symbolic.nnz() >= a.nnz(), "fill can only add slots");
+            let mut numeric = NumericLu::new(&symbolic);
+            let mut ws = SolveWorkspace::new();
+            numeric.refactor(&symbolic, &a, &mut ws).expect("refactor");
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 1.0).collect();
+            let mut x = b.clone();
+            numeric.solve_in_place(&symbolic, &mut x);
+            let oracle = solve(to_dense(&a), b.clone()).expect("dense oracle");
+            for (s, d) in x.iter().zip(&oracle) {
+                assert!(
+                    (s - d).abs() < 1e-9 * (1.0 + d.abs()),
+                    "sparse {s} vs dense {d} (seed {seed})"
+                );
+            }
+            // And the residual closes the loop independently of the oracle.
+            let back = a.mul_vec(&x);
+            for (bi, yi) in b.iter().zip(&back) {
+                assert!((bi - yi).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_across_value_changes() {
+        let n = 24;
+        let a0 = random_system(n, 4);
+        let symbolic = SymbolicLu::analyze(&a0).expect("analyze");
+        let mut numeric = NumericLu::new(&symbolic);
+        let mut ws = SolveWorkspace::new();
+        for round in 0..5u64 {
+            // Same pattern, fresh values: rebuild a with the same seed
+            // pattern but scaled entries.
+            let mut a = a0.clone();
+            let scale = 1.0 + round as f64 * 0.25;
+            a.set_zero();
+            for i in 0..n {
+                for (&j, &v) in a0.row_cols(i).iter().zip(a0.row_values(i)) {
+                    a.add_at(i, j, v * scale);
+                }
+            }
+            numeric.refactor(&symbolic, &a, &mut ws).expect("refactor");
+            let b = vec![1.0; n];
+            let mut x = b.clone();
+            numeric.solve_in_place(&symbolic, &mut x);
+            let oracle = solve(to_dense(&a), b).expect("oracle");
+            for (s, d) in x.iter().zip(&oracle) {
+                assert!((s - d).abs() < 1e-9 * (1.0 + d.abs()), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reports_the_dense_error() {
+        // All-zero values over a valid pattern: first pivot underflows.
+        let a = CsrMatrix::from_pattern(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let symbolic = SymbolicLu::analyze(&a).expect("analyze");
+        let mut numeric = NumericLu::new(&symbolic);
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(
+            numeric.refactor(&symbolic, &a, &mut ws),
+            Err(DenseError::Singular)
+        );
+        // The dense oracle classifies it identically.
+        assert_eq!(
+            solve(to_dense(&a), vec![1.0, 1.0, 1.0]),
+            Err(DenseError::Singular)
+        );
+    }
+
+    #[test]
+    fn analyze_rejects_rectangular() {
+        let a = CsrMatrix::from_pattern(2, 3, &[(0, 0)]);
+        assert!(matches!(
+            SymbolicLu::analyze(&a),
+            Err(DenseError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_diagonal_slots_are_admitted_implicitly() {
+        // Pattern has no (1,1) slot; analysis must still leave a diagonal
+        // pivot position for the fill the elimination creates there.
+        let mut a = CsrMatrix::from_pattern(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        a.add_at(0, 0, 2.0);
+        a.add_at(0, 1, 1.0);
+        a.add_at(1, 0, 1.0);
+        let symbolic = SymbolicLu::analyze(&a).expect("analyze");
+        let mut numeric = NumericLu::new(&symbolic);
+        let mut ws = SolveWorkspace::new();
+        // Elimination creates fill at (1,1): -1/2. Nonsingular overall.
+        numeric.refactor(&symbolic, &a, &mut ws).expect("refactor");
+        let mut x = [3.0, 1.0];
+        numeric.solve_in_place(&symbolic, &mut x);
+        let oracle = solve(to_dense(&a), vec![3.0, 1.0]).expect("oracle");
+        for (s, d) in x.iter().zip(&oracle) {
+            assert!((s - d).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Compressed-sparse-row matrices with a fixed pattern and restampable
+//! values.
+//!
+//! Nodal analysis of a fixed crossbar topology always produces the same
+//! sparsity pattern — only the conductance *values* change between pulses.
+//! [`CsrMatrix`] models exactly that: the pattern is laid out once by
+//! [`CsrMatrix::from_pattern`], and per-solve stamping goes through
+//! [`CsrMatrix::set_zero`] + [`CsrMatrix::add_at`] without any allocation
+//! or structural change.
+
+use std::fmt;
+
+/// A sparse matrix in compressed-sparse-row form.
+///
+/// The pattern (which `(row, col)` slots exist) is immutable after
+/// construction; values are mutable in place. Column indices within each
+/// row are kept sorted ascending, so value lookup is a short binary
+/// search over the row's slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Lays out the pattern from a list of `(row, col)` slots (duplicates
+    /// are merged) with every value zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot lies outside `n_rows × n_cols`.
+    pub fn from_pattern(n_rows: usize, n_cols: usize, slots: &[(usize, usize)]) -> Self {
+        let mut sorted: Vec<(usize, usize)> = slots.to_vec();
+        for &(i, j) in &sorted {
+            assert!(
+                i < n_rows && j < n_cols,
+                "slot ({i}, {j}) outside {n_rows}x{n_cols}"
+            );
+        }
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut row_ptr = vec![0usize; n_rows + 1];
+        for &(i, _) in &sorted {
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..n_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<usize> = sorted.iter().map(|&(_, j)| j).collect();
+        let values = vec![0.0; col_idx.len()];
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Row count.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column count.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of structural nonzero slots.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The sorted column indices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// The values of row `i`, parallel to [`CsrMatrix::row_cols`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Zeroes every value, keeping the pattern (start of a fresh stamp).
+    pub fn set_zero(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `value` to the slot at `(i, j)` (conductance stamping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is not a slot of the pattern: stamping outside
+    /// the declared structure is a topology bug, not a numerical one.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, value: f64) {
+        let start = self.row_ptr[i];
+        let cols = &self.col_idx[start..self.row_ptr[i + 1]];
+        match cols.binary_search(&j) {
+            Ok(pos) => self.values[start + pos] += value,
+            Err(_) => panic!("slot ({i}, {j}) is not in the CSR pattern"),
+        }
+    }
+
+    /// The value at `(i, j)`, or `0.0` for a slot outside the pattern.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let start = self.row_ptr[i];
+        let cols = &self.col_idx[start..self.row_ptr[i + 1]];
+        match cols.binary_search(&j) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `y = A·x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        for (i, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (col, val) in self.row_cols(i).iter().zip(self.row_values(i)) {
+                acc += val * x[*col];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CsrMatrix {}x{} ({} nnz)",
+            self.n_rows,
+            self.n_cols,
+            self.nnz()
+        )?;
+        for i in 0..self.n_rows {
+            for (j, v) in self.row_cols(i).iter().zip(self.row_values(i)) {
+                writeln!(f, "  ({i}, {j}) = {v:.6e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[2, 1, 0], [1, 3, 0], [0, 0, 5]] with a duplicate slot merged.
+        let mut a =
+            CsrMatrix::from_pattern(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (0, 0)]);
+        a.add_at(0, 0, 2.0);
+        a.add_at(0, 1, 1.0);
+        a.add_at(1, 0, 1.0);
+        a.add_at(1, 1, 3.0);
+        a.add_at(2, 2, 5.0);
+        a
+    }
+
+    #[test]
+    fn pattern_is_sorted_and_deduped() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.row_cols(0), &[0, 1]);
+        assert_eq!(a.row_cols(2), &[2]);
+        assert_eq!(a.get(0, 2), 0.0, "missing slot reads as zero");
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut a = sample();
+        a.add_at(0, 0, 0.5);
+        assert_eq!(a.get(0, 0), 2.5);
+        a.set_zero();
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.nnz(), 5, "set_zero keeps the pattern");
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = sample();
+        let y = a.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![4.0, 7.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the CSR pattern")]
+    fn stamping_outside_pattern_panics() {
+        let mut a = sample();
+        a.add_at(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A rectangular contiguous dense matrix for simplex tableaus.
+//!
+//! The ILP relaxation used to build its tableau as `Vec<Vec<f64>>` — one
+//! heap allocation per row and no cache locality across pivots.
+//! [`DenseMat`] stores the tableau row-major in one buffer, supports
+//! in-place reshaping (so a branch-and-bound search reuses one buffer for
+//! every node) and hands out disjoint row pairs for pivot updates.
+
+/// A rectangular dense `f64` matrix, row-major, in one contiguous buffer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the allocation
+    /// when capacity suffices (the workspace-reuse entry point).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Two distinct rows, the first mutable (the shape of a pivot update:
+    /// `target -= factor * pivot_row`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == pivot` or either is out of bounds.
+    #[inline]
+    pub fn row_pair_mut(&mut self, target: usize, pivot: usize) -> (&mut [f64], &[f64]) {
+        assert!(target < self.rows && pivot < self.rows && target != pivot);
+        let cols = self.cols;
+        if target < pivot {
+            let (lo, hi) = self.data.split_at_mut(pivot * cols);
+            (&mut lo[target * cols..(target + 1) * cols], &hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(target * cols);
+            (&mut hi[..cols], &lo[pivot * cols..(pivot + 1) * cols])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let mut m = DenseMat::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        m.reset(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        for r in 0..3 {
+            assert!(m.row(r).iter().all(|v| *v == 0.0));
+        }
+    }
+
+    #[test]
+    fn row_pair_is_disjoint_both_orders() {
+        let mut m = DenseMat::zeros(3, 2);
+        for r in 0..3 {
+            for c in 0..2 {
+                m.set(r, c, (r * 2 + c) as f64);
+            }
+        }
+        let (t, p) = m.row_pair_mut(0, 2);
+        assert_eq!(p, &[4.0, 5.0]);
+        t[0] = -1.0;
+        let (t, p) = m.row_pair_mut(2, 0);
+        assert_eq!(p, &[-1.0, 1.0]);
+        t[1] = -2.0;
+        assert_eq!(m.get(2, 1), -2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_pair_rejects_same_row() {
+        let mut m = DenseMat::zeros(2, 2);
+        let _ = m.row_pair_mut(1, 1);
+    }
+}

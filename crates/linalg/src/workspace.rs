@@ -1,0 +1,60 @@
+//! Reusable scratch buffers for steady-state solves.
+
+/// A scratch-buffer arena shared across repeated solves.
+///
+/// The first solve on a given system size grows the buffers; every solve
+/// after that allocates nothing. One workspace serves any sequence of
+/// sizes (buffers only ever grow), and buffer contents carry no state
+/// between calls — each kernel fully initializes the region it reads.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// Dense accumulator row used by the numeric LU scatter/gather.
+    pub(crate) work: Vec<f64>,
+    /// Permuted right-hand-side / solution buffer for callers that reorder
+    /// unknowns before a solve.
+    pub rhs: Vec<f64>,
+    /// Second general-purpose buffer (e.g. the un-permuted solution).
+    pub solution: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// Ensures every buffer holds at least `n` entries (values unspecified).
+    pub fn ensure(&mut self, n: usize) {
+        if self.work.len() < n {
+            self.work.resize(n, 0.0);
+        }
+        if self.rhs.len() < n {
+            self.rhs.resize(n, 0.0);
+        }
+        if self.solution.len() < n {
+            self.solution.resize(n, 0.0);
+        }
+    }
+
+    /// The current buffer capacity (entries per buffer).
+    pub fn capacity(&self) -> usize {
+        self.work.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_monotonically() {
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(ws.capacity(), 0);
+        ws.ensure(8);
+        assert_eq!(ws.capacity(), 8);
+        ws.ensure(4);
+        assert_eq!(ws.capacity(), 8, "ensure never shrinks");
+        ws.ensure(16);
+        assert!(ws.rhs.len() >= 16 && ws.solution.len() >= 16);
+    }
+}

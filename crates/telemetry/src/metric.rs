@@ -16,6 +16,15 @@ pub enum Counter {
     SneakPathActivations,
     /// Reads/writes that landed on a cell pinned by the fault map.
     FaultMapHits,
+    /// Sparse nodal factorizations built from scratch (new symbolic
+    /// analysis for a topology).
+    FactorizationsRebuilt,
+    /// Nodal solves that reused a cached symbolic factorization (numeric
+    /// refactorization only).
+    FactorizationsReused,
+    /// Sparse solves that fell back to the dense oracle (singular or
+    /// otherwise unfactorable stamped system).
+    SolverFallbacks,
     // ---- spe-core: cipher datapath ----
     /// Keyed voltage pulses applied at points of encryption.
     PoePulses,
@@ -66,13 +75,16 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::NodalSolves,
         Counter::SneakPathActivations,
         Counter::FaultMapHits,
+        Counter::FactorizationsRebuilt,
+        Counter::FactorizationsReused,
+        Counter::SolverFallbacks,
         Counter::PoePulses,
         Counter::TrainSteps,
         Counter::ScheduleDerivations,
@@ -107,6 +119,9 @@ impl Counter {
             Counter::NodalSolves => "nodal_solves",
             Counter::SneakPathActivations => "sneak_path_activations",
             Counter::FaultMapHits => "fault_map_hits",
+            Counter::FactorizationsRebuilt => "factorizations_rebuilt",
+            Counter::FactorizationsReused => "factorizations_reused",
+            Counter::SolverFallbacks => "solver_fallbacks",
             Counter::PoePulses => "poe_pulses",
             Counter::TrainSteps => "train_steps",
             Counter::ScheduleDerivations => "schedule_derivations",

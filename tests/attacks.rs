@@ -1,11 +1,7 @@
 //! Integration: the §3/§6 attack scenarios end to end.
-// These suites exercise the legacy named-method surface on purpose: the
-// deprecated wrappers must stay bit-identical to the unified request API
-// until they are removed (tests/cipher_request.rs covers the new surface).
-#![allow(deprecated)]
 
 use snvmm::core::attack::{brute_force_reduced, known_plaintext_ambiguity, wrong_order_decrypt};
-use snvmm::core::{Key, SecureNvmm, SpeMode, Specu, Tpm};
+use snvmm::core::{CipherRequest, Key, SecureNvmm, SpeCipher, SpeMode, Specu, Tpm};
 use std::sync::OnceLock;
 
 fn specu() -> Specu {
@@ -73,10 +69,21 @@ fn wrong_order_and_wrong_key_both_fail() {
     assert_eq!(report.correct, pt);
     assert!(report.corrupted_bytes > 4, "wrong order must corrupt");
 
-    let ct = s.encrypt_block(&pt).expect("encrypt");
+    let ct = s
+        .encrypt(CipherRequest::block(pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
     let mut other = specu();
     other.load_key(Key::from_seed(1234567));
-    assert_ne!(other.decrypt_block(&ct).expect("decrypt"), pt);
+    assert_ne!(
+        other
+            .decrypt(CipherRequest::sealed_block(ct))
+            .expect("decrypt")
+            .into_plain_block()
+            .expect("plain"),
+        pt
+    );
 }
 
 #[test]

@@ -1,10 +1,10 @@
-//! Cross-crate integration: SPE encryption correctness end to end.
-// These suites exercise the legacy named-method surface on purpose: the
-// deprecated wrappers must stay bit-identical to the unified request API
-// until they are removed (tests/cipher_request.rs covers the new surface).
-#![allow(deprecated)]
+//! Cross-crate integration: SPE encryption correctness end to end, driven
+//! through the unified cipher-request API (tests/cipher_request.rs pins the
+//! legacy named methods to this surface bit-for-bit).
 
-use snvmm::core::{Key, SecureNvmm, SpeMode, SpeVariant, Specu, SpecuConfig};
+use snvmm::core::{
+    CipherBlock, CipherRequest, Key, SecureNvmm, SpeCipher, SpeMode, SpeVariant, Specu, SpecuConfig,
+};
 use std::sync::OnceLock;
 
 fn specu() -> Specu {
@@ -14,15 +14,29 @@ fn specu() -> Specu {
         .clone()
 }
 
+fn encrypt(s: &Specu, pt: &[u8; 16], tweak: u64) -> CipherBlock {
+    s.encrypt(CipherRequest::block(*pt).with_tweak(tweak))
+        .expect("encrypt")
+        .into_block()
+        .expect("block")
+}
+
+fn decrypt(s: &Specu, ct: &CipherBlock) -> [u8; 16] {
+    s.decrypt(CipherRequest::sealed_block(ct.clone()))
+        .expect("decrypt")
+        .into_plain_block()
+        .expect("plain")
+}
+
 #[test]
 fn block_roundtrip_many_plaintexts() {
     let s = specu();
     for seed in 0..32u64 {
         let pt: [u8; 16] =
             core::array::from_fn(|i| (seed as u8).wrapping_mul(37).wrapping_add(i as u8 * 13));
-        let ct = s.encrypt_block(&pt).expect("encrypt");
+        let ct = encrypt(&s, &pt, 0);
         assert_ne!(ct.data(), pt);
-        assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt);
+        assert_eq!(decrypt(&s, &ct), pt);
     }
 }
 
@@ -35,8 +49,8 @@ fn analog_variant_roundtrips_too() {
     let s = Specu::with_config(Key::from_seed(3), config).expect("specu");
     for seed in 0..8u64 {
         let pt: [u8; 16] = core::array::from_fn(|i| (seed as u8) ^ (i as u8).wrapping_mul(29));
-        let ct = s.encrypt_block(&pt).expect("encrypt");
-        assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt, "seed {seed}");
+        let ct = encrypt(&s, &pt, 0);
+        assert_eq!(decrypt(&s, &ct), pt, "seed {seed}");
     }
 }
 
@@ -46,10 +60,10 @@ fn ciphertexts_differ_across_keys_blocks_and_variants() {
     let mut b = specu();
     b.load_key(Key::from_seed(0xD1FF));
     let pt = [0x77u8; 16];
-    let ca = a.encrypt_block(&pt).expect("encrypt");
-    let cb = b.encrypt_block(&pt).expect("encrypt");
+    let ca = encrypt(&a, &pt, 0);
+    let cb = encrypt(&b, &pt, 0);
     assert_ne!(ca.data(), cb.data(), "keys must matter");
-    let ca2 = a.encrypt_block_with_tweak(&pt, 9).expect("encrypt");
+    let ca2 = encrypt(&a, &pt, 9);
     assert_ne!(ca.data(), ca2.data(), "tweaks must matter");
 }
 
@@ -94,7 +108,7 @@ fn encryption_balances_ciphertext_levels() {
     let mut hist = [0usize; 4];
     for seed in 0..64u64 {
         s.load_key(Key::from_seed(seed * 11 + 1));
-        let ct = s.encrypt_block(&[0u8; 16]).expect("encrypt");
+        let ct = encrypt(&s, &[0u8; 16], 0);
         for b in ct.data() {
             for k in 0..4 {
                 hist[(b >> (6 - 2 * k) & 3) as usize] += 1;

@@ -6,12 +6,8 @@
 //! plaintext cells through the context-mixing decryption), the paper's
 //! §3 note that data corruption is handled by ECC/shielding, and the power
 //! lifecycle under partial failures.
-// These suites exercise the legacy named-method surface on purpose: the
-// deprecated wrappers must stay bit-identical to the unified request API
-// until they are removed (tests/cipher_request.rs covers the new surface).
-#![allow(deprecated)]
 
-use snvmm::core::{CipherBlock, Key, SecureNvmm, SpeMode, Specu, Tpm};
+use snvmm::core::{CipherBlock, CipherRequest, Key, SecureNvmm, SpeCipher, SpeMode, Specu, Tpm};
 use std::sync::OnceLock;
 
 fn specu() -> Specu {
@@ -21,18 +17,32 @@ fn specu() -> Specu {
         .clone()
 }
 
+fn encrypt(s: &Specu, pt: &[u8; 16]) -> CipherBlock {
+    s.encrypt(CipherRequest::block(*pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block")
+}
+
+fn decrypt(s: &Specu, ct: &CipherBlock) -> [u8; 16] {
+    s.decrypt(CipherRequest::sealed_block(ct.clone()))
+        .expect("decrypt")
+        .into_plain_block()
+        .expect("plain")
+}
+
 #[test]
 fn single_cell_corruption_amplifies_across_the_block() {
     let s = specu();
     let pt = *b"integrity-less!!";
-    let block = s.encrypt_block(&pt).expect("encrypt");
+    let block = encrypt(&s, &pt);
 
     // Corrupt one cell's stored level (a disturb event / radiation hit).
     let mut states = block.states().to_vec();
     states[27] = (states[27] as u8 ^ 1) as f64;
     let corrupted = CipherBlock::from_parts(states, block.data(), block.tweak());
 
-    let garbled = s.decrypt_block(&corrupted).expect("decrypts to something");
+    let garbled = decrypt(&s, &corrupted);
     assert_ne!(garbled, pt);
     // Context mixing spreads the single-cell fault over many plaintext
     // cells — the flip side of the avalanche property.
@@ -58,10 +68,10 @@ fn corruption_in_one_block_does_not_leak_into_others() {
 fn zeroed_key_register_decrypts_nothing() {
     let mut s = specu();
     let pt = *b"power glitch key";
-    let block = s.encrypt_block(&pt).expect("encrypt");
+    let block = encrypt(&s, &pt);
     // A fault zeroes the volatile key register (not a clean power-down).
     s.load_key(Key::zero());
-    let out = s.decrypt_block(&block).expect("runs");
+    let out = decrypt(&s, &block);
     assert_ne!(out, pt, "a zeroed key must not decrypt");
 }
 
@@ -109,13 +119,13 @@ fn tpm_binding_survives_memory_swap_attack() {
 fn tampered_ciphertext_bytes_do_not_crash_decryption() {
     // Robustness: arbitrary state tampering must never panic the SPECU.
     let s = specu();
-    let block = s.encrypt_block(b"no panics please").expect("encrypt");
+    let block = encrypt(&s, b"no panics please");
     for magnitude in [0.5f64, 3.0, -3.0] {
         let mut states = block.states().to_vec();
         for v in states.iter_mut() {
             *v = (*v + magnitude).rem_euclid(4.0).floor();
         }
         let tampered = CipherBlock::from_parts(states, block.data(), block.tweak());
-        let _ = s.decrypt_block(&tampered).expect("must not panic");
+        let _ = decrypt(&s, &tampered);
     }
 }

@@ -7,13 +7,9 @@
 //! [`SpeError::IntegrityViolation`] instead of silently wrong bytes, and
 //! the serial and multi-bank parallel backends observe identical fault
 //! histories for the same seed.
-// These suites exercise the legacy named-method surface on purpose: the
-// deprecated wrappers must stay bit-identical to the unified request API
-// until they are removed (tests/cipher_request.rs covers the new surface).
-#![allow(deprecated)]
-
 use snvmm::core::{
-    CipherBlock, FaultCounters, FaultModel, FaultPolicy, Key, LineJob, SpeError, Specu,
+    CipherBlock, CipherRequest, FaultCounters, FaultModel, FaultPolicy, Key, LineJob, SpeCipher,
+    SpeError, Specu,
 };
 use snvmm::memsim::{CampaignConfig, FaultCampaign};
 use std::sync::OnceLock;
@@ -45,12 +41,16 @@ fn transient_faults_round_trip_exactly() {
     let mut total = FaultCounters::default();
     for n in 0..8u64 {
         let pt = line(n);
-        let (enc, counters) = s
-            .encrypt_line_resilient(&pt, 0x1000 + n, &policy)
+        let resp = s
+            .encrypt(CipherRequest::line(pt, 0x1000 + n).resilient(policy))
             .expect("recovery absorbs a 2% transient rate");
-        total.merge(&counters);
+        total.merge(resp.faults());
+        let enc = resp.into_line().expect("line");
         assert_eq!(
-            s.decrypt_line_checked(&enc).expect("checked decrypt"),
+            s.decrypt(CipherRequest::sealed_line(enc).verified())
+                .expect("checked decrypt")
+                .into_plain_line()
+                .expect("plain"),
             pt,
             "line {n}"
         );
@@ -70,13 +70,13 @@ fn remap_exhaustion_returns_typed_error() {
     let s = specu();
     let policy = FaultPolicy::with_model(FaultModel::stuck(1.0, 7));
     let pt = line(99);
-    let serial = s.encrypt_line_resilient(&pt, 0x42, &policy);
+    let serial = s.encrypt(CipherRequest::line(pt, 0x42).resilient(policy));
     assert!(
         matches!(serial, Err(SpeError::FaultExhausted { spares: 2, .. })),
         "serial: {serial:?}"
     );
     let par = s.parallel(4).expect("parallel");
-    let banked = par.encrypt_line_resilient(&pt, 0x42, &policy);
+    let banked = par.encrypt(CipherRequest::line(pt, 0x42).resilient(policy));
     assert!(
         matches!(banked, Err(SpeError::FaultExhausted { spares: 2, .. })),
         "parallel: {banked:?}"
@@ -112,9 +112,11 @@ fn tampered_line_fails_integrity_check_on_both_backends() {
     let s = specu();
     let policy = FaultPolicy::none();
     let pt = line(5);
-    let (mut enc, _) = s
-        .encrypt_line_resilient(&pt, 0x30, &policy)
-        .expect("encrypt");
+    let mut enc = s
+        .encrypt(CipherRequest::line(pt, 0x30).resilient(policy))
+        .expect("encrypt")
+        .into_line()
+        .expect("line");
     // Corrupt one stored cell of block 2 (a level value in 0..4): the
     // decrypt still runs, but the recovered plaintext no longer matches
     // the keyed tag.
@@ -127,13 +129,13 @@ fn tampered_line_fails_integrity_check_on_both_backends() {
         victim.tweak(),
         victim.tag().expect("resilient blocks are tagged"),
     );
-    let serial = s.decrypt_line_checked(&enc);
+    let serial = s.decrypt(CipherRequest::sealed_line(enc.clone()).verified());
     assert!(
         matches!(serial, Err(SpeError::IntegrityViolation { .. })),
         "serial: {serial:?}"
     );
     let par = s.parallel(4).expect("parallel");
-    let banked = par.decrypt_line_checked(&enc);
+    let banked = par.decrypt(CipherRequest::sealed_line(enc).verified());
     assert!(
         matches!(banked, Err(SpeError::IntegrityViolation { .. })),
         "parallel: {banked:?}"
@@ -145,15 +147,22 @@ fn untagged_block_is_rejected_by_checked_decrypt() {
     // A block written through the plain (non-resilient) path carries no
     // tag; the checked decrypt refuses to vouch for it.
     let s = specu();
-    let ct = s.encrypt_block(b"no integrity tag").expect("encrypt");
+    let ct = s
+        .encrypt(CipherRequest::block(*b"no integrity tag"))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
     assert!(ct.tag().is_none());
     assert!(matches!(
-        s.decrypt_block_checked(&ct),
+        s.decrypt(CipherRequest::sealed_block(ct.clone()).verified()),
         Err(SpeError::IntegrityViolation { .. })
     ));
-    // The unchecked decrypt still works for legacy blocks.
+    // The unchecked decrypt still works for untagged blocks.
     assert_eq!(
-        s.decrypt_block(&ct).expect("unchecked"),
+        s.decrypt(CipherRequest::sealed_block(ct))
+            .expect("unchecked")
+            .into_plain_block()
+            .expect("plain"),
         *b"no integrity tag"
     );
 }

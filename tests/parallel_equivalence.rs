@@ -3,12 +3,7 @@
 //! under every behavioural variant, and the sharded lines must stay
 //! order-sensitive (Fig. 2b: mats decrypted out of order, or under the
 //! wrong tweak, do not recover the plaintext).
-// These suites exercise the legacy named-method surface on purpose: the
-// deprecated wrappers must stay bit-identical to the unified request API
-// until they are removed (tests/cipher_request.rs covers the new surface).
-#![allow(deprecated)]
-
-use snvmm::core::{Key, LineJob, SpeVariant, Specu, SpecuConfig};
+use snvmm::core::{CipherRequest, Key, LineJob, SpeCipher, SpeVariant, Specu, SpecuConfig};
 use std::sync::OnceLock;
 
 const LINES: usize = 1000;
@@ -70,8 +65,10 @@ fn equivalence_for(variant: SpeVariant) {
 
     for (job, par) in jobs.iter().zip(&parallel_lines) {
         let serial = ctx
-            .encrypt_line(&job.plaintext, job.address)
-            .expect("serial encrypt");
+            .encrypt(CipherRequest::line(job.plaintext, job.address))
+            .expect("serial encrypt")
+            .into_line()
+            .expect("line");
         assert_eq!(
             serial.data(),
             par.data(),
@@ -79,7 +76,10 @@ fn equivalence_for(variant: SpeVariant) {
             job.address
         );
         assert_eq!(
-            ctx.decrypt_line(par).expect("decrypt"),
+            ctx.decrypt(CipherRequest::sealed_line(par.clone()))
+                .expect("decrypt")
+                .into_plain_line()
+                .expect("plain"),
             job.plaintext,
             "parallel line failed to decrypt at address {:#x}",
             job.address
@@ -130,7 +130,10 @@ fn swapped_mats_fail_to_decrypt() {
     let mut line = banked.encrypt_line(&pt, 0x7700).expect("encrypt");
     line.blocks.swap(0, 2);
     // Rejecting the tampered line outright would also be acceptable.
-    if let Ok(recovered) = ctx.decrypt_line(&line) {
+    let tampered = ctx
+        .decrypt(CipherRequest::sealed_line(line))
+        .and_then(|resp| resp.into_plain_line());
+    if let Ok(recovered) = tampered {
         assert_ne!(
             recovered, pt,
             "mats decrypted out of bank order must not recover the plaintext"

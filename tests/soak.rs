@@ -3,12 +3,7 @@
 //!
 //! The quick sweep runs in CI; `soak_exhaustive` is `#[ignore]`d and meant
 //! for manual deep runs (`cargo test --release --test soak -- --ignored`).
-// These suites exercise the legacy named-method surface on purpose: the
-// deprecated wrappers must stay bit-identical to the unified request API
-// until they are removed (tests/cipher_request.rs covers the new surface).
-#![allow(deprecated)]
-
-use snvmm::core::{Key, SpeVariant, Specu, SpecuConfig};
+use snvmm::core::{CipherRequest, Key, SpeCipher, SpeVariant, Specu, SpecuConfig};
 
 fn roundtrip_sweep(configs: &[(SpeVariant, usize, usize)], keys: u64, tweaks: u64) {
     for (variant, rounds, poe_count) in configs {
@@ -29,8 +24,16 @@ fn roundtrip_sweep(configs: &[(SpeVariant, usize, usize)], keys: u64, tweaks: u6
                         .wrapping_add(tw as u8)
                         .wrapping_add(i as u8 * 17)
                 });
-                let ct = specu.encrypt_block_with_tweak(&pt, tw).expect("encrypt");
-                let back = specu.decrypt_block(&ct).expect("decrypt");
+                let ct = specu
+                    .encrypt(CipherRequest::block(pt).with_tweak(tw))
+                    .expect("encrypt")
+                    .into_block()
+                    .expect("block");
+                let back = specu
+                    .decrypt(CipherRequest::sealed_block(ct))
+                    .expect("decrypt")
+                    .into_plain_block()
+                    .expect("plain");
                 assert_eq!(
                     back, pt,
                     "roundtrip failed at {variant:?}/{rounds}r/{poe_count}p key {k} tweak {tw}"

@@ -1,0 +1,166 @@
+//! Solver equivalence: the sparse reusable-factorization nodal solver must
+//! agree with the dense verification oracle on every circuit the datapath
+//! can produce — across array sizes, cell patterns, fault-pinned cells and
+//! wire perturbations — and both paths must classify a singular network
+//! with the same typed error.
+
+use snvmm::crossbar::netlist::Gating;
+use snvmm::crossbar::solver::solve_dense;
+use snvmm::crossbar::{
+    Bias, CellAddr, Crossbar, CrossbarError, Dims, FaultMap, NodalSolver, SolverMode, WireParams,
+};
+use snvmm::memristor::{DeviceParams, FaultKind, MlcLevel};
+
+const REL_TOL: f64 = 1e-6;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn random_levels(dims: Dims, seed: u64) -> Vec<MlcLevel> {
+    let mut s = seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(1);
+    (0..dims.cells())
+        .map(|_| MlcLevel::from_bits((splitmix(&mut s) & 3) as u8).expect("two-bit level"))
+        .collect()
+}
+
+/// A sparse-mode and a dense-mode crossbar with identical cells and faults.
+fn solver_pair(dims: Dims, seed: u64, faults: FaultMap) -> (Crossbar, Crossbar) {
+    let mut sparse = Crossbar::new(dims, DeviceParams::default()).expect("array");
+    sparse
+        .write_levels(&random_levels(dims, seed))
+        .expect("write");
+    sparse.attach_faults(faults).expect("faults");
+    let mut dense = sparse.clone();
+    dense.set_solver_mode(SolverMode::Dense);
+    assert_eq!(sparse.solver_mode(), SolverMode::Sparse);
+    (sparse, dense)
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= REL_TOL * scale,
+        "{what}: sparse {a} vs dense {b}"
+    );
+}
+
+/// A fault map pinning one cell at each rail (when the array is big
+/// enough), so parity also covers rail-pinned resistances in the network.
+fn pinned_faults(dims: Dims) -> FaultMap {
+    let mut map = FaultMap::none(dims);
+    map.set_fault(CellAddr::new(1, 2), Some(FaultKind::StuckAtLrs));
+    map.set_fault(
+        CellAddr::new(dims.rows - 1, dims.cols - 2),
+        Some(FaultKind::StuckAtHrs),
+    );
+    map
+}
+
+#[test]
+fn sparse_and_dense_sense_identically_across_sizes_seeds_and_faults() {
+    for dims in [Dims::new(4, 6), Dims::square8(), Dims::new(16, 16)] {
+        for seed in [3u64, 58] {
+            for faulty in [false, true] {
+                let faults = if faulty {
+                    pinned_faults(dims)
+                } else {
+                    FaultMap::none(dims)
+                };
+                let (sparse, dense) = solver_pair(dims, seed, faults);
+                // Sample addresses: the full first row, the main diagonal
+                // and the far corner exercise every driver position class.
+                let mut probes: Vec<CellAddr> =
+                    (0..dims.cols).map(|c| CellAddr::new(0, c)).collect();
+                probes.extend((0..dims.rows.min(dims.cols)).map(|i| CellAddr::new(i, i)));
+                probes.push(CellAddr::new(dims.rows - 1, dims.cols - 1));
+                for addr in probes {
+                    let rs = sparse.sense_resistance(addr).expect("sparse sense");
+                    let rd = dense.sense_resistance(addr).expect("dense sense");
+                    assert_close(
+                        rs,
+                        rd,
+                        &format!("sense {addr:?} dims {dims:?} seed {seed} faulty {faulty}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_and_dense_sneak_fields_agree() {
+    for dims in [Dims::new(4, 6), Dims::square8()] {
+        let (sparse, dense) = solver_pair(dims, 17, pinned_faults(dims));
+        let poe = CellAddr::new(dims.rows / 2, dims.cols / 2);
+        let fs = sparse.sneak_voltages(poe, 1.1).expect("sparse field");
+        let fd = dense.sneak_voltages(poe, 1.1).expect("dense field");
+        for (addr, v) in fs.iter() {
+            assert_close(v, fd.at(addr), &format!("field {addr:?} dims {dims:?}"));
+        }
+    }
+}
+
+#[test]
+fn warm_factorization_matches_fresh_dense_after_rewrites_and_wire_changes() {
+    // One long-lived sparse array (its factorization survives every data
+    // rewrite and wire perturbation) against a fresh dense oracle each
+    // round: the cached symbolic structure must never go stale.
+    let dims = Dims::square8();
+    let mut sparse = Crossbar::new(dims, DeviceParams::default()).expect("array");
+    for round in 0..4u64 {
+        sparse
+            .write_levels(&random_levels(dims, 1000 + round))
+            .expect("write");
+        let mut wires = WireParams::default();
+        wires.r_row_segment *= 1.0 + 0.07 * round as f64;
+        wires.r_col_segment *= 1.0 - 0.03 * round as f64;
+        sparse.set_wires(wires).expect("wires");
+
+        let mut dense = sparse.clone();
+        dense.set_solver_mode(SolverMode::Dense);
+        for addr in [
+            CellAddr::new(0, 0),
+            CellAddr::new(3, 5),
+            CellAddr::new(7, 7),
+        ] {
+            assert_close(
+                sparse.sense_resistance(addr).expect("sparse sense"),
+                dense.sense_resistance(addr).expect("dense sense"),
+                &format!("round {round} {addr:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn singular_network_is_the_same_typed_error_on_both_paths() {
+    // Validation-passing but pathological parameters: every stamped
+    // conductance underflows the shared pivot threshold, so sparse LU and
+    // the dense oracle must both report the singularity (and the crossbar
+    // fallback has nowhere to go).
+    let dims = Dims::new(3, 3);
+    let wires = WireParams {
+        r_row_segment: 1.0e308,
+        r_col_segment: 1.0e308,
+        r_driver: 1.0e308,
+        r_couple: 1.0e308,
+        g_leak: 1.0e-310,
+    };
+    let bias = Bias::sneak_pulse(dims, CellAddr::new(1, 1), 1.0);
+    let mut solver = NodalSolver::new(dims).expect("solver");
+    let sparse = solver.solve(&wires, &bias, Gating::AllOn, |_, _| 1.0e308);
+    assert!(
+        matches!(sparse, Err(CrossbarError::SingularNetwork)),
+        "sparse: {sparse:?}"
+    );
+    let oracle = solve_dense(dims, &wires, &bias, Gating::AllOn, |_, _| 1.0e308);
+    assert!(
+        matches!(oracle, Err(CrossbarError::SingularNetwork)),
+        "dense: {oracle:?}"
+    );
+}
