@@ -38,4 +38,9 @@ for counter in poe_pulses retries; do
   fi
 done
 
+echo "== line-datapath schedule-cache smoke"
+# line_bench asserts cached >= 5x uncached lines/sec and byte-identical
+# cached/uncached ciphertexts, and emits BENCH_line.json.
+cargo run --release --offline -p spe-bench --bin line_bench
+
 echo "CI gate passed."

@@ -1,0 +1,126 @@
+//! Line-datapath throughput: the schedule cache's cached-vs-uncached
+//! speedup on a warm working set, and serial-vs-parallel batch parity.
+//!
+//! Emits `BENCH_line.json` at the workspace root (lines/sec for the
+//! cached, uncached, serial and 4-bank paths) and asserts the cache buys
+//! at least [`MIN_CACHED_SPEEDUP`]× on repeated line encryptions — the
+//! CI smoke gate for the line-datapath hot path.
+
+use spe_bench::Bench;
+use spe_core::{CipherRequest, Key, LineJob, SpeCipher, Specu, SpecuConfig};
+
+/// The cached hot path must beat fresh per-block derivation by at least
+/// this factor on a warm working set.
+const MIN_CACHED_SPEEDUP: f64 = 5.0;
+
+/// Lines in the benchmark working set (well inside the default cache
+/// capacity of 1024 blocks = 256 lines, so the cached run stays warm).
+const WORKING_SET: usize = 16;
+
+fn specu(seed: u64, cache_lines: usize) -> Specu {
+    Specu::with_config(
+        Key::from_seed(seed),
+        SpecuConfig {
+            schedule_cache_lines: cache_lines,
+            ..SpecuConfig::default()
+        },
+    )
+    .expect("specu")
+}
+
+fn pattern(addr: u64) -> [u8; 64] {
+    core::array::from_fn(|i| {
+        let x = addr
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(i as u64 * 0x1F);
+        (x >> 24) as u8
+    })
+}
+
+fn main() {
+    let cached = specu(0x11E, spe_core::cache::DEFAULT_CACHE_LINES);
+    let uncached = specu(0x11E, 0);
+
+    // Parity first: the cache is a pure memo, so the two datapaths must
+    // produce byte-identical ciphertexts before any timing counts.
+    for addr in 0..WORKING_SET as u64 {
+        let pt = pattern(addr);
+        let warm = cached
+            .encrypt(CipherRequest::line(pt, addr))
+            .expect("cached encrypt")
+            .into_line()
+            .expect("line");
+        let cold = uncached
+            .encrypt(CipherRequest::line(pt, addr))
+            .expect("uncached encrypt")
+            .into_line()
+            .expect("line");
+        assert_eq!(warm, cold, "cached != uncached ciphertext at {addr:#x}");
+    }
+
+    let b = Bench::new("line");
+    let mut i = 0u64;
+    let warm = b.run_bytes("encrypt_line/cached", 64, || {
+        let addr = i % WORKING_SET as u64;
+        i += 1;
+        cached
+            .encrypt(CipherRequest::line(pattern(addr), addr))
+            .expect("encrypt")
+    });
+    let mut i = 0u64;
+    let cold = b.run_bytes("encrypt_line/uncached", 64, || {
+        let addr = i % WORKING_SET as u64;
+        i += 1;
+        uncached
+            .encrypt(CipherRequest::line(pattern(addr), addr))
+            .expect("encrypt")
+    });
+    let speedup = cold.ns_per_iter / warm.ns_per_iter;
+    println!("line/cached_speedup: {speedup:.2}x (warm working set)");
+    assert!(
+        speedup >= MIN_CACHED_SPEEDUP,
+        "schedule cache must cut warm line-encryption time >= \
+         {MIN_CACHED_SPEEDUP}x (got {speedup:.2}x)"
+    );
+
+    // Serial vs 4-bank batches over the same jobs: parity, then rates.
+    let jobs: Vec<LineJob> = (0..WORKING_SET as u64)
+        .map(|i| LineJob::new(pattern(i), i))
+        .collect();
+    let specu_banks = specu(0x11E, spe_core::cache::DEFAULT_CACHE_LINES);
+    let serial = specu_banks.parallel(1).expect("serial datapath");
+    let banked = specu_banks.parallel(4).expect("banked datapath");
+    assert_eq!(
+        serial.encrypt_lines(&jobs).expect("serial batch"),
+        banked.encrypt_lines(&jobs).expect("banked batch"),
+        "bank count must not change ciphertexts"
+    );
+    let batch_bytes = (WORKING_SET * 64) as u64;
+    let m_serial = b.run_bytes(&format!("lines_x{WORKING_SET}/serial"), batch_bytes, || {
+        serial.encrypt_lines(&jobs).expect("encrypt")
+    });
+    let m_banked = b.run_bytes(
+        &format!("lines_x{WORKING_SET}/4_banks"),
+        batch_bytes,
+        || banked.encrypt_lines(&jobs).expect("encrypt"),
+    );
+
+    let lines_per_sec = |ns_per_line: f64| 1.0e9 / ns_per_line;
+    let json = format!(
+        "{{\n  \"working_set_lines\": {WORKING_SET},\n  \
+         \"cached_lines_per_sec\": {:.0},\n  \
+         \"uncached_lines_per_sec\": {:.0},\n  \
+         \"cached_speedup\": {:.2},\n  \
+         \"serial_batch_lines_per_sec\": {:.0},\n  \
+         \"banked4_batch_lines_per_sec\": {:.0},\n  \
+         \"min_cached_speedup_gate\": {MIN_CACHED_SPEEDUP}\n}}\n",
+        lines_per_sec(warm.ns_per_iter),
+        lines_per_sec(cold.ns_per_iter),
+        speedup,
+        lines_per_sec(m_serial.ns_per_iter / WORKING_SET as f64),
+        lines_per_sec(m_banked.ns_per_iter / WORKING_SET as f64),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_line.json");
+    std::fs::write(path, &json).expect("write BENCH_line.json");
+    println!("line/BENCH_line.json written:\n{json}");
+}

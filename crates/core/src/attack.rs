@@ -37,8 +37,8 @@ pub fn wrong_order_decrypt(
     specu: &Specu,
     plaintext: &[u8; BLOCK_BYTES],
 ) -> Result<WrongOrderReport, SpeError> {
-    let block = specu.context()?.encrypt_block_inner(plaintext, 0)?;
-    let correct = specu.context()?.decrypt_block_inner(&block)?;
+    let block = specu.context()?.encrypt_block(plaintext, 0)?;
+    let correct = specu.context()?.decrypt_block(&block)?;
 
     // Wrong order: replay the *forward* schedule inverses (first PoE first).
     let schedule = specu.schedule(block.tweak())?;
@@ -100,7 +100,7 @@ pub fn known_plaintext_ambiguity(
     plaintext: &[u8; BLOCK_BYTES],
     tolerance: f64,
 ) -> Result<Vec<AmbiguityReport>, SpeError> {
-    let block = specu.context()?.encrypt_block_inner(plaintext, 0)?;
+    let block = specu.context()?.encrypt_block(plaintext, 0)?;
     let schedule = specu.schedule(block.tweak())?;
 
     // Forward-simulate to get pre/post states (the attacker has these for a

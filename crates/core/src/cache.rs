@@ -1,0 +1,314 @@
+//! The line-datapath schedule cache.
+//!
+//! Everything the SPECU derives per block that does *not* depend on the
+//! payload — the keyed PoE permutation + pulse schedule and, for the
+//! closed-loop variant, the fully expanded per-round pulse trains — is a
+//! pure function of `(key, tweak, calibration)`. The cache memoizes that
+//! derivation so consecutive line operations (an L2 miss stream hitting
+//! the same working set) pay only the cheap payload-dependent apply step.
+//!
+//! ## Key-epoch invalidation
+//!
+//! Entries are keyed by `(key epoch, tweak)`. The cache never inspects key
+//! material: every keyed context draws a fresh epoch from
+//! [`ScheduleCache::next_epoch`] when it is built (including
+//! `load_key`/`rekeyed`), so entries derived under an old key can never be
+//! returned to a context holding a new one — a stale schedule cannot
+//! decrypt a block sealed after rotation. Orphaned epochs age out through
+//! normal LRU eviction.
+//!
+//! ## Concurrency
+//!
+//! The map is sharded by tweak (one shard per group of banks), so the
+//! multi-bank datapath's workers fan out over disjoint shards. The hit
+//! path takes only a shared read guard and bumps a relaxed atomic LRU
+//! stamp — no exclusive lock is ever held while reading. Exclusive locks
+//! are confined to the miss path (insert + possible eviction).
+//!
+//! ## Memory bound
+//!
+//! Capacity is fixed at construction and divided evenly across shards;
+//! each shard evicts its least-recently-stamped entry before growing past
+//! its share, so the total entry count never exceeds
+//! `shard_count * ceil(capacity / shard_count)`. One entry holds a 16-step
+//! pulse schedule plus `rounds × 16` trains of ~11 member cells — a few
+//! KiB — so the default capacity of [`DEFAULT_CACHE_LINES`] blocks stays
+//! in the low MiB.
+
+use crate::schedule::PulseSchedule;
+use spe_crossbar::CellAddr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One closed-loop pulse train: the PoE it fires at, its member cells,
+/// per-member keyed level steps and the pulse polarity.
+///
+/// `idxs` holds the members' flat row-major indices, resolved once at
+/// derivation time: the address→index mapping is payload-independent, so
+/// caching it here keeps the per-step apply loop free of address
+/// arithmetic (see [`crate::discrete::DiscreteArray::apply_train_indexed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Train {
+    /// The point of encryption this train fires at.
+    pub poe: CellAddr,
+    /// Member cells, sorted in address order.
+    pub members: Vec<CellAddr>,
+    /// `members` resolved to flat row-major indices on the cipher array.
+    pub idxs: Vec<u16>,
+    /// Independent keyed level step per member.
+    pub steps: Vec<u8>,
+    /// Pulse polarity (`1` set, `-1` reset).
+    pub dir: i8,
+}
+
+/// Default schedule-cache capacity in blocks (four per cache line).
+pub const DEFAULT_CACHE_LINES: usize = 1024;
+
+/// Shards the cache map so bank workers contend on disjoint locks.
+const SHARD_COUNT: usize = 8;
+
+/// Everything payload-independent the SPECU derives for one block tweak:
+/// the keyed pulse schedule and (closed-loop variant) the expanded pulse
+/// trains for every round. Shared read-only behind an [`Arc`] once built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedSchedule {
+    /// The keyed PoE permutation + pulse selection.
+    pub schedule: PulseSchedule,
+    /// Per-round pulse trains (empty for the analog variant, which applies
+    /// the schedule directly).
+    pub trains: Vec<Vec<Train>>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Relaxed LRU stamp: bumped on every hit, compared on eviction.
+    stamp: AtomicU64,
+    plan: Arc<DerivedSchedule>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: RwLock<HashMap<(u64, u64), Entry>>,
+}
+
+/// A bounded, sharded, key-epoch-invalidated memo of derived schedules.
+///
+/// See the module docs for the invalidation and concurrency contract.
+#[derive(Debug)]
+pub struct ScheduleCache {
+    shards: Vec<Shard>,
+    shard_capacity: usize,
+    /// Monotonic logical clock for LRU stamps.
+    clock: AtomicU64,
+    /// Key-epoch allocator: every keyed context draws one.
+    epochs: AtomicU64,
+}
+
+/// Recovers a read guard from a poisoned lock: a panic elsewhere cannot
+/// corrupt the map structurally (entries are inserted/removed whole), so
+/// serving stale-but-consistent entries beats poisoning every bank.
+fn read_map(shard: &Shard) -> std::sync::RwLockReadGuard<'_, HashMap<(u64, u64), Entry>> {
+    shard
+        .map
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_map(shard: &Shard) -> std::sync::RwLockWriteGuard<'_, HashMap<(u64, u64), Entry>> {
+    shard
+        .map
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl ScheduleCache {
+    /// A cache holding at most (about) `capacity` derived block schedules;
+    /// `0` disables caching entirely (every lookup misses, inserts are
+    /// dropped).
+    pub fn new(capacity: usize) -> Self {
+        let shard_capacity = capacity.div_ceil(SHARD_COUNT);
+        ScheduleCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            shard_capacity,
+            clock: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.shard_capacity > 0
+    }
+
+    /// The per-shard entry bound times the shard count: the hard ceiling
+    /// on resident entries.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARD_COUNT
+    }
+
+    /// Allocates a fresh key epoch. Called once per keyed context; the
+    /// returned epoch has never been used before, so no cached entry can
+    /// match it until that context inserts one.
+    pub fn next_epoch(&self) -> u64 {
+        self.epochs.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard(&self, tweak: u64) -> &Shard {
+        &self.shards[(tweak as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Looks up the derived schedule for `(epoch, tweak)`, refreshing its
+    /// LRU stamp on a hit. Read-lock only.
+    pub fn get(&self, epoch: u64, tweak: u64) -> Option<Arc<DerivedSchedule>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let map = read_map(self.shard(tweak));
+        map.get(&(epoch, tweak)).map(|entry| {
+            entry.stamp.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            Arc::clone(&entry.plan)
+        })
+    }
+
+    /// Inserts a freshly derived schedule, evicting least-recently-used
+    /// entries if the shard is full. Returns how many entries were
+    /// evicted (for the caller's telemetry).
+    pub fn insert(&self, epoch: u64, tweak: u64, plan: Arc<DerivedSchedule>) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut map = write_map(self.shard(tweak));
+        let mut evicted = 0;
+        let key = (epoch, tweak);
+        while !map.contains_key(&key) && map.len() >= self.shard_capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                stamp: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+                plan,
+            },
+        );
+        evicted
+    }
+
+    /// Resident entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_map(s).len()).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        ScheduleCache::new(DEFAULT_CACHE_LINES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Arc<DerivedSchedule> {
+        Arc::new(DerivedSchedule {
+            schedule: PulseSchedule::default(),
+            trains: Vec::new(),
+        })
+    }
+
+    /// Tweaks that all land in shard 0 (low bits zero), so per-shard
+    /// capacity is exercised deterministically.
+    fn same_shard_tweak(i: u64) -> u64 {
+        i * SHARD_COUNT as u64
+    }
+
+    #[test]
+    fn get_misses_then_hits_after_insert() {
+        let cache = ScheduleCache::new(16);
+        let epoch = cache.next_epoch();
+        assert!(cache.get(epoch, 7).is_none());
+        cache.insert(epoch, 7, plan());
+        let hit = cache.get(epoch, 7).expect("hit");
+        assert!(hit.trains.is_empty());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epochs_partition_the_key_space() {
+        // Key rotation = a fresh epoch: entries derived under the old key
+        // are unreachable from the new context, so a stale schedule can
+        // never decrypt a block sealed under the new key.
+        let cache = ScheduleCache::new(16);
+        let old = cache.next_epoch();
+        cache.insert(old, 3, plan());
+        let new = cache.next_epoch();
+        assert_ne!(old, new);
+        assert!(cache.get(new, 3).is_none(), "stale entry must not match");
+        assert!(cache.get(old, 3).is_some(), "old epoch still resolves");
+    }
+
+    #[test]
+    fn eviction_respects_lru_order() {
+        // Per-shard capacity 2 (total 16 across 8 shards); fill one shard.
+        let cache = ScheduleCache::new(16);
+        let epoch = cache.next_epoch();
+        cache.insert(epoch, same_shard_tweak(1), plan());
+        cache.insert(epoch, same_shard_tweak(2), plan());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(epoch, same_shard_tweak(1)).is_some());
+        let evicted = cache.insert(epoch, same_shard_tweak(3), plan());
+        assert_eq!(evicted, 1);
+        assert!(cache.get(epoch, same_shard_tweak(1)).is_some());
+        assert!(cache.get(epoch, same_shard_tweak(2)).is_none(), "LRU gone");
+        assert!(cache.get(epoch, same_shard_tweak(3)).is_some());
+    }
+
+    #[test]
+    fn capacity_bounds_resident_entries() {
+        let cache = ScheduleCache::new(16);
+        let epoch = cache.next_epoch();
+        for t in 0..200 {
+            cache.insert(epoch, t, plan());
+        }
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ScheduleCache::new(0);
+        let epoch = cache.next_epoch();
+        assert_eq!(cache.insert(epoch, 1, plan()), 0);
+        assert!(cache.get(epoch, 1).is_none());
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ScheduleCache::new(16);
+        let epoch = cache.next_epoch();
+        cache.insert(epoch, same_shard_tweak(1), plan());
+        cache.insert(epoch, same_shard_tweak(2), plan());
+        assert_eq!(cache.insert(epoch, same_shard_tweak(2), plan()), 0);
+        assert!(cache.get(epoch, same_shard_tweak(1)).is_some());
+    }
+}

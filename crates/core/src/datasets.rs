@@ -252,8 +252,8 @@ fn hardware_avalanche_banked(
     let blocks = fan_out(banks, trials, |i| {
         let idx = i % perturbed.len();
         let tweak = tweak_base.wrapping_add((i / perturbed.len()) as u64);
-        let base = nominal.encrypt_block_inner(&zero_pt, tweak)?.data();
-        let varied = perturbed[idx].encrypt_block_inner(&zero_pt, tweak)?.data();
+        let base = nominal.encrypt_block(&zero_pt, tweak)?.data();
+        let varied = perturbed[idx].encrypt_block(&zero_pt, tweak)?.data();
         Ok(xor_block(&base, &varied))
     })?;
     Ok(blocks.concat())

@@ -85,48 +85,113 @@ impl DiscreteArray {
     /// independent keyed level step and `mix_k` a weighted mod-4 sum of the
     /// *other* members' levels under the triangular sweep.
     ///
-    /// `members` must be sorted (the SPECU passes the geometric membership
-    /// in address order).
+    /// `members` must be sorted and distinct (the SPECU passes the
+    /// geometric membership in address order).
+    ///
+    /// The receiver-dependent context weight `w = 1 + 2·((k + m) & 1)`
+    /// depends only on the *parity* of `k + m`, so each member's mix is a
+    /// combination of two running conductance sums (even-position and
+    /// odd-position members) maintained incrementally across the sweep.
+    /// That makes the whole train O(members) instead of O(members²) —
+    /// with the same arithmetic, bit for bit — which is what lets the
+    /// schedule cache turn line ops into pure apply cost.
     ///
     /// # Panics
     ///
     /// Panics if `steps.len() != members.len()`.
     pub fn apply_train(&mut self, members: &[CellAddr], steps: &[u8], dir: i8, inverse: bool) {
-        assert_eq!(steps.len(), members.len(), "one step per member");
-        let idxs: Vec<usize> = members.iter().map(|a| self.dims.index(*a)).collect();
-        let order: Vec<usize> = if inverse {
-            (0..idxs.len()).rev().collect()
-        } else {
-            (0..idxs.len()).collect()
-        };
-        for k in order {
-            // Receiver-dependent weighted context (weights 1 and 3 are the
-            // units mod 4, patterned on (k + m) so every member sees its
-            // neighbours differently — this spreads a one-cell change into
-            // distinct deltas instead of a uniform shift). The independent
-            // per-member steps keep deltas uniform over the key even though
-            // the context is data-dependent, and the triangular sweep keeps
-            // the whole train exactly reconstructible during inversion.
-            let mut mix = 0u32;
-            for (m, idx) in idxs.iter().enumerate() {
-                if m != k {
-                    let w = 1 + 2 * ((k as u32 + m as u32) & 1);
-                    mix += w * CONDUCTANCE[self.levels[*idx] as usize];
-                }
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and distinct"
+        );
+        let idxs: Vec<u16> = members
+            .iter()
+            .map(|a| u16::try_from(self.dims.index(*a)).expect("cipher array exceeds u16 indices"))
+            .collect();
+        self.apply_train_indexed(&idxs, steps, dir, inverse);
+    }
+
+    /// [`Self::apply_train`] over pre-resolved flat cell indices — the
+    /// cached-schedule hot path. The address→index mapping is
+    /// payload-independent, so derivation resolves it once
+    /// ([`crate::cache::Train::idxs`]) and every subsequent apply skips the
+    /// per-step address arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps.len() != idxs.len()` or an index is out of range.
+    pub fn apply_train_indexed(&mut self, idxs: &[u16], steps: &[u8], dir: i8, inverse: bool) {
+        assert_eq!(steps.len(), idxs.len(), "one step per member");
+        // Running context sums over the *current* levels: the triangular
+        // sweep updates one member at a time, so each step only moves its
+        // own conductance contribution between the sums. The independent
+        // per-member steps keep deltas uniform over the key even though
+        // the context is data-dependent, and the triangular sweep keeps
+        // the whole train exactly reconstructible during inversion.
+        let mut even_sum = 0u32;
+        let mut odd_sum = 0u32;
+        for (m, &idx) in idxs.iter().enumerate() {
+            let c = CONDUCTANCE[self.levels[idx as usize] as usize];
+            if m & 1 == 0 {
+                even_sum += c;
+            } else {
+                odd_sum += c;
             }
-            let delta = (steps[k] as u32 + mix) % LEVELS as u32;
-            let delta = if dir < 0 {
-                (LEVELS as u32 - delta) % LEVELS as u32
-            } else {
-                delta
-            };
-            let idx = idxs[k];
-            let cur = self.levels[idx] as u32;
-            self.levels[idx] = if inverse {
-                ((cur + LEVELS as u32 - delta) % LEVELS as u32) as u8
-            } else {
-                ((cur + delta) % LEVELS as u32) as u8
-            };
+        }
+        let n = idxs.len();
+        if inverse {
+            for k in (0..n).rev() {
+                self.train_step(idxs, steps, dir, true, k, &mut even_sum, &mut odd_sum);
+            }
+        } else {
+            for k in 0..n {
+                self.train_step(idxs, steps, dir, false, k, &mut even_sum, &mut odd_sum);
+            }
+        }
+    }
+
+    /// One member update of a pulse train: member `k` moves by its keyed
+    /// step plus the weighted conductance context of the other members
+    /// (weights 1 and 3 — the units mod 4 — patterned on the parity of
+    /// `k + m` so every member sees its neighbours differently).
+    #[allow(clippy::too_many_arguments)]
+    fn train_step(
+        &mut self,
+        idxs: &[u16],
+        steps: &[u8],
+        dir: i8,
+        inverse: bool,
+        k: usize,
+        even_sum: &mut u32,
+        odd_sum: &mut u32,
+    ) {
+        let idx = idxs[k] as usize;
+        let c_before = CONDUCTANCE[self.levels[idx] as usize];
+        // Same-parity members contribute with weight 1 (minus self),
+        // opposite-parity members with weight 3.
+        let mix = if k & 1 == 0 {
+            (*even_sum - c_before) + 3 * *odd_sum
+        } else {
+            3 * *even_sum + (*odd_sum - c_before)
+        };
+        let delta = (steps[k] as u32 + mix) % LEVELS as u32;
+        let delta = if dir < 0 {
+            (LEVELS as u32 - delta) % LEVELS as u32
+        } else {
+            delta
+        };
+        let cur = self.levels[idx] as u32;
+        let next = if inverse {
+            ((cur + LEVELS as u32 - delta) % LEVELS as u32) as u8
+        } else {
+            ((cur + delta) % LEVELS as u32) as u8
+        };
+        self.levels[idx] = next;
+        let c_after = CONDUCTANCE[next as usize];
+        if k & 1 == 0 {
+            *even_sum = *even_sum - c_before + c_after;
+        } else {
+            *odd_sum = *odd_sum - c_before + c_after;
         }
     }
 }
@@ -247,5 +312,67 @@ mod tests {
     fn set_levels_validates() {
         let mut arr = DiscreteArray::new(Dims::square8());
         assert!(arr.set_levels(&[0; 10]).is_err());
+    }
+
+    /// The original O(members²) mix loop, kept as the semantic reference
+    /// for the incremental parity-sum sweep.
+    fn reference_apply_train(
+        arr: &mut DiscreteArray,
+        members: &[CellAddr],
+        steps: &[u8],
+        dir: i8,
+        inverse: bool,
+    ) {
+        let idxs: Vec<usize> = members.iter().map(|a| arr.dims.index(*a)).collect();
+        let order: Vec<usize> = if inverse {
+            (0..idxs.len()).rev().collect()
+        } else {
+            (0..idxs.len()).collect()
+        };
+        for k in order {
+            let mut mix = 0u32;
+            for (m, idx) in idxs.iter().enumerate() {
+                if m != k {
+                    let w = 1 + 2 * ((k as u32 + m as u32) & 1);
+                    mix += w * CONDUCTANCE[arr.levels[*idx] as usize];
+                }
+            }
+            let delta = (steps[k] as u32 + mix) % LEVELS as u32;
+            let delta = if dir < 0 {
+                (LEVELS as u32 - delta) % LEVELS as u32
+            } else {
+                delta
+            };
+            let idx = idxs[k];
+            let cur = arr.levels[idx] as u32;
+            arr.levels[idx] = if inverse {
+                ((cur + LEVELS as u32 - delta) % LEVELS as u32) as u8
+            } else {
+                ((cur + delta) % LEVELS as u32) as u8
+            };
+        }
+    }
+
+    #[test]
+    fn parity_sum_sweep_matches_quadratic_reference() {
+        // The O(members) rewrite must be arithmetically identical to the
+        // original loop — cached and uncached ciphertexts both rest on it.
+        let dims = Dims::square8();
+        let m = members(&[(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (0, 2), (2, 0)]);
+        for seed in 0..8u64 {
+            let steps = random_levels(seed.wrapping_mul(77).wrapping_add(5), m.len());
+            for (dir, inverse) in [(1i8, false), (1, true), (-1, false), (-1, true)] {
+                let mut fast = DiscreteArray::new(dims);
+                fast.set_levels(&random_levels(seed, 64)).expect("set");
+                let mut slow = fast.clone();
+                fast.apply_train(&m, &steps, dir, inverse);
+                reference_apply_train(&mut slow, &m, &steps, dir, inverse);
+                assert_eq!(
+                    fast.levels(),
+                    slow.levels(),
+                    "seed {seed} dir {dir} inverse {inverse}"
+                );
+            }
+        }
     }
 }

@@ -101,14 +101,12 @@ impl BlockEngine for SpeContext {
         plaintext: &[u8; LINE_BYTES],
         address: u64,
     ) -> Result<SealedLine, SpeError> {
-        Ok(SealedLine::Spe(
-            self.encrypt_line_inner(plaintext, address)?,
-        ))
+        Ok(SealedLine::Spe(self.encrypt_line(plaintext, address)?))
     }
 
     fn decrypt_line(&self, sealed: &SealedLine) -> Result<[u8; LINE_BYTES], SpeError> {
         match sealed {
-            SealedLine::Spe(line) => self.decrypt_line_inner(line),
+            SealedLine::Spe(line) => self.decrypt_line(line),
             SealedLine::Bytes { .. } => {
                 Err(SpeError::Internal("SPE engine handed a byte-sealed line"))
             }

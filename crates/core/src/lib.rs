@@ -52,6 +52,7 @@
 pub mod analysis;
 pub mod attack;
 pub mod bignum;
+pub mod cache;
 pub mod datasets;
 pub mod discrete;
 pub mod engine;
@@ -68,6 +69,7 @@ pub mod specu;
 pub mod tpm;
 
 pub use bignum::BigUint;
+pub use cache::{DerivedSchedule, ScheduleCache};
 pub use engine::{BlockEngine, EngineOp, SealedLine};
 pub use error::SpeError;
 pub use key::Key;

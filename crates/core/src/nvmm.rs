@@ -74,7 +74,7 @@ impl SecureNvmm {
         if !self.powered {
             return Err(SpeError::KeyNotLoaded);
         }
-        let line = self.specu.context()?.encrypt_line_inner(data, address)?;
+        let line = self.specu.context()?.encrypt_line(data, address)?;
         self.lines.insert(address, LineSlot::Encrypted(line));
         Ok(())
     }
@@ -99,12 +99,12 @@ impl SecureNvmm {
         match slot {
             LineSlot::Plain(data) => Ok(*data),
             LineSlot::Encrypted(line) => {
-                let data = self.specu.context()?.decrypt_line_inner(line)?;
+                let data = self.specu.context()?.decrypt_line(line)?;
                 match self.mode {
                     SpeMode::Parallel => {
                         // Fresh encryption (the schedule is deterministic in
                         // the tweak, but the analog path is replayed).
-                        let line = self.specu.context()?.encrypt_line_inner(&data, address)?;
+                        let line = self.specu.context()?.encrypt_line(&data, address)?;
                         self.lines.insert(address, LineSlot::Encrypted(line));
                     }
                     SpeMode::Serial => {
@@ -158,7 +158,7 @@ impl SecureNvmm {
             .collect();
         let count = exposed.len();
         for (address, data) in exposed {
-            let line = self.specu.context()?.encrypt_line_inner(&data, address)?;
+            let line = self.specu.context()?.encrypt_line(&data, address)?;
             self.lines.insert(address, LineSlot::Encrypted(line));
         }
         Ok(count)
@@ -203,7 +203,7 @@ impl SecureNvmm {
         // Phase 2: re-encrypt everything under the new key.
         self.specu.load_key(new_key);
         for (address, data) in &plaintexts {
-            let line = self.specu.context()?.encrypt_line_inner(data, *address)?;
+            let line = self.specu.context()?.encrypt_line(data, *address)?;
             self.lines.insert(*address, LineSlot::Encrypted(line));
         }
         Ok(plaintexts.len())

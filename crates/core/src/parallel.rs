@@ -143,14 +143,14 @@ impl ParallelSpecu {
         line_address: u64,
     ) -> Result<CipherLine, SpeError> {
         if self.banks == 1 {
-            return self.context.encrypt_line_inner(plaintext, line_address);
+            return self.context.encrypt_line(plaintext, line_address);
         }
         let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
         let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            ctx.encrypt_block_inner(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)
+            ctx.encrypt_block(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)
         })?;
         Ok(CipherLine { blocks: results })
     }
@@ -168,12 +168,12 @@ impl ParallelSpecu {
             });
         }
         if self.banks == 1 {
-            return self.context.decrypt_line_inner(line);
+            return self.context.decrypt_line(line);
         }
         let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
         let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
-            ctx.decrypt_block_inner(&line.blocks[i])
+            ctx.decrypt_block(&line.blocks[i])
         })?;
         let mut out = [0u8; LINE_BYTES];
         for (i, pt) in blocks.iter().enumerate() {
@@ -191,7 +191,7 @@ impl ParallelSpecu {
         let ctx = &self.context;
         self.record_fan_out(jobs.len());
         fan_out(self.banks, jobs.len(), |i| {
-            ctx.encrypt_line_inner(&jobs[i].plaintext, jobs[i].address)
+            ctx.encrypt_line(&jobs[i].plaintext, jobs[i].address)
         })
     }
 
@@ -203,9 +203,7 @@ impl ParallelSpecu {
     pub fn decrypt_lines(&self, lines: &[CipherLine]) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
         let ctx = &self.context;
         self.record_fan_out(lines.len());
-        fan_out(self.banks, lines.len(), |i| {
-            ctx.decrypt_line_inner(&lines[i])
-        })
+        fan_out(self.banks, lines.len(), |i| ctx.decrypt_line(&lines[i]))
     }
 
     /// Encrypts one line through the resilient (write-verify/retry/remap)
@@ -230,14 +228,14 @@ impl ParallelSpecu {
         if self.banks == 1 {
             return self
                 .context
-                .encrypt_line_resilient_inner(plaintext, line_address, policy);
+                .encrypt_line_resilient(plaintext, line_address, policy);
         }
         let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
         let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            ctx.encrypt_block_resilient_inner(
+            ctx.encrypt_block_resilient(
                 &block,
                 line_address * BLOCKS_PER_LINE as u64 + i as u64,
                 policy,
@@ -266,7 +264,7 @@ impl ParallelSpecu {
         let ctx = &self.context;
         self.record_fan_out(jobs.len());
         let results = fan_out(self.banks, jobs.len(), |i| {
-            ctx.encrypt_line_resilient_inner(&jobs[i].plaintext, jobs[i].address, policy)
+            ctx.encrypt_line_resilient(&jobs[i].plaintext, jobs[i].address, policy)
         })?;
         let mut counters = FaultCounters::default();
         let mut lines = Vec::with_capacity(results.len());
@@ -292,12 +290,12 @@ impl ParallelSpecu {
             });
         }
         if self.banks == 1 {
-            return self.context.decrypt_line_checked_inner(line);
+            return self.context.decrypt_line_checked(line);
         }
         let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
         let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
-            ctx.decrypt_block_checked_inner(&line.blocks[i])
+            ctx.decrypt_block_checked(&line.blocks[i])
         })?;
         let mut out = [0u8; LINE_BYTES];
         for (i, pt) in blocks.iter().enumerate() {
@@ -319,7 +317,7 @@ impl ParallelSpecu {
         let ctx = &self.context;
         self.record_fan_out(lines.len());
         fan_out(self.banks, lines.len(), |i| {
-            ctx.decrypt_line_checked_inner(&lines[i])
+            ctx.decrypt_line_checked(&lines[i])
         })
     }
 
@@ -336,10 +334,8 @@ impl ParallelSpecu {
         fan_out(self.banks, jobs.len(), |i| {
             let job = &jobs[i];
             match job.key {
-                Some(key) => ctx
-                    .rekeyed(key)
-                    .encrypt_block_inner(&job.plaintext, job.tweak),
-                None => ctx.encrypt_block_inner(&job.plaintext, job.tweak),
+                Some(key) => ctx.rekeyed(key).encrypt_block(&job.plaintext, job.tweak),
+                None => ctx.encrypt_block(&job.plaintext, job.tweak),
             }
         })
     }
@@ -394,8 +390,6 @@ where
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use crate::specu::Specu;
     use std::sync::OnceLock;
@@ -421,9 +415,10 @@ mod tests {
     fn parallel_line_matches_serial() {
         let s = specu();
         let par = s.parallel(4).expect("parallel");
+        let ctx = s.context().expect("context");
         for seed in 0..4 {
             let pt = line(seed);
-            let serial = s.encrypt_line(&pt, 0x100 + seed).expect("serial");
+            let serial = ctx.encrypt_line(&pt, 0x100 + seed).expect("serial");
             let banked = par.encrypt_line(&pt, 0x100 + seed).expect("parallel");
             assert_eq!(serial, banked, "seed {seed}");
             assert_eq!(par.decrypt_line(&banked).expect("decrypt"), pt);

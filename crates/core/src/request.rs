@@ -12,8 +12,8 @@
 //!   by every datapath. Call sites pick the backend (serial context,
 //!   stateful facade, multi-bank parallel) without changing the request.
 //!
-//! The legacy named methods survive as `#[deprecated]` wrappers and route
-//! through the same inner implementations, so both surfaces stay
+//! The request path routes through the same crate-private cipher
+//! implementations every backend shares, so all surfaces stay
 //! bit-identical.
 //!
 //! ```
@@ -269,26 +269,26 @@ impl SpeCipher for SpeContext {
             Payload::Block(pt) => {
                 if request.wants_resilient() {
                     let (block, faults) =
-                        self.encrypt_block_resilient_inner(pt, request.tweak, &request.policy())?;
+                        self.encrypt_block_resilient(pt, request.tweak, &request.policy())?;
                     Ok(CipherResponse {
                         output: CipherOutput::Block(block),
                         faults,
                     })
                 } else {
-                    let block = self.encrypt_block_inner(pt, request.tweak)?;
+                    let block = self.encrypt_block(pt, request.tweak)?;
                     Ok(CipherResponse::plain(CipherOutput::Block(block)))
                 }
             }
             Payload::Line(pt) => {
                 if request.wants_resilient() {
                     let (line, faults) =
-                        self.encrypt_line_resilient_inner(pt, request.tweak, &request.policy())?;
+                        self.encrypt_line_resilient(pt, request.tweak, &request.policy())?;
                     Ok(CipherResponse {
                         output: CipherOutput::Line(line),
                         faults,
                     })
                 } else {
-                    let line = self.encrypt_line_inner(pt, request.tweak)?;
+                    let line = self.encrypt_line(pt, request.tweak)?;
                     Ok(CipherResponse::plain(CipherOutput::Line(line)))
                 }
             }
@@ -302,15 +302,15 @@ impl SpeCipher for SpeContext {
         match &request.payload {
             Payload::SealedBlock(block) => {
                 let pt = match request.verify {
-                    Verify::Tag => self.decrypt_block_checked_inner(block)?,
-                    Verify::None => self.decrypt_block_inner(block)?,
+                    Verify::Tag => self.decrypt_block_checked(block)?,
+                    Verify::None => self.decrypt_block(block)?,
                 };
                 Ok(CipherResponse::plain(CipherOutput::PlainBlock(pt)))
             }
             Payload::SealedLine(line) => {
                 let pt = match request.verify {
-                    Verify::Tag => self.decrypt_line_checked_inner(line)?,
-                    Verify::None => self.decrypt_line_inner(line)?,
+                    Verify::Tag => self.decrypt_line_checked(line)?,
+                    Verify::None => self.decrypt_line(line)?,
                 };
                 Ok(CipherResponse::plain(CipherOutput::PlainLine(pt)))
             }
@@ -444,17 +444,20 @@ mod tests {
     }
 
     #[test]
-    fn requests_match_deprecated_methods() {
-        #![allow(deprecated)]
+    fn requests_match_the_context_datapath() {
         let s = specu();
         let pt = *b"two surfaces, 1!";
-        let old = s.encrypt_block_with_tweak(&pt, 3).expect("old");
-        let new = s
+        let direct = s
+            .context()
+            .expect("context")
+            .encrypt_block(&pt, 3)
+            .expect("direct");
+        let requested = s
             .encrypt(CipherRequest::block(pt).with_tweak(3))
-            .expect("new")
+            .expect("request")
             .into_block()
             .expect("block");
-        assert_eq!(old, new, "both surfaces share one datapath");
+        assert_eq!(direct, requested, "both surfaces share one datapath");
     }
 
     #[test]

@@ -7,15 +7,23 @@
 //! * [`SpeCalibration`] — key-independent hardware state (calibrated
 //!   kernel, behavioral dynamics constants, LUTs, template array). Built
 //!   once per configuration; shared by reference ([`std::sync::Arc`]).
-//! * [`SpeContext`] — an immutable keyed context over a calibration.
-//!   `encrypt_block`/`decrypt_block` take `&self`; the type is `Send +
-//!   Sync`, so any number of banks can encrypt concurrently. Per-call
-//!   scratch (the crossbar being pulsed) lives on the stack of the call.
+//! * [`SpeContext`] — an immutable keyed context over a calibration. All
+//!   cipher operations take `&self`; the type is `Send + Sync`, so any
+//!   number of banks can encrypt concurrently. Per-call scratch (the
+//!   crossbar being pulsed) lives on the stack of the call. Encryption
+//!   and decryption go through the unified request API
+//!   ([`crate::request::SpeCipher`]).
 //! * [`Specu`] — the thin stateful facade with the paper's power lifecycle
 //!   (volatile key register, `load_key`/`clear_key`).
 //!
+//! The payload-independent half of every block operation — the keyed
+//! schedule and the expanded pulse trains — is memoized in the
+//! calibration's [`ScheduleCache`] under the context's key epoch, so a
+//! line working set pays derivation once and apply cost thereafter.
+//!
 //! Multi-bank line/batch encryption lives in [`crate::parallel`].
 
+use crate::cache::{DerivedSchedule, ScheduleCache, Train};
 use crate::error::SpeError;
 use crate::key::Key;
 use crate::lut::{AddressLut, VoltageLut};
@@ -25,7 +33,7 @@ use spe_crossbar::fast::FastParams;
 use spe_crossbar::{CellAddr, Dims, FastArray, Kernel, WireParams};
 use spe_ilp::{PlacementProblem, PolyominoShape};
 use spe_memristor::{DeviceParams, MlcLevel};
-use spe_telemetry::{noop, Counter, Histogram, TelemetryHandle};
+use spe_telemetry::{noop, Counter, Histogram, Span, SpanTimer, TelemetryHandle};
 use std::fmt;
 use std::sync::Arc;
 
@@ -74,6 +82,10 @@ pub struct SpecuConfig {
     pub train_threshold: f64,
     /// Kernel calibration samples against the circuit engine.
     pub calibration_samples: usize,
+    /// Capacity of the line-datapath schedule cache in *blocks* (four per
+    /// cache line): how many derived `(key epoch, tweak)` schedules stay
+    /// resident. `0` disables caching (every block re-derives).
+    pub schedule_cache_lines: usize,
 }
 
 impl SpecuConfig {
@@ -107,6 +119,7 @@ impl Default for SpecuConfig {
             context_beta: 2.0,
             train_threshold: 0.35,
             calibration_samples: 4,
+            schedule_cache_lines: crate::cache::DEFAULT_CACHE_LINES,
         }
     }
 }
@@ -223,6 +236,10 @@ pub struct SpeCalibration {
     /// The calibrated template crossbar. Owns the kernel; per-call scratch
     /// arrays are cloned from it.
     template: FastArray,
+    /// The shared line-datapath schedule cache: derived `(key epoch,
+    /// tweak)` schedules, reused by every context/bank over this
+    /// calibration.
+    schedule_cache: ScheduleCache,
 }
 
 impl fmt::Debug for SpeCalibration {
@@ -283,12 +300,14 @@ impl SpeCalibration {
         // The template owns the kernel and device copies; everything else
         // reads them back through its accessors (no duplicate storage).
         let template = FastArray::new(dims, config.device.clone(), fast_params, kernel)?;
+        let schedule_cache = ScheduleCache::new(config.schedule_cache_lines);
         Ok(SpeCalibration {
             config,
             fast_params,
             addresses: AddressLut::new(poes),
             voltages: VoltageLut::default(),
             template,
+            schedule_cache,
         })
     }
 
@@ -315,6 +334,11 @@ impl SpeCalibration {
     /// The calibrated behavioral dynamics constants.
     pub fn fast_params(&self) -> &FastParams {
         &self.fast_params
+    }
+
+    /// The shared schedule cache (bounded, key-epoch-invalidated).
+    pub fn schedule_cache(&self) -> &ScheduleCache {
+        &self.schedule_cache
     }
 
     /// Encryption latency in NVMM cycles: one write pulse per PoE per round
@@ -354,6 +378,11 @@ impl SpeCalibration {
 pub struct SpeContext {
     calibration: Arc<SpeCalibration>,
     key: Key,
+    /// This context's slice of the shared schedule cache: drawn fresh from
+    /// the calibration's epoch allocator at construction, so entries
+    /// derived under any other key (or an earlier load of the same key)
+    /// can never be returned here.
+    epoch: u64,
     recorder: TelemetryHandle,
 }
 
@@ -364,31 +393,40 @@ impl SpeContext {
     ///
     /// Returns [`SpeError`] if calibration or PoE placement fails.
     pub fn new(key: Key, config: SpecuConfig) -> Result<Self, SpeError> {
-        Ok(SpeContext {
-            calibration: Arc::new(SpeCalibration::new(config)?),
+        Ok(SpeContext::with_calibration(
             key,
-            recorder: noop(),
-        })
+            Arc::new(SpeCalibration::new(config)?),
+        ))
     }
 
     /// Builds a context over an existing calibration (cheap: no
-    /// recalibration).
+    /// recalibration; a fresh key epoch is drawn from the shared schedule
+    /// cache).
     pub fn with_calibration(key: Key, calibration: Arc<SpeCalibration>) -> Self {
+        let epoch = calibration.schedule_cache.next_epoch();
         SpeContext {
             calibration,
             key,
+            epoch,
             recorder: noop(),
         }
     }
 
-    /// The same context under a different key (cheap: `Arc` clone). The
-    /// telemetry recorder carries over.
+    /// The same context under a different key (cheap: `Arc` clone plus a
+    /// fresh cache epoch — stale schedules are unreachable from the new
+    /// key). The telemetry recorder carries over.
     pub fn rekeyed(&self, key: Key) -> SpeContext {
         SpeContext {
             calibration: Arc::clone(&self.calibration),
             key,
+            epoch: self.calibration.schedule_cache.next_epoch(),
             recorder: Arc::clone(&self.recorder),
         }
+    }
+
+    /// The key epoch this context caches derived schedules under.
+    pub fn key_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The same context reporting datapath telemetry into `recorder`.
@@ -453,61 +491,69 @@ impl SpeContext {
             .add(Counter::SneakPathActivations, touched as u64);
     }
 
-    /// Encrypts a 16-byte block (tweak 0).
+    /// The payload-independent derivation for a block tweak: schedule plus
+    /// expanded pulse trains, served from the shared [`ScheduleCache`]
+    /// under this context's key epoch, derived (and inserted) on a miss.
     ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if the model rejects the pulse schedule.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..))`"
-    )]
-    pub fn encrypt_block(&self, plaintext: &[u8; BLOCK_BYTES]) -> Result<CipherBlock, SpeError> {
-        self.encrypt_block_inner(plaintext, 0)
+    /// Cached and fresh derivations are the same pure function of
+    /// `(key, tweak, calibration)`, so ciphertexts are byte-identical
+    /// either way.
+    pub fn derived_schedule(&self, tweak: u64) -> Arc<DerivedSchedule> {
+        let cache = &self.calibration.schedule_cache;
+        if cache.is_enabled() {
+            if let Some(hit) = cache.get(self.epoch, tweak) {
+                self.recorder.add(Counter::ScheduleCacheHits, 1);
+                return hit;
+            }
+            self.recorder.add(Counter::ScheduleCacheMisses, 1);
+        }
+        let plan = {
+            let _derive = SpanTimer::start(self.recorder.as_ref(), Span::ScheduleDerive);
+            let mut schedule = PulseSchedule::default();
+            self.schedule_into(tweak, &mut schedule);
+            let trains = match self.calibration.config.variant {
+                SpeVariant::ClosedLoop => self.train_steps(&schedule, tweak),
+                SpeVariant::Analog => Vec::new(),
+            };
+            Arc::new(DerivedSchedule { schedule, trains })
+        };
+        if cache.is_enabled() {
+            let evicted = cache.insert(self.epoch, tweak, Arc::clone(&plan));
+            if evicted > 0 {
+                self.recorder.add(Counter::ScheduleCacheEvictions, evicted);
+            }
+        }
+        plan
     }
 
     /// Encrypts a 16-byte block under a block-address tweak.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if the model rejects the pulse schedule.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).with_tweak(..))`"
-    )]
-    pub fn encrypt_block_with_tweak(
+    pub(crate) fn encrypt_block(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
     ) -> Result<CipherBlock, SpeError> {
-        self.encrypt_block_inner(plaintext, tweak)
+        let plan = self.derived_schedule(tweak);
+        self.encrypt_block_plan(plaintext, tweak, &plan)
     }
 
-    pub(crate) fn encrypt_block_inner(
+    /// Encrypts one block with an already-derived plan: only the
+    /// payload-dependent apply step remains.
+    fn encrypt_block_plan(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
-    ) -> Result<CipherBlock, SpeError> {
-        let mut schedule = PulseSchedule::default();
-        self.schedule_into(tweak, &mut schedule);
-        self.encrypt_block_scheduled(plaintext, tweak, &schedule)
-    }
-
-    /// Encrypts one block with an already-derived schedule (the line
-    /// datapath derives schedules into a reused buffer).
-    fn encrypt_block_scheduled(
-        &self,
-        plaintext: &[u8; BLOCK_BYTES],
-        tweak: u64,
-        schedule: &PulseSchedule,
+        plan: &DerivedSchedule,
     ) -> Result<CipherBlock, SpeError> {
         let cal = &*self.calibration;
         self.recorder.add(Counter::BlocksEncrypted, 1);
+        let _apply = SpanTimer::start(self.recorder.as_ref(), Span::ScheduleApply);
         match cal.config.variant {
             SpeVariant::Analog => {
                 // Per-call scratch: the session state of this encryption.
                 let mut arr = cal.template.clone();
                 arr.write_levels(&bytes_to_levels(plaintext))?;
                 for _ in 0..cal.config.rounds {
-                    for (poe, pulse) in schedule.steps() {
+                    for (poe, pulse) in plan.schedule.steps() {
                         let members = arr.apply_pulse(*poe, *pulse)?;
                         self.record_pulse(*poe, members.len());
                     }
@@ -525,12 +571,11 @@ impl SpeContext {
             SpeVariant::ClosedLoop => {
                 let mut arr = crate::discrete::DiscreteArray::new(Dims::square8());
                 arr.set_levels(&bytes_to_level_values(plaintext))?;
-                let trains = self.train_steps(schedule, tweak);
-                for round_trains in &trains {
-                    for (poe, members, steps, dir) in round_trains {
-                        self.record_pulse(*poe, members.len());
-                        self.recorder.add(Counter::TrainSteps, steps.len() as u64);
-                        arr.apply_train(members, steps, *dir, false);
+                for round_trains in &plan.trains {
+                    for t in round_trains {
+                        self.record_pulse(t.poe, t.members.len());
+                        self.recorder.add(Counter::TrainSteps, t.steps.len() as u64);
+                        arr.apply_train_indexed(&t.idxs, &t.steps, t.dir, false);
                     }
                 }
                 let data = level_values_to_bytes(arr.levels());
@@ -545,42 +590,27 @@ impl SpeContext {
     }
 
     /// Decrypts a block in place on the same (modelled) crossbar.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if the stored state has the wrong size.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..))`"
-    )]
-    pub fn decrypt_block(&self, block: &CipherBlock) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        self.decrypt_block_inner(block)
+    pub(crate) fn decrypt_block(&self, block: &CipherBlock) -> Result<[u8; BLOCK_BYTES], SpeError> {
+        let plan = self.derived_schedule(block.tweak);
+        self.decrypt_block_plan(block, &plan)
     }
 
-    pub(crate) fn decrypt_block_inner(
+    /// Decrypts one block with its already-derived *forward* plan (both
+    /// variants walk the forward schedule backwards).
+    fn decrypt_block_plan(
         &self,
         block: &CipherBlock,
-    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        let mut schedule = PulseSchedule::default();
-        self.schedule_into(block.tweak, &mut schedule);
-        self.decrypt_block_scheduled(block, &schedule)
-    }
-
-    /// Decrypts one block with its already-derived *forward* schedule (the
-    /// line datapath derives schedules into a reused buffer; both variants
-    /// walk the forward schedule backwards).
-    fn decrypt_block_scheduled(
-        &self,
-        block: &CipherBlock,
-        schedule: &PulseSchedule,
+        plan: &DerivedSchedule,
     ) -> Result<[u8; BLOCK_BYTES], SpeError> {
         let cal = &*self.calibration;
         self.recorder.add(Counter::BlocksDecrypted, 1);
+        let _apply = SpanTimer::start(self.recorder.as_ref(), Span::ScheduleApply);
         match cal.config.variant {
             SpeVariant::Analog => {
                 let mut arr = cal.template.clone();
                 arr.set_states(&block.states)?;
                 for _ in 0..cal.config.rounds {
-                    for (poe, pulse) in schedule.steps().iter().rev() {
+                    for (poe, pulse) in plan.schedule.steps().iter().rev() {
                         let members = arr.apply_pulse_inverse(*poe, *pulse)?;
                         self.record_pulse(*poe, members.len());
                     }
@@ -591,15 +621,14 @@ impl SpeContext {
                 let mut arr = crate::discrete::DiscreteArray::new(Dims::square8());
                 let levels: Vec<u8> = block.states.iter().map(|l| *l as u8).collect();
                 arr.set_levels(&levels)?;
-                // Regenerate the per-member step stream in *forward* order,
-                // then walk it backwards (the closed-loop inverse replays
-                // trains in reverse with inverted steps).
-                let trains = self.train_steps(schedule, block.tweak);
-                for round_trains in trains.iter().rev() {
-                    for (poe, members, steps, dir) in round_trains.iter().rev() {
-                        self.record_pulse(*poe, members.len());
-                        self.recorder.add(Counter::TrainSteps, steps.len() as u64);
-                        arr.apply_train(members, steps, *dir, true);
+                // The per-member step stream was derived in *forward*
+                // order; walk it backwards (the closed-loop inverse
+                // replays trains in reverse with inverted steps).
+                for round_trains in plan.trains.iter().rev() {
+                    for t in round_trains.iter().rev() {
+                        self.record_pulse(t.poe, t.members.len());
+                        self.recorder.add(Counter::TrainSteps, t.steps.len() as u64);
+                        arr.apply_train_indexed(&t.idxs, &t.steps, t.dir, true);
                     }
                 }
                 Ok(level_values_to_bytes(arr.levels()))
@@ -609,56 +638,26 @@ impl SpeContext {
 
     /// Encrypts a 64-byte cache line (four blocks, per-block tweaks derived
     /// from the line address).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if the model rejects a pulse schedule.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..))`"
-    )]
-    pub fn encrypt_line(
-        &self,
-        plaintext: &[u8; LINE_BYTES],
-        line_address: u64,
-    ) -> Result<CipherLine, SpeError> {
-        self.encrypt_line_inner(plaintext, line_address)
-    }
-
-    pub(crate) fn encrypt_line_inner(
+    pub(crate) fn encrypt_line(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
     ) -> Result<CipherLine, SpeError> {
         self.recorder.add(Counter::LinesEncrypted, 1);
+        let _line = SpanTimer::start(self.recorder.as_ref(), Span::EncryptLine);
         let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
-        // One schedule buffer serves all four block derivations.
-        let mut schedule = PulseSchedule::default();
         for i in 0..BLOCKS_PER_LINE {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
             let tweak = line_address * BLOCKS_PER_LINE as u64 + i as u64;
-            self.schedule_into(tweak, &mut schedule);
-            blocks.push(self.encrypt_block_scheduled(&block, tweak, &schedule)?);
+            let plan = self.derived_schedule(tweak);
+            blocks.push(self.encrypt_block_plan(&block, tweak, &plan)?);
         }
         Ok(CipherLine { blocks })
     }
 
     /// Decrypts a 64-byte cache line.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if the line is malformed.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..))`"
-    )]
-    pub fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
-        self.decrypt_line_inner(line)
-    }
-
-    pub(crate) fn decrypt_line_inner(
-        &self,
-        line: &CipherLine,
-    ) -> Result<[u8; LINE_BYTES], SpeError> {
+    pub(crate) fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
         if line.blocks.len() != BLOCKS_PER_LINE {
             return Err(SpeError::BadLength {
                 expected: BLOCKS_PER_LINE,
@@ -666,12 +665,11 @@ impl SpeContext {
             });
         }
         self.recorder.add(Counter::LinesDecrypted, 1);
+        let _line = SpanTimer::start(self.recorder.as_ref(), Span::DecryptLine);
         let mut out = [0u8; LINE_BYTES];
-        // One schedule buffer serves all four block derivations.
-        let mut schedule = PulseSchedule::default();
         for (i, block) in line.blocks.iter().enumerate() {
-            self.schedule_into(block.tweak, &mut schedule);
-            let pt = self.decrypt_block_scheduled(block, &schedule)?;
+            let plan = self.derived_schedule(block.tweak);
+            let pt = self.decrypt_block_plan(block, &plan)?;
             out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
@@ -679,31 +677,14 @@ impl SpeContext {
 
     /// Encrypts a block with write-verify, bounded retry and polyomino
     /// remapping under `policy`, and seals the result with a keyed
-    /// integrity tag (checked by [`SpeContext::decrypt_block_checked`]).
+    /// integrity tag (checked by the verified decrypt path).
     ///
     /// The fault machinery acts on the *physical commit* of each pulse
     /// train: transiently skipped writes are re-pulsed with exponential
     /// pulse-width backoff, and hard failures migrate the whole polyomino
     /// to a spare region. The logical level arithmetic is exact either
     /// way, so a successfully committed block round-trips bit-exactly.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError::FaultExhausted`] when a polyomino cannot be
-    /// committed in any spare region; the block is not stored.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).resilient(..))`"
-    )]
-    pub fn encrypt_block_resilient(
-        &self,
-        plaintext: &[u8; BLOCK_BYTES],
-        tweak: u64,
-        policy: &FaultPolicy,
-    ) -> Result<(CipherBlock, FaultCounters), SpeError> {
-        self.encrypt_block_resilient_inner(plaintext, tweak, policy)
-    }
-
-    pub(crate) fn encrypt_block_resilient_inner(
+    pub(crate) fn encrypt_block_resilient(
         &self,
         plaintext: &[u8; BLOCK_BYTES],
         tweak: u64,
@@ -731,17 +712,16 @@ impl SpeContext {
                         self.recorder.as_ref(),
                     )?;
                 }
-                self.encrypt_block_inner(plaintext, tweak)?
+                self.encrypt_block(plaintext, tweak)?
             }
             SpeVariant::ClosedLoop => {
-                let schedule = self.schedule(tweak);
+                let plan = self.derived_schedule(tweak);
                 self.recorder.add(Counter::BlocksEncrypted, 1);
                 let mut arr = crate::discrete::DiscreteArray::new(dims);
                 arr.set_levels(&bytes_to_level_values(plaintext))?;
-                let trains = self.train_steps(&schedule, tweak);
-                for (round, round_trains) in trains.iter().enumerate() {
-                    for (t, (poe, members, steps, dir)) in round_trains.iter().enumerate() {
-                        let cells: Vec<usize> = members.iter().map(|m| dims.index(*m)).collect();
+                for (round, round_trains) in plan.trains.iter().enumerate() {
+                    for (t, train) in round_trains.iter().enumerate() {
+                        let cells: Vec<usize> = train.idxs.iter().map(|&i| i as usize).collect();
                         let epoch = ((round as u64) << 32) | t as u64;
                         commit_train(
                             policy,
@@ -752,9 +732,10 @@ impl SpeContext {
                             &cells,
                             self.recorder.as_ref(),
                         )?;
-                        self.record_pulse(*poe, members.len());
-                        self.recorder.add(Counter::TrainSteps, steps.len() as u64);
-                        arr.apply_train(members, steps, *dir, false);
+                        self.record_pulse(train.poe, train.members.len());
+                        self.recorder
+                            .add(Counter::TrainSteps, train.steps.len() as u64);
+                        arr.apply_train_indexed(&train.idxs, &train.steps, train.dir, false);
                     }
                 }
                 let data = level_values_to_bytes(arr.levels());
@@ -778,21 +759,11 @@ impl SpeContext {
     /// or the recovered plaintext does not match it — i.e. the stored line
     /// is unrecoverably corrupted. Plaintext is never returned in that
     /// case.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..).verified())`"
-    )]
-    pub fn decrypt_block_checked(
+    pub(crate) fn decrypt_block_checked(
         &self,
         block: &CipherBlock,
     ) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        self.decrypt_block_checked_inner(block)
-    }
-
-    pub(crate) fn decrypt_block_checked_inner(
-        &self,
-        block: &CipherBlock,
-    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        let pt = self.decrypt_block_inner(block)?;
+        let pt = self.decrypt_block(block)?;
         match block.tag {
             Some(tag) if tag == self.block_tag(block.tweak, &pt) => {
                 self.recorder.add(Counter::TagsVerified, 1);
@@ -812,31 +783,20 @@ impl SpeContext {
     ///
     /// Returns [`SpeError::FaultExhausted`] if any block's polyomino
     /// cannot be committed.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..).resilient(..))`"
-    )]
-    pub fn encrypt_line_resilient(
-        &self,
-        plaintext: &[u8; LINE_BYTES],
-        line_address: u64,
-        policy: &FaultPolicy,
-    ) -> Result<(CipherLine, FaultCounters), SpeError> {
-        self.encrypt_line_resilient_inner(plaintext, line_address, policy)
-    }
-
-    pub(crate) fn encrypt_line_resilient_inner(
+    pub(crate) fn encrypt_line_resilient(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
         policy: &FaultPolicy,
     ) -> Result<(CipherLine, FaultCounters), SpeError> {
         self.recorder.add(Counter::LinesEncrypted, 1);
+        let _line = SpanTimer::start(self.recorder.as_ref(), Span::EncryptLine);
         let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
         let mut counters = FaultCounters::default();
         for i in 0..BLOCKS_PER_LINE {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            let (cb, c) = self.encrypt_block_resilient_inner(
+            let (cb, c) = self.encrypt_block_resilient(
                 &block,
                 line_address * BLOCKS_PER_LINE as u64 + i as u64,
                 policy,
@@ -853,14 +813,7 @@ impl SpeContext {
     ///
     /// Returns [`SpeError::IntegrityViolation`] for the first corrupted or
     /// untagged block, or [`SpeError::BadLength`] if the line is malformed.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..).verified())`"
-    )]
-    pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
-        self.decrypt_line_checked_inner(line)
-    }
-
-    pub(crate) fn decrypt_line_checked_inner(
+    pub(crate) fn decrypt_line_checked(
         &self,
         line: &CipherLine,
     ) -> Result<[u8; LINE_BYTES], SpeError> {
@@ -871,9 +824,10 @@ impl SpeContext {
             });
         }
         self.recorder.add(Counter::LinesDecrypted, 1);
+        let _line = SpanTimer::start(self.recorder.as_ref(), Span::DecryptLine);
         let mut out = [0u8; LINE_BYTES];
         for (i, block) in line.blocks.iter().enumerate() {
-            let pt = self.decrypt_block_checked_inner(block)?;
+            let pt = self.decrypt_block_checked(block)?;
             out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
@@ -933,7 +887,21 @@ impl SpeContext {
                     })
                     .collect();
                 let dir = if pulse.voltage >= 0.0 { 1 } else { -1 };
-                trains.push((*poe, members, steps, dir));
+                // Resolve member addresses to flat indices once, here at
+                // derivation time: the cached apply loop is then pure
+                // level arithmetic.
+                let dims = Dims::square8();
+                let idxs: Vec<u16> = members
+                    .iter()
+                    .map(|m| u16::try_from(dims.index(*m)).expect("8x8 indices fit u16"))
+                    .collect();
+                trains.push(Train {
+                    poe: *poe,
+                    members,
+                    idxs,
+                    steps,
+                    dir,
+                });
             };
             if round % 2 == 1 {
                 for (poe, pulse) in schedule.steps().iter().rev() {
@@ -1098,156 +1066,12 @@ impl Specu {
         Ok(self.context()?.schedule(tweak))
     }
 
-    /// Encrypts a 16-byte block (tweak 0).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or the model rejects the
-    /// pulse schedule.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..))`"
-    )]
-    pub fn encrypt_block(&self, plaintext: &[u8; BLOCK_BYTES]) -> Result<CipherBlock, SpeError> {
-        self.context()?.encrypt_block_inner(plaintext, 0)
-    }
-
-    /// Encrypts a 16-byte block under a block-address tweak.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or the model rejects the
-    /// pulse schedule.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).with_tweak(..))`"
-    )]
-    pub fn encrypt_block_with_tweak(
-        &self,
-        plaintext: &[u8; BLOCK_BYTES],
-        tweak: u64,
-    ) -> Result<CipherBlock, SpeError> {
-        self.context()?.encrypt_block_inner(plaintext, tweak)
-    }
-
-    /// Decrypts a block in place on the same (modelled) crossbar.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or the stored state has the
-    /// wrong size.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..))`"
-    )]
-    pub fn decrypt_block(&self, block: &CipherBlock) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        self.context()?.decrypt_block_inner(block)
-    }
-
-    /// Encrypts a 64-byte cache line (four blocks, per-block tweaks derived
-    /// from the line address).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..))`"
-    )]
-    pub fn encrypt_line(
-        &self,
-        plaintext: &[u8; LINE_BYTES],
-        line_address: u64,
-    ) -> Result<CipherLine, SpeError> {
-        self.context()?.encrypt_line_inner(plaintext, line_address)
-    }
-
-    /// Decrypts a 64-byte cache line.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or the line is malformed.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..))`"
-    )]
-    pub fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
-        self.context()?.decrypt_line_inner(line)
-    }
-
-    /// Encrypts a block with write-verify/retry/remap under `policy` (see
-    /// [`SpeContext::encrypt_block_resilient`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or fault recovery is
-    /// exhausted.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::block(..).resilient(..))`"
-    )]
-    pub fn encrypt_block_resilient(
-        &self,
-        plaintext: &[u8; BLOCK_BYTES],
-        tweak: u64,
-        policy: &FaultPolicy,
-    ) -> Result<(CipherBlock, FaultCounters), SpeError> {
-        self.context()?
-            .encrypt_block_resilient_inner(plaintext, tweak, policy)
-    }
-
-    /// Decrypts a block, verifying its integrity tag (see
-    /// [`SpeContext::decrypt_block_checked`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or the tag does not verify.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_block(..).verified())`"
-    )]
-    pub fn decrypt_block_checked(
-        &self,
-        block: &CipherBlock,
-    ) -> Result<[u8; BLOCK_BYTES], SpeError> {
-        self.context()?.decrypt_block_checked_inner(block)
-    }
-
-    /// Encrypts a cache line through the resilient path.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded or fault recovery is
-    /// exhausted.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::encrypt(CipherRequest::line(..).resilient(..))`"
-    )]
-    pub fn encrypt_line_resilient(
-        &self,
-        plaintext: &[u8; LINE_BYTES],
-        line_address: u64,
-        policy: &FaultPolicy,
-    ) -> Result<(CipherLine, FaultCounters), SpeError> {
-        self.context()?
-            .encrypt_line_resilient_inner(plaintext, line_address, policy)
-    }
-
-    /// Decrypts a cache line, verifying every block's integrity tag.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if no key is loaded, the line is malformed or a
-    /// block's tag does not verify.
-    #[deprecated(
-        note = "use the unified request API: `SpeCipher::decrypt(CipherRequest::sealed_line(..).verified())`"
-    )]
-    pub fn decrypt_line_checked(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
-        self.context()?.decrypt_line_checked_inner(line)
-    }
-
     /// Encryption latency in NVMM cycles: one write pulse per PoE (§6.4
     /// sizes the cold-boot window from these 16 operations).
     pub fn encryption_cycles(&self) -> u32 {
         self.calibration.encryption_cycles()
     }
 }
-
-/// One closed-loop pulse train: the PoE it fires at, its member cells,
-/// per-member keyed level steps and the pulse polarity.
-type Train = (CellAddr, Vec<CellAddr>, Vec<u8>, i8);
 
 /// Process-wide memo of ILP placements, keyed by (shape, PoE count): the
 /// hardware-avalanche dataset constructs many SPECUs over the same few
@@ -1344,11 +1168,8 @@ pub fn levels_to_bytes(levels: &[MlcLevel]) -> [u8; BLOCK_BYTES] {
 
 #[cfg(test)]
 mod tests {
-    // Legacy-surface coverage: the deprecated wrappers must keep working
-    // until they are removed.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::request::{CipherRequest, SpeCipher};
     use std::sync::OnceLock;
 
     // SPECU construction calibrates against the circuit engine; share one
@@ -1417,12 +1238,12 @@ mod tests {
         let s = specu();
         let ctx = s.context().expect("context");
         let pt = *b"shared referenc!";
-        let ct = ctx.encrypt_block(&pt).expect("encrypt");
+        let ct = ctx.encrypt_block(&pt, 0).expect("encrypt");
         assert_eq!(ctx.decrypt_block(&ct).expect("decrypt"), pt);
         // And concurrently from two threads over one &SpeContext.
         std::thread::scope(|scope| {
-            let a = scope.spawn(|| ctx.encrypt_block(&pt).expect("encrypt").data());
-            let b = scope.spawn(|| ctx.encrypt_block(&pt).expect("encrypt").data());
+            let a = scope.spawn(|| ctx.encrypt_block(&pt, 0).expect("encrypt").data());
+            let b = scope.spawn(|| ctx.encrypt_block(&pt, 0).expect("encrypt").data());
             assert_eq!(a.join().expect("join"), b.join().expect("join"));
         });
     }
@@ -1433,9 +1254,14 @@ mod tests {
         let ctx = s.context().expect("context");
         let other = ctx.rekeyed(Key::from_seed(99));
         assert!(Arc::ptr_eq(ctx.calibration(), other.calibration()));
+        assert_ne!(
+            ctx.key_epoch(),
+            other.key_epoch(),
+            "rekeying must draw a fresh cache epoch"
+        );
         let pt = *b"rekeyed context!";
-        let a = ctx.encrypt_block(&pt).expect("encrypt");
-        let b = other.encrypt_block(&pt).expect("encrypt");
+        let a = ctx.encrypt_block(&pt, 0).expect("encrypt");
+        let b = other.encrypt_block(&pt, 0).expect("encrypt");
         assert_ne!(a.data(), b.data(), "different keys, different ciphertext");
     }
 
@@ -1443,7 +1269,11 @@ mod tests {
     fn encrypt_changes_ciphertext() {
         let s = specu();
         let pt = *b"sixteen byte msg";
-        let ct = s.encrypt_block(&pt).expect("encrypt");
+        let ct = s
+            .encrypt(CipherRequest::block(pt))
+            .expect("encrypt")
+            .into_block()
+            .expect("block");
         assert_ne!(ct.data(), pt);
         // A healthy fraction of the 128 bits should flip.
         let flips: u32 = ct
@@ -1458,11 +1288,12 @@ mod tests {
     #[test]
     fn decrypt_recovers_plaintext() {
         let s = specu();
+        let ctx = s.context().expect("context");
         for seed in 0..8u8 {
             let pt: [u8; 16] =
                 core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
-            let ct = s.encrypt_block(&pt).expect("encrypt");
-            assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt, "seed {seed}");
+            let ct = ctx.encrypt_block(&pt, 0).expect("encrypt");
+            assert_eq!(ctx.decrypt_block(&ct).expect("decrypt"), pt, "seed {seed}");
         }
     }
 
@@ -1470,29 +1301,39 @@ mod tests {
     fn wrong_key_fails_to_decrypt() {
         let s = specu();
         let pt = *b"top secret block";
-        let ct = s.encrypt_block(&pt).expect("encrypt");
+        let ct = s
+            .context()
+            .expect("context")
+            .encrypt_block(&pt, 0)
+            .expect("encrypt");
         let mut other = specu();
         other.load_key(Key::from_seed(999));
-        let wrong = other.decrypt_block(&ct).expect("runs");
+        let wrong = other
+            .context()
+            .expect("context")
+            .decrypt_block(&ct)
+            .expect("runs");
         assert_ne!(wrong, pt, "a different key must not decrypt");
     }
 
     #[test]
     fn ciphertext_depends_on_tweak() {
         let s = specu();
+        let ctx = s.context().expect("context");
         let pt = [0u8; 16];
-        let a = s.encrypt_block_with_tweak(&pt, 0).expect("encrypt");
-        let b = s.encrypt_block_with_tweak(&pt, 1).expect("encrypt");
+        let a = ctx.encrypt_block(&pt, 0).expect("encrypt");
+        let b = ctx.encrypt_block(&pt, 1).expect("encrypt");
         assert_ne!(a.data(), b.data(), "tweak must decorrelate blocks");
     }
 
     #[test]
     fn line_roundtrip() {
         let s = specu();
+        let ctx = s.context().expect("context");
         let pt: [u8; 64] = core::array::from_fn(|i| (i * 11 + 3) as u8);
-        let line = s.encrypt_line(&pt, 0x40).expect("encrypt");
+        let line = ctx.encrypt_line(&pt, 0x40).expect("encrypt");
         assert_ne!(line.data(), pt);
-        assert_eq!(s.decrypt_line(&line).expect("decrypt"), pt);
+        assert_eq!(ctx.decrypt_line(&line).expect("decrypt"), pt);
     }
 
     #[test]
@@ -1501,11 +1342,11 @@ mod tests {
         s.clear_key();
         assert!(!s.key_loaded());
         assert!(matches!(
-            s.encrypt_block(&[0; 16]),
+            s.encrypt(CipherRequest::block([0; 16])),
             Err(SpeError::KeyNotLoaded)
         ));
         s.load_key(Key::from_seed(0xDAC));
-        assert!(s.encrypt_block(&[0; 16]).is_ok());
+        assert!(s.encrypt(CipherRequest::block([0; 16])).is_ok());
     }
 
     #[test]
@@ -1520,13 +1361,12 @@ mod tests {
         // Odd round counts use the alternating-direction schedule; the
         // reverse replay must still be exact.
         let s = Specu::with_config(Key::from_seed(5), SpecuConfig::statistical()).expect("specu");
+        let ctx = s.context().expect("context");
         for seed in 0..4u8 {
             let pt: [u8; 16] =
                 core::array::from_fn(|i| seed.wrapping_mul(53).wrapping_add(i as u8 * 7));
-            let ct = s
-                .encrypt_block_with_tweak(&pt, seed as u64)
-                .expect("encrypt");
-            assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt);
+            let ct = ctx.encrypt_block(&pt, seed as u64).expect("encrypt");
+            assert_eq!(ctx.decrypt_block(&ct).expect("decrypt"), pt);
         }
     }
 
@@ -1554,15 +1394,20 @@ mod tests {
         };
         let foreign = Specu::with_config(Key::from_seed(0xDAC), config).expect("specu");
         let pt = *b"hardware boundpt";
-        let c_nominal = nominal.encrypt_block(&pt).expect("encrypt");
-        let c_foreign = foreign.encrypt_block(&pt).expect("encrypt");
+        let nominal_ctx = nominal.context().expect("context");
+        let c_nominal = nominal_ctx.encrypt_block(&pt, 0).expect("encrypt");
+        let c_foreign = foreign
+            .context()
+            .expect("context")
+            .encrypt_block(&pt, 0)
+            .expect("encrypt");
         assert_ne!(
             c_nominal.data(),
             c_foreign.data(),
             "perturbed hardware must change the ciphertext"
         );
         // Moving the foreign ciphertext onto the nominal device fails.
-        let migrated = nominal.decrypt_block(&c_foreign).expect("runs");
+        let migrated = nominal_ctx.decrypt_block(&c_foreign).expect("runs");
         assert_ne!(
             migrated, pt,
             "ciphertext must not decrypt on other hardware"
@@ -1572,11 +1417,12 @@ mod tests {
     #[test]
     fn roundtrip_random_blocks() {
         let s = specu();
+        let ctx = s.context().expect("context");
         for case in 0..16u64 {
             let pt = splitmix_block(case.wrapping_mul(0x1234_5678).wrapping_add(1));
             let tweak = case * 67 % 1000;
-            let ct = s.encrypt_block_with_tweak(&pt, tweak).expect("encrypt");
-            assert_eq!(s.decrypt_block(&ct).expect("decrypt"), pt, "case {case}");
+            let ct = ctx.encrypt_block(&pt, tweak).expect("encrypt");
+            assert_eq!(ctx.decrypt_block(&ct).expect("decrypt"), pt, "case {case}");
         }
     }
 
@@ -1584,15 +1430,137 @@ mod tests {
     fn encryption_is_injective() {
         // Two distinct plaintexts never collide in ciphertext (bijection).
         let s = specu();
+        let ctx = s.context().expect("context");
         for case in 0..12u64 {
             let a = splitmix_block(case * 2 + 1);
             let b = splitmix_block(case * 2 + 2);
             if a == b {
                 continue;
             }
-            let ca = s.encrypt_block(&a).expect("encrypt");
-            let cb = s.encrypt_block(&b).expect("encrypt");
+            let ca = ctx.encrypt_block(&a, 0).expect("encrypt");
+            let cb = ctx.encrypt_block(&b, 0).expect("encrypt");
             assert_ne!(ca.data(), cb.data(), "case {case}");
         }
+    }
+
+    #[test]
+    fn cached_and_uncached_ciphertexts_are_byte_identical() {
+        // The schedule cache memoizes a pure function of (key, tweak,
+        // calibration): disabling it entirely must not change a single
+        // ciphertext byte, and either side can decrypt the other's output.
+        let cached = specu();
+        let uncached = Specu::with_config(
+            Key::from_seed(0xDAC),
+            SpecuConfig {
+                schedule_cache_lines: 0,
+                ..SpecuConfig::default()
+            },
+        )
+        .expect("specu");
+        let cached_ctx = cached.context().expect("context");
+        let uncached_ctx = uncached.context().expect("context");
+        assert!(!uncached_ctx.calibration().schedule_cache().is_enabled());
+        for addr in 0..4u64 {
+            let pt: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(addr as u8 + 3));
+            let warm = cached_ctx.encrypt_line(&pt, addr).expect("encrypt");
+            // Second pass is served from the cache; must be identical.
+            let hot = cached_ctx.encrypt_line(&pt, addr).expect("encrypt");
+            let cold = uncached_ctx.encrypt_line(&pt, addr).expect("encrypt");
+            assert_eq!(warm, hot, "addr {addr}: cache hit changed ciphertext");
+            assert_eq!(warm, cold, "addr {addr}: cached != uncached");
+            assert_eq!(uncached_ctx.decrypt_line(&warm).expect("decrypt"), pt);
+            assert_eq!(cached_ctx.decrypt_line(&cold).expect("decrypt"), pt);
+        }
+    }
+
+    #[test]
+    fn schedule_cache_accounts_hits_and_misses() {
+        use spe_telemetry::AtomicRecorder;
+        let recorder = Arc::new(AtomicRecorder::new());
+        let mut s = Specu::new(Key::from_seed(0x71)).expect("specu");
+        s.attach_recorder(recorder.clone());
+        let ctx = s.context().expect("context");
+        let pt: [u8; 64] = core::array::from_fn(|i| i as u8);
+        ctx.encrypt_line(&pt, 0x10).expect("encrypt");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::ScheduleCacheMisses), 4);
+        assert_eq!(snap.counter(Counter::ScheduleCacheHits), 0);
+        assert_eq!(snap.counter(Counter::ScheduleDerivations), 4);
+        // The same line again: all four block schedules come from the
+        // cache, nothing is re-derived.
+        ctx.encrypt_line(&pt, 0x10).expect("encrypt");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::ScheduleCacheMisses), 4);
+        assert_eq!(snap.counter(Counter::ScheduleCacheHits), 4);
+        assert_eq!(snap.counter(Counter::ScheduleDerivations), 4);
+        // Decrypting the line also hits (same tweaks, same epoch).
+        let line = ctx.encrypt_line(&pt, 0x10).expect("encrypt");
+        ctx.decrypt_line(&line).expect("decrypt");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::ScheduleCacheHits), 12);
+        assert_eq!(snap.counter(Counter::ScheduleDerivations), 4);
+    }
+
+    #[test]
+    fn schedule_cache_evicts_at_capacity() {
+        use spe_telemetry::AtomicRecorder;
+        let recorder = Arc::new(AtomicRecorder::new());
+        let mut s = Specu::with_config(
+            Key::from_seed(0x72),
+            SpecuConfig {
+                schedule_cache_lines: 8,
+                ..SpecuConfig::default()
+            },
+        )
+        .expect("specu");
+        s.attach_recorder(recorder.clone());
+        let ctx = s.context().expect("context");
+        let pt: [u8; 64] = core::array::from_fn(|i| i as u8 ^ 0x3C);
+        // Far more distinct block tweaks than the cache holds.
+        for addr in 0..64u64 {
+            ctx.encrypt_line(&pt, addr).expect("encrypt");
+        }
+        let snap = recorder.snapshot();
+        assert!(
+            snap.counter(Counter::ScheduleCacheEvictions) > 0,
+            "a 8-block cache must evict under 256 distinct tweaks"
+        );
+        let cache = ctx.calibration().schedule_cache();
+        assert!(cache.len() <= cache.capacity());
+        // Correctness is unaffected by eviction churn.
+        let line = ctx.encrypt_line(&pt, 7).expect("encrypt");
+        assert_eq!(ctx.decrypt_line(&line).expect("decrypt"), pt);
+    }
+
+    #[test]
+    fn key_rotation_never_reuses_stale_schedules() {
+        use spe_telemetry::AtomicRecorder;
+        let recorder = Arc::new(AtomicRecorder::new());
+        let mut s = Specu::new(Key::from_seed(0x73)).expect("specu");
+        s.attach_recorder(recorder.clone());
+        let pt: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(5));
+        let old_line = s
+            .context()
+            .expect("context")
+            .encrypt_line(&pt, 0x20)
+            .expect("encrypt");
+        let hits_before = recorder.snapshot().counter(Counter::ScheduleCacheHits);
+        // Rotate the key: same tweaks, but a fresh epoch — the warm
+        // entries must be unreachable.
+        s.load_key(Key::from_seed(0x74));
+        let ctx = s.context().expect("context");
+        let new_line = ctx.encrypt_line(&pt, 0x20).expect("encrypt");
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter(Counter::ScheduleCacheHits),
+            hits_before,
+            "no cache hit may cross a key rotation"
+        );
+        assert_ne!(old_line, new_line, "new key, new ciphertext");
+        // A block sealed under the new key decrypts correctly (fresh
+        // derivation, not a stale schedule)...
+        assert_eq!(ctx.decrypt_line(&new_line).expect("decrypt"), pt);
+        // ...and the old ciphertext no longer decrypts to the plaintext.
+        assert_ne!(ctx.decrypt_line(&old_line).expect("runs"), pt);
     }
 }

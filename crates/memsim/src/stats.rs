@@ -63,11 +63,17 @@ impl SimStats {
     ///
     /// # Panics
     ///
-    /// Panics if the runs retired different instruction counts.
+    /// Panics if the runs retired different instruction counts, or if the
+    /// baseline retired zero cycles (the ratio would be NaN/∞, not an
+    /// overhead).
     pub fn overhead_vs(&self, baseline: &SimStats) -> f64 {
         assert_eq!(
             self.instructions, baseline.instructions,
             "overhead comparison requires equal instruction counts"
+        );
+        assert!(
+            baseline.cycles > 0,
+            "overhead comparison requires a non-empty baseline run"
         );
         self.cycles as f64 / baseline.cycles as f64 - 1.0
     }

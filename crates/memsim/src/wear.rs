@@ -85,14 +85,19 @@ impl StartGap {
     }
 
     /// Max/mean wear ratio (1.0 = perfectly flat).
-    pub fn wear_flatness(&self) -> f64 {
-        let max = *self.wear.iter().max().unwrap_or(&0) as f64;
-        let mean = self.wear.iter().sum::<u64>() as f64 / self.wear.len() as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max / mean
+    ///
+    /// Returns `None` before any write has been recorded: an untouched
+    /// array has no wear distribution, and reporting it as "perfectly
+    /// flat" (or letting `0/0 = NaN` leak into downstream statistics)
+    /// would misread an idle run as a leveling success.
+    pub fn wear_flatness(&self) -> Option<f64> {
+        let total: u64 = self.wear.iter().sum();
+        if total == 0 {
+            return None;
         }
+        let max = *self.wear.iter().max().unwrap_or(&0) as f64;
+        let mean = total as f64 / self.wear.len() as f64;
+        Some(max / mean)
     }
 }
 
@@ -145,11 +150,18 @@ mod tests {
             touched > 32,
             "wear should spread over many lines, touched {touched}"
         );
-        assert!(
-            sg.wear_flatness() < 20.0,
-            "flatness {} (unleveled would be ~65x)",
-            sg.wear_flatness()
-        );
+        let flatness = sg.wear_flatness().expect("writes were recorded");
+        assert!(flatness < 20.0, "flatness {flatness} (unleveled ~65x)");
+    }
+
+    #[test]
+    fn flatness_of_an_untouched_array_is_typed_not_nan() {
+        let sg = StartGap::new(16, 10);
+        assert_eq!(sg.wear_flatness(), None, "no writes, no distribution");
+        let mut sg = sg;
+        sg.on_write(0);
+        let flatness = sg.wear_flatness().expect("one write recorded");
+        assert!(flatness.is_finite() && flatness >= 1.0);
     }
 
     #[test]

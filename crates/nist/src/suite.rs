@@ -93,20 +93,24 @@ impl Suite {
     {
         let mut failed = [0usize; 15];
         let mut applicable = [0usize; 15];
+        let mut not_applicable = [0usize; 15];
         let mut p_values: [Vec<f64>; 15] = Default::default();
         let mut total = 0usize;
         for bits in sequences {
             total += 1;
             let report = self.run(bits);
             for (i, result) in report.results.iter().enumerate() {
-                if let Some(pass) = result.passes(self.alpha) {
-                    applicable[i] += 1;
-                    if !pass {
-                        failed[i] += 1;
+                match result.passes(self.alpha) {
+                    Some(pass) => {
+                        applicable[i] += 1;
+                        if !pass {
+                            failed[i] += 1;
+                        }
+                        if let TestResult::Done { p_values: ps } = result {
+                            p_values[i].extend_from_slice(ps);
+                        }
                     }
-                    if let TestResult::Done { p_values: ps } = result {
-                        p_values[i].extend_from_slice(ps);
-                    }
+                    None => not_applicable[i] += 1,
                 }
             }
         }
@@ -114,6 +118,7 @@ impl Suite {
             sequences: total,
             failed,
             applicable,
+            not_applicable,
             p_values,
         }
     }
@@ -232,6 +237,10 @@ pub struct FailureTally {
     pub failed: [usize; 15],
     /// Applicable sequence count per test.
     pub applicable: [usize; 15],
+    /// Sequences per test that were too short to run it at all. A test
+    /// that never ran reports `0 / 0` failures, not a pass — these counts
+    /// keep that visible.
+    pub not_applicable: [usize; 15],
     /// Every p-value observed per test (for second-level uniformity).
     pub p_values: [Vec<f64>; 15],
 }
@@ -250,6 +259,12 @@ impl FailureTally {
         Some(self.failed[idx])
     }
 
+    /// Not-applicable sequence count for a test by name.
+    pub fn not_applicable_for(&self, name: &str) -> Option<usize> {
+        let idx = TEST_NAMES.iter().position(|n| *n == name)?;
+        Some(self.not_applicable[idx])
+    }
+
     /// Second-level uniformity P-value per test (SP 800-22 §4.2.2), `None`
     /// where too few p-values accumulated.
     pub fn uniformity(&self) -> [Option<f64>; 15] {
@@ -261,11 +276,15 @@ impl fmt::Display for FailureTally {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "failures out of {} sequences:", self.sequences)?;
         for (i, name) in TEST_NAMES.iter().enumerate() {
-            writeln!(
+            write!(
                 f,
                 "  {name:<28} {:>3} / {:>3}",
                 self.failed[i], self.applicable[i]
             )?;
+            if self.not_applicable[i] > 0 {
+                write!(f, "  ({} not applicable)", self.not_applicable[i])?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -316,6 +335,34 @@ mod suite_tests {
         let tally = Suite::new().tally(bad.iter());
         assert!(!tally.passes(0));
         assert_eq!(tally.failures_for("frequency"), Some(2));
+    }
+
+    #[test]
+    fn tally_reports_not_applicable_instead_of_zero_failures() {
+        // Sequences far too short for the long-range tests: those rows
+        // must show up as not-applicable, not as clean 0-failure passes.
+        let short: Vec<Bits> = (0..3).map(|s| prng_bits(256, s)).collect();
+        let tally = Suite::new().tally(short.iter());
+        assert_eq!(tally.sequences, 3);
+        let na: usize = tally.not_applicable.iter().sum();
+        assert!(na > 0, "256-bit sequences must skip some tests");
+        // Per test, applicable + not-applicable account for every sequence.
+        for i in 0..15 {
+            assert_eq!(tally.applicable[i] + tally.not_applicable[i], 3);
+        }
+        // The Display output names the skipped rows.
+        let text = tally.to_string();
+        assert!(text.contains("not applicable"), "{text}");
+        // Sequences long enough for the short-range tests report them as
+        // fully applicable; data-dependent skips (e.g. too few random-walk
+        // cycles for the excursions tests) stay accounted per test.
+        let long: Vec<Bits> = (0..2).map(|s| prng_bits(1 << 16, s)).collect();
+        let tally = Suite::new().tally(long.iter());
+        assert_eq!(tally.not_applicable_for("frequency"), Some(0));
+        assert_eq!(tally.not_applicable_for("runs"), Some(0));
+        for i in 0..15 {
+            assert_eq!(tally.applicable[i] + tally.not_applicable[i], 2);
+        }
     }
 
     #[test]

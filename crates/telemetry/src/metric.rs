@@ -32,6 +32,12 @@ pub enum Counter {
     TrainSteps,
     /// Per-tweak pulse schedules derived from the key register.
     ScheduleDerivations,
+    /// Line-datapath schedule-cache hits (derived schedule reused).
+    ScheduleCacheHits,
+    /// Line-datapath schedule-cache misses (fresh derivation).
+    ScheduleCacheMisses,
+    /// Schedule-cache entries evicted to stay within the memory bound.
+    ScheduleCacheEvictions,
     /// PoE placement LUT hits (cached ILP solutions).
     PlacementCacheHits,
     /// PoE placement LUT misses (fresh ILP solves).
@@ -75,7 +81,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 30;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -88,6 +94,9 @@ impl Counter {
         Counter::PoePulses,
         Counter::TrainSteps,
         Counter::ScheduleDerivations,
+        Counter::ScheduleCacheHits,
+        Counter::ScheduleCacheMisses,
+        Counter::ScheduleCacheEvictions,
         Counter::PlacementCacheHits,
         Counter::PlacementCacheMisses,
         Counter::BlocksEncrypted,
@@ -125,6 +134,9 @@ impl Counter {
             Counter::PoePulses => "poe_pulses",
             Counter::TrainSteps => "train_steps",
             Counter::ScheduleDerivations => "schedule_derivations",
+            Counter::ScheduleCacheHits => "schedule_cache_hits",
+            Counter::ScheduleCacheMisses => "schedule_cache_misses",
+            Counter::ScheduleCacheEvictions => "schedule_cache_evictions",
             Counter::PlacementCacheHits => "placement_cache_hits",
             Counter::PlacementCacheMisses => "placement_cache_misses",
             Counter::BlocksEncrypted => "blocks_encrypted",
@@ -268,6 +280,10 @@ pub enum Span {
     EncryptLine,
     /// One line decryption through the SPECU.
     DecryptLine,
+    /// Deriving one block's pulse schedule + trains (cache-miss cost).
+    ScheduleDerive,
+    /// Applying an already-derived schedule to a block's payload.
+    ScheduleApply,
     /// One fault-campaign rate sweep.
     Campaign,
     /// One memory-system simulation run.
@@ -276,13 +292,15 @@ pub enum Span {
 
 impl Span {
     /// Number of spans.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Every span in canonical snapshot order.
     pub const ALL: [Span; Span::COUNT] = [
         Span::Calibration,
         Span::EncryptLine,
         Span::DecryptLine,
+        Span::ScheduleDerive,
+        Span::ScheduleApply,
         Span::Campaign,
         Span::Simulation,
     ];
@@ -298,6 +316,8 @@ impl Span {
             Span::Calibration => "calibration",
             Span::EncryptLine => "encrypt_line",
             Span::DecryptLine => "decrypt_line",
+            Span::ScheduleDerive => "schedule_derive",
+            Span::ScheduleApply => "schedule_apply",
             Span::Campaign => "campaign",
             Span::Simulation => "simulation",
         }

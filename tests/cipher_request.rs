@@ -1,9 +1,10 @@
 //! The unified cipher-request API: round trips for every payload kind,
-//! bit-identical agreement with the deprecated named methods, and
-//! request/response kind checking.
+//! bit-identical agreement between cached and cache-disabled datapaths,
+//! and request/response kind checking.
 
 use snvmm::core::{
-    CipherBlock, CipherRequest, FaultModel, FaultPolicy, Key, SpeCipher, SpeError, Specu, Verify,
+    CipherBlock, CipherRequest, FaultModel, FaultPolicy, Key, SpeCipher, SpeError, Specu,
+    SpecuConfig, Verify,
 };
 use std::sync::OnceLock;
 
@@ -51,43 +52,65 @@ fn block_and_line_round_trips() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn requests_agree_with_the_deprecated_named_methods() {
-    let s = specu();
+fn requests_agree_with_the_cache_disabled_datapath() {
+    // The schedule cache is a pure memo: a Specu with caching switched off
+    // must produce byte-identical responses for every request kind, and
+    // each side must decrypt the other's output.
+    let cached = specu();
+    let uncached = Specu::with_config(
+        Key::from_seed(0x9A),
+        SpecuConfig {
+            schedule_cache_lines: 0,
+            ..SpecuConfig::default()
+        },
+    )
+    .expect("specu");
     let pt = *b"legacy vs united";
 
-    let old = s.encrypt_block_with_tweak(&pt, 7).expect("old encrypt");
-    let new = s
+    let warm = cached
         .encrypt(CipherRequest::block(pt).with_tweak(7))
-        .expect("new encrypt")
+        .expect("cached encrypt")
         .into_block()
         .expect("block");
-    assert_eq!(old, new, "same schedule, same ciphertext");
+    let cold = uncached
+        .encrypt(CipherRequest::block(pt).with_tweak(7))
+        .expect("uncached encrypt")
+        .into_block()
+        .expect("block");
+    assert_eq!(warm, cold, "same schedule, same ciphertext");
     assert_eq!(
-        s.decrypt_block(&new).expect("old decrypt"),
-        s.decrypt(CipherRequest::sealed_block(new.clone()))
-            .expect("new decrypt")
+        uncached
+            .decrypt(CipherRequest::sealed_block(warm))
+            .expect("cross decrypt")
             .into_plain_block()
-            .expect("plain")
+            .expect("plain"),
+        pt
     );
 
     let line: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(3));
-    let old = s.encrypt_line(&line, 0x80).expect("old line");
-    let new = s
+    let warm = cached
         .encrypt(CipherRequest::line(line, 0x80))
-        .expect("new line")
+        .expect("cached line")
         .into_line()
         .expect("line");
-    assert_eq!(old, new);
+    let cold = uncached
+        .encrypt(CipherRequest::line(line, 0x80))
+        .expect("uncached line")
+        .into_line()
+        .expect("line");
+    assert_eq!(warm, cold);
 
-    let (old_sealed, old_faults) = s
-        .encrypt_line_resilient(&line, 0x80, &policy())
-        .expect("old resilient");
-    let resp = s
+    let warm = cached
         .encrypt(CipherRequest::line(line, 0x80).resilient(policy()))
-        .expect("new resilient");
-    assert_eq!(old_faults, *resp.faults());
-    assert_eq!(old_sealed, resp.into_line().expect("line"));
+        .expect("cached resilient");
+    let cold = uncached
+        .encrypt(CipherRequest::line(line, 0x80).resilient(policy()))
+        .expect("uncached resilient");
+    assert_eq!(warm.faults(), cold.faults());
+    assert_eq!(
+        warm.into_line().expect("line"),
+        cold.into_line().expect("line")
+    );
 }
 
 #[test]

@@ -1,11 +1,16 @@
 //! Functional co-simulation: the timing simulator's memory traffic drives
 //! the *real* SPECU, validating the whole stack together — trace generation,
 //! cache filtering, line addressing and sneak-path encryption round-trips.
+//!
+//! The quick variants below run in seconds and gate CI; the full-depth
+//! sweep is `#[ignore]`d (run it with `cargo test -- --ignored`).
 
-use snvmm::core::{Key, SecureNvmm, SpeMode, Specu};
+use snvmm::core::{Key, LineJob, SecureNvmm, SpeMode, Specu, SpecuConfig};
 use snvmm::memsim::SetAssocCache;
+use snvmm::telemetry::{AtomicRecorder, Counter};
 use snvmm::workloads::{BenchProfile, TraceGenerator};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Deterministic line contents derived from the address.
 fn line_pattern(addr: u64) -> [u8; 64] {
@@ -17,22 +22,33 @@ fn line_pattern(addr: u64) -> [u8; 64] {
     })
 }
 
-#[test]
-fn l2_miss_traffic_roundtrips_through_real_spe() {
-    // Filter a workload trace through the paper's cache hierarchy, exactly
-    // like the timing model does, and send every NVMM-bound line through a
-    // real SecureNvmm.
+/// A SPECU with the schedule cache disabled: the reference datapath every
+/// cached run must agree with byte-for-byte.
+fn uncached_specu(seed: u64) -> Specu {
+    Specu::with_config(
+        Key::from_seed(seed),
+        SpecuConfig {
+            schedule_cache_lines: 0,
+            ..SpecuConfig::default()
+        },
+    )
+    .expect("specu")
+}
+
+/// Drives `accesses` trace references through the paper's L1/L2 hierarchy
+/// and sends every NVMM-bound line through `nvmm`, asserting each demand
+/// fill decrypts to the last written contents. Returns the shadow copy of
+/// written lines and the NVMM op count.
+fn cosimulate(
+    nvmm: &mut SecureNvmm,
+    accesses: usize,
+    trace_seed: u64,
+) -> (HashMap<u64, [u8; 64]>, usize) {
     let mut l1 = SetAssocCache::new(32 * 1024, 8, 64);
     let mut l2 = SetAssocCache::new(2 * 1024 * 1024, 16, 64);
-    let mut nvmm = SecureNvmm::new(
-        0xC051,
-        Specu::new(Key::from_seed(0xC051)).expect("specu"),
-        SpeMode::Parallel,
-    );
     let mut shadow: HashMap<u64, [u8; 64]> = HashMap::new();
-
     let mut nvmm_ops = 0usize;
-    for access in TraceGenerator::new(&BenchProfile::gcc(), 9).take(4_000) {
+    for access in TraceGenerator::new(&BenchProfile::gcc(), trace_seed).take(accesses) {
         let line = access.addr & !63;
         let l1_out = l1.access(access.addr, access.is_write);
         if l1_out.hit {
@@ -55,13 +71,40 @@ fn l2_miss_traffic_roundtrips_through_real_spe() {
             nvmm_ops += 1;
         }
     }
+    (shadow, nvmm_ops)
+}
+
+/// The shared body of the quick and full-depth round-trip tests: the
+/// cached run must produce the same plaintexts AND the same at-rest
+/// ciphertexts as a cache-disabled run of the identical trace.
+fn roundtrip_through_real_spe(accesses: usize) {
+    let mut nvmm = SecureNvmm::new(
+        0xC051,
+        Specu::new(Key::from_seed(0xC051)).expect("specu"),
+        SpeMode::Parallel,
+    );
+    let mut reference = SecureNvmm::new(0xC051, uncached_specu(0xC051), SpeMode::Parallel);
+
+    let (shadow, nvmm_ops) = cosimulate(&mut nvmm, accesses, 9);
+    let (ref_shadow, ref_ops) = cosimulate(&mut reference, accesses, 9);
     assert!(
         nvmm_ops > 20,
         "the trace should generate real NVMM traffic, got {nvmm_ops}"
     );
-    // Everything at rest is ciphertext (SPE-parallel).
+    assert_eq!(nvmm_ops, ref_ops, "identical traces, identical traffic");
+    assert_eq!(shadow, ref_shadow);
+
+    // Everything at rest is ciphertext (SPE-parallel)...
     assert_eq!(nvmm.fraction_encrypted(), 1.0);
-    // And the probe of any written line shows ciphertext, not the pattern.
+    // ...and the cached datapath's ciphertexts are byte-identical to the
+    // uncached reference: the schedule cache is a pure memo.
+    let mut probed: HashMap<u64, [u8; 64]> = nvmm.probe().into_iter().collect();
+    for (addr, bytes) in reference.probe() {
+        let cached = probed.remove(&addr).expect("line resident in both");
+        assert_eq!(cached, bytes, "cached != uncached ciphertext at {addr:#x}");
+    }
+    assert!(probed.is_empty(), "cached run holds extra lines");
+    // The probe of any written line shows ciphertext, not the pattern.
     for (addr, data) in shadow.iter().take(4) {
         let probed = nvmm
             .probe()
@@ -70,6 +113,96 @@ fn l2_miss_traffic_roundtrips_through_real_spe() {
             .map(|(_, bytes)| bytes)
             .expect("line resident");
         assert_ne!(&probed, data, "plaintext visible at {addr:#x}");
+    }
+}
+
+#[test]
+fn l2_miss_traffic_roundtrips_through_real_spe() {
+    roundtrip_through_real_spe(4_000);
+}
+
+#[test]
+#[ignore = "full-depth sweep (minutes); the 4k-access quick variant gates CI"]
+fn l2_miss_traffic_roundtrips_through_real_spe_full_depth() {
+    roundtrip_through_real_spe(400_000);
+}
+
+#[test]
+fn serial_and_parallel_modes_agree_on_contents() {
+    // The SPE-serial and SPE-parallel policies differ only in *when* lines
+    // sit encrypted (serial leaves read lines plaintext until a scrub);
+    // the contents every read returns must be identical for an identical
+    // trace, and after a scrub the at-rest ciphertexts match too.
+    let mut serial = SecureNvmm::new(
+        0x5E41,
+        Specu::new(Key::from_seed(0x5E41)).expect("specu"),
+        SpeMode::Serial,
+    );
+    let mut parallel = SecureNvmm::new(
+        0x5E41,
+        Specu::new(Key::from_seed(0x5E41)).expect("specu"),
+        SpeMode::Parallel,
+    );
+    let (shadow_s, ops_s) = cosimulate(&mut serial, 4_000, 11);
+    let (shadow_p, ops_p) = cosimulate(&mut parallel, 4_000, 11);
+    assert_eq!(ops_s, ops_p);
+    assert_eq!(shadow_s, shadow_p);
+    // Every written line reads back identically under both policies.
+    for (addr, data) in &shadow_s {
+        assert_eq!(serial.read_line(*addr).expect("read"), *data);
+        assert_eq!(parallel.read_line(*addr).expect("read"), *data);
+    }
+    // Scrubbing the serial NVMM restores full-ciphertext rest state; the
+    // schedules are deterministic in (key, tweak), so the two policies
+    // converge on byte-identical ciphertexts.
+    serial.scrub().expect("scrub");
+    assert_eq!(serial.fraction_encrypted(), 1.0);
+    let at_rest: HashMap<u64, [u8; 64]> = parallel.probe().into_iter().collect();
+    for (addr, bytes) in serial.probe() {
+        assert_eq!(at_rest.get(&addr), Some(&bytes), "mismatch at {addr:#x}");
+    }
+}
+
+#[test]
+fn bank_count_changes_neither_ciphertexts_nor_pulse_telemetry() {
+    // One bank serialises the four mats; four banks fan them out. The
+    // ciphertexts and the physical work done (pulses, train steps,
+    // retries) must be identical — only the distribution differs.
+    let jobs: Vec<LineJob> = (0..12u64)
+        .map(|i| LineJob::new(line_pattern(i * 64), 0x200 + i))
+        .collect();
+    let run = |banks: usize| {
+        let recorder = Arc::new(AtomicRecorder::new());
+        let mut s = Specu::new(Key::from_seed(0xBA1)).expect("specu");
+        s.attach_recorder(recorder.clone());
+        let par = s.parallel(banks).expect("parallel");
+        let lines = par.encrypt_lines(&jobs).expect("encrypt");
+        let back = par.decrypt_lines(&lines).expect("decrypt");
+        (lines, back, recorder.snapshot())
+    };
+    let (lines_1, back_1, snap_1) = run(1);
+    let (lines_4, back_4, snap_4) = run(4);
+    assert_eq!(lines_1, lines_4, "bank count must not change ciphertexts");
+    assert_eq!(back_1, back_4);
+    for (i, job) in jobs.iter().enumerate() {
+        assert_eq!(back_1[i], job.plaintext, "round trip at job {i}");
+    }
+    for counter in [
+        Counter::PoePulses,
+        Counter::TrainSteps,
+        Counter::Retries,
+        Counter::Remaps,
+        Counter::BlocksEncrypted,
+        Counter::BlocksDecrypted,
+        Counter::ScheduleDerivations,
+        Counter::ScheduleCacheHits,
+        Counter::ScheduleCacheMisses,
+    ] {
+        assert_eq!(
+            snap_1.counter(counter),
+            snap_4.counter(counter),
+            "{counter:?} diverged between 1 and 4 banks"
+        );
     }
 }
 
