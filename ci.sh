@@ -40,7 +40,15 @@ done
 
 echo "== line-datapath schedule-cache smoke"
 # line_bench asserts cached >= 5x uncached lines/sec and byte-identical
-# cached/uncached ciphertexts, and emits BENCH_line.json.
+# cached/uncached ciphertexts, and emits BENCH_line.json (with the
+# banked_over_serial ratio; < 1.0 warns on stderr).
 cargo run --release --offline -p spe-bench --bin line_bench
+
+echo "== bank-scheduler pipeline smoke"
+# pipeline_bench asserts the persistent scheduler pipeline beats the
+# legacy per-batch fork-join unconditionally, gates banked > serial on
+# the cached working set whenever the host has >= 2 cores, and emits
+# BENCH_pipeline.json with the requests-in-flight saturation sweep.
+cargo run --release --offline -p spe-bench --bin pipeline_bench
 
 echo "CI gate passed."

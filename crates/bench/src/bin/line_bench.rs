@@ -17,6 +17,11 @@ const MIN_CACHED_SPEEDUP: f64 = 5.0;
 /// capacity of 1024 blocks = 256 lines, so the cached run stays warm).
 const WORKING_SET: usize = 16;
 
+/// Lines per batch in the serial-vs-banked comparison — a realistic
+/// working set (still cache-resident) large enough that per-batch
+/// scheduling overhead, not ramp-up, dominates the comparison.
+const BATCH_LINES: usize = 64;
+
 fn specu(seed: u64, cache_lines: usize) -> Specu {
     Specu::with_config(
         Key::from_seed(seed),
@@ -84,7 +89,9 @@ fn main() {
     );
 
     // Serial vs 4-bank batches over the same jobs: parity, then rates.
-    let jobs: Vec<LineJob> = (0..WORKING_SET as u64)
+    // The banked datapath is the persistent scheduler pipeline; serial is
+    // the single-bank short-circuit on the caller's thread.
+    let jobs: Vec<LineJob> = (0..BATCH_LINES as u64)
         .map(|i| LineJob::new(pattern(i), i))
         .collect();
     let specu_banks = specu(0x11E, spe_core::cache::DEFAULT_CACHE_LINES);
@@ -95,30 +102,45 @@ fn main() {
         banked.encrypt_lines(&jobs).expect("banked batch"),
         "bank count must not change ciphertexts"
     );
-    let batch_bytes = (WORKING_SET * 64) as u64;
-    let m_serial = b.run_bytes(&format!("lines_x{WORKING_SET}/serial"), batch_bytes, || {
+    let batch_bytes = (BATCH_LINES * 64) as u64;
+    let m_serial = b.run_bytes(&format!("lines_x{BATCH_LINES}/serial"), batch_bytes, || {
         serial.encrypt_lines(&jobs).expect("encrypt")
     });
     let m_banked = b.run_bytes(
-        &format!("lines_x{WORKING_SET}/4_banks"),
+        &format!("lines_x{BATCH_LINES}/4_banks"),
         batch_bytes,
         || banked.encrypt_lines(&jobs).expect("encrypt"),
     );
+    // The inversion guard: banked throughput below serial means the
+    // scheduler is losing to its own overhead again. Warn loudly so it
+    // can never regress silently (pipeline_bench carries the hard gate).
+    let banked_over_serial = m_serial.ns_per_iter / m_banked.ns_per_iter;
+    println!("line/banked_over_serial: {banked_over_serial:.2}x");
+    if banked_over_serial < 1.0 {
+        eprintln!(
+            "warning: banked datapath is SLOWER than serial \
+             (banked_over_serial = {banked_over_serial:.2} < 1.0) — \
+             the 4-bank pipeline is losing to scheduling overhead \
+             (expected on single-core hosts; a regression on multicore)"
+        );
+    }
 
     let lines_per_sec = |ns_per_line: f64| 1.0e9 / ns_per_line;
     let json = format!(
         "{{\n  \"working_set_lines\": {WORKING_SET},\n  \
+         \"batch_lines\": {BATCH_LINES},\n  \
          \"cached_lines_per_sec\": {:.0},\n  \
          \"uncached_lines_per_sec\": {:.0},\n  \
          \"cached_speedup\": {:.2},\n  \
          \"serial_batch_lines_per_sec\": {:.0},\n  \
          \"banked4_batch_lines_per_sec\": {:.0},\n  \
+         \"banked_over_serial\": {banked_over_serial:.2},\n  \
          \"min_cached_speedup_gate\": {MIN_CACHED_SPEEDUP}\n}}\n",
         lines_per_sec(warm.ns_per_iter),
         lines_per_sec(cold.ns_per_iter),
         speedup,
-        lines_per_sec(m_serial.ns_per_iter / WORKING_SET as f64),
-        lines_per_sec(m_banked.ns_per_iter / WORKING_SET as f64),
+        lines_per_sec(m_serial.ns_per_iter / BATCH_LINES as f64),
+        lines_per_sec(m_banked.ns_per_iter / BATCH_LINES as f64),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_line.json");
     std::fs::write(path, &json).expect("write BENCH_line.json");

@@ -1,0 +1,223 @@
+//! Bank-scheduler pipeline throughput: the persistent worker pool vs the
+//! legacy per-batch fork-join it replaced, plus a saturation sweep of
+//! requests-in-flight against lines/s.
+//!
+//! Emits `BENCH_pipeline.json` at the workspace root and enforces two
+//! gates:
+//!
+//! * **pipeline > fork-join** (always): on identical small batches the
+//!   persistent pool must beat spawning fresh scoped threads per batch —
+//!   the per-batch spawn overhead is exactly what this refactor removed.
+//! * **banked > serial** (hosts with ≥ 2 cores): with real parallelism
+//!   available, the 4-bank pipeline must beat the single-bank serial
+//!   short-circuit on a cached working set. On a single core the bank
+//!   workers time-slice one CPU, so the wall-clock gate is stated the way
+//!   the hardware is (cf. `benches/spe_throughput.rs`).
+
+use spe_bench::Bench;
+use spe_core::specu::LINE_BYTES;
+use spe_core::{
+    BankScheduler, CipherRequest, CipherTicket, Key, LineJob, SpeCipher, Specu, SpecuConfig,
+};
+use std::collections::VecDeque;
+
+/// Lines per batch in the fork-join comparison: small enough that the
+/// per-batch thread-spawn overhead the refactor removed is visible above
+/// the cipher work.
+const GATE_BATCH: usize = 8;
+
+/// Lines per batch for the headline throughput rates (a realistic cached
+/// working set; the schedule cache holds 256 lines).
+const BATCH_LINES: usize = 64;
+
+/// Total requests driven through the scheduler per sweep point.
+const SWEEP_LINES: usize = 128;
+
+/// In-flight windows swept (requests outstanding before waiting).
+const SWEEP_WINDOWS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn specu() -> Specu {
+    Specu::with_config(
+        Key::from_seed(0x91E),
+        SpecuConfig {
+            schedule_cache_lines: spe_core::cache::DEFAULT_CACHE_LINES,
+            ..SpecuConfig::default()
+        },
+    )
+    .expect("specu")
+}
+
+fn pattern(addr: u64) -> [u8; LINE_BYTES] {
+    core::array::from_fn(|i| {
+        let x = addr
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(i as u64 * 0x3D);
+        (x >> 21) as u8
+    })
+}
+
+fn jobs(n: usize) -> Vec<LineJob> {
+    (0..n as u64).map(|a| LineJob::new(pattern(a), a)).collect()
+}
+
+/// The legacy datapath this PR removed: fork a fresh `thread::scope` per
+/// batch, join at the end. Reproduced here (over the public request API)
+/// so the benchmark keeps an honest baseline after the refactor.
+fn forkjoin_encrypt(specu: &Specu, batch: &[LineJob], banks: usize) {
+    let chunk = batch.len().div_ceil(banks);
+    std::thread::scope(|scope| {
+        for shard in batch.chunks(chunk) {
+            scope.spawn(move || {
+                for job in shard {
+                    specu
+                        .encrypt(CipherRequest::line(job.plaintext, job.address))
+                        .expect("fork-join encrypt");
+                }
+            });
+        }
+    });
+}
+
+/// Drives `batch` through the scheduler keeping at most `window` requests
+/// in flight (submit ahead, wait the oldest once the window is full).
+fn windowed_encrypt(sched: &BankScheduler, batch: &[LineJob], window: usize) {
+    let mut pending: VecDeque<CipherTicket> = VecDeque::with_capacity(window);
+    for job in batch {
+        if pending.len() == window {
+            if let Some(t) = pending.pop_front() {
+                t.wait().expect("windowed encrypt");
+            }
+        }
+        pending.push_back(
+            sched
+                .submit(CipherRequest::line(job.plaintext, job.address))
+                .expect("submit"),
+        );
+    }
+    for t in pending {
+        t.wait().expect("windowed encrypt (drain)");
+    }
+}
+
+fn main() {
+    let specu = specu();
+    let serial = specu.parallel(1).expect("serial datapath");
+    let banked = specu.parallel(4).expect("banked datapath");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm the schedule cache across every address the benches touch, and
+    // pin ciphertext parity between the serial and pipelined datapaths
+    // before any timing counts.
+    let warm = jobs(SWEEP_LINES.max(BATCH_LINES));
+    assert_eq!(
+        serial.encrypt_lines(&warm).expect("serial warmup"),
+        banked.encrypt_lines(&warm).expect("banked warmup"),
+        "pipelined ciphertexts must match serial"
+    );
+
+    let b = Bench::new("pipeline");
+    let lines_per_sec = |ns_per_batch: f64, lines: usize| 1.0e9 / (ns_per_batch / lines as f64);
+
+    // Headline rates on the realistic batch.
+    let batch = jobs(BATCH_LINES);
+    let m_serial = b.run_bytes(
+        &format!("lines_x{BATCH_LINES}/serial"),
+        (BATCH_LINES * LINE_BYTES) as u64,
+        || serial.encrypt_lines(&batch).expect("serial"),
+    );
+    let m_pipeline = b.run_bytes(
+        &format!("lines_x{BATCH_LINES}/pipeline_4_banks"),
+        (BATCH_LINES * LINE_BYTES) as u64,
+        || banked.encrypt_lines(&batch).expect("pipeline"),
+    );
+
+    // The gate comparison: persistent pool vs per-batch fork-join on the
+    // small batch where spawn overhead dominates.
+    let gate_batch = jobs(GATE_BATCH);
+    let m_forkjoin = b.run_bytes(
+        &format!("lines_x{GATE_BATCH}/forkjoin_4_banks"),
+        (GATE_BATCH * LINE_BYTES) as u64,
+        || forkjoin_encrypt(&specu, &gate_batch, 4),
+    );
+    let m_pipeline_gate = b.run_bytes(
+        &format!("lines_x{GATE_BATCH}/pipeline_4_banks"),
+        (GATE_BATCH * LINE_BYTES) as u64,
+        || banked.encrypt_lines(&gate_batch).expect("pipeline"),
+    );
+
+    // Saturation sweep: requests-in-flight vs lines/s through the raw
+    // scheduler submit/ticket interface.
+    let sweep_batch = jobs(SWEEP_LINES);
+    let sched = banked.scheduler();
+    let mut sweep: Vec<(usize, f64)> = Vec::with_capacity(SWEEP_WINDOWS.len());
+    for window in SWEEP_WINDOWS {
+        let m = b.run_bytes(
+            &format!("sweep/in_flight_{window}"),
+            (SWEEP_LINES * LINE_BYTES) as u64,
+            || windowed_encrypt(sched, &sweep_batch, window),
+        );
+        sweep.push((window, lines_per_sec(m.ns_per_iter, SWEEP_LINES)));
+    }
+    let peak = sweep.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+
+    let pipeline_over_forkjoin = m_forkjoin.ns_per_iter / m_pipeline_gate.ns_per_iter;
+    let banked_over_serial = m_serial.ns_per_iter / m_pipeline.ns_per_iter;
+    println!("pipeline/pipeline_over_forkjoin: {pipeline_over_forkjoin:.2}x (batch {GATE_BATCH})");
+    println!("pipeline/banked_over_serial: {banked_over_serial:.2}x (batch {BATCH_LINES})");
+
+    // Gate 1 (unconditional): the persistent pool must beat re-spawning
+    // scoped threads every batch — that overhead is what this subsystem
+    // exists to remove.
+    assert!(
+        pipeline_over_forkjoin > 1.0,
+        "persistent scheduler pipeline must beat per-batch fork-join \
+         (got {pipeline_over_forkjoin:.2}x on a {GATE_BATCH}-line batch)"
+    );
+
+    // Gate 2 (multicore): with cores to run the banks on, the pipeline
+    // must flip the banked-slower-than-serial inversion.
+    if cores >= 2 {
+        assert!(
+            banked_over_serial > 1.0,
+            "4-bank pipeline must beat serial on {cores} cores \
+             (got {banked_over_serial:.2}x)"
+        );
+    } else {
+        println!(
+            "(single core: banked>serial wall-clock gate skipped — bank \
+             workers time-slice one CPU)"
+        );
+    }
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(w, r)| format!("    {{ \"in_flight\": {w}, \"lines_per_sec\": {r:.0} }}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"banks\": {},\n  \
+         \"queue_depth\": {},\n  \
+         \"cores\": {cores},\n  \
+         \"batch_lines\": {BATCH_LINES},\n  \
+         \"gate_batch_lines\": {GATE_BATCH},\n  \
+         \"serial_lines_per_sec\": {:.0},\n  \
+         \"pipeline_lines_per_sec\": {:.0},\n  \
+         \"forkjoin_gate_lines_per_sec\": {:.0},\n  \
+         \"pipeline_gate_lines_per_sec\": {:.0},\n  \
+         \"pipeline_over_forkjoin\": {pipeline_over_forkjoin:.2},\n  \
+         \"banked_over_serial\": {banked_over_serial:.2},\n  \
+         \"banked_over_serial_gated\": {},\n  \
+         \"peak_lines_per_sec\": {peak:.0},\n  \
+         \"saturation_sweep\": [\n{}\n  ]\n}}\n",
+        banked.banks(),
+        sched.queue_depth(),
+        lines_per_sec(m_serial.ns_per_iter, BATCH_LINES),
+        lines_per_sec(m_pipeline.ns_per_iter, BATCH_LINES),
+        lines_per_sec(m_forkjoin.ns_per_iter, GATE_BATCH),
+        lines_per_sec(m_pipeline_gate.ns_per_iter, GATE_BATCH),
+        cores >= 2,
+        sweep_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("pipeline/BENCH_pipeline.json written:\n{json}");
+}

@@ -46,6 +46,13 @@ pub enum SpeError {
     /// response accessor asked for a payload kind the response does not
     /// hold.
     BadRequest(&'static str),
+    /// A SPECU bank worker panicked while holding (or before reaching) a
+    /// request: the request's completion ticket is failed with this typed
+    /// error instead of leaving the submitter blocked forever.
+    BankPoisoned,
+    /// The bank scheduler has been shut down: in-flight requests drain to
+    /// completion, but new submissions are refused.
+    SchedulerShutdown,
     /// An internal invariant failed (e.g. a SPECU bank worker died).
     Internal(&'static str),
 }
@@ -78,6 +85,12 @@ impl fmt::Display for SpeError {
                 "integrity violation: block {tweak:#x} decrypted to corrupted data"
             ),
             SpeError::BadRequest(what) => write!(f, "bad cipher request: {what}"),
+            SpeError::BankPoisoned => {
+                write!(f, "a SPECU bank worker panicked; the request was abandoned")
+            }
+            SpeError::SchedulerShutdown => {
+                write!(f, "the bank scheduler is shut down; submission refused")
+            }
             SpeError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
@@ -136,6 +149,14 @@ mod tests {
             d,
             SpeError::Crossbar(spe_crossbar::CrossbarError::Device(_))
         ));
+    }
+
+    #[test]
+    fn scheduler_variants_display_their_cause() {
+        assert!(SpeError::BankPoisoned.to_string().contains("panicked"));
+        assert!(SpeError::SchedulerShutdown
+            .to_string()
+            .contains("shut down"));
     }
 
     #[test]

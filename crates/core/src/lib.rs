@@ -21,6 +21,9 @@
 //! * [`Specu`] — the Sneak-Path Encryption Control Unit: block/line
 //!   encryption against the behavioral crossbar, validated against the
 //!   circuit engine.
+//! * [`BankScheduler`] / [`ParallelSpecu`] — the persistent bank-scheduler
+//!   pipeline (SPE-parallel): per-bank worker threads fed by bounded
+//!   request queues, with ticket-based completion and backpressure.
 //! * [`SecureNvmm`] — an SPE-protected main memory with SPE-serial /
 //!   SPE-parallel policies, encrypted-fraction tracking and the power-down
 //!   lifecycle ([`Tpm`]).
@@ -65,6 +68,7 @@ pub mod prng;
 pub mod recovery;
 pub mod request;
 pub mod schedule;
+pub mod scheduler;
 pub mod specu;
 pub mod tpm;
 
@@ -77,8 +81,11 @@ pub use nvmm::{SecureNvmm, SpeMode};
 pub use parallel::{BlockJob, LineJob, ParallelSpecu};
 pub use prng::CoupledLcg;
 pub use recovery::{FaultCounters, FaultKind, FaultModel, FaultPolicy, RemapTable};
-pub use request::{CipherOutput, CipherRequest, CipherResponse, Payload, SpeCipher, Verify};
+pub use request::{
+    CipherOutput, CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher, Verify,
+};
 pub use schedule::PulseSchedule;
+pub use scheduler::{BankScheduler, SchedulerConfig, SubmitError, DEFAULT_QUEUE_DEPTH};
 pub use specu::{
     CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuConfig,
 };

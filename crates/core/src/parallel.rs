@@ -2,20 +2,31 @@
 //!
 //! The paper's SPE-parallel mode replicates the SPECU once per mat so all
 //! four 8×8 crossbars of a 64 B line encrypt concurrently. With the keyed
-//! state factored into the shared immutable [`SpeContext`], a bank is just
-//! a worker thread holding `&SpeContext`: [`ParallelSpecu`] shards the four
-//! blocks of a line across banks, and fans whole-line (or whole-block)
-//! batches out over [`std::thread::scope`] workers.
+//! state factored into the shared immutable [`SpeContext`], a bank is a
+//! persistent worker thread holding a context clone: [`ParallelSpecu`] is
+//! a thin façade over the [`BankScheduler`] request pipeline
+//! ([`crate::scheduler`]), turning every line/block batch into
+//! [`CipherRequest`]s, submitting them to the per-bank bounded queues, and
+//! collecting the completion tickets in submission order.
 //!
-//! All batch APIs are order-preserving: output `i` corresponds to job `i`
-//! regardless of bank count, so datasets built through the parallel
-//! datapath are byte-identical to their serial builds.
+//! The workers execute each request through the exact serial
+//! [`SpeContext`] datapath, so all batch APIs are order-preserving *and*
+//! bit-identical to their serial builds: output `i` corresponds to job `i`
+//! regardless of bank count, and serial == banked ciphertext equivalence
+//! holds by construction.
+//!
+//! A single-bank datapath short-circuits every call onto the caller's
+//! thread — `parallel(1)` is the serial baseline, with no queue in the
+//! way.
 
 use crate::error::SpeError;
 use crate::key::Key;
 use crate::recovery::{FaultCounters, FaultPolicy};
+use crate::request::{CipherRequest, CipherResponse, CipherTicket};
+use crate::scheduler::{BankScheduler, SchedulerConfig};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
 use spe_telemetry::{Counter, Histogram, TelemetryHandle};
+use std::sync::Arc;
 
 /// One block-encryption job for a bank batch: a plaintext block, its
 /// schedule tweak, and an optional per-job key (the Table 2 avalanche and
@@ -48,6 +59,14 @@ impl BlockJob {
             key: Some(key),
         }
     }
+
+    fn request(&self) -> CipherRequest {
+        let req = CipherRequest::block(self.plaintext).with_tweak(self.tweak);
+        match self.key {
+            Some(key) => req.with_key(key),
+            None => req,
+        }
+    }
 }
 
 /// One line-encryption job for a bank batch.
@@ -66,41 +85,63 @@ impl LineJob {
     }
 }
 
-/// A multi-bank SPECU: one logical SPECU bank per worker, all sharing one
-/// immutable keyed [`SpeContext`].
+/// A multi-bank SPECU: one persistent worker thread per bank, all sharing
+/// one immutable keyed [`SpeContext`] behind a [`BankScheduler`].
+///
+/// Cloning is cheap and shares the scheduler (and its workers); the pool
+/// is built once in [`ParallelSpecu::new`] and torn down when the last
+/// clone drops.
 #[derive(Debug, Clone)]
 pub struct ParallelSpecu {
-    context: SpeContext,
-    banks: usize,
+    scheduler: Arc<BankScheduler>,
 }
 
 impl ParallelSpecu {
     /// Builds a parallel datapath over `context` with `banks` SPECU banks
     /// (clamped to at least one; the paper's configuration is one bank per
-    /// mat, i.e. four).
+    /// mat, i.e. four). The bank workers spawn here, once — batches reuse
+    /// them through the scheduler's submission queues.
     pub fn new(context: SpeContext, banks: usize) -> Self {
+        ParallelSpecu::with_scheduler_config(context, SchedulerConfig::with_banks(banks))
+    }
+
+    /// Builds a parallel datapath with explicit scheduler geometry
+    /// (bank count and per-bank queue depth).
+    pub fn with_scheduler_config(context: SpeContext, config: SchedulerConfig) -> Self {
         ParallelSpecu {
-            context,
-            banks: banks.max(1),
+            scheduler: Arc::new(BankScheduler::new(context, config)),
         }
     }
 
     /// The shared keyed context.
     pub fn context(&self) -> &SpeContext {
-        &self.context
+        self.scheduler.context()
+    }
+
+    /// The underlying request scheduler, for direct
+    /// [`submit`](BankScheduler::submit) /
+    /// [`try_submit`](BankScheduler::try_submit) access.
+    pub fn scheduler(&self) -> &BankScheduler {
+        &self.scheduler
     }
 
     /// The same datapath reporting telemetry into `recorder` (bank
     /// fan-out plus everything the underlying context records).
+    ///
+    /// The worker pool is rebuilt over the recorder-attached context, so
+    /// the persistent workers report into `recorder` too.
     #[must_use]
-    pub fn with_recorder(mut self, recorder: TelemetryHandle) -> Self {
-        self.context.set_recorder(recorder);
-        self
+    pub fn with_recorder(self, recorder: TelemetryHandle) -> Self {
+        let config = self.scheduler.config();
+        let mut context = self.scheduler.context().clone();
+        context.set_recorder(recorder);
+        drop(self);
+        ParallelSpecu::with_scheduler_config(context, config)
     }
 
     /// The number of SPECU banks.
     pub fn banks(&self) -> usize {
-        self.banks
+        self.scheduler.banks()
     }
 
     /// Records the bank fan-out telemetry for a batch of `jobs`: the job
@@ -108,12 +149,12 @@ impl ParallelSpecu {
     /// geometry (not from thread scheduling), so the numbers are identical
     /// across runs and bank counts with the same job load.
     fn record_fan_out(&self, jobs: usize) {
-        let rec = self.context.recorder();
+        let rec = self.context().recorder();
         if !rec.enabled() || jobs == 0 {
             return;
         }
         rec.add(Counter::BankJobs, jobs as u64);
-        let banks = self.banks.max(1).min(jobs);
+        let banks = self.banks().max(1).min(jobs);
         let chunk = jobs.div_ceil(banks);
         let mut rest = jobs;
         while rest > 0 {
@@ -128,38 +169,54 @@ impl ParallelSpecu {
     /// back-to-back — one with 4+ banks (Table 3's SPE-parallel row), four
     /// when a single bank serialises the mats.
     pub fn latency_cycles(&self) -> u32 {
-        self.context.encryption_cycles() * BLOCKS_PER_LINE.div_ceil(self.banks) as u32
+        self.context().encryption_cycles() * BLOCKS_PER_LINE.div_ceil(self.banks()) as u32
+    }
+
+    /// Submits a batch of requests and waits the tickets in submission
+    /// order, so output `i` corresponds to request `i` and the first error
+    /// (in job order) wins — exactly the fork-join contract, minus the
+    /// forking.
+    fn run_batch<I>(&self, requests: I) -> Result<Vec<CipherResponse>, SpeError>
+    where
+        I: IntoIterator<Item = CipherRequest>,
+    {
+        let tickets = self.scheduler.submit_batch(requests)?;
+        tickets.into_iter().map(CipherTicket::wait).collect()
     }
 
     /// Encrypts one 64-byte line, sharding its four mats across the banks.
     ///
     /// # Errors
     ///
-    /// Returns [`SpeError`] if the model rejects a pulse schedule or a bank
-    /// worker dies ([`SpeError::Internal`]).
+    /// Returns [`SpeError`] if the model rejects a pulse schedule, or
+    /// [`SpeError::BankPoisoned`] if a bank worker panics on the request.
     pub fn encrypt_line(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
     ) -> Result<CipherLine, SpeError> {
-        if self.banks == 1 {
-            return self.context.encrypt_line(plaintext, line_address);
+        if self.banks() == 1 {
+            return self.context().encrypt_line(plaintext, line_address);
         }
-        let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
-        let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
+        let responses = self.run_batch((0..BLOCKS_PER_LINE).map(|i| {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            ctx.encrypt_block(&block, line_address * BLOCKS_PER_LINE as u64 + i as u64)
-        })?;
-        Ok(CipherLine { blocks: results })
+            CipherRequest::block(block).with_tweak(line_address * BLOCKS_PER_LINE as u64 + i as u64)
+        }))?;
+        let blocks = responses
+            .into_iter()
+            .map(CipherResponse::into_block)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CipherLine { blocks })
     }
 
     /// Decrypts one 64-byte line, sharding its four mats across the banks.
     ///
     /// # Errors
     ///
-    /// Returns [`SpeError`] if the line is malformed or a bank worker dies.
+    /// Returns [`SpeError`] if the line is malformed or a bank worker
+    /// panics.
     pub fn decrypt_line(&self, line: &CipherLine) -> Result<[u8; LINE_BYTES], SpeError> {
         if line.blocks.len() != BLOCKS_PER_LINE {
             return Err(SpeError::BadLength {
@@ -167,17 +224,19 @@ impl ParallelSpecu {
                 actual: line.blocks.len(),
             });
         }
-        if self.banks == 1 {
-            return self.context.decrypt_line(line);
+        if self.banks() == 1 {
+            return self.context().decrypt_line(line);
         }
-        let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
-        let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
-            ctx.decrypt_block(&line.blocks[i])
-        })?;
+        let responses = self.run_batch(
+            line.blocks
+                .iter()
+                .map(|b| CipherRequest::sealed_block(b.clone())),
+        )?;
         let mut out = [0u8; LINE_BYTES];
-        for (i, pt) in blocks.iter().enumerate() {
-            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(pt);
+        for (i, resp) in responses.into_iter().enumerate() {
+            let pt = resp.into_plain_block()?;
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
     }
@@ -188,11 +247,21 @@ impl ParallelSpecu {
     ///
     /// Returns the first [`SpeError`] any bank hit.
     pub fn encrypt_lines(&self, jobs: &[LineJob]) -> Result<Vec<CipherLine>, SpeError> {
-        let ctx = &self.context;
         self.record_fan_out(jobs.len());
-        fan_out(self.banks, jobs.len(), |i| {
-            ctx.encrypt_line(&jobs[i].plaintext, jobs[i].address)
-        })
+        if self.banks() == 1 {
+            let ctx = self.context();
+            return jobs
+                .iter()
+                .map(|j| ctx.encrypt_line(&j.plaintext, j.address))
+                .collect();
+        }
+        self.run_batch(
+            jobs.iter()
+                .map(|j| CipherRequest::line(j.plaintext, j.address)),
+        )?
+        .into_iter()
+        .map(CipherResponse::into_line)
+        .collect()
     }
 
     /// Decrypts a batch of lines across the banks, order-preserving.
@@ -201,9 +270,15 @@ impl ParallelSpecu {
     ///
     /// Returns the first [`SpeError`] any bank hit.
     pub fn decrypt_lines(&self, lines: &[CipherLine]) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
-        let ctx = &self.context;
         self.record_fan_out(lines.len());
-        fan_out(self.banks, lines.len(), |i| ctx.decrypt_line(&lines[i]))
+        if self.banks() == 1 {
+            let ctx = self.context();
+            return lines.iter().map(|l| ctx.decrypt_line(l)).collect();
+        }
+        self.run_batch(lines.iter().map(|l| CipherRequest::sealed_line(l.clone())))?
+            .into_iter()
+            .map(CipherResponse::into_plain_line)
+            .collect()
     }
 
     /// Encrypts one line through the resilient (write-verify/retry/remap)
@@ -218,34 +293,32 @@ impl ParallelSpecu {
     /// # Errors
     ///
     /// Returns [`SpeError::FaultExhausted`] when a mat's polyomino cannot
-    /// be committed, or [`SpeError::Internal`] if a bank worker dies.
+    /// be committed, or [`SpeError::BankPoisoned`] if a bank worker
+    /// panics.
     pub fn encrypt_line_resilient(
         &self,
         plaintext: &[u8; LINE_BYTES],
         line_address: u64,
         policy: &FaultPolicy,
     ) -> Result<(CipherLine, FaultCounters), SpeError> {
-        if self.banks == 1 {
+        if self.banks() == 1 {
             return self
-                .context
+                .context()
                 .encrypt_line_resilient(plaintext, line_address, policy);
         }
-        let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
-        let results = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
+        let responses = self.run_batch((0..BLOCKS_PER_LINE).map(|i| {
             let mut block = [0u8; BLOCK_BYTES];
             block.copy_from_slice(&plaintext[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]);
-            ctx.encrypt_block_resilient(
-                &block,
-                line_address * BLOCKS_PER_LINE as u64 + i as u64,
-                policy,
-            )
-        })?;
+            CipherRequest::block(block)
+                .with_tweak(line_address * BLOCKS_PER_LINE as u64 + i as u64)
+                .resilient(*policy)
+        }))?;
         let mut counters = FaultCounters::default();
         let mut blocks = Vec::with_capacity(BLOCKS_PER_LINE);
-        for (cb, c) in results {
-            counters.merge(&c);
-            blocks.push(cb);
+        for resp in responses {
+            counters.merge(&resp.faults);
+            blocks.push(resp.into_block()?);
         }
         Ok((CipherLine { blocks }, counters))
     }
@@ -261,16 +334,25 @@ impl ParallelSpecu {
         jobs: &[LineJob],
         policy: &FaultPolicy,
     ) -> Result<(Vec<CipherLine>, FaultCounters), SpeError> {
-        let ctx = &self.context;
         self.record_fan_out(jobs.len());
-        let results = fan_out(self.banks, jobs.len(), |i| {
-            ctx.encrypt_line_resilient(&jobs[i].plaintext, jobs[i].address, policy)
-        })?;
         let mut counters = FaultCounters::default();
-        let mut lines = Vec::with_capacity(results.len());
-        for (line, c) in results {
-            counters.merge(&c);
-            lines.push(line);
+        let mut lines = Vec::with_capacity(jobs.len());
+        if self.banks() == 1 {
+            let ctx = self.context();
+            for j in jobs {
+                let (line, c) = ctx.encrypt_line_resilient(&j.plaintext, j.address, policy)?;
+                counters.merge(&c);
+                lines.push(line);
+            }
+            return Ok((lines, counters));
+        }
+        let responses = self.run_batch(
+            jobs.iter()
+                .map(|j| CipherRequest::line(j.plaintext, j.address).resilient(*policy)),
+        )?;
+        for resp in responses {
+            counters.merge(&resp.faults);
+            lines.push(resp.into_line()?);
         }
         Ok((lines, counters))
     }
@@ -289,17 +371,19 @@ impl ParallelSpecu {
                 actual: line.blocks.len(),
             });
         }
-        if self.banks == 1 {
-            return self.context.decrypt_line_checked(line);
+        if self.banks() == 1 {
+            return self.context().decrypt_line_checked(line);
         }
-        let ctx = &self.context;
         self.record_fan_out(BLOCKS_PER_LINE);
-        let blocks = fan_out(self.banks.min(BLOCKS_PER_LINE), BLOCKS_PER_LINE, |i| {
-            ctx.decrypt_block_checked(&line.blocks[i])
-        })?;
+        let responses = self.run_batch(
+            line.blocks
+                .iter()
+                .map(|b| CipherRequest::sealed_block(b.clone()).verified()),
+        )?;
         let mut out = [0u8; LINE_BYTES];
-        for (i, pt) in blocks.iter().enumerate() {
-            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(pt);
+        for (i, resp) in responses.into_iter().enumerate() {
+            let pt = resp.into_plain_block()?;
+            out[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES].copy_from_slice(&pt);
         }
         Ok(out)
     }
@@ -314,11 +398,19 @@ impl ParallelSpecu {
         &self,
         lines: &[CipherLine],
     ) -> Result<Vec<[u8; LINE_BYTES]>, SpeError> {
-        let ctx = &self.context;
         self.record_fan_out(lines.len());
-        fan_out(self.banks, lines.len(), |i| {
-            ctx.decrypt_line_checked(&lines[i])
-        })
+        if self.banks() == 1 {
+            let ctx = self.context();
+            return lines.iter().map(|l| ctx.decrypt_line_checked(l)).collect();
+        }
+        self.run_batch(
+            lines
+                .iter()
+                .map(|l| CipherRequest::sealed_line(l.clone()).verified()),
+        )?
+        .into_iter()
+        .map(CipherResponse::into_plain_line)
+        .collect()
     }
 
     /// Encrypts a batch of independent block jobs across the banks,
@@ -329,21 +421,30 @@ impl ParallelSpecu {
     ///
     /// Returns the first [`SpeError`] any bank hit.
     pub fn encrypt_blocks(&self, jobs: &[BlockJob]) -> Result<Vec<CipherBlock>, SpeError> {
-        let ctx = &self.context;
         self.record_fan_out(jobs.len());
-        fan_out(self.banks, jobs.len(), |i| {
-            let job = &jobs[i];
-            match job.key {
-                Some(key) => ctx.rekeyed(key).encrypt_block(&job.plaintext, job.tweak),
-                None => ctx.encrypt_block(&job.plaintext, job.tweak),
-            }
-        })
+        if self.banks() == 1 {
+            let ctx = self.context();
+            return jobs
+                .iter()
+                .map(|job| match job.key {
+                    Some(key) => ctx.rekeyed(key).encrypt_block(&job.plaintext, job.tweak),
+                    None => ctx.encrypt_block(&job.plaintext, job.tweak),
+                })
+                .collect();
+        }
+        self.run_batch(jobs.iter().map(BlockJob::request))?
+            .into_iter()
+            .map(CipherResponse::into_block)
+            .collect()
     }
 }
 
 /// Runs `work(0..jobs)` across up to `banks` scoped worker threads and
-/// returns the results in job order. Worker panics surface as
-/// [`SpeError::Internal`] instead of poisoning the caller.
+/// returns the results in job order. Used by dataset builders whose work
+/// items are not [`CipherRequest`]s (context construction, sweeps); the
+/// cipher datapath itself goes through the [`BankScheduler`]. Worker
+/// panics surface as [`SpeError::BankPoisoned`] instead of poisoning the
+/// caller.
 pub(crate) fn fan_out<T, F>(banks: usize, jobs: usize, work: F) -> Result<Vec<T>, SpeError>
 where
     T: Send,
@@ -380,11 +481,11 @@ where
         handles.into_iter().any(|h| h.join().is_err())
     });
     if panicked {
-        return Err(SpeError::Internal("a SPECU bank worker panicked"));
+        return Err(SpeError::BankPoisoned);
     }
     results
         .into_iter()
-        .map(|slot| slot.unwrap_or(Err(SpeError::Internal("a SPECU bank dropped a job"))))
+        .map(|slot| slot.unwrap_or(Err(SpeError::BankPoisoned)))
         .collect()
 }
 
@@ -484,5 +585,28 @@ mod tests {
             par.decrypt_line(&enc),
             Err(SpeError::BadLength { .. })
         ));
+    }
+
+    #[test]
+    fn clones_share_one_worker_pool() {
+        let s = specu();
+        let par = s.parallel(4).expect("parallel");
+        let clone = par.clone();
+        assert!(std::ptr::eq(par.scheduler(), clone.scheduler()));
+        // Both handles drive the same scheduler to the same ciphertexts.
+        let pt = line(21);
+        assert_eq!(
+            par.encrypt_line(&pt, 21).expect("a"),
+            clone.encrypt_line(&pt, 21).expect("b")
+        );
+    }
+
+    #[test]
+    fn fan_out_panic_is_typed_bank_poisoned() {
+        let out: Result<Vec<u64>, SpeError> = fan_out(4, 8, |i| {
+            assert!(i != 5, "test-injected fan-out panic");
+            Ok(i as u64)
+        });
+        assert_eq!(out, Err(SpeError::BankPoisoned));
     }
 }

@@ -34,9 +34,11 @@
 //! ```
 
 use crate::error::SpeError;
+use crate::key::Key;
 use crate::parallel::ParallelSpecu;
 use crate::recovery::{FaultCounters, FaultPolicy};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, Specu, BLOCK_BYTES, LINE_BYTES};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How much verification a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +84,10 @@ pub struct CipherRequest {
     pub resilience: Option<FaultPolicy>,
     /// Integrity verification mode.
     pub verify: Verify,
+    /// Key override: `Some` runs the request under a cheap
+    /// [`SpeContext::rekeyed`] context sharing the datapath's calibration
+    /// (the Table 2 avalanche/density datasets rotate keys per block).
+    pub key: Option<Key>,
 }
 
 impl CipherRequest {
@@ -91,6 +97,7 @@ impl CipherRequest {
             tweak: 0,
             resilience: None,
             verify: Verify::None,
+            key: None,
         }
     }
 
@@ -134,6 +141,14 @@ impl CipherRequest {
     #[must_use]
     pub fn verified(mut self) -> Self {
         self.verify = Verify::Tag;
+        self
+    }
+
+    /// Runs the request under `key` instead of the datapath's loaded key
+    /// (a cheap context rekey; the calibration is shared).
+    #[must_use]
+    pub fn with_key(mut self, key: Key) -> Self {
+        self.key = Some(key);
         self
     }
 
@@ -240,6 +255,90 @@ impl CipherResponse {
     }
 }
 
+/// Completion state shared between a submitted request and the bank worker
+/// servicing it: a one-shot result slot plus the condvar waiters park on.
+///
+/// `complete` is first-write-wins, so the scheduler's drop-safety net (a
+/// job dropped mid-unwind fails its ticket with
+/// [`SpeError::BankPoisoned`]) can never clobber a real result.
+#[derive(Debug, Default)]
+pub(crate) struct TicketCell {
+    slot: Mutex<Option<Result<CipherResponse, SpeError>>>,
+    done: Condvar,
+}
+
+/// Recovers a guard from a poisoned lock: the slot holds a plain
+/// `Option` that is either fully written or not, so a panic elsewhere
+/// cannot leave it half-updated.
+fn lock_slot(
+    cell: &TicketCell,
+) -> std::sync::MutexGuard<'_, Option<Result<CipherResponse, SpeError>>> {
+    cell.slot
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl TicketCell {
+    /// Publishes the request's result and wakes every waiter. A no-op if a
+    /// result was already published (first write wins).
+    pub(crate) fn complete(&self, result: Result<CipherResponse, SpeError>) {
+        let mut slot = lock_slot(self);
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A completion handle for a [`CipherRequest`] submitted to the bank
+/// scheduler: requests complete out of order across banks, and the ticket
+/// matches each response back to its submission.
+///
+/// Obtained from [`crate::scheduler::BankScheduler::submit`] /
+/// [`crate::scheduler::BankScheduler::try_submit`]. Dropping a ticket is
+/// fine — the in-flight request still completes, its result is discarded.
+#[derive(Debug)]
+pub struct CipherTicket {
+    cell: Arc<TicketCell>,
+}
+
+impl CipherTicket {
+    /// Wraps a completion cell (scheduler-internal).
+    pub(crate) fn new(cell: Arc<TicketCell>) -> Self {
+        CipherTicket { cell }
+    }
+
+    /// Whether the request has completed (non-blocking poll).
+    pub fn is_done(&self) -> bool {
+        lock_slot(&self.cell).is_some()
+    }
+
+    /// Blocks until the bank worker completes the request and returns its
+    /// result.
+    ///
+    /// Never deadlocks: a worker panic fails the ticket with
+    /// [`SpeError::BankPoisoned`], and scheduler shutdown drains every
+    /// accepted request before the workers exit.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the datapath returned, or [`SpeError::BankPoisoned`] if
+    /// the servicing worker panicked.
+    pub fn wait(self) -> Result<CipherResponse, SpeError> {
+        let mut slot = lock_slot(&self.cell);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .cell
+                .done
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
 /// The unified SPE datapath interface: every backend (serial context,
 /// stateful SPECU facade, multi-bank parallel datapath) processes the same
 /// [`CipherRequest`]s. Object-safe, so harnesses like the memsim fault
@@ -265,6 +364,13 @@ pub trait SpeCipher {
 
 impl SpeCipher for SpeContext {
     fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        if let Some(key) = request.key {
+            let request = CipherRequest {
+                key: None,
+                ..request
+            };
+            return self.rekeyed(key).encrypt(request);
+        }
         match &request.payload {
             Payload::Block(pt) => {
                 if request.wants_resilient() {
@@ -299,6 +405,13 @@ impl SpeCipher for SpeContext {
     }
 
     fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        if let Some(key) = request.key {
+            let request = CipherRequest {
+                key: None,
+                ..request
+            };
+            return self.rekeyed(key).decrypt(request);
+        }
         match &request.payload {
             Payload::SealedBlock(block) => {
                 let pt = match request.verify {

@@ -1,0 +1,747 @@
+//! The persistent bank-scheduler pipeline.
+//!
+//! PR 5's schedule cache removed derivation cost from the warm line path,
+//! which exposed the next bottleneck: the multi-bank datapath forked and
+//! joined a fresh [`std::thread::scope`] per batch, and on warm working
+//! sets that per-batch spawn overhead made four banks *slower* than one.
+//! This module replaces fork-join with a memory-controller-style request
+//! scheduler:
+//!
+//! * **Persistent workers** — one thread per SPECU bank, spawned once when
+//!   the [`BankScheduler`] is built and parked on a condvar when idle.
+//! * **Bounded per-bank queues** — every [`CipherRequest`] is routed to a
+//!   bank by its address (block tweak / line address), giving each bank an
+//!   independent bounded submission queue. [`BankScheduler::submit`]
+//!   blocks when the target queue is full (backpressure);
+//!   [`BankScheduler::try_submit`] refuses with
+//!   [`SubmitError::WouldBlock`] instead.
+//! * **Tickets** — each accepted request returns a
+//!   [`CipherTicket`](crate::request::CipherTicket); banks complete out of
+//!   order and the ticket matches each response to its submission.
+//! * **Deterministic shutdown** — [`BankScheduler::shutdown`] (and drop)
+//!   closes the queues; workers drain every accepted request before they
+//!   exit, so a ticket obtained before shutdown always completes. New
+//!   submissions are refused with [`SpeError::SchedulerShutdown`].
+//! * **Panic isolation** — a panicking job fails its own ticket with
+//!   [`SpeError::BankPoisoned`] and the worker keeps servicing the queue;
+//!   a submitter can never deadlock on a dead bank.
+//!
+//! The workers execute requests through the exact same
+//! [`SpeCipher`](crate::request::SpeCipher) implementation the serial
+//! context uses, so pipelined ciphertexts are byte-identical to serial
+//! ones by construction. [`crate::parallel::ParallelSpecu`] keeps its
+//! batch API as a thin façade over this scheduler.
+
+use crate::error::SpeError;
+use crate::request::{CipherRequest, CipherTicket, Payload, SpeCipher, TicketCell};
+use crate::specu::{SpeContext, BLOCKS_PER_LINE};
+use spe_telemetry::{Counter, Histogram, Recorder};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Default bound on each bank's submission queue (requests).
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Bank-scheduler geometry: worker count and per-bank queue bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// SPECU banks (worker threads); clamped to at least one.
+    pub banks: usize,
+    /// Bounded depth of each bank's submission queue; clamped to at least
+    /// one. Submissions beyond it block (or refuse, for
+    /// [`BankScheduler::try_submit`]).
+    pub queue_depth: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            banks: BLOCKS_PER_LINE,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// A configuration with `banks` workers and the default queue depth.
+    pub fn with_banks(banks: usize) -> Self {
+        SchedulerConfig {
+            banks,
+            ..SchedulerConfig::default()
+        }
+    }
+}
+
+/// Why a non-blocking submission was refused. Both variants hand the
+/// request back so the caller can retry or reroute without cloning.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The target bank's queue is at its bound; retrying later (or
+    /// switching to the blocking [`BankScheduler::submit`]) will succeed
+    /// once the bank drains.
+    WouldBlock(CipherRequest),
+    /// The scheduler is shut down; no bank will ever accept the request.
+    Shutdown(CipherRequest),
+}
+
+impl SubmitError {
+    /// Recovers the refused request.
+    pub fn into_request(self) -> CipherRequest {
+        match self {
+            SubmitError::WouldBlock(r) | SubmitError::Shutdown(r) => r,
+        }
+    }
+}
+
+/// What a queued job asks its bank worker to do.
+#[derive(Debug)]
+enum JobKind {
+    /// Run the request through the shared context's cipher datapath
+    /// (plaintext payloads encrypt, sealed payloads decrypt).
+    Cipher(CipherRequest),
+    /// Panic inside the worker — exercises the poison/no-deadlock path.
+    #[cfg(test)]
+    Panic,
+    /// Park until the gate opens — holds the bank busy so tests can fill
+    /// its queue deterministically.
+    #[cfg(test)]
+    Stall(Arc<StallGate>),
+}
+
+/// One queued unit of work plus its completion ticket.
+///
+/// The `Drop` impl is the no-deadlock safety net: however a job leaves the
+/// system — executed, abandoned during a panic unwind, or discarded by a
+/// drain — its ticket is completed exactly once.
+#[derive(Debug)]
+struct Job {
+    kind: JobKind,
+    cell: Arc<TicketCell>,
+}
+
+impl Job {
+    fn new(request: CipherRequest) -> (Self, CipherTicket) {
+        Job::with_kind(JobKind::Cipher(request))
+    }
+
+    fn with_kind(kind: JobKind) -> (Self, CipherTicket) {
+        let cell = Arc::new(TicketCell::default());
+        let ticket = CipherTicket::new(Arc::clone(&cell));
+        (Job { kind, cell }, ticket)
+    }
+
+    /// Executes the job on the shared context and publishes the result.
+    fn run(self, context: &SpeContext) {
+        match &self.kind {
+            JobKind::Cipher(request) => {
+                let result = match request.payload {
+                    Payload::Block(_) | Payload::Line(_) => context.encrypt(request.clone()),
+                    Payload::SealedBlock(_) | Payload::SealedLine(_) => {
+                        context.decrypt(request.clone())
+                    }
+                };
+                self.cell.complete(result);
+            }
+            #[cfg(test)]
+            JobKind::Panic => panic!("test-injected bank panic"),
+            #[cfg(test)]
+            JobKind::Stall(gate) => {
+                gate.wait_open();
+                self.cell.complete(Err(SpeError::Internal("stall job")));
+            }
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // First write wins in `complete`, so this is a no-op after a
+        // normal run and the poison marker otherwise.
+        self.cell.complete(Err(SpeError::BankPoisoned));
+    }
+}
+
+/// A test gate a stall job parks on until opened.
+#[cfg(test)]
+#[derive(Debug, Default)]
+struct StallGate {
+    open: Mutex<bool>,
+    bell: Condvar,
+}
+
+#[cfg(test)]
+impl StallGate {
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+        while !*open {
+            open = self.bell.wait(open).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.bell.notify_all();
+    }
+}
+
+/// The guarded state of one bank's submission queue.
+#[derive(Debug, Default)]
+struct BankState {
+    queue: VecDeque<Job>,
+    /// Cleared by shutdown: workers drain what is queued, then exit, and
+    /// new submissions are refused.
+    open: bool,
+}
+
+/// One bank's bounded MPMC submission queue.
+#[derive(Debug)]
+struct BankQueue {
+    state: Mutex<BankState>,
+    /// Workers park here when the queue is empty.
+    not_empty: Condvar,
+    /// Blocking submitters park here when the queue is at its bound.
+    not_full: Condvar,
+}
+
+/// Recovers a guard from a poisoned bank lock: the queue is either
+/// observed with a job or without it, never half-pushed, so serving the
+/// state after a panic elsewhere is safe (and beats deadlocking every
+/// submitter).
+fn lock_bank(queue: &BankQueue) -> MutexGuard<'_, BankState> {
+    queue
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl BankQueue {
+    fn new() -> Self {
+        BankQueue {
+            state: Mutex::new(BankState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Worker side: the next job, parking while the queue is empty and
+    /// open. `None` once the queue is closed *and* drained — the worker's
+    /// signal to exit.
+    fn pop(&self) -> Option<Job> {
+        let mut state = lock_bank(self);
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Submitter side, blocking: waits for space (recording one
+    /// backpressure stall if it had to), then enqueues. Returns the
+    /// post-push depth.
+    fn push(&self, job: Job, depth: usize, recorder: &dyn Recorder) -> Result<usize, SpeError> {
+        let mut state = lock_bank(self);
+        let mut stalled = false;
+        while state.open && state.queue.len() >= depth {
+            stalled = true;
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if !state.open {
+            return Err(SpeError::SchedulerShutdown);
+        }
+        if stalled {
+            recorder.add(Counter::SchedBackpressureWaits, 1);
+        }
+        state.queue.push_back(job);
+        let occupied = state.queue.len();
+        self.not_empty.notify_one();
+        Ok(occupied)
+    }
+
+    /// Submitter side, non-blocking: enqueues only if the bank has space.
+    /// Returns the post-push depth, or the job back.
+    // Handing the whole job back on refusal is the point of the API — the
+    // caller resubmits it without a copy — so the large Err is deliberate.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, job: Job, depth: usize) -> Result<usize, Job> {
+        let mut state = lock_bank(self);
+        if !state.open || state.queue.len() >= depth {
+            return Err(job);
+        }
+        state.queue.push_back(job);
+        let occupied = state.queue.len();
+        self.not_empty.notify_one();
+        Ok(occupied)
+    }
+
+    /// Whether the queue accepts new submissions.
+    fn is_open(&self) -> bool {
+        lock_bank(self).open
+    }
+
+    /// Closes the queue: queued jobs still drain, submissions refuse, and
+    /// parked workers/submitters wake to observe the closure.
+    fn close(&self) {
+        let mut state = lock_bank(self);
+        state.open = false;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// The persistent multi-bank request scheduler: per-bank worker threads
+/// fed by bounded submission queues of [`CipherRequest`]s, completing into
+/// [`CipherTicket`]s.
+///
+/// Built once and reused across batches — the whole point is that no
+/// thread is ever spawned on the hot path. All submission methods take
+/// `&self`; clones of the owning [`crate::parallel::ParallelSpecu`] share
+/// one scheduler behind an [`Arc`].
+#[derive(Debug)]
+pub struct BankScheduler {
+    banks: Vec<Arc<BankQueue>>,
+    workers: Vec<JoinHandle<()>>,
+    context: SpeContext,
+    queue_depth: usize,
+    /// Requests accepted but not yet completed (queued + executing).
+    in_flight: Arc<AtomicU64>,
+    /// Round-robin cursor for requests with no address affinity.
+    cursor: AtomicUsize,
+}
+
+impl BankScheduler {
+    /// Spawns `config.banks` persistent workers over clones of `context`.
+    /// Workers share the context's calibration, schedule cache and
+    /// telemetry recorder, so the pipelined datapath is the serial one,
+    /// many times over.
+    pub fn new(context: SpeContext, config: SchedulerConfig) -> Self {
+        let bank_count = config.banks.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let banks: Vec<Arc<BankQueue>> = (0..bank_count)
+            .map(|_| Arc::new(BankQueue::new()))
+            .collect();
+        let workers = banks
+            .iter()
+            .enumerate()
+            .map(|(b, queue)| {
+                let queue = Arc::clone(queue);
+                let ctx = context.clone();
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::Builder::new()
+                    .name(format!("spe-bank-{b}"))
+                    .spawn(move || worker_main(&queue, &ctx, &in_flight))
+                    .expect("spawn SPECU bank worker")
+            })
+            .collect();
+        BankScheduler {
+            banks,
+            workers,
+            context,
+            queue_depth,
+            in_flight,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared keyed context the workers execute against.
+    pub fn context(&self) -> &SpeContext {
+        &self.context
+    }
+
+    /// The number of SPECU banks (worker threads).
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The bound on each bank's submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Requests currently accepted but not yet completed.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The scheduler geometry.
+    pub fn config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            banks: self.banks.len(),
+            queue_depth: self.queue_depth,
+        }
+    }
+
+    /// Whether the scheduler still accepts submissions.
+    pub fn is_open(&self) -> bool {
+        self.banks.iter().all(|b| b.is_open())
+    }
+
+    /// The bank a request is routed to: its block tweak / line address,
+    /// modulo the bank count — the same static address-interleaving a
+    /// memory controller uses, so one hot bank backpressures without
+    /// stalling the others. Requests with no address (an empty sealed
+    /// line) round-robin.
+    fn route(&self, request: &CipherRequest) -> usize {
+        let banks = self.banks.len();
+        let key = match &request.payload {
+            Payload::Block(_) | Payload::Line(_) => Some(request.tweak),
+            Payload::SealedBlock(block) => Some(block.tweak()),
+            Payload::SealedLine(line) => line
+                .blocks
+                .first()
+                .map(|b| b.tweak() / BLOCKS_PER_LINE as u64),
+        };
+        match key {
+            Some(k) => (k % banks as u64) as usize,
+            None => self.cursor.fetch_add(1, Ordering::Relaxed) % banks,
+        }
+    }
+
+    /// Books one accepted request in the telemetry. The in-flight gauge
+    /// was raised *before* the enqueue (so a fast worker completing the
+    /// request first can never drive it below zero); this reads the
+    /// current value.
+    fn record_accept(&self, occupied: usize) {
+        let rec = self.context.recorder();
+        if rec.enabled() {
+            rec.add(Counter::SchedSubmitted, 1);
+            rec.observe(Histogram::SchedQueueDepth, occupied as u64);
+            rec.observe(
+                Histogram::SchedInFlight,
+                self.in_flight.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    /// Submits a request, blocking while its bank's queue is full
+    /// (backpressure). Plaintext payloads encrypt; sealed payloads
+    /// decrypt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::SchedulerShutdown`] after [`shutdown`]
+    /// (the request is consumed; use [`try_submit`] to get it back).
+    ///
+    /// [`shutdown`]: BankScheduler::shutdown
+    /// [`try_submit`]: BankScheduler::try_submit
+    pub fn submit(&self, request: CipherRequest) -> Result<CipherTicket, SpeError> {
+        let bank = self.route(&request);
+        let (job, ticket) = Job::new(request);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match self.banks[bank].push(job, self.queue_depth, self.context.recorder().as_ref()) {
+            Ok(occupied) => {
+                self.record_accept(occupied);
+                Ok(ticket)
+            }
+            Err(e) => {
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits a request only if its bank has queue space, refusing with
+    /// [`SubmitError::WouldBlock`] (request handed back) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::WouldBlock`] when the bank queue is at its bound,
+    /// [`SubmitError::Shutdown`] after [`BankScheduler::shutdown`].
+    // The refusal carries the request back to the caller by value so it can
+    // be resubmitted without a copy; the large Err variant is deliberate.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, request: CipherRequest) -> Result<CipherTicket, SubmitError> {
+        let bank = &self.banks[self.route(&request)];
+        let (job, ticket) = Job::new(request);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match bank.try_push(job, self.queue_depth) {
+            Ok(occupied) => {
+                self.record_accept(occupied);
+                Ok(ticket)
+            }
+            Err(job) => {
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let open = bank.is_open();
+                let request = match job.kind {
+                    JobKind::Cipher(ref r) => r.clone(),
+                    #[cfg(test)]
+                    _ => unreachable!("try_submit only builds cipher jobs"),
+                };
+                drop(job); // fails the unused ticket's cell; ticket is discarded
+                if open {
+                    let rec = self.context.recorder();
+                    rec.add(Counter::SchedRejectedWouldBlock, 1);
+                    Err(SubmitError::WouldBlock(request))
+                } else {
+                    Err(SubmitError::Shutdown(request))
+                }
+            }
+        }
+    }
+
+    /// Submits a whole batch with blocking per-bank backpressure,
+    /// returning tickets in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::SchedulerShutdown`] if the scheduler closes
+    /// mid-batch; already-submitted requests still complete.
+    pub fn submit_batch<I>(&self, requests: I) -> Result<Vec<CipherTicket>, SpeError>
+    where
+        I: IntoIterator<Item = CipherRequest>,
+    {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Closes every bank queue: accepted requests drain to completion,
+    /// new submissions are refused, and the workers exit once their
+    /// queues are dry. Idempotent; also invoked by drop (which then joins
+    /// the workers).
+    pub fn shutdown(&self) {
+        for bank in &self.banks {
+            bank.close();
+        }
+    }
+
+    /// Test-only: submit a raw job kind to bank 0.
+    #[cfg(test)]
+    fn submit_kind(&self, kind: JobKind) -> Result<CipherTicket, SpeError> {
+        let (job, ticket) = Job::with_kind(kind);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match self.banks[0].push(job, self.queue_depth, self.context.recorder().as_ref()) {
+            Ok(occupied) => {
+                self.record_accept(occupied);
+                Ok(ticket)
+            }
+            Err(e) => {
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for BankScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            // A worker that somehow died already just yields its panic
+            // payload here; every ticket was still completed by the Job
+            // drop net, so discarding the join error is safe.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One bank worker: drain the queue until it closes, isolating job panics
+/// so a poisoned request can never take the bank (or a submitter) down
+/// with it.
+fn worker_main(queue: &BankQueue, context: &SpeContext, in_flight: &AtomicU64) {
+    while let Some(job) = queue.pop() {
+        // On panic the unwinding drop of `job` completes its ticket with
+        // `SpeError::BankPoisoned`; catching here keeps the worker alive
+        // for the requests behind it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(context)));
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        context.recorder().add(Counter::SchedCompleted, 1);
+        drop(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use crate::specu::{Specu, LINE_BYTES};
+    use std::sync::OnceLock;
+
+    fn context() -> SpeContext {
+        static CACHE: OnceLock<Specu> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Specu::new(Key::from_seed(0x5C4E)).expect("specu"))
+            .context()
+            .expect("context")
+            .clone()
+    }
+
+    fn line(seed: u64) -> [u8; LINE_BYTES] {
+        core::array::from_fn(|i| {
+            let x = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(i as u64 * 0x2B);
+            (x >> 29) as u8
+        })
+    }
+
+    #[test]
+    fn pipelined_requests_match_serial_and_roundtrip() {
+        let ctx = context();
+        let sched = BankScheduler::new(ctx.clone(), SchedulerConfig::with_banks(4));
+        let tickets = sched
+            .submit_batch((0..8u64).map(|a| CipherRequest::line(line(a), a)))
+            .expect("submit");
+        let mut sealed = Vec::new();
+        for (a, t) in tickets.into_iter().enumerate() {
+            let got = t.wait().expect("encrypt").into_line().expect("line");
+            let serial = ctx
+                .encrypt(CipherRequest::line(line(a as u64), a as u64))
+                .expect("serial")
+                .into_line()
+                .expect("line");
+            assert_eq!(got, serial, "pipelined != serial at {a}");
+            sealed.push(got);
+        }
+        for (a, s) in sealed.into_iter().enumerate() {
+            let back = sched
+                .submit(CipherRequest::sealed_line(s))
+                .expect("submit")
+                .wait()
+                .expect("decrypt")
+                .into_plain_line()
+                .expect("plain");
+            assert_eq!(back, line(a as u64));
+        }
+        // The worker decrements the gauge just after completing the
+        // ticket, so give it a moment to settle.
+        for _ in 0..100 {
+            if sched.in_flight() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(sched.in_flight(), 0);
+    }
+
+    #[test]
+    fn worker_panic_poisons_the_ticket_not_the_bank() {
+        let sched = BankScheduler::new(context(), SchedulerConfig::with_banks(1));
+        let poisoned = sched.submit_kind(JobKind::Panic).expect("submit");
+        assert_eq!(poisoned.wait(), Err(SpeError::BankPoisoned));
+        // The bank survives and keeps servicing requests behind the panic:
+        // no deadlocked submitter, no dead queue.
+        let after = sched
+            .submit(CipherRequest::line(line(9), 9))
+            .expect("submit after panic")
+            .wait()
+            .expect("encrypt")
+            .into_line()
+            .expect("line");
+        assert!(!after.blocks.is_empty());
+    }
+
+    #[test]
+    fn full_queue_refuses_with_would_block_and_recovers() {
+        let ctx = context();
+        let sched = BankScheduler::new(
+            ctx.clone(),
+            SchedulerConfig {
+                banks: 1,
+                queue_depth: 1,
+            },
+        );
+        // Stall the only worker, then fill the queue bound behind it.
+        let gate = Arc::new(StallGate::default());
+        let stalled = sched
+            .submit_kind(JobKind::Stall(Arc::clone(&gate)))
+            .expect("stall");
+        let queued = sched
+            .submit(CipherRequest::line(line(0), 0))
+            .expect("queued");
+        // Deterministically full: the non-blocking path must refuse and
+        // hand the request back.
+        let refused = sched.try_submit(CipherRequest::line(line(1), 1));
+        match refused {
+            Err(SubmitError::WouldBlock(request)) => {
+                assert_eq!(request.tweak, 1, "the refused request is handed back")
+            }
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+        gate.release();
+        assert_eq!(stalled.wait(), Err(SpeError::Internal("stall job")));
+        queued.wait().expect("queued request completes");
+        // With the bank drained the same request is accepted.
+        sched
+            .try_submit(CipherRequest::line(line(1), 1))
+            .expect("accepted after drain")
+            .wait()
+            .expect("encrypt");
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_then_refuses() {
+        let sched = BankScheduler::new(context(), SchedulerConfig::with_banks(2));
+        let tickets = sched
+            .submit_batch((0..6u64).map(|a| CipherRequest::line(line(a), a)))
+            .expect("submit");
+        sched.shutdown();
+        assert!(!sched.is_open());
+        // Every request accepted before shutdown still completes…
+        for t in tickets {
+            t.wait().expect("accepted request drains to completion");
+        }
+        // …and both submission paths now refuse.
+        assert!(matches!(
+            sched.submit(CipherRequest::line(line(7), 7)),
+            Err(SpeError::SchedulerShutdown)
+        ));
+        assert!(matches!(
+            sched.try_submit(CipherRequest::line(line(7), 7)),
+            Err(SubmitError::Shutdown(_))
+        ));
+    }
+
+    #[test]
+    fn tickets_complete_out_of_order() {
+        let ctx = context();
+        let sched = BankScheduler::new(ctx.clone(), SchedulerConfig::with_banks(3));
+        let mut tickets: Vec<(u64, CipherTicket)> = (0..9u64)
+            .map(|a| {
+                (
+                    a,
+                    sched
+                        .submit(CipherRequest::line(line(a), a))
+                        .expect("submit"),
+                )
+            })
+            .collect();
+        // Wait in reverse submission order: each ticket still matches its
+        // own request.
+        tickets.reverse();
+        for (a, t) in tickets {
+            let got = t.wait().expect("encrypt").into_line().expect("line");
+            let serial = ctx
+                .encrypt(CipherRequest::line(line(a), a))
+                .expect("serial")
+                .into_line()
+                .expect("line");
+            assert_eq!(got, serial, "ticket {a} matched the wrong response");
+        }
+    }
+
+    #[test]
+    fn address_routing_is_stable() {
+        let sched = BankScheduler::new(context(), SchedulerConfig::with_banks(4));
+        for tweak in 0..16u64 {
+            let req = CipherRequest::line(line(tweak), tweak);
+            assert_eq!(sched.route(&req), (tweak % 4) as usize);
+        }
+    }
+}

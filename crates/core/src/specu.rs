@@ -1047,6 +1047,10 @@ impl Specu {
     /// A multi-bank parallel datapath over this SPECU's context (one SPECU
     /// bank per mat, §7 / Fig. 7).
     ///
+    /// This spawns the persistent bank-scheduler worker pool
+    /// ([`crate::scheduler::BankScheduler`]): build it once and reuse it
+    /// across batches rather than constructing one per batch.
+    ///
     /// # Errors
     ///
     /// Returns [`SpeError::KeyNotLoaded`] after power-down.

@@ -68,6 +68,16 @@ pub enum Counter {
     // ---- spe-core: multi-bank fan-out ----
     /// Jobs dispatched to SPECU bank workers.
     BankJobs,
+    // ---- spe-core: bank-scheduler pipeline ----
+    /// Cipher requests accepted into a bank submission queue.
+    SchedSubmitted,
+    /// Cipher requests a bank worker finished (ticket completed).
+    SchedCompleted,
+    /// Blocking submissions that had to wait for queue space
+    /// (backpressure stalls).
+    SchedBackpressureWaits,
+    /// Non-blocking submissions refused because the bank queue was full.
+    SchedRejectedWouldBlock,
     // ---- spe-memsim: memory system ----
     /// NVMM line reads serviced.
     NvmmReads,
@@ -81,7 +91,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 34;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -111,6 +121,10 @@ impl Counter {
         Counter::TagsVerified,
         Counter::IntegrityFailures,
         Counter::BankJobs,
+        Counter::SchedSubmitted,
+        Counter::SchedCompleted,
+        Counter::SchedBackpressureWaits,
+        Counter::SchedRejectedWouldBlock,
         Counter::NvmmReads,
         Counter::NvmmWrites,
         Counter::LinesSealed,
@@ -151,6 +165,10 @@ impl Counter {
             Counter::TagsVerified => "tags_verified",
             Counter::IntegrityFailures => "integrity_failures",
             Counter::BankJobs => "bank_jobs",
+            Counter::SchedSubmitted => "sched_submitted",
+            Counter::SchedCompleted => "sched_completed",
+            Counter::SchedBackpressureWaits => "sched_backpressure_waits",
+            Counter::SchedRejectedWouldBlock => "sched_rejected_would_block",
             Counter::NvmmReads => "nvmm_reads",
             Counter::NvmmWrites => "nvmm_writes",
             Counter::LinesSealed => "lines_sealed",
@@ -194,6 +212,11 @@ pub enum Histogram {
     PoePulseIndex,
     /// Jobs per SPECU bank (value = bank index) — fan-out utilization.
     BankUtilization,
+    /// Bank submission-queue depth observed as each request is enqueued.
+    SchedQueueDepth,
+    /// Requests in flight across the scheduler (queued + executing),
+    /// observed as each request is accepted — the saturation metric.
+    SchedInFlight,
     /// Write pulse widths (device time units; also used for the
     /// exponential verify-retry backoff widths).
     PulseWidth,
@@ -207,12 +230,14 @@ pub enum Histogram {
 
 impl Histogram {
     /// Number of histograms.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// Every histogram in canonical snapshot order.
     pub const ALL: [Histogram; Histogram::COUNT] = [
         Histogram::PoePulseIndex,
         Histogram::BankUtilization,
+        Histogram::SchedQueueDepth,
+        Histogram::SchedInFlight,
         Histogram::PulseWidth,
         Histogram::ReadLatencyCycles,
         Histogram::QueueDelayCycles,
@@ -229,6 +254,8 @@ impl Histogram {
         match self {
             Histogram::PoePulseIndex => "poe_pulse_index",
             Histogram::BankUtilization => "bank_utilization",
+            Histogram::SchedQueueDepth => "sched_queue_depth",
+            Histogram::SchedInFlight => "sched_in_flight",
             Histogram::PulseWidth => "pulse_width",
             Histogram::ReadLatencyCycles => "read_latency_cycles",
             Histogram::QueueDelayCycles => "queue_delay_cycles",
@@ -241,7 +268,9 @@ impl Histogram {
         match self {
             Histogram::PoePulseIndex => &POE_INDEX_BOUNDS,
             Histogram::BankUtilization => &BANK_BOUNDS,
-            Histogram::PulseWidth
+            Histogram::SchedQueueDepth
+            | Histogram::SchedInFlight
+            | Histogram::PulseWidth
             | Histogram::ReadLatencyCycles
             | Histogram::QueueDelayCycles
             | Histogram::EngineLatencyCycles => &LOG2_BOUNDS,

@@ -207,6 +207,87 @@ fn bank_count_changes_neither_ciphertexts_nor_pulse_telemetry() {
 }
 
 #[test]
+fn pipelined_scheduler_matches_serial_ciphertexts_and_telemetry() {
+    // The quick pipeline gate: the same line traffic driven through the
+    // raw bank-scheduler submit/ticket interface must produce the serial
+    // datapath's exact ciphertexts AND the same deterministic physical
+    // telemetry (pulses, derivations), with the scheduler's own
+    // bookkeeping balancing to zero requests lost.
+    use snvmm::core::{CipherRequest, SpeCipher};
+    let jobs: Vec<LineJob> = (0..12u64)
+        .map(|i| LineJob::new(line_pattern(i * 64), 0x900 + i))
+        .collect();
+
+    let serial_rec = Arc::new(AtomicRecorder::new());
+    let mut serial = Specu::new(Key::from_seed(0x5CED)).expect("specu");
+    serial.attach_recorder(serial_rec.clone());
+    let serial_lines: Vec<_> = jobs
+        .iter()
+        .map(|j| {
+            serial
+                .encrypt(CipherRequest::line(j.plaintext, j.address))
+                .expect("serial encrypt")
+                .into_line()
+                .expect("line")
+        })
+        .collect();
+
+    let piped_rec = Arc::new(AtomicRecorder::new());
+    let mut piped = Specu::new(Key::from_seed(0x5CED)).expect("specu");
+    piped.attach_recorder(piped_rec.clone());
+    let pool = piped.parallel(4).expect("parallel");
+    let tickets = pool
+        .scheduler()
+        .submit_batch(
+            jobs.iter()
+                .map(|j| CipherRequest::line(j.plaintext, j.address)),
+        )
+        .expect("submit");
+    let piped_lines: Vec<_> = tickets
+        .into_iter()
+        .map(|t| {
+            t.wait()
+                .expect("pipelined encrypt")
+                .into_line()
+                .expect("line")
+        })
+        .collect();
+    // Dropping the pool joins the bank workers: telemetry is final.
+    drop(pool);
+
+    assert_eq!(
+        serial_lines, piped_lines,
+        "pipelined ciphertexts diverged from serial"
+    );
+    let snap_serial = serial_rec.snapshot();
+    let snap_piped = piped_rec.snapshot();
+    for counter in [
+        Counter::PoePulses,
+        Counter::TrainSteps,
+        Counter::BlocksEncrypted,
+        Counter::ScheduleDerivations,
+        Counter::ScheduleCacheHits,
+        Counter::ScheduleCacheMisses,
+    ] {
+        assert_eq!(
+            snap_serial.counter(counter),
+            snap_piped.counter(counter),
+            "{counter:?} diverged between serial and pipelined runs"
+        );
+    }
+    // Scheduler bookkeeping: every submission was completed by a bank.
+    assert_eq!(
+        snap_piped.counter(Counter::SchedSubmitted),
+        jobs.len() as u64
+    );
+    assert_eq!(
+        snap_piped.counter(Counter::SchedCompleted),
+        jobs.len() as u64
+    );
+    assert_eq!(snap_piped.counter(Counter::SchedRejectedWouldBlock), 0);
+}
+
+#[test]
 fn power_cycle_preserves_the_working_set() {
     use snvmm::core::Tpm;
     let key = Key::from_seed(0xCAFE);
