@@ -51,4 +51,17 @@ echo "== bank-scheduler pipeline smoke"
 # BENCH_pipeline.json with the requests-in-flight saturation sweep.
 cargo run --release --offline -p spe-bench --bin pipeline_bench
 
+echo "== chaos / self-healing pipeline smoke"
+# chaos_bench injects deterministic worker panics and stalls, asserts
+# every ciphertext still matches the serial oracle, gates the
+# all-banks-quarantined degraded floor above zero throughput, and emits
+# BENCH_chaos.json (throughput + p99 latency vs fault rate). The hard
+# timeout turns a wedged pipeline — the exact failure mode this
+# subsystem exists to prevent — into a loud CI failure instead of a hang.
+timeout 300 cargo run --release --offline -p spe-bench --bin chaos_bench -- --lines 96
+if ! grep -q '"degraded_floor_lines_per_sec"' BENCH_chaos.json; then
+  echo "FAIL: BENCH_chaos.json is missing the degraded-floor measurement" >&2
+  exit 1
+fi
+
 echo "CI gate passed."

@@ -1,0 +1,262 @@
+//! Fault-injection throughput: how the self-healing pipeline degrades as
+//! the chaos policy drives worker panics and stalls, and what floor the
+//! serial fallback guarantees once every bank is quarantined.
+//!
+//! Emits `BENCH_chaos.json` at the workspace root and enforces three
+//! gates:
+//!
+//! * **correctness under chaos** (always): every ciphertext produced at
+//!   every fault rate is byte-identical to the serial oracle — retries and
+//!   fallbacks are invisible to the caller.
+//! * **degraded floor > 0** (always): with `panic_rate = 1.0` and an
+//!   immediate quarantine policy every bank dies on its first job, yet the
+//!   façade keeps answering on the caller's thread. The pipeline never
+//!   stops serving requests.
+//! * **conservation** (always): at quiescence the scheduler's books
+//!   balance — `sched_submitted == sched_completed + deadline_expired`.
+
+use spe_bench::Args;
+use spe_core::specu::LINE_BYTES;
+use spe_core::{
+    ChaosPolicy, CipherRequest, HealthPolicy, Key, LineJob, ParallelSpecu, RetryPolicy,
+    SchedulerConfig, SpeCipher, Specu, SpecuConfig,
+};
+use spe_telemetry::{AtomicRecorder, Counter, TelemetryHandle};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Banks in the chaos pool (the paper's 4-mat line layout).
+const BANKS: usize = 4;
+
+/// Mixed panic+stall rates swept (total fault probability per job).
+const FAULT_RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+fn specu() -> Specu {
+    Specu::with_config(
+        Key::from_seed(0xC4A0),
+        SpecuConfig {
+            schedule_cache_lines: spe_core::cache::DEFAULT_CACHE_LINES,
+            ..SpecuConfig::default()
+        },
+    )
+    .expect("specu")
+}
+
+fn pattern(addr: u64) -> [u8; LINE_BYTES] {
+    core::array::from_fn(|i| {
+        let x = addr
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(i as u64 * 0x3D);
+        (x >> 21) as u8
+    })
+}
+
+fn jobs(n: usize) -> Vec<LineJob> {
+    (0..n as u64)
+        .map(|a| LineJob::new(pattern(a), 0x8000 + 64 * a))
+        .collect()
+}
+
+/// p99 of a latency sample, in microseconds.
+fn p99_us(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((samples.len() as f64 * 0.99).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[idx]
+}
+
+struct SweepPoint {
+    fault_rate: f64,
+    lines_per_sec: f64,
+    p99_us: f64,
+    retries: u64,
+    respawns: u64,
+}
+
+/// Drives every job through the façade one request at a time (the retry
+/// ladder lives in `settle`, so per-request timing sees the real recovery
+/// cost), consumes the pool (quiescing the workers so the books balance),
+/// checks every ciphertext against the serial oracle, and returns
+/// (throughput, p99).
+fn drive(
+    pool: ParallelSpecu,
+    batch: &[LineJob],
+    oracle: &[Vec<u8>],
+    recorder: &AtomicRecorder,
+) -> (f64, f64) {
+    let mut latencies: Vec<f64> = Vec::with_capacity(batch.len());
+    let wall = Instant::now();
+    for (job, expect) in batch.iter().zip(oracle) {
+        let t0 = Instant::now();
+        let line = pool
+            .encrypt_line(&job.plaintext, job.address)
+            .expect("chaos encrypt must still answer");
+        latencies.push(t0.elapsed().as_secs_f64() * 1.0e6);
+        assert_eq!(
+            line.data(),
+            expect.as_slice(),
+            "ciphertext diverged from the serial oracle under chaos at {:#x}",
+            job.address
+        );
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    let throughput = batch.len() as f64 / elapsed.max(1.0e-9);
+    // Conservation at quiescence: dropping the pool joins the workers
+    // (counters are recorded after tickets resolve, so the books only
+    // balance once they exit), then what went in must have come out.
+    drop(pool);
+    let submitted = recorder.counter(Counter::SchedSubmitted);
+    let completed = recorder.counter(Counter::SchedCompleted);
+    let expired = recorder.counter(Counter::DeadlineExpired);
+    assert_eq!(
+        submitted,
+        completed + expired,
+        "scheduler books must balance: submitted == completed + expired"
+    );
+    (throughput, p99_us(&mut latencies))
+}
+
+fn main() {
+    // Chaos-injected worker panics are the whole point of this harness;
+    // keep their backtraces off the log so real failures stay readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("chaos-injected"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let args = Args::parse();
+    let lines = args.lines(192) as usize;
+    let seed = args.seed(0xC4A0_5EED);
+
+    let specu = specu();
+    let ctx = specu.context().expect("key loaded").clone();
+    let batch = jobs(lines);
+
+    // Serial oracle: the chaos pool must reproduce these bytes exactly at
+    // every fault rate (and via the degraded fallback).
+    let oracle: Vec<Vec<u8>> = batch
+        .iter()
+        .map(|j| {
+            ctx.encrypt(CipherRequest::line(j.plaintext, j.address))
+                .expect("oracle encrypt")
+                .into_line()
+                .expect("line")
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    // --- Sweep: throughput and p99 latency vs fault rate. -------------
+    // `never_quarantine` keeps all banks serving so the sweep isolates the
+    // retry/respawn overhead from pool shrinkage.
+    let mut sweep: Vec<SweepPoint> = Vec::with_capacity(FAULT_RATES.len());
+    for rate in FAULT_RATES {
+        let chaos = if rate == 0.0 {
+            ChaosPolicy::none()
+        } else {
+            ChaosPolicy::mixed(rate / 2.0, rate / 2.0, seed)
+        };
+        let recorder = Arc::new(AtomicRecorder::new());
+        let handle: TelemetryHandle = recorder.clone();
+        let pool = ParallelSpecu::with_scheduler_config(
+            ctx.clone(),
+            SchedulerConfig::with_banks(BANKS)
+                .with_health(HealthPolicy::never_quarantine())
+                .with_chaos(chaos),
+        )
+        // Deep retry budget: the sweep measures what recovery *costs*,
+        // so the ladder must outlast any panic streak the swept rates
+        // can deal (10 consecutive at 5% is ~1e-13 per request).
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 10,
+            backoff_base_us: 50,
+        })
+        .with_recorder(handle);
+        let (lines_per_sec, p99) = drive(pool, &batch, &oracle, &recorder);
+        sweep.push(SweepPoint {
+            fault_rate: rate,
+            lines_per_sec,
+            p99_us: p99,
+            retries: recorder.counter(Counter::RequestRetries),
+            respawns: recorder.counter(Counter::BankRespawns),
+        });
+        println!(
+            "chaos/sweep fault_rate={rate:.2}: {lines_per_sec:.0} lines/s, \
+             p99 {p99:.0}us, {} retries, {} respawns",
+            recorder.counter(Counter::RequestRetries),
+            recorder.counter(Counter::BankRespawns),
+        );
+    }
+
+    // --- Degraded floor: every bank dies, the pipeline keeps answering. --
+    let recorder = Arc::new(AtomicRecorder::new());
+    let handle: TelemetryHandle = recorder.clone();
+    let pool = ParallelSpecu::with_scheduler_config(
+        ctx.clone(),
+        SchedulerConfig::with_banks(2)
+            .with_health(HealthPolicy {
+                degrade_after: 1,
+                quarantine_after: 1,
+            })
+            .with_chaos(ChaosPolicy::panics(1.0, seed)),
+    )
+    .with_recorder(handle);
+    let (floor_lines_per_sec, floor_p99) = drive(pool, &batch, &oracle, &recorder);
+    let fallbacks = recorder.counter(Counter::DegradedFallbacks);
+    let quarantines = recorder.counter(Counter::BankQuarantines);
+    println!(
+        "chaos/degraded_floor: {floor_lines_per_sec:.0} lines/s, p99 {floor_p99:.0}us, \
+         {fallbacks} fallbacks, {quarantines} quarantines"
+    );
+
+    // Gate: the all-banks-quarantined floor is nonzero — the pipeline must
+    // never stop answering, it only gets slower.
+    assert_eq!(
+        quarantines, 2,
+        "a panic_rate of 1.0 with quarantine_after=1 must quarantine both banks"
+    );
+    assert!(
+        fallbacks > 0,
+        "quarantined pool must be answering via the serial fallback"
+    );
+    assert!(
+        floor_lines_per_sec > 0.0,
+        "degraded-mode throughput floor must stay above zero \
+         (got {floor_lines_per_sec} lines/s)"
+    );
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"fault_rate\": {:.2}, \"lines_per_sec\": {:.0}, \
+                 \"p99_us\": {:.1}, \"retries\": {}, \"respawns\": {} }}",
+                p.fault_rate, p.lines_per_sec, p.p99_us, p.retries, p.respawns
+            )
+        })
+        .collect();
+    let clean = sweep.first().map_or(0.0, |p| p.lines_per_sec);
+    let json = format!(
+        "{{\n  \"banks\": {BANKS},\n  \
+         \"lines\": {lines},\n  \
+         \"seed\": {seed},\n  \
+         \"clean_lines_per_sec\": {clean:.0},\n  \
+         \"degraded_floor_lines_per_sec\": {floor_lines_per_sec:.0},\n  \
+         \"degraded_floor_p99_us\": {floor_p99:.1},\n  \
+         \"degraded_fallbacks\": {fallbacks},\n  \
+         \"bank_quarantines\": {quarantines},\n  \
+         \"fault_sweep\": [\n{}\n  ]\n}}\n",
+        sweep_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    std::fs::write(path, &json).expect("write BENCH_chaos.json");
+    println!("chaos/BENCH_chaos.json written:\n{json}");
+}

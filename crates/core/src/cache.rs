@@ -107,19 +107,14 @@ pub struct ScheduleCache {
 
 /// Recovers a read guard from a poisoned lock: a panic elsewhere cannot
 /// corrupt the map structurally (entries are inserted/removed whole), so
-/// serving stale-but-consistent entries beats poisoning every bank.
+/// serving stale-but-consistent entries beats poisoning every bank. See
+/// [`crate::sync`] for the contract.
 fn read_map(shard: &Shard) -> std::sync::RwLockReadGuard<'_, HashMap<(u64, u64), Entry>> {
-    shard
-        .map
-        .read()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    crate::sync::read_unpoisoned(&shard.map)
 }
 
 fn write_map(shard: &Shard) -> std::sync::RwLockWriteGuard<'_, HashMap<(u64, u64), Entry>> {
-    shard
-        .map
-        .write()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    crate::sync::write_unpoisoned(&shard.map)
 }
 
 impl ScheduleCache {

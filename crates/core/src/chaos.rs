@@ -1,0 +1,222 @@
+//! Deterministic chaos injection for the bank-scheduler pipeline.
+//!
+//! The recovery ladder of [`crate::scheduler`] (respawn → quarantine →
+//! serial degradation) is only trustworthy if it can be exercised on
+//! schedule. A [`ChaosPolicy`] makes bank workers panic, stall or slow
+//! down with per-job probabilities, and — exactly like the cell-level
+//! [`FaultModel`](crate::recovery::FaultModel) — every draw is a **pure
+//! function** of `(seed, bank, job sequence number)`. There is no mutable
+//! RNG state: two runs of the same workload over the same seed inject the
+//! identical fault pattern, so chaos soaks and `chaos_bench` sweeps are
+//! reproducible bit-for-bit.
+//!
+//! Chaos acts at the worker, *before* the job executes:
+//!
+//! * **panic** — the worker incarnation dies mid-job; the job's ticket
+//!   fails with [`SpeError::BankPoisoned`](crate::SpeError::BankPoisoned)
+//!   and the supervisor respawns (or quarantines) the bank.
+//! * **stall** — the worker sleeps [`ChaosPolicy::stall_us`] before
+//!   running the job, long enough to trip request deadlines and exercise
+//!   backpressure.
+//! * **slow** — a milder sleep of [`ChaosPolicy::slow_us`], modelling a
+//!   degraded-but-alive bank.
+//!
+//! The draws are prioritised panic > stall > slow from one uniform sample
+//! per job, so at most one injection fires per job and the configured
+//! rates are exact marginals.
+
+/// Domain separator for the chaos draw stream (decorrelates it from the
+/// fault-model streams even under equal seeds).
+const DOMAIN_CHAOS: u64 = 0x4348_414F_5300_0001;
+
+/// What (if anything) chaos injects into one job execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Run the job normally.
+    None,
+    /// Panic the worker incarnation before running the job.
+    Panic,
+    /// Sleep [`ChaosPolicy::stall_us`] before running the job.
+    Stall,
+    /// Sleep [`ChaosPolicy::slow_us`] before running the job.
+    Slow,
+}
+
+/// A seed-pure schedule of injected worker failures.
+///
+/// Pure data (`Copy`), embeddable in a
+/// [`SchedulerConfig`](crate::scheduler::SchedulerConfig) and shared
+/// across bank workers without synchronisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPolicy {
+    /// Per-job probability the worker panics before running the job.
+    pub panic_rate: f64,
+    /// Per-job probability the worker stalls for [`ChaosPolicy::stall_us`].
+    pub stall_rate: f64,
+    /// Per-job probability the worker sleeps [`ChaosPolicy::slow_us`].
+    pub slow_rate: f64,
+    /// Stall duration, microseconds.
+    pub stall_us: u64,
+    /// Slowdown duration, microseconds.
+    pub slow_us: u64,
+    /// Seed decorrelating all draws of this policy instance.
+    pub seed: u64,
+}
+
+impl ChaosPolicy {
+    /// A policy that never injects anything (the default).
+    pub fn none() -> Self {
+        ChaosPolicy {
+            panic_rate: 0.0,
+            stall_rate: 0.0,
+            slow_rate: 0.0,
+            stall_us: 2_000,
+            slow_us: 200,
+            seed: 0,
+        }
+    }
+
+    /// Panic-only chaos at `rate`.
+    pub fn panics(rate: f64, seed: u64) -> Self {
+        ChaosPolicy {
+            panic_rate: rate,
+            seed,
+            ..ChaosPolicy::none()
+        }
+    }
+
+    /// Stall-only chaos at `rate`, sleeping `stall_us` per injection.
+    pub fn stalls(rate: f64, stall_us: u64, seed: u64) -> Self {
+        ChaosPolicy {
+            stall_rate: rate,
+            stall_us,
+            seed,
+            ..ChaosPolicy::none()
+        }
+    }
+
+    /// Panics and stalls together (the chaos-soak mix).
+    pub fn mixed(panic_rate: f64, stall_rate: f64, seed: u64) -> Self {
+        ChaosPolicy {
+            panic_rate,
+            stall_rate,
+            seed,
+            ..ChaosPolicy::none()
+        }
+    }
+
+    /// Whether the policy can never inject a fault.
+    pub fn is_none(&self) -> bool {
+        self.panic_rate <= 0.0 && self.stall_rate <= 0.0 && self.slow_rate <= 0.0
+    }
+
+    /// The total injected fault rate (at most one event fires per job).
+    pub fn fault_rate(&self) -> f64 {
+        (self.panic_rate + self.stall_rate + self.slow_rate).min(1.0)
+    }
+
+    /// The event injected into job `seq` on bank `bank` — deterministic in
+    /// `(seed, bank, seq)`, independent of thread timing.
+    pub fn draw(&self, bank: usize, seq: u64) -> ChaosEvent {
+        if self.is_none() {
+            return ChaosEvent::None;
+        }
+        let u = unit(mix4(self.seed, DOMAIN_CHAOS, bank as u64, seq));
+        if u < self.panic_rate {
+            ChaosEvent::Panic
+        } else if u < self.panic_rate + self.stall_rate {
+            ChaosEvent::Stall
+        } else if u < self.panic_rate + self.stall_rate + self.slow_rate {
+            ChaosEvent::Slow
+        } else {
+            ChaosEvent::None
+        }
+    }
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        ChaosPolicy::none()
+    }
+}
+
+/// SplitMix64 finalizer — the same avalanche stage the fault model uses.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn mix4(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    splitmix(splitmix(splitmix(a ^ b).wrapping_add(c)) ^ d)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_never_fires() {
+        let p = ChaosPolicy::none();
+        assert!(p.is_none());
+        for seq in 0..1000 {
+            assert_eq!(p.draw(0, seq), ChaosEvent::None);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_dependent() {
+        let a = ChaosPolicy::mixed(0.2, 0.2, 7);
+        let b = ChaosPolicy::mixed(0.2, 0.2, 7);
+        let c = ChaosPolicy::mixed(0.2, 0.2, 8);
+        let da: Vec<_> = (0..500).map(|s| a.draw(1, s)).collect();
+        let db: Vec<_> = (0..500).map(|s| b.draw(1, s)).collect();
+        let dc: Vec<_> = (0..500).map(|s| c.draw(1, s)).collect();
+        assert_eq!(da, db, "same seed, same chaos");
+        assert_ne!(da, dc, "different seed, different chaos");
+        // Banks draw independent streams.
+        let other_bank: Vec<_> = (0..500).map(|s| a.draw(2, s)).collect();
+        assert_ne!(da, other_bank);
+    }
+
+    #[test]
+    fn rates_are_respected_and_prioritised() {
+        let p = ChaosPolicy {
+            panic_rate: 0.1,
+            stall_rate: 0.2,
+            slow_rate: 0.3,
+            ..ChaosPolicy::none()
+        };
+        let n = 20_000u64;
+        let mut panics = 0usize;
+        let mut stalls = 0usize;
+        let mut slows = 0usize;
+        for seq in 0..n {
+            match p.draw(0, seq) {
+                ChaosEvent::Panic => panics += 1,
+                ChaosEvent::Stall => stalls += 1,
+                ChaosEvent::Slow => slows += 1,
+                ChaosEvent::None => {}
+            }
+        }
+        let rate = |c: usize| c as f64 / n as f64;
+        assert!((rate(panics) - 0.1).abs() < 0.02, "panic rate {panics}");
+        assert!((rate(stalls) - 0.2).abs() < 0.02, "stall rate {stalls}");
+        assert!((rate(slows) - 0.3).abs() < 0.02, "slow rate {slows}");
+        assert!((p.fault_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_panic_fires_every_job() {
+        let p = ChaosPolicy::panics(1.0, 3);
+        for seq in 0..100 {
+            assert_eq!(p.draw(0, seq), ChaosEvent::Panic);
+        }
+    }
+}

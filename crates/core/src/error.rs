@@ -46,10 +46,24 @@ pub enum SpeError {
     /// response accessor asked for a payload kind the response does not
     /// hold.
     BadRequest(&'static str),
-    /// A SPECU bank worker panicked while holding (or before reaching) a
-    /// request: the request's completion ticket is failed with this typed
-    /// error instead of leaving the submitter blocked forever.
+    /// A SPECU bank worker panicked *while executing* a request: the
+    /// request's completion ticket is failed with this typed error instead
+    /// of leaving the submitter blocked forever. The request may have
+    /// partially executed; resubmitting is safe only because the cipher
+    /// datapath is stateless (a retry recomputes from the request alone).
     BankPoisoned,
+    /// A queued request was discarded *without ever executing* (its bank
+    /// was quarantined, or a sibling panic tore down the fan-out before
+    /// the job started). Unlike [`SpeError::BankPoisoned`], no work ran at
+    /// all, so resubmission is unconditionally safe.
+    JobNeverRan,
+    /// The request's deadline passed before a bank worker could run it;
+    /// the job was dropped (load-shed) without executing.
+    DeadlineExceeded,
+    /// Every bank of the scheduler is quarantined: no worker can accept
+    /// the request. [`crate::parallel::ParallelSpecu`] reacts by degrading
+    /// to the serial datapath so the system keeps answering.
+    AllBanksQuarantined,
     /// The bank scheduler has been shut down: in-flight requests drain to
     /// completion, but new submissions are refused.
     SchedulerShutdown,
@@ -88,11 +102,41 @@ impl fmt::Display for SpeError {
             SpeError::BankPoisoned => {
                 write!(f, "a SPECU bank worker panicked; the request was abandoned")
             }
+            SpeError::JobNeverRan => {
+                write!(
+                    f,
+                    "the request was discarded before any worker ran it; resubmission is safe"
+                )
+            }
+            SpeError::DeadlineExceeded => {
+                write!(f, "the request's deadline expired before it was executed")
+            }
+            SpeError::AllBanksQuarantined => {
+                write!(
+                    f,
+                    "every SPECU bank is quarantined; the scheduler cannot accept requests"
+                )
+            }
             SpeError::SchedulerShutdown => {
                 write!(f, "the bank scheduler is shut down; submission refused")
             }
             SpeError::Internal(what) => write!(f, "internal error: {what}"),
         }
+    }
+}
+
+impl SpeError {
+    /// Whether resubmitting the failed request can succeed — the
+    /// pipeline-level analogue of a transient (vs permanent) device fault.
+    ///
+    /// [`SpeError::JobNeverRan`] never executed, so a retry is always
+    /// safe; [`SpeError::BankPoisoned`] executed partially, but the cipher
+    /// datapath is stateless (every request recomputes from its own
+    /// payload), so re-running it commits nothing twice. Deadline expiry
+    /// is *not* retryable: the caller's time budget is spent, and
+    /// re-queuing an already-late request only amplifies overload.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SpeError::BankPoisoned | SpeError::JobNeverRan)
     }
 }
 
@@ -157,6 +201,21 @@ mod tests {
         assert!(SpeError::SchedulerShutdown
             .to_string()
             .contains("shut down"));
+        assert!(SpeError::JobNeverRan.to_string().contains("resubmission"));
+        assert!(SpeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(SpeError::AllBanksQuarantined
+            .to_string()
+            .contains("quarantined"));
+    }
+
+    #[test]
+    fn retryability_separates_safe_from_final_failures() {
+        assert!(SpeError::BankPoisoned.is_retryable());
+        assert!(SpeError::JobNeverRan.is_retryable());
+        assert!(!SpeError::DeadlineExceeded.is_retryable());
+        assert!(!SpeError::SchedulerShutdown.is_retryable());
+        assert!(!SpeError::AllBanksQuarantined.is_retryable());
+        assert!(!SpeError::KeyNotLoaded.is_retryable());
     }
 
     #[test]

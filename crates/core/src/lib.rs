@@ -21,9 +21,12 @@
 //! * [`Specu`] — the Sneak-Path Encryption Control Unit: block/line
 //!   encryption against the behavioral crossbar, validated against the
 //!   circuit engine.
-//! * [`BankScheduler`] / [`ParallelSpecu`] — the persistent bank-scheduler
-//!   pipeline (SPE-parallel): per-bank worker threads fed by bounded
-//!   request queues, with ticket-based completion and backpressure.
+//! * [`BankScheduler`] / [`ParallelSpecu`] — the persistent, self-healing
+//!   bank-scheduler pipeline (SPE-parallel): per-bank worker threads fed
+//!   by bounded request queues, with ticket-based completion,
+//!   backpressure, supervised respawn/quarantine ([`BankHealth`]),
+//!   request deadlines and retry-with-backoff ([`RetryPolicy`]), plus a
+//!   deterministic [`ChaosPolicy`] harness to exercise it all.
 //! * [`SecureNvmm`] — an SPE-protected main memory with SPE-serial /
 //!   SPE-parallel policies, encrypted-fraction tracking and the power-down
 //!   lifecycle ([`Tpm`]).
@@ -56,6 +59,7 @@ pub mod analysis;
 pub mod attack;
 pub mod bignum;
 pub mod cache;
+pub mod chaos;
 pub mod datasets;
 pub mod discrete;
 pub mod engine;
@@ -70,23 +74,30 @@ pub mod request;
 pub mod schedule;
 pub mod scheduler;
 pub mod specu;
+pub mod sync;
 pub mod tpm;
 
 pub use bignum::BigUint;
 pub use cache::{DerivedSchedule, ScheduleCache};
+pub use chaos::{ChaosEvent, ChaosPolicy};
 pub use engine::{BlockEngine, EngineOp, SealedLine};
 pub use error::SpeError;
 pub use key::Key;
 pub use nvmm::{SecureNvmm, SpeMode};
 pub use parallel::{BlockJob, LineJob, ParallelSpecu};
 pub use prng::CoupledLcg;
-pub use recovery::{FaultCounters, FaultKind, FaultModel, FaultPolicy, RemapTable};
+pub use recovery::{FaultCounters, FaultKind, FaultModel, FaultPolicy, RemapTable, RetryPolicy};
 pub use request::{
     CipherOutput, CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher, Verify,
 };
 pub use schedule::PulseSchedule;
-pub use scheduler::{BankScheduler, SchedulerConfig, SubmitError, DEFAULT_QUEUE_DEPTH};
+pub use scheduler::{
+    BankHealth, BankScheduler, HealthPolicy, SchedulerConfig, SubmitError, DEFAULT_QUEUE_DEPTH,
+};
 pub use specu::{
     CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuConfig,
+};
+pub use sync::{
+    lock_unpoisoned, read_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, write_unpoisoned,
 };
 pub use tpm::Tpm;

@@ -21,12 +21,13 @@
 
 use crate::error::SpeError;
 use crate::key::Key;
-use crate::recovery::{FaultCounters, FaultPolicy};
-use crate::request::{CipherRequest, CipherResponse, CipherTicket};
+use crate::recovery::{FaultCounters, FaultPolicy, RetryPolicy};
+use crate::request::{CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher};
 use crate::scheduler::{BankScheduler, SchedulerConfig};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
 use spe_telemetry::{Counter, Histogram, TelemetryHandle};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One block-encryption job for a bank batch: a plaintext block, its
 /// schedule tweak, and an optional per-job key (the Table 2 avalanche and
@@ -91,9 +92,19 @@ impl LineJob {
 /// Cloning is cheap and shares the scheduler (and its workers); the pool
 /// is built once in [`ParallelSpecu::new`] and torn down when the last
 /// clone drops.
+///
+/// This façade owns the top rung of the recovery ladder: a request whose
+/// ticket resolves to a retryable failure ([`SpeError::is_retryable`]) is
+/// resubmitted under the [`RetryPolicy`] with exponential backoff —
+/// routing naturally steers the retry away from degraded or quarantined
+/// banks — and once the scheduler reports
+/// [`SpeError::AllBanksQuarantined`] the request runs on the caller's
+/// thread through the serial [`SpeContext`] datapath. The system degrades
+/// in throughput, never in availability.
 #[derive(Debug, Clone)]
 pub struct ParallelSpecu {
     scheduler: Arc<BankScheduler>,
+    retry: RetryPolicy,
 }
 
 impl ParallelSpecu {
@@ -106,11 +117,26 @@ impl ParallelSpecu {
     }
 
     /// Builds a parallel datapath with explicit scheduler geometry
-    /// (bank count and per-bank queue depth).
+    /// (bank count, per-bank queue depth, health and chaos policies),
+    /// retrying failed requests under [`RetryPolicy::standard`].
     pub fn with_scheduler_config(context: SpeContext, config: SchedulerConfig) -> Self {
         ParallelSpecu {
             scheduler: Arc::new(BankScheduler::new(context, config)),
+            retry: RetryPolicy::standard(),
         }
+    }
+
+    /// The same datapath with an explicit retry policy
+    /// ([`RetryPolicy::none`] disables resubmission entirely).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The façade's retry policy for failed requests.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The shared keyed context.
@@ -133,10 +159,11 @@ impl ParallelSpecu {
     #[must_use]
     pub fn with_recorder(self, recorder: TelemetryHandle) -> Self {
         let config = self.scheduler.config();
+        let retry = self.retry;
         let mut context = self.scheduler.context().clone();
         context.set_recorder(recorder);
         drop(self);
-        ParallelSpecu::with_scheduler_config(context, config)
+        ParallelSpecu::with_scheduler_config(context, config).with_retry_policy(retry)
     }
 
     /// The number of SPECU banks.
@@ -172,16 +199,82 @@ impl ParallelSpecu {
         self.context().encryption_cycles() * BLOCKS_PER_LINE.div_ceil(self.banks()) as u32
     }
 
+    /// Runs one request on the caller's thread through the serial context
+    /// — the availability floor once the scheduler's bank pool is gone.
+    fn resolve_serial(&self, request: &CipherRequest) -> Result<CipherResponse, SpeError> {
+        let ctx = self.context();
+        ctx.recorder().add(Counter::DegradedFallbacks, 1);
+        match request.payload {
+            Payload::Block(_) | Payload::Line(_) => ctx.encrypt(request.clone()),
+            Payload::SealedBlock(_) | Payload::SealedLine(_) => ctx.decrypt(request.clone()),
+        }
+    }
+
+    /// Waits one ticket out, climbing the recovery ladder on failure:
+    /// retryable errors resubmit under the [`RetryPolicy`] (exponential
+    /// backoff, re-routed by the scheduler's health-aware selection), and
+    /// a fully-quarantined pool drops to the serial datapath. Terminal
+    /// errors (deadline expiry, shutdown, datapath faults) surface as-is.
+    fn settle(
+        &self,
+        ticket: CipherTicket,
+        request: &CipherRequest,
+    ) -> Result<CipherResponse, SpeError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut result = ticket.wait();
+        let mut retry = 0u32;
+        while let Err(err) = &result {
+            if !err.is_retryable() || retry + 1 >= max_attempts {
+                break;
+            }
+            retry += 1;
+            let rec = self.context().recorder();
+            rec.add(Counter::RequestRetries, 1);
+            let backoff = self.retry.backoff_us(retry);
+            rec.observe(Histogram::RetryBackoff, backoff);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_micros(backoff));
+            }
+            result = match self.scheduler.submit(request.clone()) {
+                Ok(t) => t.wait(),
+                Err(SpeError::AllBanksQuarantined) => return self.resolve_serial(request),
+                Err(e) => Err(e),
+            };
+        }
+        result
+    }
+
     /// Submits a batch of requests and waits the tickets in submission
     /// order, so output `i` corresponds to request `i` and the first error
     /// (in job order) wins — exactly the fork-join contract, minus the
-    /// forking.
+    /// forking. Requests refused with [`SpeError::AllBanksQuarantined`]
+    /// run serially on the caller's thread, so the batch still answers
+    /// with every bank gone.
     fn run_batch<I>(&self, requests: I) -> Result<Vec<CipherResponse>, SpeError>
     where
         I: IntoIterator<Item = CipherRequest>,
     {
-        let tickets = self.scheduler.submit_batch(requests)?;
-        tickets.into_iter().map(CipherTicket::wait).collect()
+        enum Slot {
+            Ticket(CipherTicket, CipherRequest),
+            Done(Result<CipherResponse, SpeError>),
+        }
+        let mut slots = Vec::new();
+        for request in requests {
+            match self.scheduler.submit(request.clone()) {
+                Ok(ticket) => slots.push(Slot::Ticket(ticket, request)),
+                Err(SpeError::AllBanksQuarantined) => {
+                    slots.push(Slot::Done(self.resolve_serial(&request)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ticket(ticket, request) => self.settle(ticket, &request),
+                Slot::Done(result) => result,
+            })
+            .collect()
     }
 
     /// Encrypts one 64-byte line, sharding its four mats across the banks.
@@ -440,18 +533,23 @@ impl ParallelSpecu {
 }
 
 /// Runs `work(0..jobs)` across up to `banks` scoped worker threads and
-/// returns the results in job order. Used by dataset builders whose work
-/// items are not [`CipherRequest`]s (context construction, sweeps); the
-/// cipher datapath itself goes through the [`BankScheduler`]. Worker
-/// panics surface as [`SpeError::BankPoisoned`] instead of poisoning the
-/// caller.
-pub(crate) fn fan_out<T, F>(banks: usize, jobs: usize, work: F) -> Result<Vec<T>, SpeError>
+/// returns per-job results in job order. Used by dataset builders whose
+/// work items are not [`CipherRequest`]s (context construction, sweeps);
+/// the cipher datapath itself goes through the [`BankScheduler`].
+///
+/// A worker panic is attributed precisely within its chunk: jobs the
+/// worker filled before dying keep their results, the job it was
+/// executing fails with [`SpeError::BankPoisoned`] (it may have run
+/// partially), and the jobs behind it fail with [`SpeError::JobNeverRan`]
+/// (they never started, so resubmitting them is unconditionally safe —
+/// retry logic must not conflate the two).
+pub(crate) fn fan_out_slots<T, F>(banks: usize, jobs: usize, work: F) -> Vec<Result<T, SpeError>>
 where
     T: Send,
     F: Fn(usize) -> Result<T, SpeError> + Sync,
 {
     if jobs == 0 {
-        return Ok(Vec::new());
+        return Vec::new();
     }
     let banks = banks.max(1).min(jobs);
     if banks == 1 {
@@ -468,7 +566,7 @@ where
         spans.push(head);
         rest = tail;
     }
-    let panicked = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(spans.len());
         for (b, span) in spans.into_iter().enumerate() {
             let work = &work;
@@ -478,15 +576,41 @@ where
                 }
             }));
         }
-        handles.into_iter().any(|h| h.join().is_err())
+        for handle in handles {
+            let _ = handle.join();
+        }
     });
-    if panicked {
-        return Err(SpeError::BankPoisoned);
-    }
+    // A chunk's first unwritten slot is where its worker died (the job may
+    // have partially executed); everything behind it never started.
+    let mut worker_died_here = false;
     results
         .into_iter()
-        .map(|slot| slot.unwrap_or(Err(SpeError::BankPoisoned)))
+        .enumerate()
+        .map(|(i, slot)| {
+            if i % chunk == 0 {
+                worker_died_here = false;
+            }
+            match slot {
+                Some(result) => result,
+                None if !worker_died_here => {
+                    worker_died_here = true;
+                    Err(SpeError::BankPoisoned)
+                }
+                None => Err(SpeError::JobNeverRan),
+            }
+        })
         .collect()
+}
+
+/// [`fan_out_slots`] with first-error-wins collection: the batch result
+/// is `Ok` only if every job succeeded, otherwise the earliest job's
+/// error (in job order).
+pub(crate) fn fan_out<T, F>(banks: usize, jobs: usize, work: F) -> Result<Vec<T>, SpeError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, SpeError> + Sync,
+{
+    fan_out_slots(banks, jobs, work).into_iter().collect()
 }
 
 #[cfg(test)]
@@ -608,5 +732,66 @@ mod tests {
             Ok(i as u64)
         });
         assert_eq!(out, Err(SpeError::BankPoisoned));
+    }
+
+    #[test]
+    fn fan_out_distinguishes_the_dying_job_from_never_started_ones() {
+        // 2 banks over 8 jobs → chunks [0..4) and [4..8). Panic on job 5:
+        // job 4 completed, job 5 was executing, jobs 6..7 never started.
+        let slots: Vec<Result<u64, SpeError>> = fan_out_slots(2, 8, |i| {
+            assert!(i != 5, "test-injected fan-out panic");
+            Ok(i as u64)
+        });
+        for (i, slot) in slots.iter().enumerate().take(5) {
+            assert_eq!(slot, &Ok(i as u64), "job {i} before the panic is kept");
+        }
+        assert_eq!(slots[5], Err(SpeError::BankPoisoned), "the dying job");
+        assert_eq!(slots[6], Err(SpeError::JobNeverRan));
+        assert_eq!(slots[7], Err(SpeError::JobNeverRan));
+    }
+
+    #[test]
+    fn quarantined_pool_degrades_to_serial_and_still_answers() {
+        use crate::chaos::ChaosPolicy;
+        use crate::scheduler::HealthPolicy;
+        use spe_telemetry::AtomicRecorder;
+
+        let s = specu();
+        let recorder = Arc::new(AtomicRecorder::new());
+        let handle: TelemetryHandle = recorder.clone();
+        let config = SchedulerConfig::with_banks(2)
+            .with_health(HealthPolicy {
+                degrade_after: 1,
+                quarantine_after: 1,
+            })
+            .with_chaos(ChaosPolicy::panics(1.0, 0xDEAD));
+        let par =
+            ParallelSpecu::with_scheduler_config(s.context().expect("context").clone(), config)
+                .with_recorder(handle);
+        // Every worker panics on its first job, so both banks quarantine
+        // almost immediately — yet the batch must still answer, serially,
+        // with ciphertext identical to the clean parallel pool.
+        let jobs: Vec<LineJob> = (0..6).map(|i| LineJob::new(line(i), i)).collect();
+        let sealed = par.encrypt_lines(&jobs).expect("degraded batch answers");
+        let clean = s
+            .parallel(2)
+            .expect("clean")
+            .encrypt_lines(&jobs)
+            .expect("clean batch");
+        assert_eq!(sealed, clean, "degraded output diverged");
+        let snap = recorder.snapshot();
+        assert!(
+            snap.counter(spe_telemetry::Counter::DegradedFallbacks) > 0,
+            "the serial floor was exercised"
+        );
+        assert_eq!(
+            snap.counter(spe_telemetry::Counter::BankQuarantines),
+            2,
+            "both banks quarantined"
+        );
+        assert!(par.scheduler().all_quarantined());
+        // Availability persists for later batches too.
+        let more = par.encrypt_lines(&jobs).expect("still answering");
+        assert_eq!(more, clean);
     }
 }

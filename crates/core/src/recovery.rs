@@ -73,6 +73,68 @@ impl FaultPolicy {
     }
 }
 
+/// How the [`crate::parallel::ParallelSpecu`] façade reacts to pipeline
+/// failures — the request-level rung of the recovery ladder, mirroring
+/// [`FaultPolicy`]'s retry→remap→exhaust sequence one layer up:
+///
+/// 1. **Retry with backoff** — a retryable failure
+///    ([`SpeError::BankPoisoned`](crate::SpeError::BankPoisoned),
+///    [`SpeError::JobNeverRan`](crate::SpeError::JobNeverRan)) is
+///    resubmitted up to [`RetryPolicy::max_attempts`] times total; each
+///    retry sleeps twice the previous backoff. Resubmission re-routes, so
+///    a request whose bank was quarantined lands on a healthy one.
+/// 2. **Degrade** — when every bank is quarantined
+///    ([`SpeError::AllBanksQuarantined`](crate::SpeError::AllBanksQuarantined)),
+///    the façade runs the request on the caller's thread through the
+///    serial datapath: slower, but the system never stops answering.
+/// 3. **Typed failure** — non-retryable errors (deadline expiry,
+///    shutdown, datapath errors) and retry exhaustion surface unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts per request (first try included);
+    /// clamped to at least one.
+    pub max_attempts: u32,
+    /// Backoff slept before the first retry, in microseconds; doubles on
+    /// each further retry (exponential backoff). Zero disables sleeping
+    /// (retries are immediate).
+    pub backoff_base_us: u64,
+}
+
+impl RetryPolicy {
+    /// The default ladder: three attempts, 50 µs initial backoff.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_us: 50,
+        }
+    }
+
+    /// No retries: the first failure surfaces immediately (degradation to
+    /// the serial path on full quarantine still applies).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_us: 0,
+        }
+    }
+
+    /// The backoff slept before retry attempt `retry` (1-based), in
+    /// microseconds: `backoff_base_us * 2^(retry-1)`, saturating.
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        if self.backoff_base_us == 0 || retry == 0 {
+            return 0;
+        }
+        self.backoff_base_us
+            .saturating_mul(1u64 << (retry - 1).min(20))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
 /// Counters accumulated while committing blocks under a [`FaultPolicy`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounters {
@@ -370,6 +432,25 @@ mod tests {
             counters
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retry_backoff_doubles_per_attempt() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_us: 100,
+        };
+        assert_eq!(p.backoff_us(1), 100);
+        assert_eq!(p.backoff_us(2), 200);
+        assert_eq!(p.backoff_us(3), 400);
+        // Zero base disables sleeping entirely.
+        assert_eq!(RetryPolicy::none().backoff_us(1), 0);
+        // Deep retries saturate instead of overflowing.
+        let deep = RetryPolicy {
+            max_attempts: 80,
+            backoff_base_us: u64::MAX / 2,
+        };
+        assert_eq!(deep.backoff_us(70), u64::MAX);
     }
 
     #[test]

@@ -38,7 +38,9 @@ use crate::key::Key;
 use crate::parallel::ParallelSpecu;
 use crate::recovery::{FaultCounters, FaultPolicy};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, Specu, BLOCK_BYTES, LINE_BYTES};
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How much verification a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,6 +90,11 @@ pub struct CipherRequest {
     /// [`SpeContext::rekeyed`] context sharing the datapath's calibration
     /// (the Table 2 avalanche/density datasets rotate keys per block).
     pub key: Option<Key>,
+    /// Completion deadline: a bank worker that dequeues the request after
+    /// this instant drops it (load-shedding) and fails its ticket with
+    /// [`SpeError::DeadlineExceeded`] instead of doing stale work. `None`
+    /// never expires.
+    pub deadline: Option<Instant>,
 }
 
 impl CipherRequest {
@@ -98,6 +105,7 @@ impl CipherRequest {
             resilience: None,
             verify: Verify::None,
             key: None,
+            deadline: None,
         }
     }
 
@@ -150,6 +158,27 @@ impl CipherRequest {
     pub fn with_key(mut self, key: Key) -> Self {
         self.key = Some(key);
         self
+    }
+
+    /// Drops the request (typed [`SpeError::DeadlineExceeded`]) if no bank
+    /// worker has started it by `deadline`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `budget` from now
+    /// ([`with_deadline`](CipherRequest::with_deadline) with a relative
+    /// duration).
+    #[must_use]
+    pub fn with_timeout(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Whether the request's deadline has passed at `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
     }
 
     /// Whether encryption must take the resilient (write-verify) path:
@@ -267,25 +296,22 @@ pub(crate) struct TicketCell {
     done: Condvar,
 }
 
-/// Recovers a guard from a poisoned lock: the slot holds a plain
-/// `Option` that is either fully written or not, so a panic elsewhere
-/// cannot leave it half-updated.
-fn lock_slot(
-    cell: &TicketCell,
-) -> std::sync::MutexGuard<'_, Option<Result<CipherResponse, SpeError>>> {
-    cell.slot
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 impl TicketCell {
-    /// Publishes the request's result and wakes every waiter. A no-op if a
-    /// result was already published (first write wins).
-    pub(crate) fn complete(&self, result: Result<CipherResponse, SpeError>) {
-        let mut slot = lock_slot(self);
+    /// Publishes the request's result and wakes every waiter, returning
+    /// whether this call was the winning (first) write. A no-op returning
+    /// `false` if a result was already published.
+    ///
+    /// The slot holds a plain `Option` that is either fully written or
+    /// not, so recovering a poisoned guard ([`lock_unpoisoned`]) can never
+    /// expose a half-updated result.
+    pub(crate) fn complete(&self, result: Result<CipherResponse, SpeError>) -> bool {
+        let mut slot = lock_unpoisoned(&self.slot);
         if slot.is_none() {
             *slot = Some(result);
             self.done.notify_all();
+            true
+        } else {
+            false
         }
     }
 }
@@ -310,31 +336,61 @@ impl CipherTicket {
 
     /// Whether the request has completed (non-blocking poll).
     pub fn is_done(&self) -> bool {
-        lock_slot(&self.cell).is_some()
+        lock_unpoisoned(&self.cell.slot).is_some()
     }
 
     /// Blocks until the bank worker completes the request and returns its
     /// result.
     ///
     /// Never deadlocks: a worker panic fails the ticket with
-    /// [`SpeError::BankPoisoned`], and scheduler shutdown drains every
+    /// [`SpeError::BankPoisoned`], quarantine fails still-queued jobs with
+    /// [`SpeError::JobNeverRan`], and scheduler shutdown drains every
     /// accepted request before the workers exit.
     ///
     /// # Errors
     ///
-    /// Whatever the datapath returned, or [`SpeError::BankPoisoned`] if
-    /// the servicing worker panicked.
+    /// Whatever the datapath returned, [`SpeError::BankPoisoned`] if the
+    /// servicing worker panicked, [`SpeError::DeadlineExceeded`] if the
+    /// request expired before it ran.
     pub fn wait(self) -> Result<CipherResponse, SpeError> {
-        let mut slot = lock_slot(&self.cell);
+        let mut slot = lock_unpoisoned(&self.cell.slot);
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self
-                .cell
-                .done
-                .wait(slot)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            slot = wait_unpoisoned(&self.cell.done, slot);
+        }
+    }
+
+    /// Waits at most `timeout` for the request to complete.
+    ///
+    /// Returns `Ok(result)` once the bank resolves the request, or hands
+    /// the ticket back as `Err(self)` if it is still pending when the
+    /// timeout elapses — the caller can keep waiting, poll
+    /// [`is_done`](CipherTicket::is_done), or drop the ticket (the
+    /// in-flight request still completes; its result is discarded).
+    ///
+    /// # Errors
+    ///
+    /// `Err(ticket)` only signals a timeout; datapath errors arrive inside
+    /// the `Ok` variant, exactly as [`wait`](CipherTicket::wait) returns
+    /// them.
+    #[allow(clippy::result_large_err)] // Err is the ticket handed back by design
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<CipherResponse, SpeError>, Self> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_unpoisoned(&self.cell.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (reacquired, _timed_out) =
+                wait_timeout_unpoisoned(&self.cell.done, slot, deadline - now);
+            slot = reacquired;
         }
     }
 }
@@ -585,5 +641,46 @@ mod tests {
             .encrypt(CipherRequest::line(pt, 5).resilient(FaultPolicy::transient(0.02, 7)))
             .expect("banked");
         assert_eq!(serial, banked, "bank count must not change the response");
+    }
+
+    #[test]
+    fn deadlines_default_off_and_expire_strictly_after_the_instant() {
+        let req = CipherRequest::block(*b"no deadline here");
+        assert!(req.deadline.is_none());
+        assert!(!req.expired_at(Instant::now()), "no deadline never expires");
+        let at = Instant::now();
+        let timed = CipherRequest::block(*b"deadline carrier").with_deadline(at);
+        assert!(!timed.expired_at(at), "not expired at the deadline itself");
+        assert!(timed.expired_at(at + Duration::from_micros(1)));
+        let budgeted = CipherRequest::block(*b"budget carrier!!").with_timeout(Duration::ZERO);
+        assert!(budgeted.deadline.is_some());
+    }
+
+    #[test]
+    fn ticket_cell_first_write_wins() {
+        let cell = TicketCell::default();
+        assert!(cell.complete(Err(SpeError::BankPoisoned)), "first write");
+        assert!(
+            !cell.complete(Err(SpeError::JobNeverRan)),
+            "second write is refused"
+        );
+        let ticket = CipherTicket::new(Arc::new(cell));
+        assert!(ticket.is_done());
+        assert_eq!(ticket.wait(), Err(SpeError::BankPoisoned));
+    }
+
+    #[test]
+    fn wait_timeout_on_a_pending_cell_returns_the_ticket() {
+        let cell = Arc::new(TicketCell::default());
+        let ticket = CipherTicket::new(Arc::clone(&cell));
+        let pending = match ticket.wait_timeout(Duration::from_millis(2)) {
+            Err(t) => t,
+            Ok(r) => panic!("nothing completed the cell, got {r:?}"),
+        };
+        cell.complete(Err(SpeError::DeadlineExceeded));
+        match pending.wait_timeout(Duration::from_secs(1)) {
+            Ok(result) => assert_eq!(result, Err(SpeError::DeadlineExceeded)),
+            Err(_) => panic!("completed cell must resolve within the timeout"),
+        }
     }
 }

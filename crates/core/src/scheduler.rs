@@ -1,11 +1,12 @@
-//! The persistent bank-scheduler pipeline.
+//! The persistent, self-healing bank-scheduler pipeline.
 //!
 //! PR 5's schedule cache removed derivation cost from the warm line path,
 //! which exposed the next bottleneck: the multi-bank datapath forked and
 //! joined a fresh [`std::thread::scope`] per batch, and on warm working
 //! sets that per-batch spawn overhead made four banks *slower* than one.
 //! This module replaces fork-join with a memory-controller-style request
-//! scheduler:
+//! scheduler, and supervises it so that worker failures degrade service
+//! instead of stopping it:
 //!
 //! * **Persistent workers** — one thread per SPECU bank, spawned once when
 //!   the [`BankScheduler`] is built and parked on a condvar when idle.
@@ -18,13 +19,34 @@
 //! * **Tickets** — each accepted request returns a
 //!   [`CipherTicket`](crate::request::CipherTicket); banks complete out of
 //!   order and the ticket matches each response to its submission.
+//! * **Supervision** — each bank thread is an incarnation loop: a job
+//!   panic fails that job's ticket with [`SpeError::BankPoisoned`] and
+//!   the supervisor respawns the worker logic in place (same OS thread,
+//!   fresh incarnation). Consecutive failures walk the bank through the
+//!   [`BankHealth`] state machine (`Healthy → Degraded → Quarantined`)
+//!   under a [`HealthPolicy`]; a quarantined bank closes its queue, fails
+//!   every still-queued job with [`SpeError::JobNeverRan`], and routing
+//!   steers new requests to the surviving banks. Only when *every* bank
+//!   is quarantined do submissions fail, with
+//!   [`SpeError::AllBanksQuarantined`] — the façade's cue to degrade to
+//!   the serial datapath.
+//! * **Deadlines** — a [`CipherRequest`] may carry a deadline; a worker
+//!   that dequeues an already-expired request load-sheds it with
+//!   [`SpeError::DeadlineExceeded`] instead of doing stale work.
 //! * **Deterministic shutdown** — [`BankScheduler::shutdown`] (and drop)
 //!   closes the queues; workers drain every accepted request before they
 //!   exit, so a ticket obtained before shutdown always completes. New
 //!   submissions are refused with [`SpeError::SchedulerShutdown`].
-//! * **Panic isolation** — a panicking job fails its own ticket with
-//!   [`SpeError::BankPoisoned`] and the worker keeps servicing the queue;
-//!   a submitter can never deadlock on a dead bank.
+//! * **Chaos injection** — a seed-pure [`ChaosPolicy`] in the
+//!   [`SchedulerConfig`] makes workers panic/stall/slow on a reproducible
+//!   schedule, so the whole recovery ladder is exercised by tests and the
+//!   `chaos_bench` harness rather than trusted on faith.
+//!
+//! Telemetry conservation invariant: every accepted request resolves
+//! exactly once, so `sched_submitted == sched_completed +
+//! deadline_expired` holds at quiescence — normal completions, panic
+//! poisonings and quarantine drains all count as completed; only
+//! load-shed expiries are broken out separately.
 //!
 //! The workers execute requests through the exact same
 //! [`SpeCipher`](crate::request::SpeCipher) implementation the serial
@@ -32,21 +54,88 @@
 //! ones by construction. [`crate::parallel::ParallelSpecu`] keeps its
 //! batch API as a thin façade over this scheduler.
 
+use crate::chaos::{ChaosEvent, ChaosPolicy};
 use crate::error::SpeError;
 use crate::request::{CipherRequest, CipherTicket, Payload, SpeCipher, TicketCell};
 use crate::specu::{SpeContext, BLOCKS_PER_LINE};
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use spe_telemetry::{Counter, Histogram, Recorder};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Default bound on each bank's submission queue (requests).
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
-/// Bank-scheduler geometry: worker count and per-bank queue bound.
+/// One bank's position in the supervision state machine.
+///
+/// Transitions (driven by the supervisor under a [`HealthPolicy`]):
+/// `Healthy → Degraded` after `degrade_after` consecutive failures,
+/// `Degraded → Quarantined` after `quarantine_after`, and `Degraded →
+/// Healthy` on any successful job. Quarantine is terminal for the bank
+/// (its worker exits); the scheduler as a whole keeps running on the
+/// survivors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankHealth {
+    /// Serving normally; preferred by routing.
+    Healthy,
+    /// Recent consecutive failures; still serving, but routing prefers
+    /// healthy banks when any exist.
+    Degraded,
+    /// Permanently withdrawn: queue closed, queued jobs failed with
+    /// [`SpeError::JobNeverRan`], worker exited.
+    Quarantined,
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_QUARANTINED: u8 = 2;
+
+/// Thresholds for the per-bank health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive worker failures before the bank is marked
+    /// [`BankHealth::Degraded`] (clamped to at least one).
+    pub degrade_after: u32,
+    /// Consecutive worker failures before the bank is quarantined
+    /// (clamped to at least `degrade_after`).
+    pub quarantine_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degrade_after: 2,
+            quarantine_after: 4,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// A policy that respawns forever and never quarantines — used by
+    /// chaos sweeps that measure sustained throughput under a fixed panic
+    /// rate without eroding the bank pool.
+    pub fn never_quarantine() -> Self {
+        HealthPolicy {
+            degrade_after: 2,
+            quarantine_after: u32::MAX,
+        }
+    }
+
+    fn degrade_after(&self) -> u32 {
+        self.degrade_after.max(1)
+    }
+
+    fn quarantine_after(&self) -> u32 {
+        self.quarantine_after.max(self.degrade_after())
+    }
+}
+
+/// Bank-scheduler geometry and resilience policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
     /// SPECU banks (worker threads); clamped to at least one.
     pub banks: usize,
@@ -54,6 +143,10 @@ pub struct SchedulerConfig {
     /// one. Submissions beyond it block (or refuse, for
     /// [`BankScheduler::try_submit`]).
     pub queue_depth: usize,
+    /// Respawn/quarantine thresholds for the per-bank health machine.
+    pub health: HealthPolicy,
+    /// Deterministic fault injection (none by default).
+    pub chaos: ChaosPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -61,6 +154,8 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             banks: BLOCKS_PER_LINE,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            health: HealthPolicy::default(),
+            chaos: ChaosPolicy::none(),
         }
     }
 }
@@ -73,9 +168,23 @@ impl SchedulerConfig {
             ..SchedulerConfig::default()
         }
     }
+
+    /// The same configuration with `health` thresholds.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The same configuration with deterministic `chaos` injection.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPolicy) -> Self {
+        self.chaos = chaos;
+        self
+    }
 }
 
-/// Why a non-blocking submission was refused. Both variants hand the
+/// Why a non-blocking submission was refused. Every variant hands the
 /// request back so the caller can retry or reroute without cloning.
 #[derive(Debug)]
 pub enum SubmitError {
@@ -85,13 +194,19 @@ pub enum SubmitError {
     WouldBlock(CipherRequest),
     /// The scheduler is shut down; no bank will ever accept the request.
     Shutdown(CipherRequest),
+    /// Every bank is quarantined; the caller should fall back to the
+    /// serial datapath (see
+    /// [`ParallelSpecu`](crate::parallel::ParallelSpecu)).
+    Quarantined(CipherRequest),
 }
 
 impl SubmitError {
     /// Recovers the refused request.
     pub fn into_request(self) -> CipherRequest {
         match self {
-            SubmitError::WouldBlock(r) | SubmitError::Shutdown(r) => r,
+            SubmitError::WouldBlock(r) | SubmitError::Shutdown(r) | SubmitError::Quarantined(r) => {
+                r
+            }
         }
     }
 }
@@ -102,7 +217,7 @@ enum JobKind {
     /// Run the request through the shared context's cipher datapath
     /// (plaintext payloads encrypt, sealed payloads decrypt).
     Cipher(CipherRequest),
-    /// Panic inside the worker — exercises the poison/no-deadlock path.
+    /// Panic inside the worker — exercises the poison/respawn path.
     #[cfg(test)]
     Panic,
     /// Park until the gate opens — holds the bank busy so tests can fill
@@ -133,6 +248,25 @@ impl Job {
         (Job { kind, cell }, ticket)
     }
 
+    /// Whether the job's request carried a deadline that has passed.
+    fn expired(&self, now: Instant) -> bool {
+        match &self.kind {
+            JobKind::Cipher(request) => request.expired_at(now),
+            #[cfg(test)]
+            JobKind::Panic | JobKind::Stall(_) => false,
+        }
+    }
+
+    /// Recovers the cipher request from a refused job (the paired ticket
+    /// was never handed out, so nobody observes the cell the drop fails).
+    fn into_request(self) -> CipherRequest {
+        match self.kind {
+            JobKind::Cipher(ref r) => r.clone(),
+            #[cfg(test)]
+            _ => unreachable!("only cipher jobs are refused back to callers"),
+        }
+    }
+
     /// Executes the job on the shared context and publishes the result.
     fn run(self, context: &SpeContext) {
         match &self.kind {
@@ -153,6 +287,13 @@ impl Job {
                 self.cell.complete(Err(SpeError::Internal("stall job")));
             }
         }
+    }
+
+    /// Resolves the job without executing it, with a typed error (deadline
+    /// expiry, quarantine drain). First write wins, so the drop net's
+    /// later `BankPoisoned` is a no-op.
+    fn fail(self, err: SpeError) {
+        self.cell.complete(Err(err));
     }
 }
 
@@ -175,14 +316,14 @@ struct StallGate {
 #[cfg(test)]
 impl StallGate {
     fn wait_open(&self) {
-        let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+        let mut open = lock_unpoisoned(&self.open);
         while !*open {
-            open = self.bell.wait(open).unwrap_or_else(|p| p.into_inner());
+            open = wait_unpoisoned(&self.bell, open);
         }
     }
 
     fn release(&self) {
-        *self.open.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        *lock_unpoisoned(&self.open) = true;
         self.bell.notify_all();
     }
 }
@@ -191,12 +332,16 @@ impl StallGate {
 #[derive(Debug, Default)]
 struct BankState {
     queue: VecDeque<Job>,
-    /// Cleared by shutdown: workers drain what is queued, then exit, and
-    /// new submissions are refused.
+    /// Cleared by shutdown or quarantine: new submissions are refused.
     open: bool,
 }
 
 /// One bank's bounded MPMC submission queue.
+///
+/// The mutex guards a queue that is only ever updated whole (a job is
+/// pushed or it is not), so recovering a poisoned guard
+/// ([`lock_unpoisoned`]) serves structurally valid state and beats
+/// deadlocking every submitter.
 #[derive(Debug)]
 struct BankQueue {
     state: Mutex<BankState>,
@@ -204,17 +349,6 @@ struct BankQueue {
     not_empty: Condvar,
     /// Blocking submitters park here when the queue is at its bound.
     not_full: Condvar,
-}
-
-/// Recovers a guard from a poisoned bank lock: the queue is either
-/// observed with a job or without it, never half-pushed, so serving the
-/// state after a panic elsewhere is safe (and beats deadlocking every
-/// submitter).
-fn lock_bank(queue: &BankQueue) -> MutexGuard<'_, BankState> {
-    queue
-        .state
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl BankQueue {
@@ -233,7 +367,7 @@ impl BankQueue {
     /// open. `None` once the queue is closed *and* drained — the worker's
     /// signal to exit.
     fn pop(&self) -> Option<Job> {
-        let mut state = lock_bank(self);
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = state.queue.pop_front() {
                 self.not_full.notify_one();
@@ -242,28 +376,24 @@ impl BankQueue {
             if !state.open {
                 return None;
             }
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = wait_unpoisoned(&self.not_empty, state);
         }
     }
 
     /// Submitter side, blocking: waits for space (recording one
     /// backpressure stall if it had to), then enqueues. Returns the
-    /// post-push depth.
-    fn push(&self, job: Job, depth: usize, recorder: &dyn Recorder) -> Result<usize, SpeError> {
-        let mut state = lock_bank(self);
+    /// post-push depth, or the job back once the queue closes (shutdown or
+    /// quarantine — the caller distinguishes them).
+    #[allow(clippy::result_large_err)] // Err is the job handed back by design
+    fn push(&self, job: Job, depth: usize, recorder: &dyn Recorder) -> Result<usize, Job> {
+        let mut state = lock_unpoisoned(&self.state);
         let mut stalled = false;
         while state.open && state.queue.len() >= depth {
             stalled = true;
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = wait_unpoisoned(&self.not_full, state);
         }
         if !state.open {
-            return Err(SpeError::SchedulerShutdown);
+            return Err(job);
         }
         if stalled {
             recorder.add(Counter::SchedBackpressureWaits, 1);
@@ -274,13 +404,13 @@ impl BankQueue {
         Ok(occupied)
     }
 
-    /// Submitter side, non-blocking: enqueues only if the bank has space.
-    /// Returns the post-push depth, or the job back.
+    /// Submitter side, non-blocking: enqueues only if the bank is open and
+    /// has space. Returns the post-push depth, or the job back.
     // Handing the whole job back on refusal is the point of the API — the
     // caller resubmits it without a copy — so the large Err is deliberate.
     #[allow(clippy::result_large_err)]
     fn try_push(&self, job: Job, depth: usize) -> Result<usize, Job> {
-        let mut state = lock_bank(self);
+        let mut state = lock_unpoisoned(&self.state);
         if !state.open || state.queue.len() >= depth {
             return Err(job);
         }
@@ -292,23 +422,107 @@ impl BankQueue {
 
     /// Whether the queue accepts new submissions.
     fn is_open(&self) -> bool {
-        lock_bank(self).open
+        lock_unpoisoned(&self.state).open
     }
 
-    /// Closes the queue: queued jobs still drain, submissions refuse, and
-    /// parked workers/submitters wake to observe the closure.
+    /// Closes the queue: submissions refuse, and parked workers and
+    /// submitters wake to observe the closure. Queued jobs stay put — the
+    /// caller either lets the worker drain them (shutdown) or
+    /// [`drain_jobs`](BankQueue::drain_jobs)s them (quarantine).
     fn close(&self) {
-        let mut state = lock_bank(self);
+        let mut state = lock_unpoisoned(&self.state);
         state.open = false;
         drop(state);
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Removes every queued job (quarantine: the caller fails each one
+    /// with [`SpeError::JobNeverRan`]).
+    fn drain_jobs(&self) -> Vec<Job> {
+        let mut state = lock_unpoisoned(&self.state);
+        let jobs: Vec<Job> = state.queue.drain(..).collect();
+        drop(state);
+        self.not_full.notify_all();
+        jobs
+    }
+}
+
+/// Per-bank supervision state, shared between the bank's supervisor
+/// thread and the routing logic.
+#[derive(Debug)]
+struct BankMonitor {
+    /// [`BankHealth`] encoded as `HEALTH_*`.
+    state: AtomicU8,
+    /// Consecutive worker failures since the last successful job.
+    consecutive: AtomicU32,
+    /// Per-bank job sequence number feeding the chaos draw. Monotonic
+    /// across respawns — a fresh incarnation continues the stream, so one
+    /// chaos seed describes one schedule regardless of how often the bank
+    /// died along the way.
+    seq: AtomicU64,
+}
+
+impl BankMonitor {
+    fn new() -> Self {
+        BankMonitor {
+            state: AtomicU8::new(HEALTH_HEALTHY),
+            consecutive: AtomicU32::new(0),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn health(&self) -> BankHealth {
+        match self.state.load(Ordering::Relaxed) {
+            HEALTH_HEALTHY => BankHealth::Healthy,
+            HEALTH_DEGRADED => BankHealth::Degraded,
+            _ => BankHealth::Quarantined,
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A job ran to completion: the failure streak resets and a degraded
+    /// bank heals. Quarantine is terminal, so only `Degraded → Healthy`
+    /// is allowed here.
+    fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        let _ = self.state.compare_exchange(
+            HEALTH_DEGRADED,
+            HEALTH_HEALTHY,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// A worker incarnation died: bumps the streak, degrades the bank at
+    /// the policy threshold, and returns the new streak for the
+    /// quarantine decision.
+    fn record_failure(&self, policy: &HealthPolicy) -> u32 {
+        let streak = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= policy.degrade_after() {
+            let _ = self.state.compare_exchange(
+                HEALTH_HEALTHY,
+                HEALTH_DEGRADED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+        streak
+    }
+
+    /// Withdraws the bank permanently. Set *before* the queue closes so a
+    /// submitter refused by the closed queue re-selects a different bank.
+    fn quarantine(&self) {
+        self.state.store(HEALTH_QUARANTINED, Ordering::Relaxed);
+    }
 }
 
 /// The persistent multi-bank request scheduler: per-bank worker threads
 /// fed by bounded submission queues of [`CipherRequest`]s, completing into
-/// [`CipherTicket`]s.
+/// [`CipherTicket`]s, supervised through the [`BankHealth`] machine.
 ///
 /// Built once and reused across batches — the whole point is that no
 /// thread is ever spawned on the hot path. All submission methods take
@@ -317,9 +531,13 @@ impl BankQueue {
 #[derive(Debug)]
 pub struct BankScheduler {
     banks: Vec<Arc<BankQueue>>,
+    monitors: Vec<Arc<BankMonitor>>,
     workers: Vec<JoinHandle<()>>,
     context: SpeContext,
-    queue_depth: usize,
+    config: SchedulerConfig,
+    /// Set by [`BankScheduler::shutdown`]; distinguishes a queue closed by
+    /// shutdown from one closed by quarantine.
+    closed: AtomicBool,
     /// Requests accepted but not yet completed (queued + executing).
     in_flight: Arc<AtomicU64>,
     /// Round-robin cursor for requests with no address affinity.
@@ -327,35 +545,47 @@ pub struct BankScheduler {
 }
 
 impl BankScheduler {
-    /// Spawns `config.banks` persistent workers over clones of `context`.
-    /// Workers share the context's calibration, schedule cache and
-    /// telemetry recorder, so the pipelined datapath is the serial one,
-    /// many times over.
+    /// Spawns `config.banks` persistent, supervised workers over clones of
+    /// `context`. Workers share the context's calibration, schedule cache
+    /// and telemetry recorder, so the pipelined datapath is the serial
+    /// one, many times over.
     pub fn new(context: SpeContext, config: SchedulerConfig) -> Self {
-        let bank_count = config.banks.max(1);
-        let queue_depth = config.queue_depth.max(1);
+        let config = SchedulerConfig {
+            banks: config.banks.max(1),
+            queue_depth: config.queue_depth.max(1),
+            ..config
+        };
         let in_flight = Arc::new(AtomicU64::new(0));
-        let banks: Vec<Arc<BankQueue>> = (0..bank_count)
+        let banks: Vec<Arc<BankQueue>> = (0..config.banks)
             .map(|_| Arc::new(BankQueue::new()))
+            .collect();
+        let monitors: Vec<Arc<BankMonitor>> = (0..config.banks)
+            .map(|_| Arc::new(BankMonitor::new()))
             .collect();
         let workers = banks
             .iter()
+            .zip(&monitors)
             .enumerate()
-            .map(|(b, queue)| {
+            .map(|(b, (queue, monitor))| {
                 let queue = Arc::clone(queue);
+                let monitor = Arc::clone(monitor);
                 let ctx = context.clone();
                 let in_flight = Arc::clone(&in_flight);
+                let health = config.health;
+                let chaos = config.chaos;
                 std::thread::Builder::new()
                     .name(format!("spe-bank-{b}"))
-                    .spawn(move || worker_main(&queue, &ctx, &in_flight))
+                    .spawn(move || supervise(b, &queue, &monitor, &ctx, &in_flight, health, chaos))
                     .expect("spawn SPECU bank worker")
             })
             .collect();
         BankScheduler {
             banks,
+            monitors,
             workers,
             context,
-            queue_depth,
+            config,
+            closed: AtomicBool::new(false),
             in_flight,
             cursor: AtomicUsize::new(0),
         }
@@ -373,7 +603,7 @@ impl BankScheduler {
 
     /// The bound on each bank's submission queue.
     pub fn queue_depth(&self) -> usize {
-        self.queue_depth
+        self.config.queue_depth
     }
 
     /// Requests currently accepted but not yet completed.
@@ -381,24 +611,43 @@ impl BankScheduler {
         self.in_flight.load(Ordering::Relaxed)
     }
 
-    /// The scheduler geometry.
+    /// The full scheduler configuration (normalised geometry plus health
+    /// and chaos policies), sufficient to rebuild an identical scheduler.
     pub fn config(&self) -> SchedulerConfig {
-        SchedulerConfig {
-            banks: self.banks.len(),
-            queue_depth: self.queue_depth,
-        }
+        self.config
     }
 
-    /// Whether the scheduler still accepts submissions.
+    /// One bank's position in the health state machine.
+    pub fn bank_health(&self, bank: usize) -> BankHealth {
+        self.monitors[bank].health()
+    }
+
+    /// Banks still accepting work (healthy or degraded).
+    pub fn serving_banks(&self) -> usize {
+        self.monitors
+            .iter()
+            .filter(|m| m.health() != BankHealth::Quarantined)
+            .count()
+    }
+
+    /// Whether every bank has been quarantined (submissions now fail with
+    /// [`SpeError::AllBanksQuarantined`]).
+    pub fn all_quarantined(&self) -> bool {
+        self.serving_banks() == 0
+    }
+
+    /// Whether the scheduler still accepts submissions (not shut down).
     pub fn is_open(&self) -> bool {
-        self.banks.iter().all(|b| b.is_open())
+        !self.closed.load(Ordering::Relaxed)
     }
 
     /// The bank a request is routed to: its block tweak / line address,
     /// modulo the bank count — the same static address-interleaving a
     /// memory controller uses, so one hot bank backpressures without
     /// stalling the others. Requests with no address (an empty sealed
-    /// line) round-robin.
+    /// line) round-robin. Health-aware selection
+    /// ([`select_bank`](BankScheduler::select_bank)) starts from this
+    /// preference.
     fn route(&self, request: &CipherRequest) -> usize {
         let banks = self.banks.len();
         let key = match &request.payload {
@@ -413,6 +662,22 @@ impl BankScheduler {
             Some(k) => (k % banks as u64) as usize,
             None => self.cursor.fetch_add(1, Ordering::Relaxed) % banks,
         }
+    }
+
+    /// The first serving bank at or after `preferred`: healthy banks win,
+    /// degraded ones serve when no healthy bank remains, and
+    /// [`SpeError::AllBanksQuarantined`] reports a fully-withdrawn pool.
+    fn select_bank(&self, preferred: usize) -> Result<usize, SpeError> {
+        let n = self.banks.len();
+        for want in [BankHealth::Healthy, BankHealth::Degraded] {
+            for i in 0..n {
+                let b = (preferred + i) % n;
+                if self.monitors[b].health() == want {
+                    return Ok(b);
+                }
+            }
+        }
+        Err(SpeError::AllBanksQuarantined)
     }
 
     /// Books one accepted request in the telemetry. The in-flight gauge
@@ -433,67 +698,114 @@ impl BankScheduler {
 
     /// Submits a request, blocking while its bank's queue is full
     /// (backpressure). Plaintext payloads encrypt; sealed payloads
-    /// decrypt.
+    /// decrypt. A bank that quarantines between selection and enqueue
+    /// hands the job back and the submission re-routes to a survivor.
     ///
     /// # Errors
     ///
-    /// Returns [`SpeError::SchedulerShutdown`] after [`shutdown`]
-    /// (the request is consumed; use [`try_submit`] to get it back).
+    /// Returns [`SpeError::SchedulerShutdown`] after [`shutdown`], or
+    /// [`SpeError::AllBanksQuarantined`] once every bank has been
+    /// withdrawn (the request is consumed; use [`try_submit`] to get it
+    /// back).
     ///
     /// [`shutdown`]: BankScheduler::shutdown
     /// [`try_submit`]: BankScheduler::try_submit
     pub fn submit(&self, request: CipherRequest) -> Result<CipherTicket, SpeError> {
-        let bank = self.route(&request);
-        let (job, ticket) = Job::new(request);
+        let preferred = self.route(&request);
+        let (mut job, ticket) = Job::new(request);
         self.in_flight.fetch_add(1, Ordering::Relaxed);
-        match self.banks[bank].push(job, self.queue_depth, self.context.recorder().as_ref()) {
-            Ok(occupied) => {
-                self.record_accept(occupied);
-                Ok(ticket)
-            }
-            Err(e) => {
-                self.in_flight.fetch_sub(1, Ordering::Relaxed);
-                Err(e)
+        // Bounded structurally: every extra iteration requires one more
+        // bank to have closed under us, and there are only `banks` banks.
+        for _ in 0..=self.banks.len() {
+            let bank = match self.select_bank(preferred) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    drop(job); // fails the unused ticket's cell; ticket is discarded
+                    return Err(e);
+                }
+            };
+            match self.banks[bank].push(
+                job,
+                self.config.queue_depth,
+                self.context.recorder().as_ref(),
+            ) {
+                Ok(occupied) => {
+                    self.record_accept(occupied);
+                    return Ok(ticket);
+                }
+                Err(returned) => {
+                    job = returned;
+                    if self.closed.load(Ordering::Relaxed) {
+                        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        drop(job);
+                        return Err(SpeError::SchedulerShutdown);
+                    }
+                    // Closed by quarantine: the monitor is already marked
+                    // (quarantine precedes the close), so the next
+                    // selection steers elsewhere.
+                }
             }
         }
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        drop(job);
+        Err(SpeError::AllBanksQuarantined)
     }
 
-    /// Submits a request only if its bank has queue space, refusing with
-    /// [`SubmitError::WouldBlock`] (request handed back) otherwise.
+    /// Submits a request only if a serving bank has queue space, refusing
+    /// with the request handed back otherwise.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::WouldBlock`] when the bank queue is at its bound,
-    /// [`SubmitError::Shutdown`] after [`BankScheduler::shutdown`].
+    /// [`SubmitError::WouldBlock`] when the selected bank's queue is at
+    /// its bound, [`SubmitError::Shutdown`] after
+    /// [`BankScheduler::shutdown`], [`SubmitError::Quarantined`] when
+    /// every bank is withdrawn.
     // The refusal carries the request back to the caller by value so it can
     // be resubmitted without a copy; the large Err variant is deliberate.
     #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, request: CipherRequest) -> Result<CipherTicket, SubmitError> {
-        let bank = &self.banks[self.route(&request)];
-        let (job, ticket) = Job::new(request);
+        let preferred = self.route(&request);
+        let (mut job, ticket) = Job::new(request);
         self.in_flight.fetch_add(1, Ordering::Relaxed);
-        match bank.try_push(job, self.queue_depth) {
-            Ok(occupied) => {
-                self.record_accept(occupied);
-                Ok(ticket)
-            }
-            Err(job) => {
-                self.in_flight.fetch_sub(1, Ordering::Relaxed);
-                let open = bank.is_open();
-                let request = match job.kind {
-                    JobKind::Cipher(ref r) => r.clone(),
-                    #[cfg(test)]
-                    _ => unreachable!("try_submit only builds cipher jobs"),
-                };
-                drop(job); // fails the unused ticket's cell; ticket is discarded
-                if open {
-                    let rec = self.context.recorder();
-                    rec.add(Counter::SchedRejectedWouldBlock, 1);
-                    Err(SubmitError::WouldBlock(request))
-                } else {
-                    Err(SubmitError::Shutdown(request))
+        let mut quarantined_pool = false;
+        for _ in 0..=self.banks.len() {
+            let bank = match self.select_bank(preferred) {
+                Ok(b) => b,
+                Err(_) => {
+                    quarantined_pool = true;
+                    break;
+                }
+            };
+            match self.banks[bank].try_push(job, self.config.queue_depth) {
+                Ok(occupied) => {
+                    self.record_accept(occupied);
+                    return Ok(ticket);
+                }
+                Err(returned) => {
+                    job = returned;
+                    if self.banks[bank].is_open() {
+                        // Genuinely full (not closed): refuse politely.
+                        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        let request = job.into_request();
+                        self.context
+                            .recorder()
+                            .add(Counter::SchedRejectedWouldBlock, 1);
+                        return Err(SubmitError::WouldBlock(request));
+                    }
+                    if self.closed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Closed by quarantine: re-select a surviving bank.
                 }
             }
+        }
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let request = job.into_request();
+        if !self.closed.load(Ordering::Relaxed) && quarantined_pool {
+            Err(SubmitError::Quarantined(request))
+        } else {
+            Err(SubmitError::Shutdown(request))
         }
     }
 
@@ -503,7 +815,8 @@ impl BankScheduler {
     /// # Errors
     ///
     /// Returns [`SpeError::SchedulerShutdown`] if the scheduler closes
-    /// mid-batch; already-submitted requests still complete.
+    /// mid-batch (or [`SpeError::AllBanksQuarantined`] if the pool
+    /// withdraws); already-submitted requests still complete.
     pub fn submit_batch<I>(&self, requests: I) -> Result<Vec<CipherTicket>, SpeError>
     where
         I: IntoIterator<Item = CipherRequest>,
@@ -516,6 +829,7 @@ impl BankScheduler {
     /// queues are dry. Idempotent; also invoked by drop (which then joins
     /// the workers).
     pub fn shutdown(&self) {
+        self.closed.store(true, Ordering::Relaxed);
         for bank in &self.banks {
             bank.close();
         }
@@ -526,14 +840,19 @@ impl BankScheduler {
     fn submit_kind(&self, kind: JobKind) -> Result<CipherTicket, SpeError> {
         let (job, ticket) = Job::with_kind(kind);
         self.in_flight.fetch_add(1, Ordering::Relaxed);
-        match self.banks[0].push(job, self.queue_depth, self.context.recorder().as_ref()) {
+        match self.banks[0].push(
+            job,
+            self.config.queue_depth,
+            self.context.recorder().as_ref(),
+        ) {
             Ok(occupied) => {
                 self.record_accept(occupied);
                 Ok(ticket)
             }
-            Err(e) => {
+            Err(job) => {
                 self.in_flight.fetch_sub(1, Ordering::Relaxed);
-                Err(e)
+                drop(job);
+                Err(SpeError::SchedulerShutdown)
             }
         }
     }
@@ -543,7 +862,7 @@ impl Drop for BankScheduler {
     fn drop(&mut self) {
         self.shutdown();
         for worker in self.workers.drain(..) {
-            // A worker that somehow died already just yields its panic
+            // A supervisor that somehow died anyway just yields its panic
             // payload here; every ticket was still completed by the Job
             // drop net, so discarding the join error is safe.
             let _ = worker.join();
@@ -551,18 +870,89 @@ impl Drop for BankScheduler {
     }
 }
 
-/// One bank worker: drain the queue until it closes, isolating job panics
-/// so a poisoned request can never take the bank (or a submitter) down
-/// with it.
-fn worker_main(queue: &BankQueue, context: &SpeContext, in_flight: &AtomicU64) {
+/// One bank's supervisor: runs worker incarnations until the queue closes
+/// or the bank quarantines.
+///
+/// A panic anywhere in [`worker_main`] (a poisoned request, or
+/// chaos-injected) unwinds through the executing job — whose drop fails
+/// its ticket with [`SpeError::BankPoisoned`] — and lands here. The
+/// supervisor settles the books for that one job, walks the health
+/// machine, and either respawns the worker logic (same OS thread, fresh
+/// incarnation) or quarantines the bank: monitor marked, queue closed,
+/// every still-queued job failed with [`SpeError::JobNeverRan`].
+fn supervise(
+    bank: usize,
+    queue: &BankQueue,
+    monitor: &BankMonitor,
+    context: &SpeContext,
+    in_flight: &AtomicU64,
+    health: HealthPolicy,
+    chaos: ChaosPolicy,
+) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            worker_main(bank, queue, monitor, context, in_flight, chaos)
+        }));
+        if run.is_ok() {
+            // Queue closed and drained: clean exit.
+            return;
+        }
+        // Exactly one job was executing when the incarnation died; its
+        // unwinding drop already poisoned the ticket.
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        let rec = context.recorder();
+        rec.add(Counter::SchedCompleted, 1);
+        let streak = monitor.record_failure(&health);
+        if streak < health.quarantine_after() {
+            rec.add(Counter::BankRespawns, 1);
+            continue;
+        }
+        // Quarantine. Mark the monitor first so a submitter bounced off
+        // the closing queue re-routes instead of re-selecting this bank.
+        monitor.quarantine();
+        rec.add(Counter::BankQuarantines, 1);
+        queue.close();
+        for job in queue.drain_jobs() {
+            job.fail(SpeError::JobNeverRan);
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+            rec.add(Counter::SchedCompleted, 1);
+        }
+        return;
+    }
+}
+
+/// One worker incarnation: drain the queue until it closes. Chaos (if
+/// configured) is drawn per job from the bank's monotonic sequence
+/// number; expired requests are load-shed with
+/// [`SpeError::DeadlineExceeded`] before any cipher work happens.
+///
+/// Panics propagate to [`supervise`] — worker death is the supervisor's
+/// input signal, not something to hide here.
+fn worker_main(
+    bank: usize,
+    queue: &BankQueue,
+    monitor: &BankMonitor,
+    context: &SpeContext,
+    in_flight: &AtomicU64,
+    chaos: ChaosPolicy,
+) {
     while let Some(job) = queue.pop() {
-        // On panic the unwinding drop of `job` completes its ticket with
-        // `SpeError::BankPoisoned`; catching here keeps the worker alive
-        // for the requests behind it.
-        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(context)));
+        match chaos.draw(bank, monitor.next_seq()) {
+            ChaosEvent::Panic => panic!("chaos-injected bank panic"),
+            ChaosEvent::Stall => std::thread::sleep(Duration::from_micros(chaos.stall_us)),
+            ChaosEvent::Slow => std::thread::sleep(Duration::from_micros(chaos.slow_us)),
+            ChaosEvent::None => {}
+        }
+        if job.expired(Instant::now()) {
+            job.fail(SpeError::DeadlineExceeded);
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+            context.recorder().add(Counter::DeadlineExpired, 1);
+            continue;
+        }
+        job.run(context);
         in_flight.fetch_sub(1, Ordering::Relaxed);
         context.recorder().add(Counter::SchedCompleted, 1);
-        drop(outcome);
+        monitor.record_success();
     }
 }
 
@@ -571,6 +961,7 @@ mod tests {
     use super::*;
     use crate::key::Key;
     use crate::specu::{Specu, LINE_BYTES};
+    use spe_telemetry::{AtomicRecorder, TelemetryHandle};
     use std::sync::OnceLock;
 
     fn context() -> SpeContext {
@@ -580,6 +971,14 @@ mod tests {
             .context()
             .expect("context")
             .clone()
+    }
+
+    fn recorded_context() -> (SpeContext, Arc<AtomicRecorder>) {
+        let recorder = Arc::new(AtomicRecorder::new());
+        let mut ctx = context();
+        let handle: TelemetryHandle = recorder.clone();
+        ctx.set_recorder(handle);
+        (ctx, recorder)
     }
 
     fn line(seed: u64) -> [u8; LINE_BYTES] {
@@ -632,10 +1031,11 @@ mod tests {
 
     #[test]
     fn worker_panic_poisons_the_ticket_not_the_bank() {
-        let sched = BankScheduler::new(context(), SchedulerConfig::with_banks(1));
+        let (ctx, recorder) = recorded_context();
+        let sched = BankScheduler::new(ctx, SchedulerConfig::with_banks(1));
         let poisoned = sched.submit_kind(JobKind::Panic).expect("submit");
         assert_eq!(poisoned.wait(), Err(SpeError::BankPoisoned));
-        // The bank survives and keeps servicing requests behind the panic:
+        // The bank respawns and keeps servicing requests behind the panic:
         // no deadlocked submitter, no dead queue.
         let after = sched
             .submit(CipherRequest::line(line(9), 9))
@@ -645,6 +1045,228 @@ mod tests {
             .into_line()
             .expect("line");
         assert!(!after.blocks.is_empty());
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::BankRespawns), 1);
+        assert_eq!(snap.counter(Counter::BankQuarantines), 0);
+        // The successful request healed the streak.
+        assert_eq!(sched.bank_health(0), BankHealth::Healthy);
+    }
+
+    #[test]
+    fn fatal_panic_quarantines_the_bank_and_fail_drains_its_queue() {
+        let (ctx, recorder) = recorded_context();
+        let config = SchedulerConfig::with_banks(1).with_health(HealthPolicy {
+            degrade_after: 1,
+            quarantine_after: 1,
+        });
+        let sched = BankScheduler::new(ctx, config);
+        // Park the worker so the fatal panic and a real request queue up
+        // behind it deterministically.
+        let gate = Arc::new(StallGate::default());
+        let stalled = sched
+            .submit_kind(JobKind::Stall(Arc::clone(&gate)))
+            .expect("stall");
+        let fatal = sched.submit_kind(JobKind::Panic).expect("submit");
+        let queued = sched
+            .submit(CipherRequest::line(line(1), 1))
+            .expect("queued behind the fatal panic");
+        gate.release();
+        assert_eq!(stalled.wait(), Err(SpeError::Internal("stall job")));
+        assert_eq!(fatal.wait(), Err(SpeError::BankPoisoned));
+        // Quarantine must fail the queued request with the never-ran
+        // marker, not leave it hanging (or falsely poisoned).
+        assert_eq!(queued.wait(), Err(SpeError::JobNeverRan));
+        // The pool is gone: submissions now report it, typed.
+        assert!(sched.all_quarantined());
+        assert_eq!(sched.bank_health(0), BankHealth::Quarantined);
+        assert!(matches!(
+            sched.submit(CipherRequest::line(line(2), 2)),
+            Err(SpeError::AllBanksQuarantined)
+        ));
+        assert!(matches!(
+            sched.try_submit(CipherRequest::line(line(2), 2)),
+            Err(SubmitError::Quarantined(_))
+        ));
+        // Join the supervisor (drop = shutdown + join) so its counter
+        // writes are visible before asserting on them.
+        drop(sched);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::BankQuarantines), 1);
+        // Conservation: everything accepted resolved exactly once.
+        assert_eq!(
+            snap.counter(Counter::SchedSubmitted),
+            snap.counter(Counter::SchedCompleted) + snap.counter(Counter::DeadlineExpired)
+        );
+    }
+
+    #[test]
+    fn consecutive_failures_degrade_and_success_heals() {
+        let (ctx, _) = recorded_context();
+        let config = SchedulerConfig::with_banks(1).with_health(HealthPolicy {
+            degrade_after: 2,
+            quarantine_after: u32::MAX,
+        });
+        let sched = BankScheduler::new(ctx, config);
+        for _ in 0..2 {
+            let t = sched.submit_kind(JobKind::Panic).expect("submit");
+            assert_eq!(t.wait(), Err(SpeError::BankPoisoned));
+        }
+        // The supervisor books the second failure just after the ticket
+        // resolves; poll briefly for the transition.
+        for _ in 0..200 {
+            if sched.bank_health(0) == BankHealth::Degraded {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sched.bank_health(0), BankHealth::Degraded);
+        // A degraded bank still serves, and one success heals it.
+        sched
+            .submit(CipherRequest::line(line(5), 5))
+            .expect("degraded bank still accepts")
+            .wait()
+            .expect("encrypt");
+        for _ in 0..200 {
+            if sched.bank_health(0) == BankHealth::Healthy {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sched.bank_health(0), BankHealth::Healthy);
+    }
+
+    #[test]
+    fn requests_reroute_away_from_a_quarantined_bank() {
+        let (ctx, _) = recorded_context();
+        let config = SchedulerConfig::with_banks(2).with_health(HealthPolicy {
+            degrade_after: 1,
+            quarantine_after: 1,
+        });
+        let sched = BankScheduler::new(ctx.clone(), config);
+        // submit_kind targets bank 0; one panic quarantines it.
+        let dead = sched.submit_kind(JobKind::Panic).expect("submit");
+        assert_eq!(dead.wait(), Err(SpeError::BankPoisoned));
+        // Wait for the supervisor to finish the quarantine transition.
+        for _ in 0..200 {
+            if sched.bank_health(0) == BankHealth::Quarantined {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sched.bank_health(0), BankHealth::Quarantined);
+        assert_eq!(sched.serving_banks(), 1);
+        // Even-tweak requests prefer bank 0; they must reroute to bank 1
+        // and still produce serial-identical ciphertext.
+        for tweak in [0u64, 2, 4, 6] {
+            let got = sched
+                .submit(CipherRequest::line(line(tweak), tweak))
+                .expect("rerouted submit")
+                .wait()
+                .expect("encrypt")
+                .into_line()
+                .expect("line");
+            let serial = ctx
+                .encrypt(CipherRequest::line(line(tweak), tweak))
+                .expect("serial")
+                .into_line()
+                .expect("line");
+            assert_eq!(got, serial, "rerouted != serial at {tweak}");
+        }
+        assert_eq!(sched.bank_health(1), BankHealth::Healthy);
+    }
+
+    #[test]
+    fn expired_requests_are_load_shed_with_a_typed_error() {
+        let (ctx, recorder) = recorded_context();
+        let sched = BankScheduler::new(ctx, SchedulerConfig::with_banks(1));
+        // Hold the worker so the deadline lapses while the request queues.
+        let gate = Arc::new(StallGate::default());
+        let stalled = sched
+            .submit_kind(JobKind::Stall(Arc::clone(&gate)))
+            .expect("stall");
+        let doomed = sched
+            .submit(CipherRequest::line(line(3), 3).with_timeout(Duration::from_micros(1)))
+            .expect("submit");
+        std::thread::sleep(Duration::from_millis(5));
+        gate.release();
+        assert_eq!(stalled.wait(), Err(SpeError::Internal("stall job")));
+        assert_eq!(doomed.wait(), Err(SpeError::DeadlineExceeded));
+        // A deadline-free request behind it is untouched.
+        sched
+            .submit(CipherRequest::line(line(4), 4))
+            .expect("submit")
+            .wait()
+            .expect("encrypt");
+        // Workers book completions just after resolving tickets; join them
+        // (drop = shutdown + join) before reading the counters.
+        drop(sched);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::DeadlineExpired), 1);
+        assert_eq!(
+            snap.counter(Counter::SchedSubmitted),
+            snap.counter(Counter::SchedCompleted) + snap.counter(Counter::DeadlineExpired)
+        );
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back_until_completion() {
+        let sched = BankScheduler::new(context(), SchedulerConfig::with_banks(1));
+        let gate = Arc::new(StallGate::default());
+        let stalled = sched
+            .submit_kind(JobKind::Stall(Arc::clone(&gate)))
+            .expect("stall");
+        let pending = match stalled.wait_timeout(Duration::from_millis(5)) {
+            Err(ticket) => ticket,
+            Ok(r) => panic!("stalled job resolved early: {r:?}"),
+        };
+        assert!(!pending.is_done());
+        gate.release();
+        match pending.wait_timeout(Duration::from_secs(5)) {
+            Ok(result) => assert_eq!(result, Err(SpeError::Internal("stall job"))),
+            Err(_) => panic!("released stall job must resolve within the timeout"),
+        }
+    }
+
+    #[test]
+    fn chaos_panics_are_survived_with_exact_accounting() {
+        let (ctx, recorder) = recorded_context();
+        let config = SchedulerConfig::with_banks(2)
+            .with_health(HealthPolicy::never_quarantine())
+            .with_chaos(ChaosPolicy::panics(0.3, 0xC4A05));
+        let sched = BankScheduler::new(ctx.clone(), config);
+        let n = 40u64;
+        let tickets = sched
+            .submit_batch((0..n).map(|a| CipherRequest::line(line(a), a)))
+            .expect("submit under chaos");
+        let mut ok = 0u64;
+        let mut poisoned = 0u64;
+        for (a, t) in tickets.into_iter().enumerate() {
+            match t.wait() {
+                Ok(resp) => {
+                    let serial = ctx
+                        .encrypt(CipherRequest::line(line(a as u64), a as u64))
+                        .expect("serial");
+                    assert_eq!(
+                        resp.into_line().expect("line"),
+                        serial.into_line().expect("line"),
+                        "chaos survivor {a} diverged from serial"
+                    );
+                    ok += 1;
+                }
+                Err(SpeError::BankPoisoned) => poisoned += 1,
+                Err(other) => panic!("unexpected chaos outcome: {other:?}"),
+            }
+        }
+        assert_eq!(ok + poisoned, n, "every ticket resolved");
+        assert!(poisoned > 0, "a 30% panic rate over 40 jobs must fire");
+        assert!(ok > 0, "respawn keeps the pool serving");
+        drop(sched);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::BankRespawns), poisoned);
+        assert_eq!(
+            snap.counter(Counter::SchedSubmitted),
+            snap.counter(Counter::SchedCompleted) + snap.counter(Counter::DeadlineExpired)
+        );
     }
 
     #[test]
@@ -655,6 +1277,7 @@ mod tests {
             SchedulerConfig {
                 banks: 1,
                 queue_depth: 1,
+                ..SchedulerConfig::default()
             },
         );
         // Stall the only worker, then fill the queue bound behind it.
@@ -743,5 +1366,20 @@ mod tests {
             let req = CipherRequest::line(line(tweak), tweak);
             assert_eq!(sched.route(&req), (tweak % 4) as usize);
         }
+    }
+
+    #[test]
+    fn health_policy_clamps_its_thresholds() {
+        let p = HealthPolicy {
+            degrade_after: 0,
+            quarantine_after: 0,
+        };
+        assert_eq!(p.degrade_after(), 1);
+        assert_eq!(p.quarantine_after(), 1);
+        let q = HealthPolicy {
+            degrade_after: 5,
+            quarantine_after: 2,
+        };
+        assert_eq!(q.quarantine_after(), 5, "quarantine never before degrade");
     }
 }

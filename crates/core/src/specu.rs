@@ -1094,9 +1094,7 @@ fn cached_placement(
     // A poisoned lock means a worker panicked mid-solve on another thread;
     // the map itself is still structurally valid (inserts are atomic), so
     // recover the guard instead of propagating the panic into this bank.
-    let lock = |m: &'static Mutex<HashMap<PlacementKey, Vec<CellAddr>>>| {
-        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-    };
+    let lock = crate::sync::lock_unpoisoned::<HashMap<PlacementKey, Vec<CellAddr>>>;
     if let Some(hit) = lock(cache).get(&key) {
         recorder.add(Counter::PlacementCacheHits, 1);
         return Ok(hit.clone());

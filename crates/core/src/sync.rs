@@ -1,0 +1,104 @@
+//! Poison-recovering lock helpers shared across the crate.
+//!
+//! Every lock in the SPECU datapath guards state that is only ever
+//! updated *whole* — a cache entry is inserted or absent, a queue holds a
+//! job or does not, a ticket slot is written once. A [`std::sync::Mutex`]
+//! or [`std::sync::RwLock`] poisoned by a panic on another thread
+//! therefore still guards structurally valid data, and recovering the
+//! guard (instead of propagating the panic) is what keeps one crashed
+//! bank worker from deadlocking every submitter. This module is the one
+//! documented home of that idiom; use these helpers instead of spelling
+//! out `unwrap_or_else(|poisoned| poisoned.into_inner())` at each site.
+//!
+//! **When recovery is safe.** Only guard states with atomic (all-or-
+//! nothing) updates with these helpers. If a critical section performs a
+//! multi-step update that a panic could leave half-done, poison recovery
+//! would expose the torn state — keep the standard panicking behaviour
+//! there instead.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the guard if the lock was poisoned by a
+/// panic elsewhere.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Acquires a read guard, recovering it if the lock was poisoned.
+pub fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Acquires a write guard, recovering it if the lock was poisoned.
+pub fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Parks on a condvar, recovering the reacquired guard if the lock was
+/// poisoned while this thread slept.
+pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Parks on a condvar for at most `timeout`, recovering the reacquired
+/// guard if the lock was poisoned. Returns the guard and whether the wait
+/// timed out.
+pub fn wait_timeout_unpoisoned<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, result)) => (guard, result.timed_out()),
+        Err(poisoned) => {
+            let (guard, result) = poisoned.into_inner();
+            (guard, result.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::RwLock;
+
+    #[test]
+    fn mutex_guard_recovers_from_poison() {
+        let m = Mutex::new(7u32);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().expect("first lock");
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7, "the value is still consistent");
+    }
+
+    #[test]
+    fn rwlock_guards_recover_from_poison() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = l.write().expect("first write");
+            panic!("poison the lock");
+        }));
+        assert!(l.is_poisoned());
+        assert_eq!(read_unpoisoned(&l).len(), 3);
+        write_unpoisoned(&l).push(4);
+        assert_eq!(read_unpoisoned(&l).len(), 4);
+    }
+
+    #[test]
+    fn timed_wait_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = lock_unpoisoned(&m);
+        let (_guard, timed_out) = wait_timeout_unpoisoned(&cv, guard, Duration::from_millis(1));
+        assert!(timed_out, "nobody notifies, so the wait must time out");
+    }
+}

@@ -157,6 +157,30 @@ impl EncryptionEngine {
         Ok(EncryptionEngine::spe_parallel().with_backend(backend))
     }
 
+    /// [`spe_parallel_functional`](EncryptionEngine::spe_parallel_functional)
+    /// with an explicit scheduler configuration — queue depth, health
+    /// thresholds and (for resilience studies) deterministic chaos
+    /// injection. The supervised pipeline keeps the engine answering even
+    /// while banks respawn or quarantine; requests that fail transiently
+    /// retry under the façade's policy, and a fully-quarantined pool
+    /// degrades to the serial datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeError::KeyNotLoaded`] if `specu` holds no key.
+    pub fn spe_parallel_functional_config(
+        specu: &spe_core::Specu,
+        config: spe_core::SchedulerConfig,
+    ) -> Result<Self, SpeError> {
+        let context = specu.context()?.clone();
+        let pool = spe_core::ParallelSpecu::with_scheduler_config(context, config);
+        let backend: Arc<dyn BlockEngine> = Arc::new(crate::backends::ProfiledEngine::new(
+            Arc::new(pool),
+            SchemeProfile::spe_parallel(),
+        ));
+        Ok(EncryptionEngine::spe_parallel().with_backend(backend))
+    }
+
     /// Replaces the backend (e.g. a functional SPECU wrapped in a
     /// [`crate::backends::ProfiledEngine`]) while keeping the scheme's
     /// exposure policy and profile.
@@ -435,6 +459,28 @@ mod tests {
             other => panic!("expected an SPE sealed line, got {other:?}"),
         }
         assert_eq!(e.open(&sealed).expect("open"), pt);
+    }
+
+    #[test]
+    fn functional_parallel_survives_chaos_injection() {
+        use spe_core::{ChaosPolicy, HealthPolicy, SchedulerConfig};
+        let specu = spe_core::Specu::new(spe_core::Key::from_seed(0x52)).expect("specu");
+        // Workers panic constantly and quarantine fast: the engine must
+        // still answer (retry, then the serial floor) with ciphertext
+        // identical to a clean pipeline.
+        let config = SchedulerConfig::with_banks(2)
+            .with_health(HealthPolicy {
+                degrade_after: 1,
+                quarantine_after: 1,
+            })
+            .with_chaos(ChaosPolicy::panics(1.0, 0x0D0));
+        let chaotic =
+            EncryptionEngine::spe_parallel_functional_config(&specu, config).expect("engine");
+        let clean = EncryptionEngine::spe_parallel_functional(&specu, 2).expect("engine");
+        let pt: [u8; LINE_BYTES] = core::array::from_fn(|i| (i * 11 + 5) as u8);
+        let sealed = chaotic.seal(&pt, 0x80).expect("seal under chaos");
+        assert_eq!(sealed, clean.seal(&pt, 0x80).expect("clean seal"));
+        assert_eq!(chaotic.open(&sealed).expect("open under chaos"), pt);
     }
 
     #[test]

@@ -78,6 +78,19 @@ pub enum Counter {
     SchedBackpressureWaits,
     /// Non-blocking submissions refused because the bank queue was full.
     SchedRejectedWouldBlock,
+    /// Bank worker incarnations respawned by the supervisor after a panic.
+    BankRespawns,
+    /// Banks quarantined after exceeding the consecutive-failure
+    /// threshold.
+    BankQuarantines,
+    /// Requests resubmitted by the façade's bounded retry ladder.
+    RequestRetries,
+    /// Requests dropped (load-shed) because their deadline expired before
+    /// a worker ran them.
+    DeadlineExpired,
+    /// Requests served by the serial datapath because every bank was
+    /// quarantined.
+    DegradedFallbacks,
     // ---- spe-memsim: memory system ----
     /// NVMM line reads serviced.
     NvmmReads,
@@ -91,7 +104,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 39;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -125,6 +138,11 @@ impl Counter {
         Counter::SchedCompleted,
         Counter::SchedBackpressureWaits,
         Counter::SchedRejectedWouldBlock,
+        Counter::BankRespawns,
+        Counter::BankQuarantines,
+        Counter::RequestRetries,
+        Counter::DeadlineExpired,
+        Counter::DegradedFallbacks,
         Counter::NvmmReads,
         Counter::NvmmWrites,
         Counter::LinesSealed,
@@ -169,6 +187,11 @@ impl Counter {
             Counter::SchedCompleted => "sched_completed",
             Counter::SchedBackpressureWaits => "sched_backpressure_waits",
             Counter::SchedRejectedWouldBlock => "sched_rejected_would_block",
+            Counter::BankRespawns => "bank_respawns",
+            Counter::BankQuarantines => "bank_quarantines",
+            Counter::RequestRetries => "request_retries",
+            Counter::DeadlineExpired => "deadline_expired",
+            Counter::DegradedFallbacks => "degraded_fallbacks",
             Counter::NvmmReads => "nvmm_reads",
             Counter::NvmmWrites => "nvmm_writes",
             Counter::LinesSealed => "lines_sealed",
@@ -217,6 +240,10 @@ pub enum Histogram {
     /// Requests in flight across the scheduler (queued + executing),
     /// observed as each request is accepted — the saturation metric.
     SchedInFlight,
+    /// Backoff slept before a façade-level retry, in microseconds
+    /// (doubles per attempt — the pipeline's exponential-backoff mirror
+    /// of the cell layer's pulse-width ladder).
+    RetryBackoff,
     /// Write pulse widths (device time units; also used for the
     /// exponential verify-retry backoff widths).
     PulseWidth,
@@ -230,7 +257,7 @@ pub enum Histogram {
 
 impl Histogram {
     /// Number of histograms.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every histogram in canonical snapshot order.
     pub const ALL: [Histogram; Histogram::COUNT] = [
@@ -238,6 +265,7 @@ impl Histogram {
         Histogram::BankUtilization,
         Histogram::SchedQueueDepth,
         Histogram::SchedInFlight,
+        Histogram::RetryBackoff,
         Histogram::PulseWidth,
         Histogram::ReadLatencyCycles,
         Histogram::QueueDelayCycles,
@@ -256,6 +284,7 @@ impl Histogram {
             Histogram::BankUtilization => "bank_utilization",
             Histogram::SchedQueueDepth => "sched_queue_depth",
             Histogram::SchedInFlight => "sched_in_flight",
+            Histogram::RetryBackoff => "retry_backoff_us",
             Histogram::PulseWidth => "pulse_width",
             Histogram::ReadLatencyCycles => "read_latency_cycles",
             Histogram::QueueDelayCycles => "queue_delay_cycles",
@@ -270,6 +299,7 @@ impl Histogram {
             Histogram::BankUtilization => &BANK_BOUNDS,
             Histogram::SchedQueueDepth
             | Histogram::SchedInFlight
+            | Histogram::RetryBackoff
             | Histogram::PulseWidth
             | Histogram::ReadLatencyCycles
             | Histogram::QueueDelayCycles

@@ -212,6 +212,7 @@ fn try_submit_reports_would_block_on_a_full_queue() {
         SchedulerConfig {
             banks: 1,
             queue_depth: 1,
+            ..SchedulerConfig::default()
         },
     );
     let jobs = random_lines(0xB10C, 16);
@@ -228,6 +229,7 @@ fn try_submit_reports_would_block_on_a_full_queue() {
                 break;
             }
             Err(SubmitError::Shutdown(_)) => panic!("scheduler is not shut down"),
+            Err(SubmitError::Quarantined(_)) => panic!("no chaos, no quarantine"),
         }
     }
     let refused = refused.expect("a 16-request burst must overrun a depth-1 queue");
