@@ -8,8 +8,11 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy -D warnings"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "== cargo clippy -D warnings -D deprecated"
+# -D deprecated keeps every in-repo caller on the unified SpecuBuilder
+# construction API; the old constructor zoo exists only for downstream
+# migration.
+cargo clippy --workspace --all-targets --offline -- -D warnings -D deprecated
 
 echo "== cargo clippy -D clippy::unwrap_used (fault-hardened library crates)"
 cargo clippy -p spe-linalg -p spe-memristor -p spe-crossbar -p spe-ilp -p spe-telemetry \
@@ -61,6 +64,22 @@ echo "== chaos / self-healing pipeline smoke"
 timeout 300 cargo run --release --offline -p spe-bench --bin chaos_bench -- --lines 96
 if ! grep -q '"degraded_floor_lines_per_sec"' BENCH_chaos.json; then
   echo "FAIL: BENCH_chaos.json is missing the degraded-floor measurement" >&2
+  exit 1
+fi
+
+echo "== multi-tenant registry smoke"
+# tenant_bench asserts >= 1000 context instantiations/s from one shared
+# calibration, a warm schedule-cache hit rate >= 70% at Zipf s=0.9 with
+# default registry shards, and zero stale-schedule serves across 96 key
+# rotations under concurrent tenant-tagged traffic; it emits
+# BENCH_tenant.json with the hit-rate x skew x shard-count sweep.
+timeout 300 cargo run --release --offline -p spe-bench --bin tenant_bench
+if ! grep -q '"gate_warm_hit_rate_s09_pass": true' BENCH_tenant.json; then
+  echo "FAIL: BENCH_tenant.json warm hit-rate gate (s=0.9) did not pass" >&2
+  exit 1
+fi
+if ! grep -q '"gate_rotation_correctness_pass": true' BENCH_tenant.json; then
+  echo "FAIL: BENCH_tenant.json rotation-under-load gate did not pass" >&2
   exit 1
 fi
 

@@ -5,7 +5,10 @@
 //! parallelism argument).
 
 use spe_bench::Bench;
-use spe_core::{CipherRequest, Key, LineJob, SpeCipher, SpeVariant, Specu, SpecuConfig};
+use spe_core::{
+    CipherRequest, Key, LineJob, ParallelSpecu, SchedulerConfig, SpeCipher, SpeVariant, Specu,
+    SpecuConfig,
+};
 use spe_crossbar::netlist::Gating;
 use spe_crossbar::solver::solve_dense;
 use spe_crossbar::{Bias, CellAddr, Dims, NodalSolver, WireParams};
@@ -16,14 +19,14 @@ use std::time::Instant;
 const BATCH_LINES: usize = 32;
 
 fn specu(variant: SpeVariant) -> Specu {
-    Specu::with_config(
-        Key::from_seed(0xBE),
-        SpecuConfig {
+    Specu::builder()
+        .key(Key::from_seed(0xBE))
+        .config(SpecuConfig {
             variant,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu")
+        })
+        .build()
+        .expect("specu")
 }
 
 fn line_jobs() -> Vec<LineJob> {
@@ -114,7 +117,10 @@ fn main() {
     // context, one 4-line batch through the 4-bank datapath: identical
     // counts on every run.
     let recorder = Arc::new(AtomicRecorder::new());
-    let banked = banked.with_recorder(recorder.clone());
+    let mut telemetry_ctx = banked.context().clone();
+    telemetry_ctx.set_recorder(recorder.clone());
+    let banked =
+        ParallelSpecu::with_scheduler_config(telemetry_ctx, SchedulerConfig::with_banks(4));
     banked
         .encrypt_lines(&jobs[..4])
         .expect("telemetry batch encrypt");

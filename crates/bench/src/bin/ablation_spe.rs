@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poe_count: poes,
             ..SpecuConfig::default()
         };
-        let specu = Specu::with_config(Key::from_seed(1), config)?;
+        let specu = Specu::builder()
+            .key(Key::from_seed(1))
+            .config(config)
+            .build()?;
         let ka = bias(&datasets::key_avalanche(&specu, bits, 11)?);
         let pa = bias(&datasets::plaintext_avalanche(&specu, bits, 12)?);
         t1.row([poes.to_string(), format!("{ka:.3}"), format!("{pa:.3}")]);
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rounds,
             ..SpecuConfig::default()
         };
-        let specu = Specu::with_config(Key::from_seed(1), config)?;
+        let specu = Specu::builder()
+            .key(Key::from_seed(1))
+            .config(config)
+            .build()?;
         let pa = bias(&datasets::plaintext_avalanche(&specu, bits, 12)?);
         t2.row([
             rounds.to_string(),

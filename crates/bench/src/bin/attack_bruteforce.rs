@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if args.has("demo") {
         println!("\nreduced-instance exhaustive search (2 PoEs, 4 pulses):");
-        let specu = Specu::new(Key::from_seed(0xBF))?;
+        let specu = Specu::builder().key(Key::from_seed(0xBF)).build()?;
         let report = brute_force_reduced(&specu, b"toy  target  blk", 2, 4)?;
         println!(
             "  space {} schedules, recovered after {} attempts (recovered: {})",

@@ -10,7 +10,7 @@ use spe_core::attack::{known_plaintext_ambiguity, wrong_order_decrypt};
 use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let specu = Specu::new(Key::from_seed(0x5EC))?;
+    let specu = Specu::builder().key(Key::from_seed(0x5EC)).build()?;
 
     println!("attack lab — executable versions of the §6 security arguments\n");
 

@@ -32,14 +32,14 @@ const BANKS: usize = 4;
 const FAULT_RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
 
 fn specu() -> Specu {
-    Specu::with_config(
-        Key::from_seed(0xC4A0),
-        SpecuConfig {
+    Specu::builder()
+        .key(Key::from_seed(0xC4A0))
+        .config(SpecuConfig {
             schedule_cache_lines: spe_core::cache::DEFAULT_CACHE_LINES,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu")
+        })
+        .build()
+        .expect("specu")
 }
 
 fn pattern(addr: u64) -> [u8; LINE_BYTES] {
@@ -166,8 +166,10 @@ fn main() {
         };
         let recorder = Arc::new(AtomicRecorder::new());
         let handle: TelemetryHandle = recorder.clone();
+        let mut sweep_ctx = ctx.clone();
+        sweep_ctx.set_recorder(handle);
         let pool = ParallelSpecu::with_scheduler_config(
-            ctx.clone(),
+            sweep_ctx,
             SchedulerConfig::with_banks(BANKS)
                 .with_health(HealthPolicy::never_quarantine())
                 .with_chaos(chaos),
@@ -178,8 +180,7 @@ fn main() {
         .with_retry_policy(RetryPolicy {
             max_attempts: 10,
             backoff_base_us: 50,
-        })
-        .with_recorder(handle);
+        });
         let (lines_per_sec, p99) = drive(pool, &batch, &oracle, &recorder);
         sweep.push(SweepPoint {
             fault_rate: rate,
@@ -199,16 +200,17 @@ fn main() {
     // --- Degraded floor: every bank dies, the pipeline keeps answering. --
     let recorder = Arc::new(AtomicRecorder::new());
     let handle: TelemetryHandle = recorder.clone();
+    let mut floor_ctx = ctx.clone();
+    floor_ctx.set_recorder(handle);
     let pool = ParallelSpecu::with_scheduler_config(
-        ctx.clone(),
+        floor_ctx,
         SchedulerConfig::with_banks(2)
             .with_health(HealthPolicy {
                 degrade_after: 1,
                 quarantine_after: 1,
             })
             .with_chaos(ChaosPolicy::panics(1.0, seed)),
-    )
-    .with_recorder(handle);
+    );
     let (floor_lines_per_sec, floor_p99) = drive(pool, &batch, &oracle, &recorder);
     let fallbacks = recorder.counter(Counter::DegradedFallbacks);
     let quarantines = recorder.counter(Counter::BankQuarantines);

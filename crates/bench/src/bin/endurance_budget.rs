@@ -14,7 +14,7 @@ use spe_memristor::{EnduranceImpact, EnduranceMeter};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let blocks = args.get_u64("blocks", 512);
-    let specu = Specu::new(Key::from_seed(0xE0D))?;
+    let specu = Specu::builder().key(Key::from_seed(0xE0D)).build()?;
 
     println!("§5.2 reproduction — endurance impact of SPE\n");
 

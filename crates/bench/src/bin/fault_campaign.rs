@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lines = args.lines(8);
     let seed = args.seed(0xFA17);
 
-    let mut specu = Specu::new(Key::from_seed(0xDAC2014))?;
+    let mut specu = Specu::builder().key(Key::from_seed(0xDAC2014)).build()?;
     let campaign = FaultCampaign::new(CampaignConfig {
         rates: vec![0.0, 1e-4, 1e-3, 1e-2],
         lines_per_rate: lines,
@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallel_rec = Arc::new(AtomicRecorder::new());
     specu.attach_recorder(serial_rec.clone());
     let serial = campaign.run_serial(specu.context()?);
-    let par = specu.parallel(4)?.with_recorder(parallel_rec.clone());
+    specu.attach_recorder(parallel_rec.clone());
+    let par = specu.parallel(4)?;
     let parallel = campaign.run_parallel(&par);
 
     println!("{}", Table::campaign(&serial).render());

@@ -27,7 +27,7 @@ fn grid(bytes: &[u8; 16]) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let key = Key::from_seed(args.seed(0xDAC));
-    let specu = Specu::new(key)?;
+    let specu = Specu::builder().key(key).build()?;
 
     let plaintext = *b"DAC 2014 SNVMM!!";
     println!("Fig. 2 reproduction — SPE walkthrough on one 8x8 crossbar block\n");

@@ -23,14 +23,14 @@ const WORKING_SET: usize = 16;
 const BATCH_LINES: usize = 64;
 
 fn specu(seed: u64, cache_lines: usize) -> Specu {
-    Specu::with_config(
-        Key::from_seed(seed),
-        SpecuConfig {
+    Specu::builder()
+        .key(Key::from_seed(seed))
+        .config(SpecuConfig {
             schedule_cache_lines: cache_lines,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu")
+        })
+        .build()
+        .expect("specu")
 }
 
 fn pattern(addr: u64) -> [u8; 64] {

@@ -37,14 +37,14 @@ const SWEEP_LINES: usize = 128;
 const SWEEP_WINDOWS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 fn specu() -> Specu {
-    Specu::with_config(
-        Key::from_seed(0x91E),
-        SpecuConfig {
+    Specu::builder()
+        .key(Key::from_seed(0x91E))
+        .config(SpecuConfig {
             schedule_cache_lines: spe_core::cache::DEFAULT_CACHE_LINES,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu")
+        })
+        .build()
+        .expect("specu")
 }
 
 fn pattern(addr: u64) -> [u8; LINE_BYTES] {

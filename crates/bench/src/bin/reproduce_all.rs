@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Fig. 2 / SPE roundtrip.
-    let specu = Specu::new(Key::from_seed(0xDAC))?;
+    let specu = Specu::builder().key(Key::from_seed(0xDAC)).build()?;
     let report = wrong_order_decrypt(&specu, b"reproduction run")?;
     println!(
         "Fig. 2   decrypt ok; wrong order corrupts {}/16 bytes",
@@ -90,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // machine-diffable across runs and machines.
     println!("\nFault campaign (smoke sweep, telemetry-recorded):");
     let recorder = Arc::new(AtomicRecorder::new());
-    let mut recorded = Specu::new(Key::from_seed(0xDAC2014))?;
+    let mut recorded = Specu::builder().key(Key::from_seed(0xDAC2014)).build()?;
     recorded.attach_recorder(recorder.clone());
     let points = FaultCampaign::new(CampaignConfig::smoke()).run_serial(recorded.context()?);
     println!("{}", Table::campaign(&points).render());

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.rounds,
         max_failures(sequences)
     );
-    let specu = Specu::with_config(Key::from_seed(0xDAC2014), config)?;
+    let specu = Specu::builder()
+        .key(Key::from_seed(0xDAC2014))
+        .config(config)
+        .build()?;
     let suite = Suite::new();
 
     let mut table = Table::new(

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 context_beta: beta,
                 ..SpecuConfig::default()
             };
-            let mut specu = Specu::with_config(Key::from_seed(1), config)?;
+            let mut specu = Specu::builder()
+                .key(Key::from_seed(1))
+                .config(config)
+                .build()?;
             // Ciphertext level histogram for all-zero plaintext, random keys.
             let mut hist = [0usize; 4];
             for seed in 0..200u64 {

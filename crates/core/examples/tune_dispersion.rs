@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             train_threshold: threshold,
             ..SpecuConfig::default()
         };
-        let specu = Specu::with_config(Key::from_seed(1), config)?;
+        let specu = Specu::builder()
+            .key(Key::from_seed(1))
+            .config(config)
+            .build()?;
         let bytes = datasets::plaintext_avalanche(&specu, 256 * 1024, 5)?;
         let counts: Vec<f64> = bytes
             .chunks(16)

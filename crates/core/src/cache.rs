@@ -10,12 +10,32 @@
 //! ## Key-epoch invalidation
 //!
 //! Entries are keyed by `(key epoch, tweak)`. The cache never inspects key
-//! material: every keyed context draws a fresh epoch from
-//! [`ScheduleCache::next_epoch`] when it is built (including
-//! `load_key`/`rekeyed`), so entries derived under an old key can never be
-//! returned to a context holding a new one — a stale schedule cannot
-//! decrypt a block sealed after rotation. Orphaned epochs age out through
-//! normal LRU eviction.
+//! material: every keyed context holds an [`EpochHandle`] drawn from
+//! [`ScheduleCache::next_epoch`], so entries derived under an old key can
+//! never be returned to a context holding a new one — a stale schedule
+//! cannot decrypt a block sealed after rotation. Orphaned epochs age out
+//! through normal LRU eviction.
+//!
+//! ### The rotation invariant
+//!
+//! `next_epoch` returns an explicit [`EpochHandle`] rather than a bare
+//! integer so epoch allocation is a visible, auditable event owned by
+//! whoever constructs the context — the builder by default, or a
+//! [`crate::tenant::TenantRegistry`] driving live key rotation. The
+//! invariant every allocator must uphold: **one handle per keyed context,
+//! never reused across keys**. A handle is unique for the lifetime of the
+//! cache (a monotonic allocator, never recycled), so
+//!
+//! 1. a context built *after* a rotation can never observe schedules
+//!    derived under the pre-rotation key (its fresh epoch matches no
+//!    existing entry), and
+//! 2. a *retained* pre-rotation context keeps resolving its own entries —
+//!    in-flight decrypts of old-epoch ciphertext drain safely while new
+//!    traffic seals under the new epoch.
+//!
+//! Registry-driven rotation is therefore just "build a new context via the
+//! builder (which draws a fresh handle) and swap the map entry"; no cache
+//! flush is needed, and none is provided.
 //!
 //! ## Concurrency
 //!
@@ -64,6 +84,25 @@ pub struct Train {
 
 /// Default schedule-cache capacity in blocks (four per cache line).
 pub const DEFAULT_CACHE_LINES: usize = 1024;
+
+/// An explicit, owned key-epoch allocation from
+/// [`ScheduleCache::next_epoch`].
+///
+/// Each handle names one keyed context's slice of the cache key space.
+/// Handles are allocated monotonically and never recycled, so holding one
+/// is proof that no *other* key's schedules can collide with yours — the
+/// rotation invariant in the module docs. The raw value is exposed via
+/// [`EpochHandle::value`] for telemetry and diagnostics only; treat it as
+/// opaque everywhere else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EpochHandle(u64);
+
+impl EpochHandle {
+    /// The raw epoch number (diagnostic/telemetry use).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
 
 /// Shards the cache map so bank workers contend on disjoint locks.
 const SHARD_COUNT: usize = 8;
@@ -142,11 +181,12 @@ impl ScheduleCache {
         self.shard_capacity * SHARD_COUNT
     }
 
-    /// Allocates a fresh key epoch. Called once per keyed context; the
-    /// returned epoch has never been used before, so no cached entry can
-    /// match it until that context inserts one.
-    pub fn next_epoch(&self) -> u64 {
-        self.epochs.fetch_add(1, Ordering::Relaxed)
+    /// Allocates a fresh key epoch. Called once per keyed context (by the
+    /// builder, or by a rotating [`crate::tenant::TenantRegistry`]); the
+    /// returned handle has never been issued before, so no cached entry
+    /// can match it until the owning context inserts one.
+    pub fn next_epoch(&self) -> EpochHandle {
+        EpochHandle(self.epochs.fetch_add(1, Ordering::Relaxed))
     }
 
     fn shard(&self, tweak: u64) -> &Shard {
@@ -155,12 +195,12 @@ impl ScheduleCache {
 
     /// Looks up the derived schedule for `(epoch, tweak)`, refreshing its
     /// LRU stamp on a hit. Read-lock only.
-    pub fn get(&self, epoch: u64, tweak: u64) -> Option<Arc<DerivedSchedule>> {
+    pub fn get(&self, epoch: EpochHandle, tweak: u64) -> Option<Arc<DerivedSchedule>> {
         if !self.is_enabled() {
             return None;
         }
         let map = read_map(self.shard(tweak));
-        map.get(&(epoch, tweak)).map(|entry| {
+        map.get(&(epoch.0, tweak)).map(|entry| {
             entry.stamp.store(
                 self.clock.fetch_add(1, Ordering::Relaxed),
                 Ordering::Relaxed,
@@ -172,13 +212,13 @@ impl ScheduleCache {
     /// Inserts a freshly derived schedule, evicting least-recently-used
     /// entries if the shard is full. Returns how many entries were
     /// evicted (for the caller's telemetry).
-    pub fn insert(&self, epoch: u64, tweak: u64, plan: Arc<DerivedSchedule>) -> u64 {
+    pub fn insert(&self, epoch: EpochHandle, tweak: u64, plan: Arc<DerivedSchedule>) -> u64 {
         if !self.is_enabled() {
             return 0;
         }
         let mut map = write_map(self.shard(tweak));
         let mut evicted = 0;
-        let key = (epoch, tweak);
+        let key = (epoch.0, tweak);
         while !map.contains_key(&key) && map.len() >= self.shard_capacity {
             let victim = map
                 .iter()

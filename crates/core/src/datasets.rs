@@ -136,10 +136,12 @@ fn random_block(rng: &mut CoupledLcg) -> [u8; BLOCK_BYTES] {
 
 /// A parallel datapath over `specu`'s calibration under `key`.
 fn datapath(specu: &Specu, key: Key, banks: usize) -> ParallelSpecu {
-    ParallelSpecu::new(
-        SpeContext::with_calibration(key, std::sync::Arc::clone(specu.calibration())),
-        banks,
-    )
+    Specu::builder()
+        .key(key)
+        .calibration(std::sync::Arc::clone(specu.calibration()))
+        .banks(banks)
+        .build_parallel()
+        .expect("datapath over an existing calibration")
 }
 
 /// 1) Key avalanche.
@@ -224,8 +226,10 @@ fn hardware_avalanche_banked(
     banks: usize,
 ) -> Result<Vec<u8>, SpeError> {
     let zero_pt = [0u8; BLOCK_BYTES];
-    let nominal =
-        SpeContext::with_calibration(Key::zero(), std::sync::Arc::clone(specu.calibration()));
+    let nominal = Specu::builder()
+        .key(Key::zero())
+        .calibration(std::sync::Arc::clone(specu.calibration()))
+        .build_context()?;
 
     // The paper sweeps physical parameters 5-10% in 0.5% steps. Each step
     // needs its own kernel recalibration — by far the most expensive part
@@ -240,7 +244,10 @@ fn hardware_avalanche_banked(
                 .with_variation(&Variation::uniform(rels[i])),
             ..specu.config().clone()
         };
-        SpeContext::new(Key::zero(), config)
+        Specu::builder()
+            .key(Key::zero())
+            .config(config)
+            .build_context()
     })?;
 
     // Stream: XOR of nominal-hardware vs perturbed-hardware ciphertexts of
@@ -413,7 +420,12 @@ mod tests {
     fn specu() -> Specu {
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0xD5)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0xD5))
+                    .build()
+                    .expect("specu")
+            })
             .clone()
     }
 

@@ -171,7 +171,12 @@ mod tests {
     fn specu() -> Specu {
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0xE6)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0xE6))
+                    .build()
+                    .expect("specu")
+            })
             .clone()
     }
 

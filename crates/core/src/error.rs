@@ -67,6 +67,11 @@ pub enum SpeError {
     /// The bank scheduler has been shut down: in-flight requests drain to
     /// completion, but new submissions are refused.
     SchedulerShutdown,
+    /// A tenant-tagged request named a tenant with no live context in the
+    /// [`crate::tenant::TenantRegistry`] (never registered, or removed).
+    /// Not retryable: resubmission cannot succeed until the tenant is
+    /// (re)registered.
+    UnknownTenant(crate::tenant::TenantId),
     /// An internal invariant failed (e.g. a SPECU bank worker died).
     Internal(&'static str),
 }
@@ -119,6 +124,9 @@ impl fmt::Display for SpeError {
             }
             SpeError::SchedulerShutdown => {
                 write!(f, "the bank scheduler is shut down; submission refused")
+            }
+            SpeError::UnknownTenant(tenant) => {
+                write!(f, "unknown tenant {tenant}: no live context registered")
             }
             SpeError::Internal(what) => write!(f, "internal error: {what}"),
         }
@@ -206,6 +214,9 @@ mod tests {
         assert!(SpeError::AllBanksQuarantined
             .to_string()
             .contains("quarantined"));
+        let t = SpeError::UnknownTenant(crate::tenant::TenantId::new(42));
+        assert!(t.to_string().contains("42"));
+        assert!(!t.is_retryable());
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   backpressure, supervised respawn/quarantine ([`BankHealth`]),
 //!   request deadlines and retry-with-backoff ([`RetryPolicy`]), plus a
 //!   deterministic [`ChaosPolicy`] harness to exercise it all.
+//! * [`TenantRegistry`] — multi-tenant SPECU: per-tenant keyed contexts
+//!   over one shared calibration, with live key rotation pinned by
+//!   schedule-cache [`EpochHandle`]s.
 //! * [`SecureNvmm`] — an SPE-protected main memory with SPE-serial /
 //!   SPE-parallel policies, encrypted-fraction tracking and the power-down
 //!   lifecycle ([`Tpm`]).
@@ -43,7 +46,7 @@
 //! use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 //!
 //! # fn main() -> Result<(), spe_core::SpeError> {
-//! let specu = Specu::new(Key::from_seed(7))?;
+//! let specu = Specu::builder().key(Key::from_seed(7)).build()?;
 //! let plaintext = *b"attack at dawn!!";
 //! let block = specu.encrypt(CipherRequest::block(plaintext))?.into_block()?;
 //! assert_ne!(block.data(), plaintext, "ciphertext differs");
@@ -75,10 +78,11 @@ pub mod schedule;
 pub mod scheduler;
 pub mod specu;
 pub mod sync;
+pub mod tenant;
 pub mod tpm;
 
 pub use bignum::BigUint;
-pub use cache::{DerivedSchedule, ScheduleCache};
+pub use cache::{DerivedSchedule, EpochHandle, ScheduleCache};
 pub use chaos::{ChaosEvent, ChaosPolicy};
 pub use engine::{BlockEngine, EngineOp, SealedLine};
 pub use error::SpeError;
@@ -95,9 +99,11 @@ pub use scheduler::{
     BankHealth, BankScheduler, HealthPolicy, SchedulerConfig, SubmitError, DEFAULT_QUEUE_DEPTH,
 };
 pub use specu::{
-    CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuConfig,
+    CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuBuilder,
+    SpecuConfig,
 };
 pub use sync::{
     lock_unpoisoned, read_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, write_unpoisoned,
 };
+pub use tenant::{TenantId, TenantRegistry, TenantRotation, DEFAULT_TENANT_SHARDS};
 pub use tpm::Tpm;

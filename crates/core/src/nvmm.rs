@@ -250,7 +250,12 @@ mod tests {
     fn specu() -> Specu {
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0xFEED)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0xFEED))
+                    .build()
+                    .expect("specu")
+            })
             .clone()
     }
 

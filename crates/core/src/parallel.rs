@@ -22,9 +22,10 @@
 use crate::error::SpeError;
 use crate::key::Key;
 use crate::recovery::{FaultCounters, FaultPolicy, RetryPolicy};
-use crate::request::{CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher};
+use crate::request::{CipherRequest, CipherResponse, CipherTicket};
 use crate::scheduler::{BankScheduler, SchedulerConfig};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
+use crate::tenant::TenantRegistry;
 use spe_telemetry::{Counter, Histogram, TelemetryHandle};
 use std::sync::Arc;
 use std::time::Duration;
@@ -90,7 +91,8 @@ impl LineJob {
 /// one immutable keyed [`SpeContext`] behind a [`BankScheduler`].
 ///
 /// Cloning is cheap and shares the scheduler (and its workers); the pool
-/// is built once in [`ParallelSpecu::new`] and torn down when the last
+/// is built once (via [`crate::specu::SpecuBuilder::build_parallel`] or
+/// [`ParallelSpecu::with_scheduler_config`]) and torn down when the last
 /// clone drops.
 ///
 /// This façade owns the top rung of the recovery ladder: a request whose
@@ -112,6 +114,11 @@ impl ParallelSpecu {
     /// (clamped to at least one; the paper's configuration is one bank per
     /// mat, i.e. four). The bank workers spawn here, once — batches reuse
     /// them through the scheduler's submission queues.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Specu::builder()...banks(banks).build_parallel(), or \
+                ParallelSpecu::with_scheduler_config"
+    )]
     pub fn new(context: SpeContext, banks: usize) -> Self {
         ParallelSpecu::with_scheduler_config(context, SchedulerConfig::with_banks(banks))
     }
@@ -122,6 +129,24 @@ impl ParallelSpecu {
     pub fn with_scheduler_config(context: SpeContext, config: SchedulerConfig) -> Self {
         ParallelSpecu {
             scheduler: Arc::new(BankScheduler::new(context, config)),
+            retry: RetryPolicy::standard(),
+        }
+    }
+
+    /// Builds a parallel datapath whose bank pool serves mixed-tenant
+    /// traffic: requests tagged via
+    /// [`CipherRequest::with_tenant`](crate::request::CipherRequest::with_tenant)
+    /// resolve the tenant's current [`SpeContext`] from `registry` at
+    /// execution time, so one shared pool carries every tenant and a
+    /// [`TenantRegistry::rotate`] takes effect mid-stream. Untagged
+    /// requests run on `context` as usual.
+    pub fn with_registry(
+        context: SpeContext,
+        config: SchedulerConfig,
+        registry: Arc<TenantRegistry>,
+    ) -> Self {
+        ParallelSpecu {
+            scheduler: Arc::new(BankScheduler::with_registry(context, config, registry)),
             retry: RetryPolicy::standard(),
         }
     }
@@ -155,15 +180,26 @@ impl ParallelSpecu {
     /// fan-out plus everything the underlying context records).
     ///
     /// The worker pool is rebuilt over the recorder-attached context, so
-    /// the persistent workers report into `recorder` too.
+    /// the persistent workers report into `recorder` too. A tenant
+    /// registry attached via [`ParallelSpecu::with_registry`] carries
+    /// over to the rebuilt pool.
+    #[deprecated(
+        since = "0.8.0",
+        note = "attach the recorder at construction: Specu::builder().recorder(..)"
+    )]
     #[must_use]
     pub fn with_recorder(self, recorder: TelemetryHandle) -> Self {
         let config = self.scheduler.config();
+        let registry = self.scheduler.registry().cloned();
         let retry = self.retry;
         let mut context = self.scheduler.context().clone();
         context.set_recorder(recorder);
         drop(self);
-        ParallelSpecu::with_scheduler_config(context, config).with_retry_policy(retry)
+        let rebuilt = match registry {
+            Some(registry) => ParallelSpecu::with_registry(context, config, registry),
+            None => ParallelSpecu::with_scheduler_config(context, config),
+        };
+        rebuilt.with_retry_policy(retry)
     }
 
     /// The number of SPECU banks.
@@ -201,12 +237,29 @@ impl ParallelSpecu {
 
     /// Runs one request on the caller's thread through the serial context
     /// — the availability floor once the scheduler's bank pool is gone.
+    /// Tenant-tagged requests still resolve through the registry, so the
+    /// degraded mode honors tenant routing (and rotations) identically.
     fn resolve_serial(&self, request: &CipherRequest) -> Result<CipherResponse, SpeError> {
-        let ctx = self.context();
-        ctx.recorder().add(Counter::DegradedFallbacks, 1);
-        match request.payload {
-            Payload::Block(_) | Payload::Line(_) => ctx.encrypt(request.clone()),
-            Payload::SealedBlock(_) | Payload::SealedLine(_) => ctx.decrypt(request.clone()),
+        self.context().recorder().add(Counter::DegradedFallbacks, 1);
+        crate::scheduler::execute_cipher(
+            self.context(),
+            self.scheduler.registry().map(Arc::as_ref),
+            request,
+        )
+    }
+
+    /// Runs one tenant-tagged request through the scheduler pipeline
+    /// *whole* (no mat sharding): the executing bank worker resolves the
+    /// tenant's current context when it picks the job up, which is what
+    /// makes a mid-stream rotation take effect for queued requests.
+    pub(crate) fn resolve_tenant(
+        &self,
+        request: &CipherRequest,
+    ) -> Result<CipherResponse, SpeError> {
+        match self.scheduler.submit(request.clone()) {
+            Ok(ticket) => self.settle(ticket, request),
+            Err(SpeError::AllBanksQuarantined) => self.resolve_serial(request),
+            Err(e) => Err(e),
         }
     }
 
@@ -622,7 +675,12 @@ mod tests {
     fn specu() -> Specu {
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0xBA)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0xBA))
+                    .build()
+                    .expect("specu")
+            })
             .clone()
     }
 
@@ -765,9 +823,9 @@ mod tests {
                 quarantine_after: 1,
             })
             .with_chaos(ChaosPolicy::panics(1.0, 0xDEAD));
-        let par =
-            ParallelSpecu::with_scheduler_config(s.context().expect("context").clone(), config)
-                .with_recorder(handle);
+        let mut ctx = s.context().expect("context").clone();
+        ctx.set_recorder(handle);
+        let par = ParallelSpecu::with_scheduler_config(ctx, config);
         // Every worker panics on its first job, so both banks quarantine
         // almost immediately — yet the batch must still answer, serially,
         // with ciphertext identical to the clean parallel pool.

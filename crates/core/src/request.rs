@@ -20,7 +20,7 @@
 //! use spe_core::{CipherRequest, Key, SpeCipher, Specu};
 //!
 //! # fn main() -> Result<(), spe_core::SpeError> {
-//! let specu = Specu::new(Key::from_seed(7))?;
+//! let specu = Specu::builder().key(Key::from_seed(7)).build()?;
 //! let plaintext = *b"attack at dawn!!";
 //! let sealed = specu
 //!     .encrypt(CipherRequest::block(plaintext).with_tweak(0x40))?
@@ -95,6 +95,15 @@ pub struct CipherRequest {
     /// [`SpeError::DeadlineExceeded`] instead of doing stale work. `None`
     /// never expires.
     pub deadline: Option<Instant>,
+    /// Tenant routing: `Some` asks a registry-backed datapath
+    /// ([`crate::scheduler::BankScheduler`] /
+    /// [`ParallelSpecu::with_registry`]) to resolve the tenant's current
+    /// context from its [`crate::tenant::TenantRegistry`] and execute
+    /// under it (typed [`SpeError::UnknownTenant`] when no context is
+    /// live). A bare [`SpeContext`] ignores this field — tenant
+    /// resolution is a scheduling-layer concern, and the context a
+    /// request ultimately lands on *is* the resolution's result.
+    pub tenant: Option<crate::tenant::TenantId>,
 }
 
 impl CipherRequest {
@@ -106,6 +115,7 @@ impl CipherRequest {
             verify: Verify::None,
             key: None,
             deadline: None,
+            tenant: None,
         }
     }
 
@@ -174,6 +184,17 @@ impl CipherRequest {
     #[must_use]
     pub fn with_timeout(self, budget: Duration) -> Self {
         self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Tags the request with a tenant: registry-backed datapaths resolve
+    /// the tenant's current context (and therefore its current key and
+    /// cache epoch) at execution time, so a request submitted just before
+    /// a [`crate::tenant::TenantRegistry::rotate`] lands on whichever
+    /// context is live when a bank worker picks it up.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: crate::tenant::TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
     }
 
     /// Whether the request's deadline has passed at `now`.
@@ -502,6 +523,12 @@ impl SpeCipher for Specu {
 
 impl SpeCipher for ParallelSpecu {
     fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        // Tenant-tagged requests go through the scheduler whole so the
+        // executing bank resolves the tenant's current context (the mat
+        // fan-out below would discard the tag).
+        if request.tenant.is_some() {
+            return self.resolve_tenant(&request);
+        }
         match &request.payload {
             // Line payloads shard their four mats across the banks.
             Payload::Line(pt) => {
@@ -523,6 +550,9 @@ impl SpeCipher for ParallelSpecu {
     }
 
     fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        if request.tenant.is_some() {
+            return self.resolve_tenant(&request);
+        }
         match (&request.payload, request.verify) {
             (Payload::SealedLine(line), Verify::Tag) => {
                 let pt = self.decrypt_line_checked(line)?;
@@ -546,7 +576,12 @@ mod tests {
         use std::sync::OnceLock;
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0xDAC)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0xDAC))
+                    .build()
+                    .expect("specu")
+            })
             .clone()
     }
 

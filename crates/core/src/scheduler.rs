@@ -56,9 +56,10 @@
 
 use crate::chaos::{ChaosEvent, ChaosPolicy};
 use crate::error::SpeError;
-use crate::request::{CipherRequest, CipherTicket, Payload, SpeCipher, TicketCell};
+use crate::request::{CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher, TicketCell};
 use crate::specu::{SpeContext, BLOCKS_PER_LINE};
 use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+use crate::tenant::TenantRegistry;
 use spe_telemetry::{Counter, Histogram, Recorder};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -212,6 +213,9 @@ impl SubmitError {
 }
 
 /// What a queued job asks its bank worker to do.
+// Outside tests the enum has a single variant; the size gap exists only
+// against the zero-payload test-injection variants.
+#[cfg_attr(test, allow(clippy::large_enum_variant))]
 #[derive(Debug)]
 enum JobKind {
     /// Run the request through the shared context's cipher datapath
@@ -267,16 +271,14 @@ impl Job {
         }
     }
 
-    /// Executes the job on the shared context and publishes the result.
-    fn run(self, context: &SpeContext) {
+    /// Executes the job and publishes the result. Tenant-tagged requests
+    /// resolve their context through the scheduler's registry *here*, at
+    /// execution time, so a rotation that lands while the job is queued
+    /// takes effect before any cipher work happens.
+    fn run(self, cipher: BankCipher<'_>) {
         match &self.kind {
             JobKind::Cipher(request) => {
-                let result = match request.payload {
-                    Payload::Block(_) | Payload::Line(_) => context.encrypt(request.clone()),
-                    Payload::SealedBlock(_) | Payload::SealedLine(_) => {
-                        context.decrypt(request.clone())
-                    }
-                };
+                let result = execute_cipher(cipher.context, cipher.registry, request);
                 self.cell.complete(result);
             }
             #[cfg(test)]
@@ -534,6 +536,9 @@ pub struct BankScheduler {
     monitors: Vec<Arc<BankMonitor>>,
     workers: Vec<JoinHandle<()>>,
     context: SpeContext,
+    /// Tenant resolution for tenant-tagged requests; `None` schedulers
+    /// serve single-tenant traffic only.
+    registry: Option<Arc<TenantRegistry>>,
     config: SchedulerConfig,
     /// Set by [`BankScheduler::shutdown`]; distinguishes a queue closed by
     /// shutdown from one closed by quarantine.
@@ -550,6 +555,28 @@ impl BankScheduler {
     /// and telemetry recorder, so the pipelined datapath is the serial
     /// one, many times over.
     pub fn new(context: SpeContext, config: SchedulerConfig) -> Self {
+        BankScheduler::build(context, config, None)
+    }
+
+    /// Like [`BankScheduler::new`], but bank workers additionally serve
+    /// mixed-tenant traffic: a request tagged with
+    /// [`CipherRequest::with_tenant`](crate::request::CipherRequest::with_tenant)
+    /// resolves the tenant's *current* context from `registry` at
+    /// execution time (typed [`SpeError::UnknownTenant`] when none is
+    /// live). Untagged requests still run on the shared `context`.
+    pub fn with_registry(
+        context: SpeContext,
+        config: SchedulerConfig,
+        registry: Arc<TenantRegistry>,
+    ) -> Self {
+        BankScheduler::build(context, config, Some(registry))
+    }
+
+    fn build(
+        context: SpeContext,
+        config: SchedulerConfig,
+        registry: Option<Arc<TenantRegistry>>,
+    ) -> Self {
         let config = SchedulerConfig {
             banks: config.banks.max(1),
             queue_depth: config.queue_depth.max(1),
@@ -570,12 +597,26 @@ impl BankScheduler {
                 let queue = Arc::clone(queue);
                 let monitor = Arc::clone(monitor);
                 let ctx = context.clone();
+                let registry = registry.clone();
                 let in_flight = Arc::clone(&in_flight);
                 let health = config.health;
                 let chaos = config.chaos;
                 std::thread::Builder::new()
                     .name(format!("spe-bank-{b}"))
-                    .spawn(move || supervise(b, &queue, &monitor, &ctx, &in_flight, health, chaos))
+                    .spawn(move || {
+                        supervise(
+                            b,
+                            &queue,
+                            &monitor,
+                            BankCipher {
+                                context: &ctx,
+                                registry: registry.as_deref(),
+                            },
+                            &in_flight,
+                            health,
+                            chaos,
+                        )
+                    })
                     .expect("spawn SPECU bank worker")
             })
             .collect();
@@ -584,6 +625,7 @@ impl BankScheduler {
             monitors,
             workers,
             context,
+            registry,
             config,
             closed: AtomicBool::new(false),
             in_flight,
@@ -594,6 +636,12 @@ impl BankScheduler {
     /// The shared keyed context the workers execute against.
     pub fn context(&self) -> &SpeContext {
         &self.context
+    }
+
+    /// The tenant registry, when this scheduler serves mixed-tenant
+    /// traffic ([`BankScheduler::with_registry`]).
+    pub fn registry(&self) -> Option<&Arc<TenantRegistry>> {
+        self.registry.as_ref()
     }
 
     /// The number of SPECU banks (worker threads).
@@ -880,18 +928,27 @@ impl Drop for BankScheduler {
 /// machine, and either respawns the worker logic (same OS thread, fresh
 /// incarnation) or quarantines the bank: monitor marked, queue closed,
 /// every still-queued job failed with [`SpeError::JobNeverRan`].
+/// The cipher-resolution surface a bank worker executes against: the
+/// pool's shared context plus the optional tenant registry that
+/// tenant-tagged requests resolve their current context through.
+#[derive(Clone, Copy)]
+struct BankCipher<'a> {
+    context: &'a SpeContext,
+    registry: Option<&'a TenantRegistry>,
+}
+
 fn supervise(
     bank: usize,
     queue: &BankQueue,
     monitor: &BankMonitor,
-    context: &SpeContext,
+    cipher: BankCipher<'_>,
     in_flight: &AtomicU64,
     health: HealthPolicy,
     chaos: ChaosPolicy,
 ) {
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            worker_main(bank, queue, monitor, context, in_flight, chaos)
+            worker_main(bank, queue, monitor, cipher, in_flight, chaos)
         }));
         if run.is_ok() {
             // Queue closed and drained: clean exit.
@@ -900,7 +957,7 @@ fn supervise(
         // Exactly one job was executing when the incarnation died; its
         // unwinding drop already poisoned the ticket.
         in_flight.fetch_sub(1, Ordering::Relaxed);
-        let rec = context.recorder();
+        let rec = cipher.context.recorder();
         rec.add(Counter::SchedCompleted, 1);
         let streak = monitor.record_failure(&health);
         if streak < health.quarantine_after() {
@@ -932,7 +989,7 @@ fn worker_main(
     bank: usize,
     queue: &BankQueue,
     monitor: &BankMonitor,
-    context: &SpeContext,
+    cipher: BankCipher<'_>,
     in_flight: &AtomicU64,
     chaos: ChaosPolicy,
 ) {
@@ -946,13 +1003,41 @@ fn worker_main(
         if job.expired(Instant::now()) {
             job.fail(SpeError::DeadlineExceeded);
             in_flight.fetch_sub(1, Ordering::Relaxed);
-            context.recorder().add(Counter::DeadlineExpired, 1);
+            cipher.context.recorder().add(Counter::DeadlineExpired, 1);
             continue;
         }
-        job.run(context);
+        job.run(cipher);
         in_flight.fetch_sub(1, Ordering::Relaxed);
-        context.recorder().add(Counter::SchedCompleted, 1);
+        cipher.context.recorder().add(Counter::SchedCompleted, 1);
         monitor.record_success();
+    }
+}
+
+/// The one cipher execution path every scheduler-backed surface shares:
+/// resolve the context (the tenant's current registry context for
+/// tenant-tagged requests, the shared pool context otherwise) and run
+/// the request through it. Also used by
+/// [`crate::parallel::ParallelSpecu`]'s serial degraded mode so fallback
+/// honors tenant routing identically.
+pub(crate) fn execute_cipher(
+    context: &SpeContext,
+    registry: Option<&TenantRegistry>,
+    request: &CipherRequest,
+) -> Result<CipherResponse, SpeError> {
+    let resolved;
+    let context = match request.tenant {
+        Some(tenant) => match registry.and_then(|r| r.context(tenant)) {
+            Some(ctx) => {
+                resolved = ctx;
+                resolved.as_ref()
+            }
+            None => return Err(SpeError::UnknownTenant(tenant)),
+        },
+        None => context,
+    };
+    match request.payload {
+        Payload::Block(_) | Payload::Line(_) => context.encrypt(request.clone()),
+        Payload::SealedBlock(_) | Payload::SealedLine(_) => context.decrypt(request.clone()),
     }
 }
 
@@ -967,7 +1052,12 @@ mod tests {
     fn context() -> SpeContext {
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0x5C4E)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0x5C4E))
+                    .build()
+                    .expect("specu")
+            })
             .context()
             .expect("context")
             .clone()

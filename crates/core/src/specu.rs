@@ -23,7 +23,7 @@
 //!
 //! Multi-bank line/batch encryption lives in [`crate::parallel`].
 
-use crate::cache::{DerivedSchedule, ScheduleCache, Train};
+use crate::cache::{DerivedSchedule, EpochHandle, ScheduleCache, Train};
 use crate::error::SpeError;
 use crate::key::Key;
 use crate::lut::{AddressLut, VoltageLut};
@@ -382,34 +382,62 @@ pub struct SpeContext {
     /// the calibration's epoch allocator at construction, so entries
     /// derived under any other key (or an earlier load of the same key)
     /// can never be returned here.
-    epoch: u64,
+    epoch: EpochHandle,
     recorder: TelemetryHandle,
 }
 
 impl SpeContext {
+    /// Entry point of the unified construction API (an alias for
+    /// [`Specu::builder`]); finish with [`SpecuBuilder::build_context`].
+    pub fn builder() -> SpecuBuilder {
+        SpecuBuilder::new()
+    }
+
+    /// The one true context constructor every public construction path
+    /// funnels through: the builder, [`Specu::load_key`], [`rekeyed`]
+    /// and the tenant registry all assemble the same four parts. The
+    /// caller supplies the epoch handle, which is what lets
+    /// [`crate::tenant::TenantRegistry::rotate`] make the epoch draw
+    /// explicit.
+    ///
+    /// [`rekeyed`]: SpeContext::rekeyed
+    pub(crate) fn from_parts(
+        key: Key,
+        calibration: Arc<SpeCalibration>,
+        epoch: EpochHandle,
+        recorder: TelemetryHandle,
+    ) -> Self {
+        SpeContext {
+            calibration,
+            key,
+            epoch,
+            recorder,
+        }
+    }
+
     /// Builds a context by calibrating `config` and loading `key`.
     ///
     /// # Errors
     ///
     /// Returns [`SpeError`] if calibration or PoE placement fails.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Specu::builder().key(key).config(config).build_context()"
+    )]
     pub fn new(key: Key, config: SpecuConfig) -> Result<Self, SpeError> {
-        Ok(SpeContext::with_calibration(
-            key,
-            Arc::new(SpeCalibration::new(config)?),
-        ))
+        SpecuBuilder::new().key(key).config(config).build_context()
     }
 
     /// Builds a context over an existing calibration (cheap: no
     /// recalibration; a fresh key epoch is drawn from the shared schedule
     /// cache).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Specu::builder().key(key).calibration(calibration).build_context()"
+    )]
     pub fn with_calibration(key: Key, calibration: Arc<SpeCalibration>) -> Self {
         let epoch = calibration.schedule_cache.next_epoch();
-        SpeContext {
-            calibration,
-            key,
-            epoch,
-            recorder: noop(),
-        }
+        SpeContext::from_parts(key, calibration, epoch, noop())
     }
 
     /// The same context under a different key (cheap: `Arc` clone plus a
@@ -424,12 +452,22 @@ impl SpeContext {
         }
     }
 
-    /// The key epoch this context caches derived schedules under.
+    /// The key epoch this context caches derived schedules under, as a
+    /// raw number (see [`SpeContext::epoch_handle`] for the typed form).
     pub fn key_epoch(&self) -> u64 {
+        self.epoch.value()
+    }
+
+    /// The typed epoch handle this context resolves schedules under.
+    pub fn epoch_handle(&self) -> EpochHandle {
         self.epoch
     }
 
     /// The same context reporting datapath telemetry into `recorder`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the builder's .recorder(..) or SpeContext::set_recorder"
+    )]
     pub fn with_recorder(mut self, recorder: TelemetryHandle) -> Self {
         self.recorder = recorder;
         self
@@ -940,13 +978,33 @@ impl fmt::Debug for Specu {
 }
 
 impl Specu {
+    /// Starts the unified construction API shared by every SPECU surface:
+    /// finish with [`SpecuBuilder::build`] (this facade),
+    /// [`SpecuBuilder::build_context`] ([`SpeContext`]) or
+    /// [`SpecuBuilder::build_parallel`]
+    /// ([`crate::parallel::ParallelSpecu`]).
+    ///
+    /// ```no_run
+    /// # use spe_core::{Key, Specu, SpecuConfig};
+    /// # fn main() -> Result<(), spe_core::SpeError> {
+    /// let specu = Specu::builder()
+    ///     .key(Key::from_seed(7))
+    ///     .config(SpecuConfig::default())
+    ///     .build()?;
+    /// # let _ = specu; Ok(()) }
+    /// ```
+    pub fn builder() -> SpecuBuilder {
+        SpecuBuilder::new()
+    }
+
     /// Creates a SPECU with the default configuration.
     ///
     /// # Errors
     ///
     /// Returns [`SpeError`] if calibration or PoE placement fails.
+    #[deprecated(since = "0.8.0", note = "use Specu::builder().key(key).build()")]
     pub fn new(key: Key) -> Result<Self, SpeError> {
-        Specu::with_config(key, SpecuConfig::default())
+        SpecuBuilder::new().key(key).build()
     }
 
     /// Creates a SPECU with an explicit configuration.
@@ -955,18 +1013,28 @@ impl Specu {
     ///
     /// Returns [`SpeError`] if calibration fails or the ILP cannot place
     /// `poe_count` PoEs covering every cell.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Specu::builder().key(key).config(config).build()"
+    )]
     pub fn with_config(key: Key, config: SpecuConfig) -> Result<Self, SpeError> {
-        let calibration = Arc::new(SpeCalibration::new(config)?);
-        Ok(Specu {
-            context: Some(SpeContext::with_calibration(key, Arc::clone(&calibration))),
-            calibration,
-        })
+        SpecuBuilder::new().key(key).config(config).build()
     }
 
     /// Builds a SPECU over an existing calibration (no recalibration).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Specu::builder().key(key).calibration(calibration).build()"
+    )]
     pub fn with_calibration(key: Key, calibration: Arc<SpeCalibration>) -> Self {
+        let epoch = calibration.schedule_cache.next_epoch();
         Specu {
-            context: Some(SpeContext::with_calibration(key, Arc::clone(&calibration))),
+            context: Some(SpeContext::from_parts(
+                key,
+                Arc::clone(&calibration),
+                epoch,
+                noop(),
+            )),
             calibration,
         }
     }
@@ -1020,10 +1088,13 @@ impl Specu {
             .as_ref()
             .map(|ctx| Arc::clone(ctx.recorder()))
             .unwrap_or_else(noop);
-        self.context = Some(
-            SpeContext::with_calibration(key, Arc::clone(&self.calibration))
-                .with_recorder(recorder),
-        );
+        let epoch = self.calibration.schedule_cache.next_epoch();
+        self.context = Some(SpeContext::from_parts(
+            key,
+            Arc::clone(&self.calibration),
+            epoch,
+            recorder,
+        ));
     }
 
     /// Attaches a telemetry recorder to the loaded context: all datapath
@@ -1055,9 +1126,9 @@ impl Specu {
     ///
     /// Returns [`SpeError::KeyNotLoaded`] after power-down.
     pub fn parallel(&self, banks: usize) -> Result<crate::parallel::ParallelSpecu, SpeError> {
-        Ok(crate::parallel::ParallelSpecu::new(
+        Ok(crate::parallel::ParallelSpecu::with_scheduler_config(
             self.context()?.clone(),
-            banks,
+            crate::scheduler::SchedulerConfig::with_banks(banks),
         ))
     }
 
@@ -1074,6 +1145,198 @@ impl Specu {
     /// sizes the cold-boot window from these 16 operations).
     pub fn encryption_cycles(&self) -> u32 {
         self.calibration.encryption_cycles()
+    }
+}
+
+/// The unified constructor behind every SPECU surface.
+///
+/// The old constructor zoo (`new` / `with_config` / `with_calibration` /
+/// `with_recorder`, duplicated across [`SpeContext`], [`Specu`] and
+/// [`crate::parallel::ParallelSpecu`]) collapses into one chain:
+///
+/// ```no_run
+/// # use spe_core::{Key, Specu, SpecuConfig};
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), spe_core::SpeError> {
+/// let specu = Specu::builder()
+///     .key(Key::from_seed(1))
+///     .config(SpecuConfig::default())
+///     .build()?;
+/// let shared = Arc::clone(specu.calibration());
+/// let context = Specu::builder()
+///     .key(Key::from_seed(2))
+///     .calibration(shared)
+///     .build_context()?;
+/// # let _ = context; Ok(()) }
+/// ```
+///
+/// Construction rules:
+///
+/// * A key is required; [`SpecuBuilder::build`] and friends return
+///   [`SpeError::BadRequest`] without one.
+/// * `calibration` reuses existing hardware state (no recalibration);
+///   `config` calibrates fresh. Supplying both is allowed only when the
+///   config matches the calibration's — anything else is a
+///   [`SpeError::BadRequest`], not a silent recalibration.
+/// * `recorder` attaches telemetry to the built context. When the
+///   builder also calibrates, the calibration run itself reports into
+///   the same recorder.
+/// * `epoch` pins the schedule-cache epoch handle explicitly; by default
+///   a fresh one is drawn from the calibration's allocator. Only the
+///   tenant registry's rotation path needs this.
+/// * `banks` / `scheduler_config` apply to
+///   [`SpecuBuilder::build_parallel`] only (an explicit `banks` count
+///   overrides the scheduler config's).
+#[derive(Debug, Clone, Default)]
+pub struct SpecuBuilder {
+    key: Option<Key>,
+    config: Option<SpecuConfig>,
+    calibration: Option<Arc<SpeCalibration>>,
+    recorder: Option<TelemetryHandle>,
+    epoch: Option<EpochHandle>,
+    banks: Option<usize>,
+    scheduler: Option<crate::scheduler::SchedulerConfig>,
+}
+
+impl SpecuBuilder {
+    /// An empty builder; [`Specu::builder`] is the idiomatic entry point.
+    pub fn new() -> Self {
+        SpecuBuilder::default()
+    }
+
+    /// The key to load (required).
+    #[must_use]
+    pub fn key(mut self, key: Key) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// Calibrate this configuration from scratch. Without `config` or
+    /// `calibration` the default configuration is calibrated.
+    #[must_use]
+    pub fn config(mut self, config: SpecuConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Reuse an existing shared calibration (cheap: no recalibration).
+    #[must_use]
+    pub fn calibration(mut self, calibration: Arc<SpeCalibration>) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
+    /// Attach a telemetry recorder to the built context (and to the
+    /// calibration run, when the builder calibrates).
+    #[must_use]
+    pub fn recorder(mut self, recorder: TelemetryHandle) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Pin the schedule-cache epoch handle instead of drawing a fresh
+    /// one. Intended for [`crate::tenant::TenantRegistry::rotate`], which
+    /// draws the handle itself to make the rotation invariant explicit.
+    #[must_use]
+    pub fn epoch(mut self, epoch: EpochHandle) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Bank count for [`SpecuBuilder::build_parallel`].
+    #[must_use]
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.banks = Some(banks);
+        self
+    }
+
+    /// Full scheduler configuration for [`SpecuBuilder::build_parallel`].
+    #[must_use]
+    pub fn scheduler_config(mut self, config: crate::scheduler::SchedulerConfig) -> Self {
+        self.scheduler = Some(config);
+        self
+    }
+
+    /// Resolves the calibration source per the rules in the type docs.
+    fn resolve_calibration(
+        calibration: Option<Arc<SpeCalibration>>,
+        config: Option<SpecuConfig>,
+        recorder: &TelemetryHandle,
+    ) -> Result<Arc<SpeCalibration>, SpeError> {
+        match (calibration, config) {
+            (Some(calibration), Some(config)) => {
+                if *calibration.config() != config {
+                    return Err(SpeError::BadRequest(
+                        "SpecuBuilder: config differs from the supplied calibration's",
+                    ));
+                }
+                Ok(calibration)
+            }
+            (Some(calibration), None) => Ok(calibration),
+            (None, config) => {
+                let config = config.unwrap_or_default();
+                Ok(Arc::new(SpeCalibration::new_recorded(
+                    config,
+                    Arc::clone(recorder),
+                )?))
+            }
+        }
+    }
+
+    /// Builds an immutable keyed [`SpeContext`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::BadRequest`] when no key was supplied or the config
+    /// conflicts with the calibration; any calibration error when the
+    /// builder calibrates from scratch.
+    pub fn build_context(self) -> Result<SpeContext, SpeError> {
+        let key = self
+            .key
+            .ok_or(SpeError::BadRequest("SpecuBuilder: a key is required"))?;
+        let recorder = self.recorder.unwrap_or_else(noop);
+        let calibration = Self::resolve_calibration(self.calibration, self.config, &recorder)?;
+        let epoch = self
+            .epoch
+            .unwrap_or_else(|| calibration.schedule_cache.next_epoch());
+        Ok(SpeContext::from_parts(key, calibration, epoch, recorder))
+    }
+
+    /// Builds the stateful [`Specu`] facade with the key loaded.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SpecuBuilder::build_context`].
+    pub fn build(self) -> Result<Specu, SpeError> {
+        let context = self.build_context()?;
+        Ok(Specu {
+            calibration: Arc::clone(context.calibration()),
+            context: Some(context),
+        })
+    }
+
+    /// Builds a multi-bank [`crate::parallel::ParallelSpecu`] (spawns the
+    /// persistent bank-scheduler worker pool).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SpecuBuilder::build_context`].
+    pub fn build_parallel(self) -> Result<crate::parallel::ParallelSpecu, SpeError> {
+        let scheduler = match (self.scheduler, self.banks) {
+            (Some(config), Some(banks)) => crate::scheduler::SchedulerConfig { banks, ..config },
+            (Some(config), None) => config,
+            (None, Some(banks)) => crate::scheduler::SchedulerConfig::with_banks(banks),
+            (None, None) => crate::scheduler::SchedulerConfig::default(),
+        };
+        let context = SpecuBuilder {
+            banks: None,
+            scheduler: None,
+            ..self
+        }
+        .build_context()?;
+        Ok(crate::parallel::ParallelSpecu::with_scheduler_config(
+            context, scheduler,
+        ))
     }
 }
 
@@ -1179,7 +1442,12 @@ mod tests {
     fn specu() -> Specu {
         static CACHE: OnceLock<Specu> = OnceLock::new();
         CACHE
-            .get_or_init(|| Specu::new(Key::from_seed(0xDAC)).expect("specu"))
+            .get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0xDAC))
+                    .build()
+                    .expect("specu")
+            })
             .clone()
     }
 
@@ -1362,7 +1630,11 @@ mod tests {
     fn statistical_preset_roundtrips() {
         // Odd round counts use the alternating-direction schedule; the
         // reverse replay must still be exact.
-        let s = Specu::with_config(Key::from_seed(5), SpecuConfig::statistical()).expect("specu");
+        let s = Specu::builder()
+            .key(Key::from_seed(5))
+            .config(SpecuConfig::statistical())
+            .build()
+            .expect("specu");
         let ctx = s.context().expect("context");
         for seed in 0..4u8 {
             let pt: [u8; 16] =
@@ -1394,7 +1666,11 @@ mod tests {
             device: DeviceParams::default().with_variation(&Variation::uniform(0.08)),
             ..SpecuConfig::default()
         };
-        let foreign = Specu::with_config(Key::from_seed(0xDAC), config).expect("specu");
+        let foreign = Specu::builder()
+            .key(Key::from_seed(0xDAC))
+            .config(config)
+            .build()
+            .expect("specu");
         let pt = *b"hardware boundpt";
         let nominal_ctx = nominal.context().expect("context");
         let c_nominal = nominal_ctx.encrypt_block(&pt, 0).expect("encrypt");
@@ -1451,14 +1727,14 @@ mod tests {
         // calibration): disabling it entirely must not change a single
         // ciphertext byte, and either side can decrypt the other's output.
         let cached = specu();
-        let uncached = Specu::with_config(
-            Key::from_seed(0xDAC),
-            SpecuConfig {
+        let uncached = Specu::builder()
+            .key(Key::from_seed(0xDAC))
+            .config(SpecuConfig {
                 schedule_cache_lines: 0,
                 ..SpecuConfig::default()
-            },
-        )
-        .expect("specu");
+            })
+            .build()
+            .expect("specu");
         let cached_ctx = cached.context().expect("context");
         let uncached_ctx = uncached.context().expect("context");
         assert!(!uncached_ctx.calibration().schedule_cache().is_enabled());
@@ -1479,7 +1755,10 @@ mod tests {
     fn schedule_cache_accounts_hits_and_misses() {
         use spe_telemetry::AtomicRecorder;
         let recorder = Arc::new(AtomicRecorder::new());
-        let mut s = Specu::new(Key::from_seed(0x71)).expect("specu");
+        let mut s = Specu::builder()
+            .key(Key::from_seed(0x71))
+            .build()
+            .expect("specu");
         s.attach_recorder(recorder.clone());
         let ctx = s.context().expect("context");
         let pt: [u8; 64] = core::array::from_fn(|i| i as u8);
@@ -1507,14 +1786,14 @@ mod tests {
     fn schedule_cache_evicts_at_capacity() {
         use spe_telemetry::AtomicRecorder;
         let recorder = Arc::new(AtomicRecorder::new());
-        let mut s = Specu::with_config(
-            Key::from_seed(0x72),
-            SpecuConfig {
+        let mut s = Specu::builder()
+            .key(Key::from_seed(0x72))
+            .config(SpecuConfig {
                 schedule_cache_lines: 8,
                 ..SpecuConfig::default()
-            },
-        )
-        .expect("specu");
+            })
+            .build()
+            .expect("specu");
         s.attach_recorder(recorder.clone());
         let ctx = s.context().expect("context");
         let pt: [u8; 64] = core::array::from_fn(|i| i as u8 ^ 0x3C);
@@ -1538,7 +1817,10 @@ mod tests {
     fn key_rotation_never_reuses_stale_schedules() {
         use spe_telemetry::AtomicRecorder;
         let recorder = Arc::new(AtomicRecorder::new());
-        let mut s = Specu::new(Key::from_seed(0x73)).expect("specu");
+        let mut s = Specu::builder()
+            .key(Key::from_seed(0x73))
+            .build()
+            .expect("specu");
         s.attach_recorder(recorder.clone());
         let pt: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(5));
         let old_line = s

@@ -1,0 +1,423 @@
+//! Multi-tenant SPECU: a concurrent registry of per-tenant keyed
+//! contexts over one shared calibration, with live key rotation.
+//!
+//! One physical NVMM serves many protection domains — per-VM keys on a
+//! virtualized host, per-enclave keys, or simply per-process keys under
+//! an OS that treats the SPECU key register as part of the address-space
+//! context. The expensive part of a SPECU (calibrated kernel, behavioral
+//! constants, LUTs, PoE placement — [`SpeCalibration`]) is
+//! key-*independent*, so all tenants share one `Arc<SpeCalibration>` and
+//! a tenant context is nothing but `(key, epoch handle, recorder)` on
+//! top of it: thousands of contexts per second are cheap by
+//! construction.
+//!
+//! # Registry shape
+//!
+//! [`TenantRegistry`] is a sharded `TenantId -> Arc<SpeContext>` map:
+//! lookups take one shard's read lock, so mixed-tenant traffic across
+//! bank workers does not serialize on a single registry lock. The shard
+//! count is fixed at construction ([`TenantRegistry::with_shards`]) and
+//! swept by `tenant_bench`.
+//!
+//! # Live key rotation
+//!
+//! [`TenantRegistry::rotate`] builds a *new* context for the tenant —
+//! drawing a fresh [`EpochHandle`] from the shared
+//! [`ScheduleCache`](crate::cache::ScheduleCache) allocator — and swaps
+//! the map entry. The epoch handle is the entire correctness story (see
+//! the rotation invariant in [`crate::cache`]):
+//!
+//! * schedules derived under the old key are cached under the *old*
+//!   handle, which the new context does not hold, so a stale schedule
+//!   can never be served to post-rotation traffic — no flush, no
+//!   barrier;
+//! * in-flight work holding the retired `Arc<SpeContext>` keeps
+//!   resolving its own epoch's schedules and drains correctly.
+//!
+//! Rotation returns both contexts ([`TenantRotation`]) because
+//! ciphertext sealed under the retired key is only recoverable through
+//! the retired context: callers re-encrypting data at rest decrypt via
+//! [`TenantRotation::retired`] and re-seal via the active context.
+//! Requests routed *by tenant id* (via
+//! [`CipherRequest::with_tenant`](crate::request::CipherRequest::with_tenant))
+//! always resolve to whichever context is live at execution time.
+
+use crate::cache::EpochHandle;
+use crate::error::SpeError;
+use crate::key::Key;
+use crate::specu::{SpeCalibration, SpeContext, SpecuBuilder};
+use crate::sync::{read_unpoisoned, write_unpoisoned};
+use spe_telemetry::{noop, Counter, Gauge, TelemetryHandle};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A tenant (protection domain) identifier — a VM, enclave or process
+/// id as far as the SPECU is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    /// Wraps a raw tenant number.
+    pub fn new(id: u64) -> Self {
+        TenantId(id)
+    }
+
+    /// The raw tenant number.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for TenantId {
+    fn from(id: u64) -> Self {
+        TenantId(id)
+    }
+}
+
+/// Default shard count for the tenant map. Enough to keep 8 bank
+/// workers off each other's locks; `tenant_bench` sweeps alternatives.
+pub const DEFAULT_TENANT_SHARDS: usize = 16;
+
+/// The pair of contexts a [`TenantRegistry::rotate`] hands back.
+#[derive(Debug, Clone)]
+pub struct TenantRotation {
+    /// The pre-rotation context. Ciphertext sealed under the old key is
+    /// only recoverable through this; it stays fully functional (its
+    /// epoch handle, and therefore its cached schedules, are retained)
+    /// until the last `Arc` drops.
+    pub retired: Arc<SpeContext>,
+    /// The post-rotation context now served by the registry.
+    pub active: Arc<SpeContext>,
+    /// The fresh epoch handle the active context resolves schedules
+    /// under — never equal to any handle drawn before.
+    pub epoch: EpochHandle,
+}
+
+/// A concurrent `TenantId -> Arc<SpeContext>` map over one shared
+/// [`SpeCalibration`], with per-tenant live key rotation.
+///
+/// ```no_run
+/// # use spe_core::{Key, Specu, SpecuConfig, TenantId, TenantRegistry, SpeCalibration};
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), spe_core::SpeError> {
+/// let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default())?);
+/// let registry = TenantRegistry::new(Arc::clone(&calibration));
+/// let vm7 = TenantId::new(7);
+/// registry.register(vm7, Key::from_seed(0x01));
+/// let ctx = registry.context(vm7).expect("registered");
+/// let rotation = registry.rotate(vm7, Key::from_seed(0x02))?;
+/// assert_ne!(ctx.key_epoch(), rotation.active.key_epoch());
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct TenantRegistry {
+    calibration: Arc<SpeCalibration>,
+    shards: Vec<RwLock<HashMap<TenantId, Arc<SpeContext>>>>,
+    recorder: TelemetryHandle,
+    /// Live tenant count, mirrored into [`Gauge::TenantContextsLive`].
+    live: AtomicU64,
+}
+
+impl TenantRegistry {
+    /// A registry over `calibration` with [`DEFAULT_TENANT_SHARDS`] and
+    /// no telemetry.
+    pub fn new(calibration: Arc<SpeCalibration>) -> Self {
+        TenantRegistry::with_shards(calibration, DEFAULT_TENANT_SHARDS, noop())
+    }
+
+    /// A registry with an explicit shard count (clamped to at least 1)
+    /// and a telemetry recorder. The recorder receives the registry's
+    /// own counters *and* is attached to every tenant context it builds,
+    /// so per-tenant datapath activity (schedule cache hits/misses,
+    /// pulses) aggregates in one place.
+    pub fn with_shards(
+        calibration: Arc<SpeCalibration>,
+        shards: usize,
+        recorder: TelemetryHandle,
+    ) -> Self {
+        let shards = shards.max(1);
+        TenantRegistry {
+            calibration,
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            recorder,
+            live: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, tenant: TenantId) -> &RwLock<HashMap<TenantId, Arc<SpeContext>>> {
+        let index = (tenant.0 as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Builds a context for `tenant` under `key`. The epoch draw is
+    /// explicit so rotation reads as what it is: a fresh handle, then a
+    /// swap.
+    fn build_context(&self, key: Key) -> (Arc<SpeContext>, EpochHandle) {
+        let epoch = self.calibration.schedule_cache().next_epoch();
+        let context = SpecuBuilder::new()
+            .key(key)
+            .calibration(Arc::clone(&self.calibration))
+            .recorder(Arc::clone(&self.recorder))
+            .epoch(epoch)
+            .build_context()
+            .unwrap_or_else(|never| {
+                // Key + calibration are both supplied, so the builder has
+                // nothing left to reject; keep the API infallible.
+                unreachable!("context over an existing calibration cannot fail: {never}")
+            });
+        (Arc::new(context), epoch)
+    }
+
+    fn publish_live(&self, delta: i64) {
+        let live = if delta >= 0 {
+            self.live.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.live
+                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed)
+                .saturating_sub(delta.unsigned_abs())
+        };
+        self.recorder.set_gauge(Gauge::TenantContextsLive, live);
+    }
+
+    /// Registers (or replaces) `tenant` with a context under `key` and
+    /// returns the live context. Replacing an existing tenant behaves
+    /// like a rotation without returning the retired context — prefer
+    /// [`TenantRegistry::rotate`] when the old ciphertext still matters.
+    pub fn register(&self, tenant: TenantId, key: Key) -> Arc<SpeContext> {
+        let (context, _) = self.build_context(key);
+        let replaced = {
+            let mut shard = write_unpoisoned(self.shard(tenant));
+            shard.insert(tenant, Arc::clone(&context))
+        };
+        self.recorder.add(Counter::TenantCreated, 1);
+        if replaced.is_none() {
+            self.publish_live(1);
+        }
+        context
+    }
+
+    /// The tenant's current context, if registered.
+    pub fn context(&self, tenant: TenantId) -> Option<Arc<SpeContext>> {
+        let found = read_unpoisoned(self.shard(tenant)).get(&tenant).cloned();
+        match found {
+            Some(context) => {
+                self.recorder.add(Counter::TenantLookupHits, 1);
+                Some(context)
+            }
+            None => {
+                self.recorder.add(Counter::TenantLookupMisses, 1);
+                None
+            }
+        }
+    }
+
+    /// Rotates `tenant` to `key` *live*: builds a fresh context under a
+    /// fresh [`EpochHandle`] and swaps it in while lookups continue on
+    /// other shards (and on this shard, before/after the brief write
+    /// lock). In-flight requests holding the retired `Arc` drain on the
+    /// old epoch; requests resolved after the swap — including
+    /// tenant-tagged requests already queued in the bank scheduler — run
+    /// under the new key and can never see the old epoch's schedules.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::UnknownTenant`] when the tenant is not registered —
+    /// rotation never implicitly creates a tenant, because the caller
+    /// would lose the "retired ciphertext is still recoverable" handoff
+    /// that [`TenantRotation`] exists to provide.
+    pub fn rotate(&self, tenant: TenantId, key: Key) -> Result<TenantRotation, SpeError> {
+        let (active, epoch) = self.build_context(key);
+        let retired = {
+            let mut shard = write_unpoisoned(self.shard(tenant));
+            match shard.get_mut(&tenant) {
+                Some(slot) => std::mem::replace(slot, Arc::clone(&active)),
+                None => return Err(SpeError::UnknownTenant(tenant)),
+            }
+        };
+        self.recorder.add(Counter::TenantRotated, 1);
+        Ok(TenantRotation {
+            retired,
+            active,
+            epoch,
+        })
+    }
+
+    /// Removes a tenant, returning its final context (still usable for
+    /// draining decrypts of data sealed under it).
+    pub fn remove(&self, tenant: TenantId) -> Option<Arc<SpeContext>> {
+        let removed = write_unpoisoned(self.shard(tenant)).remove(&tenant);
+        if removed.is_some() {
+            self.publish_live(-1);
+        }
+        removed
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_unpoisoned(s).len()).sum()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shard count (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared calibration every tenant context is built over.
+    pub fn calibration(&self) -> &Arc<SpeCalibration> {
+        &self.calibration
+    }
+
+    /// The registry's telemetry recorder.
+    pub fn recorder(&self) -> &TelemetryHandle {
+        &self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{CipherRequest, SpeCipher};
+    use crate::specu::SpecuConfig;
+    use spe_telemetry::AtomicRecorder;
+
+    fn calibration() -> Arc<SpeCalibration> {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<Arc<SpeCalibration>> = OnceLock::new();
+        Arc::clone(CACHE.get_or_init(|| {
+            Arc::new(SpeCalibration::new(SpecuConfig::default()).expect("calibration"))
+        }))
+    }
+
+    #[test]
+    fn register_lookup_remove_roundtrip() {
+        let registry = TenantRegistry::new(calibration());
+        assert!(registry.is_empty());
+        let a = TenantId::new(1);
+        let b = TenantId::new(2);
+        registry.register(a, Key::from_seed(10));
+        registry.register(b, Key::from_seed(20));
+        assert_eq!(registry.len(), 2);
+        assert!(registry.context(a).is_some());
+        assert!(registry.context(TenantId::new(99)).is_none());
+        assert!(registry.remove(a).is_some());
+        assert!(registry.context(a).is_none());
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn contexts_share_the_calibration_and_differ_by_epoch() {
+        let cal = calibration();
+        let registry = TenantRegistry::new(Arc::clone(&cal));
+        let a = registry.register(TenantId::new(1), Key::from_seed(1));
+        let b = registry.register(TenantId::new(2), Key::from_seed(2));
+        assert!(Arc::ptr_eq(a.calibration(), &cal));
+        assert!(Arc::ptr_eq(b.calibration(), &cal));
+        assert_ne!(a.key_epoch(), b.key_epoch());
+    }
+
+    #[test]
+    fn rotation_swaps_the_live_context_and_retains_the_old() {
+        let registry = TenantRegistry::new(calibration());
+        let tenant = TenantId::new(7);
+        registry.register(tenant, Key::from_seed(0xAA));
+
+        let pt: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(37).wrapping_add(11));
+        let old_sealed = registry
+            .context(tenant)
+            .expect("registered")
+            .encrypt(CipherRequest::line(pt, 0x40))
+            .expect("encrypt")
+            .into_line()
+            .expect("line");
+
+        let rotation = registry
+            .rotate(tenant, Key::from_seed(0xBB))
+            .expect("rotate");
+        assert_ne!(rotation.retired.key_epoch(), rotation.active.key_epoch());
+        assert_eq!(rotation.epoch, rotation.active.epoch_handle());
+        let live = registry.context(tenant).expect("still registered");
+        assert!(Arc::ptr_eq(&live, &rotation.active));
+
+        // Old ciphertext recovers through the retired context only.
+        let recovered = rotation
+            .retired
+            .decrypt(CipherRequest::sealed_line(old_sealed))
+            .expect("decrypt")
+            .into_plain_line()
+            .expect("plain");
+        assert_eq!(recovered, pt);
+
+        // The active context seals differently and round-trips.
+        let new_sealed = rotation
+            .active
+            .encrypt(CipherRequest::line(pt, 0x40))
+            .expect("encrypt")
+            .into_line()
+            .expect("line");
+        let round = rotation
+            .active
+            .decrypt(CipherRequest::sealed_line(new_sealed))
+            .expect("decrypt")
+            .into_plain_line()
+            .expect("plain");
+        assert_eq!(round, pt);
+    }
+
+    #[test]
+    fn rotating_an_unknown_tenant_is_a_typed_error() {
+        let registry = TenantRegistry::new(calibration());
+        let missing = TenantId::new(404);
+        match registry.rotate(missing, Key::from_seed(1)) {
+            Err(SpeError::UnknownTenant(t)) => assert_eq!(t, missing),
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_registry_traffic() {
+        let recorder = Arc::new(AtomicRecorder::new());
+        let registry = TenantRegistry::with_shards(calibration(), 4, recorder.clone());
+        let a = TenantId::new(3);
+        registry.register(a, Key::from_seed(1));
+        let _ = registry.context(a);
+        let _ = registry.context(TenantId::new(999));
+        registry.rotate(a, Key::from_seed(2)).expect("rotate");
+        assert_eq!(recorder.counter(Counter::TenantCreated), 1);
+        assert_eq!(recorder.counter(Counter::TenantRotated), 1);
+        assert_eq!(recorder.counter(Counter::TenantLookupHits), 1);
+        assert_eq!(recorder.counter(Counter::TenantLookupMisses), 1);
+        assert_eq!(recorder.gauge(Gauge::TenantContextsLive), 1);
+        registry.remove(a);
+        assert_eq!(recorder.gauge(Gauge::TenantContextsLive), 0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_distributes_tenants() {
+        let registry = TenantRegistry::with_shards(calibration(), 0, noop());
+        assert_eq!(registry.shard_count(), 1);
+        let registry = TenantRegistry::with_shards(calibration(), 4, noop());
+        for id in 0..32 {
+            registry.register(TenantId::new(id), Key::from_seed(id));
+        }
+        assert_eq!(registry.len(), 32);
+        let occupied = registry
+            .shards
+            .iter()
+            .filter(|s| !read_unpoisoned(s).is_empty())
+            .count();
+        assert_eq!(occupied, 4, "sequential ids must spread across shards");
+    }
+}

@@ -439,7 +439,10 @@ mod tests {
 
     #[test]
     fn functional_parallel_routes_through_the_scheduler_pipeline() {
-        let specu = spe_core::Specu::new(spe_core::Key::from_seed(0x51)).expect("specu");
+        let specu = spe_core::Specu::builder()
+            .key(spe_core::Key::from_seed(0x51))
+            .build()
+            .expect("specu");
         let mut e = EncryptionEngine::spe_parallel_functional(&specu, 4).expect("engine");
         // Timing still answers from the Table 3 profile…
         assert_eq!(e.name(), "SPE-parallel");
@@ -464,7 +467,10 @@ mod tests {
     #[test]
     fn functional_parallel_survives_chaos_injection() {
         use spe_core::{ChaosPolicy, HealthPolicy, SchedulerConfig};
-        let specu = spe_core::Specu::new(spe_core::Key::from_seed(0x52)).expect("specu");
+        let specu = spe_core::Specu::builder()
+            .key(spe_core::Key::from_seed(0x52))
+            .build()
+            .expect("specu");
         // Workers panic constantly and quarantine fast: the engine must
         // still answer (retry, then the serial floor) with ciphertext
         // identical to a clean pipeline.

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::metric::{Counter, Histogram, Span};
+use crate::metric::{Counter, Gauge, Histogram, Span};
 use crate::recorder::Recorder;
 use crate::snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
 
@@ -41,6 +41,7 @@ impl HistCell {
 pub struct AtomicRecorder {
     counters: [AtomicU64; Counter::COUNT],
     histograms: [HistCell; Histogram::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
     spans: [SpanCell; Span::COUNT],
 }
 
@@ -56,6 +57,7 @@ impl AtomicRecorder {
         AtomicRecorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: std::array::from_fn(|i| HistCell::new(Histogram::ALL[i])),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             spans: std::array::from_fn(|_| SpanCell::default()),
         }
     }
@@ -63,6 +65,11 @@ impl AtomicRecorder {
     /// Current value of one counter.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Current level of one gauge (last value set).
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge.index()].load(Ordering::Relaxed)
     }
 
     /// A point-in-time copy of everything recorded so far.
@@ -90,9 +97,11 @@ impl AtomicRecorder {
                 total_ns: cell.total_ns.load(Ordering::Relaxed),
             }
         });
+        let gauges = Gauge::ALL.map(|g| (g, self.gauge(g)));
         TelemetrySnapshot {
             counters: counters.to_vec(),
             histograms: histograms.to_vec(),
+            gauges: gauges.to_vec(),
             spans: spans.to_vec(),
         }
     }
@@ -107,6 +116,9 @@ impl AtomicRecorder {
                 b.store(0, Ordering::Relaxed);
             }
             h.sum.store(0, Ordering::Relaxed);
+        }
+        for g in &self.gauges {
+            g.store(0, Ordering::Relaxed);
         }
         for s in &self.spans {
             s.count.store(0, Ordering::Relaxed);
@@ -128,6 +140,10 @@ impl Recorder for AtomicRecorder {
         let cell = &self.histograms[histogram.index()];
         cell.buckets[histogram.bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge.index()].store(value, Ordering::Relaxed);
     }
 
     fn span_ns(&self, span: Span, nanos: u64) {
@@ -167,10 +183,21 @@ mod tests {
     }
 
     #[test]
+    fn gauges_are_last_value_wins() {
+        let r = AtomicRecorder::new();
+        r.set_gauge(Gauge::TenantContextsLive, 5);
+        r.set_gauge(Gauge::TenantContextsLive, 3);
+        assert_eq!(r.gauge(Gauge::TenantContextsLive), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge(Gauge::TenantContextsLive), 3);
+    }
+
+    #[test]
     fn reset_zeroes_everything() {
         let r = AtomicRecorder::new();
         r.add(Counter::PoePulses, 9);
         r.observe(Histogram::BankUtilization, 1);
+        r.set_gauge(Gauge::TenantContextsLive, 4);
         r.span_ns(Span::Campaign, 100);
         r.reset();
         let snap = r.snapshot();

@@ -12,6 +12,8 @@
 //!   latencies, pulse widths, per-PoE pulse placement and per-bank
 //!   utilization. Bucket bounds are static so snapshots are
 //!   deterministic and machine-diffable.
+//! * **Gauges** ([`Gauge`]) — last-value-wins levels (live tenant
+//!   contexts) set whole by whoever owns the level.
 //! * **Spans** ([`Span`]) — lightweight wall-clock timers via
 //!   [`SpanTimer`]. Span timings are *excluded* from the deterministic
 //!   snapshot text because wall-clock is nondeterministic; use
@@ -41,6 +43,6 @@ mod recorder;
 mod snapshot;
 
 pub use atomic::AtomicRecorder;
-pub use metric::{Counter, Histogram, Span};
+pub use metric::{Counter, Gauge, Histogram, Span};
 pub use recorder::{noop, NoopRecorder, Recorder, SpanTimer, TelemetryHandle};
 pub use snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};

@@ -91,6 +91,15 @@ pub enum Counter {
     /// Requests served by the serial datapath because every bank was
     /// quarantined.
     DegradedFallbacks,
+    // ---- spe-core: tenant registry ----
+    /// Tenant contexts instantiated by a registry (create + rotate).
+    TenantCreated,
+    /// Live key rotations performed by a registry.
+    TenantRotated,
+    /// Registry lookups that resolved a live tenant context.
+    TenantLookupHits,
+    /// Registry lookups for an unknown (or removed) tenant.
+    TenantLookupMisses,
     // ---- spe-memsim: memory system ----
     /// NVMM line reads serviced.
     NvmmReads,
@@ -104,7 +113,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 39;
+    pub const COUNT: usize = 43;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -143,6 +152,10 @@ impl Counter {
         Counter::RequestRetries,
         Counter::DeadlineExpired,
         Counter::DegradedFallbacks,
+        Counter::TenantCreated,
+        Counter::TenantRotated,
+        Counter::TenantLookupHits,
+        Counter::TenantLookupMisses,
         Counter::NvmmReads,
         Counter::NvmmWrites,
         Counter::LinesSealed,
@@ -192,6 +205,10 @@ impl Counter {
             Counter::RequestRetries => "request_retries",
             Counter::DeadlineExpired => "deadline_expired",
             Counter::DegradedFallbacks => "degraded_fallbacks",
+            Counter::TenantCreated => "tenant_created",
+            Counter::TenantRotated => "tenant_rotated",
+            Counter::TenantLookupHits => "tenant_lookup_hits",
+            Counter::TenantLookupMisses => "tenant_lookup_misses",
             Counter::NvmmReads => "nvmm_reads",
             Counter::NvmmWrites => "nvmm_writes",
             Counter::LinesSealed => "lines_sealed",
@@ -329,6 +346,42 @@ impl Histogram {
     }
 }
 
+/// A last-value-wins level metric.
+///
+/// Unlike a [`Counter`] (monotonic, accumulated by `add`), a gauge is
+/// *set* to the current level of something — live tenant contexts, queue
+/// residency — and the snapshot reports the most recent value. Setters
+/// own the level (they compute it and store it whole), so concurrent
+/// updates never need read-modify-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Keyed tenant contexts currently live in a
+    /// `TenantRegistry` (created and not yet removed; rotation keeps the
+    /// count, it swaps the context).
+    TenantContextsLive,
+}
+
+impl Gauge {
+    /// Number of gauges.
+    pub const COUNT: usize = 1;
+
+    /// Every gauge in canonical snapshot order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::TenantContextsLive];
+
+    /// Index into the recorder's gauge table.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in snapshot text.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::TenantContextsLive => "tenant_contexts_live",
+        }
+    }
+}
+
 /// A wall-clock span accumulated by [`crate::SpanTimer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(usize)]
@@ -398,6 +451,13 @@ mod tests {
     fn histogram_indices_match_all_order() {
         for (i, h) in Histogram::ALL.iter().enumerate() {
             assert_eq!(h.index(), i, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn gauge_indices_match_all_order() {
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i, "{}", g.name());
         }
     }
 

@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use crate::metric::{Counter, Histogram, Span};
+use crate::metric::{Counter, Gauge, Histogram, Span};
 
 /// A telemetry sink the datapath reports into.
 ///
@@ -24,6 +24,12 @@ pub trait Recorder: Send + Sync + fmt::Debug {
 
     /// Records one observation into a histogram.
     fn observe(&self, histogram: Histogram, value: u64);
+
+    /// Sets a gauge to its current level (last write wins). Default is a
+    /// no-op so counter-only recorders need not care.
+    fn set_gauge(&self, gauge: Gauge, value: u64) {
+        let _ = (gauge, value);
+    }
 
     /// Accumulates `nanos` of wall-clock time into a span.
     fn span_ns(&self, span: Span, nanos: u64);
@@ -45,6 +51,8 @@ impl Recorder for NoopRecorder {
     fn add(&self, _counter: Counter, _delta: u64) {}
 
     fn observe(&self, _histogram: Histogram, _value: u64) {}
+
+    fn set_gauge(&self, _gauge: Gauge, _value: u64) {}
 
     fn span_ns(&self, _span: Span, _nanos: u64) {}
 }
@@ -121,6 +129,7 @@ mod tests {
         let r = NoopRecorder;
         r.add(Counter::PoePulses, u64::MAX);
         r.observe(Histogram::PoePulseIndex, u64::MAX);
+        r.set_gauge(Gauge::TenantContextsLive, u64::MAX);
         r.span_ns(Span::Simulation, u64::MAX);
     }
 }

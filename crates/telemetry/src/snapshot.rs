@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use crate::metric::{Counter, Histogram, Span};
+use crate::metric::{Counter, Gauge, Histogram, Span};
 
 /// One histogram's state at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +41,8 @@ pub struct TelemetrySnapshot {
     pub counters: Vec<(Counter, u64)>,
     /// All histograms in canonical order (empty ones included).
     pub histograms: Vec<HistogramSnapshot>,
+    /// All gauges in canonical order (zeros included); last value set.
+    pub gauges: Vec<(Gauge, u64)>,
     /// All spans in canonical order.
     pub spans: Vec<SpanSnapshot>,
 }
@@ -58,6 +60,7 @@ impl TelemetrySnapshot {
                     buckets: vec![0; h.bucket_count()],
                 })
                 .to_vec(),
+            gauges: Gauge::ALL.map(|g| (g, 0)).to_vec(),
             spans: Span::ALL
                 .map(|s| SpanSnapshot {
                     span: s,
@@ -81,6 +84,14 @@ impl TelemetrySnapshot {
         self.histograms.iter().find(|h| h.histogram == histogram)
     }
 
+    /// The level of one gauge (zero if absent).
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(g, _)| *g == gauge)
+            .map_or(0, |&(_, v)| v)
+    }
+
     /// One span's snapshot, if present.
     pub fn span(&self, span: Span) -> Option<SpanSnapshot> {
         self.spans.iter().find(|s| s.span == span).copied()
@@ -90,6 +101,7 @@ impl TelemetrySnapshot {
     pub fn is_empty(&self) -> bool {
         self.counters.iter().all(|&(_, v)| v == 0)
             && self.histograms.iter().all(|h| h.total == 0)
+            && self.gauges.iter().all(|&(_, v)| v == 0)
             && self.spans.iter().all(|s| s.count == 0)
     }
 
@@ -131,6 +143,13 @@ impl TelemetrySnapshot {
                 if count != 0 {
                     let _ = writeln!(out, "      {}: {count}", h.histogram.bucket_label(i));
                 }
+            }
+        }
+        out.push_str("  }\n");
+        out.push_str("  gauges {\n");
+        for &(g, v) in &self.gauges {
+            if v != 0 {
+                let _ = writeln!(out, "    {}: {v}", g.name());
             }
         }
         out.push_str("  }\n");
@@ -203,5 +222,18 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counter(Counter::Remaps), 7);
         assert_eq!(snap.span(Span::Campaign).map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn gauges_render_in_text() {
+        let r = AtomicRecorder::new();
+        r.set_gauge(Gauge::TenantContextsLive, 12);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge(Gauge::TenantContextsLive), 12);
+        assert!(!snap.is_empty());
+        assert!(snap.to_text().contains("tenant_contexts_live: 12"));
+        // Zero gauges are omitted like zero counters.
+        let empty = TelemetrySnapshot::default_shape();
+        assert!(!empty.to_text().contains("tenant_contexts_live"));
     }
 }

@@ -22,7 +22,9 @@
 
 pub mod generator;
 pub mod profile;
+pub mod tenants;
 pub mod trace;
 
 pub use generator::{Access, TraceGenerator};
 pub use profile::BenchProfile;
+pub use tenants::{TenantAccess, TenantMixConfig, TenantTraceGenerator, ZipfSampler};

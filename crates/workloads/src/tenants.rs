@@ -1,0 +1,267 @@
+//! Zipfian multi-tenant access synthesis.
+//!
+//! The multi-tenant studies (ROADMAP item 1, `tenant_bench`) need traffic
+//! where *which tenant* issues the next request follows a heavy-tailed
+//! popularity law: a few hot tenants dominate, a long tail trickles. That
+//! is the classic Zipf(s) distribution over tenant ranks — `s = 0` is
+//! uniform, `s ≈ 1` matches web-service tenant popularity, `s > 1` is
+//! head-heavy enough that a small schedule cache serves most traffic.
+//!
+//! [`ZipfSampler`] precomputes the CDF once (O(n)) and samples by binary
+//! search (O(log n)) over draws from the crate's [`WorkloadRng`], so the
+//! stream is deterministic per seed like every other generator here.
+//! [`TenantTraceGenerator`] pairs the tenant draw with a line address in
+//! that tenant's private working set, yielding [`TenantAccess`] records
+//! the bench maps onto tenant-tagged `CipherRequest`s. Tenants are plain
+//! `u64` ranks — this crate stays independent of spe-core; the caller maps
+//! ranks onto registered `TenantId`s.
+
+use crate::generator::WorkloadRng;
+
+/// A Zipf(s) sampler over ranks `0..n`: rank `k` is drawn with probability
+/// proportional to `1 / (k + 1)^s`.
+///
+/// `s = 0` degenerates to uniform; larger `s` concentrates mass on the
+/// lowest ranks. Construction is O(n), each sample O(log n).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[k]` = P(rank <= k). The final entry
+    /// is exactly 1.0 so a draw of ~1.0 can never fall off the end.
+    cdf: Vec<f64>,
+    skew: f64,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against accumulated rounding: the last bucket must absorb
+        // every draw in [cdf[n-2], 1).
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf, skew: s }
+    }
+
+    /// The number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true — see [`ZipfSampler::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut WorkloadRng) -> usize {
+        let u = rng.next_f64();
+        // First index whose cumulative probability covers the draw.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `k` (for assertions and reporting).
+    pub fn mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// One tenant-tagged line access in a multi-tenant trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantAccess {
+    /// Tenant rank (0 = most popular). The driver maps this onto a
+    /// registered tenant id.
+    pub tenant: u64,
+    /// Line-aligned byte address inside the tenant's private working set.
+    pub addr: u64,
+    /// Whether the access is a store (encrypt) rather than a load
+    /// (decrypt of previously sealed data).
+    pub is_write: bool,
+}
+
+/// Shape of a multi-tenant workload mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantMixConfig {
+    /// Number of tenants sharing the pipeline.
+    pub tenants: usize,
+    /// Zipf exponent over tenant popularity (0 = uniform).
+    pub skew: f64,
+    /// Cache lines in each tenant's private working set.
+    pub lines_per_tenant: u64,
+    /// Fraction of accesses that are stores.
+    pub write_ratio: f64,
+}
+
+impl TenantMixConfig {
+    /// A mix with `tenants` tenants at Zipf skew `s` and defaults
+    /// elsewhere (16-line working sets, 50% writes) — the shape the
+    /// hit-rate-vs-skew sweep uses.
+    pub fn new(tenants: usize, skew: f64) -> Self {
+        TenantMixConfig {
+            tenants,
+            skew,
+            lines_per_tenant: 16,
+            write_ratio: 0.5,
+        }
+    }
+
+    /// The same mix with a different per-tenant working-set size.
+    #[must_use]
+    pub fn with_lines_per_tenant(mut self, lines: u64) -> Self {
+        self.lines_per_tenant = lines;
+        self
+    }
+}
+
+/// Infinite deterministic multi-tenant access stream: each step draws a
+/// tenant from the Zipf popularity law, then a line uniformly from that
+/// tenant's working set.
+#[derive(Debug, Clone)]
+pub struct TenantTraceGenerator {
+    config: TenantMixConfig,
+    zipf: ZipfSampler,
+    rng: WorkloadRng,
+}
+
+impl TenantTraceGenerator {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero tenants, zero lines per tenant, a
+    /// write ratio outside `[0, 1]`, or an invalid skew (see
+    /// [`ZipfSampler::new`]).
+    pub fn new(config: TenantMixConfig, seed: u64) -> Self {
+        assert!(config.lines_per_tenant > 0, "tenants need a working set");
+        assert!(
+            (0.0..=1.0).contains(&config.write_ratio),
+            "write ratio must be a probability"
+        );
+        TenantTraceGenerator {
+            zipf: ZipfSampler::new(config.tenants, config.skew),
+            rng: WorkloadRng::new(seed ^ 0x7E_4E41_4E54),
+            config,
+        }
+    }
+
+    /// The mix shape driving this generator.
+    pub fn config(&self) -> &TenantMixConfig {
+        &self.config
+    }
+}
+
+impl Iterator for TenantTraceGenerator {
+    type Item = TenantAccess;
+
+    fn next(&mut self) -> Option<TenantAccess> {
+        let tenant = self.zipf.sample(&mut self.rng) as u64;
+        let line = self.rng.next_below(self.config.lines_per_tenant);
+        let is_write = self.rng.next_bool(self.config.write_ratio);
+        Some(TenantAccess {
+            tenant,
+            addr: line * 64,
+            is_write,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let z = ZipfSampler::new(100, 0.9);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] >= w[0], "CDF must be non-decreasing");
+        }
+        assert_eq!(*z.cdf.last().unwrap(), 1.0);
+        let total: f64 = (0..100).map(|k| z.mass(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "masses sum to {total}");
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = ZipfSampler::new(8, 0.0);
+        for k in 0..8 {
+            assert!((z.mass(k) - 0.125).abs() < 1e-12, "rank {k}");
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_on_the_head() {
+        let counts = |s: f64| {
+            let z = ZipfSampler::new(64, s);
+            let mut rng = WorkloadRng::new(7);
+            (0..20_000).filter(|_| z.sample(&mut rng) == 0).count()
+        };
+        let mild = counts(0.6);
+        let heavy = counts(1.2);
+        assert!(
+            heavy > 2 * mild,
+            "rank-0 draws at s=1.2 ({heavy}) should dwarf s=0.6 ({mild})"
+        );
+    }
+
+    #[test]
+    fn empirical_rank0_mass_tracks_theory() {
+        let z = ZipfSampler::new(32, 0.9);
+        let mut rng = WorkloadRng::new(11);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
+        let observed = hits as f64 / n as f64;
+        let expected = z.mass(0);
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "rank-0 observed {observed:.3} vs theoretical {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_in_range() {
+        let cfg = TenantMixConfig::new(16, 0.9).with_lines_per_tenant(8);
+        let a: Vec<TenantAccess> = TenantTraceGenerator::new(cfg, 3).take(500).collect();
+        let b: Vec<TenantAccess> = TenantTraceGenerator::new(cfg, 3).take(500).collect();
+        assert_eq!(a, b);
+        for acc in &a {
+            assert!(acc.tenant < 16);
+            assert!(acc.addr < 8 * 64);
+            assert_eq!(acc.addr % 64, 0, "line-aligned");
+        }
+        let c: Vec<TenantAccess> = TenantTraceGenerator::new(cfg, 4).take(500).collect();
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn single_tenant_always_draws_rank_zero() {
+        let z = ZipfSampler::new(1, 1.2);
+        let mut rng = WorkloadRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

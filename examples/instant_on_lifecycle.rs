@@ -11,7 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = Key::from_seed(42);
     let tpm = Tpm::provision(key, NVMM_ID);
 
-    let specu = Specu::new(key)?;
+    let specu = Specu::builder().key(key).build()?;
     let mut memory = SecureNvmm::new(NVMM_ID, specu, SpeMode::Serial);
 
     // A working session: write some lines, read one back (SPE-serial leaves
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("power up: TPM released the key; line 0 reads back intact");
 
     // The same TPM refuses a foreign NVMM.
-    let mut stolen = SecureNvmm::new(0xBAD, Specu::new(key)?, SpeMode::Serial);
+    let mut stolen = SecureNvmm::new(0xBAD, Specu::builder().key(key).build()?, SpeMode::Serial);
     stolen.power_down()?;
     assert!(stolen.power_up(&tpm).is_err());
     println!("foreign NVMM: TPM authentication refused");

@@ -7,7 +7,7 @@ use snvmm::core::{CipherRequest, Key, SpeCipher, Specu};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 88-bit key would normally come from the TPM at power-on.
     let key = Key::from_seed(0xDAC_2014);
-    let specu = Specu::new(key)?;
+    let specu = Specu::builder().key(key).build()?;
 
     let plaintext = *b"my secret laptop";
     println!("plaintext : {:02x?}", plaintext);
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("decrypted : {:02x?} (matches)", recovered);
 
     // A different key fails.
-    let wrong = Specu::new(Key::from_seed(999))?;
+    let wrong = Specu::builder().key(Key::from_seed(999)).build()?;
     let garbage = wrong
         .decrypt(CipherRequest::sealed_block(block))?
         .into_plain_block()?;

@@ -8,7 +8,7 @@ use snvmm::core::{Key, Specu};
 use snvmm::nist::{Bits, Suite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let specu = Specu::new(Key::from_seed(0xA0D17))?;
+    let specu = Specu::builder().key(Key::from_seed(0xA0D17)).build()?;
     let suite = Suite::new();
     let bits_per_sequence = 1 << 14;
 

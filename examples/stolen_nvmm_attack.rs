@@ -8,7 +8,7 @@ use snvmm::core::{Key, SecureNvmm, SpeMode, Specu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = Key::from_seed(0xC0FFEE);
-    let mut memory = SecureNvmm::new(1, Specu::new(key)?, SpeMode::Parallel);
+    let mut memory = SecureNvmm::new(1, Specu::builder().key(key).build()?, SpeMode::Parallel);
 
     let secret = *b"password=hunter2 and 42 filler bytes to fill one line..!";
     let mut line = [0u8; 64];
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // On a reduced toy instance, the exhaustive search *does* work — which
     // is exactly why the real parameters matter.
-    let toy = Specu::new(Key::from_seed(7))?;
+    let toy = Specu::builder().key(Key::from_seed(7)).build()?;
     let run = brute_force_reduced(&toy, b"toy  target  blk", 2, 4)?;
     println!(
         "reduced instance (2 PoEs, 4 pulses): searched {} of {} schedules to recover",

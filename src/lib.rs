@@ -21,7 +21,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let key = Key::from_seed(0xDAC2014);
-//! let specu = Specu::new(key)?;
+//! let specu = Specu::builder().key(key).build()?;
 //! let plaintext = *b"sixteen byte msg";
 //! let ciphertext = specu.encrypt(CipherRequest::block(plaintext))?.into_block()?;
 //! assert_ne!(ciphertext.data(), plaintext);

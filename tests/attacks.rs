@@ -7,7 +7,12 @@ use std::sync::OnceLock;
 fn specu() -> Specu {
     static CACHE: OnceLock<Specu> = OnceLock::new();
     CACHE
-        .get_or_init(|| Specu::new(Key::from_seed(0xA77)).expect("specu"))
+        .get_or_init(|| {
+            Specu::builder()
+                .key(Key::from_seed(0xA77))
+                .build()
+                .expect("specu")
+        })
         .clone()
 }
 

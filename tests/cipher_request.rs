@@ -10,7 +10,12 @@ use std::sync::OnceLock;
 
 fn specu() -> &'static Specu {
     static CACHE: OnceLock<Specu> = OnceLock::new();
-    CACHE.get_or_init(|| Specu::new(Key::from_seed(0x9A)).expect("specu"))
+    CACHE.get_or_init(|| {
+        Specu::builder()
+            .key(Key::from_seed(0x9A))
+            .build()
+            .expect("specu")
+    })
 }
 
 fn policy() -> FaultPolicy {
@@ -57,14 +62,14 @@ fn requests_agree_with_the_cache_disabled_datapath() {
     // must produce byte-identical responses for every request kind, and
     // each side must decrypt the other's output.
     let cached = specu();
-    let uncached = Specu::with_config(
-        Key::from_seed(0x9A),
-        SpecuConfig {
+    let uncached = Specu::builder()
+        .key(Key::from_seed(0x9A))
+        .config(SpecuConfig {
             schedule_cache_lines: 0,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu");
+        })
+        .build()
+        .expect("specu");
     let pt = *b"legacy vs united";
 
     let warm = cached

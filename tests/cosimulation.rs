@@ -25,14 +25,14 @@ fn line_pattern(addr: u64) -> [u8; 64] {
 /// A SPECU with the schedule cache disabled: the reference datapath every
 /// cached run must agree with byte-for-byte.
 fn uncached_specu(seed: u64) -> Specu {
-    Specu::with_config(
-        Key::from_seed(seed),
-        SpecuConfig {
+    Specu::builder()
+        .key(Key::from_seed(seed))
+        .config(SpecuConfig {
             schedule_cache_lines: 0,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu")
+        })
+        .build()
+        .expect("specu")
 }
 
 /// Drives `accesses` trace references through the paper's L1/L2 hierarchy
@@ -80,7 +80,10 @@ fn cosimulate(
 fn roundtrip_through_real_spe(accesses: usize) {
     let mut nvmm = SecureNvmm::new(
         0xC051,
-        Specu::new(Key::from_seed(0xC051)).expect("specu"),
+        Specu::builder()
+            .key(Key::from_seed(0xC051))
+            .build()
+            .expect("specu"),
         SpeMode::Parallel,
     );
     let mut reference = SecureNvmm::new(0xC051, uncached_specu(0xC051), SpeMode::Parallel);
@@ -135,12 +138,18 @@ fn serial_and_parallel_modes_agree_on_contents() {
     // trace, and after a scrub the at-rest ciphertexts match too.
     let mut serial = SecureNvmm::new(
         0x5E41,
-        Specu::new(Key::from_seed(0x5E41)).expect("specu"),
+        Specu::builder()
+            .key(Key::from_seed(0x5E41))
+            .build()
+            .expect("specu"),
         SpeMode::Serial,
     );
     let mut parallel = SecureNvmm::new(
         0x5E41,
-        Specu::new(Key::from_seed(0x5E41)).expect("specu"),
+        Specu::builder()
+            .key(Key::from_seed(0x5E41))
+            .build()
+            .expect("specu"),
         SpeMode::Parallel,
     );
     let (shadow_s, ops_s) = cosimulate(&mut serial, 4_000, 11);
@@ -173,7 +182,10 @@ fn bank_count_changes_neither_ciphertexts_nor_pulse_telemetry() {
         .collect();
     let run = |banks: usize| {
         let recorder = Arc::new(AtomicRecorder::new());
-        let mut s = Specu::new(Key::from_seed(0xBA1)).expect("specu");
+        let mut s = Specu::builder()
+            .key(Key::from_seed(0xBA1))
+            .build()
+            .expect("specu");
         s.attach_recorder(recorder.clone());
         let par = s.parallel(banks).expect("parallel");
         let lines = par.encrypt_lines(&jobs).expect("encrypt");
@@ -219,7 +231,10 @@ fn pipelined_scheduler_matches_serial_ciphertexts_and_telemetry() {
         .collect();
 
     let serial_rec = Arc::new(AtomicRecorder::new());
-    let mut serial = Specu::new(Key::from_seed(0x5CED)).expect("specu");
+    let mut serial = Specu::builder()
+        .key(Key::from_seed(0x5CED))
+        .build()
+        .expect("specu");
     serial.attach_recorder(serial_rec.clone());
     let serial_lines: Vec<_> = jobs
         .iter()
@@ -233,7 +248,10 @@ fn pipelined_scheduler_matches_serial_ciphertexts_and_telemetry() {
         .collect();
 
     let piped_rec = Arc::new(AtomicRecorder::new());
-    let mut piped = Specu::new(Key::from_seed(0x5CED)).expect("specu");
+    let mut piped = Specu::builder()
+        .key(Key::from_seed(0x5CED))
+        .build()
+        .expect("specu");
     piped.attach_recorder(piped_rec.clone());
     let pool = piped.parallel(4).expect("parallel");
     let tickets = pool
@@ -292,7 +310,7 @@ fn power_cycle_preserves_the_working_set() {
     use snvmm::core::Tpm;
     let key = Key::from_seed(0xCAFE);
     let tpm = Tpm::provision(key, 0xCAFE);
-    let mut specu = Specu::new(key).expect("specu");
+    let mut specu = Specu::builder().key(key).build().expect("specu");
     specu.load_key(key);
     let mut nvmm = SecureNvmm::new(0xCAFE, specu, SpeMode::Serial);
 

@@ -10,7 +10,12 @@ use std::sync::OnceLock;
 fn specu() -> Specu {
     static CACHE: OnceLock<Specu> = OnceLock::new();
     CACHE
-        .get_or_init(|| Specu::new(Key::from_seed(0x17E57)).expect("specu"))
+        .get_or_init(|| {
+            Specu::builder()
+                .key(Key::from_seed(0x17E57))
+                .build()
+                .expect("specu")
+        })
         .clone()
 }
 
@@ -46,7 +51,11 @@ fn analog_variant_roundtrips_too() {
         variant: SpeVariant::Analog,
         ..SpecuConfig::default()
     };
-    let s = Specu::with_config(Key::from_seed(3), config).expect("specu");
+    let s = Specu::builder()
+        .key(Key::from_seed(3))
+        .config(config)
+        .build()
+        .expect("specu");
     for seed in 0..8u64 {
         let pt: [u8; 16] = core::array::from_fn(|i| (seed as u8) ^ (i as u8).wrapping_mul(29));
         let ct = encrypt(&s, &pt, 0);

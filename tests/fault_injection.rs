@@ -13,7 +13,12 @@ use std::sync::OnceLock;
 fn specu() -> Specu {
     static CACHE: OnceLock<Specu> = OnceLock::new();
     CACHE
-        .get_or_init(|| Specu::new(Key::from_seed(0xFA17)).expect("specu"))
+        .get_or_init(|| {
+            Specu::builder()
+                .key(Key::from_seed(0xFA17))
+                .build()
+                .expect("specu")
+        })
         .clone()
 }
 

@@ -20,14 +20,14 @@ fn specu(variant: SpeVariant) -> Specu {
     };
     cache
         .get_or_init(|| {
-            Specu::with_config(
-                Key::from_seed(0xE001F),
-                SpecuConfig {
+            Specu::builder()
+                .key(Key::from_seed(0xE001F))
+                .config(SpecuConfig {
                     variant,
                     ..SpecuConfig::default()
-                },
-            )
-            .expect("specu")
+                })
+                .build()
+                .expect("specu")
         })
         .clone()
 }
@@ -198,14 +198,14 @@ fn try_submit_reports_would_block_on_a_full_queue() {
     // slow (fresh schedule derivation per block), the submitter is fast,
     // so a bounded burst of try-submits must hit the bound and get the
     // request handed back instead of blocking.
-    let slow = Specu::with_config(
-        Key::from_seed(0x70FB),
-        SpecuConfig {
+    let slow = Specu::builder()
+        .key(Key::from_seed(0x70FB))
+        .config(SpecuConfig {
             schedule_cache_lines: 0,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu");
+        })
+        .build()
+        .expect("specu");
     let ctx = slow.context().expect("key loaded").clone();
     let pool = snvmm::core::ParallelSpecu::with_scheduler_config(
         ctx,

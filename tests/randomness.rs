@@ -9,7 +9,12 @@ use std::sync::OnceLock;
 fn specu() -> Specu {
     static CACHE: OnceLock<Specu> = OnceLock::new();
     CACHE
-        .get_or_init(|| Specu::new(Key::from_seed(0x7AB1E2)).expect("specu"))
+        .get_or_init(|| {
+            Specu::builder()
+                .key(Key::from_seed(0x7AB1E2))
+                .build()
+                .expect("specu")
+        })
         .clone()
 }
 

@@ -22,7 +22,10 @@ fn roundtrip_sweep(configs: &[(SpeVariant, usize, usize)], keys: u64, tweaks: u6
             poe_count: *poe_count,
             ..SpecuConfig::default()
         };
-        let mut specu = Specu::with_config(Key::from_seed(1), config)
+        let mut specu = Specu::builder()
+            .key(Key::from_seed(1))
+            .config(config)
+            .build()
             .unwrap_or_else(|e| panic!("{variant:?}/{rounds}r/{poe_count}p: {e}"));
         for k in 0..keys {
             specu.load_key(Key::from_seed(k * 977 + 5));
@@ -101,14 +104,14 @@ fn chaos_soak_sustains_traffic_with_exact_accounting() {
     //    to the serial oracle, retries and respawns invisible to callers;
     // 3. conservation — at quiescence the scheduler's books balance:
     //    `sched_submitted == sched_completed + deadline_expired`.
-    let specu = Specu::with_config(
-        Key::from_seed(0xC405),
-        SpecuConfig {
+    let specu = Specu::builder()
+        .key(Key::from_seed(0xC405))
+        .config(SpecuConfig {
             variant: SpeVariant::ClosedLoop,
             ..SpecuConfig::default()
-        },
-    )
-    .expect("specu");
+        })
+        .build()
+        .expect("specu");
     let ctx = specu.context().expect("key loaded").clone();
     let jobs = chaos_lines(0x50AC, 24);
     let oracle: Vec<_> = jobs
@@ -123,8 +126,10 @@ fn chaos_soak_sustains_traffic_with_exact_accounting() {
 
     let recorder = Arc::new(AtomicRecorder::new());
     let handle: TelemetryHandle = recorder.clone();
+    let mut pool_ctx = ctx.clone();
+    pool_ctx.set_recorder(handle);
     let pool = ParallelSpecu::with_scheduler_config(
-        ctx.clone(),
+        pool_ctx,
         SchedulerConfig::with_banks(2)
             .with_health(HealthPolicy::never_quarantine())
             .with_chaos(ChaosPolicy::mixed(0.08, 0.04, 0xC4A0_50AC)),
@@ -136,8 +141,7 @@ fn chaos_soak_sustains_traffic_with_exact_accounting() {
     .with_retry_policy(RetryPolicy {
         max_attempts: 10,
         backoff_base_us: 10,
-    })
-    .with_recorder(handle);
+    });
 
     // Phase 1: waves of façade traffic. The retry ladder hides every
     // injected panic, so each wave must reproduce the oracle exactly.

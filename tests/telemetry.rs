@@ -2,7 +2,9 @@
 //! counter equality through the unified request API, and the
 //! zero-overhead no-op recorder guarantee.
 
-use snvmm::core::{CipherRequest, FaultModel, FaultPolicy, Key, ParallelSpecu, SpeCipher, Specu};
+use snvmm::core::{
+    CipherRequest, FaultModel, FaultPolicy, Key, ParallelSpecu, SchedulerConfig, SpeCipher, Specu,
+};
 use snvmm::telemetry::{noop, AtomicRecorder, Counter, Span, SpanTimer};
 use std::sync::Arc;
 
@@ -38,7 +40,10 @@ fn snapshots_are_deterministic_for_a_fixed_seed() {
     let texts: Vec<String> = (0..2)
         .map(|_| {
             let recorder = Arc::new(AtomicRecorder::new());
-            let mut specu = Specu::new(Key::from_seed(0xDAC)).expect("specu");
+            let mut specu = Specu::builder()
+                .key(Key::from_seed(0xDAC))
+                .build()
+                .expect("specu");
             specu.attach_recorder(recorder.clone());
             drive(specu.context().expect("ctx"));
             recorder.snapshot().to_text()
@@ -51,19 +56,21 @@ fn snapshots_are_deterministic_for_a_fixed_seed() {
 
 #[test]
 fn serial_and_parallel_report_identical_datapath_totals() {
-    let specu = Specu::new(Key::from_seed(0xDAC)).expect("specu");
+    let specu = Specu::builder()
+        .key(Key::from_seed(0xDAC))
+        .build()
+        .expect("specu");
 
     let serial_rec = Arc::new(AtomicRecorder::new());
-    let serial = specu
-        .context()
-        .expect("ctx")
-        .clone()
-        .with_recorder(serial_rec.clone());
+    let mut serial = specu.context().expect("ctx").clone();
+    serial.set_recorder(serial_rec.clone());
     drive(&serial);
 
     let parallel_rec = Arc::new(AtomicRecorder::new());
-    let parallel = ParallelSpecu::new(specu.context().expect("ctx").clone(), 4)
-        .with_recorder(parallel_rec.clone());
+    let mut parallel_ctx = specu.context().expect("ctx").clone();
+    parallel_ctx.set_recorder(parallel_rec.clone());
+    let parallel =
+        ParallelSpecu::with_scheduler_config(parallel_ctx, SchedulerConfig::with_banks(4));
     drive(&parallel);
 
     for c in [
@@ -94,7 +101,10 @@ fn noop_recorder_skips_all_work() {
     // an unrelated recorder untouched: instrumentation only reports into
     // the handle it was given.
     let bystander = AtomicRecorder::new();
-    let specu = Specu::new(Key::from_seed(1)).expect("specu");
+    let specu = Specu::builder()
+        .key(Key::from_seed(1))
+        .build()
+        .expect("specu");
     drive(specu.context().expect("ctx"));
     assert!(bystander.snapshot().is_empty());
 }
@@ -102,7 +112,10 @@ fn noop_recorder_skips_all_work() {
 #[test]
 fn snapshot_counts_reflect_the_workload() {
     let recorder = Arc::new(AtomicRecorder::new());
-    let mut specu = Specu::new(Key::from_seed(0xDAC)).expect("specu");
+    let mut specu = Specu::builder()
+        .key(Key::from_seed(0xDAC))
+        .build()
+        .expect("specu");
     specu.attach_recorder(recorder.clone());
     drive(specu.context().expect("ctx"));
     let snap = recorder.snapshot();

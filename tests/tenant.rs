@@ -1,0 +1,264 @@
+//! Multi-tenant registry integration: rotation under live tagged traffic,
+//! epoch isolation observed through cache telemetry, the unknown-tenant
+//! error path through the bank pipeline, and byte-equivalence of the
+//! unified builder against every deprecated constructor it replaces.
+
+use snvmm::core::{
+    CipherRequest, Key, ParallelSpecu, SchedulerConfig, SpeCalibration, SpeCipher, SpeContext,
+    SpeError, Specu, SpecuConfig, TenantId, TenantRegistry,
+};
+use snvmm::telemetry::{AtomicRecorder, Counter};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn line(seed: u64) -> [u8; 64] {
+    core::array::from_fn(|i| (seed.wrapping_mul(0x9E37).wrapping_add(i as u64) >> 5) as u8)
+}
+
+/// Rotation under load: tagged traffic keeps flowing through the shared
+/// bank pool while a tenant's key rotates; ciphertext sealed before the
+/// rotation decrypts through the retained retired context, and seals
+/// after it round-trip through the new one.
+#[test]
+fn rotation_under_live_tagged_traffic() {
+    let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default()).expect("calibration"));
+    let registry = Arc::new(TenantRegistry::new(Arc::clone(&calibration)));
+    for t in 0..4u64 {
+        registry.register(TenantId::new(t), Key::from_seed(t * 3 + 1));
+    }
+    let base: SpeContext = (*registry.context(TenantId::new(0)).expect("tenant 0")).clone();
+    let pool =
+        ParallelSpecu::with_registry(base, SchedulerConfig::with_banks(2), Arc::clone(&registry));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let drivers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let pool = pool.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let tenant = TenantId::new((w + n) % 4);
+                    pool.encrypt(CipherRequest::line(line(n), n % 8).with_tenant(tenant))
+                        .expect("tagged encrypt under load");
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    for round in 0..16u64 {
+        let tenant = TenantId::new(round % 4);
+        let plaintext = line(round + 100);
+        let sealed = pool
+            .encrypt(CipherRequest::line(plaintext, 0x40).with_tenant(tenant))
+            .expect("pre-rotation seal")
+            .into_line()
+            .expect("line");
+        let rotation = registry
+            .rotate(tenant, Key::from_seed(round * 101 + 9))
+            .expect("rotate live tenant");
+
+        // Old ciphertext decrypts through the retained retired context.
+        let recovered = rotation
+            .retired
+            .decrypt(CipherRequest::sealed_line(sealed))
+            .expect("retired decrypt")
+            .into_plain_line()
+            .expect("plain line");
+        assert_eq!(recovered, plaintext, "round {round}: retired key lost");
+
+        // Post-rotation seals run under the new key: the pool-tagged
+        // request round-trips through the registry's new live context.
+        let resealed = pool
+            .encrypt(CipherRequest::line(plaintext, 0x40).with_tenant(tenant))
+            .expect("post-rotation seal")
+            .into_line()
+            .expect("line");
+        let roundtrip = rotation
+            .active
+            .decrypt(CipherRequest::sealed_line(resealed))
+            .expect("active decrypt")
+            .into_plain_line()
+            .expect("plain line");
+        assert_eq!(roundtrip, plaintext, "round {round}: new key not in effect");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for d in drivers {
+        assert!(d.join().expect("driver") > 0, "driver made no progress");
+    }
+}
+
+/// Epoch isolation, observed from telemetry: re-encryption under the same
+/// tenant hits the schedule cache; another tenant over the same addresses
+/// misses (zero cross-tenant hits); rotation makes the old epoch's
+/// schedules unreachable (fresh misses, hit count unchanged).
+#[test]
+fn cache_epochs_isolate_tenants_and_rotations() {
+    const LINES: u64 = 8;
+    const BLOCKS: u64 = LINES * 4;
+    let recorder = Arc::new(AtomicRecorder::new());
+    let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default()).expect("calibration"));
+    let registry = TenantRegistry::with_shards(Arc::clone(&calibration), 4, recorder.clone());
+    let a = TenantId::new(1);
+    let b = TenantId::new(2);
+    registry.register(a, Key::from_seed(11));
+    registry.register(b, Key::from_seed(22));
+
+    let drive = |tenant: TenantId| {
+        let ctx = registry.context(tenant).expect("registered");
+        for l in 0..LINES {
+            ctx.encrypt(CipherRequest::line(line(l), l))
+                .expect("encrypt");
+        }
+    };
+    let hits = || recorder.counter(Counter::ScheduleCacheHits);
+    let misses = || recorder.counter(Counter::ScheduleCacheMisses);
+
+    // Cold pass for tenant A: every block derivation misses.
+    drive(a);
+    assert_eq!((hits(), misses()), (0, BLOCKS));
+    // Warm pass: same tenant, same lines — all hits.
+    drive(a);
+    assert_eq!((hits(), misses()), (BLOCKS, BLOCKS));
+    // Tenant B over the *same* line addresses: a different epoch, so not
+    // one cross-tenant hit.
+    drive(b);
+    assert_eq!((hits(), misses()), (BLOCKS, 2 * BLOCKS));
+    // Rotate A: the old epoch's schedules become unreachable — the next
+    // pass misses afresh and the hit count does not move.
+    registry.rotate(a, Key::from_seed(33)).expect("rotate");
+    drive(a);
+    assert_eq!(
+        (hits(), misses()),
+        (BLOCKS, 3 * BLOCKS),
+        "a post-rotation lookup served a stale schedule"
+    );
+    assert_eq!(recorder.counter(Counter::TenantCreated), 2);
+    assert_eq!(recorder.counter(Counter::TenantRotated), 1);
+}
+
+/// A tagged request naming an unregistered tenant fails typed — through
+/// the bank pipeline and through the degraded serial fallback alike.
+#[test]
+fn unknown_tenant_fails_typed_through_the_pipeline() {
+    let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default()).expect("calibration"));
+    let registry = Arc::new(TenantRegistry::new(Arc::clone(&calibration)));
+    registry.register(TenantId::new(1), Key::from_seed(1));
+    let base: SpeContext = (*registry.context(TenantId::new(1)).expect("tenant 1")).clone();
+    let pool = ParallelSpecu::with_registry(
+        base.clone(),
+        SchedulerConfig::with_banks(2),
+        Arc::clone(&registry),
+    );
+    let err = pool
+        .encrypt(CipherRequest::line(line(1), 0).with_tenant(TenantId::new(404)))
+        .expect_err("unregistered tenant must fail");
+    assert!(
+        matches!(err, SpeError::UnknownTenant(t) if t.value() == 404),
+        "got {err}"
+    );
+    assert!(!err.is_retryable(), "unknown tenant is not transient");
+
+    // Without a registry attached, *every* tagged request is unroutable.
+    let bare = ParallelSpecu::with_scheduler_config(base, SchedulerConfig::with_banks(2));
+    let err = bare
+        .encrypt(CipherRequest::line(line(2), 0).with_tenant(TenantId::new(1)))
+        .expect_err("no registry attached");
+    assert!(matches!(err, SpeError::UnknownTenant(_)), "got {err}");
+}
+
+/// The unified builder is byte-equivalent to every deprecated constructor
+/// it replaces: same key and config produce identical ciphertext.
+#[test]
+#[allow(deprecated)]
+fn builder_matches_deprecated_constructors() {
+    let pt = *b"builder = legacy";
+    let seal = |s: &Specu| {
+        s.encrypt(CipherRequest::block(pt))
+            .expect("encrypt")
+            .into_block()
+            .expect("block")
+            .data()
+            .to_vec()
+    };
+
+    // Specu::new == builder with key only.
+    let legacy = Specu::new(Key::from_seed(0xA1)).expect("legacy");
+    let built = Specu::builder()
+        .key(Key::from_seed(0xA1))
+        .build()
+        .expect("built");
+    assert_eq!(seal(&legacy), seal(&built));
+
+    // Specu::with_config == builder with key + config.
+    let config = SpecuConfig::statistical();
+    let legacy = Specu::with_config(Key::from_seed(0xB2), config.clone()).expect("legacy");
+    let built = Specu::builder()
+        .key(Key::from_seed(0xB2))
+        .config(config)
+        .build()
+        .expect("built");
+    assert_eq!(seal(&legacy), seal(&built));
+
+    // SpeContext::with_calibration == builder with key + calibration.
+    let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default()).expect("calibration"));
+    let legacy_ctx = SpeContext::with_calibration(Key::from_seed(0xC3), Arc::clone(&calibration));
+    let built_ctx = SpeContext::builder()
+        .key(Key::from_seed(0xC3))
+        .calibration(Arc::clone(&calibration))
+        .build_context()
+        .expect("built");
+    let ct_legacy = legacy_ctx
+        .encrypt(CipherRequest::block(pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
+    let ct_built = built_ctx
+        .encrypt(CipherRequest::block(pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
+    assert_eq!(ct_legacy.data(), ct_built.data());
+    assert_ne!(
+        legacy_ctx.key_epoch(),
+        built_ctx.key_epoch(),
+        "every construction draws its own epoch"
+    );
+
+    // SpeContext::new == builder's build_context over a config.
+    let legacy_ctx = SpeContext::new(Key::from_seed(0xD4), SpecuConfig::default()).expect("legacy");
+    let built_ctx = SpeContext::builder()
+        .key(Key::from_seed(0xD4))
+        .config(SpecuConfig::default())
+        .build_context()
+        .expect("built");
+    let ct_legacy = legacy_ctx
+        .encrypt(CipherRequest::block(pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
+    let ct_built = built_ctx
+        .encrypt(CipherRequest::block(pt))
+        .expect("encrypt")
+        .into_block()
+        .expect("block");
+    assert_eq!(ct_legacy.data(), ct_built.data());
+}
+
+/// A mismatched explicit config is rejected rather than silently ignored
+/// when a calibration is also supplied.
+#[test]
+fn builder_rejects_config_calibration_mismatch() {
+    let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default()).expect("calibration"));
+    let err = Specu::builder()
+        .key(Key::from_seed(1))
+        .calibration(calibration)
+        .config(SpecuConfig::statistical())
+        .build()
+        .expect_err("conflicting config must be rejected");
+    assert!(matches!(err, SpeError::BadRequest(_)), "got {err}");
+    let missing_key = Specu::builder().build().expect_err("key is required");
+    assert!(matches!(missing_key, SpeError::BadRequest(_)));
+}
