@@ -9,9 +9,9 @@ echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "== cargo clippy -D warnings -D deprecated"
-# -D deprecated keeps every in-repo caller on the unified SpecuBuilder
-# construction API; the old constructor zoo exists only for downstream
-# migration.
+# -D deprecated stays armed so no constructor zoo regrows: the unified
+# SpecuBuilder API is the only construction surface (the deprecated
+# wrappers it replaced are deleted).
 cargo clippy --workspace --all-targets --offline -- -D warnings -D deprecated
 
 echo "== cargo clippy -D clippy::unwrap_used (fault-hardened library crates)"
@@ -80,6 +80,27 @@ if ! grep -q '"gate_warm_hit_rate_s09_pass": true' BENCH_tenant.json; then
 fi
 if ! grep -q '"gate_rotation_correctness_pass": true' BENCH_tenant.json; then
   echo "FAIL: BENCH_tenant.json rotation-under-load gate did not pass" >&2
+  exit 1
+fi
+
+echo "== address-scrambling datapath smoke"
+# scramble_bench gates the Secure Memory Unit datapath: warm-line latency
+# through scrambled bank routing <= 1.3x the unscrambled pipeline, both
+# placement attacks (bus-snooping correlation, targeted-cell) collapsing
+# >= 10x under the keyed scrambler, and bit-identical ciphertext with
+# routing on/off; it emits BENCH_scramble.json with the start-gap
+# composition microbench.
+timeout 300 cargo run --release --offline -p spe-bench --bin scramble_bench
+if ! grep -q '"gate_latency_ratio_pass": true' BENCH_scramble.json; then
+  echo "FAIL: BENCH_scramble.json warm-line latency gate (<= 1.3x) did not pass" >&2
+  exit 1
+fi
+if ! grep -q '"gate_attack_collapse_pass": true' BENCH_scramble.json; then
+  echo "FAIL: BENCH_scramble.json attack-collapse gate (>= 10x) did not pass" >&2
+  exit 1
+fi
+if ! grep -q '"gate_ciphertext_equality_pass": true' BENCH_scramble.json; then
+  echo "FAIL: BENCH_scramble.json ciphertext-equality gate did not pass" >&2
   exit 1
 fi
 

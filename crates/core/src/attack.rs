@@ -10,8 +10,16 @@
 //! * [`brute_force_reduced`] — an actual exhaustive search on a reduced
 //!   instance (tiny LUT, few PoEs), demonstrating the cost scaling that
 //!   §6.2.1 extrapolates.
+//! * [`access_pattern_correlation`] / [`targeted_cell_attack`] — the two
+//!   placement attacks the keyed [`crate::AddressScrambler`] defeats: bus
+//!   snooping that correlates physical traffic with known logical hot
+//!   spots, and Rowhammer-style aggression against rows assumed adjacent
+//!   to a victim. Both run against any [`Remapper`], so the same
+//!   experiment measures the identity layout (attack works) and the
+//!   scrambled one (success collapses to chance).
 
 use crate::error::SpeError;
+use crate::scramble::Remapper;
 use crate::specu::{Specu, BLOCK_BYTES};
 use spe_crossbar::CellAddr;
 use spe_memristor::Pulse;
@@ -288,6 +296,82 @@ pub fn brute_force_reduced(
     })
 }
 
+/// Outcome of a placement attack over many trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrambleAttackReport {
+    /// Independent attack trials run.
+    pub trials: usize,
+    /// Trials where the attacker's physical guess was correct.
+    pub hits: usize,
+}
+
+impl ScrambleAttackReport {
+    /// Hit fraction (0.0 when no trials ran).
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Deterministic trial mixer (splitmix64 finalizer) so attack experiments
+/// reproduce bit-for-bit across runs.
+fn trial_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Access-pattern correlation (§3's bus-snooping adversary).
+///
+/// The victim repeatedly touches one hot logical line per trial; the
+/// attacker probes the memory bus, sees which *physical* slot carries the
+/// traffic, and — knowing the machine's public (identity) address layout —
+/// claims that slot's address *is* the victim's secret hot line. Against
+/// an unscrambled memory the claim is always right. Against a keyed
+/// [`crate::AddressScrambler`] the observed slot is an attacker-opaque
+/// permutation of the hot line, so the claim only lands on the
+/// permutation's rare fixed points and success collapses to ~`1/domain`.
+pub fn access_pattern_correlation(placement: &dyn Remapper, trials: usize) -> ScrambleAttackReport {
+    let domain = placement.domain();
+    let mut hits = 0usize;
+    for t in 0..trials {
+        let hot = trial_mix(t as u64) % domain;
+        let observed_slot = placement.remap(hot);
+        if observed_slot == hot {
+            hits += 1;
+        }
+    }
+    ScrambleAttackReport { trials, hits }
+}
+
+/// Targeted-cell (Rowhammer-style) aggression.
+///
+/// The attacker wants to disturb a specific victim line and hammers the
+/// lines it *assumes* are physically adjacent — `victim ± 1` under the
+/// public identity layout. The disturbance lands only if the victim's
+/// *actual* physical slot is within one row of the hammered pair. One
+/// victim per trial (deterministically drawn), so the identity layout
+/// yields 100% and a scrambled layout ~`3/domain` (the victim happens to
+/// land on or next to its logical slot).
+pub fn targeted_cell_attack(placement: &dyn Remapper, trials: usize) -> ScrambleAttackReport {
+    let domain = placement.domain();
+    let mut hits = 0usize;
+    for t in 0..trials {
+        let victim = trial_mix(0x7A46_E77E ^ t as u64) % domain;
+        let actual_slot = placement.remap(victim);
+        // Hammered rows: the assumed-adjacent pair around the victim's
+        // logical address. A hit is landing within one row of either.
+        if actual_slot.abs_diff(victim) <= 1 {
+            hits += 1;
+        }
+    }
+    ScrambleAttackReport { trials, hits }
+}
+
 fn permutations(n: usize) -> Vec<Vec<usize>> {
     if n == 1 {
         return vec![vec![0]];
@@ -364,5 +448,51 @@ mod tests {
     fn permutation_helper_counts() {
         assert_eq!(permutations(3).len(), 6);
         assert_eq!(permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn correlation_attack_owns_the_identity_layout() {
+        use crate::scramble::IdentityRemapper;
+        let report = access_pattern_correlation(&IdentityRemapper::new(4096), 500);
+        assert_eq!(report.success_rate(), 1.0, "no scrambling, no defence");
+    }
+
+    #[test]
+    fn correlation_attack_collapses_under_scrambling() {
+        use crate::scramble::AddressScrambler;
+        let s = AddressScrambler::new(&Key::from_seed(0x5C2A), 0, 4096);
+        let report = access_pattern_correlation(&s, 500);
+        assert!(
+            report.success_rate() < 0.05,
+            "scrambled success {} should be near 1/4096",
+            report.success_rate()
+        );
+    }
+
+    #[test]
+    fn targeted_cell_attack_collapses_under_scrambling() {
+        use crate::scramble::{AddressScrambler, IdentityRemapper};
+        let open = targeted_cell_attack(&IdentityRemapper::new(4096), 400);
+        assert_eq!(open.success_rate(), 1.0, "adjacency holds when identity");
+        let s = AddressScrambler::new(&Key::from_seed(0x5C2B), 1, 4096);
+        let scrambled = targeted_cell_attack(&s, 400);
+        assert!(
+            scrambled.success_rate() < 0.05,
+            "scrambled adjacency {} should be near 3/4096",
+            scrambled.success_rate()
+        );
+    }
+
+    #[test]
+    fn epoch_rotation_redraws_the_targeted_placement() {
+        use crate::scramble::AddressScrambler;
+        // A tenant key rotation bumps the epoch; the same victim line must
+        // land somewhere new, invalidating any adjacency the attacker
+        // mapped out in the old epoch.
+        let key = Key::from_seed(0x0E50);
+        let e0 = AddressScrambler::new(&key, 0, 4096);
+        let e1 = AddressScrambler::new(&key, 1, 4096);
+        let moved = (0..512u64).filter(|v| e0.remap(*v) != e1.remap(*v)).count();
+        assert!(moved > 256, "rotation moved only {moved}/512 lines");
     }
 }

@@ -76,6 +76,7 @@ pub mod recovery;
 pub mod request;
 pub mod schedule;
 pub mod scheduler;
+pub mod scramble;
 pub mod specu;
 pub mod sync;
 pub mod tenant;
@@ -90,7 +91,10 @@ pub use key::Key;
 pub use nvmm::{SecureNvmm, SpeMode};
 pub use parallel::{BlockJob, LineJob, ParallelSpecu};
 pub use prng::CoupledLcg;
-pub use recovery::{FaultCounters, FaultKind, FaultModel, FaultPolicy, RemapTable, RetryPolicy};
+pub use recovery::{
+    FaultCounters, FaultKind, FaultModel, FaultPolicy, IntegrityEscalation, LineGuard, RemapTable,
+    RetryPolicy,
+};
 pub use request::{
     CipherOutput, CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher, Verify,
 };
@@ -98,6 +102,7 @@ pub use schedule::PulseSchedule;
 pub use scheduler::{
     BankHealth, BankScheduler, HealthPolicy, SchedulerConfig, SubmitError, DEFAULT_QUEUE_DEPTH,
 };
+pub use scramble::{AddressScrambler, ComposedRemapper, IdentityRemapper, Remapper};
 pub use specu::{
     CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuBuilder,
     SpecuConfig,

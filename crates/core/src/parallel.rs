@@ -26,7 +26,7 @@ use crate::request::{CipherRequest, CipherResponse, CipherTicket};
 use crate::scheduler::{BankScheduler, SchedulerConfig};
 use crate::specu::{CipherBlock, CipherLine, SpeContext, BLOCKS_PER_LINE, BLOCK_BYTES, LINE_BYTES};
 use crate::tenant::TenantRegistry;
-use spe_telemetry::{Counter, Histogram, TelemetryHandle};
+use spe_telemetry::{Counter, Histogram};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -110,19 +110,6 @@ pub struct ParallelSpecu {
 }
 
 impl ParallelSpecu {
-    /// Builds a parallel datapath over `context` with `banks` SPECU banks
-    /// (clamped to at least one; the paper's configuration is one bank per
-    /// mat, i.e. four). The bank workers spawn here, once — batches reuse
-    /// them through the scheduler's submission queues.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Specu::builder()...banks(banks).build_parallel(), or \
-                ParallelSpecu::with_scheduler_config"
-    )]
-    pub fn new(context: SpeContext, banks: usize) -> Self {
-        ParallelSpecu::with_scheduler_config(context, SchedulerConfig::with_banks(banks))
-    }
-
     /// Builds a parallel datapath with explicit scheduler geometry
     /// (bank count, per-bank queue depth, health and chaos policies),
     /// retrying failed requests under [`RetryPolicy::standard`].
@@ -174,32 +161,6 @@ impl ParallelSpecu {
     /// [`try_submit`](BankScheduler::try_submit) access.
     pub fn scheduler(&self) -> &BankScheduler {
         &self.scheduler
-    }
-
-    /// The same datapath reporting telemetry into `recorder` (bank
-    /// fan-out plus everything the underlying context records).
-    ///
-    /// The worker pool is rebuilt over the recorder-attached context, so
-    /// the persistent workers report into `recorder` too. A tenant
-    /// registry attached via [`ParallelSpecu::with_registry`] carries
-    /// over to the rebuilt pool.
-    #[deprecated(
-        since = "0.8.0",
-        note = "attach the recorder at construction: Specu::builder().recorder(..)"
-    )]
-    #[must_use]
-    pub fn with_recorder(self, recorder: TelemetryHandle) -> Self {
-        let config = self.scheduler.config();
-        let registry = self.scheduler.registry().cloned();
-        let retry = self.retry;
-        let mut context = self.scheduler.context().clone();
-        context.set_recorder(recorder);
-        drop(self);
-        let rebuilt = match registry {
-            Some(registry) => ParallelSpecu::with_registry(context, config, registry),
-            None => ParallelSpecu::with_scheduler_config(context, config),
-        };
-        rebuilt.with_retry_policy(retry)
     }
 
     /// The number of SPECU banks.
@@ -670,6 +631,7 @@ where
 mod tests {
     use super::*;
     use crate::specu::Specu;
+    use spe_telemetry::TelemetryHandle;
     use std::sync::OnceLock;
 
     fn specu() -> Specu {

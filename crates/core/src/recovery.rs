@@ -24,8 +24,10 @@
 //! `tests/fault_recovery.rs` pins down.
 
 use crate::error::SpeError;
+use crate::specu::CipherLine;
 pub use spe_memristor::{FaultKind, FaultModel};
-use spe_telemetry::{Counter, Histogram, Recorder};
+use spe_telemetry::{noop, Counter, Histogram, Recorder, TelemetryHandle};
+use std::collections::HashMap;
 
 /// Cells per crossbar block (8×8 MLC-2 mat).
 const BLOCK_CELLS: usize = 64;
@@ -309,6 +311,202 @@ fn phys_cell(tweak: u64, region: u32, cell: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Outcome of a [`LineGuard`] integrity check.
+///
+/// The guard escalates a detected violation through the same spare-region
+/// ladder the write-verify path uses, so "integrity" and "fault recovery"
+/// share one remap surface instead of two bolted-on mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityEscalation {
+    /// The recorded parity matched (or the line was never guarded).
+    Clean,
+    /// Parity mismatched; the line migrated to spare region `region` and
+    /// its parity record was cleared — the caller must re-seal it there.
+    Remapped {
+        /// The violated line address.
+        line: u64,
+        /// The spare region now holding it.
+        region: u32,
+    },
+}
+
+/// The unified per-line integrity surface: one guard in front of the
+/// NVMM that folds every sealed line into a parity word on write and
+/// verifies it on read, escalating violations into the [`RemapTable`]
+/// spare-region ladder.
+///
+/// Before this layer, integrity lived in two places: keyed per-block
+/// tags (checked only on the resilient decrypt path) and the
+/// `FaultMap`-driven write-verify ladder (which only sees faults *it*
+/// injects). `LineGuard` closes the gap between them — silent
+/// corruption of data *at rest* (disturbance, drift, a targeted-cell
+/// attacker flipping bits between write and read) is detected at the
+/// line granularity the memory system actually transfers, and a
+/// detected violation walks the same ladder a write fault would:
+/// migrate the line one spare region up and demand a re-seal, or fail
+/// typed ([`SpeError::IntegrityViolation`]) when the spares are gone.
+///
+/// Telemetry: every verification counts under `integrity_checks`,
+/// every mismatch under `integrity_failures`, every migration under
+/// `remaps` — the same counters the tag and write-verify paths use.
+#[derive(Debug, Clone)]
+pub struct LineGuard {
+    spare_regions: u32,
+    /// Parity word per guarded line, keyed by line address.
+    parity: HashMap<u64, u64>,
+    /// Spare-region occupancy per line (created on first violation).
+    regions: HashMap<u64, u32>,
+    /// Violations detected over the guard's lifetime.
+    violations: u64,
+    recorder: TelemetryHandle,
+}
+
+impl LineGuard {
+    /// A guard with `spare_regions` escalation steps per line (0 means a
+    /// violation is immediately uncorrectable).
+    pub fn new(spare_regions: u32) -> Self {
+        LineGuard {
+            spare_regions,
+            parity: HashMap::new(),
+            regions: HashMap::new(),
+            violations: 0,
+            recorder: noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder.
+    pub fn set_recorder(&mut self, recorder: TelemetryHandle) {
+        self.recorder = recorder;
+    }
+
+    /// The keyed-fold parity word of a sealed line: every ciphertext
+    /// byte, block tweak and integrity tag participates, mixed through
+    /// the same splitmix finalizer as [`phys_cell`] so a single flipped
+    /// bit avalanches through the whole word.
+    pub fn parity_word(sealed: &CipherLine) -> u64 {
+        let mut acc = 0x5345_4355_5245_5041u64; // "SECUREPA"
+        for block in &sealed.blocks {
+            acc = splitmix(acc ^ block.tweak());
+            for byte in block.data() {
+                acc = splitmix(acc ^ byte as u64);
+            }
+            if let Some(tag) = block.tag() {
+                acc = splitmix(acc ^ tag);
+            }
+        }
+        acc
+    }
+
+    /// The parity word of any sealed-line representation: SPE crossbar
+    /// lines fold through [`parity_word`](LineGuard::parity_word),
+    /// conventional ciphertext bytes (AES/stream/i-NVMM) fold their data
+    /// and derivation address through the same mixer — the guard is
+    /// scheme-agnostic, exactly like the NVMM channel it sits on.
+    pub fn parity_of(sealed: &crate::engine::SealedLine) -> u64 {
+        match sealed {
+            crate::engine::SealedLine::Spe(line) => LineGuard::parity_word(line),
+            crate::engine::SealedLine::Bytes { data, address } => {
+                let mut acc = splitmix(0x5345_4355_5245_5041u64 ^ *address);
+                for byte in data {
+                    acc = splitmix(acc ^ *byte as u64);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Records the parity of `sealed` as the ground truth for
+    /// `line_addr` (called on every NVMM write-back).
+    pub fn protect(&mut self, line_addr: u64, sealed: &CipherLine) {
+        let word = LineGuard::parity_word(sealed);
+        self.parity.insert(line_addr, word);
+    }
+
+    /// [`protect`](LineGuard::protect) over any [`crate::engine::SealedLine`].
+    pub fn protect_sealed(&mut self, line_addr: u64, sealed: &crate::engine::SealedLine) {
+        let word = LineGuard::parity_of(sealed);
+        self.parity.insert(line_addr, word);
+    }
+
+    /// Verifies `sealed` against the recorded parity for `line_addr`
+    /// (called on every NVMM read). An unguarded line passes vacuously.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::IntegrityViolation`] when the parity mismatches and
+    /// every spare region is exhausted — the line is uncorrectable.
+    pub fn check(
+        &mut self,
+        line_addr: u64,
+        sealed: &CipherLine,
+    ) -> Result<IntegrityEscalation, SpeError> {
+        self.verify(line_addr, LineGuard::parity_word(sealed))
+    }
+
+    /// [`check`](LineGuard::check) over any [`crate::engine::SealedLine`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::IntegrityViolation`] on spare-region exhaustion,
+    /// exactly as [`check`](LineGuard::check).
+    pub fn check_sealed(
+        &mut self,
+        line_addr: u64,
+        sealed: &crate::engine::SealedLine,
+    ) -> Result<IntegrityEscalation, SpeError> {
+        self.verify(line_addr, LineGuard::parity_of(sealed))
+    }
+
+    fn verify(&mut self, line_addr: u64, actual: u64) -> Result<IntegrityEscalation, SpeError> {
+        self.recorder.add(Counter::IntegrityChecks, 1);
+        let Some(&expected) = self.parity.get(&line_addr) else {
+            return Ok(IntegrityEscalation::Clean);
+        };
+        if actual == expected {
+            return Ok(IntegrityEscalation::Clean);
+        }
+        self.violations += 1;
+        self.recorder.add(Counter::IntegrityFailures, 1);
+        let region = self.regions.entry(line_addr).or_insert(0);
+        if *region >= self.spare_regions {
+            self.recorder.add(Counter::Uncorrectable, 1);
+            return Err(SpeError::IntegrityViolation { tweak: line_addr });
+        }
+        *region += 1;
+        // The old copy is untrusted: drop its parity so the caller's
+        // re-seal re-arms the guard in the new region.
+        self.parity.remove(&line_addr);
+        self.recorder.add(Counter::Remaps, 1);
+        Ok(IntegrityEscalation::Remapped {
+            line: line_addr,
+            region: *region,
+        })
+    }
+
+    /// The spare region currently holding `line_addr` (0 = primary).
+    pub fn region_of(&self, line_addr: u64) -> u32 {
+        self.regions.get(&line_addr).copied().unwrap_or(0)
+    }
+
+    /// Lines with a recorded parity word.
+    pub fn guarded_lines(&self) -> usize {
+        self.parity.len()
+    }
+
+    /// Violations detected over the guard's lifetime.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+/// splitmix64 finalizer shared by [`phys_cell`] and the parity fold.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,5 +674,93 @@ mod tests {
         assert_eq!(ab, ba);
         assert_eq!(ab.cell_commits, 17);
         assert_eq!(ab.retries, 4);
+    }
+
+    mod line_guard {
+        use super::super::*;
+        use crate::key::Key;
+        use crate::request::{CipherRequest, SpeCipher};
+        use crate::specu::Specu;
+        use spe_telemetry::AtomicRecorder;
+        use std::sync::{Arc, OnceLock};
+
+        fn specu() -> &'static Specu {
+            static CACHE: OnceLock<Specu> = OnceLock::new();
+            CACHE.get_or_init(|| {
+                Specu::builder()
+                    .key(Key::from_seed(0x6A3D))
+                    .build()
+                    .expect("specu")
+            })
+        }
+
+        fn sealed(addr: u64) -> CipherLine {
+            let pt: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(31) ^ addr as u8);
+            specu()
+                .encrypt(CipherRequest::line(pt, addr).verified())
+                .expect("encrypt")
+                .into_line()
+                .expect("line")
+        }
+
+        #[test]
+        fn intact_lines_check_clean_and_unguarded_pass_vacuously() {
+            let mut guard = LineGuard::new(2);
+            let line = sealed(0x40);
+            guard.protect(0x40, &line);
+            assert_eq!(
+                guard.check(0x40, &line).expect("clean"),
+                IntegrityEscalation::Clean
+            );
+            assert_eq!(
+                guard.check(0x80, &line).expect("unguarded"),
+                IntegrityEscalation::Clean
+            );
+            assert_eq!(guard.violations(), 0);
+            assert_eq!(guard.guarded_lines(), 1);
+        }
+
+        #[test]
+        fn parity_sees_reordered_blocks_and_flipped_state() {
+            let line = sealed(0x100);
+            let base = LineGuard::parity_word(&line);
+            let mut reordered = line.clone();
+            reordered.blocks.swap(0, 1);
+            assert_ne!(base, LineGuard::parity_word(&reordered));
+        }
+
+        #[test]
+        fn violation_walks_the_spare_ladder_then_fails_typed() {
+            let recorder = Arc::new(AtomicRecorder::new());
+            let mut guard = LineGuard::new(1);
+            guard.set_recorder(recorder.clone());
+            let good = sealed(0x200);
+            let mut bad = good.clone();
+            bad.blocks.swap(0, 1);
+
+            guard.protect(0x200, &good);
+            // First violation: escalates into spare region 1 and clears
+            // the parity record pending a re-seal.
+            match guard.check(0x200, &bad).expect("remapped") {
+                IntegrityEscalation::Remapped { line, region } => {
+                    assert_eq!(line, 0x200);
+                    assert_eq!(region, 1);
+                }
+                other => panic!("expected remap, got {other:?}"),
+            }
+            assert_eq!(guard.region_of(0x200), 1);
+            // Re-seal in the new region, then violate again: the ladder
+            // is exhausted and the typed violation escapes.
+            guard.protect(0x200, &good);
+            match guard.check(0x200, &bad) {
+                Err(SpeError::IntegrityViolation { tweak }) => assert_eq!(tweak, 0x200),
+                other => panic!("expected IntegrityViolation, got {other:?}"),
+            }
+            assert_eq!(guard.violations(), 2);
+            assert_eq!(recorder.counter(Counter::IntegrityChecks), 2);
+            assert_eq!(recorder.counter(Counter::IntegrityFailures), 2);
+            assert_eq!(recorder.counter(Counter::Remaps), 1);
+            assert_eq!(recorder.counter(Counter::Uncorrectable), 1);
+        }
     }
 }

@@ -197,6 +197,29 @@ impl CipherRequest {
         self
     }
 
+    /// Checks the request for internally conflicting fields.
+    ///
+    /// [`with_tenant`](CipherRequest::with_tenant) and
+    /// [`with_key`](CipherRequest::with_key) both choose the key the
+    /// request runs under — a tenant tag resolves to that tenant's
+    /// *current* key, an explicit key overrides the datapath's. Carrying
+    /// both is ambiguous, and silently letting one win would run traffic
+    /// under a key the caller did not intend, so every datapath rejects
+    /// the combination up front.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeError::BadRequest`] when both a tenant tag and a key override
+    /// are set, regardless of the order the builders were called in.
+    pub fn validate(&self) -> Result<(), SpeError> {
+        if self.tenant.is_some() && self.key.is_some() {
+            return Err(SpeError::BadRequest(
+                "with_tenant conflicts with with_key: a tenant tag already selects the key",
+            ));
+        }
+        Ok(())
+    }
+
     /// Whether the request's deadline has passed at `now`.
     pub fn expired_at(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now > d)
@@ -441,6 +464,7 @@ pub trait SpeCipher {
 
 impl SpeCipher for SpeContext {
     fn encrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        request.validate()?;
         if let Some(key) = request.key {
             let request = CipherRequest {
                 key: None,
@@ -482,6 +506,7 @@ impl SpeCipher for SpeContext {
     }
 
     fn decrypt(&self, request: CipherRequest) -> Result<CipherResponse, SpeError> {
+        request.validate()?;
         if let Some(key) = request.key {
             let request = CipherRequest {
                 key: None,
@@ -689,6 +714,37 @@ mod tests {
         assert!(timed.expired_at(at + Duration::from_micros(1)));
         let budgeted = CipherRequest::block(*b"budget carrier!!").with_timeout(Duration::ZERO);
         assert!(budgeted.deadline.is_some());
+    }
+
+    #[test]
+    fn tenant_plus_key_is_a_typed_conflict_in_either_order() {
+        let s = specu();
+        let tenant = crate::tenant::TenantId::new(7);
+        let pt = *b"conflicted block";
+        for req in [
+            CipherRequest::block(pt)
+                .with_tenant(tenant)
+                .with_key(Key::from_seed(9)),
+            CipherRequest::block(pt)
+                .with_key(Key::from_seed(9))
+                .with_tenant(tenant),
+        ] {
+            assert!(matches!(req.validate(), Err(SpeError::BadRequest(_))));
+            assert!(matches!(
+                s.encrypt(req.clone()),
+                Err(SpeError::BadRequest(_))
+            ));
+            assert!(matches!(s.decrypt(req), Err(SpeError::BadRequest(_))));
+        }
+        // Either field alone stays valid.
+        CipherRequest::block(pt)
+            .with_tenant(tenant)
+            .validate()
+            .expect("tenant alone");
+        CipherRequest::block(pt)
+            .with_key(Key::from_seed(9))
+            .validate()
+            .expect("key alone");
     }
 
     #[test]

@@ -57,6 +57,7 @@
 use crate::chaos::{ChaosEvent, ChaosPolicy};
 use crate::error::SpeError;
 use crate::request::{CipherRequest, CipherResponse, CipherTicket, Payload, SpeCipher, TicketCell};
+use crate::scramble::AddressScrambler;
 use crate::specu::{SpeContext, BLOCKS_PER_LINE};
 use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use crate::tenant::TenantRegistry;
@@ -135,6 +136,10 @@ impl HealthPolicy {
     }
 }
 
+/// Line-address domain of the routing scrambler: a 32-bit power-of-two
+/// space, so the Feistel permutation never cycle-walks on the hot path.
+const ROUTING_DOMAIN: u64 = 1 << 32;
+
 /// Bank-scheduler geometry and resilience policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
@@ -148,6 +153,14 @@ pub struct SchedulerConfig {
     pub health: HealthPolicy,
     /// Deterministic fault injection (none by default).
     pub chaos: ChaosPolicy,
+    /// Route requests by their *scrambled* address: bank selection runs
+    /// the routing key through an [`AddressScrambler`] derived from the
+    /// pool context's key and epoch, so the physical bank access pattern
+    /// decorrelates from the logical address stream (an observer of
+    /// per-bank activity learns nothing about which logical lines are
+    /// hot). Off by default; ciphertexts are unaffected either way —
+    /// scrambling moves placement, never content.
+    pub scramble_routing: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -157,6 +170,7 @@ impl Default for SchedulerConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             health: HealthPolicy::default(),
             chaos: ChaosPolicy::none(),
+            scramble_routing: false,
         }
     }
 }
@@ -181,6 +195,13 @@ impl SchedulerConfig {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosPolicy) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// The same configuration with keyed scrambled-address bank routing.
+    #[must_use]
+    pub fn with_scrambled_routing(mut self) -> Self {
+        self.scramble_routing = true;
         self
     }
 }
@@ -547,6 +568,10 @@ pub struct BankScheduler {
     in_flight: Arc<AtomicU64>,
     /// Round-robin cursor for requests with no address affinity.
     cursor: AtomicUsize,
+    /// Keyed routing permutation ([`SchedulerConfig::scramble_routing`]):
+    /// bank selection sees scrambled addresses, so the per-bank access
+    /// pattern is placement-secret.
+    scrambler: Option<AddressScrambler>,
 }
 
 impl BankScheduler {
@@ -620,6 +645,12 @@ impl BankScheduler {
                     .expect("spawn SPECU bank worker")
             })
             .collect();
+        let scrambler = config.scramble_routing.then(|| {
+            let mut s =
+                AddressScrambler::new(context.routing_key(), context.key_epoch(), ROUTING_DOMAIN);
+            s.set_recorder(Arc::clone(context.recorder()));
+            s
+        });
         BankScheduler {
             banks,
             monitors,
@@ -630,6 +661,7 @@ impl BankScheduler {
             closed: AtomicBool::new(false),
             in_flight,
             cursor: AtomicUsize::new(0),
+            scrambler,
         }
     }
 
@@ -692,8 +724,13 @@ impl BankScheduler {
     /// The bank a request is routed to: its block tweak / line address,
     /// modulo the bank count — the same static address-interleaving a
     /// memory controller uses, so one hot bank backpressures without
-    /// stalling the others. Requests with no address (an empty sealed
-    /// line) round-robin. Health-aware selection
+    /// stalling the others. Under
+    /// [`SchedulerConfig::scramble_routing`] the address is first run
+    /// through the pool's keyed [`AddressScrambler`], so the *scrambled*
+    /// address determines placement: which bank serves a logical line is
+    /// a function of the key and epoch, not of the public address map.
+    /// Requests with no address (an empty sealed line) round-robin.
+    /// Health-aware selection
     /// ([`select_bank`](BankScheduler::select_bank)) starts from this
     /// preference.
     fn route(&self, request: &CipherRequest) -> usize {
@@ -707,7 +744,16 @@ impl BankScheduler {
                 .map(|b| b.tweak() / BLOCKS_PER_LINE as u64),
         };
         match key {
-            Some(k) => (k % banks as u64) as usize,
+            Some(k) => {
+                let routed = match &self.scrambler {
+                    // Fold the (rare) high bits in so distinct giant
+                    // addresses keep distinct routing keys, then permute
+                    // within the routing domain.
+                    Some(s) => s.scramble((k ^ (k >> 32)) % ROUTING_DOMAIN),
+                    None => k,
+                };
+                (routed % banks as u64) as usize
+            }
             None => self.cursor.fetch_add(1, Ordering::Relaxed) % banks,
         }
     }
@@ -1024,6 +1070,7 @@ pub(crate) fn execute_cipher(
     registry: Option<&TenantRegistry>,
     request: &CipherRequest,
 ) -> Result<CipherResponse, SpeError> {
+    request.validate()?;
     let resolved;
     let context = match request.tenant {
         Some(tenant) => match registry.and_then(|r| r.context(tenant)) {

@@ -415,29 +415,11 @@ impl SpeContext {
         }
     }
 
-    /// Builds a context by calibrating `config` and loading `key`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if calibration or PoE placement fails.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Specu::builder().key(key).config(config).build_context()"
-    )]
-    pub fn new(key: Key, config: SpecuConfig) -> Result<Self, SpeError> {
-        SpecuBuilder::new().key(key).config(config).build_context()
-    }
-
-    /// Builds a context over an existing calibration (cheap: no
-    /// recalibration; a fresh key epoch is drawn from the shared schedule
-    /// cache).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Specu::builder().key(key).calibration(calibration).build_context()"
-    )]
-    pub fn with_calibration(key: Key, calibration: Arc<SpeCalibration>) -> Self {
-        let epoch = calibration.schedule_cache.next_epoch();
-        SpeContext::from_parts(key, calibration, epoch, noop())
+    /// The loaded key register (crate-internal: the bank scheduler
+    /// derives its routing [`AddressScrambler`](crate::scramble) from
+    /// it; the key itself never leaves the crate).
+    pub(crate) fn routing_key(&self) -> &Key {
+        &self.key
     }
 
     /// The same context under a different key (cheap: `Arc` clone plus a
@@ -461,16 +443,6 @@ impl SpeContext {
     /// The typed epoch handle this context resolves schedules under.
     pub fn epoch_handle(&self) -> EpochHandle {
         self.epoch
-    }
-
-    /// The same context reporting datapath telemetry into `recorder`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the builder's .recorder(..) or SpeContext::set_recorder"
-    )]
-    pub fn with_recorder(mut self, recorder: TelemetryHandle) -> Self {
-        self.recorder = recorder;
-        self
     }
 
     /// Attaches a telemetry recorder in place.
@@ -995,48 +967,6 @@ impl Specu {
     /// ```
     pub fn builder() -> SpecuBuilder {
         SpecuBuilder::new()
-    }
-
-    /// Creates a SPECU with the default configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if calibration or PoE placement fails.
-    #[deprecated(since = "0.8.0", note = "use Specu::builder().key(key).build()")]
-    pub fn new(key: Key) -> Result<Self, SpeError> {
-        SpecuBuilder::new().key(key).build()
-    }
-
-    /// Creates a SPECU with an explicit configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpeError`] if calibration fails or the ILP cannot place
-    /// `poe_count` PoEs covering every cell.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Specu::builder().key(key).config(config).build()"
-    )]
-    pub fn with_config(key: Key, config: SpecuConfig) -> Result<Self, SpeError> {
-        SpecuBuilder::new().key(key).config(config).build()
-    }
-
-    /// Builds a SPECU over an existing calibration (no recalibration).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Specu::builder().key(key).calibration(calibration).build()"
-    )]
-    pub fn with_calibration(key: Key, calibration: Arc<SpeCalibration>) -> Self {
-        let epoch = calibration.schedule_cache.next_epoch();
-        Specu {
-            context: Some(SpeContext::from_parts(
-                key,
-                Arc::clone(&calibration),
-                epoch,
-                noop(),
-            )),
-            calibration,
-        }
     }
 
     /// The shared key-independent calibration.

@@ -43,6 +43,7 @@ pub mod backends;
 pub mod cache;
 pub mod campaign;
 pub mod config;
+pub mod datapath;
 pub mod engine;
 pub mod nvcache;
 pub mod power;
@@ -56,6 +57,7 @@ pub use backends::{
 pub use cache::{AccessOutcome, SetAssocCache};
 pub use campaign::{CampaignConfig, CampaignPoint, FaultCampaign};
 pub use config::SystemConfig;
+pub use datapath::MemoryDatapath;
 pub use engine::EncryptionEngine;
 pub use stats::SimStats;
 pub use system::System;

@@ -2,9 +2,10 @@
 
 use crate::cache::SetAssocCache;
 use crate::config::SystemConfig;
+use crate::datapath::MemoryDatapath;
 use crate::engine::EncryptionEngine;
 use crate::stats::SimStats;
-use spe_core::SealedLine;
+use spe_core::{IntegrityEscalation, SealedLine};
 use spe_telemetry::{noop, Counter, Histogram, Span, SpanTimer, TelemetryHandle};
 use spe_workloads::Access;
 use std::collections::HashMap;
@@ -21,9 +22,15 @@ pub struct System {
     engine: EncryptionEngine,
     channel_free_at: u64,
     /// When present, NVMM contents are actually sealed/opened through the
-    /// engine's [`spe_core::BlockEngine`] backend (keyed by line address)
-    /// instead of cost-only accounting.
-    sealed_store: Option<HashMap<u64, SealedLine>>,
+    /// engine's [`spe_core::BlockEngine`] backend instead of cost-only
+    /// accounting. Keyed by *physical slot* address; the value carries the
+    /// logical line address the ciphertext belongs to (placement may move
+    /// under start-gap, and an alias check beats a silent wrong open).
+    sealed_store: Option<HashMap<u64, (u64, SealedLine)>>,
+    /// The Secure Memory Unit stages in front of the NVMM: keyed placement
+    /// scrambling (+ optional start-gap) and the per-line integrity guard.
+    /// `None` is the legacy identity path.
+    datapath: Option<MemoryDatapath>,
     recorder: TelemetryHandle,
 }
 
@@ -44,6 +51,7 @@ impl System {
             engine,
             channel_free_at: 0,
             sealed_store: None,
+            datapath: None,
             recorder: noop(),
         }
     }
@@ -51,7 +59,24 @@ impl System {
     /// Attaches a telemetry recorder: NVMM channel traffic, queue delays
     /// and per-line latencies report into it.
     pub fn set_recorder(&mut self, recorder: TelemetryHandle) {
+        if let Some(dp) = &mut self.datapath {
+            dp.set_recorder(recorder.clone());
+        }
         self.recorder = recorder;
+    }
+
+    /// Installs a [`MemoryDatapath`]: every NVMM access is placed through
+    /// its scrambler/start-gap stages and every functional seal/open runs
+    /// under its integrity guard. The datapath inherits the system's
+    /// telemetry recorder.
+    pub fn attach_datapath(&mut self, mut datapath: MemoryDatapath) {
+        datapath.set_recorder(self.recorder.clone());
+        self.datapath = Some(datapath);
+    }
+
+    /// The installed datapath, if any (post-run inspection).
+    pub fn datapath(&self) -> Option<&MemoryDatapath> {
+        self.datapath.as_ref()
     }
 
     /// Switches the system to functional-encryption mode: every NVMM
@@ -175,22 +200,46 @@ impl System {
     /// latency, and exposes whatever the out-of-order window cannot hide.
     fn memory_read(&mut self, addr: u64, now: u64, stats: &mut SimStats) {
         let line = addr & !(self.config.line_bytes - 1);
-        if let Some(store) = &self.sealed_store {
-            if let Some(sealed) = store.get(&line) {
-                let opened = self.engine.open(sealed).expect("backend open");
-                assert_eq!(
-                    opened,
-                    Self::line_contents(line),
-                    "functional backend corrupted line {line:#x}"
-                );
-                stats.lines_opened += 1;
-                self.recorder.add(Counter::LinesOpened, 1);
+        let slot = match &self.datapath {
+            Some(dp) => dp.place(line),
+            None => line,
+        };
+        if let Some(store) = &mut self.sealed_store {
+            let mut drop_slot = false;
+            if let Some((logical, sealed)) = store.get(&slot) {
+                if *logical == line {
+                    let escalation = match &mut self.datapath {
+                        Some(dp) => dp
+                            .check(slot, sealed)
+                            .expect("integrity spare regions exhausted"),
+                        None => IntegrityEscalation::Clean,
+                    };
+                    match escalation {
+                        IntegrityEscalation::Clean => {
+                            let opened = self.engine.open(sealed).expect("backend open");
+                            assert_eq!(
+                                opened,
+                                Self::line_contents(line),
+                                "functional backend corrupted line {line:#x}"
+                            );
+                            stats.lines_opened += 1;
+                            self.recorder.add(Counter::LinesOpened, 1);
+                        }
+                        // The copy is untrusted until the next write-back
+                        // re-seals it in its spare region.
+                        IntegrityEscalation::Remapped { .. } => drop_slot = true,
+                    }
+                }
+            }
+            if drop_slot {
+                store.remove(&slot);
             }
         }
-        let cost = self.engine.on_read(line, now);
+        let cost = self.engine.on_read(slot, now);
         let start = now.max(self.channel_free_at);
         let queue_delay = start - now;
-        let service = self.config.memory_latency + cost.latency + cost.occupancy;
+        let scramble = self.datapath.as_ref().map_or(0, |d| d.latency_cycles());
+        let service = self.config.memory_latency + cost.latency + cost.occupancy + scramble;
         // The engine is pipelined: its latency delays the requester but the
         // channel frees after the raw transfer.
         self.channel_free_at = start + self.config.memory_occupancy as u64;
@@ -216,7 +265,11 @@ impl System {
             return;
         }
         stats.prefetches += 1;
-        let _ = self.engine.on_read(line, now);
+        let slot = match &self.datapath {
+            Some(dp) => dp.place(line),
+            None => line,
+        };
+        let _ = self.engine.on_read(slot, now);
         let start = now.max(self.channel_free_at);
         self.channel_free_at = start + self.config.memory_occupancy as u64;
         if let Some(evicted) = out.writeback {
@@ -228,16 +281,25 @@ impl System {
     /// cost) but does not stall the core directly.
     fn memory_write(&mut self, addr: u64, now: u64, stats: &mut SimStats) {
         let line = addr & !(self.config.line_bytes - 1);
+        let slot = match &mut self.datapath {
+            Some(dp) => dp.place_for_write(line),
+            None => line,
+        };
         if let Some(store) = &mut self.sealed_store {
+            // The tweak stays *logical*: placement is routing, not crypto,
+            // so ciphertext is identical with scrambling on or off.
             let sealed = self
                 .engine
                 .seal(&Self::line_contents(line), line)
                 .expect("backend seal");
-            store.insert(line, sealed);
+            if let Some(dp) = &mut self.datapath {
+                dp.protect(slot, &sealed);
+            }
+            store.insert(slot, (line, sealed));
             stats.lines_sealed += 1;
             self.recorder.add(Counter::LinesSealed, 1);
         }
-        let cost = self.engine.on_write(line, now);
+        let cost = self.engine.on_write(slot, now);
         let start = now.max(self.channel_free_at);
         self.channel_free_at = start + self.config.memory_occupancy as u64;
         self.recorder.add(Counter::NvmmWrites, 1);
@@ -372,6 +434,63 @@ mod tests {
         assert!(
             stats.lines_opened > 0,
             "re-read write-backs should open sealed lines"
+        );
+    }
+
+    #[test]
+    fn scrambled_datapath_still_roundtrips_and_guards() {
+        use spe_core::Key;
+        let config = SystemConfig::paper();
+        let span = 2 * config.l2_bytes;
+        let lines = span / 64 * 2; // domain covers the span, no aliasing
+        let write_pass = (0..span).step_by(64).map(|addr| Access {
+            addr,
+            is_write: true,
+            gap: 1,
+        });
+        let read_pass = (0..span).step_by(64).map(|addr| Access {
+            addr,
+            is_write: false,
+            gap: 1,
+        });
+        let mut system = System::new(config, EncryptionEngine::aes());
+        system.enable_functional();
+        system.attach_datapath(
+            MemoryDatapath::new(lines, 64).with_scrambler(&Key::from_seed(0x5EC), 0),
+        );
+        let stats = system.run(write_pass.chain(read_pass), u64::MAX);
+        assert!(stats.lines_sealed > 0, "write-backs should seal lines");
+        assert!(
+            stats.lines_opened > 0,
+            "scrambled placement must still find and open sealed lines"
+        );
+        let guard = system.datapath().expect("datapath").guard();
+        assert!(guard.guarded_lines() > 0, "seals arm the integrity guard");
+        assert_eq!(guard.violations(), 0, "no attacker, no violations");
+    }
+
+    #[test]
+    fn scrambling_leaves_timing_shape_intact() {
+        use spe_core::Key;
+        // Same trace, identity vs scrambled placement: the scrambler adds
+        // one cycle per NVMM read, so cycles may differ slightly, but the
+        // miss counts (what placement could corrupt) must match.
+        let profile = BenchProfile::mcf();
+        let mut plain = System::new(SystemConfig::paper(), EncryptionEngine::aes());
+        let base = plain.run(TraceGenerator::new(&profile, 9), 200_000);
+        let mut scrambled = System::new(SystemConfig::paper(), EncryptionEngine::aes());
+        scrambled.attach_datapath(
+            MemoryDatapath::new(1 << 20, 64).with_scrambler(&Key::from_seed(0x77), 0),
+        );
+        let s = scrambled.run(TraceGenerator::new(&profile, 9), 200_000);
+        assert_eq!(s.l2_misses, base.l2_misses, "placement is post-cache");
+        assert_eq!(s.memory_writes, base.memory_writes);
+        assert!(s.cycles >= base.cycles, "scrambling never speeds reads up");
+        assert!(
+            (s.cycles as f64) < base.cycles as f64 * 1.02,
+            "one decoder cycle must stay in the noise ({} vs {})",
+            s.cycles,
+            base.cycles
         );
     }
 

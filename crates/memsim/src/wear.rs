@@ -6,6 +6,13 @@
 //! single spare line through memory, moving one line every `psi` writes.
 //! The paper's §2 cites it as the defence against endurance-exhaustion
 //! attacks; the `wear_leveling` bench demonstrates the flattening.
+//!
+//! `StartGap` also implements [`Remapper`], so it composes with the keyed
+//! [`spe_core::AddressScrambler`] through [`spe_core::ComposedRemapper`]:
+//! the scrambler randomises *placement* while start-gap keeps rotating it
+//! for endurance — the Secure Memory Unit stacks both.
+
+use spe_core::Remapper;
 
 /// Start-gap address remapper over `lines` logical lines (one spare
 /// physical line is added internally).
@@ -101,6 +108,19 @@ impl StartGap {
     }
 }
 
+impl Remapper for StartGap {
+    /// Logical lines only — the spare makes the *physical* range one line
+    /// larger (`lines + 1`), which is why a [`spe_core::ComposedRemapper`]
+    /// must put the scrambler first and start-gap second.
+    fn domain(&self) -> u64 {
+        self.lines
+    }
+
+    fn remap(&self, logical: u64) -> u64 {
+        self.map(logical)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +182,22 @@ mod tests {
         sg.on_write(0);
         let flatness = sg.wear_flatness().expect("one write recorded");
         assert!(flatness.is_finite() && flatness >= 1.0);
+    }
+
+    #[test]
+    fn composes_with_the_keyed_scrambler() {
+        use spe_core::{AddressScrambler, ComposedRemapper, Key};
+        let lines = 64;
+        let scrambler = AddressScrambler::new(&Key::from_seed(0xC0DE), 0, lines);
+        let composed = ComposedRemapper::new(scrambler, StartGap::new(lines, 10));
+        // Still injective over the whole domain, into the lines+1 range.
+        let physical: HashSet<u64> = (0..lines).map(|l| composed.remap(l)).collect();
+        assert_eq!(physical.len(), lines as usize);
+        assert!(physical.iter().all(|p| *p <= lines));
+        // And the composition actually scrambles: start-gap alone is the
+        // identity before any gap movement, so divergence is the scrambler.
+        let moved = (0..lines).filter(|l| composed.remap(*l) != *l).count();
+        assert!(moved > lines as usize / 2, "only {moved} lines moved");
     }
 
     #[test]

@@ -109,11 +109,18 @@ pub enum Counter {
     LinesSealed,
     /// Lines opened (decrypted) by the memory-side engine.
     LinesOpened,
+    // ---- scramble + integrity datapath ----
+    /// Line addresses permuted by the keyed address scrambler (placement
+    /// remaps: routing, storage or wear-leveling composition).
+    ScrambleRemaps,
+    /// Per-line integrity surface checks performed by a `LineGuard`
+    /// (parity verifications; tag checks count under `TagsVerified`).
+    IntegrityChecks,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 43;
+    pub const COUNT: usize = 45;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -160,6 +167,8 @@ impl Counter {
         Counter::NvmmWrites,
         Counter::LinesSealed,
         Counter::LinesOpened,
+        Counter::ScrambleRemaps,
+        Counter::IntegrityChecks,
     ];
 
     /// Index into the recorder's counter table.
@@ -213,6 +222,8 @@ impl Counter {
             Counter::NvmmWrites => "nvmm_writes",
             Counter::LinesSealed => "lines_sealed",
             Counter::LinesOpened => "lines_opened",
+            Counter::ScrambleRemaps => "scramble_remaps",
+            Counter::IntegrityChecks => "integrity_checks",
         }
     }
 }
@@ -400,11 +411,13 @@ pub enum Span {
     Campaign,
     /// One memory-system simulation run.
     Simulation,
+    /// One keyed address-scramble permutation (placement remap cost).
+    ScrambleLatency,
 }
 
 impl Span {
     /// Number of spans.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every span in canonical snapshot order.
     pub const ALL: [Span; Span::COUNT] = [
@@ -415,6 +428,7 @@ impl Span {
         Span::ScheduleApply,
         Span::Campaign,
         Span::Simulation,
+        Span::ScrambleLatency,
     ];
 
     /// Index into the recorder's span table.
@@ -432,6 +446,7 @@ impl Span {
             Span::ScheduleApply => "schedule_apply",
             Span::Campaign => "campaign",
             Span::Simulation => "simulation",
+            Span::ScrambleLatency => "scramble_latency",
         }
     }
 }
