@@ -26,6 +26,27 @@ cargo test -q --workspace --offline
 echo "== solver equivalence smoke (sparse factorization vs dense oracle)"
 cargo test -q --offline --test solver_equivalence
 
+echo "== power-trace side-channel smoke"
+# power_bench gates the power model: CPA against the supply-rail trace
+# recovers >= 50% of keyed first-round PoE slots on the default schedule
+# (chance is 1/16), collapses >= 10x under PowerBalanced scheduling, and
+# the balanced/unbalanced ciphertexts stay bit-identical; it emits
+# BENCH_power.json with fJ/line accounting and the balancing overhead.
+# Runs before reproduce_all, which re-checks the JSON's schema.
+timeout 300 cargo run --release --offline -p spe-bench --bin power_bench
+if ! grep -q '"gate_cpa_success_pass": true' BENCH_power.json; then
+  echo "FAIL: BENCH_power.json unbalanced-CPA success gate did not pass" >&2
+  exit 1
+fi
+if ! grep -q '"gate_attack_collapse_pass": true' BENCH_power.json; then
+  echo "FAIL: BENCH_power.json attack-collapse gate (>= 10x) did not pass" >&2
+  exit 1
+fi
+if ! grep -q '"gate_ciphertext_equality_pass": true' BENCH_power.json; then
+  echo "FAIL: BENCH_power.json ciphertext-equality gate did not pass" >&2
+  exit 1
+fi
+
 echo "== reproduce_all smoke"
 cargo run --release --offline -p spe-bench --bin reproduce_all
 

@@ -1,0 +1,188 @@
+//! Power-trace side channel: per-line energy accounting, correlation
+//! power analysis (CPA) against the supply rail, and the cost of the
+//! power-balanced schedule that defeats it.
+//!
+//! Emits `BENCH_power.json` at the workspace root and enforces three
+//! gates:
+//!
+//! * **CPA succeeds when unbalanced**: against the default schedule the
+//!   attacker must recover well above chance (1/16) of the keyed PoE
+//!   slots — otherwise the bench is not measuring a real leak.
+//! * **attack collapse ≥ 10×**: under
+//!   [`SchedulePolicy::PowerBalanced`] the CPA success rate must drop at
+//!   least tenfold (in practice to zero — a constant trace has no
+//!   variance for the correlation statistic to bite on).
+//! * **ciphertext equality**: the same lines sealed under both policies
+//!   are bit-identical — balancing pads the power trace with dummy
+//!   pulses, it never touches the level arithmetic.
+
+use spe_bench::gate_slack;
+use spe_core::attack::power_trace_cpa;
+use spe_core::{CipherRequest, Key, SchedulePolicy, SpeCipher, Specu};
+use spe_telemetry::{AtomicRecorder, Counter};
+use std::sync::Arc;
+
+/// Lines sealed in the energy-accounting phase.
+const ENERGY_LINES: u64 = 32;
+
+/// CPA phase: tweaks attacked, known-plaintext traces per tweak, and
+/// first-round schedule slots attacked per tweak.
+const CPA_TWEAKS: [u64; 2] = [0x40, 0x41];
+const CPA_TRACES: usize = 32;
+const CPA_DEPTH: usize = 4;
+
+/// Unbalanced-CPA gate: the attacker must recover at least this fraction
+/// of slots (chance is 1/16 ≈ 0.06, so 0.5 is ≈ 8× above chance).
+const MIN_OPEN_SUCCESS: f64 = 0.5;
+
+/// Collapse gate: balanced success × this ≤ unbalanced success.
+const MIN_COLLAPSE: f64 = 10.0;
+
+fn line_pattern(addr: u64) -> [u8; 64] {
+    core::array::from_fn(|i| {
+        (addr
+            .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+            .wrapping_add(i as u64 * 0x65)
+            >> 29) as u8
+    })
+}
+
+fn main() {
+    let slack = gate_slack();
+    let mut unbalanced = Specu::builder()
+        .key(Key::from_seed(0x70E2))
+        .build()
+        .expect("specu");
+    let mut balanced = Specu::builder()
+        .key(Key::from_seed(0x70E2))
+        .calibration(Arc::clone(unbalanced.calibration()))
+        .schedule_policy(SchedulePolicy::PowerBalanced)
+        .build()
+        .expect("specu");
+
+    // Phase 1: per-line energy under both policies, plus the ciphertext
+    // equality gate — balancing must change the trace and nothing else.
+    let open_rec = Arc::new(AtomicRecorder::new());
+    let flat_rec = Arc::new(AtomicRecorder::new());
+    unbalanced.attach_recorder(open_rec.clone());
+    balanced.attach_recorder(flat_rec.clone());
+    let equality_pass = (0..ENERGY_LINES).all(|i| {
+        let addr = i * 0x40;
+        let pt = line_pattern(addr);
+        let a = unbalanced
+            .encrypt(CipherRequest::line(pt, addr))
+            .expect("unbalanced seal")
+            .into_line()
+            .expect("line");
+        let b = balanced
+            .encrypt(CipherRequest::line(pt, addr))
+            .expect("balanced seal")
+            .into_line()
+            .expect("line");
+        a == b
+    });
+    println!("power/equality: ciphertext identical balanced vs unbalanced = {equality_pass}");
+    assert!(equality_pass, "power balancing leaked into ciphertext");
+
+    let open_trace = open_rec.power_trace();
+    let flat_trace = flat_rec.power_trace();
+    let budget_fj = unbalanced.calibration().power_budget_fj();
+    let samples = open_trace.len();
+    assert_eq!(flat_trace.len(), samples, "same schedule, same train count");
+    assert!(
+        open_trace.summary().max_fj <= budget_fj,
+        "the uniform budget must dominate every real train energy"
+    );
+    assert!(
+        flat_trace
+            .samples()
+            .iter()
+            .all(|s| s.energy_fj == budget_fj),
+        "every balanced slot must draw exactly the budget"
+    );
+    let dummy_pulses = flat_rec.snapshot().counter(Counter::DummyPulses);
+    assert_eq!(dummy_pulses, samples as u64, "one dummy top-up per train");
+    let mean_fj_per_line = open_trace.total_fj() as f64 / ENERGY_LINES as f64;
+    let balanced_overhead = flat_trace.total_fj() as f64 / open_trace.total_fj() as f64;
+    println!(
+        "power/energy: {samples} trains over {ENERGY_LINES} lines, \
+         {mean_fj_per_line:.0} fJ/line unbalanced, budget {budget_fj} fJ/train, \
+         balanced overhead {balanced_overhead:.2}x"
+    );
+
+    // Phase 2: CPA against both policies. The attacker sees only the
+    // ordered energies; the keyed PoE order is what it tries to recover.
+    let ctx = unbalanced.context().expect("context").clone();
+    let open = power_trace_cpa(&ctx, &CPA_TWEAKS, CPA_TRACES, CPA_DEPTH).expect("open cpa");
+    let closed = power_trace_cpa(
+        &ctx.with_schedule_policy(SchedulePolicy::PowerBalanced),
+        &CPA_TWEAKS,
+        CPA_TRACES,
+        CPA_DEPTH,
+    )
+    .expect("balanced cpa");
+
+    let min_open = MIN_OPEN_SUCCESS / slack;
+    let success_pass = open.success_rate() >= min_open;
+    println!(
+        "power/cpa unbalanced: success {:.3} over {} slots ({} candidates, \
+         chance {:.3}), mean rank {:.2} (gate >= {min_open})",
+        open.success_rate(),
+        open.slots,
+        open.candidates,
+        1.0 / open.candidates as f64,
+        open.mean_rank()
+    );
+    assert!(
+        success_pass,
+        "CPA must beat the unbalanced schedule: {:.3} < {min_open}",
+        open.success_rate()
+    );
+
+    let min_collapse = MIN_COLLAPSE / slack;
+    let collapse_pass = closed.success_rate() * min_collapse <= open.success_rate();
+    println!(
+        "power/cpa balanced: success {:.3}, mean rank {:.2} \
+         (gate {min_collapse}x collapse)",
+        closed.success_rate(),
+        closed.mean_rank()
+    );
+    assert!(
+        collapse_pass,
+        "balanced schedule did not collapse the CPA {min_collapse}x: \
+         {:.3} vs {:.3}",
+        closed.success_rate(),
+        open.success_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"energy_lines\": {ENERGY_LINES},\n  \
+         \"train_samples\": {samples},\n  \
+         \"unbalanced_mean_fj_per_line\": {mean_fj_per_line:.0},\n  \
+         \"power_budget_fj_per_train\": {budget_fj},\n  \
+         \"balanced_overhead\": {balanced_overhead:.2},\n  \
+         \"dummy_pulses\": {dummy_pulses},\n  \
+         \"cpa_tweaks\": {},\n  \
+         \"cpa_traces\": {CPA_TRACES},\n  \
+         \"cpa_depth\": {CPA_DEPTH},\n  \
+         \"cpa_candidates\": {},\n  \
+         \"cpa_unbalanced_success\": {:.4},\n  \
+         \"cpa_unbalanced_mean_rank\": {:.2},\n  \
+         \"cpa_balanced_success\": {:.4},\n  \
+         \"cpa_balanced_mean_rank\": {:.2},\n  \
+         \"gate_cpa_success_min\": {min_open},\n  \
+         \"gate_cpa_success_pass\": {success_pass},\n  \
+         \"gate_attack_collapse_min\": {min_collapse},\n  \
+         \"gate_attack_collapse_pass\": {collapse_pass},\n  \
+         \"gate_ciphertext_equality_pass\": {equality_pass}\n}}\n",
+        CPA_TWEAKS.len(),
+        open.candidates,
+        open.success_rate(),
+        open.mean_rank(),
+        closed.success_rate(),
+        closed.mean_rank(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_power.json");
+    std::fs::write(path, &json).expect("write BENCH_power.json");
+    println!("power/BENCH_power.json written:\n{json}");
+}

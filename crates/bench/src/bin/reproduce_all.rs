@@ -7,10 +7,12 @@
 use spe_bench::runs::{mean_encrypted, mean_overhead, run_matrix, SCHEMES};
 use spe_bench::Table;
 use spe_core::analysis::{brute_force_full, brute_force_known_ilp, cold_boot_window};
-use spe_core::attack::{access_pattern_correlation, targeted_cell_attack, wrong_order_decrypt};
+use spe_core::attack::{
+    access_pattern_correlation, power_trace_cpa, targeted_cell_attack, wrong_order_decrypt,
+};
 use spe_core::{
-    AddressScrambler, IdentityRemapper, Key, SpeCalibration, Specu, SpecuConfig, TenantId,
-    TenantRegistry,
+    AddressScrambler, IdentityRemapper, Key, SchedulePolicy, SpeCalibration, Specu, SpecuConfig,
+    TenantId, TenantRegistry,
 };
 use spe_ilp::PlacementProblem;
 use spe_memristor::{DeviceParams, MlcLevel, PulseWidthSearch};
@@ -112,6 +114,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  correlation attack  {corr_open:.3} -> {corr_scr:.4}; targeted cell {cell_open:.3} -> {cell_scr:.4}"
     );
+
+    // Power-trace side channel: CPA against the supply rail, before and
+    // after power-balanced scheduling (reduced scale; power_bench carries
+    // the CI gates).
+    println!("\nPower-trace side channel (CPA vs balanced schedule):");
+    let ctx = specu.context()?.clone();
+    let open = power_trace_cpa(&ctx, &[0x40], 16, 2)?;
+    let closed = power_trace_cpa(
+        &ctx.with_schedule_policy(SchedulePolicy::PowerBalanced),
+        &[0x40],
+        16,
+        2,
+    )?;
+    println!(
+        "  CPA success {:.3} (chance {:.3}) -> balanced {:.3}; mean PoE rank {:.1} -> {:.1}",
+        open.success_rate(),
+        1.0 / open.candidates as f64,
+        closed.success_rate(),
+        open.mean_rank(),
+        closed.mean_rank()
+    );
+    // Schema check on power_bench's JSON artifact (ci.sh runs that bin
+    // first; standalone runs just note its absence).
+    let power_json = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_power.json");
+    match std::fs::read_to_string(power_json) {
+        Ok(json) => {
+            let required = [
+                "\"energy_lines\"",
+                "\"unbalanced_mean_fj_per_line\"",
+                "\"power_budget_fj_per_train\"",
+                "\"balanced_overhead\"",
+                "\"cpa_unbalanced_success\"",
+                "\"cpa_balanced_success\"",
+                "\"gate_cpa_success_pass\"",
+                "\"gate_attack_collapse_pass\"",
+                "\"gate_ciphertext_equality_pass\"",
+            ];
+            for key in required {
+                if !json.contains(key) {
+                    return Err(format!("BENCH_power.json is missing the {key} field").into());
+                }
+            }
+            println!(
+                "  BENCH_power.json schema ok ({} required fields present)",
+                required.len()
+            );
+        }
+        Err(_) => println!("  BENCH_power.json not found (run power_bench to emit it)"),
+    }
 
     // Multi-tenant quick check: register, rotate, observe the epoch bump.
     let calibration = Arc::new(SpeCalibration::new(SpecuConfig::default())?);

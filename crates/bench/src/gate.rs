@@ -1,0 +1,56 @@
+//! Wall-clock gate slack for heterogeneous CI hosts.
+//!
+//! The bench binaries assert ratio gates (cached speedup ≥ 5×, scrambled
+//! latency ≤ 1.3× plain, attack collapse ≥ 10×). The ratios are robust to
+//! absolute machine speed but not to noisy shared runners, so CI can widen
+//! every gate uniformly by setting `BENCH_GATE_SLACK` to a factor ≥ 1.0:
+//! lower bounds are divided by the slack, upper bounds multiplied by it.
+//! The default (unset) is 1.0 — the gates as written.
+
+/// Parses a slack factor, rejecting anything that would *tighten* a gate.
+///
+/// Returns `None` for unparsable, non-finite, or sub-1.0 values so the
+/// caller can fall back to 1.0 and warn, rather than silently hardening
+/// the gates on a typo.
+fn parse_slack(raw: &str) -> Option<f64> {
+    match raw.trim().parse::<f64>() {
+        Ok(s) if s.is_finite() && s >= 1.0 => Some(s),
+        _ => None,
+    }
+}
+
+/// The gate slack factor from `BENCH_GATE_SLACK` (default 1.0).
+///
+/// Invalid values are ignored with a warning on stderr; the slack is
+/// never allowed below 1.0, so the env var can only relax gates.
+pub fn gate_slack() -> f64 {
+    match std::env::var("BENCH_GATE_SLACK") {
+        Ok(raw) => parse_slack(&raw).unwrap_or_else(|| {
+            eprintln!("warning: ignoring BENCH_GATE_SLACK={raw:?} (need a finite factor >= 1.0)");
+            1.0
+        }),
+        Err(_) => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_relaxing_factors() {
+        assert_eq!(parse_slack("1.0"), Some(1.0));
+        assert_eq!(parse_slack("2.5"), Some(2.5));
+        assert_eq!(parse_slack(" 10 "), Some(10.0));
+    }
+
+    #[test]
+    fn rejects_tightening_or_garbage() {
+        assert_eq!(parse_slack("0.5"), None);
+        assert_eq!(parse_slack("-3"), None);
+        assert_eq!(parse_slack("nan"), None);
+        assert_eq!(parse_slack("inf"), None);
+        assert_eq!(parse_slack("fast"), None);
+        assert_eq!(parse_slack(""), None);
+    }
+}

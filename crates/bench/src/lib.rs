@@ -8,10 +8,12 @@
 #![deny(unsafe_code)]
 
 pub mod args;
+pub mod gate;
 pub mod microbench;
 pub mod runs;
 pub mod table;
 
 pub use args::Args;
+pub use gate::gate_slack;
 pub use microbench::{Bench, Measurement};
 pub use table::Table;

@@ -20,9 +20,10 @@
 
 use crate::error::SpeError;
 use crate::scramble::Remapper;
-use crate::specu::{Specu, BLOCK_BYTES};
-use spe_crossbar::CellAddr;
+use crate::specu::{SpeContext, Specu, BLOCK_BYTES};
+use spe_crossbar::{CellAddr, Dims};
 use spe_memristor::Pulse;
+use std::sync::Arc;
 
 /// Result of the Fig. 2b wrong-order experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -372,6 +373,203 @@ pub fn targeted_cell_attack(placement: &dyn Remapper, trials: usize) -> Scramble
     ScrambleAttackReport { trials, hits }
 }
 
+/// Outcome of the correlation power analysis against the supply rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerAttackReport {
+    /// Schedule slots attacked (first-round train positions, across all
+    /// tweaks).
+    pub slots: usize,
+    /// Slots where the true PoE was the strict top-ranked candidate.
+    pub recovered: usize,
+    /// Sum over slots of the true PoE's rank (0 = strict winner; ties
+    /// count against the attacker, so an information-free trace ranks the
+    /// truth last).
+    pub rank_sum: usize,
+    /// Candidate PoEs per slot.
+    pub candidates: usize,
+    /// Known-plaintext traces collected per tweak.
+    pub traces: usize,
+}
+
+impl PowerAttackReport {
+    /// Fraction of slots whose PoE the attacker recovered outright.
+    pub fn success_rate(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean rank of the true PoE (0 = always recovered;
+    /// `candidates - 1` = never distinguishable from the field).
+    pub fn mean_rank(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.rank_sum as f64 / self.slots as f64
+        }
+    }
+}
+
+/// Pearson correlation; 0.0 when either side has no variance (a
+/// power-balanced trace is constant, which is exactly the defence).
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (a, b) in x.iter().zip(y) {
+        let (dx, dy) = (a - mx, b - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+/// Correlation power analysis (CPA) against the per-train power trace.
+///
+/// The adversary of §3 extended with a supply-rail probe: for each of
+/// `traces` *known* plaintexts it records the ordered per-train energy
+/// samples of one block encryption, then, for each first-round schedule
+/// slot, correlates the observed slot energies across traces against the
+/// leakage predicted for every candidate PoE (`Σ at²·g(plaintext)` over
+/// the candidate's member cells — the same `v²·g` physics the datapath
+/// dissipates). The candidate ranking recovers the keyed PoE *order*,
+/// the very secret the schedule permutation protects.
+///
+/// Only the first `depth` slots of the first round are attacked: the
+/// prediction models the pre-train state as the plaintext, which degrades
+/// as earlier trains rewrite overlapping cells (the attacker cannot
+/// advance the state model without already knowing the keyed steps).
+///
+/// Against [`crate::SchedulePolicy::PowerBalanced`] every slot draws the
+/// constant budget, the correlation statistic has no variance to bite on,
+/// and the ranking collapses (ties rank the truth last).
+///
+/// The attack uses only the *ordered energies* of the trace — the
+/// `poe_index` annotations on the samples are ground truth for scoring,
+/// never attacker input.
+///
+/// # Errors
+///
+/// Propagates [`SpeError`] from the SPECU; [`SpeError::BadRequest`] if
+/// the context emits no power trace (closed-loop contexts always do).
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `traces < 2`.
+pub fn power_trace_cpa(
+    ctx: &SpeContext,
+    tweaks: &[u64],
+    traces: usize,
+    depth: usize,
+) -> Result<PowerAttackReport, SpeError> {
+    assert!(depth > 0, "attack at least one slot");
+    assert!(traces >= 2, "correlation needs at least two traces");
+    use spe_telemetry::AtomicRecorder;
+    let mut probe = ctx.clone();
+    let recorder = Arc::new(AtomicRecorder::new());
+    probe.set_recorder(recorder.clone());
+
+    let cal = Arc::clone(probe.calibration());
+    let dims = Dims::square8();
+    let poes = cal.addresses().poes().to_vec();
+    let n = poes.len();
+    let depth = depth.min(n);
+
+    // Candidate leakage geometry: per PoE, the (flat index, at²) pairs of
+    // its member cells. Public knowledge — placement and kernel are
+    // hardware, not key.
+    let geometry: Vec<Vec<(usize, f64)>> = poes
+        .iter()
+        .map(|poe| {
+            cal.train_members(*poe, 1.0)
+                .iter()
+                .map(|m| {
+                    let (dr, dc) = m.offset_from(*poe);
+                    let at = cal.kernel().at(dr, dc);
+                    (dims.index(*m), at * at)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut report = PowerAttackReport {
+        slots: 0,
+        recovered: 0,
+        rank_sum: 0,
+        candidates: n,
+        traces,
+    };
+    for &tweak in tweaks {
+        // Ground truth for scoring: the keyed first-round PoE order.
+        let truth: Vec<CellAddr> = probe
+            .schedule(tweak)
+            .steps()
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
+        let mut observed = vec![vec![0.0f64; traces]; depth];
+        let mut predicted = vec![vec![0.0f64; traces]; n];
+        for t in 0..traces {
+            let pt: [u8; BLOCK_BYTES] = {
+                let mut out = [0u8; BLOCK_BYTES];
+                for (i, b) in out.iter_mut().enumerate() {
+                    *b = trial_mix(tweak ^ ((t * BLOCK_BYTES + i) as u64) << 8) as u8;
+                }
+                out
+            };
+            recorder.reset();
+            probe.encrypt_block(&pt, tweak)?;
+            let trace = recorder.power_trace().into_samples();
+            if trace.len() < depth {
+                return Err(SpeError::BadRequest(
+                    "power_trace_cpa: context emitted no per-train power trace",
+                ));
+            }
+            for (s, row) in observed.iter_mut().enumerate() {
+                row[t] = trace[s].energy_fj as f64;
+            }
+            let levels = crate::specu::bytes_to_level_values(&pt);
+            for (p, members) in geometry.iter().enumerate() {
+                predicted[p][t] = members
+                    .iter()
+                    .map(|(idx, w)| w * crate::discrete::CONDUCTANCE[levels[*idx] as usize] as f64)
+                    .sum();
+            }
+        }
+        for (s, row) in observed.iter().enumerate() {
+            let scores: Vec<f64> = predicted.iter().map(|p| pearson(row, p).abs()).collect();
+            let true_idx = poes
+                .iter()
+                .position(|p| *p == truth[s])
+                .expect("schedule PoEs come from the LUT");
+            // Ties count as beating the truth: an attacker who cannot
+            // separate candidates has recovered nothing.
+            let rank = scores
+                .iter()
+                .enumerate()
+                .filter(|(i, v)| *i != true_idx && **v >= scores[true_idx])
+                .count();
+            report.slots += 1;
+            report.rank_sum += rank;
+            if rank == 0 {
+                report.recovered += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
 fn permutations(n: usize) -> Vec<Vec<usize>> {
     if n == 1 {
         return vec![vec![0]];
@@ -481,6 +679,55 @@ mod tests {
             "scrambled adjacency {} should be near 3/4096",
             scrambled.success_rate()
         );
+    }
+
+    #[test]
+    fn cpa_recovers_early_slots_and_collapses_when_balanced() {
+        use crate::specu::SchedulePolicy;
+        let s = specu();
+        let ctx = s.context().expect("context").clone();
+        let open = power_trace_cpa(&ctx, &[0, 1], 32, 4).expect("cpa");
+        assert_eq!(open.candidates, 16);
+        assert_eq!(open.slots, 8, "2 tweaks × 4 attacked slots");
+        assert!(
+            open.success_rate() > 0.5,
+            "unbalanced CPA should recover most early slots, got {}",
+            open.success_rate()
+        );
+        let balanced = ctx.with_schedule_policy(SchedulePolicy::PowerBalanced);
+        let closed = power_trace_cpa(&balanced, &[0, 1], 32, 4).expect("cpa");
+        assert_eq!(
+            closed.recovered, 0,
+            "a constant trace must not rank any PoE strictly first"
+        );
+        assert!(
+            closed.mean_rank() > open.mean_rank(),
+            "balancing must degrade the key rank ({} vs {})",
+            closed.mean_rank(),
+            open.mean_rank()
+        );
+    }
+
+    #[test]
+    fn cpa_report_rates() {
+        let r = PowerAttackReport {
+            slots: 8,
+            recovered: 6,
+            rank_sum: 4,
+            candidates: 16,
+            traces: 32,
+        };
+        assert!((r.success_rate() - 0.75).abs() < 1e-12);
+        assert!((r.mean_rank() - 0.5).abs() < 1e-12);
+        let empty = PowerAttackReport {
+            slots: 0,
+            recovered: 0,
+            rank_sum: 0,
+            candidates: 16,
+            traces: 2,
+        };
+        assert_eq!(empty.success_rate(), 0.0);
+        assert_eq!(empty.mean_rank(), 0.0);
     }
 
     #[test]

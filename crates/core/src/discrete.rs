@@ -36,7 +36,7 @@ const LEVELS: u8 = 4;
 /// is a *nonlinear* image of its level. Without this nonlinearity the
 /// between-run difference dynamics are linear mod 4 and diffusion stalls in
 /// small invariant subspaces.
-const CONDUCTANCE: [u32; 4] = [0, 1, 3, 2];
+pub(crate) const CONDUCTANCE: [u32; 4] = [0, 1, 3, 2];
 
 /// A crossbar's quantized level state under closed-loop SPE.
 #[derive(Debug, Clone, PartialEq, Eq)]

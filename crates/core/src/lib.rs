@@ -38,7 +38,9 @@
 //! * [`analysis`] + [`bignum`] — exact brute-force keyspace arithmetic
 //!   (§6.2) and the cold-boot window model (§6.4).
 //! * [`attack`] — attack experiments: wrong-order decryption, known- and
-//!   chosen-plaintext ambiguity, brute force on a reduced instance.
+//!   chosen-plaintext ambiguity, brute force on a reduced instance, and
+//!   correlation power analysis against the supply-rail power trace
+//!   (defeated by [`SchedulePolicy::PowerBalanced`]).
 //!
 //! # Example
 //!
@@ -104,8 +106,8 @@ pub use scheduler::{
 };
 pub use scramble::{AddressScrambler, ComposedRemapper, IdentityRemapper, Remapper};
 pub use specu::{
-    CipherBlock, CipherLine, SpeCalibration, SpeContext, SpeVariant, Specu, SpecuBuilder,
-    SpecuConfig,
+    CipherBlock, CipherLine, SchedulePolicy, SpeCalibration, SpeContext, SpeVariant, Specu,
+    SpecuBuilder, SpecuConfig,
 };
 pub use sync::{
     lock_unpoisoned, read_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, write_unpoisoned,

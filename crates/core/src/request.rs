@@ -774,4 +774,55 @@ mod tests {
             Err(_) => panic!("completed cell must resolve within the timeout"),
         }
     }
+
+    #[test]
+    fn wait_timeout_zero_duration_polls_without_blocking() {
+        // A zero timeout is an instant poll: a pending cell hands the
+        // ticket straight back...
+        let cell = Arc::new(TicketCell::default());
+        let ticket = CipherTicket::new(Arc::clone(&cell));
+        let pending = match ticket.wait_timeout(Duration::ZERO) {
+            Err(t) => t,
+            Ok(r) => panic!("pending cell resolved a zero-duration wait: {r:?}"),
+        };
+        // ...but a completed result is never forfeited to the deadline:
+        // the result check runs before the deadline check.
+        cell.complete(Err(SpeError::JobNeverRan));
+        match pending.wait_timeout(Duration::ZERO) {
+            Ok(result) => assert_eq!(result, Err(SpeError::JobNeverRan)),
+            Err(_) => panic!("a completed cell must resolve even at zero timeout"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_never_loses_a_result_racing_the_deadline() {
+        // Completion racing the deadline from another thread: whichever
+        // way a round goes, the result must end up observed exactly once —
+        // either inside the Ok variant or via the returned ticket.
+        for round in 0..32u64 {
+            let cell = Arc::new(TicketCell::default());
+            let ticket = CipherTicket::new(Arc::clone(&cell));
+            let completer = {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    // Jitter the completion around the waiter's deadline.
+                    if round % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    cell.complete(Err(SpeError::BankPoisoned));
+                })
+            };
+            let outcome = ticket.wait_timeout(Duration::from_micros(round * 13));
+            completer.join().expect("completer thread");
+            match outcome {
+                Ok(result) => assert_eq!(result, Err(SpeError::BankPoisoned), "round {round}"),
+                Err(returned) => {
+                    // Timed out first — the published result is still
+                    // there for the ticket.
+                    assert!(returned.is_done(), "round {round}: result lost");
+                    assert_eq!(returned.wait(), Err(SpeError::BankPoisoned));
+                }
+            }
+        }
+    }
 }

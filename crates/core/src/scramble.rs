@@ -125,11 +125,15 @@ impl AddressScrambler {
     ///
     /// # Panics
     ///
-    /// Panics if `domain < 2` (nothing to permute).
+    /// Panics if `domain == 0` (no address space). A one-line domain is
+    /// degenerate but legal: the only permutation of one element is the
+    /// identity, and cycle-walking terminates because the Feistel pass is
+    /// itself a permutation (its orbit through values ≥ `domain` must
+    /// return to the start, which is in-domain).
     pub fn new(key: &Key, epoch: u64, domain: u64) -> Self {
-        assert!(domain >= 2, "scrambling needs at least two lines");
+        assert!(domain >= 1, "scrambling needs a non-empty address space");
         // Even bit width covering the domain, at least 2 (1 bit/half).
-        let bits = (64 - (domain - 1).leading_zeros()).max(2);
+        let bits = (64 - domain.saturating_sub(1).leading_zeros()).max(2);
         let bits = bits + (bits & 1);
         let half_bits = bits / 2;
         // Round keys fold the full 128-bit key register with the epoch;
@@ -306,6 +310,41 @@ mod tests {
             let image: HashSet<u64> = (0..domain).map(|a| s.scramble(a)).collect();
             assert_eq!(image.len() as u64, domain, "not injective at {domain}");
             assert!(image.iter().all(|&p| p < domain), "escaped {domain}");
+        }
+    }
+
+    #[test]
+    fn degenerate_one_line_domain_is_the_identity_and_terminates() {
+        // The only permutation of one element: every key and epoch must
+        // map line 0 to line 0, and the cycle walk must not spin forever.
+        for seed in [0u64, 1, 0xDEAD, u64::MAX] {
+            for epoch in [0u64, 7] {
+                let s = AddressScrambler::new(&Key::from_seed(seed), epoch, 1);
+                assert_eq!(s.domain(), 1);
+                assert_eq!(s.scramble(0), 0);
+                assert_eq!(s.descramble(0), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn small_non_power_of_two_domains_stay_bijective() {
+        // Tiny awkward domains stress the cycle walk hardest: most of the
+        // 2^bits Feistel space lies outside the domain.
+        for domain in [2u64, 3, 5, 6, 7, 9, 11, 13, 15] {
+            for seed in [0x51u64, 0x52, 0x53] {
+                let s = AddressScrambler::new(&Key::from_seed(seed), 2, domain);
+                let image: HashSet<u64> = (0..domain).map(|a| s.scramble(a)).collect();
+                assert_eq!(
+                    image.len() as u64,
+                    domain,
+                    "seed {seed:#x} domain {domain} not injective"
+                );
+                assert!(image.iter().all(|&p| p < domain));
+                for a in 0..domain {
+                    assert_eq!(s.descramble(s.scramble(a)), a);
+                }
+            }
         }
     }
 

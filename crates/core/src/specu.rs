@@ -33,7 +33,7 @@ use spe_crossbar::fast::FastParams;
 use spe_crossbar::{CellAddr, Dims, FastArray, Kernel, WireParams};
 use spe_ilp::{PlacementProblem, PolyominoShape};
 use spe_memristor::{DeviceParams, MlcLevel};
-use spe_telemetry::{noop, Counter, Histogram, Span, SpanTimer, TelemetryHandle};
+use spe_telemetry::{noop, Counter, Histogram, PowerSample, Span, SpanTimer, TelemetryHandle};
 use std::fmt;
 use std::sync::Arc;
 
@@ -56,6 +56,36 @@ pub enum SpeVariant {
     /// ciphertext; the default.
     ClosedLoop,
 }
+
+/// How the SPECU schedules pulse energy on the supply rail.
+///
+/// The keyed pulse trains dissipate data-dependent energy (`Σ v²·g` over
+/// the member cells — the conductances *are* the stored data), so a
+/// supply-rail probe collecting per-train energy samples can run
+/// correlation power analysis ([`crate::attack::power_trace_cpa`]) and
+/// recover the keyed PoE order. The policy decides what the rail sees;
+/// the level arithmetic — and therefore the ciphertext — is identical
+/// under every policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Pulse trains draw exactly the energy the data demands. Fastest,
+    /// but the supply rail leaks the schedule.
+    #[default]
+    Unbalanced,
+    /// Every train is padded with complementary dummy pulses up to the
+    /// calibration's uniform worst-case budget
+    /// ([`SpeCalibration::power_budget_fj`]), so each slot draws the same
+    /// energy regardless of data or PoE and the CPA statistic collapses
+    /// to chance. Dummy activity is counted on
+    /// [`Counter::DummyPulses`].
+    PowerBalanced,
+}
+
+/// Scale from the closed-loop leakage model's dimensionless `v²·g·w`
+/// units to femtojoules (a full-drive max-conductance verify step lands
+/// in the picojoule range, matching the analog engine's order of
+/// magnitude).
+const TRAIN_ENERGY_SCALE_FJ: f64 = 250.0;
 
 /// SPECU configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +270,9 @@ pub struct SpeCalibration {
     /// tweak)` schedules, reused by every context/bank over this
     /// calibration.
     schedule_cache: ScheduleCache,
+    /// Lazily computed uniform per-train energy budget for
+    /// [`SchedulePolicy::PowerBalanced`] (femtojoules).
+    power_budget: std::sync::OnceLock<u64>,
 }
 
 impl fmt::Debug for SpeCalibration {
@@ -308,6 +341,7 @@ impl SpeCalibration {
             voltages: VoltageLut::default(),
             template,
             schedule_cache,
+            power_budget: std::sync::OnceLock::new(),
         })
     }
 
@@ -347,9 +381,79 @@ impl SpeCalibration {
         (self.addresses.len() * self.config.rounds) as u32
     }
 
+    /// The uniform per-train energy budget of
+    /// [`SchedulePolicy::PowerBalanced`], in femtojoules: the worst case
+    /// over every PoE with every reachable cell at maximum conductance and
+    /// maximum step weight. Constant across PoEs *and* data by
+    /// construction, so a balanced trace carries no information about
+    /// either. Computed once per calibration on first use.
+    pub fn power_budget_fj(&self) -> u64 {
+        *self.power_budget.get_or_init(|| match self.config.variant {
+            SpeVariant::ClosedLoop => {
+                // Rigorous bound for the discrete leakage model: train
+                // members are a subset of the in-bounds kernel support,
+                // conductance weights top out at max(CONDUCTANCE) and the
+                // per-member step weight at 1 + 3.
+                let dims = Dims::square8();
+                let g_max = crate::discrete::CONDUCTANCE
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(3) as f64;
+                let mut worst = 0.0_f64;
+                for poe in self.addresses.poes() {
+                    let mut e = 0.0;
+                    for (dr, dc) in self.kernel().member_offsets(1.0, 1e-9) {
+                        let r = poe.row as isize + dr;
+                        let c = poe.col as isize + dc;
+                        if r < 0 || c < 0 {
+                            continue;
+                        }
+                        let a = CellAddr::new(r as usize, c as usize);
+                        if !dims.contains(a) {
+                            continue;
+                        }
+                        let v = self.kernel().at(dr, dc);
+                        e += v * v * g_max * 4.0;
+                    }
+                    worst = worst.max(e);
+                }
+                (worst * TRAIN_ENERGY_SCALE_FJ).ceil() as u64
+            }
+            SpeVariant::Analog => {
+                // Engineering bound for the analog engine: every cell at
+                // its highest-conductance level, driven by the widest LUT
+                // pulse at the worst PoE, doubled for the cross-cell
+                // context modulation on mixed states.
+                let widest = spe_memristor::Pulse {
+                    voltage: 1.0,
+                    width: self
+                        .voltages
+                        .pulses()
+                        .iter()
+                        .map(|p| p.width)
+                        .fold(0.0, f64::max),
+                };
+                let mut worst = 0.0_f64;
+                for level in [MlcLevel::L00, MlcLevel::L01, MlcLevel::L10, MlcLevel::L11] {
+                    let mut arr = self.template.clone();
+                    if arr.write_levels(&[level; 64]).is_err() {
+                        continue;
+                    }
+                    for poe in self.addresses.poes() {
+                        if let Ok(e) = arr.pulse_energy(*poe, widest) {
+                            worst = worst.max(e.total());
+                        }
+                    }
+                }
+                (worst * 2.0 * 1.0e15).ceil() as u64
+            }
+        })
+    }
+
     /// The member cells of a closed-loop train at a PoE (kernel offsets at
     /// the train threshold, clipped to the array).
-    fn train_members(&self, poe: CellAddr, amplitude: f64) -> Vec<CellAddr> {
+    pub(crate) fn train_members(&self, poe: CellAddr, amplitude: f64) -> Vec<CellAddr> {
         let dims = Dims::square8();
         let mut cells = Vec::new();
         for (dr, dc) in self
@@ -384,6 +488,9 @@ pub struct SpeContext {
     /// can never be returned here.
     epoch: EpochHandle,
     recorder: TelemetryHandle,
+    /// What the supply rail sees per pulse train (telemetry emission
+    /// only; never the level arithmetic).
+    policy: SchedulePolicy,
 }
 
 impl SpeContext {
@@ -412,6 +519,7 @@ impl SpeContext {
             key,
             epoch,
             recorder,
+            policy: SchedulePolicy::default(),
         }
     }
 
@@ -431,6 +539,7 @@ impl SpeContext {
             key,
             epoch: self.calibration.schedule_cache.next_epoch(),
             recorder: Arc::clone(&self.recorder),
+            policy: self.policy,
         }
     }
 
@@ -448,6 +557,25 @@ impl SpeContext {
     /// Attaches a telemetry recorder in place.
     pub fn set_recorder(&mut self, recorder: TelemetryHandle) {
         self.recorder = recorder;
+    }
+
+    /// The active power-trace scheduling policy.
+    pub fn schedule_policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Switches the power-trace scheduling policy in place. Affects only
+    /// what the supply rail (telemetry power channel) sees; ciphertexts
+    /// are byte-identical under every policy.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// The same context under a different scheduling policy.
+    #[must_use]
+    pub fn with_schedule_policy(mut self, policy: SchedulePolicy) -> SpeContext {
+        self.policy = policy;
+        self
     }
 
     /// The attached telemetry recorder (the shared no-op by default).
@@ -499,6 +627,71 @@ impl SpeContext {
             .observe(Histogram::PoePulseIndex, (poe.row * 8 + poe.col) as u64);
         self.recorder
             .add(Counter::SneakPathActivations, touched as u64);
+    }
+
+    /// The leakage a supply-rail probe integrates over one closed-loop
+    /// train: `Σ v²·g·w` over the members, evaluated against the
+    /// *pre-train* levels (the verify comparator reads the cells before
+    /// programming them), in femtojoules. The conductance weights are the
+    /// stored data — this is the quantity CPA correlates against.
+    fn train_energy_fj(&self, levels: &[u8], train: &Train) -> u64 {
+        let kernel = self.calibration.kernel();
+        let mut e = 0.0_f64;
+        for ((m, &idx), &step) in train.members.iter().zip(&train.idxs).zip(&train.steps) {
+            let (dr, dc) = m.offset_from(train.poe);
+            let v = kernel.at(dr, dc);
+            let g = crate::discrete::CONDUCTANCE[levels[idx as usize] as usize] as f64;
+            e += v * v * g * (1.0 + step as f64);
+        }
+        (e * TRAIN_ENERGY_SCALE_FJ).round() as u64
+    }
+
+    /// Emits one closed-loop train's power sample under the active
+    /// [`SchedulePolicy`]. Called with the levels *before* the train is
+    /// applied; only ever reached when the recorder is enabled.
+    fn record_train_power(&self, levels: &[u8], train: &Train) {
+        let poe_index = (train.poe.row * 8 + train.poe.col) as u8;
+        let energy_fj = match self.policy {
+            SchedulePolicy::Unbalanced => self.train_energy_fj(levels, train),
+            SchedulePolicy::PowerBalanced => {
+                // Complementary dummy pulses pad the train up to the
+                // uniform budget; the rail sees the same draw for every
+                // slot, every PoE and every plaintext.
+                self.recorder.add(Counter::DummyPulses, 1);
+                self.calibration.power_budget_fj()
+            }
+        };
+        self.recorder.record_power(PowerSample {
+            poe_index,
+            energy_fj,
+        });
+    }
+
+    /// Emits one analog pulse's power sample from the behavioral energy
+    /// model ([`FastArray::pulse_energy`]), evaluated against the
+    /// pre-pulse states. Only ever reached when the recorder is enabled.
+    fn record_analog_power(
+        &self,
+        arr: &FastArray,
+        poe: CellAddr,
+        pulse: spe_memristor::Pulse,
+    ) -> Result<(), SpeError> {
+        let poe_index = (poe.row * 8 + poe.col) as u8;
+        let sample = match self.policy {
+            SchedulePolicy::Unbalanced => {
+                let e = arr.pulse_energy(poe, pulse)?;
+                PowerSample::from_joules(poe_index, e.total())
+            }
+            SchedulePolicy::PowerBalanced => {
+                self.recorder.add(Counter::DummyPulses, 1);
+                PowerSample {
+                    poe_index,
+                    energy_fj: self.calibration.power_budget_fj(),
+                }
+            }
+        };
+        self.recorder.record_power(sample);
+        Ok(())
     }
 
     /// The payload-independent derivation for a block tweak: schedule plus
@@ -564,6 +757,9 @@ impl SpeContext {
                 arr.write_levels(&bytes_to_levels(plaintext))?;
                 for _ in 0..cal.config.rounds {
                     for (poe, pulse) in plan.schedule.steps() {
+                        if self.recorder.enabled() {
+                            self.record_analog_power(&arr, *poe, *pulse)?;
+                        }
                         let members = arr.apply_pulse(*poe, *pulse)?;
                         self.record_pulse(*poe, members.len());
                     }
@@ -585,6 +781,9 @@ impl SpeContext {
                     for t in round_trains {
                         self.record_pulse(t.poe, t.members.len());
                         self.recorder.add(Counter::TrainSteps, t.steps.len() as u64);
+                        if self.recorder.enabled() {
+                            self.record_train_power(arr.levels(), t);
+                        }
                         arr.apply_train_indexed(&t.idxs, &t.steps, t.dir, false);
                     }
                 }
@@ -621,6 +820,9 @@ impl SpeContext {
                 arr.set_states(&block.states)?;
                 for _ in 0..cal.config.rounds {
                     for (poe, pulse) in plan.schedule.steps().iter().rev() {
+                        if self.recorder.enabled() {
+                            self.record_analog_power(&arr, *poe, *pulse)?;
+                        }
                         let members = arr.apply_pulse_inverse(*poe, *pulse)?;
                         self.record_pulse(*poe, members.len());
                     }
@@ -638,6 +840,9 @@ impl SpeContext {
                     for t in round_trains.iter().rev() {
                         self.record_pulse(t.poe, t.members.len());
                         self.recorder.add(Counter::TrainSteps, t.steps.len() as u64);
+                        if self.recorder.enabled() {
+                            self.record_train_power(arr.levels(), t);
+                        }
                         arr.apply_train_indexed(&t.idxs, &t.steps, t.dir, true);
                     }
                 }
@@ -745,6 +950,9 @@ impl SpeContext {
                         self.record_pulse(train.poe, train.members.len());
                         self.recorder
                             .add(Counter::TrainSteps, train.steps.len() as u64);
+                        if self.recorder.enabled() {
+                            self.record_train_power(arr.levels(), train);
+                        }
                         arr.apply_train_indexed(&train.idxs, &train.steps, train.dir, false);
                     }
                 }
@@ -1018,13 +1226,18 @@ impl Specu {
             .as_ref()
             .map(|ctx| Arc::clone(ctx.recorder()))
             .unwrap_or_else(noop);
+        // The scheduling policy is a hardware knob, not key material: it
+        // survives the power cycle like the recorder does.
+        let policy = self
+            .context
+            .as_ref()
+            .map(|ctx| ctx.schedule_policy())
+            .unwrap_or_default();
         let epoch = self.calibration.schedule_cache.next_epoch();
-        self.context = Some(SpeContext::from_parts(
-            key,
-            Arc::clone(&self.calibration),
-            epoch,
-            recorder,
-        ));
+        self.context = Some(
+            SpeContext::from_parts(key, Arc::clone(&self.calibration), epoch, recorder)
+                .with_schedule_policy(policy),
+        );
     }
 
     /// Attaches a telemetry recorder to the loaded context: all datapath
@@ -1124,6 +1337,7 @@ pub struct SpecuBuilder {
     calibration: Option<Arc<SpeCalibration>>,
     recorder: Option<TelemetryHandle>,
     epoch: Option<EpochHandle>,
+    policy: Option<SchedulePolicy>,
     banks: Option<usize>,
     scheduler: Option<crate::scheduler::SchedulerConfig>,
 }
@@ -1170,6 +1384,15 @@ impl SpecuBuilder {
     #[must_use]
     pub fn epoch(mut self, epoch: EpochHandle) -> Self {
         self.epoch = Some(epoch);
+        self
+    }
+
+    /// The power-trace scheduling policy of the built context
+    /// ([`SchedulePolicy::Unbalanced`] by default). Balancing changes
+    /// only what the supply rail sees; ciphertexts are identical.
+    #[must_use]
+    pub fn schedule_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -1229,7 +1452,8 @@ impl SpecuBuilder {
         let epoch = self
             .epoch
             .unwrap_or_else(|| calibration.schedule_cache.next_epoch());
-        Ok(SpeContext::from_parts(key, calibration, epoch, recorder))
+        Ok(SpeContext::from_parts(key, calibration, epoch, recorder)
+            .with_schedule_policy(self.policy.unwrap_or_default()))
     }
 
     /// Builds the stateful [`Specu`] facade with the key loaded.
@@ -1679,6 +1903,103 @@ mod tests {
             assert_eq!(uncached_ctx.decrypt_line(&warm).expect("decrypt"), pt);
             assert_eq!(cached_ctx.decrypt_line(&cold).expect("decrypt"), pt);
         }
+    }
+
+    #[test]
+    fn balanced_scheduling_never_changes_ciphertext() {
+        // The policy only pads what the supply rail sees; the level
+        // arithmetic is untouched, so ciphertexts are byte-identical and
+        // either side decrypts the other's output.
+        let s = specu();
+        let plain_ctx = s.context().expect("context").clone();
+        let balanced_ctx = plain_ctx
+            .clone()
+            .with_schedule_policy(SchedulePolicy::PowerBalanced);
+        assert_eq!(
+            balanced_ctx.schedule_policy(),
+            SchedulePolicy::PowerBalanced
+        );
+        for addr in 0..3u64 {
+            let pt: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(addr as u8 + 7));
+            let open = plain_ctx.encrypt_line(&pt, addr).expect("encrypt");
+            let closed = balanced_ctx.encrypt_line(&pt, addr).expect("encrypt");
+            assert_eq!(open, closed, "addr {addr}: balancing changed ciphertext");
+            assert_eq!(plain_ctx.decrypt_line(&closed).expect("decrypt"), pt);
+            assert_eq!(balanced_ctx.decrypt_line(&open).expect("decrypt"), pt);
+        }
+    }
+
+    #[test]
+    fn power_trace_is_data_dependent_until_balanced() {
+        use spe_telemetry::AtomicRecorder;
+        let s = specu();
+        let mut ctx = s.context().expect("context").clone();
+        let recorder = Arc::new(AtomicRecorder::new());
+        ctx.set_recorder(recorder.clone());
+
+        let trains_per_block = ctx.config().poe_count * ctx.config().rounds;
+        let trace_of = |ctx: &SpeContext, pt: &[u8; BLOCK_BYTES]| {
+            recorder.reset();
+            ctx.encrypt_block(pt, 0).expect("encrypt");
+            recorder.power_trace().into_samples()
+        };
+
+        // Unbalanced: one sample per train, data-dependent energies.
+        let a = trace_of(&ctx, &[0u8; BLOCK_BYTES]);
+        let b = trace_of(&ctx, &[0xFFu8; BLOCK_BYTES]);
+        assert_eq!(a.len(), trains_per_block);
+        assert_eq!(b.len(), trains_per_block);
+        assert_ne!(
+            a.iter().map(|s| s.energy_fj).collect::<Vec<_>>(),
+            b.iter().map(|s| s.energy_fj).collect::<Vec<_>>(),
+            "different plaintexts must draw different power"
+        );
+
+        // Balanced: every slot draws exactly the uniform budget, which
+        // rigorously dominates every real train energy, and the dummy
+        // padding is accounted.
+        let budget = ctx.calibration().power_budget_fj();
+        for s in a.iter().chain(&b) {
+            assert!(
+                s.energy_fj <= budget,
+                "budget {budget} must dominate real sample {}",
+                s.energy_fj
+            );
+        }
+        ctx.set_schedule_policy(SchedulePolicy::PowerBalanced);
+        let flat = trace_of(&ctx, &[0u8; BLOCK_BYTES]);
+        assert_eq!(flat.len(), trains_per_block);
+        assert!(
+            flat.iter().all(|s| s.energy_fj == budget),
+            "balanced slots must all draw the budget"
+        );
+        assert_eq!(
+            recorder.snapshot().counter(Counter::DummyPulses),
+            trains_per_block as u64
+        );
+    }
+
+    #[test]
+    fn schedule_policy_survives_key_rotation_and_builder() {
+        let built = Specu::builder()
+            .key(Key::from_seed(0x90))
+            .calibration(Arc::clone(specu().calibration()))
+            .schedule_policy(SchedulePolicy::PowerBalanced)
+            .build()
+            .expect("specu");
+        let mut s = built;
+        assert_eq!(
+            s.context().expect("context").schedule_policy(),
+            SchedulePolicy::PowerBalanced
+        );
+        s.load_key(Key::from_seed(0x91));
+        assert_eq!(
+            s.context().expect("context").schedule_policy(),
+            SchedulePolicy::PowerBalanced,
+            "the policy is a hardware knob; it survives rekeying"
+        );
+        let rekeyed = s.context().expect("context").rekeyed(Key::from_seed(0x92));
+        assert_eq!(rekeyed.schedule_policy(), SchedulePolicy::PowerBalanced);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The 1T1M crossbar array: storage, readout and sneak-pulse dynamics.
 
 use crate::bias::Bias;
+use crate::energy::PulseEnergy;
 use crate::error::CrossbarError;
 use crate::fault::FaultMap;
 use crate::geometry::{CellAddr, Dims};
@@ -431,6 +432,34 @@ impl Crossbar {
         }
     }
 
+    /// Energy a pulse at `poe` would dissipate in the current data state
+    /// (read-only; one nodal solve).
+    ///
+    /// Each cell burns `v²·g·width` under its *solved* sneak voltage `v`
+    /// and present conductance `g` (series path: memristor plus access
+    /// transistor). Cells at or above the device switching threshold
+    /// count as `member_j` (the pulse programs them), the rest of the
+    /// network as `sneak_j` — the circuit-accurate counterpart of
+    /// [`crate::fast::FastArray::pulse_energy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] on a bad address or singular network.
+    pub fn pulse_energy(&self, poe: CellAddr, pulse: Pulse) -> Result<PulseEnergy, CrossbarError> {
+        let field = self.sneak_voltages(poe, pulse.voltage)?;
+        let mut energy = PulseEnergy::default();
+        for (addr, v) in field.iter() {
+            let g = 1.0 / self.cells[self.dims.index(addr)].series_resistance();
+            let e = v * v * g * pulse.width;
+            if v.abs() >= self.device.v_threshold {
+                energy.member_j += e;
+            } else {
+                energy.sneak_j += e;
+            }
+        }
+        Ok(energy)
+    }
+
     /// The polyomino a pulse at `poe` would affect, given the current data.
     ///
     /// # Errors
@@ -832,6 +861,31 @@ mod tests {
             .expect("solve");
         assert_eq!(recorder.counter(Counter::FactorizationsRebuilt), 0);
         assert_eq!(recorder.counter(Counter::FactorizationsReused), 1);
+    }
+
+    #[test]
+    fn pulse_energy_splits_members_from_sneak_paths() {
+        let dims = Dims::square8();
+        let mut xbar = Crossbar::new(dims, DeviceParams::default()).expect("build");
+        xbar.write_levels(&random_levels(dims, 19)).expect("write");
+        let states = xbar.states();
+        let pulse = Pulse::new(1.0, 0.05e-6).expect("pulse desc");
+        let e = xbar
+            .pulse_energy(CellAddr::new(3, 4), pulse)
+            .expect("energy");
+        assert!(e.member_j > 0.0, "member energy {}", e.member_j);
+        assert!(e.sneak_j > 0.0, "sneak energy {}", e.sneak_j);
+        assert!(e.total().is_finite());
+        assert_eq!(xbar.states(), states, "energy probe must not write");
+        // Different stored data, different trace (the CPA premise).
+        xbar.write_levels(&random_levels(dims, 20)).expect("write");
+        let e2 = xbar
+            .pulse_energy(CellAddr::new(3, 4), pulse)
+            .expect("energy");
+        assert!(
+            (e.total() - e2.total()).abs() > 1e-6 * e.total(),
+            "data must modulate the circuit energy"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Per-pulse energy accounting for the side-channel model.
+//!
+//! A supply-rail adversary cannot read cell states, but every keyed
+//! pulse dissipates `Σ v²·g·width` across the cells it reaches — and
+//! the conductances `g` are the stored data. Both crossbar engines
+//! expose this as a [`PulseEnergy`]: the behavioral fast path estimates
+//! it from the attenuation kernel, the circuit engine integrates the
+//! actual solved node voltages. The split between member and sneak-path
+//! contributions mirrors the threshold split the dynamics use.
+
+/// Energy dissipated by one keyed pulse, in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PulseEnergy {
+    /// Energy burned in member cells (drive at or above the switching
+    /// threshold — the cells the pulse programs).
+    pub member_j: f64,
+    /// Energy leaked through sub-threshold sneak paths (cells the pulse
+    /// reaches but does not program).
+    pub sneak_j: f64,
+}
+
+impl PulseEnergy {
+    /// Total dissipated energy — what a supply-rail probe integrates.
+    pub fn total(&self) -> f64 {
+        self.member_j + self.sneak_j
+    }
+
+    /// Accumulates another pulse's energy (e.g. summing over a train).
+    pub fn accumulate(&mut self, other: PulseEnergy) {
+        self.member_j += other.member_j;
+        self.sneak_j += other.sneak_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_accumulate() {
+        let mut e = PulseEnergy {
+            member_j: 1.0e-12,
+            sneak_j: 0.5e-12,
+        };
+        assert!((e.total() - 1.5e-12).abs() < 1e-24);
+        e.accumulate(PulseEnergy {
+            member_j: 2.0e-12,
+            sneak_j: 0.25e-12,
+        });
+        assert!((e.member_j - 3.0e-12).abs() < 1e-24);
+        assert!((e.sneak_j - 0.75e-12).abs() < 1e-24);
+    }
+}

@@ -25,6 +25,7 @@
 //!    changes between pulses), reproducing the paper's Fig. 2b order
 //!    sensitivity.
 
+use crate::energy::PulseEnergy;
 use crate::error::CrossbarError;
 use crate::geometry::{CellAddr, Dims};
 use crate::{Crossbar, WireParams};
@@ -430,6 +431,84 @@ impl FastArray {
         self.pulse_sweep(poe, pulse, true)
     }
 
+    /// Energy a pulse at `poe` would dissipate in the *current* state
+    /// (read-only — call before [`apply_pulse`](Self::apply_pulse) to
+    /// model what a supply-rail probe sees during the pulse).
+    ///
+    /// Each cell inside the kernel radius burns `v²·g·width` where `v`
+    /// is the kernel-attenuated, context-modulated drive (as in the
+    /// sweep, evaluated against pre-pulse states) and `g` the cell's
+    /// present conductance — so the trace is data-dependent, which is
+    /// exactly the leakage the CPA attacker exploits. Member cells
+    /// (those the pulse programs) count as `member_j`, the remaining
+    /// reachable cells as `sneak_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::AddressOutOfBounds`] for a bad PoE.
+    pub fn pulse_energy(&self, poe: CellAddr, pulse: Pulse) -> Result<PulseEnergy, CrossbarError> {
+        if !self.dims.contains(poe) {
+            return Err(CrossbarError::AddressOutOfBounds {
+                row: poe.row,
+                col: poe.col,
+                rows: self.dims.rows,
+                cols: self.dims.cols,
+            });
+        }
+        let members = self.members(poe, pulse.voltage);
+        let ctx_of = |skip: Option<CellAddr>| {
+            let mut ctx = 0.0;
+            let mut n = 0;
+            for other in &members {
+                if Some(*other) == skip {
+                    continue;
+                }
+                ctx += 2.0 * (sigmoid(self.u[self.dims.index(*other)]) - 0.5);
+                n += 1;
+            }
+            if n > 0 {
+                ctx / n as f64
+            } else {
+                0.0
+            }
+        };
+        let mut energy = PulseEnergy::default();
+        let r = KERNEL_RADIUS as isize;
+        for dr in -r..=r {
+            for dc in -r..=r {
+                let atten = self.kernel.at(dr, dc);
+                if atten <= 0.0 {
+                    continue;
+                }
+                let row = poe.row as isize + dr;
+                let col = poe.col as isize + dc;
+                if row < 0 || col < 0 {
+                    continue;
+                }
+                let addr = CellAddr::new(row as usize, col as usize);
+                if !self.dims.contains(addr) {
+                    continue;
+                }
+                let is_member = members.binary_search(&addr).is_ok();
+                let ctx = if is_member {
+                    ctx_of(Some(addr))
+                } else {
+                    ctx_of(None)
+                };
+                let v = pulse.voltage * atten * (1.0 + self.kernel.context_beta * ctx);
+                let x = sigmoid(self.u[self.dims.index(addr)]);
+                let g = 1.0 / self.device.resistance_at(x);
+                let e = v * v * g * pulse.width;
+                if is_member {
+                    energy.member_j += e;
+                } else {
+                    energy.sneak_j += e;
+                }
+            }
+        }
+        Ok(energy)
+    }
+
     fn pulse_sweep(
         &mut self,
         poe: CellAddr,
@@ -687,5 +766,45 @@ mod tests {
     fn write_levels_rejects_wrong_size() {
         let mut arr = setup();
         assert!(arr.write_levels(&[MlcLevel::L00; 3]).is_err());
+    }
+
+    #[test]
+    fn pulse_energy_is_positive_and_read_only() {
+        let mut arr = setup();
+        arr.write_levels(&random_levels(64, 31)).expect("write");
+        let before = arr.states().to_vec();
+        let pulse = Pulse::new(1.0, 0.07e-6).expect("pulse");
+        let e = arr
+            .pulse_energy(CellAddr::new(4, 4), pulse)
+            .expect("energy");
+        assert!(e.member_j > 0.0, "members must dissipate energy");
+        assert!(e.sneak_j > 0.0, "sneak paths must leak energy");
+        assert!(e.total() > e.member_j);
+        assert_eq!(arr.states(), &before[..], "energy probe must not write");
+    }
+
+    #[test]
+    fn pulse_energy_depends_on_stored_data() {
+        // The CPA leakage premise: the same keyed pulse burns a different
+        // energy over different plaintexts.
+        let mut a = setup();
+        let mut b = setup();
+        a.write_levels(&[MlcLevel::L00; 64]).expect("write");
+        b.write_levels(&[MlcLevel::L11; 64]).expect("write");
+        let pulse = Pulse::new(1.0, 0.07e-6).expect("pulse");
+        let poe = CellAddr::new(3, 3);
+        let ea = a.pulse_energy(poe, pulse).expect("energy").total();
+        let eb = b.pulse_energy(poe, pulse).expect("energy").total();
+        assert!(
+            (ea - eb).abs() > 1e-3 * ea.max(eb),
+            "stored data must modulate pulse energy ({ea} vs {eb})"
+        );
+    }
+
+    #[test]
+    fn pulse_energy_rejects_bad_poe() {
+        let arr = setup();
+        let pulse = Pulse::new(1.0, 0.07e-6).expect("pulse");
+        assert!(arr.pulse_energy(CellAddr::new(9, 9), pulse).is_err());
     }
 }

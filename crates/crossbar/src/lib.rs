@@ -46,6 +46,7 @@
 pub mod array;
 pub mod bias;
 pub mod dense;
+pub mod energy;
 pub mod error;
 pub mod fast;
 pub mod fault;
@@ -58,6 +59,7 @@ pub mod wires;
 
 pub use array::{Crossbar, PulseReport, VoltageField};
 pub use bias::{Bias, Terminal};
+pub use energy::PulseEnergy;
 pub use error::CrossbarError;
 pub use fast::{FastArray, Kernel};
 pub use fault::FaultMap;

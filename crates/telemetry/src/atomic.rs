@@ -1,8 +1,10 @@
 //! The lock-free [`AtomicRecorder`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::metric::{Counter, Gauge, Histogram, Span};
+use crate::power::{PowerSample, PowerTrace};
 use crate::recorder::Recorder;
 use crate::snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
 
@@ -33,16 +35,23 @@ impl HistCell {
 
 /// A concurrent recorder backed by relaxed atomics.
 ///
-/// Every hook is a handful of `fetch_add`s — no locks, no allocation,
-/// safe to share across SPECU bank workers. Counter and bucket totals
-/// are order-independent, so for a fixed seed the serial and parallel
-/// datapaths produce identical snapshots.
+/// Every aggregate hook is a handful of `fetch_add`s — no locks, no
+/// allocation, safe to share across SPECU bank workers. Counter and
+/// bucket totals are order-independent, so for a fixed seed the serial
+/// and parallel datapaths produce identical snapshots.
+///
+/// The power trace is the one exception: a probe on the supply rail
+/// sees a *sequence*, so samples are appended under a mutex to preserve
+/// arrival order. Datapaths gate the energy computation on
+/// [`Recorder::enabled`], and the snapshot carries only the
+/// order-independent summary, so aggregate determinism is unaffected.
 #[derive(Debug)]
 pub struct AtomicRecorder {
     counters: [AtomicU64; Counter::COUNT],
     histograms: [HistCell; Histogram::COUNT],
     gauges: [AtomicU64; Gauge::COUNT],
     spans: [SpanCell; Span::COUNT],
+    power: Mutex<Vec<PowerSample>>,
 }
 
 impl Default for AtomicRecorder {
@@ -59,7 +68,19 @@ impl AtomicRecorder {
             histograms: std::array::from_fn(|i| HistCell::new(Histogram::ALL[i])),
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             spans: std::array::from_fn(|_| SpanCell::default()),
+            power: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Recovers the power-trace guard even if a recording thread
+    /// panicked mid-push (a `Vec` push never leaves the vec torn).
+    fn power_samples(&self) -> std::sync::MutexGuard<'_, Vec<PowerSample>> {
+        self.power.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The ordered per-pulse power trace captured so far (a copy).
+    pub fn power_trace(&self) -> PowerTrace {
+        PowerTrace::new(self.power_samples().clone())
     }
 
     /// Current value of one counter.
@@ -98,11 +119,13 @@ impl AtomicRecorder {
             }
         });
         let gauges = Gauge::ALL.map(|g| (g, self.gauge(g)));
+        let power = self.power_trace().summary();
         TelemetrySnapshot {
             counters: counters.to_vec(),
             histograms: histograms.to_vec(),
             gauges: gauges.to_vec(),
             spans: spans.to_vec(),
+            power,
         }
     }
 
@@ -124,6 +147,7 @@ impl AtomicRecorder {
             s.count.store(0, Ordering::Relaxed);
             s.total_ns.store(0, Ordering::Relaxed);
         }
+        self.power_samples().clear();
     }
 }
 
@@ -150,6 +174,10 @@ impl Recorder for AtomicRecorder {
         let cell = &self.spans[span.index()];
         cell.count.fetch_add(1, Ordering::Relaxed);
         cell.total_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn record_power(&self, sample: PowerSample) {
+        self.power_samples().push(sample);
     }
 }
 
@@ -199,9 +227,33 @@ mod tests {
         r.observe(Histogram::BankUtilization, 1);
         r.set_gauge(Gauge::TenantContextsLive, 4);
         r.span_ns(Span::Campaign, 100);
+        r.record_power(PowerSample {
+            poe_index: 3,
+            energy_fj: 42,
+        });
         r.reset();
         let snap = r.snapshot();
         assert_eq!(snap, TelemetrySnapshot::default_shape());
+        assert!(r.power_trace().is_empty());
+    }
+
+    #[test]
+    fn power_trace_preserves_order() {
+        let r = AtomicRecorder::new();
+        for (poe, fj) in [(2u8, 30u64), (0, 10), (1, 20)] {
+            r.record_power(PowerSample {
+                poe_index: poe,
+                energy_fj: fj,
+            });
+        }
+        let trace = r.power_trace();
+        let order: Vec<u8> = trace.samples().iter().map(|s| s.poe_index).collect();
+        assert_eq!(order, [2, 0, 1], "samples must keep arrival order");
+        let snap = r.snapshot();
+        assert_eq!(snap.power.samples, 3);
+        assert_eq!(snap.power.total_fj, 60);
+        assert_eq!(snap.power.min_fj, 10);
+        assert_eq!(snap.power.max_fj, 30);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   [`SpanTimer`]. Span timings are *excluded* from the deterministic
 //!   snapshot text because wall-clock is nondeterministic; use
 //!   [`TelemetrySnapshot::to_text_full`] to see them.
+//! * **Power trace** ([`PowerSample`] / [`PowerTrace`]) — *ordered*
+//!   per-pulse energy samples (femtojoules) feeding the side-channel
+//!   attack suite. The snapshot carries only the order-independent
+//!   [`PowerSummary`]; the full sequence comes from
+//!   [`AtomicRecorder::power_trace`].
 //!
 //! The default recorder is [`NoopRecorder`] (shared via [`noop`]):
 //! `enabled()` returns `false`, every hook is an empty inlineable call,
@@ -39,10 +44,12 @@
 
 mod atomic;
 mod metric;
+mod power;
 mod recorder;
 mod snapshot;
 
 pub use atomic::AtomicRecorder;
 pub use metric::{Counter, Gauge, Histogram, Span};
+pub use power::{PowerSample, PowerSummary, PowerTrace};
 pub use recorder::{noop, NoopRecorder, Recorder, SpanTimer, TelemetryHandle};
 pub use snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};

@@ -116,11 +116,15 @@ pub enum Counter {
     /// Per-line integrity surface checks performed by a `LineGuard`
     /// (parity verifications; tag checks count under `TagsVerified`).
     IntegrityChecks,
+    // ---- spe-core: power-balanced scheduling ----
+    /// Complementary dummy pulses emitted by the power-balanced
+    /// schedule policy to flatten the per-train energy trace.
+    DummyPulses,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 45;
+    pub const COUNT: usize = 46;
 
     /// Every counter in canonical snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -169,6 +173,7 @@ impl Counter {
         Counter::LinesOpened,
         Counter::ScrambleRemaps,
         Counter::IntegrityChecks,
+        Counter::DummyPulses,
     ];
 
     /// Index into the recorder's counter table.
@@ -224,6 +229,7 @@ impl Counter {
             Counter::LinesOpened => "lines_opened",
             Counter::ScrambleRemaps => "scramble_remaps",
             Counter::IntegrityChecks => "integrity_checks",
+            Counter::DummyPulses => "dummy_pulses",
         }
     }
 }
@@ -239,11 +245,11 @@ const fn linear_bounds<const N: usize>() -> [u64; N] {
     bounds
 }
 
-/// Per-PoE pulse placement: one linear bucket per cell index
-/// (`row * 8 + col` on the 8×8 crossbar), overflow bucket catches 63.
-static POE_INDEX_BOUNDS: [u64; 63] = linear_bounds::<63>();
-/// Bank index (0..14 linear, overflow catches 15+).
-static BANK_BOUNDS: [u64; 15] = linear_bounds::<15>();
+/// Per-PoE pulse placement: one exact linear bucket per cell index
+/// (`row * 8 + col` on the 8×8 crossbar, 0..=63), overflow catches 64+.
+static POE_INDEX_BOUNDS: [u64; 64] = linear_bounds::<64>();
+/// Bank index (0..=15 linear, overflow catches 16+).
+static BANK_BOUNDS: [u64; 16] = linear_bounds::<16>();
 /// Power-of-two latency bounds, in cycles or the caller's time unit.
 static LOG2_BOUNDS: [u64; 16] = [
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
@@ -485,11 +491,32 @@ mod tests {
 
     #[test]
     fn poe_index_buckets_are_exact() {
+        // 64 exact buckets (one per cell of the 8×8 crossbar) plus the
+        // overflow bucket. Cell 63 must land in its own bucket, not in
+        // overflow — the old 63-bound table folded it there.
         let h = Histogram::PoePulseIndex;
-        assert_eq!(h.bucket_count(), 64);
+        assert_eq!(h.bucket_count(), 65);
         for cell in 0..64u64 {
             assert_eq!(h.bucket_index(cell), cell as usize);
         }
+        assert_eq!(h.bucket_index(64), 64, "64 is the overflow bucket");
+        assert_eq!(h.bucket_label(63), "le_63");
+        assert_eq!(h.bucket_label(64), "gt_63");
+    }
+
+    #[test]
+    fn bank_buckets_cover_a_16_bank_pool_exactly() {
+        // Regression: bank 15 of a 16-bank run must have its own bucket
+        // (the old 15-bound table aliased it into overflow, so
+        // BankUtilization under-reported the last bank).
+        let h = Histogram::BankUtilization;
+        assert_eq!(h.bucket_count(), 17);
+        for bank in 0..16u64 {
+            assert_eq!(h.bucket_index(bank), bank as usize, "bank {bank}");
+        }
+        assert_eq!(h.bucket_index(16), 16, "16+ is the overflow bucket");
+        assert_eq!(h.bucket_label(15), "le_15");
+        assert_eq!(h.bucket_label(16), "gt_15");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The power-trace channel: ordered per-pulse energy samples.
+//!
+//! A side-channel adversary observes the supply rail, so the trace is a
+//! *sequence* — ordering carries information that counters and histograms
+//! deliberately discard. The recorder therefore keeps power samples in
+//! arrival order (the full trace feeds the CPA attacker), while the
+//! snapshot reports only the order-independent [`PowerSummary`] so
+//! snapshot text stays deterministic under parallel banks.
+//!
+//! Energies are quantized to integer femtojoules at the recording
+//! boundary: per-pulse crossbar energies sit in the fJ–pJ range, and
+//! integer samples keep snapshots byte-stable across machines.
+
+/// Femtojoules per joule (the trace's fixed-point scale).
+const FEMTO_PER_JOULE: f64 = 1e15;
+
+/// One per-pulse (per-train) energy observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerSample {
+    /// Linear cell index (`row * 8 + col`) of the PoE the pulse hit.
+    ///
+    /// Ground truth for attack evaluation; a real probe would not see
+    /// it, and the CPA attacker does not use it.
+    pub poe_index: u8,
+    /// Energy dissipated by the pulse, in femtojoules.
+    pub energy_fj: u64,
+}
+
+impl PowerSample {
+    /// Quantizes an energy in joules to a femtojoule sample.
+    ///
+    /// Negative or non-finite energies clamp to zero (they can only
+    /// arise from numerical noise in the nodal solve).
+    pub fn from_joules(poe_index: u8, joules: f64) -> Self {
+        let fj = joules * FEMTO_PER_JOULE;
+        let energy_fj = if fj.is_finite() && fj > 0.0 {
+            fj.round() as u64
+        } else {
+            0
+        };
+        PowerSample {
+            poe_index,
+            energy_fj,
+        }
+    }
+}
+
+/// An ordered per-pulse energy trace, as captured by a recorder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PowerTrace {
+    samples: Vec<PowerSample>,
+}
+
+impl PowerTrace {
+    /// Wraps an ordered sample sequence.
+    pub fn new(samples: Vec<PowerSample>) -> Self {
+        PowerTrace { samples }
+    }
+
+    /// The samples in arrival order.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total energy across the trace, in femtojoules (saturating).
+    pub fn total_fj(&self) -> u64 {
+        self.samples
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.energy_fj))
+    }
+
+    /// The order-independent summary (what snapshots report).
+    pub fn summary(&self) -> PowerSummary {
+        let mut summary = PowerSummary::default();
+        for s in &self.samples {
+            summary.record(s.energy_fj);
+        }
+        summary
+    }
+
+    /// Consumes the trace, returning the raw samples.
+    pub fn into_samples(self) -> Vec<PowerSample> {
+        self.samples
+    }
+}
+
+/// Order-independent aggregate of a power trace.
+///
+/// This is what [`crate::TelemetrySnapshot`] carries: sample count,
+/// total, min and max are invariant under the sample reordering that
+/// parallel banks introduce, so snapshot text stays deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerSummary {
+    /// Number of samples recorded.
+    pub samples: u64,
+    /// Total energy, femtojoules (saturating).
+    pub total_fj: u64,
+    /// Smallest sample, femtojoules (0 when empty).
+    pub min_fj: u64,
+    /// Largest sample, femtojoules (0 when empty).
+    pub max_fj: u64,
+}
+
+impl PowerSummary {
+    /// Folds one sample into the aggregate.
+    pub fn record(&mut self, energy_fj: u64) {
+        self.min_fj = if self.samples == 0 {
+            energy_fj
+        } else {
+            self.min_fj.min(energy_fj)
+        };
+        self.max_fj = self.max_fj.max(energy_fj);
+        self.total_fj = self.total_fj.saturating_add(energy_fj);
+        self.samples += 1;
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizes_joules_to_femtojoules() {
+        let s = PowerSample::from_joules(5, 1.5e-12);
+        assert_eq!(s.poe_index, 5);
+        assert_eq!(s.energy_fj, 1500);
+    }
+
+    #[test]
+    fn clamps_degenerate_energies_to_zero() {
+        assert_eq!(PowerSample::from_joules(0, -1.0e-12).energy_fj, 0);
+        assert_eq!(PowerSample::from_joules(0, f64::NAN).energy_fj, 0);
+        assert_eq!(PowerSample::from_joules(0, f64::INFINITY).energy_fj, 0);
+    }
+
+    #[test]
+    fn trace_summary_aggregates() {
+        let trace = PowerTrace::new(vec![
+            PowerSample {
+                poe_index: 0,
+                energy_fj: 10,
+            },
+            PowerSample {
+                poe_index: 1,
+                energy_fj: 4,
+            },
+            PowerSample {
+                poe_index: 2,
+                energy_fj: 7,
+            },
+        ]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.total_fj(), 21);
+        let summary = trace.summary();
+        assert_eq!(summary.samples, 3);
+        assert_eq!(summary.total_fj, 21);
+        assert_eq!(summary.min_fj, 4);
+        assert_eq!(summary.max_fj, 10);
+    }
+
+    #[test]
+    fn empty_summary_is_default() {
+        assert_eq!(PowerTrace::default().summary(), PowerSummary::default());
+        assert!(PowerSummary::default().is_empty());
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let a = PowerTrace::new(vec![
+            PowerSample {
+                poe_index: 0,
+                energy_fj: 3,
+            },
+            PowerSample {
+                poe_index: 1,
+                energy_fj: 9,
+            },
+        ]);
+        let b = PowerTrace::new(vec![
+            PowerSample {
+                poe_index: 1,
+                energy_fj: 9,
+            },
+            PowerSample {
+                poe_index: 0,
+                energy_fj: 3,
+            },
+        ]);
+        assert_eq!(a.summary(), b.summary());
+    }
+}

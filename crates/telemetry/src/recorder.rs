@@ -6,6 +6,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::metric::{Counter, Gauge, Histogram, Span};
+use crate::power::PowerSample;
 
 /// A telemetry sink the datapath reports into.
 ///
@@ -33,6 +34,18 @@ pub trait Recorder: Send + Sync + fmt::Debug {
 
     /// Accumulates `nanos` of wall-clock time into a span.
     fn span_ns(&self, span: Span, nanos: u64);
+
+    /// Appends one sample to the ordered power trace. Default is a
+    /// no-op so recorders that only keep aggregates need not care.
+    ///
+    /// Unlike the other hooks, sample *order* matters (a supply-rail
+    /// probe sees a sequence), so implementations that keep the trace
+    /// must preserve arrival order. Callers gate the energy computation
+    /// behind [`Recorder::enabled`]; the hook itself must still accept
+    /// samples unconditionally.
+    fn record_power(&self, sample: PowerSample) {
+        let _ = sample;
+    }
 }
 
 /// A shared handle to a recorder, cheap to clone and thread through
@@ -55,6 +68,8 @@ impl Recorder for NoopRecorder {
     fn set_gauge(&self, _gauge: Gauge, _value: u64) {}
 
     fn span_ns(&self, _span: Span, _nanos: u64) {}
+
+    fn record_power(&self, _sample: PowerSample) {}
 }
 
 /// The shared no-op handle. Cached so attaching the default recorder
@@ -131,5 +146,9 @@ mod tests {
         r.observe(Histogram::PoePulseIndex, u64::MAX);
         r.set_gauge(Gauge::TenantContextsLive, u64::MAX);
         r.span_ns(Span::Simulation, u64::MAX);
+        r.record_power(PowerSample {
+            poe_index: u8::MAX,
+            energy_fj: u64::MAX,
+        });
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::metric::{Counter, Gauge, Histogram, Span};
+use crate::power::PowerSummary;
 
 /// One histogram's state at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +46,11 @@ pub struct TelemetrySnapshot {
     pub gauges: Vec<(Gauge, u64)>,
     /// All spans in canonical order.
     pub spans: Vec<SpanSnapshot>,
+    /// Order-independent aggregate of the power trace (count, total,
+    /// min, max in femtojoules) — the full ordered trace is available
+    /// from the recorder, not the snapshot, because sample order is
+    /// nondeterministic under parallel banks.
+    pub power: PowerSummary,
 }
 
 impl TelemetrySnapshot {
@@ -68,6 +74,7 @@ impl TelemetrySnapshot {
                     total_ns: 0,
                 })
                 .to_vec(),
+            power: PowerSummary::default(),
         }
     }
 
@@ -103,6 +110,7 @@ impl TelemetrySnapshot {
             && self.histograms.iter().all(|h| h.total == 0)
             && self.gauges.iter().all(|&(_, v)| v == 0)
             && self.spans.iter().all(|s| s.count == 0)
+            && self.power.is_empty()
     }
 
     /// Deterministic JSON-ish rendering: counters and histograms only,
@@ -153,6 +161,14 @@ impl TelemetrySnapshot {
             }
         }
         out.push_str("  }\n");
+        if !self.power.is_empty() {
+            out.push_str("  power {\n");
+            let _ = writeln!(out, "    samples: {}", self.power.samples);
+            let _ = writeln!(out, "    total_fj: {}", self.power.total_fj);
+            let _ = writeln!(out, "    min_fj: {}", self.power.min_fj);
+            let _ = writeln!(out, "    max_fj: {}", self.power.max_fj);
+            out.push_str("  }\n");
+        }
         if with_spans {
             out.push_str("  spans {\n");
             for s in &self.spans {
@@ -235,5 +251,34 @@ mod tests {
         // Zero gauges are omitted like zero counters.
         let empty = TelemetrySnapshot::default_shape();
         assert!(!empty.to_text().contains("tenant_contexts_live"));
+    }
+
+    #[test]
+    fn power_summary_renders_deterministically() {
+        use crate::power::PowerSample;
+        let build = || {
+            let r = AtomicRecorder::new();
+            r.record_power(PowerSample {
+                poe_index: 0,
+                energy_fj: 100,
+            });
+            r.record_power(PowerSample {
+                poe_index: 9,
+                energy_fj: 250,
+            });
+            r.snapshot()
+        };
+        let a = build();
+        assert_eq!(a.to_text(), build().to_text());
+        let text = a.to_text();
+        assert!(text.contains("power {"));
+        assert!(text.contains("samples: 2"));
+        assert!(text.contains("total_fj: 350"));
+        assert!(text.contains("min_fj: 100"));
+        assert!(text.contains("max_fj: 250"));
+        // An empty trace omits the section entirely.
+        assert!(!TelemetrySnapshot::default_shape()
+            .to_text()
+            .contains("power {"));
     }
 }
